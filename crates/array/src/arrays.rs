@@ -1,0 +1,625 @@
+//! The distributed array type and its local index arithmetic.
+
+use kali_grid::{DimDist, DimMap, Dist1, DistSpec, ProcGrid};
+
+/// Element types a distributed array can hold.
+pub trait Elem: Copy + Default + Send + 'static + std::fmt::Debug {}
+impl<T: Copy + Default + Send + 'static + std::fmt::Debug> Elem for T {}
+
+/// One processor's view of an N-dimensional distributed array.
+///
+/// Every processor of the owning grid constructs the same descriptor
+/// (extents, distribution, grid) and stores only its own block. Processors
+/// outside the grid may hold the value too; they own nothing and all
+/// operations are no-ops for them.
+#[derive(Debug, Clone)]
+pub struct DistArrayN<T, const N: usize> {
+    pub(crate) extents: [usize; N],
+    pub(crate) dists: [Dist1; N],
+    pub(crate) spec: DistSpec,
+    pub(crate) grid: ProcGrid,
+    pub(crate) rank: usize,
+    /// Grid coordinates of this processor, if it belongs to the grid.
+    pub(crate) coords: Option<Vec<usize>>,
+    /// Per-dimension processor coordinate (0 for undistributed dims).
+    pub(crate) qs: [usize; N],
+    /// First owned global index per dimension (contiguous patterns).
+    pub(crate) lo: [usize; N],
+    /// Owned extent per dimension.
+    pub(crate) len: [usize; N],
+    /// Ghost width per dimension (only block/undistributed dims may be > 0).
+    pub(crate) ghost: [usize; N],
+    /// Row-major strides of the local storage box.
+    pub(crate) stride: [usize; N],
+    pub(crate) data: Vec<T>,
+}
+
+/// 1-D distributed array.
+pub type DistArray1<T> = DistArrayN<T, 1>;
+/// 2-D distributed array.
+pub type DistArray2<T> = DistArrayN<T, 2>;
+/// 3-D distributed array.
+pub type DistArray3<T> = DistArrayN<T, 3>;
+
+impl<T: Elem, const N: usize> DistArrayN<T, N> {
+    /// Declare a distributed array of the given global `extents` with ghost
+    /// layers of width `ghost[d]` along each dimension, initialized to
+    /// `T::default()`.
+    ///
+    /// `rank` is the machine rank of the calling processor (every member of
+    /// the SPMD program calls this with its own rank — the KF1 analogue is
+    /// elaborating the same declaration on every processor).
+    ///
+    /// Ghosts are only meaningful on `block`-distributed dimensions; asking
+    /// for ghosts on a cyclic dimension panics.
+    pub fn new(
+        rank: usize,
+        grid: &ProcGrid,
+        spec: &DistSpec,
+        extents: [usize; N],
+        ghost: [usize; N],
+    ) -> Self {
+        assert_eq!(spec.ndims(), N, "distribution rank must match array rank");
+        let dists_v = spec.dist1s(&extents, grid);
+        let dists: [Dist1; N] = dists_v.try_into().expect("rank checked above");
+        for d in 0..N {
+            if ghost[d] > 0 {
+                let ok = matches!(spec.map(d), DimMap::Local)
+                    || matches!(spec.map(d), DimMap::Dist(DimDist::Block));
+                assert!(ok, "ghost layers require a block or undistributed dimension");
+            }
+        }
+        let coords = grid.coords_of(rank);
+        let mut qs = [0usize; N];
+        let mut lo = [0usize; N];
+        let mut len = [0usize; N];
+        if let Some(c) = &coords {
+            for d in 0..N {
+                let q = match spec.grid_dim_of(d) {
+                    Some(gd) => c[gd],
+                    None => 0,
+                };
+                qs[d] = q;
+                len[d] = dists[d].local_len(q);
+                lo[d] = dists[d].lower(q).unwrap_or(0);
+            }
+        }
+        let member = coords.is_some();
+        let mut stride = [0usize; N];
+        let mut total = if member && len.iter().all(|&l| l > 0) {
+            1
+        } else {
+            0
+        };
+        if total > 0 {
+            let mut s = 1;
+            for d in (0..N).rev() {
+                stride[d] = s;
+                s *= len[d] + 2 * ghost[d];
+            }
+            total = s;
+        }
+        DistArrayN {
+            extents,
+            dists,
+            spec: spec.clone(),
+            grid: grid.clone(),
+            rank,
+            coords,
+            qs,
+            lo,
+            len,
+            ghost,
+            stride,
+            data: vec![T::default(); total],
+        }
+    }
+
+    /// Construct and fill owned elements from a function of global indices.
+    pub fn from_fn(
+        rank: usize,
+        grid: &ProcGrid,
+        spec: &DistSpec,
+        extents: [usize; N],
+        ghost: [usize; N],
+        f: impl Fn([usize; N]) -> T,
+    ) -> Self {
+        let mut a = Self::new(rank, grid, spec, extents, ghost);
+        a.fill_with(f);
+        a
+    }
+
+    /// Overwrite every owned element from a function of global indices.
+    pub fn fill_with(&mut self, f: impl Fn([usize; N]) -> T) {
+        if !self.is_participant() {
+            return;
+        }
+        let mut idx = [0usize; N];
+        self.for_each_owned_rec(0, &mut idx, &mut |a, g| {
+            let v = f(g);
+            let di = a.storage_index_owned(g);
+            a.data[di] = v;
+        });
+    }
+
+    fn for_each_owned_rec(
+        &mut self,
+        d: usize,
+        idx: &mut [usize; N],
+        f: &mut impl FnMut(&mut Self, [usize; N]),
+    ) {
+        if d == N {
+            let g = *idx;
+            f(self, g);
+            return;
+        }
+        for li in 0..self.len[d] {
+            idx[d] = self.dists[d].local_to_global(self.qs[d], li);
+            self.for_each_owned_rec(d + 1, idx, f);
+        }
+    }
+
+    /// Does this processor belong to the grid *and* own a non-empty block?
+    pub fn is_participant(&self) -> bool {
+        self.coords.is_some() && self.len.iter().all(|&l| l > 0)
+    }
+
+    /// Is this processor a member of the owning grid?
+    pub fn in_grid(&self) -> bool {
+        self.coords.is_some()
+    }
+
+    /// Global extents.
+    #[inline]
+    pub fn extents(&self) -> [usize; N] {
+        self.extents
+    }
+
+    /// The distribution clause.
+    #[inline]
+    pub fn spec(&self) -> &DistSpec {
+        &self.spec
+    }
+
+    /// The owning processor grid.
+    #[inline]
+    pub fn grid(&self) -> &ProcGrid {
+        &self.grid
+    }
+
+    /// Per-dimension index map.
+    #[inline]
+    pub fn dist(&self, d: usize) -> Dist1 {
+        self.dists[d]
+    }
+
+    /// Ghost widths per dimension.
+    #[inline]
+    pub fn ghosts(&self) -> [usize; N] {
+        self.ghost
+    }
+
+    /// A zeroed array with the same grid, distribution and ghosts.
+    pub fn like(&self) -> Self {
+        Self::new(self.rank, &self.grid, &self.spec, self.extents, self.ghost)
+    }
+
+    /// A zeroed array with the same grid, distribution and ghosts but new
+    /// global extents (used for multigrid coarse levels).
+    pub fn with_extents(&self, extents: [usize; N]) -> Self {
+        Self::new(self.rank, &self.grid, &self.spec, extents, self.ghost)
+    }
+
+    /// Machine rank this view belongs to.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// First owned global index along `d` (contiguous dims; `lower` intrinsic).
+    #[inline]
+    pub fn lower(&self, d: usize) -> usize {
+        self.lo[d]
+    }
+
+    /// One past the last owned global index along `d` (contiguous dims).
+    #[inline]
+    pub fn upper_excl(&self, d: usize) -> usize {
+        self.lo[d] + self.len[d]
+    }
+
+    /// Number of owned indices along `d`.
+    #[inline]
+    pub fn local_len(&self, d: usize) -> usize {
+        self.len[d]
+    }
+
+    /// Owned global range along a contiguous dimension `d`.
+    pub fn owned_range(&self, d: usize) -> std::ops::Range<usize> {
+        debug_assert!(
+            self.dists[d].is_contiguous(),
+            "owned_range on a non-contiguous dimension"
+        );
+        self.lo[d]..self.lo[d] + self.len[d]
+    }
+
+    /// Owned global indices along `d`, in local order (any pattern).
+    pub fn owned_indices(&self, d: usize) -> Vec<usize> {
+        if self.coords.is_none() {
+            return vec![];
+        }
+        self.dists[d].owned(self.qs[d]).collect()
+    }
+
+    /// Does this processor own global element `idx`?
+    pub fn owns(&self, idx: [usize; N]) -> bool {
+        if !self.is_participant() {
+            return false;
+        }
+        (0..N).all(|d| self.dists[d].owner(idx[d]) == self.qs[d])
+    }
+
+    /// Machine rank of the owner of global element `idx`.
+    pub fn owner_rank(&self, idx: [usize; N]) -> usize {
+        let mut gcoords = vec![0usize; self.grid.ndims()];
+        for d in 0..N {
+            if let Some(gd) = self.spec.grid_dim_of(d) {
+                gcoords[gd] = self.dists[d].owner(idx[d]);
+            }
+        }
+        self.grid.rank_at(&gcoords)
+    }
+
+    /// Storage index of an owned global element (no ghost reasoning).
+    #[inline]
+    fn storage_index_owned(&self, idx: [usize; N]) -> usize {
+        let mut s = 0;
+        for d in 0..N {
+            let (q, li) = self.dists[d].global_to_local(idx[d]);
+            debug_assert_eq!(q, self.qs[d]);
+            s += (li + self.ghost[d]) * self.stride[d];
+        }
+        s
+    }
+
+    /// Storage index of a global element visible to this processor (owned or
+    /// within a ghost layer); `None` if remote.
+    fn storage_index(&self, idx: [usize; N]) -> Option<usize> {
+        if !self.is_participant() {
+            return None;
+        }
+        let mut s = 0;
+        for d in 0..N {
+            let g = idx[d];
+            debug_assert!(g < self.extents[d], "index out of global bounds");
+            let dist = self.dists[d];
+            if dist.is_contiguous() {
+                // Owned box plus ghost skirt.
+                let lo = self.lo[d];
+                let hi = lo + self.len[d];
+                let gh = self.ghost[d];
+                if g + gh < lo || g >= hi + gh {
+                    return None;
+                }
+                s += (g + gh - lo) * self.stride[d];
+            } else {
+                let (q, li) = dist.global_to_local(g);
+                if q != self.qs[d] {
+                    return None;
+                }
+                s += li * self.stride[d];
+            }
+        }
+        Some(s)
+    }
+
+    /// Read a visible (owned or ghost) element; `None` if remote.
+    pub fn try_get(&self, idx: [usize; N]) -> Option<T> {
+        self.storage_index(idx).map(|s| self.data[s])
+    }
+
+    /// Read a visible element.
+    ///
+    /// Panics on a remote element: under owner-computes, remote values must
+    /// first be brought in by `exchange_ghosts`, `extract_slice`, or
+    /// `redistribute` — exactly the communication a KF1 compiler would have
+    /// scheduled.
+    #[inline]
+    pub fn get(&self, idx: [usize; N]) -> T {
+        self.try_get(idx).unwrap_or_else(|| {
+            panic!(
+                "proc {}: non-local read of element {:?} (dist {}, owner rank {}); \
+                 a ghost exchange or slice transfer must make it visible first",
+                self.rank,
+                idx,
+                self.spec,
+                self.owner_rank(idx)
+            )
+        })
+    }
+
+    /// Write an owned element (ghosts are read-only).
+    #[inline]
+    pub fn set(&mut self, idx: [usize; N], v: T) {
+        assert!(
+            self.owns(idx),
+            "proc {}: owner-computes violation — write to non-owned element {:?} \
+             (owner rank {})",
+            self.rank,
+            idx,
+            self.owner_rank(idx)
+        );
+        let s = self.storage_index_owned(idx);
+        self.data[s] = v;
+    }
+
+    /// Apply `f` to every owned element (global index, current value) and
+    /// store the result. No communication.
+    pub fn map_owned(&mut self, f: impl Fn([usize; N], T) -> T) {
+        if !self.is_participant() {
+            return;
+        }
+        let mut idx = [0usize; N];
+        self.for_each_owned_rec(0, &mut idx, &mut |a, g| {
+            let s = a.storage_index_owned(g);
+            a.data[s] = f(g, a.data[s]);
+        });
+    }
+
+    /// Visit every owned element.
+    pub fn for_each_owned(&self, mut f: impl FnMut([usize; N], T)) {
+        if !self.is_participant() {
+            return;
+        }
+        // Iterative over a clone of the index lists to keep `self` shared.
+        let lists: Vec<Vec<usize>> = (0..N).map(|d| self.owned_indices(d)).collect();
+        let mut counters = [0usize; N];
+        'outer: loop {
+            let mut idx = [0usize; N];
+            for d in 0..N {
+                idx[d] = lists[d][counters[d]];
+            }
+            f(idx, self.data[self.storage_index_owned(idx)]);
+            // Odometer increment.
+            let mut d = N;
+            loop {
+                if d == 0 {
+                    break 'outer;
+                }
+                d -= 1;
+                counters[d] += 1;
+                if counters[d] < lists[d].len() {
+                    break;
+                }
+                counters[d] = 0;
+            }
+        }
+    }
+
+    /// Sum of all owned elements mapped through `f` (no communication;
+    /// combine with a reduction for a global result).
+    pub fn local_fold<A>(&self, init: A, mut f: impl FnMut(A, [usize; N], T) -> A) -> A {
+        let mut acc = Some(init);
+        self.for_each_owned(|idx, v| {
+            let a = acc.take().expect("fold accumulator");
+            acc = Some(f(a, idx, v));
+        });
+        acc.expect("fold accumulator")
+    }
+}
+
+impl<T: Elem> DistArray1<T> {
+    /// 1-D convenience getter.
+    #[inline]
+    pub fn at(&self, i: usize) -> T {
+        self.get([i])
+    }
+
+    /// 1-D convenience setter.
+    #[inline]
+    pub fn put(&mut self, i: usize, v: T) {
+        self.set([i], v)
+    }
+}
+
+impl<T: Elem> DistArray2<T> {
+    /// 2-D convenience getter.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> T {
+        self.get([i, j])
+    }
+
+    /// 2-D convenience setter.
+    #[inline]
+    pub fn put(&mut self, i: usize, j: usize, v: T) {
+        self.set([i, j], v)
+    }
+}
+
+impl<T: Elem> DistArray3<T> {
+    /// 3-D convenience getter.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize, k: usize) -> T {
+        self.get([i, j, k])
+    }
+
+    /// 3-D convenience setter.
+    #[inline]
+    pub fn put(&mut self, i: usize, j: usize, k: usize, v: T) {
+        self.set([i, j, k], v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid2() -> ProcGrid {
+        ProcGrid::new_2d(2, 2)
+    }
+
+    #[test]
+    fn ownership_boxes_partition_the_array() {
+        let g = grid2();
+        let spec = DistSpec::block2();
+        let mut owned_count = 0usize;
+        for rank in 0..4 {
+            let a: DistArray2<f64> = DistArrayN::new(rank, &g, &spec, [8, 8], [0, 0]);
+            assert!(a.is_participant());
+            owned_count += a.local_len(0) * a.local_len(1);
+            assert_eq!(a.local_len(0), 4);
+        }
+        assert_eq!(owned_count, 64);
+    }
+
+    #[test]
+    fn get_set_roundtrip_on_owner() {
+        let g = grid2();
+        let spec = DistSpec::block2();
+        let mut a: DistArray2<f64> = DistArrayN::new(0, &g, &spec, [8, 8], [1, 1]);
+        a.put(2, 3, 7.5);
+        assert_eq!(a.at(2, 3), 7.5);
+        assert_eq!(a.try_get([2, 3]), Some(7.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-local read")]
+    fn remote_read_panics() {
+        let g = grid2();
+        let spec = DistSpec::block2();
+        let a: DistArray2<f64> = DistArrayN::new(0, &g, &spec, [8, 8], [0, 0]);
+        let _ = a.at(7, 7); // owned by rank 3
+    }
+
+    #[test]
+    #[should_panic(expected = "owner-computes violation")]
+    fn remote_write_panics() {
+        let g = grid2();
+        let spec = DistSpec::block2();
+        let mut a: DistArray2<f64> = DistArrayN::new(0, &g, &spec, [8, 8], [1, 1]);
+        a.put(7, 7, 1.0);
+    }
+
+    #[test]
+    fn ghost_cells_visible_but_not_writable() {
+        let g = grid2();
+        let spec = DistSpec::block2();
+        let a: DistArray2<f64> = DistArrayN::new(0, &g, &spec, [8, 8], [1, 1]);
+        // Rank 0 owns [0..4)x[0..4); global (4, 2) is in its ghost skirt.
+        assert_eq!(a.try_get([4, 2]), Some(0.0));
+        assert_eq!(a.try_get([5, 2]), None);
+        assert!(!a.owns([4, 2]));
+    }
+
+    #[test]
+    fn undistributed_dim_is_fully_local() {
+        let g = ProcGrid::new_1d(4);
+        let spec = DistSpec::local_block();
+        let a: DistArray2<f64> = DistArrayN::from_fn(1, &g, &spec, [6, 16], [0, 0], |[i, j]| {
+            (i * 100 + j) as f64
+        });
+        assert_eq!(a.local_len(0), 6);
+        assert_eq!(a.owned_range(1), 4..8);
+        for i in 0..6 {
+            for j in 4..8 {
+                assert_eq!(a.at(i, j), (i * 100 + j) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn owner_rank_matches_owns() {
+        let g = grid2();
+        let spec = DistSpec::block2();
+        let arrays: Vec<DistArray2<f64>> = (0..4)
+            .map(|r| DistArrayN::new(r, &g, &spec, [5, 7], [0, 0]))
+            .collect();
+        for i in 0..5 {
+            for j in 0..7 {
+                let owner = arrays[0].owner_rank([i, j]);
+                for (r, a) in arrays.iter().enumerate() {
+                    assert_eq!(a.owns([i, j]), r == owner, "({i},{j}) rank {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_dim_access() {
+        let g = ProcGrid::new_1d(3);
+        let spec = DistSpec::parse("(cyclic)").unwrap();
+        let a: DistArray1<f64> =
+            DistArrayN::from_fn(1, &g, &spec, [10], [0], |[i]| i as f64);
+        assert_eq!(a.owned_indices(0), vec![1, 4, 7]);
+        assert_eq!(a.at(4), 4.0);
+        assert_eq!(a.try_get([5]), None);
+    }
+
+    #[test]
+    fn nonmember_holds_empty_view() {
+        let g = ProcGrid::with_ranks(vec![2], vec![0, 1]);
+        let spec = DistSpec::block1();
+        let a: DistArray1<f64> = DistArrayN::new(3, &g, &spec, [8], [0]);
+        assert!(!a.in_grid());
+        assert!(!a.is_participant());
+        assert_eq!(a.try_get([0]), None);
+        assert_eq!(a.owned_indices(0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn empty_block_when_fewer_elements_than_procs() {
+        let g = ProcGrid::new_1d(8);
+        let spec = DistSpec::block1();
+        // 4 elements over 8 procs: half the procs own nothing.
+        let a: DistArray1<f64> = DistArrayN::new(1, &g, &spec, [4], [0]);
+        let total: usize = (0..8)
+            .map(|r| DistArrayN::<f64, 1>::new(r, &g, &spec, [4], [0]).local_len(0))
+            .sum();
+        assert_eq!(total, 4);
+        assert!(a.in_grid());
+    }
+
+    #[test]
+    fn fold_and_foreach_agree() {
+        let g = grid2();
+        let spec = DistSpec::block2();
+        let a: DistArray2<f64> =
+            DistArrayN::from_fn(2, &g, &spec, [6, 6], [0, 0], |[i, j]| (i + j) as f64);
+        let mut sum1 = 0.0;
+        a.for_each_owned(|_, v| sum1 += v);
+        let sum2 = a.local_fold(0.0, |acc, _, v| acc + v);
+        assert_eq!(sum1, sum2);
+        assert!(sum1 > 0.0);
+    }
+
+    #[test]
+    fn map_owned_transforms_in_place() {
+        let g = ProcGrid::new_1d(2);
+        let spec = DistSpec::block1();
+        let mut a: DistArray1<f64> =
+            DistArrayN::from_fn(0, &g, &spec, [8], [0], |[i]| i as f64);
+        a.map_owned(|_, v| v * 2.0);
+        assert_eq!(a.at(3), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ghost layers require")]
+    fn ghosts_on_cyclic_rejected() {
+        let g = ProcGrid::new_1d(2);
+        let spec = DistSpec::parse("(cyclic)").unwrap();
+        let _: DistArray1<f64> = DistArrayN::new(0, &g, &spec, [8], [1]);
+    }
+
+    #[test]
+    fn three_d_mg3_layout() {
+        // dist (*, block, block) over a 2x2 grid — the mg3 declaration.
+        let g = grid2();
+        let spec = DistSpec::local_block_block();
+        let a: DistArray3<f64> = DistArrayN::new(3, &g, &spec, [4, 8, 8], [0, 1, 1]);
+        assert_eq!(a.local_len(0), 4);
+        assert_eq!(a.owned_range(1), 4..8);
+        assert_eq!(a.owned_range(2), 4..8);
+        assert!(a.owns([0, 5, 5]));
+        assert!(!a.owns([0, 3, 5]));
+    }
+}

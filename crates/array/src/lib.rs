@@ -1,0 +1,27 @@
+//! # kali-array — SPMD distributed arrays
+//!
+//! Distributed arrays are the only distributed data type of KF1 (§2 of the
+//! paper). Each simulated processor holds a [`DistArrayN`] value describing
+//! the *same* global array; the value stores only the locally owned block
+//! (plus ghost layers) and the index maps needed to reason about everyone
+//! else's part.
+//!
+//! The crate enforces the paper's *owner computes* discipline: reading an
+//! element that is neither owned nor present in a ghost layer panics — all
+//! remote data must be brought in through the explicit operations a KF1
+//! compiler would generate:
+//!
+//! * [`DistArrayN::exchange_ghosts`] — the guarded edge exchange of
+//!   Listing 2 (Jacobi), generalized to any block-distributed dimension;
+//! * [`DistArrayN::extract_slice`]/[`DistArrayN::store_slice`] — copy-in /
+//!   copy-out of array slices (`r(i, *)`) passed to distributed procedures;
+//! * [`DistArrayN::gather_to_root`] — assembling a global array for
+//!   verification or output;
+//! * [`DistArrayN::redistribute`] — changing the `dist` clause at run time
+//!   (the "tuning" the paper advertises as a one-line change).
+
+mod arrays;
+mod halo;
+mod xfer;
+
+pub use arrays::{DistArray1, DistArray2, DistArray3, DistArrayN, Elem};

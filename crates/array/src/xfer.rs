@@ -1,0 +1,426 @@
+//! Slice extraction (copy-in/copy-out), gather, and redistribution.
+
+use kali_grid::{DistSpec, ProcGrid};
+use kali_machine::{collective, Proc, Wire};
+
+use crate::arrays::{DistArrayN, Elem};
+
+/// Sorted-set intersection of two increasing index lists.
+fn intersect(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Visit the cartesian product of per-dimension index lists in
+/// lexicographic order.
+fn cartesian<const N: usize>(lists: &[Vec<usize>; N], mut f: impl FnMut([usize; N])) {
+    if lists.iter().any(|l| l.is_empty()) {
+        return;
+    }
+    let mut counters = [0usize; N];
+    'outer: loop {
+        let mut idx = [0usize; N];
+        for d in 0..N {
+            idx[d] = lists[d][counters[d]];
+        }
+        f(idx);
+        let mut d = N;
+        loop {
+            if d == 0 {
+                break 'outer;
+            }
+            d -= 1;
+            counters[d] += 1;
+            if counters[d] < lists[d].len() {
+                break;
+            }
+            counters[d] = 0;
+        }
+    }
+}
+
+impl<T: Elem + Wire, const N: usize> DistArrayN<T, N> {
+    /// The processor sub-grid owning the slice obtained by pinning the
+    /// dimensions given as `Some(index)` — the paper's `owner(r(i, *))`
+    /// construct. Free dimensions (`None`) stay in the result grid.
+    pub fn owner_grid(&self, fixed: [Option<usize>; N]) -> ProcGrid {
+        let mut pins: Vec<(usize, usize)> = Vec::new();
+        for d in 0..N {
+            if let Some(i) = fixed[d] {
+                if let Some(gd) = self.spec.grid_dim_of(d) {
+                    pins.push((gd, self.dists[d].owner(i)));
+                }
+            }
+        }
+        // Slice highest grid dimension first so lower indices stay valid.
+        pins.sort_by(|a, b| b.0.cmp(&a.0));
+        let mut g = self.grid.clone();
+        for (gd, c) in pins {
+            g = g.slice(gd, c);
+        }
+        g
+    }
+
+    /// Copy-in: this processor's part of the slice obtained by pinning the
+    /// `Some(i)` dimensions, flattened over the free dimensions in local
+    /// order. Returns `None` if this processor holds no part of the slice.
+    ///
+    /// Together with [`Self::store_slice`] this implements the copy-in /
+    /// copy-out argument passing of KF1 distributed procedure calls
+    /// (`call tric(v(i,*), ...)`).
+    pub fn extract_slice(&self, proc: &mut Proc, fixed: [Option<usize>; N]) -> Option<Vec<T>> {
+        let lists = self.slice_lists(fixed)?;
+        let mut out = Vec::new();
+        cartesian(&lists, |idx| {
+            out.push(self.data[self.storage_index_checked(idx)]);
+        });
+        proc.memop(out.len() as f64);
+        Some(out)
+    }
+
+    /// Copy-out: write this processor's part of a pinned slice back.
+    /// `vals` must have the length `extract_slice` would return.
+    pub fn store_slice(&mut self, proc: &mut Proc, fixed: [Option<usize>; N], vals: &[T]) {
+        let Some(lists) = self.slice_lists(fixed) else {
+            assert!(
+                vals.is_empty(),
+                "store_slice on a processor that holds no part of the slice"
+            );
+            return;
+        };
+        let mut slots = Vec::new();
+        cartesian(&lists, |idx| {
+            slots.push(self.storage_index_checked(idx));
+        });
+        assert_eq!(slots.len(), vals.len(), "slice length mismatch");
+        for (s, &v) in slots.iter().zip(vals) {
+            self.data[*s] = v;
+        }
+        proc.memop(vals.len() as f64);
+    }
+
+    /// Per-dimension global index lists of my part of the pinned slice,
+    /// or `None` if I hold none of it.
+    fn slice_lists(&self, fixed: [Option<usize>; N]) -> Option<[Vec<usize>; N]> {
+        if !self.is_participant() {
+            return None;
+        }
+        let mut lists: [Vec<usize>; N] = std::array::from_fn(|_| Vec::new());
+        for d in 0..N {
+            match fixed[d] {
+                Some(i) => {
+                    if self.dists[d].owner(i) != self.qs[d] {
+                        return None;
+                    }
+                    lists[d] = vec![i];
+                }
+                None => {
+                    lists[d] = self.owned_indices(d);
+                }
+            }
+        }
+        Some(lists)
+    }
+
+    fn storage_index_checked(&self, idx: [usize; N]) -> usize {
+        let mut s = 0;
+        for d in 0..N {
+            let (q, li) = self.dists[d].global_to_local(idx[d]);
+            debug_assert_eq!(q, self.qs[d], "slice touches non-owned index");
+            s += (li + self.ghost[d]) * self.stride[d];
+        }
+        s
+    }
+
+    /// Gather the whole array (row-major) to the grid's first processor.
+    /// Every grid member must call; returns `Some(global)` on the root.
+    pub fn gather_to_root(&self, proc: &mut Proc) -> Option<Vec<T>> {
+        if !self.in_grid() {
+            return None;
+        }
+        let team = self.grid.team();
+        let mut mine = Vec::new();
+        self.for_each_owned(|_, v| mine.push(v));
+        proc.memop(mine.len() as f64);
+        let pieces = collective::gather(proc, &team, 0, mine)?;
+        // Root: place every member's piece.
+        let total: usize = self.extents.iter().product();
+        let mut global = vec![T::default(); total];
+        for (m, piece) in pieces.into_iter().enumerate() {
+            let rank = team.rank(m);
+            let coords = self
+                .grid
+                .coords_of(rank)
+                .expect("team member has grid coords");
+            let lists: [Vec<usize>; N] = std::array::from_fn(|d| {
+                let q = match self.spec.grid_dim_of(d) {
+                    Some(gd) => coords[gd],
+                    None => 0,
+                };
+                self.dists[d].owned(q).collect()
+            });
+            let mut pos = 0;
+            cartesian(&lists, |idx| {
+                let mut flat = 0;
+                for d in 0..N {
+                    flat = flat * self.extents[d] + idx[d];
+                }
+                global[flat] = piece[pos];
+                pos += 1;
+            });
+            assert_eq!(pos, piece.len(), "gather piece size mismatch");
+        }
+        proc.memop(total as f64);
+        Some(global)
+    }
+
+    /// Change the distribution clause at run time, returning a new array
+    /// holding the same global values under `new_spec`. All grid members
+    /// must call. This is the operation behind the paper's claim that
+    /// trying a different distribution is a declaration-level change.
+    pub fn redistribute(
+        &self,
+        proc: &mut Proc,
+        new_spec: &DistSpec,
+        new_ghost: [usize; N],
+    ) -> DistArrayN<T, N> {
+        let mut out = DistArrayN::<T, N>::new(self.rank, &self.grid, new_spec, self.extents, new_ghost);
+        if !self.in_grid() {
+            return out;
+        }
+        let team = self.grid.team();
+        let q = team.len();
+
+        // Old and new ownership lists per member per dimension.
+        let member_lists = |spec: &DistSpec, arr_dists: &[kali_grid::Dist1; N], m: usize| {
+            let coords = self
+                .grid
+                .coords_of(team.rank(m))
+                .expect("member has coords");
+            let lists: [Vec<usize>; N] = std::array::from_fn(|d| {
+                let qd = match spec.grid_dim_of(d) {
+                    Some(gd) => coords[gd],
+                    None => 0,
+                };
+                arr_dists[d].owned(qd).collect()
+            });
+            lists
+        };
+
+        let my_old: [Vec<usize>; N] = std::array::from_fn(|d| self.owned_indices(d));
+        let my_new: [Vec<usize>; N] = std::array::from_fn(|d| out.owned_indices(d));
+
+        // Pack one payload per destination member.
+        let mut sends: Vec<Vec<T>> = Vec::with_capacity(q);
+        for m in 0..q {
+            let dest_new = member_lists(new_spec, &out.dists, m);
+            let inter: [Vec<usize>; N] =
+                std::array::from_fn(|d| intersect(&my_old[d], &dest_new[d]));
+            let mut payload = Vec::new();
+            cartesian(&inter, |idx| {
+                payload.push(self.data[self.storage_index_checked(idx)]);
+            });
+            proc.memop(payload.len() as f64);
+            sends.push(payload);
+        }
+
+        let recvd = collective::alltoallv(proc, &team, sends);
+
+        // Unpack from every source member, in the same deterministic order.
+        for (m, payload) in recvd.into_iter().enumerate() {
+            let src_old = member_lists(&self.spec, &self.dists, m);
+            let inter: [Vec<usize>; N] =
+                std::array::from_fn(|d| intersect(&src_old[d], &my_new[d]));
+            let mut pos = 0;
+            cartesian(&inter, |idx| {
+                let s = out.storage_index_checked(idx);
+                out.data[s] = payload[pos];
+                pos += 1;
+            });
+            assert_eq!(pos, payload.len(), "redistribute payload mismatch");
+            proc.memop(pos as f64);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DistArray1, DistArray2};
+    use kali_machine::{CostModel, Machine, MachineConfig};
+    use std::time::Duration;
+
+    fn cfg(p: usize) -> MachineConfig {
+        MachineConfig::new(p)
+            .with_cost(CostModel::unit())
+            .with_watchdog(Duration::from_secs(10))
+    }
+
+    #[test]
+    fn intersect_sorted_lists() {
+        assert_eq!(intersect(&[1, 3, 5, 7], &[2, 3, 4, 7, 9]), vec![3, 7]);
+        assert_eq!(intersect(&[], &[1]), Vec::<usize>::new());
+        assert_eq!(intersect(&[1, 2], &[1, 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn owner_grid_selects_the_row_team() {
+        let run = Machine::run(cfg(4), |proc| {
+            let g = ProcGrid::new_2d(2, 2);
+            let spec = kali_grid::DistSpec::block2();
+            let a = DistArray2::<f64>::new(proc.rank(), &g, &spec, [8, 8], [0, 0]);
+            // owner(a(6, *)): row 6 lives on grid row 1 -> ranks {2, 3}
+            let t = a.owner_grid([Some(6), None]);
+            t.ranks().to_vec()
+        });
+        for r in run.results {
+            assert_eq!(r, vec![2, 3]);
+        }
+    }
+
+    #[test]
+    fn owner_grid_pins_multiple_dims() {
+        let g = ProcGrid::new_2d(2, 2);
+        let spec = kali_grid::DistSpec::local_block_block();
+        let a = crate::DistArray3::<f64>::new(0, &g, &spec, [4, 8, 8], [0, 0, 0]);
+        // Pin y and z: a single processor remains.
+        let t = a.owner_grid([None, Some(6), Some(1)]);
+        assert_eq!(t.size(), 1);
+        assert_eq!(t.ranks(), &[2]); // grid coords (1, 0)
+    }
+
+    #[test]
+    fn extract_and_store_roundtrip_row() {
+        let run = Machine::run(cfg(4), |proc| {
+            let g = ProcGrid::new_2d(2, 2);
+            let spec = kali_grid::DistSpec::block2();
+            let mut a = DistArray2::from_fn(proc.rank(), &g, &spec, [8, 8], [0, 0], |[i, j]| {
+                (10 * i + j) as f64
+            });
+            // Row 2 lives on grid row 0 (ranks 0 and 1), 4 elements each.
+            let piece = a.extract_slice(proc, [Some(2), None]);
+            if let Some(mut p) = piece.clone() {
+                for v in &mut p {
+                    *v += 100.0;
+                }
+                a.store_slice(proc, [Some(2), None], &p);
+            }
+            (piece, a)
+        });
+        assert_eq!(
+            run.results[0].0,
+            Some(vec![20.0, 21.0, 22.0, 23.0]),
+            "rank 0 owns the left half of row 2"
+        );
+        assert_eq!(run.results[1].0, Some(vec![24.0, 25.0, 26.0, 27.0]));
+        assert_eq!(run.results[2].0, None);
+        assert_eq!(run.results[0].1.at(2, 1), 121.0);
+        assert_eq!(run.results[1].1.at(2, 6), 126.0);
+        // Untouched row unchanged.
+        assert_eq!(run.results[0].1.at(1, 1), 11.0);
+    }
+
+    #[test]
+    fn gather_reconstructs_global_array() {
+        let run = Machine::run(cfg(4), |proc| {
+            let g = ProcGrid::new_2d(2, 2);
+            let spec = kali_grid::DistSpec::block2();
+            let a = DistArray2::from_fn(proc.rank(), &g, &spec, [6, 6], [0, 0], |[i, j]| {
+                (i * 6 + j) as f64
+            });
+            a.gather_to_root(proc)
+        });
+        let global = run.results[0].as_ref().expect("root gets the array");
+        let expect: Vec<f64> = (0..36).map(|k| k as f64).collect();
+        assert_eq!(global, &expect);
+        assert!(run.results[1].is_none());
+    }
+
+    #[test]
+    fn gather_handles_cyclic() {
+        let run = Machine::run(cfg(3), |proc| {
+            let g = ProcGrid::new_1d(3);
+            let spec = kali_grid::DistSpec::parse("(cyclic)").unwrap();
+            let a = DistArray1::from_fn(proc.rank(), &g, &spec, [10], [0], |[i]| i as f64);
+            a.gather_to_root(proc)
+        });
+        let global = run.results[0].as_ref().unwrap();
+        assert_eq!(global, &(0..10).map(|k| k as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn redistribute_transposes_block_layouts() {
+        // (block, *) -> (*, block): the ADI direction switch.
+        let run = Machine::run(cfg(4), |proc| {
+            let g = ProcGrid::new_1d(4);
+            let spec = kali_grid::DistSpec::block_local();
+            let a = DistArray2::from_fn(proc.rank(), &g, &spec, [8, 8], [0, 0], |[i, j]| {
+                (i * 8 + j) as f64
+            });
+            let b = a.redistribute(proc, &kali_grid::DistSpec::local_block(), [0, 0]);
+            let ok = {
+                let mut ok = true;
+                b.for_each_owned(|[i, j], v| ok &= v == (i * 8 + j) as f64);
+                ok
+            };
+            (ok, b.owned_range(1))
+        });
+        for (r, (ok, range)) in run.results.iter().enumerate() {
+            assert!(ok, "rank {r} has wrong values after transpose");
+            assert_eq!(*range, 2 * r..2 * r + 2);
+        }
+    }
+
+    #[test]
+    fn redistribute_block_to_cyclic_preserves_values() {
+        let run = Machine::run(cfg(4), |proc| {
+            let g = ProcGrid::new_1d(4);
+            let a = DistArray1::from_fn(
+                proc.rank(),
+                &g,
+                &kali_grid::DistSpec::block1(),
+                [13],
+                [0],
+                |[i]| (i * i) as f64,
+            );
+            let b = a.redistribute(proc, &kali_grid::DistSpec::parse("(cyclic)").unwrap(), [0]);
+            b.gather_to_root(proc)
+        });
+        let global = run.results[0].as_ref().unwrap();
+        assert_eq!(
+            global,
+            &(0..13).map(|k| (k * k) as f64).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn redistribute_identity_is_cheap_locally() {
+        let run = Machine::run(cfg(2), |proc| {
+            let g = ProcGrid::new_1d(2);
+            let a = DistArray1::from_fn(
+                proc.rank(),
+                &g,
+                &kali_grid::DistSpec::block1(),
+                [8],
+                [0],
+                |[i]| i as f64,
+            );
+            let b = a.redistribute(proc, &kali_grid::DistSpec::block1(), [0]);
+            b.at(b.owned_range(0).start)
+        });
+        assert_eq!(run.results, vec![0.0, 4.0]);
+    }
+}

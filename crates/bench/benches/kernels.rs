@@ -1,0 +1,146 @@
+//! Micro-benchmarks for the 1-D kernels (§3): sequential Thomas and cyclic
+//! reduction, the substructuring transform, the distributed solver, the
+//! pipelined batch solver, and the FFT.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use kali_grid::{Dist1, ProcGrid};
+use kali_kernels::cyclic_reduction::cyclic_reduction;
+use kali_kernels::fft::{fft, Complex};
+use kali_kernels::mtrix::{mtrix, TriLocal};
+use kali_kernels::substructure::reduce_block;
+use kali_kernels::tri_dist::tri_dist;
+use kali_kernels::tridiag::{thomas, TriDiag};
+use kali_machine::{CostModel, Machine, MachineConfig};
+use kali_runtime::Ctx;
+
+fn cfg(p: usize) -> MachineConfig {
+    MachineConfig::new(p)
+        .with_cost(CostModel::unit())
+        .with_watchdog(Duration::from_secs(60))
+}
+
+fn bench_sequential_solvers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("seq_tridiag");
+    for n in [256usize, 4096] {
+        let sys = TriDiag::random_dd(n, 1);
+        let f = sys.apply(&vec![1.0; n]);
+        g.bench_with_input(BenchmarkId::new("thomas", n), &n, |b, _| {
+            b.iter(|| thomas(black_box(&sys.b), &sys.a, &sys.c, &f))
+        });
+        g.bench_with_input(BenchmarkId::new("cyclic_reduction", n), &n, |b, _| {
+            b.iter(|| cyclic_reduction(black_box(&sys.b), &sys.a, &sys.c, &f))
+        });
+    }
+    g.finish();
+}
+
+fn bench_substructure(c: &mut Criterion) {
+    let n = 1024;
+    let sys = TriDiag::random_dd(n, 2);
+    let f = sys.apply(&vec![1.0; n]);
+    c.bench_function("reduce_block_1024", |b| {
+        b.iter(|| {
+            let mut bb = sys.b.clone();
+            let mut aa = sys.a.clone();
+            let mut cc = sys.c.clone();
+            let mut ff = f.clone();
+            reduce_block(&mut bb, &mut aa, &mut cc, &mut ff);
+            black_box(ff[0])
+        })
+    });
+}
+
+fn bench_tri_dist(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tri_dist");
+    g.sample_size(10);
+    for p in [4usize, 8] {
+        let n = 4096;
+        let sys = TriDiag::random_dd(n, 3);
+        let f = sys.apply(&vec![1.0; n]);
+        g.bench_with_input(BenchmarkId::new("p", p), &p, |b, &p| {
+            b.iter(|| {
+                let (sys, f) = (sys.clone(), f.clone());
+                Machine::run(cfg(p), move |proc| {
+                    let grid = ProcGrid::new_1d(proc.nprocs());
+                    let dist = Dist1::block(n, proc.nprocs());
+                    let me = proc.rank();
+                    let (lo, hi) = (dist.lower(me).unwrap(), dist.upper(me).unwrap() + 1);
+                    let mut ctx = Ctx::new(proc, grid);
+                    tri_dist(
+                        &mut ctx,
+                        n,
+                        &sys.b[lo..hi],
+                        &sys.a[lo..hi],
+                        &sys.c[lo..hi],
+                        &f[lo..hi],
+                    )
+                })
+                .report
+                .elapsed
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_mtrix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mtrix");
+    g.sample_size(10);
+    let (n, p, m) = (1024usize, 4usize, 8usize);
+    let sys: Vec<TriDiag> = (0..m).map(|j| TriDiag::random_dd(n, j as u64)).collect();
+    let fs: Vec<Vec<f64>> = sys.iter().map(|s| s.apply(&vec![1.0; n])).collect();
+    g.bench_function("m8_p4_n1024", |b| {
+        b.iter(|| {
+            let (sys, fs) = (sys.clone(), fs.clone());
+            Machine::run(cfg(p), move |proc| {
+                let grid = ProcGrid::new_1d(proc.nprocs());
+                let dist = Dist1::block(n, proc.nprocs());
+                let me = proc.rank();
+                let (lo, hi) = (dist.lower(me).unwrap(), dist.upper(me).unwrap() + 1);
+                let locals: Vec<TriLocal> = (0..m)
+                    .map(|j| TriLocal {
+                        b: sys[j].b[lo..hi].to_vec(),
+                        a: sys[j].a[lo..hi].to_vec(),
+                        c: sys[j].c[lo..hi].to_vec(),
+                        f: fs[j][lo..hi].to_vec(),
+                    })
+                    .collect();
+                let mut ctx = Ctx::new(proc, grid);
+                mtrix(&mut ctx, n, locals)
+            })
+            .report
+            .elapsed
+        })
+    });
+    g.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    for n in [256usize, 4096] {
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.1).sin(), 0.0))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("seq", n), &n, |b, _| {
+            b.iter(|| {
+                let mut y = x.clone();
+                fft(&mut y);
+                black_box(y[0])
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sequential_solvers,
+    bench_substructure,
+    bench_tri_dist,
+    bench_mtrix,
+    bench_fft
+);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Benchmarks of the KF1 front end: parsing and interpreted execution of
+//! the paper's listings (the "compilation price" of claim C6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use kali_lang::{listing, parse, run_source, HostValue};
+use kali_machine::{CostModel, MachineConfig};
+
+fn cfg(p: usize) -> MachineConfig {
+    MachineConfig::new(p)
+        .with_cost(CostModel::unit())
+        .with_watchdog(Duration::from_secs(60))
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let src = listing("tri").unwrap();
+    c.bench_function("parse_tri_listing", |b| b.iter(|| parse(src).unwrap()));
+}
+
+fn bench_interpret(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kf1");
+    g.sample_size(10);
+    let np = 8i64;
+    let w = (np + 1) as usize;
+    g.bench_function("jacobi_listing_8sq_2x2_2it", |b| {
+        b.iter(|| {
+            run_source(
+                cfg(4),
+                listing("jacobi").unwrap(),
+                "jacobi",
+                &[2, 2],
+                &[
+                    HostValue::Array {
+                        data: vec![0.0; w * w],
+                        bounds: vec![(0, np), (0, np)],
+                    },
+                    HostValue::Array {
+                        data: vec![0.01; w * w],
+                        bounds: vec![(0, np), (0, np)],
+                    },
+                    HostValue::Int(np),
+                    HostValue::Int(2),
+                ],
+            )
+            .unwrap()
+            .report
+            .elapsed
+        })
+    });
+    g.bench_function("tri_listing_n32_p4", |b| {
+        let n = 32usize;
+        let sys = kali_kernels::TriDiag::random_dd(n, 1);
+        let f = sys.apply(&vec![1.0; n]);
+        b.iter(|| {
+            run_source(
+                cfg(4),
+                listing("tri").unwrap(),
+                "tri",
+                &[4],
+                &[
+                    HostValue::Array {
+                        data: vec![0.0; n],
+                        bounds: vec![(1, n as i64)],
+                    },
+                    HostValue::Array {
+                        data: f.clone(),
+                        bounds: vec![(1, n as i64)],
+                    },
+                    HostValue::Array {
+                        data: sys.b.clone(),
+                        bounds: vec![(1, n as i64)],
+                    },
+                    HostValue::Array {
+                        data: sys.a.clone(),
+                        bounds: vec![(1, n as i64)],
+                    },
+                    HostValue::Array {
+                        data: sys.c.clone(),
+                        bounds: vec![(1, n as i64)],
+                    },
+                    HostValue::Int(n as i64),
+                ],
+            )
+            .unwrap()
+            .report
+            .elapsed
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_interpret);
+criterion_main!(benches);

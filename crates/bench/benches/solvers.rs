@@ -1,0 +1,183 @@
+//! Micro-benchmarks for the tensor product applications (§§2, 4, 5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use kali_array::{DistArray2, DistArray3};
+use kali_grid::{DistSpec, ProcGrid};
+use kali_machine::{CostModel, Machine, MachineConfig};
+use kali_runtime::Ctx;
+use kali_solvers::adi::{adi_run, suggested_rho};
+use kali_solvers::jacobi::jacobi_step;
+use kali_solvers::mg2::mg2_vcycle;
+use kali_solvers::mg3::mg3_vcycle;
+use kali_solvers::seq::{apply2, apply3, mg2_seq, Grid2, Grid3};
+use kali_solvers::Pde;
+
+fn cfg(p: usize) -> MachineConfig {
+    MachineConfig::new(p)
+        .with_cost(CostModel::unit())
+        .with_watchdog(Duration::from_secs(60))
+}
+
+fn bench_jacobi_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("jacobi");
+    g.sample_size(10);
+    let n = 64usize;
+    g.bench_function("step_64_2x2", |b| {
+        b.iter(|| {
+            Machine::run(cfg(4), move |proc| {
+                let grid = ProcGrid::new_2d(2, 2);
+                let spec = DistSpec::block2();
+                let mut u =
+                    DistArray2::<f64>::new(proc.rank(), &grid, &spec, [n + 1, n + 1], [1, 1]);
+                let f = DistArray2::<f64>::new(proc.rank(), &grid, &spec, [n + 1, n + 1], [0, 0]);
+                let mut ctx = Ctx::new(proc, grid);
+                jacobi_step(&mut ctx, &mut u, &f);
+            })
+            .report
+            .elapsed
+        })
+    });
+    g.finish();
+}
+
+fn bench_adi_iteration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adi");
+    g.sample_size(10);
+    let n = 32usize;
+    let pde = Pde::poisson();
+    let us = Grid2::random_interior(n, n, 3);
+    let f = apply2(&pde, &us);
+    let rho = suggested_rho(&pde, n, n);
+    for pipelined in [false, true] {
+        let f = f.clone();
+        g.bench_function(
+            if pipelined {
+                "pipelined_32_2x2"
+            } else {
+                "plain_32_2x2"
+            },
+            |b| {
+                b.iter(|| {
+                    let f = f.clone();
+                    Machine::run(cfg(4), move |proc| {
+                        let grid = ProcGrid::new_2d(2, 2);
+                        let spec = DistSpec::block2();
+                        let mut u = DistArray2::<f64>::new(
+                            proc.rank(),
+                            &grid,
+                            &spec,
+                            [n + 1, n + 1],
+                            [1, 1],
+                        );
+                        let farr = DistArray2::from_fn(
+                            proc.rank(),
+                            &grid,
+                            &spec,
+                            [n + 1, n + 1],
+                            [0, 0],
+                            |[i, j]| f.at(i, j),
+                        );
+                        let mut ctx = Ctx::new(proc, grid);
+                        adi_run(&mut ctx, &pde, rho, &mut u, &farr, 1, pipelined)
+                    })
+                    .report
+                    .elapsed
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_mg2_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mg2");
+    g.sample_size(10);
+    let n = 32usize;
+    let pde = Pde::poisson();
+    let us = Grid2::random_interior(n, n, 5);
+    let f = apply2(&pde, &us);
+    {
+        let f = f.clone();
+        g.bench_function("seq_vcycle_32", |b| {
+            b.iter(|| {
+                let mut u = Grid2::zeros(n, n);
+                mg2_seq(&pde, &mut u, &f);
+                black_box(u.max_abs())
+            })
+        });
+    }
+    g.bench_function("dist_vcycle_32_p4", |b| {
+        b.iter(|| {
+            let f = f.clone();
+            Machine::run(cfg(4), move |proc| {
+                let grid = ProcGrid::new_1d(proc.nprocs());
+                let spec = DistSpec::local_block();
+                let mut u =
+                    DistArray2::<f64>::new(proc.rank(), &grid, &spec, [n + 1, n + 1], [0, 1]);
+                let farr = DistArray2::from_fn(
+                    proc.rank(),
+                    &grid,
+                    &spec,
+                    [n + 1, n + 1],
+                    [0, 1],
+                    |[i, j]| f.at(i, j),
+                );
+                let mut ctx = Ctx::new(proc, grid);
+                mg2_vcycle(&mut ctx, &pde, &mut u, &farr);
+            })
+            .report
+            .elapsed
+        })
+    });
+    g.finish();
+}
+
+fn bench_mg3_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mg3");
+    g.sample_size(10);
+    let n = 8usize;
+    let pde = Pde::poisson();
+    let us = Grid3::random_interior(n, n, n, 7);
+    let f = apply3(&pde, &us);
+    g.bench_function("dist_vcycle_8_2x2", |b| {
+        b.iter(|| {
+            let f = f.clone();
+            Machine::run(cfg(4), move |proc| {
+                let grid = ProcGrid::new_2d(2, 2);
+                let spec = DistSpec::local_block_block();
+                let mut u = DistArray3::<f64>::new(
+                    proc.rank(),
+                    &grid,
+                    &spec,
+                    [n + 1, n + 1, n + 1],
+                    [0, 1, 1],
+                );
+                let farr = DistArray3::from_fn(
+                    proc.rank(),
+                    &grid,
+                    &spec,
+                    [n + 1, n + 1, n + 1],
+                    [0, 1, 1],
+                    |[i, j, k]| f.at(i, j, k),
+                );
+                let mut ctx = Ctx::new(proc, grid);
+                mg3_vcycle(&mut ctx, &pde, &mut u, &farr, 1);
+            })
+            .report
+            .elapsed
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_jacobi_step,
+    bench_adi_iteration,
+    bench_mg2_cycle,
+    bench_mg3_cycle
+);
+criterion_main!(benches);

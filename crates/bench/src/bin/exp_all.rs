@@ -1,0 +1,20 @@
+//! Regenerates every figure/claim experiment in sequence (the data behind
+//! EXPERIMENTS.md).
+fn main() {
+    let experiments: Vec<(&str, fn() -> String)> = vec![
+        ("F1/F2", kali_bench::exp_fig1_structure::run),
+        ("F3/F4", kali_bench::exp_fig3_dataflow::run),
+        ("F5/T2", kali_bench::exp_fig5_pipeline::run),
+        ("C1", kali_bench::exp_loc::run),
+        ("C2", kali_bench::exp_kf1_vs_mp::run),
+        ("C3", kali_bench::exp_distributions::run),
+        ("T1", kali_bench::exp_tridiag_scaling::run),
+        ("T3", kali_bench::exp_adi::run),
+        ("T4", kali_bench::exp_mg3::run),
+        ("C6", kali_bench::exp_lang_overhead::run),
+    ];
+    for (id, f) in experiments {
+        println!("\n################ experiment {id} ################\n");
+        println!("{}", f());
+    }
+}

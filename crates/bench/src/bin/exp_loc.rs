@@ -1,0 +1,4 @@
+//! Regenerates one paper artifact; see DESIGN.md §4.
+fn main() {
+    println!("{}", kali_bench::exp_loc::run());
+}

@@ -1,0 +1,101 @@
+//! Experiment T1 (§3): scaling of the substructured tridiagonal solver and
+//! the communication-cost crossover the paper's discussion implies (the
+//! solver only pays off when the system is large relative to the message
+//! start-up cost).
+
+use kali_grid::{Dist1, ProcGrid};
+use kali_kernels::tri_dist::tri_dist;
+use kali_kernels::tridiag::{thomas, thomas_flops};
+use kali_kernels::TriDiag;
+use kali_machine::{CostModel, Machine, MachineConfig};
+use kali_runtime::Ctx;
+use std::time::Duration;
+
+use crate::{cfg, fmt_s, Table};
+
+fn solve_time(n: usize, p: usize, cost: Option<CostModel>) -> f64 {
+    let sys = TriDiag::random_dd(n, 5);
+    let f = sys.apply(&vec![1.0; n]);
+    let mcfg = match cost {
+        Some(c) => MachineConfig::new(p)
+            .with_cost(c)
+            .with_watchdog(Duration::from_secs(120)),
+        None => cfg(p),
+    };
+    if p == 1 {
+        let run = Machine::run(mcfg, move |proc| {
+            proc.compute(thomas_flops(n));
+            thomas(&sys.b, &sys.a, &sys.c, &f);
+        });
+        return run.report.elapsed;
+    }
+    let run = Machine::run(mcfg, move |proc| {
+        let grid = ProcGrid::new_1d(proc.nprocs());
+        let dist = Dist1::block(n, proc.nprocs());
+        let me = proc.rank();
+        let (lo, hi) = (dist.lower(me).unwrap(), dist.upper(me).unwrap() + 1);
+        let mut ctx = Ctx::new(proc, grid);
+        tri_dist(&mut ctx, n, &sys.b[lo..hi], &sys.a[lo..hi], &sys.c[lo..hi], &f[lo..hi]);
+    });
+    run.report.elapsed
+}
+
+pub fn run() -> String {
+    let mut out = String::from("=== T1: substructured tridiagonal solver scaling ===\n\n");
+    let mut t = Table::new(&["n", "p=1 (Thomas)", "p=4", "p=16", "p=64", "speedup@64"]);
+    for n in [1usize << 10, 1 << 14, 1 << 18] {
+        let t1 = solve_time(n, 1, None);
+        let t4 = solve_time(n, 4, None);
+        let t16 = solve_time(n, 16, None);
+        let t64 = solve_time(n, 64, None);
+        t.row(vec![
+            n.to_string(),
+            fmt_s(t1),
+            fmt_s(t4),
+            fmt_s(t16),
+            fmt_s(t64),
+            format!("{:.2}x", t1 / t64),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str(
+        "\nCommunication-cost sweep (n = 4096, p = 16): the parallel solver\n\
+         wins only while message start-up stays cheap relative to flops.\n\n",
+    );
+    let mut t = Table::new(&["comm cost scale", "p=1", "p=16", "parallel wins"]);
+    for scale in [0.1, 1.0, 10.0, 100.0] {
+        let c = CostModel::ipsc2().scale_comm(scale);
+        let t1 = solve_time(4096, 1, Some(c));
+        let t16 = solve_time(4096, 16, Some(c));
+        t.row(vec![
+            format!("{scale}x"),
+            fmt_s(t1),
+            fmt_s(t16),
+            if t16 < t1 { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn large_systems_scale_and_crossover_exists() {
+        let r = super::run();
+        // Largest n must show real speedup at p = 64.
+        let big = r.lines().find(|l| l.starts_with("262144")).unwrap();
+        let speedup: f64 = big
+            .split_whitespace()
+            .last()
+            .unwrap()
+            .trim_end_matches('x')
+            .parse()
+            .unwrap();
+        assert!(speedup > 4.0, "expected scaling at n = 2^18: {speedup}\n{r}");
+        // The comm sweep must contain both a win and a loss.
+        assert!(r.contains("yes"));
+        assert!(r.contains(" no"));
+    }
+}

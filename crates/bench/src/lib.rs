@@ -1,0 +1,108 @@
+//! # kali-bench — experiment regenerators
+//!
+//! One module per paper artifact (figure or claim); each returns a plain
+//! text report and is wrapped by a binary of the same name plus the
+//! aggregate `exp_all`. See DESIGN.md §4 for the experiment index and
+//! EXPERIMENTS.md for recorded paper-vs-measured outcomes.
+
+use std::time::Duration;
+
+use kali_machine::{CostModel, MachineConfig};
+
+pub mod exp_adi;
+pub mod exp_distributions;
+pub mod exp_fig1_structure;
+pub mod exp_fig3_dataflow;
+pub mod exp_fig5_pipeline;
+pub mod exp_kf1_vs_mp;
+pub mod exp_lang_overhead;
+pub mod exp_loc;
+pub mod exp_mg3;
+pub mod exp_tridiag_scaling;
+
+/// Standard machine for experiments: iPSC/2-era costs, generous watchdog.
+pub fn cfg(p: usize) -> MachineConfig {
+    MachineConfig::new(p)
+        .with_cost(CostModel::ipsc2())
+        .with_watchdog(Duration::from_secs(120))
+}
+
+/// Format seconds in engineering notation.
+pub fn fmt_s(t: f64) -> String {
+    if t >= 1.0 {
+        format!("{t:.3} s")
+    } else if t >= 1e-3 {
+        format!("{:.3} ms", t * 1e3)
+    } else {
+        format!("{:.3} µs", t * 1e6)
+    }
+}
+
+/// A minimal fixed-width table builder for experiment output.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells);
+    }
+
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut w = vec![0usize; ncols];
+        for c in 0..ncols {
+            w[c] = self.header[c].len();
+            for r in &self.rows {
+                w[c] = w[c].max(r[c].len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (c, cell) in cells.iter().enumerate() {
+                out.push_str(&format!("{:>width$}  ", cell, width = w[c]));
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.header);
+        out.push_str(&format!(
+            "{}\n",
+            "-".repeat(w.iter().sum::<usize>() + 2 * ncols)
+        ));
+        for r in &self.rows {
+            line(&mut out, r);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["a", "speed"]);
+        t.row(vec!["1".into(), "10.0".into()]);
+        t.row(vec!["100".into(), "3".into()]);
+        let s = t.render();
+        assert!(s.contains("speed"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn fmt_s_scales() {
+        assert_eq!(fmt_s(2.0), "2.000 s");
+        assert_eq!(fmt_s(2e-3), "2.000 ms");
+        assert_eq!(fmt_s(2e-6), "2.000 µs");
+    }
+}

@@ -1,0 +1,344 @@
+//! One-dimensional distribution patterns and their index maps.
+
+/// How one array dimension is spread over one processor-grid dimension.
+///
+/// These are the patterns named in the paper: `block` (contiguous, balanced
+/// pieces — the default for grid-based PDE codes), `cyclic` (round-robin,
+/// "especially useful in numerical linear algebra"), and the block-cyclic
+/// generalization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DimDist {
+    /// Balanced contiguous blocks: processor `q` owns global indices
+    /// `⌊qn/p⌋ .. ⌊(q+1)n/p⌋`.
+    Block,
+    /// Round robin: processor `q` owns `{ i : i mod p == q }`.
+    Cyclic,
+    /// Round robin of fixed-size blocks.
+    BlockCyclic(usize),
+}
+
+/// A concrete 1-D distribution: `n` global indices over `p` processors.
+///
+/// All index arithmetic for `owner` / `lower` / `upper` (the paper's
+/// intrinsics) and global↔local translation lives here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dist1 {
+    n: usize,
+    p: usize,
+    kind: DimDist,
+}
+
+impl Dist1 {
+    /// Distribute `n` indices over `p` processors with pattern `kind`.
+    pub fn new(n: usize, p: usize, kind: DimDist) -> Self {
+        assert!(p >= 1, "need at least one processor");
+        if let DimDist::BlockCyclic(b) = kind {
+            assert!(b >= 1, "block-cyclic block size must be positive");
+        }
+        Dist1 { n, p, kind }
+    }
+
+    /// Shorthand for a block distribution.
+    pub fn block(n: usize, p: usize) -> Self {
+        Dist1::new(n, p, DimDist::Block)
+    }
+
+    /// Shorthand for a cyclic distribution.
+    pub fn cyclic(n: usize, p: usize) -> Self {
+        Dist1::new(n, p, DimDist::Cyclic)
+    }
+
+    /// Number of global indices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of processors along this dimension.
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.p
+    }
+
+    /// The distribution pattern.
+    #[inline]
+    pub fn kind(&self) -> DimDist {
+        self.kind
+    }
+
+    /// Processor (grid coordinate along this dimension) owning global
+    /// index `i`. This is the paper's `owner` intrinsic, one dimension at a
+    /// time.
+    #[inline]
+    pub fn owner(&self, i: usize) -> usize {
+        debug_assert!(i < self.n, "index {i} out of range 0..{}", self.n);
+        match self.kind {
+            DimDist::Block => ((i + 1) * self.p - 1) / self.n,
+            DimDist::Cyclic => i % self.p,
+            DimDist::BlockCyclic(b) => (i / b) % self.p,
+        }
+    }
+
+    /// First global index owned by processor `q` — the paper's `lower`
+    /// intrinsic. For non-contiguous patterns this is the smallest owned
+    /// index. Returns `None` if `q` owns nothing.
+    pub fn lower(&self, q: usize) -> Option<usize> {
+        debug_assert!(q < self.p);
+        match self.kind {
+            DimDist::Block => {
+                let lo = q * self.n / self.p;
+                let hi = (q + 1) * self.n / self.p;
+                (lo < hi).then_some(lo)
+            }
+            DimDist::Cyclic => (q < self.n).then_some(q),
+            DimDist::BlockCyclic(b) => {
+                let lo = q * b;
+                (lo < self.n).then_some(lo)
+            }
+        }
+    }
+
+    /// Last global index owned by processor `q` (inclusive) — the paper's
+    /// `upper` intrinsic. Returns `None` if `q` owns nothing.
+    pub fn upper(&self, q: usize) -> Option<usize> {
+        debug_assert!(q < self.p);
+        match self.kind {
+            DimDist::Block => {
+                let lo = q * self.n / self.p;
+                let hi = (q + 1) * self.n / self.p;
+                (lo < hi).then(|| hi - 1)
+            }
+            DimDist::Cyclic => {
+                if q < self.n {
+                    // Largest i < n with i % p == q.
+                    Some(q + ((self.n - 1 - q) / self.p) * self.p)
+                } else {
+                    None
+                }
+            }
+            DimDist::BlockCyclic(_) => {
+                let cnt = self.local_len(q);
+                (cnt > 0).then(|| self.local_to_global(q, cnt - 1))
+            }
+        }
+    }
+
+    /// Number of indices processor `q` owns.
+    pub fn local_len(&self, q: usize) -> usize {
+        debug_assert!(q < self.p);
+        match self.kind {
+            DimDist::Block => (q + 1) * self.n / self.p - q * self.n / self.p,
+            DimDist::Cyclic => {
+                if q < self.n {
+                    (self.n - q).div_ceil(self.p)
+                } else {
+                    0
+                }
+            }
+            DimDist::BlockCyclic(b) => {
+                let full_rounds = self.n / (b * self.p);
+                let rem = self.n - full_rounds * b * self.p;
+                let mine_in_rem = rem.saturating_sub(q * b).min(b);
+                full_rounds * b + mine_in_rem
+            }
+        }
+    }
+
+    /// Translate a global index to `(owner, local index)`.
+    pub fn global_to_local(&self, i: usize) -> (usize, usize) {
+        debug_assert!(i < self.n);
+        match self.kind {
+            DimDist::Block => {
+                let q = self.owner(i);
+                (q, i - q * self.n / self.p)
+            }
+            DimDist::Cyclic => (i % self.p, i / self.p),
+            DimDist::BlockCyclic(b) => {
+                let q = (i / b) % self.p;
+                let local = (i / (b * self.p)) * b + i % b;
+                (q, local)
+            }
+        }
+    }
+
+    /// Translate processor `q`'s local index `li` back to a global index.
+    pub fn local_to_global(&self, q: usize, li: usize) -> usize {
+        debug_assert!(li < self.local_len(q), "local index out of range");
+        match self.kind {
+            DimDist::Block => q * self.n / self.p + li,
+            DimDist::Cyclic => q + li * self.p,
+            DimDist::BlockCyclic(b) => (li / b) * b * self.p + q * b + li % b,
+        }
+    }
+
+    /// Iterate over the global indices owned by `q`, in local-index order.
+    pub fn owned(&self, q: usize) -> impl Iterator<Item = usize> + '_ {
+        let len = self.local_len(q);
+        (0..len).map(move |li| self.local_to_global(q, li))
+    }
+
+    /// Is each processor's ownership a contiguous global range?
+    pub fn is_contiguous(&self) -> bool {
+        match self.kind {
+            DimDist::Block => true,
+            DimDist::Cyclic => self.p == 1 || self.n <= 1,
+            DimDist::BlockCyclic(b) => self.p == 1 || self.n <= b,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn block_matches_paper_bounds() {
+        // Paper §3: processor i (1-based) owns rows (i-1)n/p+1 .. in/p.
+        // Zero-based: q owns qn/p .. (q+1)n/p - 1.
+        let d = Dist1::block(16, 4);
+        for q in 0..4 {
+            assert_eq!(d.lower(q), Some(q * 4));
+            assert_eq!(d.upper(q), Some(q * 4 + 3));
+            assert_eq!(d.local_len(q), 4);
+        }
+    }
+
+    #[test]
+    fn block_uneven_is_balanced() {
+        let d = Dist1::block(10, 4);
+        let lens: Vec<_> = (0..4).map(|q| d.local_len(q)).collect();
+        assert_eq!(lens.iter().sum::<usize>(), 10);
+        assert!(lens.iter().all(|&l| l == 2 || l == 3));
+    }
+
+    #[test]
+    fn block_with_fewer_elements_than_procs() {
+        let d = Dist1::block(2, 4);
+        let owners: Vec<_> = (0..2).map(|i| d.owner(i)).collect();
+        assert_eq!(owners.len(), 2);
+        let total: usize = (0..4).map(|q| d.local_len(q)).sum();
+        assert_eq!(total, 2);
+        // Empty processors report no bounds.
+        let empties = (0..4).filter(|&q| d.local_len(q) == 0).count();
+        assert_eq!(empties, 2);
+        for q in 0..4 {
+            assert_eq!(d.lower(q).is_some(), d.local_len(q) > 0);
+        }
+    }
+
+    #[test]
+    fn cyclic_round_robins() {
+        let d = Dist1::cyclic(10, 3);
+        assert_eq!(d.owner(0), 0);
+        assert_eq!(d.owner(4), 1);
+        assert_eq!(d.local_len(0), 4); // 0,3,6,9
+        assert_eq!(d.local_len(1), 3); // 1,4,7
+        assert_eq!(d.upper(0), Some(9));
+        assert_eq!(d.upper(2), Some(8));
+        assert_eq!(d.owned(1).collect::<Vec<_>>(), vec![1, 4, 7]);
+    }
+
+    #[test]
+    fn block_cyclic_blocks_then_cycles() {
+        let d = Dist1::new(12, 2, DimDist::BlockCyclic(3));
+        // blocks: [0..3)->0, [3..6)->1, [6..9)->0, [9..12)->1
+        assert_eq!(d.owned(0).collect::<Vec<_>>(), vec![0, 1, 2, 6, 7, 8]);
+        assert_eq!(d.owned(1).collect::<Vec<_>>(), vec![3, 4, 5, 9, 10, 11]);
+        assert_eq!(d.lower(0), Some(0));
+        assert_eq!(d.upper(0), Some(8));
+    }
+
+    #[test]
+    fn contiguity() {
+        assert!(Dist1::block(100, 8).is_contiguous());
+        assert!(!Dist1::cyclic(100, 8).is_contiguous());
+        assert!(Dist1::cyclic(100, 1).is_contiguous());
+    }
+
+    #[test]
+    fn single_processor_owns_everything() {
+        for kind in [DimDist::Block, DimDist::Cyclic, DimDist::BlockCyclic(4)] {
+            let d = Dist1::new(17, 1, kind);
+            assert_eq!(d.local_len(0), 17);
+            for i in 0..17 {
+                assert_eq!(d.owner(i), 0);
+                assert_eq!(d.global_to_local(i), (0, i));
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_global_local(n in 1usize..300, p in 1usize..17, pat in 0usize..3, b in 1usize..9) {
+            let kind = match pat {
+                0 => DimDist::Block,
+                1 => DimDist::Cyclic,
+                _ => DimDist::BlockCyclic(b),
+            };
+            let d = Dist1::new(n, p, kind);
+            for i in 0..n {
+                let (q, li) = d.global_to_local(i);
+                prop_assert_eq!(q, d.owner(i));
+                prop_assert!(li < d.local_len(q));
+                prop_assert_eq!(d.local_to_global(q, li), i);
+            }
+        }
+
+        #[test]
+        fn ownership_partitions_indices(n in 1usize..300, p in 1usize..17, pat in 0usize..3, b in 1usize..9) {
+            let kind = match pat {
+                0 => DimDist::Block,
+                1 => DimDist::Cyclic,
+                _ => DimDist::BlockCyclic(b),
+            };
+            let d = Dist1::new(n, p, kind);
+            let mut seen = vec![false; n];
+            for q in 0..p {
+                for i in d.owned(q) {
+                    prop_assert!(!seen[i], "index {} owned twice", i);
+                    seen[i] = true;
+                    prop_assert_eq!(d.owner(i), q);
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+            let total: usize = (0..p).map(|q| d.local_len(q)).sum();
+            prop_assert_eq!(total, n);
+        }
+
+        #[test]
+        fn lower_upper_bound_ownership(n in 1usize..200, p in 1usize..17) {
+            for kind in [DimDist::Block, DimDist::Cyclic, DimDist::BlockCyclic(3)] {
+                let d = Dist1::new(n, p, kind);
+                for q in 0..p {
+                    match (d.lower(q), d.upper(q)) {
+                        (Some(lo), Some(hi)) => {
+                            prop_assert!(lo <= hi);
+                            prop_assert_eq!(d.owner(lo), q);
+                            prop_assert_eq!(d.owner(hi), q);
+                            let min = d.owned(q).min().unwrap();
+                            let max = d.owned(q).max().unwrap();
+                            prop_assert_eq!(lo, min);
+                            prop_assert_eq!(hi, max);
+                        }
+                        (None, None) => prop_assert_eq!(d.local_len(q), 0),
+                        _ => prop_assert!(false, "lower/upper disagree"),
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn block_owner_monotone(n in 1usize..300, p in 1usize..17) {
+            let d = Dist1::block(n, p);
+            for i in 1..n {
+                prop_assert!(d.owner(i - 1) <= d.owner(i));
+            }
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! N-dimensional distribution specifications — the `dist (...)` clause.
+
+use crate::dist::{DimDist, Dist1};
+use crate::grid::ProcGrid;
+
+/// How one dimension of a data array is mapped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DimMap {
+    /// Distributed over the next unused processor-grid dimension with the
+    /// given pattern.
+    Dist(DimDist),
+    /// Undistributed (`*` in the paper): every processor stores the whole
+    /// extent of this dimension.
+    Local,
+}
+
+/// Distribution clause for an N-dimensional array: one [`DimMap`] per array
+/// dimension, in order. Distributed dimensions are assigned to processor
+/// grid dimensions in order of appearance, and their number must equal the
+/// grid's rank — the conformance rule stated in §2 of the paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistSpec {
+    maps: Vec<DimMap>,
+}
+
+impl DistSpec {
+    /// Build from explicit per-dimension maps.
+    pub fn new(maps: Vec<DimMap>) -> Self {
+        assert!(!maps.is_empty(), "distribution needs at least one dimension");
+        DistSpec { maps }
+    }
+
+    /// Parse the paper's surface syntax, e.g. `"(block, *, cyclic)"` or
+    /// `"block, block"`. Patterns: `block`, `cyclic`, `cyclic(b)`, `*`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let trimmed = text.trim();
+        // Strip at most one outer paren pair so `(cyclic(4))` keeps the
+        // pattern's own parentheses intact.
+        let inner = match (trimmed.strip_prefix('('), trimmed.strip_suffix(')')) {
+            _ if !trimmed.starts_with('(') => trimmed,
+            (Some(_), Some(_)) => &trimmed[1..trimmed.len() - 1],
+            _ => return Err(format!("unbalanced parentheses in {trimmed:?}")),
+        };
+        let mut maps = Vec::new();
+        for part in inner.split(',') {
+            let p = part.trim().to_ascii_lowercase();
+            let map = if p == "*" {
+                DimMap::Local
+            } else if p == "block" {
+                DimMap::Dist(DimDist::Block)
+            } else if p == "cyclic" {
+                DimMap::Dist(DimDist::Cyclic)
+            } else if let Some(args) = p.strip_prefix("cyclic(").and_then(|s| s.strip_suffix(')')) {
+                let b: usize = args
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad cyclic block size: {args:?}"))?;
+                DimMap::Dist(DimDist::BlockCyclic(b))
+            } else {
+                return Err(format!("unknown distribution pattern: {p:?}"));
+            };
+            maps.push(map);
+        }
+        if maps.is_empty() {
+            return Err("empty distribution clause".into());
+        }
+        Ok(DistSpec::new(maps))
+    }
+
+    /// `dist (block)` for 1-D arrays.
+    pub fn block1() -> Self {
+        DistSpec::new(vec![DimMap::Dist(DimDist::Block)])
+    }
+
+    /// `dist (block, block)` for 2-D arrays.
+    pub fn block2() -> Self {
+        DistSpec::new(vec![DimMap::Dist(DimDist::Block); 2])
+    }
+
+    /// `dist (*, block)` — the layout of the pipelined solver's arrays
+    /// (Listing 6) and of `mg2`'s arrays (Listing 11).
+    pub fn local_block() -> Self {
+        DistSpec::new(vec![DimMap::Local, DimMap::Dist(DimDist::Block)])
+    }
+
+    /// `dist (block, *)`.
+    pub fn block_local() -> Self {
+        DistSpec::new(vec![DimMap::Dist(DimDist::Block), DimMap::Local])
+    }
+
+    /// `dist (*, block, block)` — the layout of `mg3`'s arrays (Listing 9).
+    pub fn local_block_block() -> Self {
+        DistSpec::new(vec![
+            DimMap::Local,
+            DimMap::Dist(DimDist::Block),
+            DimMap::Dist(DimDist::Block),
+        ])
+    }
+
+    /// Number of array dimensions covered.
+    #[inline]
+    pub fn ndims(&self) -> usize {
+        self.maps.len()
+    }
+
+    /// The per-dimension maps.
+    #[inline]
+    pub fn maps(&self) -> &[DimMap] {
+        &self.maps
+    }
+
+    /// Map of array dimension `d`.
+    #[inline]
+    pub fn map(&self, d: usize) -> DimMap {
+        self.maps[d]
+    }
+
+    /// Number of distributed dimensions.
+    pub fn ndistributed(&self) -> usize {
+        self.maps
+            .iter()
+            .filter(|m| matches!(m, DimMap::Dist(_)))
+            .count()
+    }
+
+    /// Grid dimension assigned to array dimension `d`
+    /// (`None` if `d` is undistributed).
+    pub fn grid_dim_of(&self, d: usize) -> Option<usize> {
+        match self.maps[d] {
+            DimMap::Local => None,
+            DimMap::Dist(_) => Some(
+                self.maps[..d]
+                    .iter()
+                    .filter(|m| matches!(m, DimMap::Dist(_)))
+                    .count(),
+            ),
+        }
+    }
+
+    /// Check the §2 conformance rule against a processor grid.
+    pub fn validate(&self, grid: &ProcGrid) -> Result<(), String> {
+        let nd = self.ndistributed();
+        if nd != grid.ndims() {
+            return Err(format!(
+                "number of distributed array dimensions ({nd}) must match the \
+                 processor array rank ({})",
+                grid.ndims()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Build the concrete per-dimension index map for an array with global
+    /// `extents` on `grid`. Undistributed dimensions get a `Dist1` over one
+    /// processor (everything local).
+    pub fn dist1s(&self, extents: &[usize], grid: &ProcGrid) -> Vec<Dist1> {
+        assert_eq!(extents.len(), self.ndims(), "extent rank mismatch");
+        self.validate(grid)
+            .unwrap_or_else(|e| panic!("invalid distribution: {e}"));
+        self.maps
+            .iter()
+            .enumerate()
+            .map(|(d, m)| match m {
+                DimMap::Local => Dist1::new(extents[d], 1, DimDist::Block),
+                DimMap::Dist(kind) => {
+                    let gd = self.grid_dim_of(d).expect("distributed dim has a grid dim");
+                    Dist1::new(extents[d], grid.extent(gd), *kind)
+                }
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for DistSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, m) in self.maps.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match m {
+                DimMap::Local => write!(f, "*")?,
+                DimMap::Dist(DimDist::Block) => write!(f, "block")?,
+                DimMap::Dist(DimDist::Cyclic) => write!(f, "cyclic")?,
+                DimMap::Dist(DimDist::BlockCyclic(b)) => write!(f, "cyclic({b})")?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paper_clauses() {
+        let s = DistSpec::parse("(block, block)").unwrap();
+        assert_eq!(s, DistSpec::block2());
+        let s = DistSpec::parse("(*, block, block)").unwrap();
+        assert_eq!(s, DistSpec::local_block_block());
+        let s = DistSpec::parse("block").unwrap();
+        assert_eq!(s, DistSpec::block1());
+        let s = DistSpec::parse("(cyclic, *)").unwrap();
+        assert_eq!(s.map(0), DimMap::Dist(DimDist::Cyclic));
+        assert_eq!(s.map(1), DimMap::Local);
+        let s = DistSpec::parse("(cyclic(4))").unwrap();
+        assert_eq!(s.map(0), DimMap::Dist(DimDist::BlockCyclic(4)));
+    }
+
+    #[test]
+    fn parse_rejects_junk() {
+        assert!(DistSpec::parse("(blok)").is_err());
+        assert!(DistSpec::parse("(cyclic(x))").is_err());
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for text in ["(block, block)", "(*, block)", "(cyclic, *)", "(cyclic(3))"] {
+            let s = DistSpec::parse(text).unwrap();
+            assert_eq!(format!("{s}"), text);
+        }
+    }
+
+    #[test]
+    fn grid_dims_assigned_in_order() {
+        let s = DistSpec::local_block_block();
+        assert_eq!(s.grid_dim_of(0), None);
+        assert_eq!(s.grid_dim_of(1), Some(0));
+        assert_eq!(s.grid_dim_of(2), Some(1));
+        assert_eq!(s.ndistributed(), 2);
+    }
+
+    #[test]
+    fn conformance_rule_enforced() {
+        let g2 = ProcGrid::new_2d(2, 2);
+        assert!(DistSpec::block2().validate(&g2).is_ok());
+        assert!(DistSpec::block1().validate(&g2).is_err());
+        let g1 = ProcGrid::new_1d(4);
+        assert!(DistSpec::local_block().validate(&g1).is_ok());
+    }
+
+    #[test]
+    fn dist1s_builds_index_maps() {
+        let g = ProcGrid::new_2d(2, 4);
+        let ds = DistSpec::local_block_block().dist1s(&[10, 20, 40], &g);
+        assert_eq!(ds[0].nprocs(), 1);
+        assert_eq!(ds[0].local_len(0), 10);
+        assert_eq!(ds[1].nprocs(), 2);
+        assert_eq!(ds[1].local_len(0), 10);
+        assert_eq!(ds[2].nprocs(), 4);
+        assert_eq!(ds[2].local_len(3), 10);
+    }
+}

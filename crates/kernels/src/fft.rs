@@ -1,0 +1,296 @@
+//! Radix-2 FFT — one of the "other one-dimensional kernels" the paper
+//! names alongside tridiagonal solvers (§3). Sequential decimation in
+//! frequency plus a distributed binary-exchange variant on a block-
+//! distributed vector.
+
+use kali_machine::{tag, Wire, NS_KERNEL};
+use kali_runtime::Ctx;
+
+/// A complex number (the crate avoids external numeric dependencies).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Complex {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl Complex {
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// `e^{iθ}`.
+    pub fn cis(theta: f64) -> Self {
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    pub fn norm(self) -> f64 {
+        (self.re * self.re + self.im * self.im).sqrt()
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Wire for Complex {
+    fn wire_words(&self) -> usize {
+        2
+    }
+}
+
+/// In-place DIF FFT: natural-order input, bit-reversed output.
+pub fn fft_dif(x: &mut [Complex]) {
+    let n = x.len();
+    assert!(n.is_power_of_two(), "radix-2 FFT needs a power-of-two size");
+    let mut l = n;
+    while l >= 2 {
+        let h = l / 2;
+        for start in (0..n).step_by(l) {
+            for j in 0..h {
+                let w = Complex::cis(-2.0 * std::f64::consts::PI * j as f64 / l as f64);
+                let u = x[start + j];
+                let v = x[start + j + h];
+                x[start + j] = u + v;
+                x[start + j + h] = (u - v) * w;
+            }
+        }
+        l = h;
+    }
+}
+
+/// Permute a bit-reversed-order vector to natural order (or vice versa).
+pub fn bit_reverse_permute(x: &mut [Complex]) {
+    let n = x.len();
+    assert!(n.is_power_of_two());
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            x.swap(i, j);
+        }
+    }
+}
+
+/// Forward FFT with natural-order output.
+pub fn fft(x: &mut [Complex]) {
+    fft_dif(x);
+    bit_reverse_permute(x);
+}
+
+/// O(n²) reference DFT.
+pub fn naive_dft(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            let mut s = Complex::ZERO;
+            for (j, &v) in x.iter().enumerate() {
+                s = s + v * Complex::cis(-2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64);
+            }
+            s
+        })
+        .collect()
+}
+
+/// Flop estimate of an n-point radix-2 FFT (10 per butterfly).
+pub fn fft_flops(n: usize) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    10.0 * (n / 2) as f64 * (n.trailing_zeros() as f64)
+}
+
+/// Distributed DIF FFT (binary exchange) over the current 1-D
+/// power-of-two processor array.
+///
+/// `local` is this processor's block (natural order, block distribution);
+/// the result is this processor's block of the *bit-reversed-order*
+/// spectrum. Stages whose butterfly span exceeds the block size exchange
+/// whole blocks with the partner processor; the rest are local.
+pub fn fft_dist(ctx: &mut Ctx, n: usize, mut local: Vec<Complex>) -> Vec<Complex> {
+    let grid = ctx.grid().clone();
+    let Some(me) = grid.index_of(ctx.rank()) else {
+        return Vec::new();
+    };
+    let p = grid.size();
+    if p == 1 {
+        ctx.proc().compute(fft_flops(n));
+        fft_dif(&mut local);
+        return local;
+    }
+    assert!(n.is_power_of_two() && p.is_power_of_two());
+    assert!(n >= 2 * p, "need at least two points per processor");
+    let nb = n / p;
+    assert_eq!(local.len(), nb);
+    let team: Vec<usize> = grid.ranks().to_vec();
+    let base = me * nb;
+
+    let mut l = n;
+    while l >= 2 {
+        let h = l / 2;
+        if h >= nb {
+            // Remote stage: my whole block pairs with the block `h` away.
+            let pdist = h / nb;
+            let low = (me / pdist) % 2 == 0;
+            let partner = if low { me + pdist } else { me - pdist };
+            let t = tag(NS_KERNEL, 0xFF_0000 | l as u64);
+            ctx.proc().send(team[partner], t, local.clone());
+            let theirs: Vec<Complex> = ctx.proc().recv(team[partner], t);
+            for j in 0..nb {
+                if low {
+                    local[j] = local[j] + theirs[j];
+                } else {
+                    let gi = base + j; // my element is the "+h" member
+                    let jj = (gi % l) - h;
+                    let w = Complex::cis(-2.0 * std::f64::consts::PI * jj as f64 / l as f64);
+                    local[j] = (theirs[j] - local[j]) * w;
+                }
+            }
+            ctx.proc().compute(10.0 * nb as f64);
+        } else {
+            // Local stage: groups of size l fit inside the block.
+            for start in (0..nb).step_by(l) {
+                for j in 0..h {
+                    let w =
+                        Complex::cis(-2.0 * std::f64::consts::PI * j as f64 / l as f64);
+                    let u = local[start + j];
+                    let v = local[start + j + h];
+                    local[start + j] = u + v;
+                    local[start + j + h] = (u - v) * w;
+                }
+            }
+            ctx.proc().compute(10.0 * (nb / 2) as f64);
+        }
+        l = h;
+    }
+    local
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kali_grid::ProcGrid;
+    use kali_machine::{CostModel, Machine, MachineConfig};
+    use std::time::Duration;
+
+    fn cfg(p: usize) -> MachineConfig {
+        MachineConfig::new(p)
+            .with_cost(CostModel::unit())
+            .with_watchdog(Duration::from_secs(20))
+    }
+
+    fn test_signal(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| {
+                Complex::new(
+                    (i as f64 * 0.31).sin() + 0.2 * (i as f64 * 1.7).cos(),
+                    0.1 * (i as f64 * 0.13).cos(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        for n in [2usize, 4, 8, 64, 256] {
+            let x = test_signal(n);
+            let mut y = x.clone();
+            fft(&mut y);
+            let z = naive_dft(&x);
+            for k in 0..n {
+                assert!((y[k] - z[k]).norm() < 1e-8 * n as f64, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn bit_reverse_is_involution() {
+        let mut x = test_signal(32);
+        let orig = x.clone();
+        bit_reverse_permute(&mut x);
+        assert_ne!(x, orig);
+        bit_reverse_permute(&mut x);
+        assert_eq!(x, orig);
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let n = 128;
+        let x = test_signal(n);
+        let mut y = x.clone();
+        fft(&mut y);
+        let ex: f64 = x.iter().map(|v| v.norm() * v.norm()).sum();
+        let ey: f64 = y.iter().map(|v| v.norm() * v.norm()).sum::<f64>() / n as f64;
+        assert!((ex - ey).abs() < 1e-8 * ex);
+    }
+
+    #[test]
+    fn distributed_fft_matches_sequential() {
+        for p in [1usize, 2, 4, 8] {
+            let n = 64;
+            let x = test_signal(n);
+            let x2 = x.clone();
+            let run = Machine::run(cfg(p), move |proc| {
+                let grid = ProcGrid::new_1d(proc.nprocs());
+                let nb = n / proc.nprocs();
+                let base = proc.rank() * nb;
+                let local = x2[base..base + nb].to_vec();
+                let mut ctx = Ctx::new(proc, grid);
+                fft_dist(&mut ctx, n, local)
+            });
+            let mut gathered = Vec::new();
+            for piece in &run.results {
+                gathered.extend_from_slice(piece);
+            }
+            bit_reverse_permute(&mut gathered);
+            let z = naive_dft(&x);
+            for k in 0..n {
+                assert!(
+                    (gathered[k] - z[k]).norm() < 1e-8 * n as f64,
+                    "p={p} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_stage_count_is_log_p() {
+        let n = 256;
+        let p = 8;
+        let x = test_signal(n);
+        let run = Machine::run(cfg(p), move |proc| {
+            let grid = ProcGrid::new_1d(proc.nprocs());
+            let nb = n / proc.nprocs();
+            let base = proc.rank() * nb;
+            let local = x[base..base + nb].to_vec();
+            let mut ctx = Ctx::new(proc, grid);
+            fft_dist(&mut ctx, n, local);
+        });
+        // log2(p) = 3 exchange stages, one message each way per proc.
+        assert_eq!(run.report.total_msgs as usize, p * 3);
+    }
+}

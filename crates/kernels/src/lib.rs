@@ -1,0 +1,34 @@
+//! # kali-kernels — one-dimensional kernel algorithms (paper §3)
+//!
+//! The paper treats tridiagonal solvers as the archetypal "one-dimensional
+//! kernel" from which tensor product algorithms are assembled, and names
+//! cubic-spline fitting and FFTs as the other members of the family. This
+//! crate implements all of them, sequentially and distributed:
+//!
+//! * [`tridiag`] — tridiagonal systems, the sequential Thomas algorithm,
+//!   and diagonally dominant test-system generators;
+//! * [`substructure`] — the block elimination of Figures 1 and 2 (interior
+//!   elimination with fill-in confined to the block's end columns) and the
+//!   Figure 4 interior back-substitution;
+//! * [`tri_dist`] — Listing 4: the substructured ("spike"-variant)
+//!   divide-and-conquer solver on a 1-D processor array, using the
+//!   shuffle/unshuffle level mapping of Listing 5 / Figure 5;
+//! * [`mtrix`] — Listing 6: the pipelined multi-system solver that keeps
+//!   all level sets of Figure 3's data-flow graph busy simultaneously;
+//! * [`cyclic_reduction`] — the classical alternative parallel tridiagonal
+//!   algorithm, as a sequential baseline (reference [8] of the paper);
+//! * [`fft`] — radix-2 FFT, sequential and distributed (binary exchange);
+//! * [`spline`] — natural cubic spline fitting built on the tridiagonal
+//!   kernels.
+
+pub mod cyclic_reduction;
+pub mod fft;
+pub mod mtrix;
+pub mod spline;
+pub mod substructure;
+pub mod tri_dist;
+pub mod tridiag;
+
+pub use mtrix::{mtrix, TriLocal};
+pub use tri_dist::{tri_dist, tri_dist_const};
+pub use tridiag::{thomas, TriDiag};

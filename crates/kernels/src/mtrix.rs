@@ -1,0 +1,368 @@
+//! Listing 6: the pipelined multi-system tridiagonal solver.
+//!
+//! Because the unshuffle mapping (Figure 5) places each reduction level on a
+//! *disjoint* set of processors, solving `m` systems can be software
+//! pipelined: at global phase `t`, level `l` of the tree works on system
+//! `t − l` while level `l+1` works on system `t − l − 1`, and the
+//! substitution wave follows the reduction wave back down. The whole batch
+//! completes in `m + 2k` phases instead of the `m · (2k + 1)` phases of `m`
+//! back-to-back calls to [`crate::tri_dist::tri_dist`], and every level set
+//! stays busy once the pipe is full — the paper's motivation for `mtrix`.
+
+use std::collections::HashMap;
+
+use kali_runtime::Ctx;
+
+use crate::substructure::{
+    boundary_pair, interior_flops, interior_solve, reduce_block, reduce_flops,
+};
+use crate::tri_dist::{four_rows, ktag, level_set, pair_msg, source_set, PairMsg};
+use crate::tridiag::{thomas, thomas_flops};
+
+const UP: u64 = 0;
+const DOWN: u64 = 1;
+
+/// One processor's block of one tridiagonal system: diagonals and
+/// right-hand side over the block's rows.
+#[derive(Debug, Clone)]
+pub struct TriLocal {
+    pub b: Vec<f64>,
+    pub a: Vec<f64>,
+    pub c: Vec<f64>,
+    pub f: Vec<f64>,
+}
+
+impl TriLocal {
+    /// Constant-coefficient block for global rows `lo..lo+m` of an `n`-row
+    /// system.
+    pub fn constant(n: usize, lo: usize, m: usize, b0: f64, a0: f64, c0: f64, f: Vec<f64>) -> Self {
+        assert_eq!(f.len(), m);
+        let mut b = vec![b0; m];
+        let mut c = vec![c0; m];
+        if lo == 0 && m > 0 {
+            b[0] = 0.0;
+        }
+        if lo + m == n && m > 0 {
+            c[m - 1] = 0.0;
+        }
+        TriLocal {
+            b,
+            a: vec![a0; m],
+            c,
+            f,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.b.len()
+    }
+}
+
+/// Solve `m` block-distributed tridiagonal systems of size `n` over the
+/// current (1-D, power-of-two) processor array, pipelining the reduction
+/// and substitution trees across systems.
+///
+/// `systems[j]` is this processor's block of system `j`; the result is the
+/// matching blocks of the solutions. Non-members return an empty vector.
+pub fn mtrix(ctx: &mut Ctx, n: usize, systems: Vec<TriLocal>) -> Vec<Vec<f64>> {
+    let grid = ctx.grid().clone();
+    let Some(me) = grid.index_of(ctx.rank()) else {
+        return Vec::new();
+    };
+    let p = grid.size();
+    let m = systems.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    if p == 1 {
+        return systems
+            .into_iter()
+            .map(|s| {
+                ctx.proc().compute(thomas_flops(s.len()));
+                thomas(&s.b, &s.a, &s.c, &s.f)
+            })
+            .collect();
+    }
+    assert!(p.is_power_of_two(), "mtrix needs a power-of-two team");
+    assert!(n >= 2 * p, "mtrix needs at least 2 rows per processor");
+    let k = p.trailing_zeros() as usize;
+    let team: Vec<usize> = grid.ranks().to_vec();
+
+    // Which levels is this processor a destination of? (at most one, plus
+    // it is always a level-1 source.)
+    let my_dest_level: Option<(usize, usize)> = (1..=k)
+        .find_map(|s| level_set(p, s).position(|i| i == me).map(|j| (s, j)));
+
+    // Saved reduced blocks: level-0 per system, and (sys, level) four-row
+    // blocks for this processor's destination level.
+    let mut level0: Vec<Option<TriLocal>> = vec![None; m];
+    let mut saved4: HashMap<usize, ([f64; 4], [f64; 4], [f64; 4], [f64; 4])> = HashMap::new();
+    let mut x4: HashMap<usize, Vec<f64>> = HashMap::new();
+    let mut x_out: Vec<Vec<f64>> = vec![Vec::new(); m];
+    let mut systems: Vec<Option<TriLocal>> = systems.into_iter().map(Some).collect();
+
+    let dests1: Vec<usize> = level_set(p, 1).collect();
+
+    for t in 0..(m + 2 * k) {
+        // --- Level-0 reduction duty: start system t into the pipe.
+        if t < m {
+            let mut s0 = systems[t].take().expect("system consumed once");
+            ctx.proc().mark(format!("mtrix:reduce:s=0:sys={t}"));
+            reduce_block(&mut s0.b, &mut s0.a, &mut s0.c, &mut s0.f);
+            ctx.proc().compute(reduce_flops(s0.len()));
+            let pair = pair_msg(boundary_pair(&s0.b, &s0.a, &s0.c, &s0.f));
+            level0[t] = Some(s0);
+            let dest = dests1[me / 2];
+            ctx.proc().send(team[dest], ktag(UP, 1, t), pair);
+        }
+
+        // --- Tree reduction duty at my destination level.
+        if let Some((l, j)) = my_dest_level {
+            if t >= l && t - l < m {
+                let sys = t - l;
+                let sources: Vec<usize> = source_set(p, l).collect();
+                let lo: PairMsg = ctx.proc().recv(team[sources[2 * j]], ktag(UP, l, sys));
+                let hi: PairMsg = ctx.proc().recv(team[sources[2 * j + 1]], ktag(UP, l, sys));
+                let (mut rb, mut ra, mut rc, mut rf) = four_rows(&lo, &hi);
+                ctx.proc().mark(format!("mtrix:reduce:s={l}:sys={sys}"));
+                if l < k {
+                    reduce_block(&mut rb, &mut ra, &mut rc, &mut rf);
+                    ctx.proc().compute(reduce_flops(4));
+                    saved4.insert(sys, (rb, ra, rc, rf));
+                    let pair = pair_msg([
+                        [rb[0], ra[0], rc[0], rf[0]],
+                        [rb[3], ra[3], rc[3], rf[3]],
+                    ]);
+                    let updests: Vec<usize> = level_set(p, l + 1).collect();
+                    let qidx = source_set(p, l + 1)
+                        .position(|i| i == me)
+                        .expect("dest of level l is a source of level l+1");
+                    ctx.proc()
+                        .send(team[updests[qidx / 2]], ktag(UP, l + 1, sys), pair);
+                } else {
+                    // Root: solve and immediately start the downward wave.
+                    let x = thomas(&rb, &ra, &rc, &rf);
+                    ctx.proc().compute(thomas_flops(4));
+                    ctx.proc().mark(format!("mtrix:solve:sys={sys}"));
+                    ctx.proc().send(
+                        team[sources[2 * j]],
+                        ktag(DOWN, k, sys),
+                        vec![x[0], x[1]],
+                    );
+                    ctx.proc().send(
+                        team[sources[2 * j + 1]],
+                        ktag(DOWN, k, sys),
+                        vec![x[2], x[3]],
+                    );
+                }
+            }
+        }
+
+        // --- Substitution duty as a source of level l ≥ 2 (I am the
+        //     level-(l−1) destination).
+        if let Some((lm1, _)) = my_dest_level {
+            let l = lm1 + 1;
+            if l <= k {
+                // I receive my block's end values for system t − 2k + l − 1.
+                if t + l >= 2 * k + 1 && t + l - 2 * k - 1 < m {
+                    let sys = t + l - 2 * k - 1;
+                    let sources: Vec<usize> = source_set(p, l).collect();
+                    let dests: Vec<usize> = level_set(p, l).collect();
+                    let qidx = sources.iter().position(|&i| i == me).expect("source");
+                    let ends: Vec<f64> =
+                        ctx.proc().recv(team[dests[qidx / 2]], ktag(DOWN, l, sys));
+                    let (sb, sa, sc, sf) = saved4.remove(&sys).expect("saved block");
+                    let v = interior_solve(&sb, &sa, &sc, &sf, ends[0], ends[1]);
+                    ctx.proc().compute(interior_flops(4));
+                    ctx.proc().mark(format!("mtrix:subst:s={lm1}:sys={sys}"));
+                    x4.insert(sys, v);
+                    // Forward halves to my own sources (level lm1).
+                    let my_sources: Vec<usize> = source_set(p, lm1).collect();
+                    let j = level_set(p, lm1).position(|i| i == me).expect("dest");
+                    let v = &x4[&sys];
+                    ctx.proc().send(
+                        team[my_sources[2 * j]],
+                        ktag(DOWN, lm1, sys),
+                        vec![v[0], v[1]],
+                    );
+                    ctx.proc().send(
+                        team[my_sources[2 * j + 1]],
+                        ktag(DOWN, lm1, sys),
+                        vec![v[2], v[3]],
+                    );
+                    x4.remove(&sys);
+                }
+            }
+        }
+
+        // --- Final substitution duty (everyone is a level-1 source).
+        if t + 1 >= 2 * k + 1 && t - 2 * k < m {
+            let sys = t - 2 * k;
+            let qidx = me;
+            let dest = dests1[qidx / 2];
+            let ends: Vec<f64> = ctx.proc().recv(team[dest], ktag(DOWN, 1, sys));
+            let s0 = level0[sys].take().expect("level-0 block saved");
+            ctx.proc().mark(format!("mtrix:subst:s=0:sys={sys}"));
+            x_out[sys] = interior_solve(&s0.b, &s0.a, &s0.c, &s0.f, ends[0], ends[1]);
+            ctx.proc().compute(interior_flops(s0.len()));
+        }
+    }
+    x_out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tridiag::TriDiag;
+    use kali_grid::{Dist1, ProcGrid};
+    use kali_machine::{CostModel, Machine, MachineConfig};
+    use std::time::Duration;
+
+    fn cfg(p: usize) -> MachineConfig {
+        MachineConfig::new(p)
+            .with_cost(CostModel::unit())
+            .with_watchdog(Duration::from_secs(30))
+    }
+
+    fn solve_batch(
+        n: usize,
+        p: usize,
+        m: usize,
+        seed: u64,
+    ) -> (Vec<Vec<Vec<f64>>>, kali_machine::RunReport) {
+        let sys: Vec<TriDiag> = (0..m).map(|j| TriDiag::random_dd(n, seed + j as u64)).collect();
+        let xs: Vec<Vec<f64>> = (0..m)
+            .map(|j| (0..n).map(|i| ((i + j) as f64 * 0.13).sin()).collect())
+            .collect();
+        let fs: Vec<Vec<f64>> = sys.iter().zip(&xs).map(|(s, x)| s.apply(x)).collect();
+        let run = {
+            let sys = sys.clone();
+            let fs = fs.clone();
+            Machine::run(cfg(p), move |proc| {
+                let grid = ProcGrid::new_1d(proc.nprocs());
+                let dist = Dist1::block(n, proc.nprocs());
+                let me = proc.rank();
+                let lo = dist.lower(me).unwrap();
+                let hi = dist.upper(me).unwrap() + 1;
+                let locals: Vec<TriLocal> = (0..m)
+                    .map(|j| TriLocal {
+                        b: sys[j].b[lo..hi].to_vec(),
+                        a: sys[j].a[lo..hi].to_vec(),
+                        c: sys[j].c[lo..hi].to_vec(),
+                        f: fs[j][lo..hi].to_vec(),
+                    })
+                    .collect();
+                let mut ctx = Ctx::new(proc, grid);
+                mtrix(&mut ctx, n, locals)
+            })
+        };
+        // Reassemble and verify.
+        for j in 0..m {
+            let mut x = Vec::new();
+            for piece in &run.results {
+                x.extend_from_slice(&piece[j]);
+            }
+            let err = x
+                .iter()
+                .zip(&xs[j])
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-8, "system {j}: max err {err}");
+        }
+        (run.results.clone(), run.report)
+    }
+
+    #[test]
+    fn single_system_matches_tri() {
+        solve_batch(64, 4, 1, 5);
+    }
+
+    #[test]
+    fn many_systems_all_correct() {
+        solve_batch(64, 4, 7, 11);
+        solve_batch(32, 8, 5, 13);
+        solve_batch(48, 2, 9, 17);
+    }
+
+    #[test]
+    fn single_processor_fallback() {
+        solve_batch(32, 1, 4, 23);
+    }
+
+    #[test]
+    fn pipelining_beats_sequential_calls() {
+        // m systems through the pipeline vs m back-to-back tri_dist calls.
+        let n = 512;
+        let p = 8;
+        let m = 16;
+        let sys: Vec<TriDiag> = (0..m).map(|j| TriDiag::random_dd(n, 100 + j as u64)).collect();
+        let fs: Vec<Vec<f64>> = sys.iter().map(|s| s.apply(&vec![1.0; n])).collect();
+
+        let piped = {
+            let (sys, fs) = (sys.clone(), fs.clone());
+            Machine::run(cfg(p), move |proc| {
+                let grid = ProcGrid::new_1d(proc.nprocs());
+                let dist = Dist1::block(n, proc.nprocs());
+                let me = proc.rank();
+                let (lo, hi) = (dist.lower(me).unwrap(), dist.upper(me).unwrap() + 1);
+                let locals: Vec<TriLocal> = (0..m)
+                    .map(|j| TriLocal {
+                        b: sys[j].b[lo..hi].to_vec(),
+                        a: sys[j].a[lo..hi].to_vec(),
+                        c: sys[j].c[lo..hi].to_vec(),
+                        f: fs[j][lo..hi].to_vec(),
+                    })
+                    .collect();
+                let mut ctx = Ctx::new(proc, grid);
+                mtrix(&mut ctx, n, locals);
+            })
+        };
+        let serial = {
+            let (sys, fs) = (sys.clone(), fs.clone());
+            Machine::run(cfg(p), move |proc| {
+                let grid = ProcGrid::new_1d(proc.nprocs());
+                let dist = Dist1::block(n, proc.nprocs());
+                let me = proc.rank();
+                let (lo, hi) = (dist.lower(me).unwrap(), dist.upper(me).unwrap() + 1);
+                let mut ctx = Ctx::new(proc, grid);
+                for j in 0..m {
+                    crate::tri_dist::tri_dist(
+                        &mut ctx,
+                        n,
+                        &sys[j].b[lo..hi],
+                        &sys[j].a[lo..hi],
+                        &sys[j].c[lo..hi],
+                        &fs[j][lo..hi],
+                    );
+                }
+            })
+        };
+        assert!(
+            piped.report.elapsed < serial.report.elapsed,
+            "pipelined {} vs serial {}",
+            piped.report.elapsed,
+            serial.report.elapsed
+        );
+        // Utilization should improve too (paper's point about keeping
+        // processors busy).
+        assert!(piped.report.utilization() > serial.report.utilization());
+    }
+
+    #[test]
+    fn phase_schedule_is_deterministic() {
+        let (_, r1) = solve_batch(64, 4, 5, 41);
+        let (_, r2) = solve_batch(64, 4, 5, 41);
+        assert_eq!(r1.elapsed, r2.elapsed);
+        assert_eq!(r1.total_words, r2.total_words);
+    }
+
+    #[test]
+    fn constant_block_builder_sets_global_ends() {
+        let t = TriLocal::constant(16, 0, 4, -1.0, 4.0, -1.0, vec![1.0; 4]);
+        assert_eq!(t.b[0], 0.0);
+        assert_eq!(t.c[3], -1.0);
+        let t = TriLocal::constant(16, 12, 4, -1.0, 4.0, -1.0, vec![1.0; 4]);
+        assert_eq!(t.b[0], -1.0);
+        assert_eq!(t.c[3], 0.0);
+    }
+}

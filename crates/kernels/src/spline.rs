@@ -1,0 +1,181 @@
+//! Natural cubic spline fitting — the paper's introductory example of a
+//! tensor product application domain ("spline fitting", §1) and a direct
+//! consumer of the tridiagonal kernels.
+//!
+//! Fitting a natural cubic spline through `n+1` uniformly spaced knots
+//! reduces to the tridiagonal system `(1, 4, 1) · M = rhs` for the interior
+//! second derivatives; we solve it with Thomas sequentially and with
+//! [`crate::tri_dist::tri_dist_const`] in parallel.
+
+use kali_runtime::Ctx;
+
+use crate::tri_dist::tri_dist_const;
+use crate::tridiag::{thomas, TriDiag};
+
+/// A fitted natural cubic spline on the uniform grid `x_i = i·h`.
+#[derive(Debug, Clone)]
+pub struct Spline {
+    /// Knot values `y_0..=y_n`.
+    pub y: Vec<f64>,
+    /// Second derivatives `M_0..=M_n` (natural: `M_0 = M_n = 0`).
+    pub m: Vec<f64>,
+    /// Knot spacing.
+    pub h: f64,
+}
+
+/// Right-hand side of the spline system: `6·(y_{i-1} − 2y_i + y_{i+1})/h²`
+/// for interior knots `i = 1..n`.
+pub fn spline_rhs(y: &[f64], h: f64) -> Vec<f64> {
+    let n = y.len() - 1;
+    (1..n)
+        .map(|i| 6.0 * (y[i - 1] - 2.0 * y[i] + y[i + 1]) / (h * h))
+        .collect()
+}
+
+/// Fit sequentially (Thomas).
+pub fn spline_fit(y: &[f64], h: f64) -> Spline {
+    let n = y.len() - 1;
+    assert!(n >= 2, "need at least 3 knots");
+    let rhs = spline_rhs(y, h);
+    let sys = TriDiag::constant(n - 1, 1.0, 4.0, 1.0);
+    let mi = thomas(&sys.b, &sys.a, &sys.c, &rhs);
+    let mut m = vec![0.0; n + 1];
+    m[1..n].copy_from_slice(&mi);
+    Spline {
+        y: y.to_vec(),
+        m,
+        h,
+    }
+}
+
+/// Fit in parallel: the interior system is block-distributed over the
+/// current 1-D processor array and solved by the substructured solver.
+/// `rhs_local` is this processor's block of [`spline_rhs`]; returns this
+/// processor's block of the interior second derivatives.
+pub fn spline_fit_dist(ctx: &mut Ctx, n_interior: usize, rhs_local: &[f64]) -> Vec<f64> {
+    tri_dist_const(ctx, n_interior, 1.0, 4.0, 1.0, rhs_local)
+}
+
+impl Spline {
+    /// Number of intervals.
+    pub fn n(&self) -> usize {
+        self.y.len() - 1
+    }
+
+    /// Evaluate the spline at `t ∈ [0, n·h]`.
+    pub fn eval(&self, t: f64) -> f64 {
+        let n = self.n();
+        let h = self.h;
+        let i = ((t / h).floor() as usize).min(n - 1);
+        let xl = i as f64 * h;
+        let xr = xl + h;
+        let (ml, mr) = (self.m[i], self.m[i + 1]);
+        let (yl, yr) = (self.y[i], self.y[i + 1]);
+        ml * (xr - t).powi(3) / (6.0 * h)
+            + mr * (t - xl).powi(3) / (6.0 * h)
+            + (yl / h - ml * h / 6.0) * (xr - t)
+            + (yr / h - mr * h / 6.0) * (t - xl)
+    }
+
+    /// First derivative (used to test C¹ continuity).
+    pub fn eval_d1(&self, t: f64) -> f64 {
+        let n = self.n();
+        let h = self.h;
+        let i = ((t / h).floor() as usize).min(n - 1);
+        let xl = i as f64 * h;
+        let xr = xl + h;
+        let (ml, mr) = (self.m[i], self.m[i + 1]);
+        let (yl, yr) = (self.y[i], self.y[i + 1]);
+        -ml * (xr - t).powi(2) / (2.0 * h) + mr * (t - xl).powi(2) / (2.0 * h)
+            - (yl / h - ml * h / 6.0)
+            + (yr / h - mr * h / 6.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kali_grid::{Dist1, ProcGrid};
+    use kali_machine::{CostModel, Machine, MachineConfig};
+    use std::time::Duration;
+
+    fn knots(n: usize, f: impl Fn(f64) -> f64) -> (Vec<f64>, f64) {
+        let h = 1.0 / n as f64;
+        ((0..=n).map(|i| f(i as f64 * h)).collect(), h)
+    }
+
+    #[test]
+    fn interpolates_the_knots() {
+        let (y, h) = knots(16, |x| (2.0 * std::f64::consts::PI * x).sin());
+        let s = spline_fit(&y, h);
+        for i in 0..=16 {
+            assert!((s.eval(i as f64 * h) - y[i]).abs() < 1e-10, "knot {i}");
+        }
+    }
+
+    #[test]
+    fn natural_end_conditions() {
+        let (y, h) = knots(10, |x| x * x * (1.0 - x));
+        let s = spline_fit(&y, h);
+        assert_eq!(s.m[0], 0.0);
+        assert_eq!(s.m[10], 0.0);
+    }
+
+    #[test]
+    fn c1_continuity_at_knots() {
+        let (y, h) = knots(12, |x| (3.0 * x).cos());
+        let s = spline_fit(&y, h);
+        for i in 1..12 {
+            let t = i as f64 * h;
+            let dl = s.eval_d1(t - 1e-9);
+            let dr = s.eval_d1(t + 1e-9);
+            assert!((dl - dr).abs() < 1e-5, "kink at knot {i}: {dl} vs {dr}");
+        }
+    }
+
+    #[test]
+    fn approximates_smooth_functions() {
+        let n = 64;
+        let (y, h) = knots(n, |x| (2.0 * std::f64::consts::PI * x).sin());
+        let s = spline_fit(&y, h);
+        let mut max_err: f64 = 0.0;
+        for j in 0..1000 {
+            let t = j as f64 / 1000.0;
+            let err = (s.eval(t) - (2.0 * std::f64::consts::PI * t).sin()).abs();
+            max_err = max_err.max(err);
+        }
+        // O(h^4) in the interior; end effects keep it around 1e-5 at n=64.
+        assert!(max_err < 5e-4, "max interpolation error {max_err}");
+    }
+
+    #[test]
+    fn distributed_fit_matches_sequential() {
+        let n = 65; // 64 intervals, 63 interior unknowns? use 64 interior
+        let nk = n - 1; // intervals
+        let (y, h) = knots(nk, |x| (x * 2.5).sin() + x);
+        let seq = spline_fit(&y, h);
+        let rhs = spline_rhs(&y, h);
+        let ni = nk - 1; // interior unknowns
+        let run = Machine::run(
+            MachineConfig::new(4)
+                .with_cost(CostModel::unit())
+                .with_watchdog(Duration::from_secs(10)),
+            move |proc| {
+                let grid = ProcGrid::new_1d(proc.nprocs());
+                let dist = Dist1::block(ni, proc.nprocs());
+                let me = proc.rank();
+                let lo = dist.lower(me).unwrap();
+                let hi = dist.upper(me).unwrap() + 1;
+                let mut ctx = Ctx::new(proc, grid);
+                spline_fit_dist(&mut ctx, ni, &rhs[lo..hi])
+            },
+        );
+        let mut m = Vec::new();
+        for piece in &run.results {
+            m.extend_from_slice(piece);
+        }
+        for i in 0..ni {
+            assert!((m[i] - seq.m[i + 1]).abs() < 1e-9, "interior {i}");
+        }
+    }
+}

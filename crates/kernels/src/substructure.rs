@@ -1,0 +1,265 @@
+//! Block substructuring: the elimination of Figures 1 and 2 and the
+//! interior back-substitution of Figure 4.
+//!
+//! Given a contiguous block of rows `lo..hi` of a tridiagonal system,
+//! [`reduce_block`] eliminates the sub-diagonal downward from row `lo+2`
+//! (fill-in confined to column `lo`) and the super-diagonal upward from row
+//! `hi−2` (fill-in confined to column `hi`), in place. Afterwards (local
+//! indices `0..m`):
+//!
+//! * row `0`:    `b[0]·x_out_left + a[0]·x_0 + c[0]·x_{m−1} = f[0]`
+//! * row `m−1`:  `b[m−1]·x_0 + a[m−1]·x_{m−1} + c[m−1]·x_out_right = f[m−1]`
+//! * interior `i`: `b[i]·x_0 + a[i]·x_i + c[i]·x_{m−1} = f[i]`
+//!
+//! so the first and last rows of every block form a tridiagonal *reduced
+//! system* of two rows per block ("rows l₁, u₁, l₂, u₂, … now constitute a
+//! tridiagonal system having 2p equations"), and once `x_0` and `x_{m−1}`
+//! are known every interior value follows in O(1) per row
+//! ([`interior_solve`], Figure 4).
+
+/// In-place substructuring of one block (the paper's `reduce` routine).
+///
+/// `m = b.len()` must be ≥ 2; `m == 2` is a no-op (the rows are already a
+/// boundary pair). Coefficient slots are reused: after the call `b[i]`
+/// holds the coupling to the block's first unknown and `c[i]` the coupling
+/// to its last (for interior rows), while rows `0` and `m−1` keep their
+/// outside couplings in `b[0]` / `c[m−1]`.
+pub fn reduce_block(b: &mut [f64], a: &mut [f64], c: &mut [f64], f: &mut [f64]) {
+    let m = b.len();
+    assert!(m >= 2, "substructuring needs at least two rows per block");
+    assert!(a.len() == m && c.len() == m && f.len() == m);
+    // Downward sweep: eliminate the sub-diagonal of rows lo+2..=hi,
+    // introducing fill-in in column lo (local column 0).
+    for i in 2..m {
+        let w = b[i] / a[i - 1];
+        b[i] = -w * b[i - 1];
+        a[i] -= w * c[i - 1];
+        f[i] -= w * f[i - 1];
+    }
+    // Upward sweep: eliminate the super-diagonal of rows hi−2..=lo,
+    // introducing fill-in in column hi (local column m−1). Row m−2 is
+    // already in target form (its c couples to column m−1).
+    for i in (0..m.saturating_sub(2)).rev() {
+        let w = c[i] / a[i + 1];
+        if i >= 1 {
+            b[i] -= w * b[i + 1];
+        } else {
+            // Row 1's column-0 entry folds into row 0's diagonal.
+            a[0] -= w * b[1];
+        }
+        c[i] = -w * c[i + 1];
+        f[i] -= w * f[i + 1];
+    }
+}
+
+/// Flop cost of [`reduce_block`] on an `m`-row block (for virtual-time
+/// accounting): two sweeps of ~6 flops per eliminated row.
+pub fn reduce_flops(m: usize) -> f64 {
+    12.0 * m.saturating_sub(2) as f64
+}
+
+/// Figure 4: given the solved end values `x0 = x_0` and `xm = x_{m−1}` of a
+/// reduced block, recover the interior values. Returns the full block
+/// solution `[x0, x_1, …, x_{m−2}, xm]`.
+pub fn interior_solve(b: &[f64], a: &[f64], c: &[f64], f: &[f64], x0: f64, xm: f64) -> Vec<f64> {
+    let m = b.len();
+    assert!(m >= 2);
+    let mut x = vec![0.0; m];
+    x[0] = x0;
+    x[m - 1] = xm;
+    for i in 1..m - 1 {
+        x[i] = (f[i] - b[i] * x0 - c[i] * xm) / a[i];
+    }
+    x
+}
+
+/// Flop cost of [`interior_solve`].
+pub fn interior_flops(m: usize) -> f64 {
+    5.0 * m.saturating_sub(2) as f64
+}
+
+/// The boundary pair of a reduced block: rows 0 and m−1 as
+/// `(b, a, c, f)` quadruples — the two equations each processor "mails"
+/// in the reduction tree.
+pub fn boundary_pair(b: &[f64], a: &[f64], c: &[f64], f: &[f64]) -> [[f64; 4]; 2] {
+    let m = b.len();
+    [
+        [b[0], a[0], c[0], f[0]],
+        [b[m - 1], a[m - 1], c[m - 1], f[m - 1]],
+    ]
+}
+
+/// Sparsity pattern (global column indices of nonzero entries, in order)
+/// of each row of a reduced block — used to regenerate Figure 1/2's
+/// structure plots. `lo..=hi` are the block's global rows within an
+/// `n`-row system.
+pub fn reduced_pattern(lo: usize, hi: usize, n: usize) -> Vec<Vec<usize>> {
+    let m = hi - lo + 1;
+    (0..m)
+        .map(|i| {
+            let g = lo + i;
+            let mut cols = Vec::new();
+            if i == 0 {
+                // b -> outside left (if any), a -> lo, c -> hi
+                if lo > 0 {
+                    cols.push(lo - 1);
+                }
+                cols.push(lo);
+                if m > 1 {
+                    cols.push(hi);
+                }
+            } else if i == m - 1 {
+                cols.push(lo);
+                cols.push(hi);
+                if hi + 1 < n {
+                    cols.push(hi + 1);
+                }
+            } else {
+                cols.push(lo);
+                cols.push(g);
+                cols.push(hi);
+            }
+            cols
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tridiag::{thomas, TriDiag};
+
+    /// Verify that the transformed rows are *equations satisfied by the true
+    /// solution* with the documented sparsity — this pins down the exact
+    /// semantics of Figures 1 and 2.
+    fn check_block(n: usize, lo: usize, hi: usize, seed: u64) {
+        let m = TriDiag::random_dd(n, seed);
+        let x_true: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
+        let f = m.apply(&x_true);
+        let mut b: Vec<f64> = m.b[lo..=hi].to_vec();
+        let mut a: Vec<f64> = m.a[lo..=hi].to_vec();
+        let mut c: Vec<f64> = m.c[lo..=hi].to_vec();
+        let mut ff: Vec<f64> = f[lo..=hi].to_vec();
+        reduce_block(&mut b, &mut a, &mut c, &mut ff);
+        let mm = hi - lo + 1;
+        let tol = 1e-8;
+        // Row 0: b*x[lo-1] + a*x[lo] + c*x[hi] = f
+        let out_l = if lo > 0 { x_true[lo - 1] } else { 0.0 };
+        let r0 = b[0] * out_l + a[0] * x_true[lo] + c[0] * x_true[hi] - ff[0];
+        assert!(r0.abs() < tol, "row 0 residual {r0}");
+        // Row m-1: b*x[lo] + a*x[hi] + c*x[hi+1] = f
+        let out_r = if hi + 1 < n { x_true[hi + 1] } else { 0.0 };
+        let rm = b[mm - 1] * x_true[lo] + a[mm - 1] * x_true[hi] + c[mm - 1] * out_r - ff[mm - 1];
+        assert!(rm.abs() < tol, "row m-1 residual {rm}");
+        // Interior rows couple only (lo, self, hi).
+        for i in 1..mm - 1 {
+            let ri = b[i] * x_true[lo] + a[i] * x_true[lo + i] + c[i] * x_true[hi] - ff[i];
+            assert!(ri.abs() < tol, "interior row {i} residual {ri}");
+        }
+        // Figure 4: interiors recoverable from the end values alone.
+        let x = interior_solve(&b, &a, &c, &ff, x_true[lo], x_true[hi]);
+        for i in 0..mm {
+            assert!((x[i] - x_true[lo + i]).abs() < tol, "interior solve row {i}");
+        }
+    }
+
+    #[test]
+    fn first_middle_last_blocks() {
+        check_block(32, 0, 7, 1); // first block (b[0] = 0)
+        check_block(32, 8, 15, 2); // middle block
+        check_block(32, 24, 31, 3); // last block (c[n-1] = 0)
+    }
+
+    #[test]
+    fn four_row_block_figure2() {
+        check_block(16, 4, 7, 9);
+        check_block(8, 0, 3, 10);
+        check_block(8, 4, 7, 11);
+    }
+
+    #[test]
+    fn two_row_block_is_noop() {
+        let m = TriDiag::random_dd(8, 5);
+        let mut b: Vec<f64> = m.b[2..=3].to_vec();
+        let mut a: Vec<f64> = m.a[2..=3].to_vec();
+        let mut c: Vec<f64> = m.c[2..=3].to_vec();
+        let mut f = vec![1.0, 2.0];
+        let (b0, a0, c0, f0) = (b.clone(), a.clone(), c.clone(), f.clone());
+        reduce_block(&mut b, &mut a, &mut c, &mut f);
+        assert_eq!((b, a, c, f), (b0, a0, c0, f0));
+    }
+
+    #[test]
+    fn three_row_block() {
+        check_block(12, 3, 5, 21);
+    }
+
+    #[test]
+    fn odd_sized_blocks() {
+        check_block(37, 5, 17, 33);
+        check_block(37, 18, 36, 34);
+    }
+
+    #[test]
+    fn reduced_system_of_pairs_is_tridiagonal_and_consistent() {
+        // Reduce 4 blocks of 8 and solve the assembled 2p reduced system
+        // directly — it must reproduce the true boundary values. This is
+        // exactly the "2p equations" claim under Figure 1.
+        let n = 32;
+        let p = 4;
+        let m = TriDiag::random_dd(n, 77);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).cos()).collect();
+        let f = m.apply(&x_true);
+        let mut rb = Vec::new();
+        let mut ra = Vec::new();
+        let mut rc = Vec::new();
+        let mut rf = Vec::new();
+        for q in 0..p {
+            let lo = q * n / p;
+            let hi = (q + 1) * n / p - 1;
+            let mut b: Vec<f64> = m.b[lo..=hi].to_vec();
+            let mut a: Vec<f64> = m.a[lo..=hi].to_vec();
+            let mut c: Vec<f64> = m.c[lo..=hi].to_vec();
+            let mut ff: Vec<f64> = f[lo..=hi].to_vec();
+            reduce_block(&mut b, &mut a, &mut c, &mut ff);
+            for pair in boundary_pair(&b, &a, &c, &ff) {
+                rb.push(pair[0]);
+                ra.push(pair[1]);
+                rc.push(pair[2]);
+                rf.push(pair[3]);
+            }
+        }
+        // The assembled reduced system is tridiagonal in the ordering
+        // (l1, u1, l2, u2, ...): solve and compare to the true values.
+        rb[0] = 0.0;
+        let last = rb.len() - 1;
+        rc[last] = 0.0;
+        let y = thomas(&rb, &ra, &rc, &rf);
+        for q in 0..p {
+            let lo = q * n / p;
+            let hi = (q + 1) * n / p - 1;
+            assert!((y[2 * q] - x_true[lo]).abs() < 1e-8, "block {q} lo");
+            assert!((y[2 * q + 1] - x_true[hi]).abs() < 1e-8, "block {q} hi");
+        }
+    }
+
+    #[test]
+    fn pattern_matches_figure_1() {
+        // Middle block of 4 rows in a 16-row system, rows 4..=7.
+        let pat = reduced_pattern(4, 7, 16);
+        assert_eq!(pat[0], vec![3, 4, 7]); // outside-left, lo, hi
+        assert_eq!(pat[1], vec![4, 5, 7]); // lo, self, hi
+        assert_eq!(pat[2], vec![4, 6, 7]);
+        assert_eq!(pat[3], vec![4, 7, 8]); // lo, hi, outside-right
+        // First block has no outside-left column.
+        let pat0 = reduced_pattern(0, 3, 16);
+        assert_eq!(pat0[0], vec![0, 3]);
+    }
+
+    #[test]
+    fn flop_counters_scale_linearly() {
+        assert_eq!(reduce_flops(2), 0.0);
+        assert_eq!(reduce_flops(10), 96.0);
+        assert_eq!(interior_flops(4), 10.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Tridiagonal systems and the sequential Thomas algorithm.
+
+/// A tridiagonal matrix stored as three diagonals:
+/// row `i` is `(b[i], a[i], c[i])` with `b[0] == 0` and `c[n-1] == 0`
+/// (the layout of Figure 1 in the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriDiag {
+    /// Sub-diagonal (`b[0]` unused, kept 0).
+    pub b: Vec<f64>,
+    /// Main diagonal.
+    pub a: Vec<f64>,
+    /// Super-diagonal (`c[n-1]` unused, kept 0).
+    pub c: Vec<f64>,
+}
+
+impl TriDiag {
+    /// System size.
+    pub fn n(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Construct from diagonals, checking shape.
+    pub fn new(b: Vec<f64>, a: Vec<f64>, c: Vec<f64>) -> Self {
+        let n = a.len();
+        assert!(n >= 1);
+        assert_eq!(b.len(), n);
+        assert_eq!(c.len(), n);
+        assert_eq!(b[0], 0.0, "b[0] must be zero");
+        assert_eq!(c[n - 1], 0.0, "c[n-1] must be zero");
+        TriDiag { b, a, c }
+    }
+
+    /// Constant-coefficient system `(b0, a0, c0)` of size `n` — the form
+    /// used by the ADI routines (`tric` in Listing 7).
+    pub fn constant(n: usize, b0: f64, a0: f64, c0: f64) -> Self {
+        let mut b = vec![b0; n];
+        let mut c = vec![c0; n];
+        b[0] = 0.0;
+        c[n - 1] = 0.0;
+        TriDiag {
+            b,
+            a: vec![a0; n],
+            c,
+        }
+    }
+
+    /// A random strictly diagonally dominant system (factorable without
+    /// pivoting, as the paper assumes), reproducible from `seed`.
+    pub fn random_dd(n: usize, seed: u64) -> Self {
+        // Small deterministic LCG to avoid a dependency in library code.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 // in [0, 1)
+        };
+        let mut b = vec![0.0; n];
+        let mut a = vec![0.0; n];
+        let mut c = vec![0.0; n];
+        for i in 0..n {
+            if i > 0 {
+                b[i] = -(0.25 + 0.5 * next());
+            }
+            if i + 1 < n {
+                c[i] = -(0.25 + 0.5 * next());
+            }
+            a[i] = b[i].abs() + c[i].abs() + 1.0 + next();
+        }
+        TriDiag { b, a, c }
+    }
+
+    /// Matrix-vector product `A x`.
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        let n = self.n();
+        assert_eq!(x.len(), n);
+        (0..n)
+            .map(|i| {
+                let mut v = self.a[i] * x[i];
+                if i > 0 {
+                    v += self.b[i] * x[i - 1];
+                }
+                if i + 1 < n {
+                    v += self.c[i] * x[i + 1];
+                }
+                v
+            })
+            .collect()
+    }
+
+    /// Max-norm of the residual `A x − f`.
+    pub fn residual_inf(&self, x: &[f64], f: &[f64]) -> f64 {
+        self.apply(x)
+            .iter()
+            .zip(f)
+            .map(|(ax, fi)| (ax - fi).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Sequential Thomas algorithm: solve `A x = f` for a tridiagonal `A`
+/// given as diagonal slices. No pivoting (the paper's assumption).
+pub fn thomas(b: &[f64], a: &[f64], c: &[f64], f: &[f64]) -> Vec<f64> {
+    let n = a.len();
+    assert!(n >= 1);
+    assert!(b.len() == n && c.len() == n && f.len() == n);
+    let mut ap = a.to_vec();
+    let mut fp = f.to_vec();
+    for i in 1..n {
+        let w = b[i] / ap[i - 1];
+        ap[i] -= w * c[i - 1];
+        fp[i] -= w * fp[i - 1];
+    }
+    let mut x = vec![0.0; n];
+    x[n - 1] = fp[n - 1] / ap[n - 1];
+    for i in (0..n - 1).rev() {
+        x[i] = (fp[i] - c[i] * x[i + 1]) / ap[i];
+    }
+    x
+}
+
+/// Flop count of [`thomas`] for cost accounting (≈ 8 per row).
+pub fn thomas_flops(n: usize) -> f64 {
+    8.0 * n as f64
+}
+
+/// Solve a [`TriDiag`] system.
+pub fn solve(m: &TriDiag, f: &[f64]) -> Vec<f64> {
+    thomas(&m.b, &m.a, &m.c, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let m = TriDiag::constant(5, 0.0, 1.0, 0.0);
+        let f = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(solve(&m, &f), f);
+    }
+
+    #[test]
+    fn solves_poisson_1d() {
+        // -u'' = 1 on (0,1), u(0)=u(1)=0, 2nd order FD: exact x(1-x)/2 at nodes.
+        let n = 63;
+        let h = 1.0 / (n as f64 + 1.0);
+        let m = TriDiag::constant(n, -1.0, 2.0, -1.0);
+        let f = vec![h * h; n];
+        let x = solve(&m, &f);
+        for i in 0..n {
+            let xi = (i as f64 + 1.0) * h;
+            let exact = xi * (1.0 - xi) / 2.0;
+            assert!((x[i] - exact).abs() < 1e-12, "i={i}: {} vs {exact}", x[i]);
+        }
+    }
+
+    #[test]
+    fn random_dd_is_diagonally_dominant() {
+        for seed in [1, 2, 42] {
+            let m = TriDiag::random_dd(100, seed);
+            for i in 0..100 {
+                assert!(m.a[i].abs() > m.b[i].abs() + m.c[i].abs());
+            }
+            assert_eq!(m.b[0], 0.0);
+            assert_eq!(m.c[99], 0.0);
+        }
+    }
+
+    #[test]
+    fn random_dd_reproducible() {
+        assert_eq!(TriDiag::random_dd(50, 7), TriDiag::random_dd(50, 7));
+        assert_ne!(TriDiag::random_dd(50, 7), TriDiag::random_dd(50, 8));
+    }
+
+    #[test]
+    fn thomas_inverts_apply() {
+        for n in [1, 2, 3, 10, 257] {
+            let m = TriDiag::random_dd(n, n as u64);
+            let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+            let f = m.apply(&x_true);
+            let x = solve(&m, &f);
+            for i in 0..n {
+                assert!((x[i] - x_true[i]).abs() < 1e-9, "n={n} i={i}");
+            }
+            assert!(m.residual_inf(&x, &f) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_equation() {
+        let x = thomas(&[0.0], &[4.0], &[0.0], &[8.0]);
+        assert_eq!(x, vec![2.0]);
+    }
+}

@@ -1,0 +1,234 @@
+//! Abstract syntax for the KF1 subset.
+
+/// A whole source file: a set of (parallel) subroutines.
+#[derive(Debug, Clone)]
+pub struct Program {
+    pub subs: Vec<Subroutine>,
+}
+
+impl Program {
+    pub fn find(&self, name: &str) -> Option<&Subroutine> {
+        self.subs.iter().find(|s| s.name == name)
+    }
+}
+
+/// `parsub name(a, b, c; procs)` — data parameters before the `;`,
+/// an optional processor-array parameter after it.
+#[derive(Debug, Clone)]
+pub struct Subroutine {
+    pub name: String,
+    pub parallel: bool,
+    pub params: Vec<String>,
+    pub proc_param: Option<String>,
+    pub decls: Vec<Decl>,
+    pub body: Vec<Stmt>,
+}
+
+/// Declarations.
+#[derive(Debug, Clone)]
+pub enum Decl {
+    /// `processors procs(p, q)` — extents are identifiers (open sizes,
+    /// bound from the actual processor array) or integer literals.
+    Processors { name: String, extents: Vec<Expr> },
+    /// `real X(0:np, 0:np) dist (block, block)` / `integer lo, hi` /
+    /// `dynamic real tmp(4*p) dist (block)`.
+    Arrays {
+        is_real: bool,
+        dynamic: bool,
+        items: Vec<DeclItem>,
+        dist: Option<Vec<DistDim>>,
+    },
+}
+
+/// One declared name with optional dimension bounds.
+#[derive(Debug, Clone)]
+pub struct DeclItem {
+    pub name: String,
+    /// Per dimension `(lo, hi)` bound expressions; `lo` defaults to 1.
+    pub dims: Vec<(Expr, Expr)>,
+}
+
+/// One entry of a `dist (...)` clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistDim {
+    Block,
+    Cyclic,
+    Star,
+}
+
+/// Statements.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// `lhs(subs) = expr` or `scalar = expr`.
+    Assign { lhs: LValue, rhs: Expr },
+    /// `do 100 i = lo, hi[, step] ... 100 continue`
+    Do {
+        var: String,
+        lo: Expr,
+        hi: Expr,
+        step: Option<Expr>,
+        body: Vec<Stmt>,
+    },
+    /// `doall 100 i = lo, hi[, step] on <onclause> ...` — `vars` has one
+    /// or two loop variables (product ranges).
+    Doall {
+        vars: Vec<String>,
+        ranges: Vec<(Expr, Expr, Option<Expr>)>,
+        on: OnClause,
+        body: Vec<Stmt>,
+    },
+    /// `if (cond) then ... [else ...] endif` or one-armed logical if.
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
+    /// `call name(args...; procexpr)`.
+    Call {
+        name: String,
+        args: Vec<Arg>,
+        on: Option<ProcExpr>,
+    },
+    Return,
+}
+
+/// Left-hand side of an assignment.
+#[derive(Debug, Clone)]
+pub enum LValue {
+    Scalar(String),
+    Element { name: String, subs: Vec<Expr> },
+}
+
+/// Call arguments: expressions or array sections.
+#[derive(Debug, Clone)]
+pub enum Arg {
+    Expr(Expr),
+    /// `a(lo:hi, *, e)` — an array section.
+    Section { name: String, subs: Vec<Section> },
+}
+
+/// One subscript of an array section.
+#[derive(Debug, Clone)]
+pub enum Section {
+    Index(Expr),
+    Range(Expr, Expr),
+    All,
+}
+
+/// The `on` clause of a doall.
+#[derive(Debug, Clone)]
+pub enum OnClause {
+    /// `on owner(A(i, *, k))` — `None` entries are `*`.
+    Owner { array: String, subs: Vec<Option<Expr>> },
+    /// `on procs(ip)` / `on procs(ip, *)`.
+    Procs(ProcExpr),
+}
+
+/// A processor-array expression: the bare array, an element, or a slice.
+#[derive(Debug, Clone)]
+pub enum ProcExpr {
+    /// Whole processor array by name.
+    Whole(String),
+    /// `procs(e, *, e)`-style selection; `None` = `*`.
+    Select { name: String, subs: Vec<Option<Expr>> },
+    /// `owner(A(i, *))` used as a processor expression (Listing 7).
+    Owner { array: String, subs: Vec<Option<Expr>> },
+}
+
+/// Expressions.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    Int(i64),
+    Real(f64),
+    Var(String),
+    /// Array element reference or intrinsic/function call — resolved at
+    /// evaluation time based on what the name is bound to.
+    Ref { name: String, args: Vec<RefArg> },
+    Un { op: UnOp, e: Box<Expr> },
+    Bin { op: BinOp, l: Box<Expr>, r: Box<Expr> },
+}
+
+/// Argument inside a `Ref` (array subscript or intrinsic argument —
+/// intrinsics like `lower(x, procs(ip))` take processor selections).
+#[derive(Debug, Clone)]
+pub enum RefArg {
+    Expr(Expr),
+    Star,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl Expr {
+    /// Static count of arithmetic operations, used by the interpreter to
+    /// charge virtual flops for an assignment.
+    pub fn flop_count(&self) -> f64 {
+        match self {
+            Expr::Int(_) | Expr::Real(_) | Expr::Var(_) => 0.0,
+            Expr::Ref { args, .. } => args
+                .iter()
+                .map(|a| match a {
+                    RefArg::Expr(e) => e.flop_count(),
+                    RefArg::Star => 0.0,
+                })
+                .sum(),
+            Expr::Un { e, .. } => 1.0 + e.flop_count(),
+            Expr::Bin { l, r, .. } => 1.0 + l.flop_count() + r.flop_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flop_count_counts_operators() {
+        let e = Expr::Bin {
+            op: BinOp::Add,
+            l: Box::new(Expr::Bin {
+                op: BinOp::Mul,
+                l: Box::new(Expr::Real(0.25)),
+                r: Box::new(Expr::Var("x".into())),
+            }),
+            r: Box::new(Expr::Int(1)),
+        };
+        assert_eq!(e.flop_count(), 2.0);
+    }
+
+    #[test]
+    fn program_lookup_by_name() {
+        let p = Program {
+            subs: vec![Subroutine {
+                name: "jacobi".into(),
+                parallel: true,
+                params: vec![],
+                proc_param: None,
+                decls: vec![],
+                body: vec![],
+            }],
+        };
+        assert!(p.find("jacobi").is_some());
+        assert!(p.find("nope").is_none());
+    }
+}

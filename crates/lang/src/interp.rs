@@ -1,0 +1,1387 @@
+//! SPMD interpreter for the KF1 subset.
+//!
+//! Every simulated processor runs the same program over the same AST. The
+//! interpreter realizes the paper's execution model:
+//!
+//! * code outside `doall` is replicated (every processor executes it);
+//! * a `doall` is executed owner-computes: each processor runs exactly the
+//!   iterations its `on` clause assigns to it, with **copy-in/copy-out**
+//!   semantics (writes are buffered and committed after the loop);
+//! * communication is *implicit*: before executing a `doall`, an
+//!   **inspector** pass discovers which remote elements the local
+//!   iterations read, and an exchange phase (request/reply all-to-all over
+//!   the current processor array) brings them in — the runtime-resolution
+//!   scheme of the Kali project that the paper cites as [11]/[17];
+//! * distributed procedure calls (`call sub(args; procslice)`) narrow the
+//!   current processor array to the slice and run the callee SPMD on it.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use kali_grid::ProcGrid;
+use kali_kernels::substructure::{reduce_block, reduce_flops};
+use kali_kernels::tridiag::{thomas, thomas_flops};
+use kali_machine::{collective, Proc, Team};
+
+use crate::ast::*;
+use crate::value::*;
+
+pub type RtResult<T> = Result<T, String>;
+
+#[derive(Debug, PartialEq)]
+enum Flow {
+    Normal,
+    Return,
+}
+
+#[derive(Default)]
+struct InspectState {
+    /// Per distinct base array: remote flat indices needed by my iterations.
+    needs: Vec<(ArrRef, Vec<usize>)>,
+}
+
+impl InspectState {
+    fn record(&mut self, arr: &ArrRef, flat: usize) {
+        for (a, v) in &mut self.needs {
+            if Rc::ptr_eq(a, arr) {
+                if !v.contains(&flat) {
+                    v.push(flat);
+                }
+                return;
+            }
+        }
+        self.needs.push((arr.clone(), vec![flat]));
+    }
+}
+
+enum Mode {
+    Normal,
+    Inspect(InspectState),
+    Execute(Vec<(ArrRef, usize, f64)>),
+}
+
+struct Frame {
+    grid: ProcGrid,
+    scopes: Vec<HashMap<String, Binding>>,
+}
+
+impl Frame {
+    fn lookup(&self, name: &str) -> Option<&Binding> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn set_scalar(&mut self, name: &str, v: Value) {
+        for s in self.scopes.iter_mut().rev() {
+            if let Some(b) = s.get_mut(name) {
+                match b {
+                    Binding::Scalar(old) => {
+                        *old = match old {
+                            Value::Int(_) => Value::Int(v.as_int()),
+                            Value::Real(_) => Value::Real(v.as_f64()),
+                        };
+                        return;
+                    }
+                    _ => panic!("assignment to non-scalar {name}"),
+                }
+            }
+        }
+        // Implicit declaration with Fortran typing.
+        let init = match Value::implicit_zero(name) {
+            Value::Int(_) => Value::Int(v.as_int()),
+            Value::Real(_) => Value::Real(v.as_f64()),
+        };
+        self.scopes
+            .last_mut()
+            .expect("frame has a scope")
+            .insert(name.to_string(), Binding::Scalar(init));
+    }
+
+    fn bind(&mut self, name: &str, b: Binding) {
+        self.scopes
+            .last_mut()
+            .expect("frame has a scope")
+            .insert(name.to_string(), b);
+    }
+}
+
+/// The interpreter for one simulated processor.
+pub struct Interp<'a, 'p> {
+    pub proc: &'a mut Proc,
+    prog: &'p Program,
+    frames: Vec<Frame>,
+    mode: Mode,
+    doall_depth: usize,
+    /// Start of the current iteration's segment of the executor write
+    /// buffer: within one doall invocation, reads see that invocation's own
+    /// writes (Listing 4 reads `b(lo)` after `call reduce`); across
+    /// invocations, copy-in/copy-out hides them.
+    iter_start: usize,
+}
+
+impl<'a, 'p> Interp<'a, 'p> {
+    pub fn new(proc: &'a mut Proc, prog: &'p Program) -> Self {
+        Interp {
+            proc,
+            prog,
+            frames: Vec::new(),
+            mode: Mode::Normal,
+            doall_depth: 0,
+            iter_start: 0,
+        }
+    }
+
+    fn me(&self) -> usize {
+        self.proc.rank()
+    }
+
+    fn frame(&self) -> &Frame {
+        self.frames.last().expect("active frame")
+    }
+
+    fn frame_mut(&mut self) -> &mut Frame {
+        self.frames.last_mut().expect("active frame")
+    }
+
+    /// Run subroutine `sub` with pre-bound arguments on `grid`.
+    pub fn call_sub(
+        &mut self,
+        sub: &Subroutine,
+        bindings: Vec<(String, Binding)>,
+        grid: ProcGrid,
+    ) -> RtResult<()> {
+        let mut scope = HashMap::new();
+        for (k, v) in bindings {
+            scope.insert(k, v);
+        }
+        self.frames.push(Frame {
+            grid,
+            scopes: vec![scope],
+        });
+        self.elaborate_decls(sub)?;
+        let flow = self.exec_stmts(&sub.body)?;
+        let _ = flow;
+        self.frames.pop();
+        Ok(())
+    }
+
+    // ---------- declarations ----------
+
+    fn elaborate_decls(&mut self, sub: &Subroutine) -> RtResult<()> {
+        for d in &sub.decls {
+            match d {
+                Decl::Processors { name, extents } => {
+                    let grid = self.frame().grid.clone();
+                    if grid.ndims() != extents.len() {
+                        return Err(format!(
+                            "{}: processors {name} declared with rank {} but the actual \
+                             processor array has rank {}",
+                            sub.name,
+                            extents.len(),
+                            grid.ndims()
+                        ));
+                    }
+                    for (gd, e) in extents.iter().enumerate() {
+                        let actual = grid.extent(gd) as i64;
+                        match e {
+                            Expr::Var(id) => match self.frame().lookup(id) {
+                                Some(Binding::Scalar(v)) => {
+                                    if v.as_int() != actual {
+                                        return Err(format!(
+                                            "processor extent {id} = {} does not match \
+                                             actual extent {actual}",
+                                            v.as_int()
+                                        ));
+                                    }
+                                }
+                                _ => {
+                                    self.frame_mut().bind(id, Binding::Scalar(Value::Int(actual)))
+                                }
+                            },
+                            Expr::Int(v) => {
+                                if *v != actual {
+                                    return Err(format!(
+                                        "processor extent {v} does not match actual {actual}"
+                                    ));
+                                }
+                            }
+                            _ => return Err("processor extents must be names or integers".into()),
+                        }
+                    }
+                    // Bind the processor-array name itself.
+                    if sub.proc_param.as_deref() != Some(name) {
+                        self.frame_mut().bind(name, Binding::Grid(grid));
+                    }
+                }
+                Decl::Arrays {
+                    is_real,
+                    dynamic: _,
+                    items,
+                    dist,
+                } => {
+                    for item in items {
+                        let mut bounds = Vec::with_capacity(item.dims.len());
+                        for (lo, hi) in &item.dims {
+                            let l = self.eval(lo)?.as_int();
+                            let h = self.eval(hi)?.as_int();
+                            if h < l {
+                                return Err(format!(
+                                    "array {}: bad bounds {l}:{h}",
+                                    item.name
+                                ));
+                            }
+                            bounds.push((l, h));
+                        }
+                        let existing = self.frame().lookup(&item.name).cloned();
+                        match existing {
+                            Some(Binding::Array(mut view)) => {
+                                // Parameter redeclaration: adopt bounds and,
+                                // for fresh (host) arrays, the distribution.
+                                if bounds.len() != view.ndims() {
+                                    return Err(format!(
+                                        "parameter {} has rank {}, declared with rank {}",
+                                        item.name,
+                                        view.ndims(),
+                                        bounds.len()
+                                    ));
+                                }
+                                for (d, (l, h)) in bounds.iter().enumerate() {
+                                    let want = (h - l + 1) as usize;
+                                    let have = view.extent(d);
+                                    if want != have {
+                                        return Err(format!(
+                                            "parameter {} extent mismatch in dim {}: \
+                                             declared {want}, actual {have}",
+                                            item.name,
+                                            d + 1
+                                        ));
+                                    }
+                                    view.callee_lo[d] = *l;
+                                }
+                                if let Some(dd) = dist {
+                                    let mut base = view.base.borrow_mut();
+                                    if base.replicated() && base.grid.size() == 1 {
+                                        // Host-supplied array: adopt.
+                                        if dd.len() != base.ndims() {
+                                            return Err(format!(
+                                                "dist clause rank mismatch on {}",
+                                                item.name
+                                            ));
+                                        }
+                                        base.dist = dd.clone();
+                                        base.grid = self.frame().grid.clone();
+                                    }
+                                }
+                                self.frame_mut().bind(&item.name, Binding::Array(view));
+                            }
+                            Some(Binding::Scalar(v)) => {
+                                // Type declaration of a scalar parameter.
+                                if !item.dims.is_empty() {
+                                    return Err(format!(
+                                        "parameter {} is scalar but declared with dimensions",
+                                        item.name
+                                    ));
+                                }
+                                let coerced = if *is_real {
+                                    Value::Real(v.as_f64())
+                                } else {
+                                    Value::Int(v.as_int())
+                                };
+                                self.frame_mut().bind(&item.name, Binding::Scalar(coerced));
+                            }
+                            Some(Binding::Grid(_)) => {
+                                return Err(format!(
+                                    "{} is a processor array, not data",
+                                    item.name
+                                ))
+                            }
+                            None => {
+                                if item.dims.is_empty() {
+                                    let z = if *is_real {
+                                        Value::Real(0.0)
+                                    } else {
+                                        Value::Int(0)
+                                    };
+                                    self.frame_mut().bind(&item.name, Binding::Scalar(z));
+                                } else {
+                                    let grid = self.frame().grid.clone();
+                                    let distv = match dist {
+                                        Some(dd) => {
+                                            if dd.len() != bounds.len() {
+                                                return Err(format!(
+                                                    "dist clause rank mismatch on {}",
+                                                    item.name
+                                                ));
+                                            }
+                                            let nd = dd
+                                                .iter()
+                                                .filter(|x| **x != DistDim::Star)
+                                                .count();
+                                            if nd != grid.ndims() {
+                                                return Err(format!(
+                                                    "{}: {} distributed dims vs processor \
+                                                     rank {}",
+                                                    item.name,
+                                                    nd,
+                                                    grid.ndims()
+                                                ));
+                                            }
+                                            dd.clone()
+                                        }
+                                        None => vec![DistDim::Star; bounds.len()],
+                                    };
+                                    let total: usize = bounds
+                                        .iter()
+                                        .map(|&(l, h)| (h - l + 1) as usize)
+                                        .product();
+                                    let arr = Rc::new(std::cell::RefCell::new(ArrObj {
+                                        name: item.name.clone(),
+                                        bounds,
+                                        dist: distv,
+                                        grid,
+                                        data: vec![0.0; total],
+                                        is_real: *is_real,
+                                    }));
+                                    self.frame_mut()
+                                        .bind(&item.name, Binding::Array(View::whole(arr)));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---------- statements ----------
+
+    fn exec_stmts(&mut self, stmts: &[Stmt]) -> RtResult<Flow> {
+        for s in stmts {
+            if self.exec_stmt(s)? == Flow::Return {
+                return Ok(Flow::Return);
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt) -> RtResult<Flow> {
+        match s {
+            Stmt::Assign { lhs, rhs } => {
+                let v = self.eval(rhs)?;
+                match lhs {
+                    LValue::Scalar(name) => {
+                        if matches!(self.frame().lookup(name), Some(Binding::Array(_))) {
+                            return Err(format!("cannot assign scalar to array {name}"));
+                        }
+                        self.frame_mut().set_scalar(name, v);
+                    }
+                    LValue::Element { name, subs } => {
+                        let idxs: Vec<i64> = subs
+                            .iter()
+                            .map(|e| self.eval(e).map(|v| v.as_int()))
+                            .collect::<RtResult<_>>()?;
+                        self.write_element(name, &idxs, v.as_f64())?;
+                    }
+                }
+                if !matches!(self.mode, Mode::Inspect(_)) {
+                    self.proc.compute(rhs.flop_count());
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                if self.eval(cond)?.truthy() {
+                    self.exec_stmts(then_body)
+                } else {
+                    self.exec_stmts(else_body)
+                }
+            }
+            Stmt::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
+                let lo = self.eval(lo)?.as_int();
+                let hi = self.eval(hi)?.as_int();
+                let st = match step {
+                    Some(e) => self.eval(e)?.as_int(),
+                    None => 1,
+                };
+                if st == 0 {
+                    return Err("do loop with zero step".into());
+                }
+                let mut i = lo;
+                while (st > 0 && i <= hi) || (st < 0 && i >= hi) {
+                    self.frame_mut().set_scalar(var, Value::Int(i));
+                    if self.exec_stmts(body)? == Flow::Return {
+                        return Ok(Flow::Return);
+                    }
+                    i += st;
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Return => Ok(Flow::Return),
+            Stmt::Call { name, args, on } => {
+                self.exec_call(name, args, on.as_ref())?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Doall {
+                vars,
+                ranges,
+                on,
+                body,
+            } => {
+                self.exec_doall(vars, ranges, on, body)?;
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    // ---------- doall ----------
+
+    fn exec_doall(
+        &mut self,
+        vars: &[String],
+        ranges: &[(Expr, Expr, Option<Expr>)],
+        on: &OnClause,
+        body: &[Stmt],
+    ) -> RtResult<()> {
+        if !matches!(self.mode, Mode::Normal) {
+            return Err("nested doall loops are not supported".into());
+        }
+        // Enumerate iterations (outer variable first).
+        let mut bounds = Vec::new();
+        for (lo, hi, step) in ranges {
+            let l = self.eval(lo)?.as_int();
+            let h = self.eval(hi)?.as_int();
+            let s = match step {
+                Some(e) => self.eval(e)?.as_int(),
+                None => 1,
+            };
+            if s <= 0 {
+                return Err("doall requires a positive step".into());
+            }
+            bounds.push((l, h, s));
+        }
+        let mut iters: Vec<Vec<i64>> = vec![];
+        match bounds.len() {
+            1 => {
+                let (l, h, s) = bounds[0];
+                let mut i = l;
+                while i <= h {
+                    iters.push(vec![i]);
+                    i += s;
+                }
+            }
+            2 => {
+                let (l1, h1, s1) = bounds[0];
+                let (l2, h2, s2) = bounds[1];
+                let mut i = l1;
+                while i <= h1 {
+                    let mut j = l2;
+                    while j <= h2 {
+                        iters.push(vec![i, j]);
+                        j += s2;
+                    }
+                    i += s1;
+                }
+            }
+            _ => return Err("doall supports one or two loop variables".into()),
+        }
+
+        // Owner set per iteration.
+        let mut my_iters: Vec<Vec<i64>> = Vec::new();
+        for it in &iters {
+            self.push_iter_scope(vars, it);
+            let ranks = self.on_clause_ranks(on)?;
+            self.pop_iter_scope();
+            if ranks.contains(&self.me()) {
+                my_iters.push(it.clone());
+            }
+        }
+
+        self.doall_depth += 1;
+        let result = if body_has_parallel_call(self.prog, body) {
+            // Team-call mode (Listing 7): members of each iteration's
+            // owner set execute the body cooperatively.
+            let mut r = Ok(());
+            for it in &my_iters {
+                self.push_iter_scope(vars, it);
+                let res = self.exec_stmts(body);
+                self.pop_iter_scope();
+                if let Err(e) = res {
+                    r = Err(e);
+                    break;
+                }
+            }
+            r
+        } else {
+            self.run_inspector_executor(vars, &my_iters, body)
+        };
+        self.doall_depth -= 1;
+        result
+    }
+
+    fn push_iter_scope(&mut self, vars: &[String], it: &[i64]) {
+        let mut scope = HashMap::new();
+        for (v, &val) in vars.iter().zip(it) {
+            scope.insert(v.clone(), Binding::Scalar(Value::Int(val)));
+        }
+        self.frame_mut().scopes.push(scope);
+    }
+
+    fn pop_iter_scope(&mut self) {
+        self.frame_mut().scopes.pop();
+    }
+
+    fn run_inspector_executor(
+        &mut self,
+        vars: &[String],
+        my_iters: &[Vec<i64>],
+        body: &[Stmt],
+    ) -> RtResult<()> {
+        // ---- Inspector: discover remote reads.
+        self.mode = Mode::Inspect(InspectState::default());
+        for it in my_iters {
+            self.push_iter_scope(vars, it);
+            let r = self.exec_stmts(body);
+            self.pop_iter_scope();
+            r?;
+        }
+        let needs = match std::mem::replace(&mut self.mode, Mode::Normal) {
+            Mode::Inspect(st) => st.needs,
+            _ => unreachable!(),
+        };
+
+        // ---- Exchange: request/reply over the current processor array,
+        // one round per distributed array the body reads (static order).
+        let team = self.frame().grid.team();
+        let read_names = collect_read_names(body);
+        let mut exchanged: Vec<ArrRef> = Vec::new();
+        for name in read_names {
+            let Some(Binding::Array(view)) = self.frame().lookup(&name).cloned() else {
+                continue;
+            };
+            let base = view.base.clone();
+            if base.borrow().replicated() {
+                continue;
+            }
+            if exchanged.iter().any(|a| Rc::ptr_eq(a, &base)) {
+                continue;
+            }
+            exchanged.push(base.clone());
+            let my_needs: Vec<usize> = needs
+                .iter()
+                .find(|(a, _)| Rc::ptr_eq(a, &base))
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default();
+            self.fetch_remote(&team, &base, &my_needs)?;
+        }
+
+        // ---- Executor: run with buffered writes (copy-in/copy-out).
+        self.mode = Mode::Execute(Vec::new());
+        for it in my_iters {
+            if let Mode::Execute(buf) = &self.mode {
+                self.iter_start = buf.len();
+            }
+            self.push_iter_scope(vars, it);
+            let r = self.exec_stmts(body);
+            self.pop_iter_scope();
+            r?;
+        }
+        let writes = match std::mem::replace(&mut self.mode, Mode::Normal) {
+            Mode::Execute(w) => w,
+            _ => unreachable!(),
+        };
+        self.proc.memop(writes.len() as f64);
+        for (arr, flat, v) in writes {
+            arr.borrow_mut().data[flat] = v;
+        }
+        Ok(())
+    }
+
+    /// Request/reply exchange bringing `my_needs` (flat indices of remote
+    /// elements of `base`) into local storage.
+    fn fetch_remote(&mut self, team: &Team, base: &ArrRef, my_needs: &[usize]) -> RtResult<()> {
+        let q = team.len();
+        let mut reqs: Vec<Vec<u64>> = vec![Vec::new(); q];
+        {
+            let b = base.borrow();
+            for &flat in my_needs {
+                let idxs = b.unflat(flat);
+                let owner = b
+                    .owner_of(&idxs)
+                    .ok_or_else(|| format!("element of {} has no owner", b.name))?;
+                let Some(ti) = team.index_of(owner) else {
+                    return Err(format!(
+                        "owner rank {owner} of {} is outside the current processor array",
+                        b.name
+                    ));
+                };
+                reqs[ti].push(flat as u64);
+            }
+        }
+        let my_reqs = reqs.clone();
+        let incoming = collective::alltoallv(self.proc, team, reqs);
+        let replies: Vec<Vec<f64>> = {
+            let b = base.borrow();
+            incoming
+                .iter()
+                .map(|idxs| idxs.iter().map(|&i| b.data[i as usize]).collect())
+                .collect()
+        };
+        self.proc.memop(replies.iter().map(|r| r.len()).sum::<usize>() as f64);
+        let values = collective::alltoallv(self.proc, team, replies);
+        let mut b = base.borrow_mut();
+        for (d, idxs) in my_reqs.iter().enumerate() {
+            for (k, &flat) in idxs.iter().enumerate() {
+                b.data[flat as usize] = values[d][k];
+            }
+        }
+        Ok(())
+    }
+
+    fn on_clause_ranks(&mut self, on: &OnClause) -> RtResult<Vec<usize>> {
+        match on {
+            OnClause::Owner { array, subs } => {
+                let Some(Binding::Array(view)) = self.frame().lookup(array).cloned() else {
+                    return Err(format!("owner(): {array} is not an array"));
+                };
+                let base_subs = self.view_subs_to_base(&view, subs)?;
+                let ranks = view.base.borrow().owner_ranks(&base_subs);
+                ranks
+            }
+            OnClause::Procs(pe) => {
+                let g = self.eval_proc_expr(pe)?;
+                Ok(g.ranks().to_vec())
+            }
+        }
+    }
+
+    /// Translate callee-side starred subscripts into base-array starred
+    /// subscripts through a view.
+    fn view_subs_to_base(
+        &mut self,
+        view: &View,
+        subs: &[Option<Expr>],
+    ) -> RtResult<Vec<Option<i64>>> {
+        if subs.len() != view.ndims() {
+            return Err(format!(
+                "owner(): rank mismatch ({} subscripts on rank-{} section)",
+                subs.len(),
+                view.ndims()
+            ));
+        }
+        let mut out = Vec::with_capacity(view.map.len());
+        let mut d = 0usize;
+        for m in &view.map {
+            match m {
+                ViewDim::Fixed(v) => out.push(Some(*v)),
+                ViewDim::Range(lo, _) => {
+                    match &subs[d] {
+                        Some(e) => {
+                            let i = self.eval(e)?.as_int();
+                            out.push(Some(lo + (i - view.callee_lo[d])));
+                        }
+                        None => out.push(None),
+                    }
+                    d += 1;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn eval_proc_expr(&mut self, pe: &ProcExpr) -> RtResult<ProcGrid> {
+        match pe {
+            ProcExpr::Whole(name) => match self.frame().lookup(name) {
+                Some(Binding::Grid(g)) => Ok(g.clone()),
+                _ => Err(format!("{name} is not a processor array")),
+            },
+            ProcExpr::Select { name, subs } => {
+                let g = match self.frame().lookup(name) {
+                    Some(Binding::Grid(g)) => g.clone(),
+                    _ => return Err(format!("{name} is not a processor array")),
+                };
+                if subs.len() != g.ndims() {
+                    return Err(format!(
+                        "processor selection rank mismatch on {name}"
+                    ));
+                }
+                let mut pins: Vec<(usize, usize)> = Vec::new();
+                for (d, s) in subs.iter().enumerate() {
+                    if let Some(e) = s {
+                        let v = self.eval(e)?.as_int();
+                        // KF1 processor arrays are 1-based.
+                        if v < 1 || v as usize > g.extent(d) {
+                            return Err(format!(
+                                "processor index {v} out of range 1..{} on {name}",
+                                g.extent(d)
+                            ));
+                        }
+                        pins.push((d, v as usize - 1));
+                    }
+                }
+                pins.sort_by(|a, b| b.0.cmp(&a.0));
+                let mut out = g;
+                for (d, c) in pins {
+                    out = out.slice(d, c);
+                }
+                Ok(out)
+            }
+            ProcExpr::Owner { array, subs } => {
+                let Some(Binding::Array(view)) = self.frame().lookup(array).cloned() else {
+                    return Err(format!("owner(): {array} is not an array"));
+                };
+                let base_subs = self.view_subs_to_base(&view, subs)?;
+                let grid = view.base.borrow().owner_grid(&base_subs);
+                grid
+            }
+        }
+    }
+
+    // ---------- calls ----------
+
+    fn exec_call(&mut self, name: &str, args: &[Arg], on: Option<&ProcExpr>) -> RtResult<()> {
+        if name == "reduce" || name == "seqtri" {
+            return self.exec_builtin(name, args);
+        }
+        let Some(sub) = self.prog.find(name) else {
+            return Err(format!("no subroutine named {name}"));
+        };
+        if matches!(self.mode, Mode::Inspect(_) | Mode::Execute(_)) && sub.parallel {
+            return Err(format!(
+                "parallel call to {name} inside a data-parallel doall body"
+            ));
+        }
+        let team = match on {
+            Some(pe) => self.eval_proc_expr(pe)?,
+            None => self.frame().grid.clone(),
+        };
+        if sub.parallel && !team.contains(self.me()) {
+            return Ok(()); // not a member: skip the distributed call
+        }
+        if sub.params.len() != args.len() {
+            return Err(format!(
+                "{name} takes {} arguments, got {}",
+                sub.params.len(),
+                args.len()
+            ));
+        }
+        let mut bindings = Vec::new();
+        for (p, a) in sub.params.iter().zip(args) {
+            let b = match a {
+                Arg::Expr(Expr::Var(v)) => match self.frame().lookup(v) {
+                    Some(Binding::Array(view)) => Binding::Array(view.clone()),
+                    Some(Binding::Grid(g)) => Binding::Grid(g.clone()),
+                    Some(Binding::Scalar(s)) => Binding::Scalar(*s),
+                    None => return Err(format!("undefined argument {v}")),
+                },
+                Arg::Expr(e) => Binding::Scalar(self.eval(e)?),
+                Arg::Section { name: an, subs } => {
+                    Binding::Array(self.make_section_view(an, subs)?)
+                }
+            };
+            bindings.push((p.clone(), b));
+        }
+        if let Some(pp) = &sub.proc_param {
+            bindings.push((pp.clone(), Binding::Grid(team.clone())));
+        }
+        // Distributed procedures run on the narrowed processor array;
+        // sequential ones run replicated on the current one.
+        let callee_grid = if sub.parallel {
+            team
+        } else {
+            self.frame().grid.clone()
+        };
+        self.call_sub(sub, bindings, callee_grid)
+    }
+
+    fn make_section_view(&mut self, name: &str, subs: &[Section]) -> RtResult<View> {
+        let Some(Binding::Array(view)) = self.frame().lookup(name).cloned() else {
+            return Err(format!("{name} is not an array"));
+        };
+        if subs.len() != view.ndims() {
+            return Err(format!("section rank mismatch on {name}"));
+        }
+        let mut map = Vec::with_capacity(view.map.len());
+        let mut callee_lo = Vec::new();
+        let mut d = 0usize;
+        for m in &view.map {
+            match m {
+                ViewDim::Fixed(v) => map.push(ViewDim::Fixed(*v)),
+                ViewDim::Range(lo, hi) => {
+                    match &subs[d] {
+                        Section::Index(e) => {
+                            let i = self.eval(e)?.as_int();
+                            map.push(ViewDim::Fixed(lo + (i - view.callee_lo[d])));
+                        }
+                        Section::Range(e1, e2) => {
+                            let a = self.eval(e1)?.as_int();
+                            let b = self.eval(e2)?.as_int();
+                            let base_a = lo + (a - view.callee_lo[d]);
+                            let base_b = lo + (b - view.callee_lo[d]);
+                            if base_a < *lo || base_b > *hi || base_b < base_a {
+                                return Err(format!(
+                                    "section {a}:{b} of {name} out of range"
+                                ));
+                            }
+                            map.push(ViewDim::Range(base_a, base_b));
+                            callee_lo.push(1);
+                        }
+                        Section::All => {
+                            map.push(ViewDim::Range(*lo, *hi));
+                            callee_lo.push(view.callee_lo[d]);
+                        }
+                    }
+                    d += 1;
+                }
+            }
+        }
+        Ok(View {
+            base: view.base,
+            map,
+            callee_lo,
+        })
+    }
+
+    /// Built-in sequential kernels (`reduce`, `seqtri`) operating on fully
+    /// local 1-D sections.
+    fn exec_builtin(&mut self, name: &str, args: &[Arg]) -> RtResult<()> {
+        // Materialize section arguments.
+        let mut sections: Vec<(ArrRef, Vec<usize>)> = Vec::new();
+        let mut scalars: Vec<Value> = Vec::new();
+        for a in args {
+            match a {
+                Arg::Section { name: an, subs } => {
+                    let v = self.make_section_view(an, subs)?;
+                    if v.ndims() != 1 {
+                        return Err(format!("builtin {name}: sections must be 1-D"));
+                    }
+                    let n = v.extent(0);
+                    let lo = v.callee_lo[0];
+                    let mut flats = Vec::with_capacity(n);
+                    let b = v.base.borrow();
+                    for i in 0..n {
+                        let idxs = v.to_base(&[lo + i as i64])?;
+                        if !b.owned_by(self.me(), &idxs) {
+                            return Err(format!(
+                                "builtin {name}: section of {} is not local to processor {}",
+                                b.name,
+                                self.me()
+                            ));
+                        }
+                        flats.push(b.flat(&idxs)?);
+                    }
+                    drop(b);
+                    sections.push((v.base.clone(), flats));
+                }
+                Arg::Expr(e) => scalars.push(self.eval(e)?),
+            }
+        }
+        if matches!(self.mode, Mode::Inspect(_)) {
+            return Ok(()); // locality validated; no mutation during inspection
+        }
+        let read = |sec: &(ArrRef, Vec<usize>)| -> Vec<f64> {
+            let b = sec.0.borrow();
+            sec.1.iter().map(|&f| b.data[f]).collect()
+        };
+        match name {
+            "reduce" => {
+                // reduce(b, a, c, f, n)
+                if sections.len() != 4 {
+                    return Err("reduce(b, a, c, f, n) needs four sections".into());
+                }
+                let mut vb = read(&sections[0]);
+                let mut va = read(&sections[1]);
+                let mut vc = read(&sections[2]);
+                let mut vf = read(&sections[3]);
+                reduce_block(&mut vb, &mut va, &mut vc, &mut vf);
+                self.proc.compute(reduce_flops(vb.len()));
+                for (sec, vals) in sections
+                    .iter()
+                    .zip([&vb, &va, &vc, &vf])
+                {
+                    self.write_section(sec, vals)?;
+                }
+            }
+            "seqtri" => {
+                // seqtri(x, b, a, c, f, n): solve and store into x.
+                if sections.len() != 5 {
+                    return Err("seqtri(x, b, a, c, f, n) needs five sections".into());
+                }
+                let vb = read(&sections[1]);
+                let va = read(&sections[2]);
+                let vc = read(&sections[3]);
+                let vf = read(&sections[4]);
+                let x = thomas(&vb, &va, &vc, &vf);
+                self.proc.compute(thomas_flops(x.len()));
+                self.write_section(&sections[0], &x)?;
+            }
+            _ => unreachable!(),
+        }
+        Ok(())
+    }
+
+    fn write_section(&mut self, sec: &(ArrRef, Vec<usize>), vals: &[f64]) -> RtResult<()> {
+        match &mut self.mode {
+            Mode::Execute(buf) => {
+                for (&f, &v) in sec.1.iter().zip(vals) {
+                    buf.push((sec.0.clone(), f, v));
+                }
+            }
+            _ => {
+                let mut b = sec.0.borrow_mut();
+                for (&f, &v) in sec.1.iter().zip(vals) {
+                    b.data[f] = v;
+                }
+            }
+        }
+        self.proc.memop(vals.len() as f64);
+        Ok(())
+    }
+
+    // ---------- element access ----------
+
+    fn write_element(&mut self, name: &str, idxs: &[i64], v: f64) -> RtResult<()> {
+        let Some(Binding::Array(view)) = self.frame().lookup(name).cloned() else {
+            return Err(format!("{name} is not an array"));
+        };
+        let base_idxs = view.to_base(idxs)?;
+        let me = self.me();
+        let (flat, ok, repl) = {
+            let b = view.base.borrow();
+            (
+                b.flat(&base_idxs)?,
+                b.owned_by(me, &base_idxs),
+                b.replicated(),
+            )
+        };
+        match &mut self.mode {
+            Mode::Inspect(_) => {
+                if !ok {
+                    return Err(format!(
+                        "owner-computes violation: processor {me} writes {name}{base_idxs:?} \
+                         owned elsewhere (check the doall's on-clause)"
+                    ));
+                }
+                Ok(())
+            }
+            Mode::Execute(buf) => {
+                if !ok {
+                    return Err(format!(
+                        "owner-computes violation: processor {me} writes {name}{base_idxs:?}"
+                    ));
+                }
+                buf.push((view.base.clone(), flat, v));
+                Ok(())
+            }
+            Mode::Normal => {
+                if repl || (self.doall_depth > 0 && ok) {
+                    view.base.borrow_mut().data[flat] = v;
+                    Ok(())
+                } else if self.doall_depth > 0 {
+                    Err(format!(
+                        "owner-computes violation: processor {me} writes {name}{base_idxs:?}"
+                    ))
+                } else {
+                    Err(format!(
+                        "write to distributed array {name} outside a doall \
+                         (replicated code cannot own it)"
+                    ))
+                }
+            }
+        }
+    }
+
+    fn read_element(&mut self, view: &View, idxs: &[i64]) -> RtResult<f64> {
+        let base_idxs = view.to_base(idxs)?;
+        let me = self.me();
+        let b = view.base.borrow();
+        let flat = b.flat(&base_idxs)?;
+        let local = b.owned_by(me, &base_idxs);
+        let val = b.data[flat];
+        let name = b.name.clone();
+        drop(b);
+        match &mut self.mode {
+            Mode::Inspect(st) => {
+                if !local {
+                    st.record(&view.base, flat);
+                }
+                Ok(val) // may be stale; only used for subscript-free reads
+            }
+            Mode::Execute(buf) => {
+                // Within-iteration read-your-writes (Listing 4 pattern);
+                // earlier iterations' writes stay invisible (copy-in).
+                let it_start = self.iter_start;
+                for (a, f, v) in buf[it_start..].iter().rev() {
+                    if *f == flat && Rc::ptr_eq(a, &view.base) {
+                        return Ok(*v);
+                    }
+                }
+                Ok(val) // freshened by the exchange phase
+            }
+            Mode::Normal => {
+                if local || self.doall_depth > 0 {
+                    Ok(val)
+                } else {
+                    Err(format!(
+                        "non-local read of {name}{base_idxs:?} in replicated code; \
+                         remote values only flow through doall communication"
+                    ))
+                }
+            }
+        }
+    }
+
+    // ---------- expressions ----------
+
+    fn eval(&mut self, e: &Expr) -> RtResult<Value> {
+        match e {
+            Expr::Int(v) => Ok(Value::Int(*v)),
+            Expr::Real(v) => Ok(Value::Real(*v)),
+            Expr::Var(name) => match self.frame().lookup(name) {
+                Some(Binding::Scalar(v)) => Ok(*v),
+                Some(Binding::Array(_)) => Err(format!("array {name} used as a scalar")),
+                Some(Binding::Grid(_)) => Err(format!("processor array {name} used as a scalar")),
+                None => Err(format!("undefined variable {name}")),
+            },
+            Expr::Un { op, e } => {
+                let v = self.eval(e)?;
+                Ok(match op {
+                    UnOp::Neg => match v {
+                        Value::Int(x) => Value::Int(-x),
+                        Value::Real(x) => Value::Real(-x),
+                    },
+                    UnOp::Not => Value::Int(if v.truthy() { 0 } else { 1 }),
+                })
+            }
+            Expr::Bin { op, l, r } => {
+                let a = self.eval(l)?;
+                let b = self.eval(r)?;
+                Ok(eval_bin(*op, a, b))
+            }
+            Expr::Ref { name, args } => {
+                // Array element or intrinsic, depending on the binding.
+                if let Some(Binding::Array(view)) = self.frame().lookup(name).cloned() {
+                    let idxs: Vec<i64> = args
+                        .iter()
+                        .map(|a| match a {
+                            RefArg::Expr(e) => self.eval(e).map(|v| v.as_int()),
+                            RefArg::Star => Err(format!(
+                                "'*' subscript on {name} is only valid in owner()/sections"
+                            )),
+                        })
+                        .collect::<RtResult<_>>()?;
+                    let v = self.read_element(&view, &idxs)?;
+                    let is_real = view.base.borrow().is_real;
+                    return Ok(if is_real {
+                        Value::Real(v)
+                    } else {
+                        Value::Int(v as i64)
+                    });
+                }
+                self.eval_intrinsic(name, args)
+            }
+        }
+    }
+
+    fn eval_intrinsic(&mut self, name: &str, args: &[RefArg]) -> RtResult<Value> {
+        let expr_arg = |a: &RefArg| -> RtResult<Expr> {
+            match a {
+                RefArg::Expr(e) => Ok(e.clone()),
+                RefArg::Star => Err(format!("'*' not valid in {name}()")),
+            }
+        };
+        match name {
+            "log2" => {
+                let v = self.eval(&expr_arg(&args[0])?)?.as_int();
+                if v <= 0 {
+                    return Err("log2 of a non-positive value".into());
+                }
+                Ok(Value::Int(63 - (v as u64).leading_zeros() as i64))
+            }
+            "mod" => {
+                let a = self.eval(&expr_arg(&args[0])?)?.as_int();
+                let b = self.eval(&expr_arg(&args[1])?)?.as_int();
+                Ok(Value::Int(a % b))
+            }
+            "abs" => {
+                let v = self.eval(&expr_arg(&args[0])?)?;
+                Ok(match v {
+                    Value::Int(x) => Value::Int(x.abs()),
+                    Value::Real(x) => Value::Real(x.abs()),
+                })
+            }
+            "sqrt" => {
+                let v = self.eval(&expr_arg(&args[0])?)?.as_f64();
+                Ok(Value::Real(v.sqrt()))
+            }
+            "min" | "max" => {
+                let a = self.eval(&expr_arg(&args[0])?)?;
+                let b = self.eval(&expr_arg(&args[1])?)?;
+                let take_a = if name == "min" {
+                    a.as_f64() <= b.as_f64()
+                } else {
+                    a.as_f64() >= b.as_f64()
+                };
+                Ok(if take_a { a } else { b })
+            }
+            "lower" | "upper" => self.eval_bound_intrinsic(name, args),
+            _ => Err(format!("unknown function or array {name}")),
+        }
+    }
+
+    /// `lower(x, procs(ip)[, dim])` / `upper(...)`: the first/last index of
+    /// the block of `x` owned by the selected processor, in declared
+    /// (1-based or as-declared) index space.
+    fn eval_bound_intrinsic(&mut self, name: &str, args: &[RefArg]) -> RtResult<Value> {
+        if args.len() < 2 {
+            return Err(format!("{name}(array, procsel[, dim]) needs two arguments"));
+        }
+        let RefArg::Expr(Expr::Var(aname)) = &args[0] else {
+            return Err(format!("{name}: first argument must be an array name"));
+        };
+        let Some(Binding::Array(view)) = self.frame().lookup(aname).cloned() else {
+            return Err(format!("{name}: {aname} is not an array"));
+        };
+        // Second argument: a processor selection expression.
+        let pe = match &args[1] {
+            RefArg::Expr(Expr::Var(n)) => ProcExpr::Whole(n.clone()),
+            RefArg::Expr(Expr::Ref { name: n, args }) => {
+                let subs = args
+                    .iter()
+                    .map(|a| match a {
+                        RefArg::Expr(e) => Some(e.clone()),
+                        RefArg::Star => None,
+                    })
+                    .collect();
+                ProcExpr::Select {
+                    name: n.clone(),
+                    subs,
+                }
+            }
+            _ => return Err(format!("{name}: second argument must select processors")),
+        };
+        let sel = self.eval_proc_expr(&pe)?;
+        if sel.size() != 1 {
+            return Err(format!("{name}: processor selection must be a single processor"));
+        }
+        let rank = sel.ranks()[0];
+        // Which callee dimension? Default: the only distributed dimension
+        // *visible through the view* (fixed dims of a section don't count).
+        let base = view.base.borrow();
+        let dims: Vec<usize> = (0..base.ndims())
+            .filter(|&d| {
+                base.dist[d] != DistDim::Star && matches!(view.map[d], ViewDim::Range(..))
+            })
+            .collect();
+        let dim_base = if args.len() >= 3 {
+            let d = self.eval(&expr_arg_expr(&args[2])?)?.as_int() as usize;
+            // The dim argument is in callee dimension numbering (1-based).
+            let mut seen = 0usize;
+            let mut found = None;
+            for (bd, m) in view.map.iter().enumerate() {
+                if matches!(m, ViewDim::Range(..)) {
+                    seen += 1;
+                    if seen == d {
+                        found = Some(bd);
+                        break;
+                    }
+                }
+            }
+            found.ok_or_else(|| format!("{name}: bad dim argument"))?
+        } else if dims.len() == 1 {
+            dims[0]
+        } else {
+            return Err(format!(
+                "{name}: array has {} distributed dims; pass the dim argument",
+                dims.len()
+            ));
+        };
+        let dist = base
+            .dist1(dim_base)
+            .ok_or_else(|| format!("{name}: dimension is not distributed"))?;
+        let gd = base.grid_dim_of(dim_base).expect("distributed");
+        let coords = base
+            .grid
+            .coords_of(rank)
+            .ok_or_else(|| format!("{name}: processor not in the array's grid"))?;
+        let qc = coords[gd];
+        let (olo, ohi) = match (dist.lower(qc), dist.upper(qc)) {
+            (Some(l), Some(h)) => (l, h),
+            _ => {
+                return Err(format!(
+                    "{name}: processor owns no part of {aname} along that dimension"
+                ))
+            }
+        };
+        let base_lo = base.bounds[dim_base].0;
+        drop(base);
+        // Map the owned base range back through the view, clamped to the
+        // section's range (so `lower(x, ...)` on a section reports the part
+        // of the *section* the processor owns).
+        let mut seen = 0usize;
+        for (bd, m) in view.map.iter().enumerate() {
+            if let ViewDim::Range(lo, hi) = m {
+                if bd == dim_base {
+                    let blo = (base_lo + olo as i64).max(*lo);
+                    let bhi = (base_lo + ohi as i64).min(*hi);
+                    if blo > bhi {
+                        return Err(format!(
+                            "{name}: processor owns no part of this section of {aname}"
+                        ));
+                    }
+                    let base_idx = if name == "lower" { blo } else { bhi };
+                    return Ok(Value::Int(view.callee_lo[seen] + (base_idx - lo)));
+                }
+                seen += 1;
+            }
+        }
+        Err(format!("{name}: dimension is fixed in this section"))
+    }
+}
+
+fn expr_arg_expr(a: &RefArg) -> RtResult<Expr> {
+    match a {
+        RefArg::Expr(e) => Ok(e.clone()),
+        RefArg::Star => Err("'*' not valid here".into()),
+    }
+}
+
+fn eval_bin(op: BinOp, a: Value, b: Value) -> Value {
+    use BinOp::*;
+    let both_int = matches!((a, b), (Value::Int(_), Value::Int(_)));
+    match op {
+        Add | Sub | Mul | Div | Rem => {
+            if both_int {
+                let (x, y) = (a.as_int(), b.as_int());
+                Value::Int(match op {
+                    Add => x + y,
+                    Sub => x - y,
+                    Mul => x * y,
+                    Div => x / y, // Fortran integer division truncates
+                    Rem => x % y,
+                    _ => unreachable!(),
+                })
+            } else {
+                let (x, y) = (a.as_f64(), b.as_f64());
+                Value::Real(match op {
+                    Add => x + y,
+                    Sub => x - y,
+                    Mul => x * y,
+                    Div => x / y,
+                    Rem => x % y,
+                    _ => unreachable!(),
+                })
+            }
+        }
+        Eq | Ne | Lt | Le | Gt | Ge => {
+            let (x, y) = (a.as_f64(), b.as_f64());
+            let t = match op {
+                Eq => x == y,
+                Ne => x != y,
+                Lt => x < y,
+                Le => x <= y,
+                Gt => x > y,
+                Ge => x >= y,
+                _ => unreachable!(),
+            };
+            Value::Int(t as i64)
+        }
+        And => Value::Int((a.truthy() && b.truthy()) as i64),
+        Or => Value::Int((a.truthy() || b.truthy()) as i64),
+    }
+}
+
+/// Does the body contain a call to a *parallel* subroutine?
+fn body_has_parallel_call(prog: &Program, body: &[Stmt]) -> bool {
+    body.iter().any(|s| match s {
+        Stmt::Call { name, .. } => prog.find(name).is_some_and(|s| s.parallel),
+        Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } => body_has_parallel_call(prog, then_body) || body_has_parallel_call(prog, else_body),
+        Stmt::Do { body, .. } => body_has_parallel_call(prog, body),
+        _ => false,
+    })
+}
+
+/// Names referenced in read position anywhere in a doall body, in
+/// first-appearance order (the static array list for the exchange phase).
+fn collect_read_names(body: &[Stmt]) -> Vec<String> {
+    let mut out = Vec::new();
+    fn expr(e: &Expr, out: &mut Vec<String>) {
+        match e {
+            Expr::Int(_) | Expr::Real(_) => {}
+            Expr::Var(n) => push(n, out),
+            Expr::Ref { name, args } => {
+                push(name, out);
+                for a in args {
+                    if let RefArg::Expr(e) = a {
+                        expr(e, out);
+                    }
+                }
+            }
+            Expr::Un { e, .. } => expr(e, out),
+            Expr::Bin { l, r, .. } => {
+                expr(l, out);
+                expr(r, out);
+            }
+        }
+    }
+    fn push(n: &str, out: &mut Vec<String>) {
+        if !out.iter().any(|x| x == n) {
+            out.push(n.to_string());
+        }
+    }
+    fn stmts(body: &[Stmt], out: &mut Vec<String>) {
+        for s in body {
+            match s {
+                Stmt::Assign { lhs, rhs } => {
+                    expr(rhs, out);
+                    if let LValue::Element { subs, .. } = lhs {
+                        for e in subs {
+                            expr(e, out);
+                        }
+                    }
+                }
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    expr(cond, out);
+                    stmts(then_body, out);
+                    stmts(else_body, out);
+                }
+                Stmt::Do {
+                    lo, hi, step, body, ..
+                } => {
+                    expr(lo, out);
+                    expr(hi, out);
+                    if let Some(e) = step {
+                        expr(e, out);
+                    }
+                    stmts(body, out);
+                }
+                Stmt::Call { args, .. } => {
+                    for a in args {
+                        if let Arg::Expr(e) = a {
+                            expr(e, out);
+                        }
+                    }
+                }
+                Stmt::Doall { .. } | Stmt::Return => {}
+            }
+        }
+    }
+    stmts(body, &mut out);
+    out
+}

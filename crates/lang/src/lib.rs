@@ -1,0 +1,433 @@
+//! # kali-lang — a front end for the KF1 (Kali Fortran 1) subset
+//!
+//! This crate implements the *language* side of the paper: a lexer, parser
+//! and SPMD interpreter for the constructs of §2 — `parsub`, `processors`
+//! declarations, `dist (block, cyclic, *)` clauses, `dynamic` arrays,
+//! `doall ... on owner(...)` loops with copy-in/copy-out semantics, the
+//! intrinsics `lower`/`upper`/`log2`, array sections, and distributed
+//! procedure calls carrying processor-array slices.
+//!
+//! Programs run on the `kali-machine` simulator: communication is never
+//! written by the programmer; the interpreter's inspector/executor pass
+//! derives it from data ownership at run time (the Kali runtime-resolution
+//! scheme the paper cites), and charges it to the virtual clock.
+//!
+//! The paper's listings, adapted to this subset, ship under
+//! `programs/` and are accessible through [`listing`].
+
+pub mod ast;
+pub mod interp;
+pub mod parser;
+pub mod token;
+pub mod value;
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use kali_grid::ProcGrid;
+use kali_machine::{Machine, MachineConfig, RunReport};
+
+use ast::{DistDim, Program};
+use interp::Interp;
+use value::{ArrObj, Binding, Value, View};
+
+pub use parser::{parse, ParseError};
+
+/// The paper's listings, adapted to the implemented subset.
+pub fn listing(name: &str) -> Option<&'static str> {
+    match name {
+        "jacobi" => Some(include_str!("../programs/jacobi.kf1")),
+        "shift" => Some(include_str!("../programs/shift.kf1")),
+        "tri" => Some(include_str!("../programs/tri.kf1")),
+        "adi" => Some(include_str!("../programs/adi.kf1")),
+        _ => None,
+    }
+}
+
+/// A host-side argument for [`run_source`].
+#[derive(Debug, Clone)]
+pub enum HostValue {
+    Int(i64),
+    Real(f64),
+    /// A (to-be-distributed) array with declared bounds, row-major data.
+    Array {
+        data: Vec<f64>,
+        bounds: Vec<(i64, i64)>,
+    },
+}
+
+/// Result of running a KF1 program.
+pub struct LangRun {
+    pub report: RunReport,
+    /// Final global contents of each array argument of the entry routine,
+    /// in parameter order (name, row-major data).
+    pub arrays: Vec<(String, Vec<f64>)>,
+}
+
+/// Parse and run `src` on a simulated machine: the entry `parsub` receives
+/// the host arguments and a processor array of shape `grid_dims`
+/// (`cfg.nprocs` must equal the product).
+///
+/// Returns the timing/traffic report and the final global state of every
+/// array argument (assembled from the owning processors).
+pub fn run_source(
+    cfg: MachineConfig,
+    src: &str,
+    entry: &str,
+    grid_dims: &[usize],
+    args: &[HostValue],
+) -> Result<LangRun, String> {
+    let prog: Arc<Program> = Arc::new(parse(src).map_err(|e| e.to_string())?);
+    let sub = prog
+        .find(entry)
+        .ok_or_else(|| format!("no subroutine named {entry}"))?;
+    if sub.params.len() != args.len() {
+        return Err(format!(
+            "{entry} takes {} arguments, {} supplied",
+            sub.params.len(),
+            args.len()
+        ));
+    }
+    if sub.proc_param.is_none() {
+        return Err(format!("{entry} is not a parallel subroutine"));
+    }
+    let grid_size: usize = grid_dims.iter().product();
+    if grid_size != cfg.nprocs {
+        return Err(format!(
+            "grid {grid_dims:?} needs {grid_size} processors, machine has {}",
+            cfg.nprocs
+        ));
+    }
+    let entry_name = entry.to_string();
+    let grid_dims = grid_dims.to_vec();
+    let args = args.to_vec();
+    let array_params: Vec<String> = sub
+        .params
+        .iter()
+        .zip(&args)
+        .filter(|(_, a)| matches!(a, HostValue::Array { .. }))
+        .map(|(p, _)| p.clone())
+        .collect();
+
+    let run = Machine::run(cfg, move |proc| {
+        let prog = Arc::clone(&prog);
+        let sub = prog.find(&entry_name).expect("entry checked");
+        let grid = ProcGrid::with_ranks(grid_dims.clone(), (0..grid_size).collect());
+        // Host arrays start replicated on a sentinel grid; the entry
+        // subroutine's declarations adopt them into the real distribution.
+        let mut bindings = Vec::new();
+        let mut handles = Vec::new();
+        for (p, a) in sub.params.iter().zip(&args) {
+            match a {
+                HostValue::Int(v) => bindings.push((p.clone(), Binding::Scalar(Value::Int(*v)))),
+                HostValue::Real(v) => {
+                    bindings.push((p.clone(), Binding::Scalar(Value::Real(*v))))
+                }
+                HostValue::Array { data, bounds } => {
+                    let arr = Rc::new(RefCell::new(ArrObj {
+                        name: p.clone(),
+                        bounds: bounds.clone(),
+                        dist: vec![DistDim::Star; bounds.len()],
+                        grid: ProcGrid::new_1d(1),
+                        data: data.clone(),
+                        is_real: true,
+                    }));
+                    handles.push((p.clone(), arr.clone()));
+                    bindings.push((p.clone(), Binding::Array(View::whole(arr))));
+                }
+            }
+        }
+        if let Some(pp) = &sub.proc_param {
+            bindings.push((pp.clone(), Binding::Grid(grid.clone())));
+        }
+        let rank = proc.rank();
+        let mut interp = Interp::new(proc, &prog);
+        interp
+            .call_sub(sub, bindings, grid)
+            .unwrap_or_else(|e| panic!("KF1 runtime error on processor {rank}: {e}"));
+        // Export final per-processor state plus the ownership map.
+        handles
+            .into_iter()
+            .map(|(name, arr)| {
+                let a = arr.borrow();
+                let owners: Vec<usize> = (0..a.total_len())
+                    .map(|flat| a.owner_of(&a.unflat(flat)).unwrap_or(0))
+                    .collect();
+                (name, a.data.clone(), owners)
+            })
+            .collect::<Vec<_>>()
+    });
+
+    // Combine: element value comes from its owner's copy.
+    let mut arrays = Vec::new();
+    for (ai, name) in array_params.iter().enumerate() {
+        let owners = &run.results[0][ai].2;
+        let mut combined = vec![0.0; owners.len()];
+        for (flat, &owner) in owners.iter().enumerate() {
+            combined[flat] = run.results[owner][ai].1[flat];
+        }
+        arrays.push((name.clone(), combined));
+    }
+    Ok(LangRun {
+        report: run.report,
+        arrays,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kali_machine::CostModel;
+    use std::time::Duration;
+
+    fn cfg(p: usize) -> MachineConfig {
+        MachineConfig::new(p)
+            .with_cost(CostModel::unit())
+            .with_watchdog(Duration::from_secs(30))
+    }
+
+    #[test]
+    fn shift_has_copy_in_copy_out_semantics() {
+        let n = 12;
+        let data: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+        let run = run_source(
+            cfg(4),
+            listing("shift").unwrap(),
+            "shift",
+            &[4],
+            &[
+                HostValue::Array {
+                    data,
+                    bounds: vec![(1, n as i64)],
+                },
+                HostValue::Int(n as i64),
+            ],
+        )
+        .unwrap();
+        let a = &run.arrays[0].1;
+        let want: Vec<f64> = (2..=n).chain([n]).map(|v| v as f64).collect();
+        assert_eq!(a, &want, "values must shift, not cascade");
+        assert!(run.report.total_msgs > 0, "block edges must travel");
+    }
+
+    #[test]
+    fn jacobi_listing_matches_native_sweeps() {
+        let np = 8i64;
+        let w = (np + 1) as usize;
+        let f: Vec<f64> = (0..w * w)
+            .map(|k| {
+                let (i, j) = (k / w, k % w);
+                if i == 0 || i == w - 1 || j == 0 || j == w - 1 {
+                    0.0
+                } else {
+                    ((i * 13 + j * 7) % 5) as f64 / 10.0 - 0.2
+                }
+            })
+            .collect();
+        // Native sequential reference (Listing 1 semantics).
+        let mut want = vec![0.0; w * w];
+        for _ in 0..6 {
+            let tmp = want.clone();
+            for i in 1..w - 1 {
+                for j in 1..w - 1 {
+                    want[i * w + j] = 0.25
+                        * (tmp[(i + 1) * w + j]
+                            + tmp[(i - 1) * w + j]
+                            + tmp[i * w + j + 1]
+                            + tmp[i * w + j - 1])
+                        - f[i * w + j];
+                }
+            }
+        }
+        let run = run_source(
+            cfg(4),
+            listing("jacobi").unwrap(),
+            "jacobi",
+            &[2, 2],
+            &[
+                HostValue::Array {
+                    data: vec![0.0; w * w],
+                    bounds: vec![(0, np), (0, np)],
+                },
+                HostValue::Array {
+                    data: f,
+                    bounds: vec![(0, np), (0, np)],
+                },
+                HostValue::Int(np),
+                HostValue::Int(6),
+            ],
+        )
+        .unwrap();
+        let x = &run.arrays[0].1;
+        for k in 0..w * w {
+            assert!(
+                (x[k] - want[k]).abs() < 1e-12,
+                "flat {k}: {} vs {}",
+                x[k],
+                want[k]
+            );
+        }
+    }
+
+    fn run_tri_listing(n: usize, p: usize, seed: u64) {
+        let sys = kali_kernels::TriDiag::random_dd(n, seed);
+        let x_true: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.37).sin() + 1.0).collect();
+        let f = sys.apply(&x_true);
+        let run = run_source(
+            cfg(p),
+            listing("tri").unwrap(),
+            "tri",
+            &[p],
+            &[
+                HostValue::Array {
+                    data: vec![0.0; n],
+                    bounds: vec![(1, n as i64)],
+                },
+                HostValue::Array {
+                    data: f,
+                    bounds: vec![(1, n as i64)],
+                },
+                HostValue::Array {
+                    data: sys.b.clone(),
+                    bounds: vec![(1, n as i64)],
+                },
+                HostValue::Array {
+                    data: sys.a.clone(),
+                    bounds: vec![(1, n as i64)],
+                },
+                HostValue::Array {
+                    data: sys.c.clone(),
+                    bounds: vec![(1, n as i64)],
+                },
+                HostValue::Int(n as i64),
+            ],
+        )
+        .unwrap();
+        let x = &run.arrays[0].1;
+        for i in 0..n {
+            assert!(
+                (x[i] - x_true[i]).abs() < 1e-8,
+                "n={n} p={p} i={i}: {} vs {}",
+                x[i],
+                x_true[i]
+            );
+        }
+    }
+
+    #[test]
+    fn tri_listing_solves_block_distributed_system() {
+        run_tri_listing(32, 4, 77);
+    }
+
+    #[test]
+    fn tri_listing_on_two_and_eight_procs() {
+        run_tri_listing(48, 2, 5);
+        run_tri_listing(48, 8, 9);
+    }
+
+    #[test]
+    fn owner_computes_violation_is_reported() {
+        let src = r#"
+parsub bad(a, n; procs)
+  processors procs(p)
+  real a(n) dist (block)
+  doall 100 i = 1, n on procs(1)
+    a(i) = 1.0
+100 continue
+end
+"#;
+        let res = std::panic::catch_unwind(|| {
+            run_source(
+                cfg(2),
+                src,
+                "bad",
+                &[2],
+                &[
+                    HostValue::Array {
+                        data: vec![0.0; 8],
+                        bounds: vec![(1, 8)],
+                    },
+                    HostValue::Int(8),
+                ],
+            )
+        });
+        assert!(res.is_err(), "writing another processor's block must fail");
+    }
+
+    #[test]
+    fn fortran_integer_division_and_implicit_typing() {
+        // `m = 7/2` must truncate (integer variable, integral division);
+        // `x = 7.0/2.0` stays real; `y = m + x` mixes.
+        let src = r#"
+parsub semantics(a; procs)
+  processors procs(p)
+  real a(8) dist (block)
+  m = 7/2
+  x = 7.0/2.0
+  y = m + x
+  doall 100 i = 1, 8 on owner(a(i))
+    a(i) = y
+100 continue
+end
+"#;
+        let run = run_source(
+            cfg(2),
+            src,
+            "semantics",
+            &[2],
+            &[HostValue::Array {
+                data: vec![0.0; 8],
+                bounds: vec![(1, 8)],
+            }],
+        )
+        .unwrap();
+        assert!(run.arrays[0].1.iter().all(|&v| v == 6.5));
+    }
+
+    #[test]
+    fn adi_listing_is_shipped_and_parses() {
+        let src = listing("adi").unwrap();
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.subs.len(), 3); // adi, resid, tric
+        assert!(prog.find("tric").is_some());
+    }
+
+    #[test]
+    fn replicated_scalars_and_intrinsics() {
+        let src = r#"
+parsub probe(a, n; procs)
+  processors procs(p)
+  real a(n) dist (block)
+  k = log2(p)
+  doall 100 ip = 1, p on procs(ip)
+    lo = lower(a, procs(ip))
+    hi = upper(a, procs(ip))
+    a(lo) = 100.0*ip + k
+    a(hi) = 200.0*ip + hi - lo + 1
+100 continue
+end
+"#;
+        let run = run_source(
+            cfg(4),
+            src,
+            "probe",
+            &[4],
+            &[
+                HostValue::Array {
+                    data: vec![0.0; 16],
+                    bounds: vec![(1, 16)],
+                },
+                HostValue::Int(16),
+            ],
+        )
+        .unwrap();
+        let a = &run.arrays[0].1;
+        // p=4 over 16: blocks of 4; k = 2.
+        assert_eq!(a[0], 102.0);
+        assert_eq!(a[3], 204.0);
+        assert_eq!(a[4], 202.0);
+        assert_eq!(a[12], 402.0);
+        assert_eq!(a[15], 804.0);
+    }
+}

@@ -1,0 +1,977 @@
+//! Recursive-descent parser for the KF1 subset.
+
+use crate::ast::*;
+use crate::token::{lex, LexError, SpannedTok, Tok};
+
+/// Parse error with source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            line: e.line,
+            msg: e.msg,
+        }
+    }
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+/// Parse a KF1 source file.
+pub fn parse(src: &str) -> PResult<Program> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+/// What ended a statement block.
+#[derive(Debug, PartialEq)]
+enum BlockEnd {
+    End,
+    Else,
+    Endif,
+    LabelContinue(u32),
+    EndDo,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
+        Err(ParseError {
+            line: self.line(),
+            msg: msg.into(),
+        })
+    }
+
+    fn expect_punct(&mut self, p: &str) -> PResult<()> {
+        match self.bump() {
+            Tok::Punct(q) if q == p => Ok(()),
+            other => Err(ParseError {
+                line: self.toks[self.pos.saturating_sub(1)].line,
+                msg: format!("expected {p:?}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Tok::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> PResult<String> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(ParseError {
+                line: self.toks[self.pos.saturating_sub(1)].line,
+                msg: format!("expected identifier, found {other:?}"),
+            }),
+        }
+    }
+
+    fn eat_ident(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_eol(&mut self) -> PResult<()> {
+        match self.bump() {
+            Tok::Eol | Tok::Eof => Ok(()),
+            other => Err(ParseError {
+                line: self.toks[self.pos.saturating_sub(1)].line,
+                msg: format!("expected end of line, found {other:?}"),
+            }),
+        }
+    }
+
+    fn skip_eols(&mut self) {
+        while matches!(self.peek(), Tok::Eol) {
+            self.bump();
+        }
+    }
+
+    // ---------- top level ----------
+
+    fn program(&mut self) -> PResult<Program> {
+        let mut subs = Vec::new();
+        self.skip_eols();
+        while !matches!(self.peek(), Tok::Eof) {
+            subs.push(self.subroutine()?);
+            self.skip_eols();
+        }
+        Ok(Program { subs })
+    }
+
+    fn subroutine(&mut self) -> PResult<Subroutine> {
+        let parallel = if self.eat_ident("parsub") {
+            true
+        } else if self.eat_ident("subroutine") || self.eat_ident("sub") {
+            false
+        } else {
+            return self.err("expected `parsub` or `subroutine`");
+        };
+        let name = self.expect_ident()?;
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        let mut proc_param = None;
+        if !self.eat_punct(")") {
+            loop {
+                if self.eat_punct(";") {
+                    proc_param = Some(self.expect_ident()?);
+                    self.expect_punct(")")?;
+                    break;
+                }
+                params.push(self.expect_ident()?);
+                if self.eat_punct(",") {
+                    continue;
+                }
+                if self.eat_punct(";") {
+                    proc_param = Some(self.expect_ident()?);
+                    self.expect_punct(")")?;
+                    break;
+                }
+                self.expect_punct(")")?;
+                break;
+            }
+        }
+        self.expect_eol()?;
+        self.skip_eols();
+
+        // Declarations.
+        let mut decls = Vec::new();
+        loop {
+            self.skip_eols();
+            match self.peek() {
+                Tok::Ident(s) if s == "processors" => {
+                    self.bump();
+                    let pname = self.expect_ident()?;
+                    self.expect_punct("(")?;
+                    let mut extents = Vec::new();
+                    loop {
+                        extents.push(self.expr()?);
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                    }
+                    self.expect_punct(")")?;
+                    self.expect_eol()?;
+                    decls.push(Decl::Processors {
+                        name: pname,
+                        extents,
+                    });
+                }
+                Tok::Ident(s) if s == "real" || s == "integer" || s == "dynamic" => {
+                    let s = s.clone();
+                    let dynamic = s == "dynamic";
+                    self.bump();
+                    let is_real = if dynamic {
+                        if self.eat_ident("real") {
+                            true
+                        } else if self.eat_ident("integer") {
+                            false
+                        } else {
+                            return self.err("expected `real` or `integer` after `dynamic`");
+                        }
+                    } else {
+                        s == "real"
+                    };
+                    let mut items = Vec::new();
+                    loop {
+                        let iname = self.expect_ident()?;
+                        let mut dims = Vec::new();
+                        if self.eat_punct("(") {
+                            loop {
+                                let e1 = self.expr()?;
+                                if self.eat_punct(":") {
+                                    let e2 = self.expr()?;
+                                    dims.push((e1, e2));
+                                } else {
+                                    dims.push((Expr::Int(1), e1));
+                                }
+                                if !self.eat_punct(",") {
+                                    break;
+                                }
+                            }
+                            self.expect_punct(")")?;
+                        }
+                        items.push(DeclItem { name: iname, dims });
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                    }
+                    let dist = if self.eat_ident("dist") {
+                        self.expect_punct("(")?;
+                        let mut dd = Vec::new();
+                        loop {
+                            if self.eat_punct("*") {
+                                dd.push(DistDim::Star);
+                            } else if self.eat_ident("block") {
+                                dd.push(DistDim::Block);
+                            } else if self.eat_ident("cyclic") {
+                                dd.push(DistDim::Cyclic);
+                            } else {
+                                return self.err("expected block, cyclic or * in dist clause");
+                            }
+                            if !self.eat_punct(",") {
+                                break;
+                            }
+                        }
+                        self.expect_punct(")")?;
+                        Some(dd)
+                    } else {
+                        None
+                    };
+                    self.expect_eol()?;
+                    decls.push(Decl::Arrays {
+                        is_real,
+                        dynamic,
+                        items,
+                        dist,
+                    });
+                }
+                _ => break,
+            }
+        }
+
+        // Body.
+        let (body, end) = self.block(&[])?;
+        if end != BlockEnd::End {
+            return self.err(format!("subroutine {name} not terminated by `end`"));
+        }
+        Ok(Subroutine {
+            name,
+            parallel,
+            params,
+            proc_param,
+            decls,
+            body,
+        })
+    }
+
+    // ---------- statements ----------
+
+    /// Parse statements until a terminator. `labels` are loop labels whose
+    /// `label continue` ends the block.
+    fn block(&mut self, labels: &[u32]) -> PResult<(Vec<Stmt>, BlockEnd)> {
+        let mut stmts = Vec::new();
+        loop {
+            self.skip_eols();
+            match self.peek().clone() {
+                Tok::Eof => return self.err("unexpected end of file inside a block"),
+                Tok::Ident(s) if s == "end" => {
+                    self.bump();
+                    self.expect_eol()?;
+                    return Ok((stmts, BlockEnd::End));
+                }
+                Tok::Ident(s) if s == "else" => {
+                    self.bump();
+                    self.expect_eol()?;
+                    return Ok((stmts, BlockEnd::Else));
+                }
+                Tok::Ident(s) if s == "endif" => {
+                    self.bump();
+                    self.expect_eol()?;
+                    return Ok((stmts, BlockEnd::Endif));
+                }
+                Tok::Ident(s) if s == "enddo" => {
+                    self.bump();
+                    self.expect_eol()?;
+                    return Ok((stmts, BlockEnd::EndDo));
+                }
+                Tok::Label(n) => {
+                    // `label continue` may terminate one of our loops.
+                    if labels.contains(&n) && matches!(self.peek2(), Tok::Ident(s) if s == "continue")
+                    {
+                        self.bump();
+                        self.bump();
+                        self.expect_eol()?;
+                        return Ok((stmts, BlockEnd::LabelContinue(n)));
+                    }
+                    // Otherwise: a labelled statement (we only allow continue).
+                    self.bump();
+                    if self.eat_ident("continue") {
+                        self.expect_eol()?;
+                        continue;
+                    }
+                    return self.err("only `continue` may carry a label here");
+                }
+                _ => {
+                    let st = self.statement(labels)?;
+                    stmts.push(st);
+                }
+            }
+        }
+    }
+
+    fn statement(&mut self, labels: &[u32]) -> PResult<Stmt> {
+        match self.peek().clone() {
+            Tok::Ident(s) if s == "do" => self.do_stmt(labels),
+            Tok::Ident(s) if s == "doall" => self.doall_stmt(labels),
+            Tok::Ident(s) if s == "if" => self.if_stmt(labels),
+            Tok::Ident(s) if s == "call" => self.call_stmt(),
+            Tok::Ident(s) if s == "return" => {
+                self.bump();
+                self.expect_eol()?;
+                Ok(Stmt::Return)
+            }
+            Tok::Ident(s) if s == "continue" => {
+                self.bump();
+                self.expect_eol()?;
+                // bare continue: no-op statement
+                Ok(Stmt::If {
+                    cond: Expr::Int(0),
+                    then_body: vec![],
+                    else_body: vec![],
+                })
+            }
+            Tok::Ident(_) => self.assign_stmt(),
+            other => self.err(format!("unexpected token {other:?} at statement start")),
+        }
+    }
+
+    fn assign_stmt(&mut self) -> PResult<Stmt> {
+        let name = self.expect_ident()?;
+        let lhs = if self.eat_punct("(") {
+            let mut subs = Vec::new();
+            loop {
+                subs.push(self.expr()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct(")")?;
+            LValue::Element { name, subs }
+        } else {
+            LValue::Scalar(name)
+        };
+        self.expect_punct("=")?;
+        let rhs = self.expr()?;
+        self.expect_eol()?;
+        Ok(Stmt::Assign { lhs, rhs })
+    }
+
+    fn do_stmt(&mut self, outer: &[u32]) -> PResult<Stmt> {
+        self.bump(); // do
+        let label = if let Tok::Int(n) = self.peek() {
+            let n = *n as u32;
+            self.bump();
+            Some(n)
+        } else {
+            None
+        };
+        let var = self.expect_ident()?;
+        self.expect_punct("=")?;
+        let lo = self.expr()?;
+        self.expect_punct(",")?;
+        let hi = self.expr()?;
+        let step = if self.eat_punct(",") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect_eol()?;
+        let mut labels: Vec<u32> = outer.to_vec();
+        if let Some(l) = label {
+            labels.push(l);
+        }
+        let (body, end) = self.block(&labels)?;
+        match (label, end) {
+            (Some(l), BlockEnd::LabelContinue(m)) if l == m => {}
+            (None, BlockEnd::EndDo) => {}
+            (_, e) => return self.err(format!("do loop terminated by {e:?}")),
+        }
+        Ok(Stmt::Do {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+        })
+    }
+
+    fn doall_stmt(&mut self, outer: &[u32]) -> PResult<Stmt> {
+        self.bump(); // doall
+        let label = if let Tok::Int(n) = self.peek() {
+            let n = *n as u32;
+            self.bump();
+            Some(n)
+        } else {
+            None
+        };
+        let mut vars = Vec::new();
+        let mut ranges = Vec::new();
+        if self.eat_punct("(") {
+            // (i, j) = [l1, h1] * [l2, h2]
+            vars.push(self.expect_ident()?);
+            self.expect_punct(",")?;
+            vars.push(self.expect_ident()?);
+            self.expect_punct(")")?;
+            self.expect_punct("=")?;
+            for d in 0..2 {
+                self.expect_punct("[")?;
+                let lo = self.expr()?;
+                self.expect_punct(",")?;
+                let hi = self.expr()?;
+                let step = if self.eat_punct(",") {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect_punct("]")?;
+                ranges.push((lo, hi, step));
+                if d == 0 {
+                    self.expect_punct("*")?;
+                }
+            }
+        } else {
+            vars.push(self.expect_ident()?);
+            self.expect_punct("=")?;
+            let lo = self.expr()?;
+            self.expect_punct(",")?;
+            let hi = self.expr()?;
+            let step = if self.eat_punct(",") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            ranges.push((lo, hi, step));
+        }
+        if !self.eat_ident("on") {
+            return self.err("doall requires an `on` clause");
+        }
+        let on = self.on_clause()?;
+        self.expect_eol()?;
+        let mut labels: Vec<u32> = outer.to_vec();
+        if let Some(l) = label {
+            labels.push(l);
+        }
+        let (body, end) = self.block(&labels)?;
+        match (label, end) {
+            (Some(l), BlockEnd::LabelContinue(m)) if l == m => {}
+            (None, BlockEnd::EndDo) => {}
+            (_, e) => return self.err(format!("doall terminated by {e:?}")),
+        }
+        Ok(Stmt::Doall {
+            vars,
+            ranges,
+            on,
+            body,
+        })
+    }
+
+    fn on_clause(&mut self) -> PResult<OnClause> {
+        let name = self.expect_ident()?;
+        if name == "owner" {
+            self.expect_punct("(")?;
+            let arr = self.expect_ident()?;
+            self.expect_punct("(")?;
+            let subs = self.star_subs()?;
+            self.expect_punct(")")?;
+            self.expect_punct(")")?;
+            Ok(OnClause::Owner { array: arr, subs })
+        } else if self.eat_punct("(") {
+            let subs = self.star_subs()?;
+            self.expect_punct(")")?;
+            Ok(OnClause::Procs(ProcExpr::Select { name, subs }))
+        } else {
+            Ok(OnClause::Procs(ProcExpr::Whole(name)))
+        }
+    }
+
+    /// Subscript list allowing `*`: returns None for starred positions.
+    fn star_subs(&mut self) -> PResult<Vec<Option<Expr>>> {
+        let mut subs = Vec::new();
+        loop {
+            if self.eat_punct("*") {
+                subs.push(None);
+            } else {
+                subs.push(Some(self.expr()?));
+            }
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        Ok(subs)
+    }
+
+    fn if_stmt(&mut self, labels: &[u32]) -> PResult<Stmt> {
+        self.bump(); // if
+        self.expect_punct("(")?;
+        let cond = self.expr()?;
+        self.expect_punct(")")?;
+        if self.eat_ident("then") {
+            self.expect_eol()?;
+            let (then_body, end) = self.block(labels)?;
+            match end {
+                BlockEnd::Endif => Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body: vec![],
+                }),
+                BlockEnd::Else => {
+                    let (else_body, end2) = self.block(labels)?;
+                    if end2 != BlockEnd::Endif {
+                        return self.err("else block must end with endif");
+                    }
+                    Ok(Stmt::If {
+                        cond,
+                        then_body,
+                        else_body,
+                    })
+                }
+                e => self.err(format!("if block terminated by {e:?}")),
+            }
+        } else {
+            // One-armed logical if: `if (c) stmt`.
+            let st = self.statement(labels)?;
+            Ok(Stmt::If {
+                cond,
+                then_body: vec![st],
+                else_body: vec![],
+            })
+        }
+    }
+
+    fn call_stmt(&mut self) -> PResult<Stmt> {
+        self.bump(); // call
+        let name = self.expect_ident()?;
+        self.expect_punct("(")?;
+        let mut args = Vec::new();
+        let mut on = None;
+        if !self.eat_punct(")") {
+            loop {
+                if self.eat_punct(";") {
+                    on = Some(self.proc_expr()?);
+                    self.expect_punct(")")?;
+                    break;
+                }
+                args.push(self.call_arg()?);
+                if self.eat_punct(",") {
+                    continue;
+                }
+                if self.eat_punct(";") {
+                    on = Some(self.proc_expr()?);
+                    self.expect_punct(")")?;
+                    break;
+                }
+                self.expect_punct(")")?;
+                break;
+            }
+        }
+        self.expect_eol()?;
+        Ok(Stmt::Call { name, args, on })
+    }
+
+    fn proc_expr(&mut self) -> PResult<ProcExpr> {
+        let name = self.expect_ident()?;
+        if name == "owner" {
+            self.expect_punct("(")?;
+            let arr = self.expect_ident()?;
+            self.expect_punct("(")?;
+            let subs = self.star_subs()?;
+            self.expect_punct(")")?;
+            self.expect_punct(")")?;
+            Ok(ProcExpr::Owner { array: arr, subs })
+        } else if self.eat_punct("(") {
+            let subs = self.star_subs()?;
+            self.expect_punct(")")?;
+            Ok(ProcExpr::Select { name, subs })
+        } else {
+            Ok(ProcExpr::Whole(name))
+        }
+    }
+
+    /// One call argument: a section if any subscript is `*` or a range.
+    fn call_arg(&mut self) -> PResult<Arg> {
+        // Lookahead: IDENT "(" ... with a top-level ":" or "*" inside.
+        if let Tok::Ident(name) = self.peek().clone() {
+            if matches!(self.peek2(), Tok::Punct("(")) && self.probe_section() {
+                self.bump(); // name
+                self.bump(); // (
+                let mut subs = Vec::new();
+                loop {
+                    if self.eat_punct("*") {
+                        subs.push(Section::All);
+                    } else {
+                        let e1 = self.expr()?;
+                        if self.eat_punct(":") {
+                            let e2 = self.expr()?;
+                            subs.push(Section::Range(e1, e2));
+                        } else {
+                            subs.push(Section::Index(e1));
+                        }
+                    }
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                }
+                self.expect_punct(")")?;
+                return Ok(Arg::Section { name, subs });
+            }
+        }
+        Ok(Arg::Expr(self.expr()?))
+    }
+
+    /// Does the parenthesized group starting at peek2 contain a top-level
+    /// `:` or a bare `*` (i.e., `*` adjacent to `(`/`,`/`)`)?
+    fn probe_section(&self) -> bool {
+        let mut i = self.pos + 1; // at "("
+        let mut depth = 0usize;
+        let mut prev_open = true;
+        loop {
+            match &self.toks.get(i).map(|t| &t.tok) {
+                Some(Tok::Punct("(")) => {
+                    depth += 1;
+                    prev_open = true;
+                }
+                Some(Tok::Punct(")")) => {
+                    if depth == 0 {
+                        return false;
+                    }
+                    depth -= 1;
+                    if depth == 0 {
+                        return false;
+                    }
+                    prev_open = false;
+                }
+                Some(Tok::Punct(":")) if depth == 1 => return true,
+                Some(Tok::Punct("*")) if depth == 1 && prev_open => return true,
+                Some(Tok::Punct(",")) => prev_open = depth == 1,
+                Some(Tok::Eol) | Some(Tok::Eof) | None => return false,
+                _ => prev_open = false,
+            }
+            i += 1;
+        }
+    }
+
+    // ---------- expressions ----------
+
+    fn expr(&mut self) -> PResult<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> PResult<Expr> {
+        let mut l = self.and_expr()?;
+        while self.eat_punct("||") {
+            let r = self.and_expr()?;
+            l = Expr::Bin {
+                op: BinOp::Or,
+                l: Box::new(l),
+                r: Box::new(r),
+            };
+        }
+        Ok(l)
+    }
+
+    fn and_expr(&mut self) -> PResult<Expr> {
+        let mut l = self.not_expr()?;
+        while self.eat_punct("&&") {
+            let r = self.not_expr()?;
+            l = Expr::Bin {
+                op: BinOp::And,
+                l: Box::new(l),
+                r: Box::new(r),
+            };
+        }
+        Ok(l)
+    }
+
+    fn not_expr(&mut self) -> PResult<Expr> {
+        if self.eat_punct("!") {
+            let e = self.not_expr()?;
+            return Ok(Expr::Un {
+                op: UnOp::Not,
+                e: Box::new(e),
+            });
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> PResult<Expr> {
+        let l = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::Punct("==") => Some(BinOp::Eq),
+            Tok::Punct("/=") => Some(BinOp::Ne),
+            Tok::Punct("<") => Some(BinOp::Lt),
+            Tok::Punct("<=") => Some(BinOp::Le),
+            Tok::Punct(">") => Some(BinOp::Gt),
+            Tok::Punct(">=") => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let r = self.add_expr()?;
+            return Ok(Expr::Bin {
+                op,
+                l: Box::new(l),
+                r: Box::new(r),
+            });
+        }
+        Ok(l)
+    }
+
+    fn add_expr(&mut self) -> PResult<Expr> {
+        let mut l = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Punct("+") => Some(BinOp::Add),
+                Tok::Punct("-") => Some(BinOp::Sub),
+                _ => None,
+            };
+            let Some(op) = op else { break };
+            self.bump();
+            let r = self.mul_expr()?;
+            l = Expr::Bin {
+                op,
+                l: Box::new(l),
+                r: Box::new(r),
+            };
+        }
+        Ok(l)
+    }
+
+    fn mul_expr(&mut self) -> PResult<Expr> {
+        let mut l = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Punct("*") => Some(BinOp::Mul),
+                Tok::Punct("/") => Some(BinOp::Div),
+                Tok::Punct("%") => Some(BinOp::Rem),
+                _ => None,
+            };
+            let Some(op) = op else { break };
+            self.bump();
+            let r = self.unary_expr()?;
+            l = Expr::Bin {
+                op,
+                l: Box::new(l),
+                r: Box::new(r),
+            };
+        }
+        Ok(l)
+    }
+
+    fn unary_expr(&mut self) -> PResult<Expr> {
+        if self.eat_punct("-") {
+            let e = self.unary_expr()?;
+            return Ok(Expr::Un {
+                op: UnOp::Neg,
+                e: Box::new(e),
+            });
+        }
+        if self.eat_punct("+") {
+            return self.unary_expr();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> PResult<Expr> {
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr::Int(v)),
+            Tok::Real(v) => Ok(Expr::Real(v)),
+            Tok::Punct("(") => {
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if self.eat_punct("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            if self.eat_punct("*") {
+                                args.push(RefArg::Star);
+                            } else {
+                                args.push(RefArg::Expr(self.expr()?));
+                            }
+                            if !self.eat_punct(",") {
+                                break;
+                            }
+                        }
+                        self.expect_punct(")")?;
+                    }
+                    Ok(Expr::Ref { name, args })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(ParseError {
+                line: self.toks[self.pos.saturating_sub(1)].line,
+                msg: format!("unexpected token {other:?} in expression"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_listing3_skeleton() {
+        let src = r#"
+parsub jacobi(x, f, np; procs)
+  processors procs(p, p)
+  real x(0:np, 0:np), f(0:np, 0:np) dist (block, block)
+  n = np - 1
+  do 1000 it = 1, 50
+    doall 100 (i, j) = [1, n] * [1, n] on owner(x(i, j))
+      x(i, j) = 0.25*(x(i+1, j) + x(i-1, j) + x(i, j+1) + x(i, j-1)) - f(i, j)
+100 continue
+1000 continue
+  return
+end
+"#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.subs.len(), 1);
+        let s = &p.subs[0];
+        assert!(s.parallel);
+        assert_eq!(s.params, vec!["x", "f", "np"]);
+        assert_eq!(s.proc_param.as_deref(), Some("procs"));
+        assert_eq!(s.decls.len(), 2);
+        // body: n = ..., do loop, return
+        assert_eq!(s.body.len(), 3);
+        match &s.body[1] {
+            Stmt::Do { var, body, .. } => {
+                assert_eq!(var, "it");
+                match &body[0] {
+                    Stmt::Doall { vars, on, .. } => {
+                        assert_eq!(vars, &["i", "j"]);
+                        assert!(matches!(on, OnClause::Owner { .. }));
+                    }
+                    other => panic!("expected doall, got {other:?}"),
+                }
+            }
+            other => panic!("expected do, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_call_with_sections_and_procslice() {
+        let src = r#"
+parsub adi(u, r; procs)
+  processors procs(px, py)
+  real u(0:8, 0:8), r(0:8, 0:8) dist (block, block)
+  doall 100 i = 1, 7 on owner(r(i, *))
+    call tric(u(i, *), r(i, 1:7), 2.0, 8; owner(r(i, *)))
+100 continue
+end
+"#;
+        let p = parse(src).unwrap();
+        match &p.subs[0].body[0] {
+            Stmt::Doall { body, .. } => match &body[0] {
+                Stmt::Call { name, args, on } => {
+                    assert_eq!(name, "tric");
+                    assert_eq!(args.len(), 4);
+                    assert!(matches!(&args[0], Arg::Section { .. }));
+                    assert!(matches!(&args[1], Arg::Section { .. }));
+                    assert!(matches!(&args[2], Arg::Expr(_)));
+                    assert!(matches!(on, Some(ProcExpr::Owner { .. })));
+                }
+                other => panic!("expected call, got {other:?}"),
+            },
+            other => panic!("expected doall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_if_else_and_intrinsics() {
+        let src = r#"
+parsub tri(b; procs)
+  processors procs(p)
+  real b(64) dist (block)
+  integer lo, hi, step
+  k = log2(p)
+  do 1000 step = 1, k
+    if (step .eq. 1) then
+      doall 100 ip = 1, p on procs(ip)
+        lo = lower(b, procs(ip))
+        hi = upper(b, procs(ip))
+100   continue
+    else
+      x = 2
+    endif
+1000 continue
+end
+"#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.subs[0].name, "tri");
+    }
+
+    #[test]
+    fn function_ref_vs_array_ref_is_deferred() {
+        let src = "parsub f(a; p)\n  processors p(q)\n  x = mod(3, 2) + a(1)\nend\n";
+        let prog = parse(src).unwrap();
+        match &prog.subs[0].body[0] {
+            Stmt::Assign { rhs, .. } => {
+                assert_eq!(rhs.flop_count(), 1.0); // only the +
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn reports_error_with_line() {
+        let src = "parsub f(a; p)\n  processors p(q)\n  x = = 3\nend\n";
+        let err = parse(src).unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn one_armed_if() {
+        let src = "parsub f(a; p)\n  processors p(q)\n  if (a > 1) x = 2\nend\n";
+        let prog = parse(src).unwrap();
+        match &prog.subs[0].body[0] {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                assert_eq!(then_body.len(), 1);
+                assert!(else_body.is_empty());
+            }
+            _ => panic!(),
+        }
+    }
+}

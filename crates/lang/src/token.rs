@@ -1,0 +1,389 @@
+//! Lexer for the KF1 subset: Fortran-flavoured, line-oriented,
+//! case-insensitive, with `c`/`!` comments and `&` continuations.
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (lower-cased).
+    Ident(String),
+    Int(i64),
+    Real(f64),
+    /// Punctuation / operators: ( ) , ; : * + - / = < > == /= <= >= %
+    Punct(&'static str),
+    /// Statement label at the start of a line.
+    Label(u32),
+    /// End of statement (newline).
+    Eol,
+    Eof,
+}
+
+#[derive(Debug, Clone)]
+pub struct SpannedTok {
+    pub tok: Tok,
+    pub line: usize,
+}
+
+/// Lexing error with a line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+/// Dotted Fortran operators mapped to punctuation.
+const DOT_OPS: &[(&str, &str)] = &[
+    (".eq.", "=="),
+    (".ne.", "/="),
+    (".lt.", "<"),
+    (".le.", "<="),
+    (".gt.", ">"),
+    (".ge.", ">="),
+    (".and.", "&&"),
+    (".or.", "||"),
+    (".not.", "!"),
+];
+
+/// Tokenize KF1 source. Comment lines start with `c`/`C`/`*` in column 1
+/// or `!` anywhere; a trailing `&` joins the next line.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
+    // Phase 1: logical lines (strip comments, apply continuations).
+    let mut logical: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let trimmed_start = raw.trim_start();
+        // Fortran-style full-line comments.
+        let first = raw.chars().next();
+        if matches!(first, Some('c') | Some('C') | Some('*'))
+            && raw.len() > 1
+            && raw.chars().nth(1).is_some_and(|ch| ch.is_whitespace())
+        {
+            continue;
+        }
+        if first == Some('c') || first == Some('C') {
+            if raw.trim() == "c" || raw.trim() == "C" {
+                continue;
+            }
+        }
+        // Inline `!` comments.
+        let no_comment = match raw.find('!') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        if no_comment.trim().is_empty() {
+            if trimmed_start.starts_with('!') {
+                continue;
+            }
+            // Blank line: flush nothing.
+            continue;
+        }
+        let mut text = no_comment.trim_end().to_string();
+        let continued = text.ends_with('&');
+        if continued {
+            text.pop();
+        }
+        match pending.take() {
+            Some((l0, mut acc)) => {
+                acc.push(' ');
+                acc.push_str(text.trim_start());
+                if continued {
+                    pending = Some((l0, acc));
+                } else {
+                    logical.push((l0, acc));
+                }
+            }
+            None => {
+                if continued {
+                    pending = Some((line, text));
+                } else {
+                    logical.push((line, text));
+                }
+            }
+        }
+    }
+    if let Some((l0, acc)) = pending {
+        logical.push((l0, acc));
+    }
+
+    // Phase 2: tokens within each logical line.
+    let mut out = Vec::new();
+    for (line, text) in logical {
+        let lower = text.to_ascii_lowercase();
+        let b = lower.as_bytes();
+        let mut i = 0usize;
+        // Optional numeric label at line start.
+        let start_ws = lower.len() - lower.trim_start().len();
+        i += start_ws;
+        let mut first_tok = true;
+        while i < b.len() {
+            let ch = b[i] as char;
+            if ch.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            if ch.is_ascii_digit() || (ch == '.' && i + 1 < b.len() && (b[i + 1] as char).is_ascii_digit()) {
+                // Number (integer, real, or statement label if first).
+                let start = i;
+                let mut seen_dot = false;
+                let mut seen_exp = false;
+                while i < b.len() {
+                    let c = b[i] as char;
+                    if c.is_ascii_digit() {
+                        i += 1;
+                    } else if c == '.' && !seen_dot && !seen_exp {
+                        // Don't swallow dotted operators like `1.eq.`:
+                        let rest = &lower[i..];
+                        if DOT_OPS.iter().any(|(d, _)| rest.starts_with(d)) {
+                            break;
+                        }
+                        seen_dot = true;
+                        i += 1;
+                    } else if (c == 'e' || c == 'd') && !seen_exp && i > start {
+                        let nxt = b.get(i + 1).map(|&x| x as char);
+                        if matches!(nxt, Some(d2) if d2.is_ascii_digit() || d2 == '+' || d2 == '-')
+                        {
+                            seen_exp = true;
+                            seen_dot = true;
+                            i += 1;
+                            if matches!(b.get(i).map(|&x| x as char), Some('+') | Some('-')) {
+                                i += 1;
+                            }
+                        } else {
+                            break;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let textn = &lower[start..i];
+                if seen_dot {
+                    let v: f64 = textn.replace('d', "e").parse().map_err(|_| LexError {
+                        line,
+                        msg: format!("bad real literal {textn:?}"),
+                    })?;
+                    out.push(SpannedTok {
+                        tok: Tok::Real(v),
+                        line,
+                    });
+                } else if first_tok {
+                    let v: u32 = textn.parse().map_err(|_| LexError {
+                        line,
+                        msg: format!("bad label {textn:?}"),
+                    })?;
+                    out.push(SpannedTok {
+                        tok: Tok::Label(v),
+                        line,
+                    });
+                } else {
+                    let v: i64 = textn.parse().map_err(|_| LexError {
+                        line,
+                        msg: format!("bad integer {textn:?}"),
+                    })?;
+                    out.push(SpannedTok {
+                        tok: Tok::Int(v),
+                        line,
+                    });
+                }
+                first_tok = false;
+                continue;
+            }
+            if ch.is_ascii_alphabetic() || ch == '_' {
+                let start = i;
+                while i < b.len() {
+                    let c = b[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Ident(lower[start..i].to_string()),
+                    line,
+                });
+                first_tok = false;
+                continue;
+            }
+            if ch == '.' {
+                // Dotted operator.
+                let rest = &lower[i..];
+                if let Some((d, p)) = DOT_OPS.iter().find(|(d, _)| rest.starts_with(d)) {
+                    out.push(SpannedTok {
+                        tok: Tok::Punct(p),
+                        line,
+                    });
+                    i += d.len();
+                    first_tok = false;
+                    continue;
+                }
+                return Err(LexError {
+                    line,
+                    msg: format!("unexpected '.' in {rest:?}"),
+                });
+            }
+            // Multi-char operators first.
+            let two = &lower[i..(i + 2).min(lower.len())];
+            let punct2: Option<&'static str> = match two {
+                "==" => Some("=="),
+                "/=" => Some("/="),
+                "<=" => Some("<="),
+                ">=" => Some(">="),
+                _ => None,
+            };
+            if let Some(p) = punct2 {
+                out.push(SpannedTok {
+                    tok: Tok::Punct(p),
+                    line,
+                });
+                i += 2;
+                first_tok = false;
+                continue;
+            }
+            let punct1: Option<&'static str> = match ch {
+                '(' => Some("("),
+                ')' => Some(")"),
+                ',' => Some(","),
+                ';' => Some(";"),
+                ':' => Some(":"),
+                '*' => Some("*"),
+                '+' => Some("+"),
+                '-' => Some("-"),
+                '/' => Some("/"),
+                '=' => Some("="),
+                '<' => Some("<"),
+                '>' => Some(">"),
+                '%' => Some("%"),
+                '[' => Some("["),
+                ']' => Some("]"),
+                _ => None,
+            };
+            match punct1 {
+                Some(p) => {
+                    out.push(SpannedTok {
+                        tok: Tok::Punct(p),
+                        line,
+                    });
+                    i += 1;
+                    first_tok = false;
+                }
+                None => {
+                    return Err(LexError {
+                        line,
+                        msg: format!("unexpected character {ch:?}"),
+                    })
+                }
+            }
+        }
+        out.push(SpannedTok {
+            tok: Tok::Eol,
+            line,
+        });
+    }
+    out.push(SpannedTok {
+        tok: Tok::Eof,
+        line: usize::MAX,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents_lowercased() {
+        assert_eq!(
+            toks("PARSUB Jacobi(X)"),
+            vec![
+                Tok::Ident("parsub".into()),
+                Tok::Ident("jacobi".into()),
+                Tok::Punct("("),
+                Tok::Ident("x".into()),
+                Tok::Punct(")"),
+                Tok::Eol,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn labels_only_at_line_start() {
+        let t = toks("100 continue\n  x = 100");
+        assert_eq!(t[0], Tok::Label(100));
+        assert!(t.contains(&Tok::Int(100)));
+    }
+
+    #[test]
+    fn dotted_operators() {
+        assert_eq!(
+            toks("if (i .eq. 1 .and. j .ge. 2)"),
+            vec![
+                Tok::Ident("if".into()),
+                Tok::Punct("("),
+                Tok::Ident("i".into()),
+                Tok::Punct("=="),
+                Tok::Int(1),
+                Tok::Punct("&&"),
+                Tok::Ident("j".into()),
+                Tok::Punct(">="),
+                Tok::Int(2),
+                Tok::Punct(")"),
+                Tok::Eol,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_continuations() {
+        let src = "c this is a comment\n  x = 1 + &\n      2\n! another\n  y = 3";
+        let t = toks(src);
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Punct("="),
+                Tok::Int(1),
+                Tok::Punct("+"),
+                Tok::Int(2),
+                Tok::Eol,
+                Tok::Ident("y".into()),
+                Tok::Punct("="),
+                Tok::Int(3),
+                Tok::Eol,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn reals_and_integers() {
+        let t = toks("x = 0.25*(a + 1e-3) - 2");
+        assert!(t.contains(&Tok::Real(0.25)));
+        assert!(t.contains(&Tok::Real(1e-3)));
+        assert!(t.contains(&Tok::Int(2)));
+    }
+
+    #[test]
+    fn integer_followed_by_dotted_op() {
+        let t = toks("if (i .eq. 1) x = 1");
+        assert!(t.contains(&Tok::Int(1)));
+        assert!(t.contains(&Tok::Punct("==")));
+    }
+
+    #[test]
+    fn label_then_number_distinction() {
+        let t = toks("200 x = 5.0");
+        assert_eq!(t[0], Tok::Label(200));
+        assert_eq!(t[3], Tok::Real(5.0));
+    }
+}

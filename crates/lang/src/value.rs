@@ -1,0 +1,448 @@
+//! Runtime values of the KF1 interpreter: scalars, distributed array
+//! objects, views (array sections), and bindings.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use kali_grid::{DimDist, Dist1, ProcGrid};
+
+use crate::ast::DistDim;
+
+/// A KF1 scalar. Fortran implicit typing applies: names starting with
+/// `i`–`n` are integers, everything else is real.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    Int(i64),
+    Real(f64),
+}
+
+impl Value {
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Value::Int(v) => v as f64,
+            Value::Real(v) => v,
+        }
+    }
+
+    pub fn as_int(self) -> i64 {
+        match self {
+            Value::Int(v) => v,
+            Value::Real(v) => v.trunc() as i64,
+        }
+    }
+
+    pub fn truthy(self) -> bool {
+        match self {
+            Value::Int(v) => v != 0,
+            Value::Real(v) => v != 0.0,
+        }
+    }
+
+    /// Default value under Fortran implicit typing for `name`.
+    pub fn implicit_zero(name: &str) -> Value {
+        match name.chars().next() {
+            Some(c) if ('i'..='n').contains(&c) => Value::Int(0),
+            _ => Value::Real(0.0),
+        }
+    }
+}
+
+/// A (possibly distributed) array object. Each simulated processor holds
+/// the full-size storage; the *ownership* map plus the interpreter's
+/// owner-computes rules decide which entries are authoritative where, and
+/// the inspector/executor machinery moves remote values (and charges
+/// virtual communication) before they are read.
+#[derive(Debug)]
+pub struct ArrObj {
+    pub name: String,
+    /// Inclusive per-dimension bounds, e.g. `0:np`.
+    pub bounds: Vec<(i64, i64)>,
+    /// Distribution pattern per dimension (`Star` = undistributed).
+    pub dist: Vec<DistDim>,
+    /// Processor array the distributed dims map onto (in declaration
+    /// order of the non-star dims). Meaningless when fully replicated.
+    pub grid: ProcGrid,
+    /// Row-major storage over the full index space.
+    pub data: Vec<f64>,
+    pub is_real: bool,
+}
+
+pub type ArrRef = Rc<RefCell<ArrObj>>;
+
+impl ArrObj {
+    pub fn ndims(&self) -> usize {
+        self.bounds.len()
+    }
+
+    pub fn extent(&self, d: usize) -> usize {
+        (self.bounds[d].1 - self.bounds[d].0 + 1) as usize
+    }
+
+    pub fn total_len(&self) -> usize {
+        (0..self.ndims()).map(|d| self.extent(d)).product()
+    }
+
+    /// Is the array replicated (no distributed dimension)?
+    pub fn replicated(&self) -> bool {
+        self.dist.iter().all(|d| *d == DistDim::Star)
+    }
+
+    /// Flat storage index of a full index tuple (bounds-checked).
+    pub fn flat(&self, idxs: &[i64]) -> Result<usize, String> {
+        if idxs.len() != self.ndims() {
+            return Err(format!(
+                "array {} has rank {}, subscripted with {} indices",
+                self.name,
+                self.ndims(),
+                idxs.len()
+            ));
+        }
+        let mut f = 0usize;
+        for (d, &i) in idxs.iter().enumerate() {
+            let (lo, hi) = self.bounds[d];
+            if i < lo || i > hi {
+                return Err(format!(
+                    "subscript {} of {} out of bounds {}:{} in dimension {}",
+                    i, self.name, lo, hi, d + 1
+                ));
+            }
+            f = f * self.extent(d) + (i - lo) as usize;
+        }
+        Ok(f)
+    }
+
+    /// Inverse of [`ArrObj::flat`].
+    pub fn unflat(&self, mut f: usize) -> Vec<i64> {
+        let mut idxs = vec![0i64; self.ndims()];
+        for d in (0..self.ndims()).rev() {
+            let e = self.extent(d);
+            idxs[d] = self.bounds[d].0 + (f % e) as i64;
+            f /= e;
+        }
+        idxs
+    }
+
+    /// Grid dimension assigned to array dimension `d`, if distributed.
+    pub fn grid_dim_of(&self, d: usize) -> Option<usize> {
+        if self.dist[d] == DistDim::Star {
+            return None;
+        }
+        Some(
+            self.dist[..d]
+                .iter()
+                .filter(|x| **x != DistDim::Star)
+                .count(),
+        )
+    }
+
+    /// Index map of distributed dimension `d`.
+    pub fn dist1(&self, d: usize) -> Option<Dist1> {
+        let gd = self.grid_dim_of(d)?;
+        let kind = match self.dist[d] {
+            DistDim::Block => DimDist::Block,
+            DistDim::Cyclic => DimDist::Cyclic,
+            DistDim::Star => unreachable!(),
+        };
+        Some(Dist1::new(self.extent(d), self.grid.extent(gd), kind))
+    }
+
+    /// Machine ranks owning the element(s) selected by `subs` (`None`
+    /// entries are `*`). Pinned distributed dims fix a grid coordinate;
+    /// everything else ranges.
+    pub fn owner_ranks(&self, subs: &[Option<i64>]) -> Result<Vec<usize>, String> {
+        if self.replicated() {
+            return Ok(self.grid.ranks().to_vec());
+        }
+        let mut pinned: Vec<Option<usize>> = vec![None; self.grid.ndims()];
+        for (d, s) in subs.iter().enumerate() {
+            if let (Some(i), Some(gd)) = (s, self.grid_dim_of(d)) {
+                let dist = self.dist1(d).expect("distributed dim");
+                let (lo, hi) = self.bounds[d];
+                if *i < lo || *i > hi {
+                    return Err(format!(
+                        "owner subscript {} of {} out of bounds {}:{}",
+                        i, self.name, lo, hi
+                    ));
+                }
+                pinned[gd] = Some(dist.owner((*i - lo) as usize));
+            }
+        }
+        // Enumerate grid coordinates matching the pinned pattern.
+        let mut ranks = Vec::new();
+        let ndims = self.grid.ndims();
+        let mut coords = vec![0usize; ndims];
+        loop {
+            if pinned
+                .iter()
+                .enumerate()
+                .all(|(g, p)| p.map_or(true, |v| v == coords[g]))
+            {
+                ranks.push(self.grid.rank_at(&coords));
+            }
+            // Odometer.
+            let mut d = ndims;
+            loop {
+                if d == 0 {
+                    return Ok(ranks);
+                }
+                d -= 1;
+                coords[d] += 1;
+                if coords[d] < self.grid.extent(d) {
+                    break;
+                }
+                coords[d] = 0;
+            }
+        }
+    }
+
+    /// The processor sub-grid owning a pinned selection (`owner(r(i,*))`
+    /// used as a processor expression).
+    pub fn owner_grid(&self, subs: &[Option<i64>]) -> Result<ProcGrid, String> {
+        if self.replicated() {
+            return Ok(self.grid.clone());
+        }
+        let mut pins: Vec<(usize, usize)> = Vec::new();
+        for (d, s) in subs.iter().enumerate() {
+            if let (Some(i), Some(gd)) = (s, self.grid_dim_of(d)) {
+                let dist = self.dist1(d).expect("distributed dim");
+                let (lo, _) = self.bounds[d];
+                pins.push((gd, dist.owner((*i - lo) as usize)));
+            }
+        }
+        pins.sort_by(|a, b| b.0.cmp(&a.0));
+        let mut g = self.grid.clone();
+        for (gd, c) in pins {
+            g = g.slice(gd, c);
+        }
+        Ok(g)
+    }
+
+    /// Machine rank owning one fully specified element (replicated arrays
+    /// report `None`).
+    pub fn owner_of(&self, idxs: &[i64]) -> Option<usize> {
+        if self.replicated() {
+            return None;
+        }
+        let subs: Vec<Option<i64>> = idxs.iter().map(|&i| Some(i)).collect();
+        let ranks = self.owner_ranks(&subs).ok()?;
+        debug_assert_eq!(ranks.len(), 1, "fully pinned element has one owner");
+        ranks.first().copied()
+    }
+
+    /// Does machine rank `rank` own (or replicate) element `idxs`?
+    pub fn owned_by(&self, rank: usize, idxs: &[i64]) -> bool {
+        match self.owner_of(idxs) {
+            None => true,
+            Some(r) => r == rank,
+        }
+    }
+}
+
+/// A view of an array: the binding a callee receives for an array or
+/// array-section argument.
+#[derive(Debug, Clone)]
+pub struct View {
+    pub base: ArrRef,
+    /// One entry per *base* dimension.
+    pub map: Vec<ViewDim>,
+    /// Callee-side lower bound per *callee* dimension (set when the callee
+    /// declares the parameter; defaults to the base bounds for whole-array
+    /// views).
+    pub callee_lo: Vec<i64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ViewDim {
+    Fixed(i64),
+    /// Base-index range (inclusive).
+    Range(i64, i64),
+}
+
+impl View {
+    /// Whole-array view.
+    pub fn whole(base: ArrRef) -> View {
+        let (map, callee_lo) = {
+            let b = base.borrow();
+            (
+                b.bounds.iter().map(|&(lo, hi)| ViewDim::Range(lo, hi)).collect(),
+                b.bounds.iter().map(|&(lo, _)| lo).collect(),
+            )
+        };
+        View {
+            base,
+            map,
+            callee_lo,
+        }
+    }
+
+    /// Number of callee-visible dimensions.
+    pub fn ndims(&self) -> usize {
+        self.map
+            .iter()
+            .filter(|m| matches!(m, ViewDim::Range(..)))
+            .count()
+    }
+
+    /// Callee extent of callee dimension `d`.
+    pub fn extent(&self, d: usize) -> usize {
+        let mut seen = 0;
+        for m in &self.map {
+            if let ViewDim::Range(lo, hi) = m {
+                if seen == d {
+                    return (hi - lo + 1) as usize;
+                }
+                seen += 1;
+            }
+        }
+        panic!("view dimension out of range");
+    }
+
+    /// Translate callee indices to base indices.
+    pub fn to_base(&self, idxs: &[i64]) -> Result<Vec<i64>, String> {
+        if idxs.len() != self.ndims() {
+            return Err(format!(
+                "section of {} has rank {}, subscripted with {} indices",
+                self.base.borrow().name,
+                self.ndims(),
+                idxs.len()
+            ));
+        }
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut d = 0usize;
+        for m in &self.map {
+            match m {
+                ViewDim::Fixed(v) => out.push(*v),
+                ViewDim::Range(lo, hi) => {
+                    let i = lo + (idxs[d] - self.callee_lo[d]);
+                    if i < *lo || i > *hi {
+                        return Err(format!(
+                            "section subscript {} out of range {}..{} (callee lower {})",
+                            idxs[d], lo, hi, self.callee_lo[d]
+                        ));
+                    }
+                    out.push(i);
+                    d += 1;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// What a name is bound to in a frame.
+#[derive(Debug, Clone)]
+pub enum Binding {
+    Scalar(Value),
+    Array(View),
+    Grid(ProcGrid),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arr2(bounds: Vec<(i64, i64)>, dist: Vec<DistDim>, grid: ProcGrid) -> ArrObj {
+        let total: usize = bounds.iter().map(|&(l, h)| (h - l + 1) as usize).product();
+        ArrObj {
+            name: "x".into(),
+            bounds,
+            dist,
+            grid,
+            data: vec![0.0; total],
+            is_real: true,
+        }
+    }
+
+    #[test]
+    fn flat_respects_declared_bounds() {
+        let a = arr2(
+            vec![(0, 4), (0, 4)],
+            vec![DistDim::Star, DistDim::Star],
+            ProcGrid::new_1d(1),
+        );
+        assert_eq!(a.flat(&[0, 0]).unwrap(), 0);
+        assert_eq!(a.flat(&[1, 2]).unwrap(), 7);
+        assert!(a.flat(&[5, 0]).is_err());
+        assert_eq!(a.unflat(7), vec![1, 2]);
+    }
+
+    #[test]
+    fn owner_ranks_pin_and_star() {
+        let g = ProcGrid::new_2d(2, 2);
+        let a = arr2(
+            vec![(0, 7), (0, 7)],
+            vec![DistDim::Block, DistDim::Block],
+            g,
+        );
+        // Fully pinned element.
+        assert_eq!(a.owner_ranks(&[Some(1), Some(6)]).unwrap(), vec![1]);
+        // Row 6, all columns: grid row 1 -> ranks 2, 3.
+        assert_eq!(a.owner_ranks(&[Some(6), None]).unwrap(), vec![2, 3]);
+        assert_eq!(a.owner_of(&[6, 1]), Some(2));
+        assert!(a.owned_by(2, &[6, 1]));
+        assert!(!a.owned_by(0, &[6, 1]));
+    }
+
+    #[test]
+    fn star_dims_do_not_pin() {
+        let g = ProcGrid::new_1d(4);
+        let a = arr2(
+            vec![(1, 8), (0, 15)],
+            vec![DistDim::Star, DistDim::Block],
+            g,
+        );
+        // Pinning the star dim selects everyone; pinning dim 1 selects one.
+        assert_eq!(a.owner_ranks(&[Some(3), None]).unwrap().len(), 4);
+        assert_eq!(a.owner_ranks(&[None, Some(0)]).unwrap(), vec![0]);
+        assert_eq!(a.owner_ranks(&[Some(3), Some(15)]).unwrap(), vec![3]);
+    }
+
+    #[test]
+    fn owner_grid_slices() {
+        let g = ProcGrid::new_2d(2, 3);
+        let a = arr2(
+            vec![(0, 7), (0, 8)],
+            vec![DistDim::Block, DistDim::Block],
+            g,
+        );
+        let og = a.owner_grid(&[Some(7), None]).unwrap();
+        assert_eq!(og.ranks(), &[3, 4, 5]);
+    }
+
+    #[test]
+    fn view_translation_with_fixed_dims() {
+        let g = ProcGrid::new_1d(2);
+        let base = Rc::new(RefCell::new(arr2(
+            vec![(0, 4), (0, 9)],
+            vec![DistDim::Star, DistDim::Block],
+            g,
+        )));
+        // v(i, *) with i = 2: a 1-D view of row 2.
+        let v = View {
+            base: base.clone(),
+            map: vec![ViewDim::Fixed(2), ViewDim::Range(0, 9)],
+            callee_lo: vec![1], // callee declared x(10): 1-based
+        };
+        assert_eq!(v.ndims(), 1);
+        assert_eq!(v.extent(0), 10);
+        assert_eq!(v.to_base(&[1]).unwrap(), vec![2, 0]);
+        assert_eq!(v.to_base(&[10]).unwrap(), vec![2, 9]);
+        assert!(v.to_base(&[11]).is_err());
+    }
+
+    #[test]
+    fn implicit_typing() {
+        assert_eq!(Value::implicit_zero("i"), Value::Int(0));
+        assert_eq!(Value::implicit_zero("n2"), Value::Int(0));
+        assert_eq!(Value::implicit_zero("a0"), Value::Real(0.0));
+        assert_eq!(Value::implicit_zero("x"), Value::Real(0.0));
+    }
+
+    #[test]
+    fn value_coercions() {
+        assert_eq!(Value::Int(7).as_f64(), 7.0);
+        assert_eq!(Value::Real(3.9).as_int(), 3);
+        assert!(Value::Int(1).truthy());
+        assert!(!Value::Real(0.0).truthy());
+    }
+}

@@ -1,0 +1,362 @@
+//! Machine construction and the SPMD run loop.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::unbounded;
+
+use crate::cost::CostModel;
+use crate::proc::{Envelope, Proc};
+use crate::report::{ProcReport, RunReport};
+use crate::topology::Topology;
+
+/// Static description of the simulated machine.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Number of processors.
+    pub nprocs: usize,
+    /// Interconnect topology (per-hop latency source).
+    pub topology: Topology,
+    /// Communication/computation cost model.
+    pub cost: CostModel,
+    /// Real-time budget a processor may spend blocked in one `recv` before
+    /// the run is declared deadlocked.
+    pub watchdog: Duration,
+}
+
+impl MachineConfig {
+    /// `nprocs` processors, fully connected, iPSC/2-era costs.
+    pub fn new(nprocs: usize) -> Self {
+        MachineConfig {
+            nprocs,
+            topology: Topology::FullyConnected,
+            cost: CostModel::ipsc2(),
+            watchdog: Duration::from_secs(60),
+        }
+    }
+
+    /// Replace the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Replace the topology.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Replace the deadlock watchdog budget.
+    pub fn with_watchdog(mut self, watchdog: Duration) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+}
+
+/// Result of a simulated run: the timing/traffic report plus the value each
+/// processor's closure returned (indexed by rank).
+pub struct SimRun<R> {
+    pub report: RunReport,
+    pub results: Vec<R>,
+}
+
+/// The virtual machine. Stateless — all state lives in a single [`Machine::run`].
+pub struct Machine;
+
+impl Machine {
+    /// Run `body` SPMD on every simulated processor and collect results.
+    ///
+    /// Each processor executes `body(&mut proc)` on its own OS thread;
+    /// processors may only interact through [`Proc::send`]/[`Proc::recv`]
+    /// (and the collectives built on them). The returned [`RunReport`] is
+    /// deterministic: running the same program twice yields identical
+    /// virtual times and message counts.
+    ///
+    /// Panics in any processor propagate out of `run` after all threads have
+    /// stopped (peers blocked on a vanished message are released by the
+    /// watchdog).
+    pub fn run<R, F>(cfg: MachineConfig, body: F) -> SimRun<R>
+    where
+        R: Send + 'static,
+        F: Fn(&mut Proc) -> R + Send + Sync,
+    {
+        assert!(cfg.nprocs >= 1, "machine needs at least one processor");
+        let p = cfg.nprocs;
+        let cfg = Arc::new(cfg);
+
+        let mut senders = Vec::with_capacity(p);
+        let mut receivers = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = unbounded::<Envelope>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let senders = Arc::new(senders);
+
+        let mut slots: Vec<Option<(ProcReport, R)>> = Vec::with_capacity(p);
+        slots.resize_with(p, || None);
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for (rank, inbox) in receivers.into_iter().enumerate() {
+                let cfg = Arc::clone(&cfg);
+                let senders = Arc::clone(&senders);
+                let body = &body;
+                handles.push(scope.spawn(move || {
+                    let mut proc = Proc::new(rank, p, cfg, senders, inbox);
+                    let result = body(&mut proc);
+                    let (stats, clock, marks) = proc.take_stats();
+                    (
+                        ProcReport {
+                            rank,
+                            clock,
+                            stats,
+                            marks,
+                        },
+                        result,
+                    )
+                }));
+            }
+            let mut panic_payload = None;
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok((rep, res)) => slots[rank] = Some((rep, res)),
+                    Err(e) => {
+                        if panic_payload.is_none() {
+                            panic_payload = Some(e);
+                        }
+                    }
+                }
+            }
+            if let Some(e) = panic_payload {
+                std::panic::resume_unwind(e);
+            }
+        });
+
+        let mut procs = Vec::with_capacity(p);
+        let mut results = Vec::with_capacity(p);
+        for slot in slots {
+            let (rep, res) = slot.expect("every processor reported");
+            procs.push(rep);
+            results.push(res);
+        }
+        SimRun {
+            report: RunReport::new(procs),
+            results,
+        }
+    }
+
+    /// Run a sequential program on a 1-processor machine with the given cost
+    /// model; convenient for baselines.
+    pub fn run_seq<R, F>(cost: CostModel, body: F) -> SimRun<R>
+    where
+        R: Send + 'static,
+        F: Fn(&mut Proc) -> R + Send + Sync,
+    {
+        Machine::run(MachineConfig::new(1).with_cost(cost), body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{tag, NS_USER};
+
+    fn unit_cfg(p: usize) -> MachineConfig {
+        MachineConfig::new(p)
+            .with_cost(CostModel::unit())
+            .with_watchdog(Duration::from_secs(5))
+    }
+
+    #[test]
+    fn single_proc_compute_advances_clock() {
+        let run = Machine::run(unit_cfg(1), |proc| {
+            proc.compute(1000.0);
+            proc.clock()
+        });
+        assert_eq!(run.results[0], 1.0); // 1000 flops at 1e-3 s each
+        assert_eq!(run.report.elapsed, 1.0);
+        assert_eq!(run.report.procs[0].stats.flops, 1000.0);
+    }
+
+    #[test]
+    fn ping_pong_latency_is_deterministic() {
+        let f = |proc: &mut Proc| {
+            let t = tag(NS_USER, 1);
+            if proc.rank() == 0 {
+                proc.send(1, t, 5.0f64);
+                let x: f64 = proc.recv(1, t);
+                assert_eq!(x, 6.0);
+            } else {
+                let x: f64 = proc.recv(0, t);
+                proc.send(0, t, x + 1.0);
+            }
+            proc.clock()
+        };
+        let a = Machine::run(unit_cfg(2), f);
+        let b = Machine::run(unit_cfg(2), f);
+        // One word each way: alpha + beta = 1.1 per leg.
+        assert_eq!(a.results[0], 2.2);
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.report.total_msgs, 2);
+        assert_eq!(a.report.total_words, 2);
+    }
+
+    #[test]
+    fn recv_before_send_counts_idle() {
+        let run = Machine::run(unit_cfg(2), |proc| {
+            let t = tag(NS_USER, 2);
+            if proc.rank() == 0 {
+                proc.compute(5000.0); // 5 virtual seconds of work first
+                proc.send(1, t, 1.0f64);
+            } else {
+                let _: f64 = proc.recv(0, t);
+            }
+        });
+        let idle1 = run.report.procs[1].stats.idle;
+        // proc 1 waited from t=0 to t=5+1.1
+        assert!((idle1 - 6.1).abs() < 1e-12, "idle = {idle1}");
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let run = Machine::run(unit_cfg(2), |proc| {
+            let ta = tag(NS_USER, 10);
+            let tb = tag(NS_USER, 11);
+            if proc.rank() == 0 {
+                proc.send(1, ta, 1.0f64);
+                proc.send(1, tb, 2.0f64);
+            } else {
+                // receive in the opposite order from the sends
+                let b: f64 = proc.recv(0, tb);
+                let a: f64 = proc.recv(0, ta);
+                assert_eq!((a, b), (1.0, 2.0));
+            }
+        });
+        assert_eq!(run.report.total_msgs, 2);
+    }
+
+    #[test]
+    fn fifo_order_per_pair_and_tag() {
+        let run = Machine::run(unit_cfg(2), |proc| {
+            let t = tag(NS_USER, 3);
+            if proc.rank() == 0 {
+                for i in 0..10 {
+                    proc.send(1, t, i as f64);
+                }
+                0.0
+            } else {
+                let mut last = -1.0;
+                for _ in 0..10 {
+                    let v: f64 = proc.recv(0, t);
+                    assert!(v > last, "messages reordered");
+                    last = v;
+                }
+                last
+            }
+        });
+        assert_eq!(run.results[1], 9.0);
+    }
+
+    #[test]
+    fn self_send_works() {
+        let run = Machine::run(unit_cfg(1), |proc| {
+            let t = tag(NS_USER, 4);
+            proc.send(0, t, 42.0f64);
+            let v: f64 = proc.recv(0, t);
+            v
+        });
+        assert_eq!(run.results[0], 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "suspected deadlock")]
+    fn watchdog_fires_on_missing_message() {
+        let cfg = unit_cfg(1).with_watchdog(Duration::from_millis(200));
+        let _ = Machine::run(cfg, |proc| {
+            let _: f64 = proc.recv(0, tag(NS_USER, 99));
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "payload is not a")]
+    fn type_mismatch_panics_with_context() {
+        let _ = Machine::run(unit_cfg(2), |proc| {
+            let t = tag(NS_USER, 5);
+            if proc.rank() == 0 {
+                proc.send(1, t, 1.0f64);
+            } else {
+                let _: u64 = proc.recv(0, t);
+            }
+        });
+    }
+
+    #[test]
+    fn hop_latency_respects_topology() {
+        // Ring of 4: 0 -> 2 is two hops.
+        let cost = CostModel {
+            hop: 10.0,
+            ..CostModel::unit()
+        };
+        let cfg = MachineConfig::new(4)
+            .with_cost(cost)
+            .with_topology(Topology::Ring)
+            .with_watchdog(Duration::from_secs(5));
+        let run = Machine::run(cfg, |proc| {
+            let t = tag(NS_USER, 6);
+            if proc.rank() == 0 {
+                proc.send(2, t, 1.0f64);
+                0.0
+            } else if proc.rank() == 2 {
+                let _: f64 = proc.recv(0, t);
+                proc.clock()
+            } else {
+                0.0
+            }
+        });
+        // alpha(1) + beta(0.1) + 2 hops * 10
+        assert!((run.results[2] - 21.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sendrecv_round_trips() {
+        let run = Machine::run(unit_cfg(2), |proc| {
+            let t = tag(NS_USER, 8);
+            if proc.rank() == 0 {
+                let echoed: f64 = proc.sendrecv(1, 1, t, 11.0f64);
+                echoed
+            } else {
+                let v: f64 = proc.recv(0, t);
+                proc.send(0, t, v * 2.0);
+                0.0
+            }
+        });
+        assert_eq!(run.results[0], 22.0);
+    }
+
+    #[test]
+    fn run_seq_is_a_one_processor_machine() {
+        let run = Machine::run_seq(CostModel::unit(), |proc| {
+            assert_eq!(proc.nprocs(), 1);
+            proc.compute(500.0);
+            proc.clock()
+        });
+        assert_eq!(run.results, vec![0.5]);
+        assert_eq!(run.report.nprocs(), 1);
+    }
+
+    #[test]
+    fn report_aggregates_traffic() {
+        let run = Machine::run(unit_cfg(4), |proc| {
+            let t = tag(NS_USER, 7);
+            let nxt = (proc.rank() + 1) % 4;
+            let prv = (proc.rank() + 3) % 4;
+            proc.send(nxt, t, vec![0.0f64; 8]);
+            let _: Vec<f64> = proc.recv(prv, t);
+        });
+        assert_eq!(run.report.total_msgs, 4);
+        assert_eq!(run.report.total_words, 32);
+        assert_eq!(run.report.nprocs(), 4);
+    }
+}

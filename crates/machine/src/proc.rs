@@ -1,0 +1,374 @@
+//! Per-processor handle: virtual clock, send/recv, metrics.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+
+use crate::machine::MachineConfig;
+use crate::wire::Wire;
+use crate::Tag;
+
+/// A message in flight between two simulated processors.
+pub(crate) struct Envelope {
+    pub src: usize,
+    pub tag: Tag,
+    /// Virtual time at which the message becomes available at the receiver.
+    pub arrival: f64,
+    pub words: usize,
+    pub payload: Box<dyn Any + Send>,
+}
+
+/// Counters accumulated by one simulated processor during a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProcStats {
+    pub msgs_sent: u64,
+    pub words_sent: u64,
+    pub msgs_recv: u64,
+    pub words_recv: u64,
+    /// Floating point operations charged via [`Proc::compute`].
+    pub flops: f64,
+    /// Words moved via [`Proc::memop`].
+    pub mem_words: f64,
+    /// Virtual seconds spent computing or in send/recv overhead.
+    pub busy: f64,
+    /// Virtual seconds spent waiting for messages.
+    pub idle: f64,
+}
+
+/// A named instant recorded by [`Proc::mark`]; used by the experiment
+/// binaries to reconstruct activity diagrams (paper Figures 3 and 5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarkEvent {
+    pub at: f64,
+    pub label: String,
+}
+
+/// An ordered set of processors cooperating in a collective or a distributed
+/// procedure — the machine-level shadow of a processor-array slice
+/// (`procs(ip, *)` in KF1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Team {
+    ranks: Vec<usize>,
+}
+
+impl Team {
+    /// Build a team from machine ranks. Ranks must be distinct.
+    pub fn new(ranks: Vec<usize>) -> Self {
+        debug_assert!(
+            {
+                let mut sorted = ranks.clone();
+                sorted.sort_unstable();
+                sorted.windows(2).all(|w| w[0] != w[1])
+            },
+            "team ranks must be distinct: {ranks:?}"
+        );
+        assert!(!ranks.is_empty(), "a team must have at least one member");
+        Team { ranks }
+    }
+
+    /// The whole machine, ranks `0..p`.
+    pub fn all(p: usize) -> Self {
+        Team::new((0..p).collect())
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false // enforced non-empty at construction
+    }
+
+    /// Machine rank of member `idx`.
+    #[inline]
+    pub fn rank(&self, idx: usize) -> usize {
+        self.ranks[idx]
+    }
+
+    /// All machine ranks, in team order.
+    #[inline]
+    pub fn ranks(&self) -> &[usize] {
+        &self.ranks
+    }
+
+    /// Team index of machine rank `rank`, if it is a member.
+    pub fn index_of(&self, rank: usize) -> Option<usize> {
+        self.ranks.iter().position(|&r| r == rank)
+    }
+
+    /// Does the team contain this machine rank?
+    pub fn contains(&self, rank: usize) -> bool {
+        self.index_of(rank).is_some()
+    }
+}
+
+/// Handle through which SPMD code drives one simulated processor.
+pub struct Proc {
+    rank: usize,
+    nprocs: usize,
+    clock: f64,
+    cfg: Arc<MachineConfig>,
+    outboxes: Arc<Vec<Sender<Envelope>>>,
+    inbox: Receiver<Envelope>,
+    /// Messages physically received but not yet matched by a `recv`.
+    pending: VecDeque<Envelope>,
+    stats: ProcStats,
+    marks: Vec<MarkEvent>,
+}
+
+impl Proc {
+    pub(crate) fn new(
+        rank: usize,
+        nprocs: usize,
+        cfg: Arc<MachineConfig>,
+        outboxes: Arc<Vec<Sender<Envelope>>>,
+        inbox: Receiver<Envelope>,
+    ) -> Self {
+        Proc {
+            rank,
+            nprocs,
+            clock: 0.0,
+            cfg,
+            outboxes,
+            inbox,
+            pending: VecDeque::new(),
+            stats: ProcStats::default(),
+            marks: Vec::new(),
+        }
+    }
+
+    /// This processor's machine rank, `0..nprocs`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of processors in the machine.
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Current virtual time on this processor (seconds).
+    #[inline]
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// The machine configuration (cost model, topology).
+    #[inline]
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Counters accumulated so far.
+    #[inline]
+    pub fn stats(&self) -> &ProcStats {
+        &self.stats
+    }
+
+    pub(crate) fn take_stats(&mut self) -> (ProcStats, f64, Vec<MarkEvent>) {
+        (
+            std::mem::take(&mut self.stats),
+            self.clock,
+            std::mem::take(&mut self.marks),
+        )
+    }
+
+    /// Record a labelled instant for post-run activity analysis.
+    pub fn mark(&mut self, label: impl Into<String>) {
+        self.marks.push(MarkEvent {
+            at: self.clock,
+            label: label.into(),
+        });
+    }
+
+    /// Charge `flops` floating point operations to the virtual clock.
+    #[inline]
+    pub fn compute(&mut self, flops: f64) {
+        debug_assert!(flops >= 0.0);
+        let dt = flops * self.cfg.cost.flop;
+        self.clock += dt;
+        self.stats.busy += dt;
+        self.stats.flops += flops;
+    }
+
+    /// Charge a local memory movement of `words` 8-byte words.
+    #[inline]
+    pub fn memop(&mut self, words: f64) {
+        debug_assert!(words >= 0.0);
+        let dt = words * self.cfg.cost.memop;
+        self.clock += dt;
+        self.stats.busy += dt;
+        self.stats.mem_words += words;
+    }
+
+    /// Advance the clock by an arbitrary busy interval (used by collectives
+    /// for combining overheads; rarely needed by applications).
+    #[inline]
+    pub fn busy_for(&mut self, seconds: f64) {
+        debug_assert!(seconds >= 0.0);
+        self.clock += seconds;
+        self.stats.busy += seconds;
+    }
+
+    /// Asynchronous send: never blocks (channels are unbounded, matching the
+    /// paper's assumption of asynchronous communication).
+    ///
+    /// The sender is charged the send overhead; the message is stamped with
+    /// arrival time `clock + α + β·words + hop·distance`.
+    pub fn send<T: Wire>(&mut self, dst: usize, tag: Tag, value: T) {
+        assert!(dst < self.nprocs, "send to rank {dst} on {}-proc machine", self.nprocs);
+        let words = value.wire_words();
+        let cost = &self.cfg.cost;
+        self.clock += cost.overhead;
+        self.stats.busy += cost.overhead;
+        let hops = self.cfg.topology.hops(self.rank, dst, self.nprocs);
+        let arrival = self.clock + cost.wire_time(words, hops);
+        self.stats.msgs_sent += 1;
+        self.stats.words_sent += words as u64;
+        let env = Envelope {
+            src: self.rank,
+            tag,
+            arrival,
+            words,
+            payload: Box::new(value),
+        };
+        self.outboxes[dst]
+            .send(env)
+            .expect("machine channel closed: a peer processor has shut down early");
+    }
+
+    /// Blocking receive of a message from `src` carrying `tag`.
+    ///
+    /// Matching is by `(src, tag)` in per-pair FIFO order. The receiver's
+    /// clock is raised to the message's arrival time (waiting counts as idle)
+    /// and charged the receive overhead.
+    ///
+    /// Panics with a diagnostic if the expected message does not arrive
+    /// within the real-time watchdog budget (suspected deadlock) or if the
+    /// payload type does not match `T`.
+    pub fn recv<T: Wire>(&mut self, src: usize, tag: Tag) -> T {
+        let env = self.recv_envelope(src, tag);
+        if env.arrival > self.clock {
+            self.stats.idle += env.arrival - self.clock;
+            self.clock = env.arrival;
+        }
+        let cost = self.cfg.cost;
+        self.clock += cost.overhead;
+        self.stats.busy += cost.overhead;
+        self.stats.msgs_recv += 1;
+        self.stats.words_recv += env.words as u64;
+        match env.payload.downcast::<T>() {
+            Ok(v) => *v,
+            Err(_) => panic!(
+                "type mismatch: proc {} received message (src={src}, tag={tag:#x}) whose \
+                 payload is not a {}",
+                self.rank,
+                std::any::type_name::<T>()
+            ),
+        }
+    }
+
+    fn recv_envelope(&mut self, src: usize, tag: Tag) -> Envelope {
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|e| e.src == src && e.tag == tag)
+        {
+            return self.pending.remove(pos).unwrap();
+        }
+        let mut waited = Duration::ZERO;
+        let slice = Duration::from_millis(200).min(self.cfg.watchdog);
+        loop {
+            match self.inbox.recv_timeout(slice) {
+                Ok(e) => {
+                    if e.src == src && e.tag == tag {
+                        return e;
+                    }
+                    self.pending.push_back(e);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    waited += slice;
+                    if waited >= self.cfg.watchdog {
+                        panic!(
+                            "suspected deadlock: proc {} waited {:?} for (src={src}, \
+                             tag={tag:#x}); {} unmatched message(s) pending: {:?}",
+                            self.rank,
+                            waited,
+                            self.pending.len(),
+                            self.pending
+                                .iter()
+                                .take(8)
+                                .map(|e| (e.src, e.tag))
+                                .collect::<Vec<_>>()
+                        );
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!(
+                        "machine torn down while proc {} waited for (src={src}, tag={tag:#x})",
+                        self.rank
+                    );
+                }
+            }
+        }
+    }
+
+    /// Convenience: send `value` to `dst` and receive a reply of the same tag
+    /// from `peer` (possibly the same rank). Common in exchange patterns.
+    pub fn sendrecv<T: Wire, U: Wire>(
+        &mut self,
+        dst: usize,
+        peer: usize,
+        tag: Tag,
+        value: T,
+    ) -> U {
+        self.send(dst, tag, value);
+        self.recv(peer, tag)
+    }
+}
+
+impl std::fmt::Debug for Proc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Proc")
+            .field("rank", &self.rank)
+            .field("nprocs", &self.nprocs)
+            .field("clock", &self.clock)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn team_basics() {
+        let t = Team::new(vec![4, 2, 7]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.rank(1), 2);
+        assert_eq!(t.index_of(7), Some(2));
+        assert_eq!(t.index_of(3), None);
+        assert!(t.contains(4));
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn team_all_enumerates_machine() {
+        let t = Team::all(4);
+        assert_eq!(t.ranks(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_team_rejected() {
+        let _ = Team::new(vec![]);
+    }
+}

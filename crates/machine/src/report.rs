@@ -1,0 +1,175 @@
+//! Post-run reports: per-processor and aggregate timing/traffic.
+
+use crate::proc::{MarkEvent, ProcStats};
+
+/// What one processor did during a run.
+#[derive(Debug, Clone)]
+pub struct ProcReport {
+    pub rank: usize,
+    /// Final virtual clock (seconds).
+    pub clock: f64,
+    pub stats: ProcStats,
+    /// Labelled instants recorded via [`crate::Proc::mark`].
+    pub marks: Vec<MarkEvent>,
+}
+
+/// Aggregate report for a whole run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    pub procs: Vec<ProcReport>,
+    /// Virtual makespan: the maximum final clock over all processors.
+    pub elapsed: f64,
+    pub total_msgs: u64,
+    pub total_words: u64,
+    pub total_flops: f64,
+}
+
+impl RunReport {
+    pub(crate) fn new(procs: Vec<ProcReport>) -> Self {
+        let elapsed = procs.iter().map(|p| p.clock).fold(0.0, f64::max);
+        let total_msgs = procs.iter().map(|p| p.stats.msgs_sent).sum();
+        let total_words = procs.iter().map(|p| p.stats.words_sent).sum();
+        let total_flops = procs.iter().map(|p| p.stats.flops).sum();
+        RunReport {
+            procs,
+            elapsed,
+            total_msgs,
+            total_words,
+            total_flops,
+        }
+    }
+
+    /// Number of processors that took part.
+    pub fn nprocs(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Mean fraction of the makespan each processor spent busy
+    /// (compute + message overheads). 1.0 = perfectly load balanced.
+    pub fn utilization(&self) -> f64 {
+        if self.elapsed <= 0.0 {
+            return 1.0;
+        }
+        let busy: f64 = self.procs.iter().map(|p| p.stats.busy).sum();
+        busy / (self.elapsed * self.procs.len() as f64)
+    }
+
+    /// Fraction of the makespan processor `rank` spent busy.
+    pub fn proc_utilization(&self, rank: usize) -> f64 {
+        if self.elapsed <= 0.0 {
+            return 1.0;
+        }
+        self.procs[rank].stats.busy / self.elapsed
+    }
+
+    /// Speedup of this run relative to a baseline (e.g. sequential) makespan.
+    pub fn speedup_over(&self, baseline_elapsed: f64) -> f64 {
+        baseline_elapsed / self.elapsed
+    }
+
+    /// Marks from all processors merged and sorted by virtual time.
+    pub fn merged_marks(&self) -> Vec<(usize, f64, &str)> {
+        let mut out: Vec<(usize, f64, &str)> = self
+            .procs
+            .iter()
+            .flat_map(|p| {
+                p.marks
+                    .iter()
+                    .map(move |m| (p.rank, m.at, m.label.as_str()))
+            })
+            .collect();
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "virtual time {:.6e} s on {} procs | {} msgs, {} words, {:.3e} flops | utilization {:.1}%",
+            self.elapsed,
+            self.procs.len(),
+            self.total_msgs,
+            self.total_words,
+            self.total_flops,
+            100.0 * self.utilization()
+        )?;
+        writeln!(
+            f,
+            "{:>5} {:>13} {:>13} {:>13} {:>9} {:>11}",
+            "proc", "clock", "busy", "idle", "msgs", "words"
+        )?;
+        for p in &self.procs {
+            writeln!(
+                f,
+                "{:>5} {:>13.6e} {:>13.6e} {:>13.6e} {:>9} {:>11}",
+                p.rank, p.clock, p.stats.busy, p.stats.idle, p.stats.msgs_sent, p.stats.words_sent
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_proc(rank: usize, clock: f64, busy: f64) -> ProcReport {
+        ProcReport {
+            rank,
+            clock,
+            stats: ProcStats {
+                busy,
+                ..Default::default()
+            },
+            marks: vec![],
+        }
+    }
+
+    #[test]
+    fn elapsed_is_max_clock() {
+        let r = RunReport::new(vec![mk_proc(0, 2.0, 1.0), mk_proc(1, 5.0, 5.0)]);
+        assert_eq!(r.elapsed, 5.0);
+        assert_eq!(r.nprocs(), 2);
+    }
+
+    #[test]
+    fn utilization_averages_busy_fractions() {
+        let r = RunReport::new(vec![mk_proc(0, 4.0, 2.0), mk_proc(1, 4.0, 4.0)]);
+        assert!((r.utilization() - 0.75).abs() < 1e-12);
+        assert!((r.proc_utilization(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_is_baseline_ratio() {
+        let r = RunReport::new(vec![mk_proc(0, 2.0, 2.0)]);
+        assert_eq!(r.speedup_over(8.0), 4.0);
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let r = RunReport::new(vec![mk_proc(0, 1.0, 0.5)]);
+        let s = format!("{r}");
+        assert!(s.contains("virtual time"));
+        assert!(s.contains("proc"));
+    }
+
+    #[test]
+    fn merged_marks_sorted_by_time() {
+        let mut a = mk_proc(0, 3.0, 1.0);
+        a.marks.push(MarkEvent {
+            at: 2.0,
+            label: "late".into(),
+        });
+        let mut b = mk_proc(1, 3.0, 1.0);
+        b.marks.push(MarkEvent {
+            at: 1.0,
+            label: "early".into(),
+        });
+        let r = RunReport::new(vec![a, b]);
+        let marks = r.merged_marks();
+        assert_eq!(marks[0].2, "early");
+        assert_eq!(marks[1].2, "late");
+    }
+}

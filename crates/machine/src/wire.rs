@@ -1,0 +1,120 @@
+//! The [`Wire`] trait: how many 8-byte words a message payload occupies.
+//!
+//! Payloads travel between simulated processors as boxed Rust values (no real
+//! serialization), but the *cost model* needs a size. `Wire::wire_words`
+//! reports the number of 8-byte words the value would occupy on a 1989-style
+//! interconnect.
+
+/// Message payloads. Implemented for the scalar and container types the
+/// library sends; applications can implement it for their own types.
+pub trait Wire: Send + 'static {
+    /// Size of the encoded value in 8-byte words.
+    fn wire_words(&self) -> usize;
+}
+
+macro_rules! scalar_wire {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            #[inline]
+            fn wire_words(&self) -> usize { 1 }
+        }
+    )*};
+}
+
+scalar_wire!(f64, f32, i64, u64, i32, u32, usize, isize, bool);
+
+impl Wire for () {
+    #[inline]
+    fn wire_words(&self) -> usize {
+        0
+    }
+}
+
+impl<T: Wire, U: Wire> Wire for (T, U) {
+    #[inline]
+    fn wire_words(&self) -> usize {
+        self.0.wire_words() + self.1.wire_words()
+    }
+}
+
+impl<T: Wire, U: Wire, V: Wire> Wire for (T, U, V) {
+    #[inline]
+    fn wire_words(&self) -> usize {
+        self.0.wire_words() + self.1.wire_words() + self.2.wire_words()
+    }
+}
+
+impl<T: Wire, U: Wire, V: Wire, W: Wire> Wire for (T, U, V, W) {
+    #[inline]
+    fn wire_words(&self) -> usize {
+        self.0.wire_words() + self.1.wire_words() + self.2.wire_words() + self.3.wire_words()
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn wire_words(&self) -> usize {
+        self.iter().map(Wire::wire_words).sum()
+    }
+}
+
+impl<T: Wire, const N: usize> Wire for [T; N] {
+    fn wire_words(&self) -> usize {
+        self.iter().map(Wire::wire_words).sum()
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn wire_words(&self) -> usize {
+        // One word for the presence flag, matching what a tagged message
+        // format would transmit.
+        1 + self.as_ref().map_or(0, Wire::wire_words)
+    }
+}
+
+impl Wire for String {
+    fn wire_words(&self) -> usize {
+        self.len().div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_are_one_word() {
+        assert_eq!(1.0f64.wire_words(), 1);
+        assert_eq!(42usize.wire_words(), 1);
+        assert_eq!(true.wire_words(), 1);
+        assert_eq!(().wire_words(), 0);
+    }
+
+    #[test]
+    fn containers_sum_their_elements() {
+        assert_eq!(vec![1.0f64; 17].wire_words(), 17);
+        assert_eq!([0.0f64; 4].wire_words(), 4);
+        assert_eq!((1.0f64, 2u64).wire_words(), 2);
+        assert_eq!((1.0f64, 2u64, 3i64, 4.0f64).wire_words(), 4);
+        assert_eq!(vec![(1u64, 2.0f64); 5].wire_words(), 10);
+    }
+
+    #[test]
+    fn options_carry_a_flag_word() {
+        assert_eq!(None::<f64>.wire_words(), 1);
+        assert_eq!(Some(3.0f64).wire_words(), 2);
+    }
+
+    #[test]
+    fn strings_round_up() {
+        assert_eq!("x".to_string().wire_words(), 1);
+        assert_eq!("eight ch".to_string().wire_words(), 1);
+        assert_eq!("nine char".to_string().wire_words(), 2);
+        assert_eq!(String::new().wire_words(), 0);
+    }
+
+    #[test]
+    fn nested_vectors() {
+        let v: Vec<Vec<f64>> = vec![vec![0.0; 3], vec![0.0; 5]];
+        assert_eq!(v.wire_words(), 8);
+    }
+}

@@ -1,0 +1,228 @@
+//! Listing 2: the message-passing Jacobi iteration, by hand.
+
+use kali_machine::{tag, Proc, NS_USER};
+
+/// The block of the solution owned by one processor after a run.
+#[derive(Debug, Clone)]
+pub struct JacobiBlock {
+    /// First owned global row / column.
+    pub lo: (usize, usize),
+    /// Owned extents.
+    pub len: (usize, usize),
+    /// Owned values, row-major `len.0 × len.1`.
+    pub data: Vec<f64>,
+}
+
+// LOC:BEGIN jacobi_mp
+/// Hand-written message-passing Jacobi for an `(n+1) × (n+1)` grid on a
+/// `px × py` process mesh (rank = ip·py + jp), `iters` sweeps of
+/// `X(i,j) = 0.25·(X(i±1,j) + X(i,j±1)) − f(i,j)`.
+///
+/// This is a direct transcription of the paper's Listing 2: the programmer
+/// decomposes the array, maintains a boundary-padded local block, copies
+/// the solution into a temporary, and writes four guarded sends and four
+/// guarded receives per iteration.
+pub fn jacobi_mp(
+    proc: &mut Proc,
+    px: usize,
+    py: usize,
+    n: usize,
+    f: &dyn Fn(usize, usize) -> f64,
+    iters: usize,
+) -> JacobiBlock {
+    let rank = proc.rank();
+    let (ip, jp) = (rank / py, rank % py);
+    // Balanced block bounds, dimension 0 (rows) and 1 (columns).
+    let lo0 = ip * (n + 1) / px;
+    let hi0 = (ip + 1) * (n + 1) / px;
+    let lo1 = jp * (n + 1) / py;
+    let hi1 = (jp + 1) * (n + 1) / py;
+    let (m0, m1) = (hi0 - lo0, hi1 - lo1);
+    // Local arrays padded with one boundary/ghost layer on each side.
+    let w = m1 + 2;
+    let idx = |i: usize, j: usize| i * w + j; // local storage index
+    let mut x = vec![0.0f64; (m0 + 2) * w];
+    let mut fl = vec![0.0f64; (m0 + 2) * w];
+    for i in 0..m0 {
+        for j in 0..m1 {
+            fl[idx(i + 1, j + 1)] = f(lo0 + i, lo1 + j);
+        }
+    }
+    let t_n = tag(NS_USER, 0x10);
+    let t_s = tag(NS_USER, 0x11);
+    let t_w = tag(NS_USER, 0x12);
+    let t_e = tag(NS_USER, 0x13);
+
+    for _ in 0..iters {
+        // copy solution into a temporary array
+        let tmp = x.clone();
+        proc.memop((m0 * m1) as f64);
+
+        // send edge values to North, South, West and East neighbours
+        if ip > 0 {
+            let row: Vec<f64> = (0..m1).map(|j| tmp[idx(1, j + 1)]).collect();
+            proc.memop(m1 as f64);
+            proc.send((ip - 1) * py + jp, t_n, row);
+        }
+        if ip + 1 < px {
+            let row: Vec<f64> = (0..m1).map(|j| tmp[idx(m0, j + 1)]).collect();
+            proc.memop(m1 as f64);
+            proc.send((ip + 1) * py + jp, t_s, row);
+        }
+        if jp > 0 {
+            let col: Vec<f64> = (0..m0).map(|i| tmp[idx(i + 1, 1)]).collect();
+            proc.memop(m0 as f64);
+            proc.send(ip * py + jp - 1, t_w, col);
+        }
+        if jp + 1 < py {
+            let col: Vec<f64> = (0..m0).map(|i| tmp[idx(i + 1, m1)]).collect();
+            proc.memop(m0 as f64);
+            proc.send(ip * py + jp + 1, t_e, col);
+        }
+
+        // receive edge values from neighbours into the ghost layers
+        let mut tmp = tmp;
+        if ip > 0 {
+            let row: Vec<f64> = proc.recv((ip - 1) * py + jp, t_s);
+            for (j, v) in row.into_iter().enumerate() {
+                tmp[idx(0, j + 1)] = v;
+            }
+            proc.memop(m1 as f64);
+        }
+        if ip + 1 < px {
+            let row: Vec<f64> = proc.recv((ip + 1) * py + jp, t_n);
+            for (j, v) in row.into_iter().enumerate() {
+                tmp[idx(m0 + 1, j + 1)] = v;
+            }
+            proc.memop(m1 as f64);
+        }
+        if jp > 0 {
+            let col: Vec<f64> = proc.recv(ip * py + jp - 1, t_e);
+            for (i, v) in col.into_iter().enumerate() {
+                tmp[idx(i + 1, 0)] = v;
+            }
+            proc.memop(m0 as f64);
+        }
+        if jp + 1 < py {
+            let col: Vec<f64> = proc.recv(ip * py + jp + 1, t_w);
+            for (i, v) in col.into_iter().enumerate() {
+                tmp[idx(i + 1, m1 + 1)] = v;
+            }
+            proc.memop(m0 as f64);
+        }
+
+        // update solution array X (global interior points only)
+        let mut points = 0u32;
+        for i in 0..m0 {
+            let gi = lo0 + i;
+            if gi == 0 || gi == n {
+                continue;
+            }
+            for j in 0..m1 {
+                let gj = lo1 + j;
+                if gj == 0 || gj == n {
+                    continue;
+                }
+                x[idx(i + 1, j + 1)] = 0.25
+                    * (tmp[idx(i + 2, j + 1)]
+                        + tmp[idx(i, j + 1)]
+                        + tmp[idx(i + 1, j + 2)]
+                        + tmp[idx(i + 1, j)])
+                    - fl[idx(i + 1, j + 1)];
+                points += 1;
+            }
+        }
+        proc.compute(5.0 * points as f64);
+    }
+
+    let mut data = Vec::with_capacity(m0 * m1);
+    for i in 0..m0 {
+        for j in 0..m1 {
+            data.push(x[idx(i + 1, j + 1)]);
+        }
+    }
+    JacobiBlock {
+        lo: (lo0, lo1),
+        len: (m0, m1),
+        data,
+    }
+}
+// LOC:END jacobi_mp
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kali_machine::{CostModel, Machine, MachineConfig};
+    use std::time::Duration;
+
+    fn cfg(p: usize) -> MachineConfig {
+        MachineConfig::new(p)
+            .with_cost(CostModel::unit())
+            .with_watchdog(Duration::from_secs(20))
+    }
+
+    /// Sequential Listing 1 for reference.
+    fn jacobi_seq(n: usize, f: &dyn Fn(usize, usize) -> f64, iters: usize) -> Vec<f64> {
+        let w = n + 1;
+        let mut x = vec![0.0; w * w];
+        let fv: Vec<f64> = (0..w * w).map(|k| f(k / w, k % w)).collect();
+        for _ in 0..iters {
+            let tmp = x.clone();
+            for i in 1..n {
+                for j in 1..n {
+                    x[i * w + j] = 0.25
+                        * (tmp[(i + 1) * w + j]
+                            + tmp[(i - 1) * w + j]
+                            + tmp[i * w + j + 1]
+                            + tmp[i * w + j - 1])
+                        - fv[i * w + j];
+                }
+            }
+        }
+        x
+    }
+
+    #[test]
+    fn matches_sequential_listing1() {
+        let n = 16;
+        let f = |i: usize, j: usize| {
+            if i == 0 || i == 16 || j == 0 || j == 16 {
+                0.0
+            } else {
+                ((i * 31 + j * 17) % 11) as f64 / 50.0 - 0.1
+            }
+        };
+        let want = jacobi_seq(n, &f, 12);
+        for (px, py) in [(1usize, 1usize), (2, 2), (4, 1), (1, 4)] {
+            let run = Machine::run(cfg(px * py), move |proc| {
+                jacobi_mp(proc, px, py, n, &f, 12)
+            });
+            let mut got = vec![0.0; (n + 1) * (n + 1)];
+            for b in &run.results {
+                for i in 0..b.len.0 {
+                    for j in 0..b.len.1 {
+                        got[(b.lo.0 + i) * (n + 1) + (b.lo.1 + j)] = b.data[i * b.len.1 + j];
+                    }
+                }
+            }
+            for k in 0..got.len() {
+                assert!(
+                    (got[k] - want[k]).abs() < 1e-13,
+                    "({px},{py}) flat index {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn message_pattern_matches_listing2() {
+        // On a 2x2 mesh each proc has 2 neighbours: 2 sends + 2 recvs per
+        // iteration -> total msgs = 4 procs * 2 * iters.
+        let n = 8;
+        let iters = 3;
+        let run = Machine::run(cfg(4), move |proc| {
+            jacobi_mp(proc, 2, 2, n, &|_, _| 0.0, iters)
+        });
+        assert_eq!(run.report.total_msgs as usize, 4 * 2 * iters);
+    }
+}

@@ -1,0 +1,24 @@
+//! # kali-mp — hand-written message-passing baselines (Listing 2 style)
+//!
+//! The paper's §2 contrasts three versions of the same Jacobi algorithm:
+//! sequential Fortran (Listing 1), hand-written message passing
+//! (Listing 2), and KF1 (Listing 3). This crate is the Listing 2 column of
+//! that comparison: the same algorithms as `kali-runtime`/`kali-solvers`,
+//! but written directly against raw [`kali_machine::Proc`] sends and
+//! receives, with every guard, rank computation, and buffer copy spelled
+//! out by hand.
+//!
+//! Two paper claims are measured against this crate:
+//!
+//! * **C1 (lines of code)** — the `// LOC:` markers fence the regions the
+//!   `exp_loc` experiment counts, reproducing "the message passing version
+//!   is often five to ten times longer than the sequential version";
+//! * **C2 (no runtime penalty)** — the KF1-library versions must match the
+//!   virtual execution time of these hand-written ones, since a KF1
+//!   compiler would generate essentially this code.
+
+pub mod jacobi_mp;
+pub mod tri_mp;
+
+pub use jacobi_mp::{jacobi_mp, JacobiBlock};
+pub use tri_mp::tri_mp;

@@ -1,0 +1,260 @@
+//! The substructured tridiagonal solver written directly in message-passing
+//! style — what a programmer would have to produce by hand without KF1
+//! (compare `kali_kernels::tri_dist`, which expresses the same algorithm
+//! against the runtime API). Everything — block elimination, the tree
+//! mapping, rank arithmetic, message framing — is spelled out locally.
+
+use kali_machine::{tag, Proc, NS_USER};
+
+// LOC:BEGIN tri_mp
+/// Solve one block-distributed tridiagonal system of `n` rows on all `p`
+/// processors of the machine (p a power of two, `n ≥ 2p`). `b/a/c/f` are
+/// this processor's block of the diagonals (balanced block layout); the
+/// solution block is returned.
+pub fn tri_mp(proc: &mut Proc, n: usize, b: &[f64], a: &[f64], c: &[f64], f: &[f64]) -> Vec<f64> {
+    let p = proc.nprocs();
+    let me = proc.rank();
+    let m = b.len();
+
+    // --- Sequential fallback: plain Thomas algorithm.
+    if p == 1 {
+        let mut ap = a.to_vec();
+        let mut fp = f.to_vec();
+        for i in 1..n {
+            let w = b[i] / ap[i - 1];
+            ap[i] -= w * c[i - 1];
+            fp[i] -= w * fp[i - 1];
+        }
+        let mut x = vec![0.0; n];
+        x[n - 1] = fp[n - 1] / ap[n - 1];
+        for i in (0..n - 1).rev() {
+            x[i] = (fp[i] - c[i] * x[i + 1]) / ap[i];
+        }
+        proc.compute(8.0 * n as f64);
+        return x;
+    }
+    assert!(p.is_power_of_two() && n >= 2 * p && m >= 2);
+    let k = p.trailing_zeros() as usize;
+
+    // --- Local substructuring: eliminate the sub-diagonal downward
+    //     (fill-in in column 0), then the super-diagonal upward
+    //     (fill-in in column m-1).
+    let mut lb = b.to_vec();
+    let mut la = a.to_vec();
+    let mut lc = c.to_vec();
+    let mut lf = f.to_vec();
+    for i in 2..m {
+        let w = lb[i] / la[i - 1];
+        lb[i] = -w * lb[i - 1];
+        la[i] -= w * lc[i - 1];
+        lf[i] -= w * lf[i - 1];
+    }
+    for i in (0..m - 2).rev() {
+        let w = lc[i] / la[i + 1];
+        if i >= 1 {
+            lb[i] -= w * lb[i + 1];
+        } else {
+            la[0] -= w * lb[1];
+        }
+        lc[i] = -w * lc[i + 1];
+        lf[i] -= w * lf[i + 1];
+    }
+    proc.compute(12.0 * (m - 2) as f64);
+
+    // Unshuffle level mapping (Figure 5): level s lives on processors
+    // [2^(k-s)-1, 2^(k-s+1)-1); its sources are all of them (s = 1) or
+    // the previous level set.
+    let level = |s: usize| ((1usize << (k - s)) - 1, (1usize << (k - s + 1)) - 1);
+    let sources = |s: usize| if s == 1 { (0, p) } else { level(s - 1) };
+    let up = |s: usize| tag(NS_USER, 0x100 + s as u64);
+    let down = |s: usize| tag(NS_USER, 0x200 + s as u64);
+
+    let mut pair = vec![lb[0], la[0], lc[0], lf[0], lb[m - 1], la[m - 1], lc[m - 1], lf[m - 1]];
+    let mut saved: Vec<[f64; 16]> = vec![[0.0; 16]; k + 1];
+    let mut x4 = [0.0f64; 4];
+
+    // --- Reduction sweep up the tree.
+    for s in 1..=k {
+        let (slo, shi) = sources(s);
+        let (dlo, _) = level(s);
+        if me >= slo && me < shi {
+            proc.send(dlo + (me - slo) / 2, up(s), pair.clone());
+        }
+        let (dlo2, dhi2) = level(s);
+        if me >= dlo2 && me < dhi2 {
+            let j = me - dlo2;
+            let lo: Vec<f64> = proc.recv(slo + 2 * j, up(s));
+            let hi: Vec<f64> = proc.recv(slo + 2 * j + 1, up(s));
+            let mut rb = [lo[0], lo[4], hi[0], hi[4]];
+            let mut ra = [lo[1], lo[5], hi[1], hi[5]];
+            let mut rc = [lo[2], lo[6], hi[2], hi[6]];
+            let mut rf = [lo[3], lo[7], hi[3], hi[7]];
+            if s < k {
+                // Reduce four rows to two (Figure 2), save for substitution.
+                for i in 2..4 {
+                    let w = rb[i] / ra[i - 1];
+                    rb[i] = -w * rb[i - 1];
+                    ra[i] -= w * rc[i - 1];
+                    rf[i] -= w * rf[i - 1];
+                }
+                for i in (0..2).rev() {
+                    let w = rc[i] / ra[i + 1];
+                    if i >= 1 {
+                        rb[i] -= w * rb[i + 1];
+                    } else {
+                        ra[0] -= w * rb[1];
+                    }
+                    rc[i] = -w * rc[i + 1];
+                    rf[i] -= w * rf[i + 1];
+                }
+                proc.compute(24.0);
+                let mut sv = [0.0; 16];
+                for i in 0..4 {
+                    sv[4 * i] = rb[i];
+                    sv[4 * i + 1] = ra[i];
+                    sv[4 * i + 2] = rc[i];
+                    sv[4 * i + 3] = rf[i];
+                }
+                saved[s] = sv;
+                pair = vec![rb[0], ra[0], rc[0], rf[0], rb[3], ra[3], rc[3], rf[3]];
+            } else {
+                // Root: solve the final four-row system by Thomas.
+                let mut ap = ra;
+                let mut fp = rf;
+                for i in 1..4 {
+                    let w = rb[i] / ap[i - 1];
+                    ap[i] -= w * rc[i - 1];
+                    fp[i] -= w * fp[i - 1];
+                }
+                x4[3] = fp[3] / ap[3];
+                for i in (0..3).rev() {
+                    x4[i] = (fp[i] - rc[i] * x4[i + 1]) / ap[i];
+                }
+                proc.compute(32.0);
+            }
+        }
+    }
+
+    // --- Substitution sweep back down (Figure 4).
+    let mut x_local = Vec::new();
+    for s in (1..=k).rev() {
+        let (dlo, dhi) = level(s);
+        let (slo, shi) = sources(s);
+        if me >= dlo && me < dhi {
+            let j = me - dlo;
+            proc.send(slo + 2 * j, down(s), vec![x4[0], x4[1]]);
+            proc.send(slo + 2 * j + 1, down(s), vec![x4[2], x4[3]]);
+        }
+        if me >= slo && me < shi {
+            let dest = dlo + (me - slo) / 2;
+            let ends: Vec<f64> = proc.recv(dest, down(s));
+            if s > 1 {
+                let sv = saved[s - 1];
+                x4[0] = ends[0];
+                x4[3] = ends[1];
+                for i in 1..3 {
+                    x4[i] = (sv[4 * i + 3] - sv[4 * i] * ends[0] - sv[4 * i + 2] * ends[1])
+                        / sv[4 * i + 1];
+                }
+                proc.compute(10.0);
+            } else {
+                x_local = vec![0.0; m];
+                x_local[0] = ends[0];
+                x_local[m - 1] = ends[1];
+                for i in 1..m - 1 {
+                    x_local[i] = (lf[i] - lb[i] * ends[0] - lc[i] * ends[1]) / la[i];
+                }
+                proc.compute(5.0 * (m - 2) as f64);
+            }
+        }
+    }
+    x_local
+}
+// LOC:END tri_mp
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kali_machine::{CostModel, Machine, MachineConfig};
+    use std::time::Duration;
+
+    fn cfg(p: usize) -> MachineConfig {
+        MachineConfig::new(p)
+            .with_cost(CostModel::unit())
+            .with_watchdog(Duration::from_secs(20))
+    }
+
+    /// Dense-ish verification system (diagonally dominant).
+    fn system(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+        let mut st = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            st ^= st << 13;
+            st ^= st >> 7;
+            st ^= st << 17;
+            (st >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut b = vec![0.0; n];
+        let mut a = vec![0.0; n];
+        let mut c = vec![0.0; n];
+        for i in 0..n {
+            if i > 0 {
+                b[i] = -(0.3 + next());
+            }
+            if i + 1 < n {
+                c[i] = -(0.3 + next());
+            }
+            a[i] = b[i].abs() + c[i].abs() + 1.0 + next();
+        }
+        let xt: Vec<f64> = (0..n).map(|i| (i as f64 * 0.23).sin()).collect();
+        let f: Vec<f64> = (0..n)
+            .map(|i| {
+                let mut v = a[i] * xt[i];
+                if i > 0 {
+                    v += b[i] * xt[i - 1];
+                }
+                if i + 1 < n {
+                    v += c[i] * xt[i + 1];
+                }
+                v
+            })
+            .collect();
+        (b, a, c, f, xt)
+    }
+
+    #[test]
+    fn solves_correctly_across_team_sizes() {
+        for p in [1usize, 2, 4, 8] {
+            let n = 64;
+            let (b, a, c, f, xt) = system(n, p as u64 + 1);
+            let run = Machine::run(cfg(p), move |proc| {
+                let me = proc.rank();
+                let pp = proc.nprocs();
+                let lo = me * n / pp;
+                let hi = (me + 1) * n / pp;
+                tri_mp(proc, n, &b[lo..hi], &a[lo..hi], &c[lo..hi], &f[lo..hi])
+            });
+            let mut x = Vec::new();
+            for piece in &run.results {
+                x.extend_from_slice(piece);
+            }
+            for i in 0..n {
+                assert!((x[i] - xt[i]).abs() < 1e-8, "p={p} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn same_message_count_as_kf1_version() {
+        // Hand-written and runtime versions generate the same tree traffic.
+        let p = 8;
+        let run = Machine::run(cfg(p), move |proc| {
+            let n = 256;
+            let (b, a, c, f, _) = system(n, 3);
+            let me = proc.rank();
+            let lo = me * n / 8;
+            let hi = (me + 1) * n / 8;
+            tri_mp(proc, n, &b[lo..hi], &a[lo..hi], &c[lo..hi], &f[lo..hi])
+        });
+        assert_eq!(run.report.total_msgs as usize, 2 * (2 * p - 2));
+    }
+}

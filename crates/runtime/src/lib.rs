@@ -1,0 +1,410 @@
+//! # kali-runtime — the KF1 execution model as a library
+//!
+//! A KF1 compiler (paper §2) lowers three constructs onto a message-passing
+//! machine: `doall` loops with `on` clauses (owner computes + strip mining),
+//! copy-in/copy-out semantics for arrays modified inside a `doall`, and
+//! distributed procedure calls that carry a slice of the processor array
+//! alongside slices of data arrays. This crate is the *target* of such a
+//! compiler, packaged as an explicit API:
+//!
+//! * [`Ctx`] — a processor's view of the current processor array
+//!   (initially the whole machine; narrowed by [`Ctx::call_on`] for
+//!   distributed procedure calls on grid slices);
+//! * [`Ctx::doall1`] / [`Ctx::doall2`] — strip-mined parallel loops whose
+//!   `on owner(...)` clause is a [`Dist1`] or a distributed array;
+//! * [`jacobi_update`] — the copy-in/copy-out stencil update that makes
+//!   Listing 3 need no explicit temporary;
+//! * global reductions over the current grid.
+//!
+//! Everything costs virtual time through the usual [`Proc`] accounting, so
+//! programs written against this API are directly comparable with the
+//! hand-written message-passing baselines in `kali-mp` (paper claim C2).
+
+use kali_array::{DistArray2, DistArrayN, Elem};
+use kali_grid::{Dist1, ProcGrid};
+use kali_machine::{collective, Proc, Team, Wire};
+
+/// Execution context: one processor's handle on the machine plus the
+/// processor array currently in scope (the `procs` argument of a `parsub`).
+pub struct Ctx<'a> {
+    proc: &'a mut Proc,
+    grid: ProcGrid,
+    /// Grid coordinates of this processor within `grid` (None if not a member).
+    coords: Option<Vec<usize>>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Enter a parallel subroutine on the given processor array.
+    pub fn new(proc: &'a mut Proc, grid: ProcGrid) -> Self {
+        let coords = grid.coords_of(proc.rank());
+        Ctx { proc, grid, coords }
+    }
+
+    /// The machine-level processor handle.
+    pub fn proc(&mut self) -> &mut Proc {
+        self.proc
+    }
+
+    /// The processor array in scope.
+    pub fn grid(&self) -> &ProcGrid {
+        &self.grid
+    }
+
+    /// Machine rank of this processor.
+    pub fn rank(&self) -> usize {
+        self.proc.rank()
+    }
+
+    /// Is this processor a member of the current processor array?
+    pub fn in_grid(&self) -> bool {
+        self.coords.is_some()
+    }
+
+    /// Grid coordinates within the current processor array.
+    pub fn coords(&self) -> Option<&[usize]> {
+        self.coords.as_deref()
+    }
+
+    /// My coordinate along grid dimension `gd` (panics if not a member).
+    pub fn coord(&self, gd: usize) -> usize {
+        self.coords.as_ref().expect("processor not in current grid")[gd]
+    }
+
+    /// The current grid as a machine [`Team`].
+    pub fn team(&self) -> Team {
+        self.grid.team()
+    }
+
+    /// `doall i = range on owner(dist, i)` over grid dimension `gd`:
+    /// execute `body(i)` for exactly the iterations this processor owns.
+    ///
+    /// Block distributions are strip-mined to the intersection of the range
+    /// with the owned interval (no per-iteration owner tests), like the
+    /// compiled code the paper describes; other patterns fall back to an
+    /// owner test per iteration.
+    pub fn doall1(
+        &mut self,
+        gd: usize,
+        dist: &Dist1,
+        range: std::ops::Range<usize>,
+        mut body: impl FnMut(&mut Ctx, usize),
+    ) {
+        let Some(coords) = self.coords.clone() else {
+            return;
+        };
+        let q = coords[gd];
+        if dist.is_contiguous() {
+            let Some(lo) = dist.lower(q) else { return };
+            let hi = dist.upper(q).expect("nonempty block") + 1;
+            let start = range.start.max(lo);
+            let end = range.end.min(hi);
+            for i in start..end {
+                body(self, i);
+            }
+        } else {
+            for i in range {
+                if dist.owner(i) == q {
+                    body(self, i);
+                }
+            }
+        }
+    }
+
+    /// Strided variant of [`Ctx::doall1`] (`doall j = lo, hi, step` — used by
+    /// the zebra sweeps of Listings 9 and 11).
+    pub fn doall1_step(
+        &mut self,
+        gd: usize,
+        dist: &Dist1,
+        range: std::ops::Range<usize>,
+        step: usize,
+        mut body: impl FnMut(&mut Ctx, usize),
+    ) {
+        assert!(step >= 1);
+        let Some(coords) = self.coords.clone() else {
+            return;
+        };
+        let q = coords[gd];
+        let mut i = range.start;
+        while i < range.end {
+            if dist.owner(i) == q {
+                body(self, i);
+            }
+            i += step;
+        }
+    }
+
+    /// `doall (i, j) = [r0] * [r1] on owner(a(i, j))` — the product-range
+    /// header of Listing 3. Iterations are the owned sub-box of the product
+    /// range.
+    pub fn doall2<T: Elem>(
+        &mut self,
+        a: &DistArray2<T>,
+        r0: std::ops::Range<usize>,
+        r1: std::ops::Range<usize>,
+        mut body: impl FnMut(&mut Ctx, usize, usize),
+    ) {
+        if !a.is_participant() || !self.in_grid() {
+            return;
+        }
+        debug_assert!(a.dist(0).is_contiguous() && a.dist(1).is_contiguous());
+        let i0 = r0.start.max(a.owned_range(0).start);
+        let i1 = r0.end.min(a.owned_range(0).end);
+        let j0 = r1.start.max(a.owned_range(1).start);
+        let j1 = r1.end.min(a.owned_range(1).end);
+        for i in i0..i1 {
+            for j in j0..j1 {
+                body(self, i, j);
+            }
+        }
+    }
+
+    /// Call a distributed procedure on a slice of the processor array:
+    /// `call sub(...; owner(r(i, *)))`. Only members of `slice` execute
+    /// `f`; they see a narrowed context. Returns `Some(result)` on members.
+    pub fn call_on<R>(
+        &mut self,
+        slice: ProcGrid,
+        f: impl FnOnce(&mut Ctx) -> R,
+    ) -> Option<R> {
+        if !slice.contains(self.proc.rank()) {
+            return None;
+        }
+        let mut sub = Ctx::new(self.proc, slice);
+        Some(f(&mut sub))
+    }
+
+    /// Global sum over the current grid (replicated result).
+    pub fn allreduce_sum(&mut self, v: f64) -> f64 {
+        let team = self.team();
+        collective::allreduce_sum(self.proc, &team, v)
+    }
+
+    /// Global max over the current grid (replicated result).
+    pub fn allreduce_max(&mut self, v: f64) -> f64 {
+        let team = self.team();
+        collective::allreduce_max(self.proc, &team, v)
+    }
+
+    /// Barrier over the current grid.
+    pub fn barrier(&mut self) {
+        let team = self.team();
+        collective::barrier(self.proc, &team);
+    }
+
+    /// Broadcast from the grid's first processor.
+    pub fn broadcast<T: Wire + Clone>(&mut self, value: Option<T>) -> T {
+        let team = self.team();
+        collective::broadcast(self.proc, &team, 0, value)
+    }
+}
+
+/// Copy-in/copy-out stencil update (the `doall` semantics of §2):
+///
+/// ```text
+/// doall (i, j) = [r0] * [r1] on owner(u(i, j))
+///     u(i, j) = f(u_old, i, j)
+/// ```
+///
+/// Ghosts are exchanged first, the *old* array (owned block + ghosts) is
+/// snapshotted, and every owned point in the range is rewritten from the
+/// snapshot — so no user-visible temporary is needed, exactly as in
+/// Listing 3. `flops_per_point` is charged per updated point.
+pub fn jacobi_update<T: Elem + Wire>(
+    proc: &mut Proc,
+    u: &mut DistArray2<T>,
+    r0: std::ops::Range<usize>,
+    r1: std::ops::Range<usize>,
+    flops_per_point: f64,
+    f: impl Fn(&DistArray2<T>, usize, usize) -> T,
+) {
+    u.exchange_ghosts(proc);
+    if !u.is_participant() {
+        return;
+    }
+    let old = u.clone();
+    proc.memop((u.local_len(0) * u.local_len(1)) as f64);
+    let i0 = r0.start.max(u.owned_range(0).start);
+    let i1 = r0.end.min(u.owned_range(0).end);
+    let j0 = r1.start.max(u.owned_range(1).start);
+    let j1 = r1.end.min(u.owned_range(1).end);
+    let mut points = 0usize;
+    for i in i0..i1 {
+        for j in j0..j1 {
+            u.set([i, j], f(&old, i, j));
+            points += 1;
+        }
+    }
+    proc.compute(flops_per_point * points as f64);
+}
+
+/// Squared 2-norm of a distributed array over the current grid
+/// (replicated result).
+pub fn global_norm2<const N: usize>(ctx: &mut Ctx, a: &DistArrayN<f64, N>) -> f64 {
+    let mut local = 0.0;
+    let mut count = 0usize;
+    a.for_each_owned(|_, v| {
+        local += v * v;
+        count += 1;
+    });
+    ctx.proc().compute(2.0 * count as f64);
+    ctx.allreduce_sum(local)
+}
+
+/// Max-abs of a distributed array over the current grid (replicated result).
+pub fn global_max_abs<const N: usize>(ctx: &mut Ctx, a: &DistArrayN<f64, N>) -> f64 {
+    let mut local = 0.0f64;
+    let mut count = 0usize;
+    a.for_each_owned(|_, v| {
+        local = local.max(v.abs());
+        count += 1;
+    });
+    ctx.proc().compute(count as f64);
+    ctx.allreduce_max(local)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kali_grid::DistSpec;
+    use kali_machine::{CostModel, Machine, MachineConfig};
+    use std::time::Duration;
+
+    fn cfg(p: usize) -> MachineConfig {
+        MachineConfig::new(p)
+            .with_cost(CostModel::unit())
+            .with_watchdog(Duration::from_secs(10))
+    }
+
+    #[test]
+    fn doall1_strip_mines_blocks() {
+        let run = Machine::run(cfg(4), |proc| {
+            let grid = ProcGrid::new_1d(4);
+            let mut ctx = Ctx::new(proc, grid);
+            let dist = Dist1::block(16, 4);
+            let mut mine = Vec::new();
+            ctx.doall1(0, &dist, 1..15, |_, i| mine.push(i));
+            mine
+        });
+        assert_eq!(run.results[0], vec![1, 2, 3]);
+        assert_eq!(run.results[1], vec![4, 5, 6, 7]);
+        assert_eq!(run.results[3], vec![12, 13, 14]);
+        // Every iteration executed exactly once.
+        let all: Vec<usize> = run.results.into_iter().flatten().collect();
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (1..15).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn doall1_cyclic_owner_tests() {
+        let run = Machine::run(cfg(3), |proc| {
+            let grid = ProcGrid::new_1d(3);
+            let mut ctx = Ctx::new(proc, grid);
+            let dist = Dist1::cyclic(9, 3);
+            let mut mine = Vec::new();
+            ctx.doall1(0, &dist, 0..9, |_, i| mine.push(i));
+            mine
+        });
+        assert_eq!(run.results[1], vec![1, 4, 7]);
+    }
+
+    #[test]
+    fn doall1_step_zebra_split() {
+        let run = Machine::run(cfg(2), |proc| {
+            let grid = ProcGrid::new_1d(2);
+            let mut ctx = Ctx::new(proc, grid);
+            let dist = Dist1::block(8, 2);
+            let mut even = Vec::new();
+            ctx.doall1_step(0, &dist, 0..8, 2, |_, j| even.push(j));
+            even
+        });
+        assert_eq!(run.results[0], vec![0, 2]);
+        assert_eq!(run.results[1], vec![4, 6]);
+    }
+
+    #[test]
+    fn doall2_owns_product_subbox() {
+        let run = Machine::run(cfg(4), |proc| {
+            let grid = ProcGrid::new_2d(2, 2);
+            let a = DistArray2::<f64>::new(proc.rank(), &grid, &DistSpec::block2(), [8, 8], [0, 0]);
+            let mut ctx = Ctx::new(proc, grid);
+            let mut count = 0;
+            ctx.doall2(&a, 1..7, 1..7, |_, _, _| count += 1);
+            count
+        });
+        // 6x6 interior split over a 2x2 grid of 4x4 blocks: 3x3 per corner proc.
+        assert_eq!(run.results, vec![9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn call_on_narrows_the_grid() {
+        let run = Machine::run(cfg(4), |proc| {
+            let grid = ProcGrid::new_2d(2, 2);
+            let row1 = grid.slice(0, 1);
+            let mut ctx = Ctx::new(proc, grid);
+            ctx.call_on(row1, |sub| {
+                assert_eq!(sub.grid().size(), 2);
+                // Within the slice we can run collectives scoped to it.
+                sub.allreduce_sum(1.0)
+            })
+        });
+        assert_eq!(run.results[0], None);
+        assert_eq!(run.results[2], Some(2.0));
+        assert_eq!(run.results[3], Some(2.0));
+    }
+
+    #[test]
+    fn jacobi_update_has_copy_in_copy_out_semantics() {
+        // A shift `x(i) = x(i+1)` done as a 2-D row; without copy-in/copy-out
+        // the values would cascade.
+        let run = Machine::run(cfg(2), |proc| {
+            let grid = ProcGrid::new_1d(2);
+            let spec = DistSpec::local_block();
+            let mut u = DistArray2::from_fn(proc.rank(), &grid, &spec, [1, 8], [0, 1], |[_, j]| {
+                j as f64
+            });
+            jacobi_update(proc, &mut u, 0..1, 0..7, 1.0, |old, i, j| old.at(i, j + 1));
+            u.gather_to_root(proc)
+        });
+        let g = run.results[0].as_ref().unwrap();
+        assert_eq!(g, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn global_reductions_replicate() {
+        let run = Machine::run(cfg(4), |proc| {
+            let grid = ProcGrid::new_1d(4);
+            let a = kali_array::DistArray1::from_fn(
+                proc.rank(),
+                &grid,
+                &DistSpec::block1(),
+                [8],
+                [0],
+                |[i]| if i == 5 { -3.0 } else { 1.0 },
+            );
+            let mut ctx = Ctx::new(proc, grid);
+            let n2 = global_norm2(&mut ctx, &a);
+            let mx = global_max_abs(&mut ctx, &a);
+            (n2, mx)
+        });
+        for (n2, mx) in run.results {
+            assert_eq!(n2, 7.0 + 9.0);
+            assert_eq!(mx, 3.0);
+        }
+    }
+
+    #[test]
+    fn nonmember_doall_is_noop() {
+        let run = Machine::run(cfg(4), |proc| {
+            // Grid covering only ranks 0 and 1.
+            let grid = ProcGrid::with_ranks(vec![2], vec![0, 1]);
+            let mut ctx = Ctx::new(proc, grid);
+            let dist = Dist1::block(8, 2);
+            let mut n = 0;
+            ctx.doall1(0, &dist, 0..8, |_, _| n += 1);
+            n
+        });
+        assert_eq!(run.results, vec![4, 4, 0, 0]);
+    }
+}

@@ -1,0 +1,540 @@
+//! Sequential reference implementations (the "Listing 1" side of the
+//! paper's comparisons) on plain dense grids. These are the ground truth
+//! the distributed solvers are verified against, and the baseline for the
+//! lines-of-code claim (C1).
+
+use crate::Pde;
+use kali_kernels::tridiag::thomas;
+
+/// Dense 2-D grid of `(nx+1) × (ny+1)` points, row-major over `i` then `j`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid2 {
+    pub nx: usize,
+    pub ny: usize,
+    pub v: Vec<f64>,
+}
+
+impl Grid2 {
+    pub fn zeros(nx: usize, ny: usize) -> Self {
+        Grid2 {
+            nx,
+            ny,
+            v: vec![0.0; (nx + 1) * (ny + 1)],
+        }
+    }
+
+    pub fn from_fn(nx: usize, ny: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut g = Grid2::zeros(nx, ny);
+        for i in 0..=nx {
+            for j in 0..=ny {
+                g.v[i * (ny + 1) + j] = f(i, j);
+            }
+        }
+        g
+    }
+
+    /// Zero values with random interior, zero boundary (reproducible).
+    pub fn random_interior(nx: usize, ny: usize, seed: u64) -> Self {
+        let mut state = seed.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(7);
+        Grid2::from_fn(nx, ny, move |i, j| {
+            if i == 0 || i == nx || j == 0 || j == ny {
+                0.0
+            } else {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            }
+        })
+    }
+
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        self.v[i * (self.ny + 1) + j]
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, val: f64) {
+        self.v[i * (self.ny + 1) + j] = val;
+    }
+
+    /// Max-abs over all points.
+    pub fn max_abs(&self) -> f64 {
+        self.v.iter().map(|x| x.abs()).fold(0.0, f64::max)
+    }
+}
+
+/// Apply the discrete operator of `pde` to `u` (interior points only;
+/// boundary rows of the result are zero).
+pub fn apply2(pde: &Pde, u: &Grid2) -> Grid2 {
+    let (nx, ny) = (u.nx, u.ny);
+    let (ax, ay, ad) = pde.stencil2(nx, ny);
+    let mut out = Grid2::zeros(nx, ny);
+    for i in 1..nx {
+        for j in 1..ny {
+            let v = ax * (u.at(i - 1, j) + u.at(i + 1, j))
+                + ay * (u.at(i, j - 1) + u.at(i, j + 1))
+                + ad * u.at(i, j);
+            out.set(i, j, v);
+        }
+    }
+    out
+}
+
+/// Residual `f − L u` (interior).
+pub fn resid2_seq(pde: &Pde, u: &Grid2, f: &Grid2) -> Grid2 {
+    let lu = apply2(pde, u);
+    let mut r = Grid2::zeros(u.nx, u.ny);
+    for i in 1..u.nx {
+        for j in 1..u.ny {
+            r.set(i, j, f.at(i, j) - lu.at(i, j));
+        }
+    }
+    r
+}
+
+/// One Jacobi sweep in exactly the form of Listing 1:
+/// `X(i,j) = 0.25·(X(i±1,j) + X(i,j±1)) − f(i,j)` with copy-in/copy-out.
+pub fn jacobi_seq_step(x: &mut Grid2, f: &Grid2) {
+    let tmp = x.clone();
+    for i in 1..x.nx {
+        for j in 1..x.ny {
+            let v = 0.25
+                * (tmp.at(i + 1, j) + tmp.at(i - 1, j) + tmp.at(i, j + 1) + tmp.at(i, j - 1))
+                - f.at(i, j);
+            x.set(i, j, v);
+        }
+    }
+}
+
+/// Zebra x-line relaxation of colour `colour` (0 = even lines): each line
+/// `j` is solved exactly by the Thomas kernel with the neighbouring lines
+/// frozen — the `seqtri` calls of Listing 11.
+pub fn zebra2_seq(pde: &Pde, u: &mut Grid2, f: &Grid2, colour: usize) {
+    let (nx, ny) = (u.nx, u.ny);
+    let (ax, ay, ad) = pde.stencil2(nx, ny);
+    let ni = nx - 1;
+    let mut b = vec![ax; ni];
+    let mut c = vec![ax; ni];
+    b[0] = 0.0;
+    c[ni - 1] = 0.0;
+    let a = vec![ad; ni];
+    for j in 1..ny {
+        if j % 2 != colour % 2 {
+            continue;
+        }
+        let rhs: Vec<f64> = (1..nx)
+            .map(|i| f.at(i, j) - ay * (u.at(i, j - 1) + u.at(i, j + 1)))
+            .collect();
+        let x = thomas(&b, &a, &c, &rhs);
+        for i in 1..nx {
+            u.set(i, j, x[i - 1]);
+        }
+    }
+}
+
+/// Semicoarsening restriction in y (full weighting over lines).
+pub fn rest2_seq(r: &Grid2) -> Grid2 {
+    let (nx, nyc) = (r.nx, r.ny / 2);
+    let mut g = Grid2::zeros(nx, nyc);
+    for i in 1..nx {
+        for jc in 1..nyc {
+            let j = 2 * jc;
+            g.set(
+                i,
+                jc,
+                0.25 * r.at(i, j - 1) + 0.5 * r.at(i, j) + 0.25 * r.at(i, j + 1),
+            );
+        }
+    }
+    g
+}
+
+/// Semicoarsening interpolation in y (Listing 10's 2-D analogue):
+/// even fine lines take the coarse value, odd lines the average.
+pub fn intrp2_seq(u: &mut Grid2, v: &Grid2) {
+    let (nx, ny) = (u.nx, u.ny);
+    assert_eq!(v.ny * 2, ny, "dimensions do not match in intrp2");
+    for i in 1..nx {
+        for j in 1..ny {
+            let corr = if j % 2 == 0 {
+                v.at(i, j / 2)
+            } else {
+                0.5 * (v.at(i, (j - 1) / 2) + v.at(i, (j + 1) / 2))
+            };
+            u.set(i, j, u.at(i, j) + corr);
+        }
+    }
+}
+
+/// One 2-D V-cycle with y-semicoarsening and zebra line relaxation
+/// (Listing 11, sequentially). `ny` must be a power of two ≥ 2.
+pub fn mg2_seq(pde: &Pde, u: &mut Grid2, f: &Grid2) {
+    let ny = u.ny;
+    if ny <= 2 {
+        // Single interior line: one odd-line zebra solve is exact.
+        zebra2_seq(pde, u, f, 1);
+        return;
+    }
+    zebra2_seq(pde, u, f, 0);
+    zebra2_seq(pde, u, f, 1);
+    let r = resid2_seq(pde, u, f);
+    let g = rest2_seq(&r);
+    let mut v = Grid2::zeros(u.nx, ny / 2);
+    mg2_seq(pde, &mut v, &g);
+    intrp2_seq(u, &v);
+    zebra2_seq(pde, u, f, 0);
+    zebra2_seq(pde, u, f, 1);
+}
+
+/// Dense 3-D grid of `(nx+1) × (ny+1) × (nz+1)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid3 {
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+    pub v: Vec<f64>,
+}
+
+impl Grid3 {
+    pub fn zeros(nx: usize, ny: usize, nz: usize) -> Self {
+        Grid3 {
+            nx,
+            ny,
+            nz,
+            v: vec![0.0; (nx + 1) * (ny + 1) * (nz + 1)],
+        }
+    }
+
+    pub fn from_fn(nx: usize, ny: usize, nz: usize, mut f: impl FnMut(usize, usize, usize) -> f64) -> Self {
+        let mut g = Grid3::zeros(nx, ny, nz);
+        for i in 0..=nx {
+            for j in 0..=ny {
+                for k in 0..=nz {
+                    let idx = (i * (ny + 1) + j) * (nz + 1) + k;
+                    g.v[idx] = f(i, j, k);
+                }
+            }
+        }
+        g
+    }
+
+    pub fn random_interior(nx: usize, ny: usize, nz: usize, seed: u64) -> Self {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(3);
+        Grid3::from_fn(nx, ny, nz, move |i, j, k| {
+            if i == 0 || i == nx || j == 0 || j == ny || k == 0 || k == nz {
+                0.0
+            } else {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            }
+        })
+    }
+
+    #[inline]
+    pub fn at(&self, i: usize, j: usize, k: usize) -> f64 {
+        self.v[(i * (self.ny + 1) + j) * (self.nz + 1) + k]
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, k: usize, val: f64) {
+        self.v[(i * (self.ny + 1) + j) * (self.nz + 1) + k] = val;
+    }
+
+    pub fn max_abs(&self) -> f64 {
+        self.v.iter().map(|x| x.abs()).fold(0.0, f64::max)
+    }
+
+    /// Extract plane `k` as a 2-D grid.
+    pub fn plane(&self, k: usize) -> Grid2 {
+        Grid2::from_fn(self.nx, self.ny, |i, j| self.at(i, j, k))
+    }
+
+    /// Store a 2-D grid into plane `k`.
+    pub fn set_plane(&mut self, k: usize, p: &Grid2) {
+        for i in 0..=self.nx {
+            for j in 0..=self.ny {
+                self.set(i, j, k, p.at(i, j));
+            }
+        }
+    }
+}
+
+/// Apply the 3-D discrete operator (interior).
+pub fn apply3(pde: &Pde, u: &Grid3) -> Grid3 {
+    let (nx, ny, nz) = (u.nx, u.ny, u.nz);
+    let (ax, ay, az, ad) = pde.stencil3(nx, ny, nz);
+    let mut out = Grid3::zeros(nx, ny, nz);
+    for i in 1..nx {
+        for j in 1..ny {
+            for k in 1..nz {
+                let v = ax * (u.at(i - 1, j, k) + u.at(i + 1, j, k))
+                    + ay * (u.at(i, j - 1, k) + u.at(i, j + 1, k))
+                    + az * (u.at(i, j, k - 1) + u.at(i, j, k + 1))
+                    + ad * u.at(i, j, k);
+                out.set(i, j, k, v);
+            }
+        }
+    }
+    out
+}
+
+/// Residual `f − L u` (interior).
+pub fn resid3_seq(pde: &Pde, u: &Grid3, f: &Grid3) -> Grid3 {
+    let lu = apply3(pde, u);
+    let mut r = Grid3::zeros(u.nx, u.ny, u.nz);
+    for i in 1..u.nx {
+        for j in 1..u.ny {
+            for k in 1..u.nz {
+                r.set(i, j, k, f.at(i, j, k) - lu.at(i, j, k));
+            }
+        }
+    }
+    r
+}
+
+/// Relax plane `k` by `cycles` mg2 V-cycles of the induced 2-D problem
+/// (the `call mg2(u(*,*,k), r(*,*,k))` of Listing 9).
+pub fn relax_plane_seq(pde: &Pde, u: &mut Grid3, f: &Grid3, k: usize, cycles: usize) {
+    let (_, _, az, _) = pde.stencil3(u.nx, u.ny, u.nz);
+    // The plane problem keeps the x/y terms and folds the z-coupling into
+    // the Helmholtz shift and right-hand side.
+    let plane_pde = Pde {
+        a: pde.a,
+        b: pde.b,
+        e: 0.0,
+        c: pde.c - 2.0 * az,
+    };
+    let mut up = u.plane(k);
+    let rhs = Grid2::from_fn(u.nx, u.ny, |i, j| {
+        if i == 0 || i == u.nx || j == 0 || j == u.ny {
+            0.0
+        } else {
+            f.at(i, j, k) - az * (u.at(i, j, k - 1) + u.at(i, j, k + 1))
+        }
+    });
+    for _ in 0..cycles {
+        mg2_seq(&plane_pde, &mut up, &rhs);
+    }
+    u.set_plane(k, &up);
+}
+
+/// Semicoarsening restriction in z (full weighting over planes).
+pub fn rest3_seq(r: &Grid3) -> Grid3 {
+    let (nx, ny, nzc) = (r.nx, r.ny, r.nz / 2);
+    let mut g = Grid3::zeros(nx, ny, nzc);
+    for i in 1..nx {
+        for j in 1..ny {
+            for kc in 1..nzc {
+                let k = 2 * kc;
+                g.set(
+                    i,
+                    j,
+                    kc,
+                    0.25 * r.at(i, j, k - 1) + 0.5 * r.at(i, j, k) + 0.25 * r.at(i, j, k + 1),
+                );
+            }
+        }
+    }
+    g
+}
+
+/// Listing 10: interpolation from the coarse (half-z) grid — even planes
+/// take the coarse value, odd planes the average of the two neighbours.
+pub fn intrp3_seq(u: &mut Grid3, v: &Grid3) {
+    let (nx, ny, nzf) = (u.nx, u.ny, u.nz);
+    assert_eq!(v.nz * 2, nzf, "Dimensions do not match in intrp3");
+    for i in 1..nx {
+        for j in 1..ny {
+            for k in 1..nzf {
+                let corr = if k % 2 == 0 {
+                    v.at(i, j, k / 2)
+                } else {
+                    0.5 * (v.at(i, j, (k - 1) / 2) + v.at(i, j, (k + 1) / 2))
+                };
+                u.set(i, j, k, u.at(i, j, k) + corr);
+            }
+        }
+    }
+}
+
+/// One 3-D V-cycle with z-semicoarsening and zebra plane relaxation
+/// (Listing 9, sequentially). `nz` must be a power of two ≥ 2;
+/// `plane_cycles` mg2 V-cycles approximate each plane solve.
+pub fn mg3_seq(pde: &Pde, u: &mut Grid3, f: &Grid3, plane_cycles: usize) {
+    let nz = u.nz;
+    if nz <= 2 {
+        relax_plane_seq(pde, u, f, 1, plane_cycles + 1);
+        return;
+    }
+    // Zebra over even planes, then odd planes.
+    for k in (2..nz).step_by(2) {
+        relax_plane_seq(pde, u, f, k, plane_cycles);
+    }
+    for k in (1..nz).step_by(2) {
+        relax_plane_seq(pde, u, f, k, plane_cycles);
+    }
+    // Coarse grid correction.
+    let r = resid3_seq(pde, u, f);
+    let g = rest3_seq(&r);
+    let mut v = Grid3::zeros(u.nx, u.ny, nz / 2);
+    mg3_seq(pde, &mut v, &g, plane_cycles);
+    intrp3_seq(u, &v);
+    for k in (2..nz).step_by(2) {
+        relax_plane_seq(pde, u, f, k, plane_cycles);
+    }
+    for k in (1..nz).step_by(2) {
+        relax_plane_seq(pde, u, f, k, plane_cycles);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jacobi_seq_converges_to_discrete_fixed_point() {
+        // Manufacture f so that a known x* is the fixed point of Listing 1's
+        // iteration, then check geometric convergence toward it.
+        let (nx, ny) = (16, 16);
+        let xs = Grid2::random_interior(nx, ny, 4);
+        let mut f = Grid2::zeros(nx, ny);
+        for i in 1..nx {
+            for j in 1..ny {
+                let v = 0.25
+                    * (xs.at(i + 1, j) + xs.at(i - 1, j) + xs.at(i, j + 1) + xs.at(i, j - 1))
+                    - xs.at(i, j);
+                f.set(i, j, v);
+            }
+        }
+        let mut x = Grid2::zeros(nx, ny);
+        let mut err0 = 0.0f64;
+        for i in 0..=nx {
+            for j in 0..=ny {
+                err0 = err0.max((x.at(i, j) - xs.at(i, j)).abs());
+            }
+        }
+        for _ in 0..200 {
+            jacobi_seq_step(&mut x, &f);
+        }
+        let mut err = 0.0f64;
+        for i in 0..=nx {
+            for j in 0..=ny {
+                err = err.max((x.at(i, j) - xs.at(i, j)).abs());
+            }
+        }
+        assert!(err < 0.2 * err0, "Jacobi made little progress: {err} vs {err0}");
+    }
+
+    #[test]
+    fn zebra_line_solve_is_exact_per_line() {
+        let pde = Pde::poisson();
+        let (nx, ny) = (8, 8);
+        let us = Grid2::random_interior(nx, ny, 9);
+        let f = apply2(&pde, &us);
+        let mut u = us.clone();
+        // Perturb one even line, then zebra even must restore it exactly
+        // (neighbour lines are already exact).
+        for i in 1..nx {
+            u.set(i, 4, 0.0);
+        }
+        zebra2_seq(&pde, &mut u, &f, 0);
+        for i in 1..nx {
+            assert!((u.at(i, 4) - us.at(i, 4)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn mg2_vcycle_contracts_strongly() {
+        let pde = Pde::poisson();
+        let (nx, ny) = (32, 32);
+        let us = Grid2::random_interior(nx, ny, 11);
+        let f = apply2(&pde, &us);
+        let mut u = Grid2::zeros(nx, ny);
+        let r0 = resid2_seq(&pde, &u, &f).max_abs();
+        let mut rates = Vec::new();
+        let mut prev = r0;
+        for _ in 0..6 {
+            mg2_seq(&pde, &mut u, &f);
+            let r = resid2_seq(&pde, &u, &f).max_abs();
+            rates.push(r / prev);
+            prev = r;
+        }
+        assert!(
+            prev < 1e-8 * r0,
+            "V-cycles did not converge: {prev} vs {r0} (rates {rates:?})"
+        );
+        // Typical zebra-semicoarsening contraction is well under 0.3.
+        assert!(rates[2] < 0.35, "slow contraction: {rates:?}");
+    }
+
+    #[test]
+    fn mg2_handles_anisotropy_via_line_relaxation() {
+        // Strong x-coupling: line relaxation in x + semicoarsening in y is
+        // exactly the robust combination for a ≫ b.
+        let pde = Pde::anisotropic(100.0, 1.0, 0.0);
+        let (nx, ny) = (16, 16);
+        let us = Grid2::random_interior(nx, ny, 13);
+        let f = apply2(&pde, &us);
+        let mut u = Grid2::zeros(nx, ny);
+        let r0 = resid2_seq(&pde, &u, &f).max_abs();
+        for _ in 0..8 {
+            mg2_seq(&pde, &mut u, &f);
+        }
+        let r = resid2_seq(&pde, &u, &f).max_abs();
+        assert!(r < 1e-6 * r0, "anisotropic convergence failed: {r} vs {r0}");
+    }
+
+    #[test]
+    fn restriction_interpolation_shapes() {
+        let r = Grid2::random_interior(8, 8, 17);
+        let g = rest2_seq(&r);
+        assert_eq!((g.nx, g.ny), (8, 4));
+        let mut u = Grid2::zeros(8, 8);
+        intrp2_seq(&mut u, &g);
+        // Even fine lines carry the coarse value exactly.
+        for i in 1..8 {
+            assert_eq!(u.at(i, 4), g.at(i, 2));
+            assert_eq!(u.at(i, 3), 0.5 * (g.at(i, 1) + g.at(i, 2)));
+        }
+    }
+
+    #[test]
+    fn mg3_vcycle_converges() {
+        let pde = Pde::poisson();
+        let (nx, ny, nz) = (8, 8, 8);
+        let us = Grid3::random_interior(nx, ny, nz, 23);
+        let f = apply3(&pde, &us);
+        let mut u = Grid3::zeros(nx, ny, nz);
+        let r0 = resid3_seq(&pde, &u, &f).max_abs();
+        for _ in 0..6 {
+            mg3_seq(&pde, &mut u, &f, 1);
+        }
+        let r = resid3_seq(&pde, &u, &f).max_abs();
+        assert!(r < 1e-6 * r0, "mg3 convergence failed: {r} vs {r0}");
+    }
+
+    #[test]
+    fn intrp3_matches_listing10_semantics() {
+        let v = Grid3::random_interior(4, 4, 2, 31);
+        let mut u = Grid3::zeros(4, 4, 4);
+        intrp3_seq(&mut u, &v);
+        for i in 1..4 {
+            for j in 1..4 {
+                assert_eq!(u.at(i, j, 2), v.at(i, j, 1));
+                assert_eq!(u.at(i, j, 1), 0.5 * (v.at(i, j, 0) + v.at(i, j, 1)));
+                assert_eq!(u.at(i, j, 3), 0.5 * (v.at(i, j, 1) + v.at(i, j, 2)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Dimensions do not match")]
+    fn intrp3_checks_dimensions_like_listing10() {
+        let v = Grid3::zeros(4, 4, 3);
+        let mut u = Grid3::zeros(4, 4, 4);
+        intrp3_seq(&mut u, &v);
+    }
+}

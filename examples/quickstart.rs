@@ -1,0 +1,49 @@
+//! Quickstart: solve a small Poisson problem with Jacobi iteration on a
+//! 2×2 virtual distributed machine, and print the run report.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use kali::prelude::*;
+use kali::solvers::jacobi::jacobi_run;
+
+fn main() {
+    let n = 32usize;
+    // A 4-processor machine with 1989-class communication costs.
+    let cfg = MachineConfig::new(4);
+    let run = Machine::run(cfg, move |proc| {
+        // processors procs(2, 2)
+        let grid = ProcGrid::new_2d(2, 2);
+        // real u(0:n, 0:n), f(0:n, 0:n) dist (block, block)
+        let spec = DistSpec::block2();
+        let mut u = DistArray2::<f64>::new(proc.rank(), &grid, &spec, [n + 1, n + 1], [1, 1]);
+        let f = DistArray2::from_fn(proc.rank(), &grid, &spec, [n + 1, n + 1], [0, 0], |[i, j]| {
+            // A point source in the middle.
+            if i == n / 2 && j == n / 2 {
+                -0.25
+            } else {
+                0.0
+            }
+        });
+        let mut ctx = Ctx::new(proc, grid);
+        let history = jacobi_run(&mut ctx, &mut u, &f, 50);
+        let center = u.try_get([n / 2, n / 2]);
+        (history, center)
+    });
+
+    let (history, _) = &run.results[0];
+    println!("Jacobi on a {n}x{n} grid over 2x2 simulated processors");
+    println!(
+        "update norm: first {:.3e}, last {:.3e} (50 sweeps)",
+        history[0],
+        history[history.len() - 1]
+    );
+    let center = run
+        .results
+        .iter()
+        .find_map(|(_, c)| *c)
+        .expect("someone owns the center");
+    println!("u(center) = {center:.6}");
+    println!("\n--- virtual machine report ---\n{}", run.report);
+}

@@ -1,0 +1,69 @@
+//! Strong scaling of the substructured tridiagonal solver (§3) across
+//! machine sizes and communication-cost regimes.
+//!
+//! ```sh
+//! cargo run --release --example tridiagonal_scaling
+//! ```
+
+fn main() {
+    println!("{}", kali_bench_stub::run());
+}
+
+// The experiment lives in kali-bench; the example re-runs the same table
+// with a smaller sweep so it finishes quickly in debug builds.
+mod kali_bench_stub {
+    use kali::kernels::tri_dist::tri_dist;
+    use kali::kernels::tridiag::{thomas, thomas_flops};
+    use kali::kernels::TriDiag;
+    use kali::prelude::*;
+
+    pub fn run() -> String {
+        let mut out = String::from("substructured tridiagonal solver: virtual time\n\n");
+        out.push_str(&format!(
+            "{:>8} {:>12} {:>12} {:>12} {:>10}\n",
+            "n", "p=1", "p=4", "p=16", "speedup@16"
+        ));
+        for n in [1usize << 10, 1 << 14, 1 << 16] {
+            let mut times = Vec::new();
+            for p in [1usize, 4, 16] {
+                let sys = TriDiag::random_dd(n, 5);
+                let f = sys.apply(&vec![1.0; n]);
+                let run = Machine::run(MachineConfig::new(p), move |proc| {
+                    if proc.nprocs() == 1 {
+                        proc.compute(thomas_flops(n));
+                        thomas(&sys.b, &sys.a, &sys.c, &f);
+                        return;
+                    }
+                    let grid = ProcGrid::new_1d(proc.nprocs());
+                    let dist = Dist1::block(n, proc.nprocs());
+                    let me = proc.rank();
+                    let (lo, hi) = (dist.lower(me).unwrap(), dist.upper(me).unwrap() + 1);
+                    let mut ctx = Ctx::new(proc, grid);
+                    tri_dist(
+                        &mut ctx,
+                        n,
+                        &sys.b[lo..hi],
+                        &sys.a[lo..hi],
+                        &sys.c[lo..hi],
+                        &f[lo..hi],
+                    );
+                });
+                times.push(run.report.elapsed);
+            }
+            out.push_str(&format!(
+                "{:>8} {:>10.3e} s {:>10.3e} s {:>10.3e} s {:>9.2}x\n",
+                n,
+                times[0],
+                times[1],
+                times[2],
+                times[0] / times[2]
+            ));
+        }
+        out.push_str(
+            "\nThe solver does ~2x the flops of Thomas plus log2(p) message\n\
+             rounds, so it pays off once n is large relative to the message\n\
+             start-up cost (the regime trade-off of paper §3).\n",
+        );
+        out
+    }
+}

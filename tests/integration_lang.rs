@@ -1,0 +1,214 @@
+//! Cross-crate integration for the KF1 front end: interpreted listings
+//! versus native library implementations on the same virtual machine.
+
+use std::time::Duration;
+
+use kali::lang::{listing, parse, run_source, HostValue};
+use kali::prelude::*;
+use kali::solvers::jacobi::jacobi_step;
+
+fn cfg(p: usize) -> MachineConfig {
+    MachineConfig::new(p)
+        .with_cost(CostModel::unit())
+        .with_watchdog(Duration::from_secs(60))
+}
+
+#[test]
+fn all_shipped_listings_parse() {
+    for name in ["jacobi", "shift", "tri", "adi"] {
+        let src = listing(name).unwrap();
+        let prog = parse(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(!prog.subs.is_empty());
+        assert!(prog.subs.iter().all(|s| s.parallel));
+    }
+}
+
+#[test]
+fn interpreted_jacobi_equals_native_jacobi_values() {
+    let np = 12i64;
+    let w = (np + 1) as usize;
+    let iters = 8usize;
+    let f: Vec<f64> = (0..w * w)
+        .map(|k| {
+            let (i, j) = (k / w, k % w);
+            if i == 0 || i == w - 1 || j == 0 || j == w - 1 {
+                0.0
+            } else {
+                ((3 * i + j) % 9) as f64 / 40.0 - 0.1
+            }
+        })
+        .collect();
+
+    let lang = run_source(
+        cfg(4),
+        listing("jacobi").unwrap(),
+        "jacobi",
+        &[2, 2],
+        &[
+            HostValue::Array {
+                data: vec![0.0; w * w],
+                bounds: vec![(0, np), (0, np)],
+            },
+            HostValue::Array {
+                data: f.clone(),
+                bounds: vec![(0, np), (0, np)],
+            },
+            HostValue::Int(np),
+            HostValue::Int(iters as i64),
+        ],
+    )
+    .unwrap();
+
+    let f2 = f.clone();
+    let native = Machine::run(cfg(4), move |proc| {
+        let grid = ProcGrid::new_2d(2, 2);
+        let spec = DistSpec::block2();
+        let n = w - 1;
+        let mut u = DistArray2::<f64>::new(proc.rank(), &grid, &spec, [n + 1, n + 1], [1, 1]);
+        let farr = DistArray2::from_fn(proc.rank(), &grid, &spec, [n + 1, n + 1], [0, 0], |[i, j]| {
+            f2[i * w + j]
+        });
+        let mut ctx = Ctx::new(proc, grid);
+        for _ in 0..iters {
+            jacobi_step(&mut ctx, &mut u, &farr);
+        }
+        u.gather_to_root(ctx.proc())
+    });
+    let native_x = native.results[0].as_ref().unwrap();
+    let lang_x = &lang.arrays[0].1;
+    for k in 0..w * w {
+        assert!(
+            (lang_x[k] - native_x[k]).abs() < 1e-12,
+            "flat {k}: interpreted {} vs native {}",
+            lang_x[k],
+            native_x[k]
+        );
+    }
+    // The interpreter's runtime resolution costs more communication than
+    // the compiled ghost exchange, but within a small constant factor.
+    let inflation = lang.report.elapsed / native.report.elapsed;
+    assert!(
+        (1.0..10.0).contains(&inflation),
+        "virtual inflation out of range: {inflation}"
+    );
+}
+
+#[test]
+fn parse_errors_carry_line_numbers() {
+    let src = "parsub f(a; p)\n  processors p(q)\n  doall 1 i = 1, 4\n  1 continue\nend\n";
+    // missing `on` clause
+    let err = parse(src).unwrap_err();
+    assert_eq!(err.line, 3);
+    assert!(err.msg.contains("on"));
+}
+
+#[test]
+fn sections_and_teams_compose_in_custom_program() {
+    // A program that sums each processor's block edge into a pair array —
+    // exercises sections, lower/upper, and remote pulls in one doall.
+    let src = r#"
+parsub edges(a, e, n; procs)
+  processors procs(p)
+  real a(n) dist (block)
+  real e(2*p) dist (block)
+  doall 100 ip = 1, p on procs(ip)
+    lo = lower(a, procs(ip))
+    hi = upper(a, procs(ip))
+    e(2*ip-1) = a(lo)
+    e(2*ip) = a(hi)
+100 continue
+  doall 200 ip = 1, p on procs(ip)
+    if (ip .gt. 1) then
+      e(2*ip-1) = e(2*ip-1) + e(2*ip-2)
+    endif
+200 continue
+end
+"#;
+    let n = 16usize;
+    let run = run_source(
+        cfg(4),
+        src,
+        "edges",
+        &[4],
+        &[
+            HostValue::Array {
+                data: (1..=n).map(|i| i as f64).collect(),
+                bounds: vec![(1, n as i64)],
+            },
+            HostValue::Array {
+                data: vec![0.0; 8],
+                bounds: vec![(1, 8)],
+            },
+            HostValue::Int(n as i64),
+        ],
+    )
+    .unwrap();
+    let e = &run.arrays[1].1;
+    // Blocks of 4: edges (1,4), (5,8), (9,12), (13,16).
+    assert_eq!(e[0], 1.0);
+    assert_eq!(e[1], 4.0);
+    // Second doall adds the previous block's upper edge (remote pull).
+    assert_eq!(e[2], 5.0 + 4.0);
+    assert_eq!(e[4], 9.0 + 8.0);
+    assert_eq!(e[6], 13.0 + 12.0);
+}
+
+#[test]
+fn adi_listing_matches_native_adi() {
+    use kali::solvers::adi::{adi_seq_iteration, suggested_rho};
+    use kali::solvers::seq::{apply2, Grid2};
+
+    let np = 16usize;
+    let w = np + 1;
+    let pde = Pde::poisson();
+    let us = Grid2::random_interior(np, np, 77);
+    let f = apply2(&pde, &us);
+    let rho = suggested_rho(&pde, np, np);
+    let iters = 3usize;
+
+    // Sequential reference.
+    let mut u_seq = Grid2::zeros(np, np);
+    for _ in 0..iters {
+        adi_seq_iteration(&pde, rho, &mut u_seq, &f);
+    }
+
+    // Listing 7 interpreted on a 2x2 processor array.
+    let fdata: Vec<f64> = (0..w * w).map(|k| f.at(k / w, k % w)).collect();
+    let run = kali::lang::run_source(
+        cfg(4),
+        kali::lang::listing("adi").unwrap(),
+        "adi",
+        &[2, 2],
+        &[
+            HostValue::Array {
+                data: vec![0.0; w * w],
+                bounds: vec![(0, np as i64), (0, np as i64)],
+            },
+            HostValue::Array {
+                data: fdata,
+                bounds: vec![(0, np as i64), (0, np as i64)],
+            },
+            HostValue::Array {
+                data: vec![0.0; w * w],
+                bounds: vec![(0, np as i64), (0, np as i64)],
+            },
+            HostValue::Int(np as i64),
+            HostValue::Real(rho),
+            HostValue::Int(iters as i64),
+            HostValue::Real(1.0),
+            HostValue::Real(1.0),
+        ],
+    )
+    .unwrap();
+    let x = &run.arrays[0].1;
+    let mut max_err = 0.0f64;
+    for i in 0..=np {
+        for j in 0..=np {
+            max_err = max_err.max((x[i * w + j] - u_seq.at(i, j)).abs());
+        }
+    }
+    assert!(
+        max_err < 1e-8,
+        "interpreted Listing 7 diverges from native ADI: {max_err}"
+    );
+}

@@ -1,0 +1,130 @@
+//! Cross-crate integration: machine + grid + array + runtime working
+//! together on nontrivial communication patterns.
+
+use std::time::Duration;
+
+use kali::prelude::*;
+
+fn cfg(p: usize) -> MachineConfig {
+    MachineConfig::new(p)
+        .with_cost(CostModel::unit())
+        .with_watchdog(Duration::from_secs(30))
+}
+
+#[test]
+fn teams_from_grid_slices_run_independent_collectives() {
+    // Each row of a 2x3 grid sums its own coordinates concurrently.
+    let run = Machine::run(cfg(6), |proc| {
+        let grid = ProcGrid::new_2d(2, 3);
+        let coords = grid.coords_of(proc.rank()).unwrap();
+        let row = grid.slice(0, coords[0]);
+        let team = row.team();
+        collective::allreduce_sum(proc, &team, coords[1] as f64)
+    });
+    assert!(run.results.iter().all(|&v| v == 3.0));
+}
+
+#[test]
+fn ring_topology_costs_more_than_crossbar_for_distant_peers() {
+    let go = |topology| {
+        let cfg = MachineConfig::new(8)
+            .with_cost(CostModel {
+                hop: 10.0,
+                ..CostModel::unit()
+            })
+            .with_topology(topology)
+            .with_watchdog(Duration::from_secs(10));
+        Machine::run(cfg, |proc| {
+            let t = kali::machine::tag(kali::machine::NS_USER, 9);
+            if proc.rank() == 0 {
+                proc.send(4, t, 1.0f64);
+            } else if proc.rank() == 4 {
+                let _: f64 = proc.recv(0, t);
+            }
+        })
+        .report
+        .elapsed
+    };
+    let crossbar = go(Topology::FullyConnected);
+    let ring = go(Topology::Ring);
+    assert!(ring > crossbar, "ring {ring} vs crossbar {crossbar}");
+}
+
+#[test]
+fn redistribute_then_stencil_is_consistent() {
+    // Fill under (block, *), transpose to (*, block), run one stencil sweep,
+    // gather — must equal the same sweep done sequentially.
+    let n = 16usize;
+    let run = Machine::run(cfg(4), move |proc| {
+        let grid = ProcGrid::new_1d(4);
+        let a = DistArray2::from_fn(
+            proc.rank(),
+            &grid,
+            &DistSpec::block_local(),
+            [n, n],
+            [0, 0],
+            |[i, j]| (i * n + j) as f64,
+        );
+        let mut b = a.redistribute(proc, &DistSpec::local_block(), [0, 1]);
+        b.exchange_ghosts(proc);
+        let mut c = b.like();
+        if b.is_participant() {
+            for i in 0..n {
+                for j in b.owned_range(1).clone() {
+                    if j >= 1 && j + 1 < n {
+                        c.put(i, j, b.at(i, j - 1) + b.at(i, j + 1));
+                    }
+                }
+            }
+        }
+        c.gather_to_root(proc)
+    });
+    let got = run.results[0].as_ref().unwrap();
+    for i in 0..n {
+        for j in 1..n - 1 {
+            let want = ((i * n + j - 1) + (i * n + j + 1)) as f64;
+            assert_eq!(got[i * n + j], want, "({i},{j})");
+        }
+    }
+}
+
+#[test]
+fn deterministic_reports_across_runs() {
+    let go = || {
+        Machine::run(cfg(8), |proc| {
+            let grid = ProcGrid::new_1d(8);
+            let mut a = DistArray1::from_fn(
+                proc.rank(),
+                &grid,
+                &DistSpec::block1(),
+                [64],
+                [1],
+                |[i]| i as f64,
+            );
+            a.exchange_ghosts(proc);
+            let team = grid.team();
+            collective::allreduce_sum(proc, &team, 1.0)
+        })
+    };
+    let (a, b) = (go(), go());
+    assert_eq!(a.report.elapsed, b.report.elapsed);
+    assert_eq!(a.report.total_msgs, b.report.total_msgs);
+    assert_eq!(a.report.total_words, b.report.total_words);
+    for (x, y) in a.report.procs.iter().zip(&b.report.procs) {
+        assert_eq!(x.clock, y.clock);
+        assert_eq!(x.stats, y.stats);
+    }
+}
+
+#[test]
+fn utilization_reflects_imbalance() {
+    let run = Machine::run(cfg(4), |proc| {
+        // Rank 0 does 10x the work.
+        proc.compute(if proc.rank() == 0 { 100_000.0 } else { 10_000.0 });
+        let team = Team::all(proc.nprocs());
+        collective::barrier(proc, &team);
+    });
+    let u = run.report.utilization();
+    assert!(u < 0.5, "utilization should reveal imbalance: {u}");
+    assert!(run.report.proc_utilization(0) > 0.9);
+}

@@ -1,0 +1,149 @@
+//! Cross-crate integration for the §3 kernels: all four tridiagonal
+//! solution paths (Thomas, cyclic reduction, substructured distributed,
+//! hand message-passing, KF1-interpreted) agree on the same systems.
+
+use std::time::Duration;
+
+use kali::kernels::cyclic_reduction::cyclic_reduction;
+use kali::kernels::tri_dist::tri_dist;
+use kali::kernels::tridiag::thomas;
+use kali::kernels::TriDiag;
+use kali::lang::{listing, run_source, HostValue};
+use kali::mp::tri_mp;
+use kali::prelude::*;
+
+fn cfg(p: usize) -> MachineConfig {
+    MachineConfig::new(p)
+        .with_cost(CostModel::unit())
+        .with_watchdog(Duration::from_secs(60))
+}
+
+#[test]
+fn five_ways_same_answer() {
+    let n = 64usize;
+    let p = 4usize;
+    let sys = TriDiag::random_dd(n, 2024);
+    let x_true: Vec<f64> = (0..n).map(|i| ((i * 5 % 13) as f64) - 6.0).collect();
+    let f = sys.apply(&x_true);
+
+    // 1. Thomas.
+    let x1 = thomas(&sys.b, &sys.a, &sys.c, &f);
+    // 2. Cyclic reduction.
+    let x2 = cyclic_reduction(&sys.b, &sys.a, &sys.c, &f);
+    // 3. Substructured distributed (runtime API).
+    let x3 = {
+        let (sys, f) = (sys.clone(), f.clone());
+        let run = Machine::run(cfg(p), move |proc| {
+            let grid = ProcGrid::new_1d(proc.nprocs());
+            let dist = Dist1::block(n, proc.nprocs());
+            let me = proc.rank();
+            let (lo, hi) = (dist.lower(me).unwrap(), dist.upper(me).unwrap() + 1);
+            let mut ctx = Ctx::new(proc, grid);
+            tri_dist(&mut ctx, n, &sys.b[lo..hi], &sys.a[lo..hi], &sys.c[lo..hi], &f[lo..hi])
+        });
+        run.results.concat()
+    };
+    // 4. Hand message passing.
+    let x4 = {
+        let (sys, f) = (sys.clone(), f.clone());
+        let run = Machine::run(cfg(p), move |proc| {
+            let me = proc.rank();
+            let pp = proc.nprocs();
+            let (lo, hi) = (me * n / pp, (me + 1) * n / pp);
+            tri_mp(proc, n, &sys.b[lo..hi], &sys.a[lo..hi], &sys.c[lo..hi], &f[lo..hi])
+        });
+        run.results.concat()
+    };
+    // 5. The KF1 listing, interpreted.
+    let x5 = {
+        let run = run_source(
+            cfg(p),
+            listing("tri").unwrap(),
+            "tri",
+            &[p],
+            &[
+                HostValue::Array {
+                    data: vec![0.0; n],
+                    bounds: vec![(1, n as i64)],
+                },
+                HostValue::Array {
+                    data: f.clone(),
+                    bounds: vec![(1, n as i64)],
+                },
+                HostValue::Array {
+                    data: sys.b.clone(),
+                    bounds: vec![(1, n as i64)],
+                },
+                HostValue::Array {
+                    data: sys.a.clone(),
+                    bounds: vec![(1, n as i64)],
+                },
+                HostValue::Array {
+                    data: sys.c.clone(),
+                    bounds: vec![(1, n as i64)],
+                },
+                HostValue::Int(n as i64),
+            ],
+        )
+        .unwrap();
+        run.arrays[0].1.clone()
+    };
+
+    for i in 0..n {
+        for (k, x) in [&x1, &x2, &x3, &x4, &x5].iter().enumerate() {
+            assert!(
+                (x[i] - x_true[i]).abs() < 1e-8,
+                "method {} row {i}: {} vs {}",
+                k + 1,
+                x[i],
+                x_true[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn spline_and_fft_kernels_cooperate_with_machine() {
+    // Spline fit distributed over the machine, FFT on another team size —
+    // exercises the kernels crate end to end.
+    use kali::kernels::fft::{bit_reverse_permute, fft_dist, naive_dft, Complex};
+    use kali::kernels::spline::{spline_fit, spline_rhs};
+
+    let nk = 32usize;
+    let h = 1.0 / nk as f64;
+    let y: Vec<f64> = (0..=nk).map(|i| (i as f64 * h * 3.0).sin()).collect();
+    let seq = spline_fit(&y, h);
+    let rhs = spline_rhs(&y, h);
+    let ni = nk - 1;
+    let run = Machine::run(cfg(4), move |proc| {
+        let grid = ProcGrid::new_1d(proc.nprocs());
+        let dist = Dist1::block(ni, proc.nprocs());
+        let me = proc.rank();
+        let (lo, hi) = (dist.lower(me).unwrap(), dist.upper(me).unwrap() + 1);
+        let mut ctx = Ctx::new(proc, grid);
+        kali::kernels::spline::spline_fit_dist(&mut ctx, ni, &rhs[lo..hi])
+    });
+    let m: Vec<f64> = run.results.concat();
+    for i in 0..ni {
+        assert!((m[i] - seq.m[i + 1]).abs() < 1e-9);
+    }
+
+    let n = 64usize;
+    let x: Vec<Complex> = (0..n)
+        .map(|i| Complex::new((i as f64 * 0.2).cos(), 0.0))
+        .collect();
+    let x2 = x.clone();
+    let run = Machine::run(cfg(8), move |proc| {
+        let grid = ProcGrid::new_1d(proc.nprocs());
+        let nb = n / proc.nprocs();
+        let base = proc.rank() * nb;
+        let mut ctx = Ctx::new(proc, grid);
+        fft_dist(&mut ctx, n, x2[base..base + nb].to_vec())
+    });
+    let mut got: Vec<Complex> = run.results.concat();
+    bit_reverse_permute(&mut got);
+    let want = naive_dft(&x);
+    for k in 0..n {
+        assert!((got[k] - want[k]).norm() < 1e-8 * n as f64);
+    }
+}
