@@ -66,7 +66,10 @@ impl<T: Elem, const N: usize> DistArrayN<T, N> {
             if ghost[d] > 0 {
                 let ok = matches!(spec.map(d), DimMap::Local)
                     || matches!(spec.map(d), DimMap::Dist(DimDist::Block));
-                assert!(ok, "ghost layers require a block or undistributed dimension");
+                assert!(
+                    ok,
+                    "ghost layers require a block or undistributed dimension"
+                );
             }
         }
         let coords = grid.coords_of(rank);
@@ -515,9 +518,8 @@ mod tests {
     fn undistributed_dim_is_fully_local() {
         let g = ProcGrid::new_1d(4);
         let spec = DistSpec::local_block();
-        let a: DistArray2<f64> = DistArrayN::from_fn(1, &g, &spec, [6, 16], [0, 0], |[i, j]| {
-            (i * 100 + j) as f64
-        });
+        let a: DistArray2<f64> =
+            DistArrayN::from_fn(1, &g, &spec, [6, 16], [0, 0], |[i, j]| (i * 100 + j) as f64);
         assert_eq!(a.local_len(0), 6);
         assert_eq!(a.owned_range(1), 4..8);
         for i in 0..6 {
@@ -548,8 +550,7 @@ mod tests {
     fn cyclic_dim_access() {
         let g = ProcGrid::new_1d(3);
         let spec = DistSpec::parse("(cyclic)").unwrap();
-        let a: DistArray1<f64> =
-            DistArrayN::from_fn(1, &g, &spec, [10], [0], |[i]| i as f64);
+        let a: DistArray1<f64> = DistArrayN::from_fn(1, &g, &spec, [10], [0], |[i]| i as f64);
         assert_eq!(a.owned_indices(0), vec![1, 4, 7]);
         assert_eq!(a.at(4), 4.0);
         assert_eq!(a.try_get([5]), None);
@@ -596,8 +597,7 @@ mod tests {
     fn map_owned_transforms_in_place() {
         let g = ProcGrid::new_1d(2);
         let spec = DistSpec::block1();
-        let mut a: DistArray1<f64> =
-            DistArrayN::from_fn(0, &g, &spec, [8], [0], |[i]| i as f64);
+        let mut a: DistArray1<f64> = DistArrayN::from_fn(0, &g, &spec, [8], [0], |[i]| i as f64);
         a.map_owned(|_, v| v * 2.0);
         assert_eq!(a.at(3), 6.0);
     }

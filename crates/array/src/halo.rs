@@ -76,7 +76,8 @@ impl<T: Elem + Wire, const N: usize> DistArrayN<T, N> {
 
         // The guarded sends (paper Listing 2: `if (ip .gt. 1) send(...)`).
         if let Some(nbr) = up {
-            let strip = self.pack_layers(proc, d, self.ghost[d] + self.len[d] - my_layers, my_layers);
+            let strip =
+                self.pack_layers(proc, d, self.ghost[d] + self.len[d] - my_layers, my_layers);
             proc.send(nbr, tag(NS_ARRAY, (d as u64) << 1 | DIR_TO_HI), strip);
         }
         if let Some(nbr) = dn {
@@ -120,14 +121,12 @@ impl<T: Elem + Wire, const N: usize> DistArrayN<T, N> {
     }
 
     fn unpack_layers(&mut self, proc: &mut Proc, d: usize, start: usize, count: usize, vals: &[T]) {
-        let mut pos = 0;
         let mut idx = [0usize; N];
         let mut slots = Vec::with_capacity(vals.len());
         self.walk_box(d, start, count, &mut idx, &mut |s| slots.push(s));
         assert_eq!(slots.len(), vals.len(), "halo strip size mismatch");
-        for s in slots {
-            self.data[s] = vals[pos];
-            pos += 1;
+        for (s, &v) in slots.into_iter().zip(vals) {
+            self.data[s] = v;
         }
         proc.memop(vals.len() as f64);
     }
@@ -211,9 +210,10 @@ mod tests {
         let run = Machine::run(cfg(4), |proc| {
             let g = ProcGrid::new_2d(2, 2);
             let spec = DistSpec::block2();
-            let mut a = crate::DistArray2::from_fn(proc.rank(), &g, &spec, [8, 8], [1, 1], |[i, j]| {
-                (10 * i + j) as f64
-            });
+            let mut a =
+                crate::DistArray2::from_fn(proc.rank(), &g, &spec, [8, 8], [1, 1], |[i, j]| {
+                    (10 * i + j) as f64
+                });
             a.exchange_ghosts(proc);
             a
         });

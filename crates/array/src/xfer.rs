@@ -65,7 +65,7 @@ impl<T: Elem + Wire, const N: usize> DistArrayN<T, N> {
             }
         }
         // Slice highest grid dimension first so lower indices stay valid.
-        pins.sort_by(|a, b| b.0.cmp(&a.0));
+        pins.sort_by_key(|p| std::cmp::Reverse(p.0));
         let mut g = self.grid.clone();
         for (gd, c) in pins {
             g = g.slice(gd, c);
@@ -196,7 +196,8 @@ impl<T: Elem + Wire, const N: usize> DistArrayN<T, N> {
         new_spec: &DistSpec,
         new_ghost: [usize; N],
     ) -> DistArrayN<T, N> {
-        let mut out = DistArrayN::<T, N>::new(self.rank, &self.grid, new_spec, self.extents, new_ghost);
+        let mut out =
+            DistArrayN::<T, N>::new(self.rank, &self.grid, new_spec, self.extents, new_ghost);
         if !self.in_grid() {
             return out;
         }
@@ -400,10 +401,7 @@ mod tests {
             b.gather_to_root(proc)
         });
         let global = run.results[0].as_ref().unwrap();
-        assert_eq!(
-            global,
-            &(0..13).map(|k| (k * k) as f64).collect::<Vec<_>>()
-        );
+        assert_eq!(global, &(0..13).map(|k| (k * k) as f64).collect::<Vec<_>>());
     }
 
     #[test]

@@ -20,10 +20,14 @@ fn dist_time(n: usize, px: usize, py: usize, iters: usize, pipelined: bool) -> (
         let grid = ProcGrid::new_2d(px, py);
         let spec = DistSpec::block2();
         let mut u = DistArray2::<f64>::new(proc.rank(), &grid, &spec, [n + 1, n + 1], [1, 1]);
-        let farr =
-            DistArray2::from_fn(proc.rank(), &grid, &spec, [n + 1, n + 1], [0, 0], |[i, j]| {
-                f.at(i, j)
-            });
+        let farr = DistArray2::from_fn(
+            proc.rank(),
+            &grid,
+            &spec,
+            [n + 1, n + 1],
+            [0, 0],
+            |[i, j]| f.at(i, j),
+        );
         let mut ctx = Ctx::new(proc, grid);
         adi_run(&mut ctx, &pde, rho, &mut u, &farr, iters, pipelined)
     });

@@ -37,8 +37,7 @@ pub fn run() -> String {
                 (kali_grid::DimMap::Dist(_), _) => [1, 0],
                 _ => [0, 1],
             };
-            let mut u =
-                DistArray2::<f64>::new(proc.rank(), &grid2, &spec2, [n + 1, n + 1], ghost);
+            let mut u = DistArray2::<f64>::new(proc.rank(), &grid2, &spec2, [n + 1, n + 1], ghost);
             let farr = DistArray2::from_fn(
                 proc.rank(),
                 &grid2,

@@ -108,10 +108,8 @@ pub fn run() -> String {
     ];
     out.push_str(&pattern_to_ascii(4, &four_before, &[]));
     out.push_str("\nAfter (rows 0 and 3 couple directly; interiors hang off them):\n");
-    let four_after: Vec<(usize, Vec<usize>)> = reduced_pattern(0, 3, 4)
-        .into_iter()
-        .enumerate()
-        .collect();
+    let four_after: Vec<(usize, Vec<usize>)> =
+        reduced_pattern(0, 3, 4).into_iter().enumerate().collect();
     out.push_str(&pattern_to_ascii(4, &four_after, &[0, 3]));
     out
 }
@@ -126,6 +124,9 @@ mod tests {
         assert!(r.contains("2p = 8 equations"));
         // Error must be tiny.
         let err_line = r.lines().find(|l| l.contains("reproduces")).unwrap();
-        assert!(err_line.contains("e-1") || err_line.contains("e-0"), "{err_line}");
+        assert!(
+            err_line.contains("e-1") || err_line.contains("e-0"),
+            "{err_line}"
+        );
     }
 }

@@ -24,7 +24,14 @@ pub fn run() -> String {
         let lo = dist.lower(me).unwrap();
         let hi = dist.upper(me).unwrap() + 1;
         let mut ctx = Ctx::new(proc, grid);
-        tri_dist(&mut ctx, n, &sys.b[lo..hi], &sys.a[lo..hi], &sys.c[lo..hi], &f[lo..hi])
+        tri_dist(
+            &mut ctx,
+            n,
+            &sys.b[lo..hi],
+            &sys.a[lo..hi],
+            &sys.c[lo..hi],
+            &f[lo..hi],
+        )
     });
     // Verify while we are here.
     let mut x = Vec::new();
@@ -94,7 +101,9 @@ mod tests {
             let line = r
                 .lines()
                 .map(|l| l.split_whitespace().collect::<Vec<_>>())
-                .find(|c| c.first() == Some(&"reduce") && c.get(1) == Some(&step.to_string().as_str()))
+                .find(|c| {
+                    c.first() == Some(&"reduce") && c.get(1) == Some(&step.to_string().as_str())
+                })
                 .unwrap_or_else(|| panic!("no reduce row for step {step}\n{r}"));
             assert_eq!(line[2], active.to_string(), "step {step}: {line:?}");
             assert_eq!(line[2], line[3], "measured must match expected");

@@ -52,7 +52,9 @@ pub fn run() -> String {
         "util piped",
     ]);
     for m in [1usize, 4, 16, 64] {
-        let sys: Vec<TriDiag> = (0..m).map(|j| TriDiag::random_dd(n, j as u64 + 1)).collect();
+        let sys: Vec<TriDiag> = (0..m)
+            .map(|j| TriDiag::random_dd(n, j as u64 + 1))
+            .collect();
         let fs: Vec<Vec<f64>> = sys.iter().map(|s| s.apply(&vec![1.0; n])).collect();
         let serial = {
             let (sys, fs) = (sys.clone(), fs.clone());
@@ -111,7 +113,10 @@ mod tests {
     #[test]
     fn pipelining_wins_for_many_systems() {
         let r = super::run();
-        let m64 = r.lines().find(|l| l.trim_start().starts_with("64")).unwrap();
+        let m64 = r
+            .lines()
+            .find(|l| l.trim_start().starts_with("64"))
+            .unwrap();
         // Speedup column must exceed 1x for the largest batch.
         let speedup: f64 = m64
             .split_whitespace()

@@ -41,10 +41,14 @@ pub fn run() -> String {
         let grid = ProcGrid::new_2d(2, 2);
         let spec = DistSpec::block2();
         let mut u = DistArray2::<f64>::new(proc.rank(), &grid, &spec, [n + 1, n + 1], [1, 1]);
-        let farr =
-            DistArray2::from_fn(proc.rank(), &grid, &spec, [n + 1, n + 1], [0, 0], |[i, j]| {
-                fsrc(i, j)
-            });
+        let farr = DistArray2::from_fn(
+            proc.rank(),
+            &grid,
+            &spec,
+            [n + 1, n + 1],
+            [0, 0],
+            |[i, j]| fsrc(i, j),
+        );
         let mut ctx = Ctx::new(proc, grid);
         for _ in 0..iters {
             jacobi_step(&mut ctx, &mut u, &farr);
@@ -76,7 +80,14 @@ pub fn run() -> String {
             let me = proc.rank();
             let (lo, hi) = (dist.lower(me).unwrap(), dist.upper(me).unwrap() + 1);
             let mut ctx = Ctx::new(proc, grid);
-            tri_dist(&mut ctx, n, &sys.b[lo..hi], &sys.a[lo..hi], &sys.c[lo..hi], &f[lo..hi]);
+            tri_dist(
+                &mut ctx,
+                n,
+                &sys.b[lo..hi],
+                &sys.a[lo..hi],
+                &sys.c[lo..hi],
+                &f[lo..hi],
+            );
         })
     };
     let mp = {
@@ -85,7 +96,14 @@ pub fn run() -> String {
             let me = proc.rank();
             let pp = proc.nprocs();
             let (lo, hi) = (me * n / pp, (me + 1) * n / pp);
-            tri_mp(proc, n, &sys.b[lo..hi], &sys.a[lo..hi], &sys.c[lo..hi], &f[lo..hi]);
+            tri_mp(
+                proc,
+                n,
+                &sys.b[lo..hi],
+                &sys.a[lo..hi],
+                &sys.c[lo..hi],
+                &f[lo..hi],
+            );
         })
     };
     t.row(vec![

@@ -65,10 +65,14 @@ pub fn run() -> String {
         let spec = DistSpec::block2();
         let n = w - 1;
         let mut u = DistArray2::<f64>::new(proc.rank(), &grid, &spec, [n + 1, n + 1], [1, 1]);
-        let farr =
-            DistArray2::from_fn(proc.rank(), &grid, &spec, [n + 1, n + 1], [0, 0], |[i, j]| {
-                f2[i * w + j]
-            });
+        let farr = DistArray2::from_fn(
+            proc.rank(),
+            &grid,
+            &spec,
+            [n + 1, n + 1],
+            [0, 0],
+            |[i, j]| f2[i * w + j],
+        );
         let mut ctx = Ctx::new(proc, grid);
         for _ in 0..iters {
             jacobi_step(&mut ctx, &mut u, &farr);

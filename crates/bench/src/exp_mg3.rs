@@ -51,7 +51,11 @@ fn one_case(n: usize, p0: usize, p1: usize, cycles: usize) -> (f64, u64, f64) {
         (r0, rn)
     });
     let (r0, rn) = run.results[0];
-    (run.report.elapsed, run.report.total_words, rn / r0.max(1e-300))
+    (
+        run.report.elapsed,
+        run.report.total_words,
+        rn / r0.max(1e-300),
+    )
 }
 
 pub fn run() -> String {
@@ -60,7 +64,12 @@ pub fn run() -> String {
     let mut out = format!(
         "=== T4: mg3 processor-array shape ablation (n = {n}, {cycles} V-cycles, 4 procs) ===\n\n"
     );
-    let mut t = Table::new(&["grid (y,z)", "virtual time", "total words", "resid ratio c2/c1"]);
+    let mut t = Table::new(&[
+        "grid (y,z)",
+        "virtual time",
+        "total words",
+        "resid ratio c2/c1",
+    ]);
     for (p0, p1) in [(2usize, 2usize), (1, 4), (4, 1)] {
         let (tt, words, ratio) = one_case(n, p0, p1, cycles);
         t.row(vec![

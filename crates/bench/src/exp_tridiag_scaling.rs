@@ -35,7 +35,14 @@ fn solve_time(n: usize, p: usize, cost: Option<CostModel>) -> f64 {
         let me = proc.rank();
         let (lo, hi) = (dist.lower(me).unwrap(), dist.upper(me).unwrap() + 1);
         let mut ctx = Ctx::new(proc, grid);
-        tri_dist(&mut ctx, n, &sys.b[lo..hi], &sys.a[lo..hi], &sys.c[lo..hi], &f[lo..hi]);
+        tri_dist(
+            &mut ctx,
+            n,
+            &sys.b[lo..hi],
+            &sys.a[lo..hi],
+            &sys.c[lo..hi],
+            &f[lo..hi],
+        );
     });
     run.report.elapsed
 }
@@ -93,7 +100,10 @@ mod tests {
             .trim_end_matches('x')
             .parse()
             .unwrap();
-        assert!(speedup > 4.0, "expected scaling at n = 2^18: {speedup}\n{r}");
+        assert!(
+            speedup > 4.0,
+            "expected scaling at n = 2^18: {speedup}\n{r}"
+        );
         // The comm sweep must contain both a win and a loss.
         assert!(r.contains("yes"));
         assert!(r.contains(" no"));

@@ -37,7 +37,10 @@ impl ProcGrid {
     /// A grid over explicit machine ranks (row-major coordinate order).
     pub fn with_ranks(dims: Vec<usize>, ranks: Vec<usize>) -> Self {
         assert!(!dims.is_empty(), "grid needs at least one dimension");
-        assert!(dims.iter().all(|&d| d >= 1), "grid extents must be positive");
+        assert!(
+            dims.iter().all(|&d| d >= 1),
+            "grid extents must be positive"
+        );
         let size: usize = dims.iter().product();
         assert_eq!(
             size,
@@ -82,7 +85,11 @@ impl ProcGrid {
         assert_eq!(coords.len(), self.ndims(), "coordinate rank mismatch");
         let mut idx = 0;
         for (d, &c) in coords.iter().enumerate() {
-            assert!(c < self.dims[d], "coordinate {c} out of extent {}", self.dims[d]);
+            assert!(
+                c < self.dims[d],
+                "coordinate {c} out of extent {}",
+                self.dims[d]
+            );
             idx = idx * self.dims[d] + c;
         }
         idx
@@ -121,8 +128,16 @@ impl ProcGrid {
     /// Slicing a 1-D grid produces a singleton 1-D grid (a lone processor),
     /// mirroring how KF1 lets a single processor receive a "grid" argument.
     pub fn slice(&self, dim: usize, at: usize) -> ProcGrid {
-        assert!(dim < self.ndims(), "no dimension {dim} in a {}-d grid", self.ndims());
-        assert!(at < self.dims[dim], "slice index {at} out of extent {}", self.dims[dim]);
+        assert!(
+            dim < self.ndims(),
+            "no dimension {dim} in a {}-d grid",
+            self.ndims()
+        );
+        assert!(
+            at < self.dims[dim],
+            "slice index {at} out of extent {}",
+            self.dims[dim]
+        );
         let new_dims: Vec<usize> = if self.ndims() == 1 {
             vec![1]
         } else {

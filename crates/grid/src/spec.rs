@@ -26,7 +26,10 @@ pub struct DistSpec {
 impl DistSpec {
     /// Build from explicit per-dimension maps.
     pub fn new(maps: Vec<DimMap>) -> Self {
-        assert!(!maps.is_empty(), "distribution needs at least one dimension");
+        assert!(
+            !maps.is_empty(),
+            "distribution needs at least one dimension"
+        );
         DistSpec { maps }
     }
 

@@ -155,7 +155,7 @@ pub fn fft_dist(ctx: &mut Ctx, n: usize, mut local: Vec<Complex>) -> Vec<Complex
         if h >= nb {
             // Remote stage: my whole block pairs with the block `h` away.
             let pdist = h / nb;
-            let low = (me / pdist) % 2 == 0;
+            let low = (me / pdist).is_multiple_of(2);
             let partner = if low { me + pdist } else { me - pdist };
             let t = tag(NS_KERNEL, 0xFF_0000 | l as u64);
             ctx.proc().send(team[partner], t, local.clone());
@@ -175,8 +175,7 @@ pub fn fft_dist(ctx: &mut Ctx, n: usize, mut local: Vec<Complex>) -> Vec<Complex
             // Local stage: groups of size l fit inside the block.
             for start in (0..nb).step_by(l) {
                 for j in 0..h {
-                    let w =
-                        Complex::cis(-2.0 * std::f64::consts::PI * j as f64 / l as f64);
+                    let w = Complex::cis(-2.0 * std::f64::consts::PI * j as f64 / l as f64);
                     let u = local[start + j];
                     let v = local[start + j + h];
                     local[start + j] = u + v;
@@ -269,10 +268,7 @@ mod tests {
             bit_reverse_permute(&mut gathered);
             let z = naive_dft(&x);
             for k in 0..n {
-                assert!(
-                    (gathered[k] - z[k]).norm() < 1e-8 * n as f64,
-                    "p={p} k={k}"
-                );
+                assert!((gathered[k] - z[k]).norm() < 1e-8 * n as f64, "p={p} k={k}");
             }
         }
     }

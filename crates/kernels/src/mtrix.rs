@@ -90,8 +90,8 @@ pub fn mtrix(ctx: &mut Ctx, n: usize, systems: Vec<TriLocal>) -> Vec<Vec<f64>> {
 
     // Which levels is this processor a destination of? (at most one, plus
     // it is always a level-1 source.)
-    let my_dest_level: Option<(usize, usize)> = (1..=k)
-        .find_map(|s| level_set(p, s).position(|i| i == me).map(|j| (s, j)));
+    let my_dest_level: Option<(usize, usize)> =
+        (1..=k).find_map(|s| level_set(p, s).position(|i| i == me).map(|j| (s, j)));
 
     // Saved reduced blocks: level-0 per system, and (sys, level) four-row
     // blocks for this processor's destination level.
@@ -129,10 +129,8 @@ pub fn mtrix(ctx: &mut Ctx, n: usize, systems: Vec<TriLocal>) -> Vec<Vec<f64>> {
                     reduce_block(&mut rb, &mut ra, &mut rc, &mut rf);
                     ctx.proc().compute(reduce_flops(4));
                     saved4.insert(sys, (rb, ra, rc, rf));
-                    let pair = pair_msg([
-                        [rb[0], ra[0], rc[0], rf[0]],
-                        [rb[3], ra[3], rc[3], rf[3]],
-                    ]);
+                    let pair =
+                        pair_msg([[rb[0], ra[0], rc[0], rf[0]], [rb[3], ra[3], rc[3], rf[3]]]);
                     let updests: Vec<usize> = level_set(p, l + 1).collect();
                     let qidx = source_set(p, l + 1)
                         .position(|i| i == me)
@@ -144,11 +142,8 @@ pub fn mtrix(ctx: &mut Ctx, n: usize, systems: Vec<TriLocal>) -> Vec<Vec<f64>> {
                     let x = thomas(&rb, &ra, &rc, &rf);
                     ctx.proc().compute(thomas_flops(4));
                     ctx.proc().mark(format!("mtrix:solve:sys={sys}"));
-                    ctx.proc().send(
-                        team[sources[2 * j]],
-                        ktag(DOWN, k, sys),
-                        vec![x[0], x[1]],
-                    );
+                    ctx.proc()
+                        .send(team[sources[2 * j]], ktag(DOWN, k, sys), vec![x[0], x[1]]);
                     ctx.proc().send(
                         team[sources[2 * j + 1]],
                         ktag(DOWN, k, sys),
@@ -164,13 +159,12 @@ pub fn mtrix(ctx: &mut Ctx, n: usize, systems: Vec<TriLocal>) -> Vec<Vec<f64>> {
             let l = lm1 + 1;
             if l <= k {
                 // I receive my block's end values for system t − 2k + l − 1.
-                if t + l >= 2 * k + 1 && t + l - 2 * k - 1 < m {
+                if t + l > 2 * k && t + l - 2 * k - 1 < m {
                     let sys = t + l - 2 * k - 1;
                     let sources: Vec<usize> = source_set(p, l).collect();
                     let dests: Vec<usize> = level_set(p, l).collect();
                     let qidx = sources.iter().position(|&i| i == me).expect("source");
-                    let ends: Vec<f64> =
-                        ctx.proc().recv(team[dests[qidx / 2]], ktag(DOWN, l, sys));
+                    let ends: Vec<f64> = ctx.proc().recv(team[dests[qidx / 2]], ktag(DOWN, l, sys));
                     let (sb, sa, sc, sf) = saved4.remove(&sys).expect("saved block");
                     let v = interior_solve(&sb, &sa, &sc, &sf, ends[0], ends[1]);
                     ctx.proc().compute(interior_flops(4));
@@ -196,7 +190,7 @@ pub fn mtrix(ctx: &mut Ctx, n: usize, systems: Vec<TriLocal>) -> Vec<Vec<f64>> {
         }
 
         // --- Final substitution duty (everyone is a level-1 source).
-        if t + 1 >= 2 * k + 1 && t - 2 * k < m {
+        if t + 1 > 2 * k && t - 2 * k < m {
             let sys = t - 2 * k;
             let qidx = me;
             let dest = dests1[qidx / 2];
@@ -230,7 +224,9 @@ mod tests {
         m: usize,
         seed: u64,
     ) -> (Vec<Vec<Vec<f64>>>, kali_machine::RunReport) {
-        let sys: Vec<TriDiag> = (0..m).map(|j| TriDiag::random_dd(n, seed + j as u64)).collect();
+        let sys: Vec<TriDiag> = (0..m)
+            .map(|j| TriDiag::random_dd(n, seed + j as u64))
+            .collect();
         let xs: Vec<Vec<f64>> = (0..m)
             .map(|j| (0..n).map(|i| ((i + j) as f64 * 0.13).sin()).collect())
             .collect();
@@ -295,7 +291,9 @@ mod tests {
         let n = 512;
         let p = 8;
         let m = 16;
-        let sys: Vec<TriDiag> = (0..m).map(|j| TriDiag::random_dd(n, 100 + j as u64)).collect();
+        let sys: Vec<TriDiag> = (0..m)
+            .map(|j| TriDiag::random_dd(n, 100 + j as u64))
+            .collect();
         let fs: Vec<Vec<f64>> = sys.iter().map(|s| s.apply(&vec![1.0; n])).collect();
 
         let piped = {

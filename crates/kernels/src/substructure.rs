@@ -159,7 +159,10 @@ mod tests {
         // Figure 4: interiors recoverable from the end values alone.
         let x = interior_solve(&b, &a, &c, &ff, x_true[lo], x_true[hi]);
         for i in 0..mm {
-            assert!((x[i] - x_true[lo + i]).abs() < tol, "interior solve row {i}");
+            assert!(
+                (x[i] - x_true[lo + i]).abs() < tol,
+                "interior solve row {i}"
+            );
         }
     }
 
@@ -251,7 +254,7 @@ mod tests {
         assert_eq!(pat[1], vec![4, 5, 7]); // lo, self, hi
         assert_eq!(pat[2], vec![4, 6, 7]);
         assert_eq!(pat[3], vec![4, 7, 8]); // lo, hi, outside-right
-        // First block has no outside-left column.
+                                           // First block has no outside-left column.
         let pat0 = reduced_pattern(0, 3, 16);
         assert_eq!(pat0[0], vec![0, 3]);
     }

@@ -81,14 +81,7 @@ pub(crate) fn four_rows(lo: &[f64], hi: &[f64]) -> ([f64; 4], [f64; 4], [f64; 4]
 ///
 /// Requires `n ≥ 2p` so every block has at least two rows (the paper's
 /// implicit assumption).
-pub fn tri_dist(
-    ctx: &mut Ctx,
-    n: usize,
-    b: &[f64],
-    a: &[f64],
-    c: &[f64],
-    f: &[f64],
-) -> Vec<f64> {
+pub fn tri_dist(ctx: &mut Ctx, n: usize, b: &[f64], a: &[f64], c: &[f64], f: &[f64]) -> Vec<f64> {
     let grid = ctx.grid().clone();
     let Some(me) = grid.index_of(ctx.rank()) else {
         return Vec::new();
@@ -136,10 +129,7 @@ pub fn tri_dist(
                 reduce_block(&mut rb, &mut ra, &mut rc, &mut rf);
                 ctx.proc().compute(reduce_flops(4));
                 saved[s] = Some((rb, ra, rc, rf));
-                pair = pair_msg([
-                    [rb[0], ra[0], rc[0], rf[0]],
-                    [rb[3], ra[3], rc[3], rf[3]],
-                ]);
+                pair = pair_msg([[rb[0], ra[0], rc[0], rf[0]], [rb[3], ra[3], rc[3], rf[3]]]);
             } else {
                 // Root: the four-row system is closed (outer couplings are
                 // the original b[0] = c[n-1] = 0).
@@ -159,11 +149,8 @@ pub fn tri_dist(
         if let Some(j) = dests.iter().position(|&x| x == me) {
             let x4v = x4.take().expect("dest has its block solution");
             ctx.proc().mark(format!("tri:subst:s={s}"));
-            ctx.proc().send(
-                team[sources[2 * j]],
-                ktag(DOWN, s, 0),
-                vec![x4v[0], x4v[1]],
-            );
+            ctx.proc()
+                .send(team[sources[2 * j]], ktag(DOWN, s, 0), vec![x4v[0], x4v[1]]);
             ctx.proc().send(
                 team[sources[2 * j + 1]],
                 ktag(DOWN, s, 0),
@@ -411,7 +398,14 @@ mod tests {
                 let lo = dist.lower(proc.rank()).unwrap();
                 let hi = dist.upper(proc.rank()).unwrap() + 1;
                 let mut ctx = Ctx::new(proc, grid);
-                tri_dist(&mut ctx, n, &sys.b[lo..hi], &sys.a[lo..hi], &sys.c[lo..hi], &f[lo..hi])
+                tri_dist(
+                    &mut ctx,
+                    n,
+                    &sys.b[lo..hi],
+                    &sys.a[lo..hi],
+                    &sys.c[lo..hi],
+                    &f[lo..hi],
+                )
             })
         };
         let speedup = seq.report.elapsed / par.report.elapsed;

@@ -60,7 +60,10 @@ pub enum DistDim {
 #[derive(Debug, Clone)]
 pub enum Stmt {
     /// `lhs(subs) = expr` or `scalar = expr`.
-    Assign { lhs: LValue, rhs: Expr },
+    Assign {
+        lhs: LValue,
+        rhs: Expr,
+    },
     /// `do 100 i = lo, hi[, step] ... 100 continue`
     Do {
         var: String,
@@ -104,7 +107,10 @@ pub enum LValue {
 pub enum Arg {
     Expr(Expr),
     /// `a(lo:hi, *, e)` — an array section.
-    Section { name: String, subs: Vec<Section> },
+    Section {
+        name: String,
+        subs: Vec<Section>,
+    },
 }
 
 /// One subscript of an array section.
@@ -119,7 +125,10 @@ pub enum Section {
 #[derive(Debug, Clone)]
 pub enum OnClause {
     /// `on owner(A(i, *, k))` — `None` entries are `*`.
-    Owner { array: String, subs: Vec<Option<Expr>> },
+    Owner {
+        array: String,
+        subs: Vec<Option<Expr>>,
+    },
     /// `on procs(ip)` / `on procs(ip, *)`.
     Procs(ProcExpr),
 }
@@ -130,9 +139,15 @@ pub enum ProcExpr {
     /// Whole processor array by name.
     Whole(String),
     /// `procs(e, *, e)`-style selection; `None` = `*`.
-    Select { name: String, subs: Vec<Option<Expr>> },
+    Select {
+        name: String,
+        subs: Vec<Option<Expr>>,
+    },
     /// `owner(A(i, *))` used as a processor expression (Listing 7).
-    Owner { array: String, subs: Vec<Option<Expr>> },
+    Owner {
+        array: String,
+        subs: Vec<Option<Expr>>,
+    },
 }
 
 /// Expressions.
@@ -143,9 +158,19 @@ pub enum Expr {
     Var(String),
     /// Array element reference or intrinsic/function call — resolved at
     /// evaluation time based on what the name is bound to.
-    Ref { name: String, args: Vec<RefArg> },
-    Un { op: UnOp, e: Box<Expr> },
-    Bin { op: BinOp, l: Box<Expr>, r: Box<Expr> },
+    Ref {
+        name: String,
+        args: Vec<RefArg>,
+    },
+    Un {
+        op: UnOp,
+        e: Box<Expr>,
+    },
+    Bin {
+        op: BinOp,
+        l: Box<Expr>,
+        r: Box<Expr>,
+    },
 }
 
 /// Argument inside a `Ref` (array subscript or intrinsic argument —

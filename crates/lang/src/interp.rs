@@ -193,9 +193,9 @@ impl<'a, 'p> Interp<'a, 'p> {
                                         ));
                                     }
                                 }
-                                _ => {
-                                    self.frame_mut().bind(id, Binding::Scalar(Value::Int(actual)))
-                                }
+                                _ => self
+                                    .frame_mut()
+                                    .bind(id, Binding::Scalar(Value::Int(actual))),
                             },
                             Expr::Int(v) => {
                                 if *v != actual {
@@ -224,10 +224,7 @@ impl<'a, 'p> Interp<'a, 'p> {
                             let l = self.eval(lo)?.as_int();
                             let h = self.eval(hi)?.as_int();
                             if h < l {
-                                return Err(format!(
-                                    "array {}: bad bounds {l}:{h}",
-                                    item.name
-                                ));
+                                return Err(format!("array {}: bad bounds {l}:{h}", item.name));
                             }
                             bounds.push((l, h));
                         }
@@ -289,10 +286,7 @@ impl<'a, 'p> Interp<'a, 'p> {
                                 self.frame_mut().bind(&item.name, Binding::Scalar(coerced));
                             }
                             Some(Binding::Grid(_)) => {
-                                return Err(format!(
-                                    "{} is a processor array, not data",
-                                    item.name
-                                ))
+                                return Err(format!("{} is a processor array, not data", item.name))
                             }
                             None => {
                                 if item.dims.is_empty() {
@@ -312,10 +306,8 @@ impl<'a, 'p> Interp<'a, 'p> {
                                                     item.name
                                                 ));
                                             }
-                                            let nd = dd
-                                                .iter()
-                                                .filter(|x| **x != DistDim::Star)
-                                                .count();
+                                            let nd =
+                                                dd.iter().filter(|x| **x != DistDim::Star).count();
                                             if nd != grid.ndims() {
                                                 return Err(format!(
                                                     "{}: {} distributed dims vs processor \
@@ -329,10 +321,8 @@ impl<'a, 'p> Interp<'a, 'p> {
                                         }
                                         None => vec![DistDim::Star; bounds.len()],
                                     };
-                                    let total: usize = bounds
-                                        .iter()
-                                        .map(|&(l, h)| (h - l + 1) as usize)
-                                        .product();
+                                    let total: usize =
+                                        bounds.iter().map(|&(l, h)| (h - l + 1) as usize).product();
                                     let arr = Rc::new(std::cell::RefCell::new(ArrObj {
                                         name: item.name.clone(),
                                         bounds,
@@ -635,7 +625,8 @@ impl<'a, 'p> Interp<'a, 'p> {
                 .map(|idxs| idxs.iter().map(|&i| b.data[i as usize]).collect())
                 .collect()
         };
-        self.proc.memop(replies.iter().map(|r| r.len()).sum::<usize>() as f64);
+        self.proc
+            .memop(replies.iter().map(|r| r.len()).sum::<usize>() as f64);
         let values = collective::alltoallv(self.proc, team, replies);
         let mut b = base.borrow_mut();
         for (d, idxs) in my_reqs.iter().enumerate() {
@@ -709,9 +700,7 @@ impl<'a, 'p> Interp<'a, 'p> {
                     _ => return Err(format!("{name} is not a processor array")),
                 };
                 if subs.len() != g.ndims() {
-                    return Err(format!(
-                        "processor selection rank mismatch on {name}"
-                    ));
+                    return Err(format!("processor selection rank mismatch on {name}"));
                 }
                 let mut pins: Vec<(usize, usize)> = Vec::new();
                 for (d, s) in subs.iter().enumerate() {
@@ -727,7 +716,7 @@ impl<'a, 'p> Interp<'a, 'p> {
                         pins.push((d, v as usize - 1));
                     }
                 }
-                pins.sort_by(|a, b| b.0.cmp(&a.0));
+                pins.sort_by_key(|p| std::cmp::Reverse(p.0));
                 let mut out = g;
                 for (d, c) in pins {
                     out = out.slice(d, c);
@@ -827,9 +816,7 @@ impl<'a, 'p> Interp<'a, 'p> {
                             let base_a = lo + (a - view.callee_lo[d]);
                             let base_b = lo + (b - view.callee_lo[d]);
                             if base_a < *lo || base_b > *hi || base_b < base_a {
-                                return Err(format!(
-                                    "section {a}:{b} of {name} out of range"
-                                ));
+                                return Err(format!("section {a}:{b} of {name} out of range"));
                             }
                             map.push(ViewDim::Range(base_a, base_b));
                             callee_lo.push(1);
@@ -903,10 +890,7 @@ impl<'a, 'p> Interp<'a, 'p> {
                 let mut vf = read(&sections[3]);
                 reduce_block(&mut vb, &mut va, &mut vc, &mut vf);
                 self.proc.compute(reduce_flops(vb.len()));
-                for (sec, vals) in sections
-                    .iter()
-                    .zip([&vb, &va, &vc, &vf])
-                {
+                for (sec, vals) in sections.iter().zip([&vb, &va, &vc, &vf]) {
                     self.write_section(sec, vals)?;
                 }
             }
@@ -1170,16 +1154,16 @@ impl<'a, 'p> Interp<'a, 'p> {
         };
         let sel = self.eval_proc_expr(&pe)?;
         if sel.size() != 1 {
-            return Err(format!("{name}: processor selection must be a single processor"));
+            return Err(format!(
+                "{name}: processor selection must be a single processor"
+            ));
         }
         let rank = sel.ranks()[0];
         // Which callee dimension? Default: the only distributed dimension
         // *visible through the view* (fixed dims of a section don't count).
         let base = view.base.borrow();
         let dims: Vec<usize> = (0..base.ndims())
-            .filter(|&d| {
-                base.dist[d] != DistDim::Star && matches!(view.map[d], ViewDim::Range(..))
-            })
+            .filter(|&d| base.dist[d] != DistDim::Star && matches!(view.map[d], ViewDim::Range(..)))
             .collect();
         let dim_base = if args.len() >= 3 {
             let d = self.eval(&expr_arg_expr(&args[2])?)?.as_int() as usize;

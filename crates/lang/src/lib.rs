@@ -121,9 +121,7 @@ pub fn run_source(
         for (p, a) in sub.params.iter().zip(&args) {
             match a {
                 HostValue::Int(v) => bindings.push((p.clone(), Binding::Scalar(Value::Int(*v)))),
-                HostValue::Real(v) => {
-                    bindings.push((p.clone(), Binding::Scalar(Value::Real(*v))))
-                }
+                HostValue::Real(v) => bindings.push((p.clone(), Binding::Scalar(Value::Real(*v)))),
                 HostValue::Array { data, bounds } => {
                     let arr = Rc::new(RefCell::new(ArrObj {
                         name: p.clone(),
@@ -185,6 +183,115 @@ mod tests {
         MachineConfig::new(p)
             .with_cost(CostModel::unit())
             .with_watchdog(Duration::from_secs(30))
+    }
+
+    /// Round-trip guard for the shipped program corpus: every `.kf1` file
+    /// behind [`listing`] must lex, parse, and *execute* on a small
+    /// machine — not merely ship as text.
+    #[test]
+    fn every_shipped_listing_parses_and_runs() {
+        for name in ["jacobi", "shift", "tri", "adi"] {
+            let src = listing(name).unwrap_or_else(|| panic!("{name} not shipped"));
+            let prog = parse(src).unwrap_or_else(|e| panic!("{name} does not parse: {e}"));
+            assert!(
+                prog.find(name).is_some(),
+                "{name}.kf1 must define a `{name}` entry subroutine"
+            );
+            let run = match name {
+                "jacobi" => run_source(
+                    cfg(4),
+                    src,
+                    name,
+                    &[2, 2],
+                    &[
+                        HostValue::Array {
+                            data: vec![0.0; 9 * 9],
+                            bounds: vec![(0, 8), (0, 8)],
+                        },
+                        HostValue::Array {
+                            data: vec![0.01; 9 * 9],
+                            bounds: vec![(0, 8), (0, 8)],
+                        },
+                        HostValue::Int(8),
+                        HostValue::Int(2),
+                    ],
+                ),
+                "shift" => run_source(
+                    cfg(2),
+                    src,
+                    name,
+                    &[2],
+                    &[
+                        HostValue::Array {
+                            data: (1..=8).map(f64::from).collect(),
+                            bounds: vec![(1, 8)],
+                        },
+                        HostValue::Int(8),
+                    ],
+                ),
+                "tri" => {
+                    let sys = kali_kernels::TriDiag::random_dd(16, 42);
+                    let f = sys.apply(&[1.0; 16]);
+                    run_source(
+                        cfg(2),
+                        src,
+                        name,
+                        &[2],
+                        &[
+                            HostValue::Array {
+                                data: vec![0.0; 16],
+                                bounds: vec![(1, 16)],
+                            },
+                            HostValue::Array {
+                                data: f,
+                                bounds: vec![(1, 16)],
+                            },
+                            HostValue::Array {
+                                data: sys.b.clone(),
+                                bounds: vec![(1, 16)],
+                            },
+                            HostValue::Array {
+                                data: sys.a.clone(),
+                                bounds: vec![(1, 16)],
+                            },
+                            HostValue::Array {
+                                data: sys.c.clone(),
+                                bounds: vec![(1, 16)],
+                            },
+                            HostValue::Int(16),
+                        ],
+                    )
+                }
+                "adi" => run_source(
+                    cfg(4),
+                    src,
+                    name,
+                    &[2, 2],
+                    &[
+                        HostValue::Array {
+                            data: vec![0.0; 9 * 9],
+                            bounds: vec![(0, 8), (0, 8)],
+                        },
+                        HostValue::Array {
+                            data: vec![0.1; 9 * 9],
+                            bounds: vec![(0, 8), (0, 8)],
+                        },
+                        HostValue::Array {
+                            data: vec![0.0; 9 * 9],
+                            bounds: vec![(0, 8), (0, 8)],
+                        },
+                        HostValue::Int(8),
+                        HostValue::Real(50.0),
+                        HostValue::Int(1),
+                        HostValue::Real(1.0),
+                        HostValue::Real(1.0),
+                    ],
+                ),
+                _ => unreachable!(),
+            };
+            let run = run.unwrap_or_else(|e| panic!("{name} failed to run: {e}"));
+            assert!(run.report.elapsed > 0.0, "{name} must charge virtual time");
+        }
     }
 
     #[test]

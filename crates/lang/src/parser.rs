@@ -321,7 +321,8 @@ impl Parser {
                 }
                 Tok::Label(n) => {
                     // `label continue` may terminate one of our loops.
-                    if labels.contains(&n) && matches!(self.peek2(), Tok::Ident(s) if s == "continue")
+                    if labels.contains(&n)
+                        && matches!(self.peek2(), Tok::Ident(s) if s == "continue")
                     {
                         self.bump();
                         self.bump();

@@ -65,10 +65,8 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
         {
             continue;
         }
-        if first == Some('c') || first == Some('C') {
-            if raw.trim() == "c" || raw.trim() == "C" {
-                continue;
-            }
+        if (first == Some('c') || first == Some('C')) && (raw.trim() == "c" || raw.trim() == "C") {
+            continue;
         }
         // Inline `!` comments.
         let no_comment = match raw.find('!') {
@@ -126,7 +124,9 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
                 i += 1;
                 continue;
             }
-            if ch.is_ascii_digit() || (ch == '.' && i + 1 < b.len() && (b[i + 1] as char).is_ascii_digit()) {
+            if ch.is_ascii_digit()
+                || (ch == '.' && i + 1 < b.len() && (b[i + 1] as char).is_ascii_digit())
+            {
                 // Number (integer, real, or statement label if first).
                 let start = i;
                 let mut seen_dot = false;

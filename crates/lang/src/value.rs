@@ -103,7 +103,11 @@ impl ArrObj {
             if i < lo || i > hi {
                 return Err(format!(
                     "subscript {} of {} out of bounds {}:{} in dimension {}",
-                    i, self.name, lo, hi, d + 1
+                    i,
+                    self.name,
+                    lo,
+                    hi,
+                    d + 1
                 ));
             }
             f = f * self.extent(d) + (i - lo) as usize;
@@ -175,7 +179,7 @@ impl ArrObj {
             if pinned
                 .iter()
                 .enumerate()
-                .all(|(g, p)| p.map_or(true, |v| v == coords[g]))
+                .all(|(g, p)| p.is_none_or(|v| v == coords[g]))
             {
                 ranks.push(self.grid.rank_at(&coords));
             }
@@ -209,7 +213,7 @@ impl ArrObj {
                 pins.push((gd, dist.owner((*i - lo) as usize)));
             }
         }
-        pins.sort_by(|a, b| b.0.cmp(&a.0));
+        pins.sort_by_key(|p| std::cmp::Reverse(p.0));
         let mut g = self.grid.clone();
         for (gd, c) in pins {
             g = g.slice(gd, c);
@@ -264,7 +268,10 @@ impl View {
         let (map, callee_lo) = {
             let b = base.borrow();
             (
-                b.bounds.iter().map(|&(lo, hi)| ViewDim::Range(lo, hi)).collect(),
+                b.bounds
+                    .iter()
+                    .map(|&(lo, hi)| ViewDim::Range(lo, hi))
+                    .collect(),
                 b.bounds.iter().map(|&(lo, _)| lo).collect(),
             )
         };

@@ -173,7 +173,11 @@ pub fn gather<T: Wire>(proc: &mut Proc, team: &Team, root: usize, value: T) -> O
                 out[idx] = Some(proc.recv(team.rank(idx), ctag(KIND_GATHER, idx as u64)));
             }
         }
-        Some(out.into_iter().map(|v| v.expect("gather slot filled")).collect())
+        Some(
+            out.into_iter()
+                .map(|v| v.expect("gather slot filled"))
+                .collect(),
+        )
     } else {
         proc.send(team.rank(root), ctag(KIND_GATHER, me as u64), value);
         None
@@ -269,7 +273,12 @@ mod tests {
                 let run = Machine::run(cfg(p), move |proc| {
                     let team = Team::all(proc.nprocs());
                     let me = proc.rank();
-                    broadcast(proc, &team, root, (me == team.rank(root)).then_some(99.5f64))
+                    broadcast(
+                        proc,
+                        &team,
+                        root,
+                        (me == team.rank(root)).then_some(99.5f64),
+                    )
                 });
                 assert!(run.results.iter().all(|&v| v == 99.5), "p={p} root={root}");
             }

@@ -224,7 +224,11 @@ impl Proc {
     /// The sender is charged the send overhead; the message is stamped with
     /// arrival time `clock + α + β·words + hop·distance`.
     pub fn send<T: Wire>(&mut self, dst: usize, tag: Tag, value: T) {
-        assert!(dst < self.nprocs, "send to rank {dst} on {}-proc machine", self.nprocs);
+        assert!(
+            dst < self.nprocs,
+            "send to rank {dst} on {}-proc machine",
+            self.nprocs
+        );
         let words = value.wire_words();
         let cost = &self.cfg.cost;
         self.clock += cost.overhead;
@@ -323,13 +327,7 @@ impl Proc {
 
     /// Convenience: send `value` to `dst` and receive a reply of the same tag
     /// from `peer` (possibly the same rank). Common in exchange patterns.
-    pub fn sendrecv<T: Wire, U: Wire>(
-        &mut self,
-        dst: usize,
-        peer: usize,
-        tag: Tag,
-        value: T,
-    ) -> U {
+    pub fn sendrecv<T: Wire, U: Wire>(&mut self, dst: usize, peer: usize, tag: Tag, value: T) -> U {
         self.send(dst, tag, value);
         self.recv(peer, tag)
     }

@@ -194,9 +194,7 @@ mod tests {
         };
         let want = jacobi_seq(n, &f, 12);
         for (px, py) in [(1usize, 1usize), (2, 2), (4, 1), (1, 4)] {
-            let run = Machine::run(cfg(px * py), move |proc| {
-                jacobi_mp(proc, px, py, n, &f, 12)
-            });
+            let run = Machine::run(cfg(px * py), move |proc| jacobi_mp(proc, px, py, n, &f, 12));
             let mut got = vec![0.0; (n + 1) * (n + 1)];
             for b in &run.results {
                 for i in 0..b.len.0 {

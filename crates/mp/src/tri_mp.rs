@@ -69,7 +69,16 @@ pub fn tri_mp(proc: &mut Proc, n: usize, b: &[f64], a: &[f64], c: &[f64], f: &[f
     let up = |s: usize| tag(NS_USER, 0x100 + s as u64);
     let down = |s: usize| tag(NS_USER, 0x200 + s as u64);
 
-    let mut pair = vec![lb[0], la[0], lc[0], lf[0], lb[m - 1], la[m - 1], lc[m - 1], lf[m - 1]];
+    let mut pair = vec![
+        lb[0],
+        la[0],
+        lc[0],
+        lf[0],
+        lb[m - 1],
+        la[m - 1],
+        lc[m - 1],
+        lf[m - 1],
+    ];
     let mut saved: Vec<[f64; 16]> = vec![[0.0; 16]; k + 1];
     let mut x4 = [0.0f64; 4];
 

@@ -162,11 +162,7 @@ impl<'a> Ctx<'a> {
     /// Call a distributed procedure on a slice of the processor array:
     /// `call sub(...; owner(r(i, *)))`. Only members of `slice` execute
     /// `f`; they see a narrowed context. Returns `Some(result)` on members.
-    pub fn call_on<R>(
-        &mut self,
-        slice: ProcGrid,
-        f: impl FnOnce(&mut Ctx) -> R,
-    ) -> Option<R> {
+    pub fn call_on<R>(&mut self, slice: ProcGrid, f: impl FnOnce(&mut Ctx) -> R) -> Option<R> {
         if !slice.contains(self.proc.rank()) {
             return None;
         }
@@ -361,9 +357,8 @@ mod tests {
         let run = Machine::run(cfg(2), |proc| {
             let grid = ProcGrid::new_1d(2);
             let spec = DistSpec::local_block();
-            let mut u = DistArray2::from_fn(proc.rank(), &grid, &spec, [1, 8], [0, 1], |[_, j]| {
-                j as f64
-            });
+            let mut u =
+                DistArray2::from_fn(proc.rank(), &grid, &spec, [1, 8], [0, 1], |[_, j]| j as f64);
             jacobi_update(proc, &mut u, 0..1, 0..7, 1.0, |old, i, j| old.at(i, j + 1));
             u.gather_to_root(proc)
         });

@@ -250,8 +250,7 @@ mod tests {
         let run = Machine::run(cfg(px * py), move |proc| {
             let grid = ProcGrid::new_2d(px, py);
             let spec = DistSpec::block2();
-            let mut u =
-                DistArray2::<f64>::new(proc.rank(), &grid, &spec, [nx + 1, ny + 1], [1, 1]);
+            let mut u = DistArray2::<f64>::new(proc.rank(), &grid, &spec, [nx + 1, ny + 1], [1, 1]);
             let farr = DistArray2::from_fn(
                 proc.rank(),
                 &grid,

@@ -83,11 +83,15 @@ mod tests {
         let run = Machine::run(cfg(4), move |proc| {
             let grid = ProcGrid::new_2d(2, 2);
             let spec = DistSpec::block2();
-            let mut u =
-                DistArray2::<f64>::new(proc.rank(), &grid, &spec, [n + 1, n + 1], [1, 1]);
-            let farr = DistArray2::from_fn(proc.rank(), &grid, &spec, [n + 1, n + 1], [0, 0], |[i, j]| {
-                f2.at(i, j)
-            });
+            let mut u = DistArray2::<f64>::new(proc.rank(), &grid, &spec, [n + 1, n + 1], [1, 1]);
+            let farr = DistArray2::from_fn(
+                proc.rank(),
+                &grid,
+                &spec,
+                [n + 1, n + 1],
+                [0, 0],
+                |[i, j]| f2.at(i, j),
+            );
             let mut ctx = Ctx::new(proc, grid);
             for _ in 0..20 {
                 jacobi_step(&mut ctx, &mut u, &farr);
@@ -115,11 +119,15 @@ mod tests {
         let run = Machine::run(cfg(4), move |proc| {
             let grid = ProcGrid::new_2d(2, 2);
             let spec = DistSpec::block2();
-            let mut u =
-                DistArray2::<f64>::new(proc.rank(), &grid, &spec, [n + 1, n + 1], [1, 1]);
-            let farr = DistArray2::from_fn(proc.rank(), &grid, &spec, [n + 1, n + 1], [0, 0], |[i, j]| {
-                f.at(i, j)
-            });
+            let mut u = DistArray2::<f64>::new(proc.rank(), &grid, &spec, [n + 1, n + 1], [1, 1]);
+            let farr = DistArray2::from_fn(
+                proc.rank(),
+                &grid,
+                &spec,
+                [n + 1, n + 1],
+                [0, 0],
+                |[i, j]| f.at(i, j),
+            );
             let mut ctx = Ctx::new(proc, grid);
             jacobi_run(&mut ctx, &mut u, &farr, 30)
         });
@@ -146,11 +154,15 @@ mod tests {
         let run = Machine::run(cfg(4), move |proc| {
             let grid = ProcGrid::new_1d(4);
             let spec = DistSpec::block_local();
-            let mut u =
-                DistArray2::<f64>::new(proc.rank(), &grid, &spec, [n + 1, n + 1], [1, 0]);
-            let farr = DistArray2::from_fn(proc.rank(), &grid, &spec, [n + 1, n + 1], [0, 0], |[i, j]| {
-                f.at(i, j)
-            });
+            let mut u = DistArray2::<f64>::new(proc.rank(), &grid, &spec, [n + 1, n + 1], [1, 0]);
+            let farr = DistArray2::from_fn(
+                proc.rank(),
+                &grid,
+                &spec,
+                [n + 1, n + 1],
+                [0, 0],
+                |[i, j]| f.at(i, j),
+            );
             let mut ctx = Ctx::new(proc, grid);
             for _ in 0..10 {
                 jacobi_step(&mut ctx, &mut u, &farr);

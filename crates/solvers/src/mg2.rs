@@ -18,7 +18,13 @@ use crate::Pde;
 
 /// Zebra relaxation of one colour (0 = even lines): solve every owned
 /// interior line of that colour exactly, with the other colour frozen.
-pub fn zebra2(ctx: &mut Ctx, pde: &Pde, u: &mut DistArray2<f64>, f: &DistArray2<f64>, colour: usize) {
+pub fn zebra2(
+    ctx: &mut Ctx,
+    pde: &Pde,
+    u: &mut DistArray2<f64>,
+    f: &DistArray2<f64>,
+    colour: usize,
+) {
     let [nxp, nyp] = u.extents();
     let (nx, ny) = (nxp - 1, nyp - 1);
     let (ax, ay, ad) = pde.stencil2(nx, ny);
@@ -105,8 +111,7 @@ mod tests {
         let run = Machine::run(cfg(p), move |proc| {
             let grid = ProcGrid::new_1d(proc.nprocs());
             let spec = DistSpec::local_block();
-            let mut u =
-                DistArray2::<f64>::new(proc.rank(), &grid, &spec, [nx + 1, ny + 1], [0, 1]);
+            let mut u = DistArray2::<f64>::new(proc.rank(), &grid, &spec, [nx + 1, ny + 1], [0, 1]);
             let farr = DistArray2::from_fn(
                 proc.rank(),
                 &grid,
@@ -152,8 +157,7 @@ mod tests {
         let run = Machine::run(cfg(4), move |proc| {
             let grid = ProcGrid::new_1d(proc.nprocs());
             let spec = DistSpec::local_block();
-            let mut u =
-                DistArray2::<f64>::new(proc.rank(), &grid, &spec, [nx + 1, ny + 1], [0, 1]);
+            let mut u = DistArray2::<f64>::new(proc.rank(), &grid, &spec, [nx + 1, ny + 1], [0, 1]);
             let farr = DistArray2::from_fn(
                 proc.rank(),
                 &grid,

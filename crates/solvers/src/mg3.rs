@@ -78,8 +78,7 @@ pub fn zebra_planes(
                 rp.put(i, j, rhs);
             }
         }
-        ctx.proc()
-            .memop(2.0 * ((nx + 1) * j_owned.len()) as f64);
+        ctx.proc().memop(2.0 * ((nx + 1) * j_owned.len()) as f64);
         ctx.call_on(plane_grid.clone(), |sub| {
             for _ in 0..cycles {
                 mg2_vcycle(sub, &ppde, &mut up, &rp);
@@ -87,7 +86,7 @@ pub fn zebra_planes(
         });
         for i in 1..nx {
             for j in j_owned.clone() {
-                if j >= 1 && j <= ny - 1 {
+                if j >= 1 && j < ny {
                     u.put(i, j, k, up.at(i, j));
                 }
             }
@@ -138,13 +137,7 @@ mod tests {
             .with_watchdog(Duration::from_secs(60))
     }
 
-    fn run_mg3(
-        n: usize,
-        p0: usize,
-        p1: usize,
-        cycles: usize,
-        seed: u64,
-    ) -> (Vec<f64>, seq::Grid3) {
+    fn run_mg3(n: usize, p0: usize, p1: usize, cycles: usize, seed: u64) -> (Vec<f64>, seq::Grid3) {
         let pde = Pde::poisson();
         let us = seq::Grid3::random_interior(n, n, n, seed);
         let f = seq::apply3(&pde, &us);
@@ -156,13 +149,8 @@ mod tests {
         let run = Machine::run(cfg(p0 * p1), move |proc| {
             let grid = ProcGrid::new_2d(p0, p1);
             let spec = DistSpec::local_block_block();
-            let mut u = DistArray3::<f64>::new(
-                proc.rank(),
-                &grid,
-                &spec,
-                [n + 1, n + 1, n + 1],
-                [0, 1, 1],
-            );
+            let mut u =
+                DistArray3::<f64>::new(proc.rank(), &grid, &spec, [n + 1, n + 1, n + 1], [0, 1, 1]);
             let farr = DistArray3::from_fn(
                 proc.rank(),
                 &grid,
@@ -233,13 +221,8 @@ mod tests {
         let run = Machine::run(cfg(4), move |proc| {
             let grid = ProcGrid::new_2d(2, 2);
             let spec = DistSpec::local_block_block();
-            let mut u = DistArray3::<f64>::new(
-                proc.rank(),
-                &grid,
-                &spec,
-                [n + 1, n + 1, n + 1],
-                [0, 1, 1],
-            );
+            let mut u =
+                DistArray3::<f64>::new(proc.rank(), &grid, &spec, [n + 1, n + 1, n + 1], [0, 1, 1]);
             let farr = DistArray3::from_fn(
                 proc.rank(),
                 &grid,

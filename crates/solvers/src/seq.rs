@@ -160,7 +160,7 @@ pub fn intrp2_seq(u: &mut Grid2, v: &Grid2) {
             let corr = if j % 2 == 0 {
                 v.at(i, j / 2)
             } else {
-                0.5 * (v.at(i, (j - 1) / 2) + v.at(i, (j + 1) / 2))
+                0.5 * (v.at(i, (j - 1) / 2) + v.at(i, j.div_ceil(2)))
             };
             u.set(i, j, u.at(i, j) + corr);
         }
@@ -206,7 +206,12 @@ impl Grid3 {
         }
     }
 
-    pub fn from_fn(nx: usize, ny: usize, nz: usize, mut f: impl FnMut(usize, usize, usize) -> f64) -> Self {
+    pub fn from_fn(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        mut f: impl FnMut(usize, usize, usize) -> f64,
+    ) -> Self {
         let mut g = Grid3::zeros(nx, ny, nz);
         for i in 0..=nx {
             for j in 0..=ny {
@@ -352,7 +357,7 @@ pub fn intrp3_seq(u: &mut Grid3, v: &Grid3) {
                 let corr = if k % 2 == 0 {
                     v.at(i, j, k / 2)
                 } else {
-                    0.5 * (v.at(i, j, (k - 1) / 2) + v.at(i, j, (k + 1) / 2))
+                    0.5 * (v.at(i, j, (k - 1) / 2) + v.at(i, j, k.div_ceil(2)))
                 };
                 u.set(i, j, k, u.at(i, j, k) + corr);
             }
@@ -425,7 +430,10 @@ mod tests {
                 err = err.max((x.at(i, j) - xs.at(i, j)).abs());
             }
         }
-        assert!(err < 0.2 * err0, "Jacobi made little progress: {err} vs {err0}");
+        assert!(
+            err < 0.2 * err0,
+            "Jacobi made little progress: {err} vs {err0}"
+        );
     }
 
     #[test]

@@ -87,8 +87,7 @@ pub fn rest2(ctx: &mut Ctx, r: &mut DistArray2<f64>) -> DistArray2<f64> {
             if r.owned_range(1).contains(&j) {
                 let mut line = vec![0.0; nxp];
                 for (i, slot) in line.iter_mut().enumerate().take(nx).skip(1) {
-                    *slot =
-                        0.25 * r.at(i, j - 1) + 0.5 * r.at(i, j) + 0.25 * r.at(i, j + 1);
+                    *slot = 0.25 * r.at(i, j - 1) + 0.5 * r.at(i, j) + 0.25 * r.at(i, j + 1);
                 }
                 ctx.proc().compute(5.0 * (nx - 1) as f64);
                 let dest = g.dist(1).owner(jc);
@@ -152,16 +151,12 @@ pub fn intrp2(ctx: &mut Ctx, u: &mut DistArray2<f64>, v: &DistArray2<f64>) {
         let (la, lb, w) = if j % 2 == 0 {
             (j / 2, j / 2, 1.0)
         } else {
-            ((j - 1) / 2, (j + 1) / 2, 0.5)
+            ((j - 1) / 2, j.div_ceil(2), 0.5)
         };
         let va = coarse.get(&la).unwrap_or(&zero);
         let vb = coarse.get(&lb).unwrap_or(&zero);
         for i in 1..nx {
-            let corr = if la == lb {
-                va[i]
-            } else {
-                w * (va[i] + vb[i])
-            };
+            let corr = if la == lb { va[i] } else { w * (va[i] + vb[i]) };
             u.put(i, j, u.at(i, j) + corr);
         }
         ctx.proc().compute(2.0 * (nx - 1) as f64);
@@ -199,9 +194,7 @@ pub fn resid3(
             }
         }
     }
-    proc.compute(
-        11.0 * ((nx - 1) * j1.saturating_sub(j0) * k1.saturating_sub(k0)) as f64,
-    );
+    proc.compute(11.0 * ((nx - 1) * j1.saturating_sub(j0) * k1.saturating_sub(k0)) as f64);
     r
 }
 
@@ -313,7 +306,7 @@ pub fn intrp3(ctx: &mut Ctx, u: &mut DistArray3<f64>, v: &DistArray3<f64>) {
         let (la, lb) = if k % 2 == 0 {
             (k / 2, k / 2)
         } else {
-            ((k - 1) / 2, (k + 1) / 2)
+            ((k - 1) / 2, k.div_ceil(2))
         };
         let pa = coarse.get(&la).unwrap_or(&zero);
         let pb = coarse.get(&lb).unwrap_or(&zero);
@@ -374,8 +367,22 @@ mod tests {
         let run = Machine::run(cfg(4), move |proc| {
             let grid = ProcGrid::new_2d(2, 2);
             let spec = DistSpec::block2();
-            let mut u = DistArray2::from_fn(proc.rank(), &grid, &spec, [nx + 1, ny + 1], [1, 1], |[i, j]| us2.at(i, j));
-            let f = DistArray2::from_fn(proc.rank(), &grid, &spec, [nx + 1, ny + 1], [1, 1], |[i, j]| fs2.at(i, j));
+            let mut u = DistArray2::from_fn(
+                proc.rank(),
+                &grid,
+                &spec,
+                [nx + 1, ny + 1],
+                [1, 1],
+                |[i, j]| us2.at(i, j),
+            );
+            let f = DistArray2::from_fn(
+                proc.rank(),
+                &grid,
+                &spec,
+                [nx + 1, ny + 1],
+                [1, 1],
+                |[i, j]| fs2.at(i, j),
+            );
             let r = resid2(proc, &pde, &mut u, &f);
             r.gather_to_root(proc)
         });

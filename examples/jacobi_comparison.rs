@@ -7,8 +7,8 @@
 //! cargo run --example jacobi_comparison
 //! ```
 
-use kali::prelude::*;
 use kali::mp::jacobi_mp;
+use kali::prelude::*;
 use kali::solvers::jacobi::jacobi_step;
 use kali::solvers::seq::{jacobi_seq_step, Grid2};
 
@@ -40,9 +40,14 @@ fn main() {
         let grid = ProcGrid::new_2d(2, 2);
         let spec = DistSpec::block2();
         let mut u = DistArray2::<f64>::new(proc.rank(), &grid, &spec, [n + 1, n + 1], [1, 1]);
-        let farr = DistArray2::from_fn(proc.rank(), &grid, &spec, [n + 1, n + 1], [0, 0], |[i, j]| {
-            fsrc(i, j)
-        });
+        let farr = DistArray2::from_fn(
+            proc.rank(),
+            &grid,
+            &spec,
+            [n + 1, n + 1],
+            [0, 0],
+            |[i, j]| fsrc(i, j),
+        );
         let mut ctx = Ctx::new(proc, grid);
         for _ in 0..iters {
             jacobi_step(&mut ctx, &mut u, &farr);
@@ -77,17 +82,11 @@ fn main() {
     );
     println!(
         "{:<22} {:>12.4e} s {:>8} {:>10}",
-        "hand message passing",
-        mp.report.elapsed,
-        mp.report.total_msgs,
-        mp.report.total_words
+        "hand message passing", mp.report.elapsed, mp.report.total_msgs, mp.report.total_words
     );
     println!(
         "{:<22} {:>12.4e} s {:>8} {:>10}",
-        "KF1 runtime",
-        kf1.report.elapsed,
-        kf1.report.total_msgs,
-        kf1.report.total_words
+        "KF1 runtime", kf1.report.elapsed, kf1.report.total_msgs, kf1.report.total_words
     );
     println!(
         "\ntime ratio KF1/MP = {:.3}  (claim C2: ≈ 1)",

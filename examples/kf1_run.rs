@@ -5,6 +5,7 @@
 //! cargo run --example kf1_run            # runs Listing 3 (jacobi)
 //! cargo run --example kf1_run -- tri     # runs Listings 4+5 (tridiagonal)
 //! cargo run --example kf1_run -- shift   # the §2 doall semantics example
+//! cargo run --example kf1_run -- adi     # Listings 7+8 (ADI)
 //! ```
 
 use kali::lang::{listing, run_source, HostValue};
@@ -13,7 +14,7 @@ use kali::machine::MachineConfig;
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "jacobi".into());
     let src = listing(&which).unwrap_or_else(|| {
-        eprintln!("unknown listing {which:?}; available: jacobi, tri, shift");
+        eprintln!("unknown listing {which:?}; available: jacobi, tri, shift, adi");
         std::process::exit(1);
     });
     println!("--- KF1 source ({which}) ---\n{src}\n--- running ---\n");
@@ -122,6 +123,52 @@ fn main() {
                 .map(|(a, b)| (a - b).abs())
                 .fold(0.0f64, f64::max);
             println!("solved n = {n} on {p} processors, max error {err:.2e}");
+            println!("{}", run.report);
+        }
+        "adi" => {
+            use kali::solvers::adi::suggested_rho;
+            use kali::solvers::seq::{apply2, Grid2};
+            use kali::solvers::Pde;
+
+            let np = 16usize;
+            let w = np + 1;
+            let pde = Pde::poisson();
+            let us = Grid2::random_interior(np, np, 7);
+            let f = apply2(&pde, &us);
+            let rho = suggested_rho(&pde, np, np);
+            let fdata: Vec<f64> = (0..w * w).map(|k| f.at(k / w, k % w)).collect();
+            let iters = 10i64;
+            let run = run_source(
+                MachineConfig::new(4),
+                src,
+                "adi",
+                &[2, 2],
+                &[
+                    HostValue::Array {
+                        data: vec![0.0; w * w],
+                        bounds: vec![(0, np as i64), (0, np as i64)],
+                    },
+                    HostValue::Array {
+                        data: fdata,
+                        bounds: vec![(0, np as i64), (0, np as i64)],
+                    },
+                    HostValue::Array {
+                        data: vec![0.0; w * w],
+                        bounds: vec![(0, np as i64), (0, np as i64)],
+                    },
+                    HostValue::Int(np as i64),
+                    HostValue::Real(rho),
+                    HostValue::Int(iters),
+                    HostValue::Real(1.0),
+                    HostValue::Real(1.0),
+                ],
+            )
+            .expect("listing runs");
+            let x = &run.arrays[0].1;
+            let err = (0..w * w)
+                .map(|k| (x[k] - us.at(k / w, k % w)).abs())
+                .fold(0.0f64, f64::max);
+            println!("ADI {iters} iterations on 2x2: max error vs truth {err:.2e}");
             println!("{}", run.report);
         }
         _ => unreachable!(),

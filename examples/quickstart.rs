@@ -18,14 +18,21 @@ fn main() {
         // real u(0:n, 0:n), f(0:n, 0:n) dist (block, block)
         let spec = DistSpec::block2();
         let mut u = DistArray2::<f64>::new(proc.rank(), &grid, &spec, [n + 1, n + 1], [1, 1]);
-        let f = DistArray2::from_fn(proc.rank(), &grid, &spec, [n + 1, n + 1], [0, 0], |[i, j]| {
-            // A point source in the middle.
-            if i == n / 2 && j == n / 2 {
-                -0.25
-            } else {
-                0.0
-            }
-        });
+        let f = DistArray2::from_fn(
+            proc.rank(),
+            &grid,
+            &spec,
+            [n + 1, n + 1],
+            [0, 0],
+            |[i, j]| {
+                // A point source in the middle.
+                if i == n / 2 && j == n / 2 {
+                    -0.25
+                } else {
+                    0.0
+                }
+            },
+        );
         let mut ctx = Ctx::new(proc, grid);
         let history = jacobi_run(&mut ctx, &mut u, &f, 50);
         let center = u.try_get([n / 2, n / 2]);

@@ -65,9 +65,14 @@ fn interpreted_jacobi_equals_native_jacobi_values() {
         let spec = DistSpec::block2();
         let n = w - 1;
         let mut u = DistArray2::<f64>::new(proc.rank(), &grid, &spec, [n + 1, n + 1], [1, 1]);
-        let farr = DistArray2::from_fn(proc.rank(), &grid, &spec, [n + 1, n + 1], [0, 0], |[i, j]| {
-            f2[i * w + j]
-        });
+        let farr = DistArray2::from_fn(
+            proc.rank(),
+            &grid,
+            &spec,
+            [n + 1, n + 1],
+            [0, 0],
+            |[i, j]| f2[i * w + j],
+        );
         let mut ctx = Ctx::new(proc, grid);
         for _ in 0..iters {
             jacobi_step(&mut ctx, &mut u, &farr);

@@ -93,14 +93,10 @@ fn deterministic_reports_across_runs() {
     let go = || {
         Machine::run(cfg(8), |proc| {
             let grid = ProcGrid::new_1d(8);
-            let mut a = DistArray1::from_fn(
-                proc.rank(),
-                &grid,
-                &DistSpec::block1(),
-                [64],
-                [1],
-                |[i]| i as f64,
-            );
+            let mut a =
+                DistArray1::from_fn(proc.rank(), &grid, &DistSpec::block1(), [64], [1], |[i]| {
+                    i as f64
+                });
             a.exchange_ghosts(proc);
             let team = grid.team();
             collective::allreduce_sum(proc, &team, 1.0)
@@ -120,7 +116,11 @@ fn deterministic_reports_across_runs() {
 fn utilization_reflects_imbalance() {
     let run = Machine::run(cfg(4), |proc| {
         // Rank 0 does 10x the work.
-        proc.compute(if proc.rank() == 0 { 100_000.0 } else { 10_000.0 });
+        proc.compute(if proc.rank() == 0 {
+            100_000.0
+        } else {
+            10_000.0
+        });
         let team = Team::all(proc.nprocs());
         collective::barrier(proc, &team);
     });

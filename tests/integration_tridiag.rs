@@ -39,7 +39,14 @@ fn five_ways_same_answer() {
             let me = proc.rank();
             let (lo, hi) = (dist.lower(me).unwrap(), dist.upper(me).unwrap() + 1);
             let mut ctx = Ctx::new(proc, grid);
-            tri_dist(&mut ctx, n, &sys.b[lo..hi], &sys.a[lo..hi], &sys.c[lo..hi], &f[lo..hi])
+            tri_dist(
+                &mut ctx,
+                n,
+                &sys.b[lo..hi],
+                &sys.a[lo..hi],
+                &sys.c[lo..hi],
+                &f[lo..hi],
+            )
         });
         run.results.concat()
     };
@@ -50,7 +57,14 @@ fn five_ways_same_answer() {
             let me = proc.rank();
             let pp = proc.nprocs();
             let (lo, hi) = (me * n / pp, (me + 1) * n / pp);
-            tri_mp(proc, n, &sys.b[lo..hi], &sys.a[lo..hi], &sys.c[lo..hi], &f[lo..hi])
+            tri_mp(
+                proc,
+                n,
+                &sys.b[lo..hi],
+                &sys.a[lo..hi],
+                &sys.c[lo..hi],
+                &f[lo..hi],
+            )
         });
         run.results.concat()
     };

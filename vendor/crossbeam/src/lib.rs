@@ -1,0 +1,49 @@
+//! Minimal, std-only stand-in for the subset of `crossbeam` this workspace
+//! uses: unbounded MPSC channels with timeout-aware receives.
+//!
+//! The build environment has no route to a crates registry, so the real
+//! crate cannot be fetched; `std::sync::mpsc` provides the same semantics
+//! for the machine simulator's needs (unbounded send, per-channel FIFO,
+//! `recv_timeout`, disconnect detection). Replace this with the real
+//! `crossbeam` once a registry is reachable — the API below is call-for-call
+//! compatible with what `kali-machine` imports.
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, SendError, Sender};
+
+    /// An unbounded channel, as `crossbeam::channel::unbounded`.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn timeout_then_disconnect() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+}
