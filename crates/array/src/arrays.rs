@@ -32,6 +32,10 @@ pub struct DistArrayN<T, const N: usize> {
     /// Row-major strides of the local storage box.
     pub(crate) stride: [usize; N],
     pub(crate) data: Vec<T>,
+    /// Distribution generation: bumped every time the array's layout
+    /// changes (redistribution). Cached communication schedules carry the
+    /// generation they were derived under and must be discarded on mismatch.
+    pub(crate) generation: u64,
 }
 
 /// 1-D distributed array.
@@ -115,7 +119,18 @@ impl<T: Elem, const N: usize> DistArrayN<T, N> {
             ghost,
             stride,
             data: vec![T::default(); total],
+            generation: 0,
         }
+    }
+
+    /// Distribution generation of this descriptor. Monotonically bumped by
+    /// layout-changing operations ([`DistArrayN::redistribute`]); equal
+    /// generations (on the same array lineage) guarantee an unchanged
+    /// ownership map, so communication schedules derived under one
+    /// generation may be replayed under the same generation only.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Construct and fill owned elements from a function of global indices.

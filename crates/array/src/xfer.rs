@@ -198,6 +198,10 @@ impl<T: Elem + Wire, const N: usize> DistArrayN<T, N> {
     ) -> DistArrayN<T, N> {
         let mut out =
             DistArrayN::<T, N>::new(self.rank, &self.grid, new_spec, self.extents, new_ghost);
+        // The result is a new layout of the same array lineage: its
+        // distribution generation strictly supersedes the source's, so any
+        // schedule cached against the old generation is invalidated.
+        out.generation = self.generation + 1;
         if !self.in_grid() {
             return out;
         }
@@ -402,6 +406,25 @@ mod tests {
         });
         let global = run.results[0].as_ref().unwrap();
         assert_eq!(global, &(0..13).map(|k| (k * k) as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn redistribute_bumps_the_distribution_generation() {
+        let run = Machine::run(cfg(2), |proc| {
+            let g = ProcGrid::new_1d(2);
+            let a = DistArray1::from_fn(
+                proc.rank(),
+                &g,
+                &kali_grid::DistSpec::block1(),
+                [8],
+                [0],
+                |[i]| i as f64,
+            );
+            let b = a.redistribute(proc, &kali_grid::DistSpec::parse("(cyclic)").unwrap(), [0]);
+            let c = b.redistribute(proc, &kali_grid::DistSpec::block1(), [0]);
+            (a.generation(), b.generation(), c.generation())
+        });
+        assert!(run.results.iter().all(|&g| g == (0, 1, 2)));
     }
 
     #[test]

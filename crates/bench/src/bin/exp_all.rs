@@ -12,6 +12,7 @@ fn main() {
         ("T3", kali_bench::exp_adi::run),
         ("T4", kali_bench::exp_mg3::run),
         ("C6", kali_bench::exp_lang_overhead::run),
+        ("S1", || kali_bench::exp_schedule_reuse::run(false)),
     ];
     for (id, f) in experiments {
         println!("\n################ experiment {id} ################\n");

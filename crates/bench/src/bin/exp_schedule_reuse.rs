@@ -1,0 +1,6 @@
+//! Regenerates the executor-reuse scaling table; `--smoke` shrinks the
+//! sweep for CI.
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    println!("{}", kali_bench::exp_schedule_reuse::run(smoke));
+}

@@ -1,0 +1,162 @@
+//! Executor reuse (§4 / ROADMAP hot path): when a `doall` sits inside a
+//! sequential `do` loop and the data distributions have not changed, the
+//! communication schedule discovered by the inspector on the first trip
+//! can be replayed on every later trip. This experiment scales the trip
+//! count on the two looped listings (Jacobi, Listing 3; ADI, Listings
+//! 7/8) and reports virtual time with the schedule cache off and on: the
+//! amortized inspector cost is the paper's justification for run-time
+//! resolution being competitive with compiled communication.
+
+use kali_lang::{listing, run_source_with, HostValue, LangRun, RunOptions};
+
+use crate::{cfg, fmt_s, Table};
+
+fn jacobi(np: i64, iters: i64, cache: bool) -> LangRun {
+    let w = (np + 1) as usize;
+    let f: Vec<f64> = (0..w * w)
+        .map(|k| {
+            let (i, j) = (k / w, k % w);
+            if i == 0 || i == w - 1 || j == 0 || j == w - 1 {
+                0.0
+            } else {
+                ((i * 5 + j) % 7) as f64 / 70.0
+            }
+        })
+        .collect();
+    run_source_with(
+        cfg(4),
+        listing("jacobi").unwrap(),
+        "jacobi",
+        &[2, 2],
+        &[
+            HostValue::Array {
+                data: vec![0.0; w * w],
+                bounds: vec![(0, np), (0, np)],
+            },
+            HostValue::Array {
+                data: f,
+                bounds: vec![(0, np), (0, np)],
+            },
+            HostValue::Int(np),
+            HostValue::Int(iters),
+        ],
+        RunOptions {
+            schedule_cache: cache,
+        },
+    )
+    .expect("jacobi runs")
+}
+
+fn adi(np: i64, iters: i64, cache: bool) -> LangRun {
+    let w = (np + 1) as usize;
+    run_source_with(
+        cfg(4),
+        listing("adi").unwrap(),
+        "adi",
+        &[2, 2],
+        &[
+            HostValue::Array {
+                data: vec![0.0; w * w],
+                bounds: vec![(0, np), (0, np)],
+            },
+            HostValue::Array {
+                data: vec![0.1; w * w],
+                bounds: vec![(0, np), (0, np)],
+            },
+            HostValue::Array {
+                data: vec![0.0; w * w],
+                bounds: vec![(0, np), (0, np)],
+            },
+            HostValue::Int(np),
+            HostValue::Real(50.0),
+            HostValue::Int(iters),
+            HostValue::Real(1.0),
+            HostValue::Real(1.0),
+        ],
+        RunOptions {
+            schedule_cache: cache,
+        },
+    )
+    .expect("adi runs")
+}
+
+fn section(t: &mut Table, name: &str, iters: &[i64], mut run: impl FnMut(i64, bool) -> LangRun) {
+    for &it in iters {
+        let off = run(it, false);
+        let on = run(it, true);
+        assert_eq!(
+            off.report.total_exchange_words, on.report.total_exchange_words,
+            "{name}: executor reuse must not change the value traffic"
+        );
+        t.row(vec![
+            name.into(),
+            it.to_string(),
+            fmt_s(off.report.elapsed),
+            fmt_s(on.report.elapsed),
+            format!("{:.2}x", off.report.elapsed / on.report.elapsed),
+            format!(
+                "{:.2}x",
+                off.report.inspector_seconds / on.report.inspector_seconds.max(1e-300)
+            ),
+            format!(
+                "{}+{}",
+                on.report.total_inspector_runs, on.report.total_schedule_replays
+            ),
+        ]);
+    }
+}
+
+/// `smoke` shrinks the sweep for CI.
+pub fn run(smoke: bool) -> String {
+    let (np, jac_iters, adi_iters): (i64, &[i64], &[i64]) = if smoke {
+        (8, &[2, 4], &[2])
+    } else {
+        (16, &[1, 2, 4, 8, 16], &[1, 2, 4])
+    };
+    let mut t = Table::new(&[
+        "workload",
+        "trips",
+        "inspect every trip",
+        "executor reuse",
+        "speedup",
+        "inspector share cut",
+        "runs+replays",
+    ]);
+    section(&mut t, "jacobi", jac_iters, |it, cache| {
+        jacobi(np, it, cache)
+    });
+    section(&mut t, "adi", adi_iters, |it, cache| adi(np, it, cache));
+    format!(
+        "=== Executor reuse: schedule-cache scaling (np = {np}, 2x2 procs) ===\n\n{}\n\
+         The inspector-share column is uncached/cached virtual seconds spent\n\
+         in schedule discovery (inspect pass + request round): with reuse it\n\
+         is paid once per doall site instead of once per trip, so the cut\n\
+         grows with the trip count while the value-exchange traffic stays\n\
+         bit-identical.\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reuse_never_slows_the_looped_listings() {
+        // Smoke-sized sweep; the assert_eq inside section() also checks
+        // traffic parity.
+        let r = super::run(true);
+        assert!(r.contains("jacobi"));
+        assert!(r.contains("adi"));
+    }
+
+    #[test]
+    fn inspector_share_cut_grows_with_trip_count() {
+        let a = super::jacobi(8, 2, false).report.inspector_seconds
+            / super::jacobi(8, 2, true).report.inspector_seconds;
+        let b = super::jacobi(8, 6, false).report.inspector_seconds
+            / super::jacobi(8, 6, true).report.inspector_seconds;
+        assert!(
+            b > a && b >= 1.5,
+            "share cut must grow with trips: {a}x at 2 trips, {b}x at 6"
+        );
+    }
+}

@@ -18,6 +18,7 @@ pub mod exp_kf1_vs_mp;
 pub mod exp_lang_overhead;
 pub mod exp_loc;
 pub mod exp_mg3;
+pub mod exp_schedule_reuse;
 pub mod exp_tridiag_scaling;
 
 /// Standard machine for experiments: iPSC/2-era costs, generous watchdog.

@@ -75,10 +75,22 @@ pub enum Stmt {
     /// `doall 100 i = lo, hi[, step] on <onclause> ...` — `vars` has one
     /// or two loop variables (product ranges).
     Doall {
+        /// Stable site id, unique per `doall` in a parse: the cache key
+        /// under which the interpreter memoizes this loop's communication
+        /// schedule across invocations (executor reuse).
+        site: usize,
         vars: Vec<String>,
         ranges: Vec<(Expr, Expr, Option<Expr>)>,
         on: OnClause,
         body: Vec<Stmt>,
+    },
+    /// `distribute a (block, cyclic, *)` — change a distributed array's
+    /// `dist` clause at run time. Data moves to the new owners and the
+    /// array's distribution generation is bumped, invalidating any cached
+    /// communication schedule that read or wrote it.
+    Distribute {
+        name: String,
+        dist: Vec<DistDim>,
     },
     /// `if (cond) then ... [else ...] endif` or one-armed logical if.
     If {

@@ -10,7 +10,11 @@
 //! Programs run on the `kali-machine` simulator: communication is never
 //! written by the programmer; the interpreter's inspector/executor pass
 //! derives it from data ownership at run time (the Kali runtime-resolution
-//! scheme the paper cites), and charges it to the virtual clock.
+//! scheme the paper cites), and charges it to the virtual clock. The
+//! inspector's output is cached across invocations (executor reuse): a
+//! `doall` re-entered from a sequential `do` loop with unchanged
+//! distributions replays its communication schedule instead of
+//! re-inspecting — see the [`interp`] module docs and [`RunOptions`].
 //!
 //! The paper's listings, adapted to this subset, ship under
 //! `programs/` and are accessible through [`listing`].
@@ -65,9 +69,27 @@ pub struct LangRun {
     pub arrays: Vec<(String, Vec<f64>)>,
 }
 
+/// Interpreter knobs for [`run_source_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Cache inspector schedules across doall invocations (executor
+    /// reuse). On by default; disable to force a fresh inspector pass on
+    /// every invocation — the differential-testing baseline.
+    pub schedule_cache: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            schedule_cache: true,
+        }
+    }
+}
+
 /// Parse and run `src` on a simulated machine: the entry `parsub` receives
 /// the host arguments and a processor array of shape `grid_dims`
-/// (`cfg.nprocs` must equal the product).
+/// (`cfg.nprocs` must equal the product). Executor reuse is on; see
+/// [`run_source_with`] to control it.
 ///
 /// Returns the timing/traffic report and the final global state of every
 /// array argument (assembled from the owning processors).
@@ -77,6 +99,18 @@ pub fn run_source(
     entry: &str,
     grid_dims: &[usize],
     args: &[HostValue],
+) -> Result<LangRun, String> {
+    run_source_with(cfg, src, entry, grid_dims, args, RunOptions::default())
+}
+
+/// [`run_source`] with explicit [`RunOptions`].
+pub fn run_source_with(
+    cfg: MachineConfig,
+    src: &str,
+    entry: &str,
+    grid_dims: &[usize],
+    args: &[HostValue],
+    opts: RunOptions,
 ) -> Result<LangRun, String> {
     let prog: Arc<Program> = Arc::new(parse(src).map_err(|e| e.to_string())?);
     let sub = prog
@@ -130,6 +164,7 @@ pub fn run_source(
                         grid: ProcGrid::new_1d(1),
                         data: data.clone(),
                         is_real: true,
+                        dist_gen: 0,
                     }));
                     handles.push((p.clone(), arr.clone()));
                     bindings.push((p.clone(), Binding::Array(View::whole(arr))));
@@ -141,6 +176,7 @@ pub fn run_source(
         }
         let rank = proc.rank();
         let mut interp = Interp::new(proc, &prog);
+        interp.set_schedule_cache(opts.schedule_cache);
         interp
             .call_sub(sub, bindings, grid)
             .unwrap_or_else(|e| panic!("KF1 runtime error on processor {rank}: {e}"));
@@ -491,6 +527,124 @@ end
         .unwrap();
         assert!(run.arrays[0].1.iter().all(|&v| v == 6.5));
     }
+
+    #[test]
+    fn looped_doall_replays_cached_schedules() {
+        // Listing 3 shape: one doall inside a do — the schedule must be
+        // discovered once and replayed on every later trip.
+        let niter = 6i64;
+        let np = 8i64;
+        let w = (np + 1) as usize;
+        let run = run_source(
+            cfg(4),
+            listing("jacobi").unwrap(),
+            "jacobi",
+            &[2, 2],
+            &[
+                HostValue::Array {
+                    data: vec![0.0; w * w],
+                    bounds: vec![(0, np), (0, np)],
+                },
+                HostValue::Array {
+                    data: vec![0.02; w * w],
+                    bounds: vec![(0, np), (0, np)],
+                },
+                HostValue::Int(np),
+                HostValue::Int(niter),
+            ],
+        )
+        .unwrap();
+        let r = &run.report;
+        // 4 procs, 1 site, niter trips: one inspector run each, the rest
+        // replayed.
+        assert_eq!(r.total_inspector_runs, 4);
+        assert_eq!(r.total_schedule_replays, 4 * (niter as u64 - 1));
+        assert!(r.inspector_seconds > 0.0);
+        assert!(r.total_exchange_words > 0);
+    }
+
+    #[test]
+    fn schedule_cache_can_be_disabled() {
+        let np = 8i64;
+        let w = (np + 1) as usize;
+        let args = [
+            HostValue::Array {
+                data: vec![0.0; w * w],
+                bounds: vec![(0, np), (0, np)],
+            },
+            HostValue::Array {
+                data: vec![0.02; w * w],
+                bounds: vec![(0, np), (0, np)],
+            },
+            HostValue::Int(np),
+            HostValue::Int(5),
+        ];
+        let off = run_source_with(
+            cfg(4),
+            listing("jacobi").unwrap(),
+            "jacobi",
+            &[2, 2],
+            &args,
+            RunOptions {
+                schedule_cache: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(off.report.total_schedule_replays, 0);
+        assert_eq!(off.report.total_inspector_runs, 4 * 5);
+    }
+
+    #[test]
+    fn distribute_moves_data_and_invalidates_schedules() {
+        // The doall's schedule is cached on trip 1; the distribute between
+        // trips bumps b's generation, so trip 2 must re-inspect (and read
+        // the values from their *new* owners, not replay stale routes).
+        let src = r#"
+parsub redist(a, b, n; procs)
+  processors procs(p)
+  real a(n), b(n) dist (block)
+  do 1000 it = 1, 2
+    doall 100 i = 1, n - 1 on owner(a(i))
+      a(i) = a(i) + b(i + 1)
+100 continue
+    if (it .eq. 1) then
+      distribute b (cyclic)
+    endif
+1000 continue
+end
+"#;
+        let n = 8usize;
+        let b0: Vec<f64> = (0..n).map(|i| (i + 1) as f64 * 10.0).collect();
+        let run = run_source(
+            cfg(2),
+            src,
+            "redist",
+            &[2],
+            &[
+                HostValue::Array {
+                    data: vec![0.0; n],
+                    bounds: vec![(1, n as i64)],
+                },
+                HostValue::Array {
+                    data: b0.clone(),
+                    bounds: vec![(1, n as i64)],
+                },
+                HostValue::Int(n as i64),
+            ],
+        )
+        .unwrap();
+        let a = &run.arrays[0].1;
+        for i in 0..n - 1 {
+            assert_eq!(a[i], 2.0 * b0[i + 1], "i = {i}");
+        }
+        // Both trips ran a fresh inspection: generation bump ⇒ key miss.
+        assert_eq!(run.report.total_schedule_replays, 0);
+        assert_eq!(run.report.total_inspector_runs, 2 * 2);
+    }
+
+    // The pinned-message test for the exchange phase's unbound-name hard
+    // error lives in tests/integration_schedule_cache.rs, which covers
+    // both cache modes.
 
     #[test]
     fn adi_listing_is_shipped_and_parses() {

@@ -30,13 +30,20 @@ type PResult<T> = Result<T, ParseError>;
 /// Parse a KF1 source file.
 pub fn parse(src: &str) -> PResult<Program> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        next_site: 0,
+    };
     p.program()
 }
 
 struct Parser {
     toks: Vec<SpannedTok>,
     pos: usize,
+    /// Site-id counter: every `doall` in a parse gets a distinct, stable
+    /// id (source order) so the interpreter can cache per-site schedules.
+    next_site: usize,
 }
 
 /// What ended a statement block.
@@ -351,6 +358,7 @@ impl Parser {
             Tok::Ident(s) if s == "doall" => self.doall_stmt(labels),
             Tok::Ident(s) if s == "if" => self.if_stmt(labels),
             Tok::Ident(s) if s == "call" => self.call_stmt(),
+            Tok::Ident(s) if s == "distribute" => self.distribute_stmt(),
             Tok::Ident(s) if s == "return" => {
                 self.bump();
                 self.expect_eol()?;
@@ -431,8 +439,34 @@ impl Parser {
         })
     }
 
+    fn distribute_stmt(&mut self) -> PResult<Stmt> {
+        self.bump(); // distribute
+        let name = self.expect_ident()?;
+        self.expect_punct("(")?;
+        let mut dist = Vec::new();
+        loop {
+            if self.eat_punct("*") {
+                dist.push(DistDim::Star);
+            } else if self.eat_ident("block") {
+                dist.push(DistDim::Block);
+            } else if self.eat_ident("cyclic") {
+                dist.push(DistDim::Cyclic);
+            } else {
+                return self.err("expected block, cyclic or * in distribute");
+            }
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        self.expect_punct(")")?;
+        self.expect_eol()?;
+        Ok(Stmt::Distribute { name, dist })
+    }
+
     fn doall_stmt(&mut self, outer: &[u32]) -> PResult<Stmt> {
         self.bump(); // doall
+        let site = self.next_site;
+        self.next_site += 1;
         let label = if let Tok::Int(n) = self.peek() {
             let n = *n as u32;
             self.bump();
@@ -494,6 +528,7 @@ impl Parser {
             (_, e) => return self.err(format!("doall terminated by {e:?}")),
         }
         Ok(Stmt::Doall {
+            site,
             vars,
             ranges,
             on,
@@ -949,6 +984,52 @@ end
                 assert_eq!(rhs.flop_count(), 1.0); // only the +
             }
             _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn doall_sites_are_distinct_and_stable() {
+        let src = r#"
+parsub two(a; p)
+  processors p(q)
+  real a(8) dist (block)
+  doall 100 i = 1, 8 on owner(a(i))
+    a(i) = 1.0
+100 continue
+  doall 200 i = 1, 8 on owner(a(i))
+    a(i) = 2.0
+200 continue
+end
+"#;
+        let mut sites = Vec::new();
+        fn collect(body: &[Stmt], out: &mut Vec<usize>) {
+            for s in body {
+                if let Stmt::Doall { site, body, .. } = s {
+                    out.push(*site);
+                    collect(body, out);
+                }
+            }
+        }
+        collect(&parse(src).unwrap().subs[0].body, &mut sites);
+        assert_eq!(sites.len(), 2);
+        assert_ne!(sites[0], sites[1]);
+        // Stable: re-parsing yields the same ids.
+        let mut again = Vec::new();
+        collect(&parse(src).unwrap().subs[0].body, &mut again);
+        assert_eq!(sites, again);
+    }
+
+    #[test]
+    fn parses_distribute_statement() {
+        let src = "parsub f(a; p)\n  processors p(q)\n  real a(8, 8) dist (block, *)\n  \
+                   distribute a (*, cyclic)\nend\n";
+        let prog = parse(src).unwrap();
+        match &prog.subs[0].body[0] {
+            Stmt::Distribute { name, dist } => {
+                assert_eq!(name, "a");
+                assert_eq!(dist, &vec![DistDim::Star, DistDim::Cyclic]);
+            }
+            other => panic!("expected distribute, got {other:?}"),
         }
     }
 

@@ -65,6 +65,13 @@ pub struct ArrObj {
     /// Row-major storage over the full index space.
     pub data: Vec<f64>,
     pub is_real: bool,
+    /// Distribution generation: monotonically bumped whenever the
+    /// ownership map changes (a `distribute` statement, or a declaration
+    /// adopting a host array onto the processor grid). A communication
+    /// schedule cached by the interpreter records the generation of every
+    /// array it touches; a bumped generation makes the cached key miss, so
+    /// a stale schedule can never be replayed.
+    pub dist_gen: u64,
 }
 
 pub type ArrRef = Rc<RefCell<ArrObj>>;
@@ -85,6 +92,12 @@ impl ArrObj {
     /// Is the array replicated (no distributed dimension)?
     pub fn replicated(&self) -> bool {
         self.dist.iter().all(|d| *d == DistDim::Star)
+    }
+
+    /// Mark the ownership map as changed: every schedule derived under the
+    /// previous generation becomes unreplayable.
+    pub fn bump_dist_gen(&mut self) {
+        self.dist_gen += 1;
     }
 
     /// Flat storage index of a full index tuple (bounds-checked).
@@ -357,7 +370,17 @@ mod tests {
             grid,
             data: vec![0.0; total],
             is_real: true,
+            dist_gen: 0,
         }
+    }
+
+    #[test]
+    fn dist_gen_is_monotone() {
+        let mut a = arr2(vec![(0, 3)], vec![DistDim::Block], ProcGrid::new_1d(2));
+        assert_eq!(a.dist_gen, 0);
+        a.bump_dist_gen();
+        a.bump_dist_gen();
+        assert_eq!(a.dist_gen, 2);
     }
 
     #[test]

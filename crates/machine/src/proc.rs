@@ -36,6 +36,18 @@ pub struct ProcStats {
     pub busy: f64,
     /// Virtual seconds spent waiting for messages.
     pub idle: f64,
+    /// Inspector passes executed by a runtime-resolution layer
+    /// (see [`Proc::note_inspector_run`]).
+    pub inspector_runs: u64,
+    /// Doall invocations served by replaying a cached communication
+    /// schedule instead of re-running the inspector.
+    pub schedule_replays: u64,
+    /// Virtual seconds attributable to inspection (schedule discovery,
+    /// including the request exchange of runtime resolution).
+    pub inspector_seconds: f64,
+    /// Data words delivered by executor exchange phases (the value
+    /// traffic of runtime resolution, excluding request vectors).
+    pub exchange_words: u64,
 }
 
 /// A named instant recorded by [`Proc::mark`]; used by the experiment
@@ -207,6 +219,36 @@ impl Proc {
         self.clock += dt;
         self.stats.busy += dt;
         self.stats.mem_words += words;
+    }
+
+    /// Record one inspector pass (schedule discovery) of a
+    /// runtime-resolution layer. Pure bookkeeping: no virtual time.
+    #[inline]
+    pub fn note_inspector_run(&mut self) {
+        self.stats.inspector_runs += 1;
+    }
+
+    /// Record one doall invocation served by replaying a cached
+    /// communication schedule. Pure bookkeeping: no virtual time.
+    #[inline]
+    pub fn note_schedule_replay(&mut self) {
+        self.stats.schedule_replays += 1;
+    }
+
+    /// Attribute `seconds` of already-charged virtual time to inspection.
+    /// Does not advance the clock; callers charge the underlying
+    /// communication/compute normally and classify it here.
+    #[inline]
+    pub fn attribute_inspector_time(&mut self, seconds: f64) {
+        debug_assert!(seconds >= 0.0);
+        self.stats.inspector_seconds += seconds;
+    }
+
+    /// Record `words` data words delivered by an executor exchange phase.
+    /// Pure bookkeeping: the traffic itself is charged by send/recv.
+    #[inline]
+    pub fn note_exchange_words(&mut self, words: u64) {
+        self.stats.exchange_words += words;
     }
 
     /// Advance the clock by an arbitrary busy interval (used by collectives

@@ -22,6 +22,14 @@ pub struct RunReport {
     pub total_msgs: u64,
     pub total_words: u64,
     pub total_flops: f64,
+    /// Inspector passes executed across all processors (runtime resolution).
+    pub total_inspector_runs: u64,
+    /// Doall invocations served from a cached communication schedule.
+    pub total_schedule_replays: u64,
+    /// Virtual seconds attributed to inspection, summed over processors.
+    pub inspector_seconds: f64,
+    /// Data words delivered by executor exchange phases, summed.
+    pub total_exchange_words: u64,
 }
 
 impl RunReport {
@@ -30,12 +38,20 @@ impl RunReport {
         let total_msgs = procs.iter().map(|p| p.stats.msgs_sent).sum();
         let total_words = procs.iter().map(|p| p.stats.words_sent).sum();
         let total_flops = procs.iter().map(|p| p.stats.flops).sum();
+        let total_inspector_runs = procs.iter().map(|p| p.stats.inspector_runs).sum();
+        let total_schedule_replays = procs.iter().map(|p| p.stats.schedule_replays).sum();
+        let inspector_seconds = procs.iter().map(|p| p.stats.inspector_seconds).sum();
+        let total_exchange_words = procs.iter().map(|p| p.stats.exchange_words).sum();
         RunReport {
             procs,
             elapsed,
             total_msgs,
             total_words,
             total_flops,
+            total_inspector_runs,
+            total_schedule_replays,
+            inspector_seconds,
+            total_exchange_words,
         }
     }
 
@@ -95,6 +111,17 @@ impl std::fmt::Display for RunReport {
             self.total_flops,
             100.0 * self.utilization()
         )?;
+        if self.total_inspector_runs > 0 || self.total_schedule_replays > 0 {
+            writeln!(
+                f,
+                "runtime resolution: {} inspector runs, {} schedule replays, \
+                 {:.3e} s inspecting, {} exchange words",
+                self.total_inspector_runs,
+                self.total_schedule_replays,
+                self.inspector_seconds,
+                self.total_exchange_words
+            )?;
+        }
         writeln!(
             f,
             "{:>5} {:>13} {:>13} {:>13} {:>9} {:>11}",
@@ -153,6 +180,28 @@ mod tests {
         let s = format!("{r}");
         assert!(s.contains("virtual time"));
         assert!(s.contains("proc"));
+    }
+
+    #[test]
+    fn runtime_resolution_counters_aggregate_and_render() {
+        let mut a = mk_proc(0, 2.0, 1.0);
+        a.stats.inspector_runs = 2;
+        a.stats.schedule_replays = 5;
+        a.stats.inspector_seconds = 0.25;
+        a.stats.exchange_words = 40;
+        let mut b = mk_proc(1, 2.0, 1.0);
+        b.stats.inspector_runs = 1;
+        b.stats.schedule_replays = 6;
+        b.stats.inspector_seconds = 0.5;
+        b.stats.exchange_words = 2;
+        let r = RunReport::new(vec![a, b]);
+        assert_eq!(r.total_inspector_runs, 3);
+        assert_eq!(r.total_schedule_replays, 11);
+        assert!((r.inspector_seconds - 0.75).abs() < 1e-12);
+        assert_eq!(r.total_exchange_words, 42);
+        let s = format!("{r}");
+        assert!(s.contains("3 inspector runs"));
+        assert!(s.contains("11 schedule replays"));
     }
 
     #[test]

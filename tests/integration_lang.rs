@@ -89,12 +89,21 @@ fn interpreted_jacobi_equals_native_jacobi_values() {
             native_x[k]
         );
     }
-    // The interpreter's runtime resolution costs more communication than
-    // the compiled ghost exchange, but within a small constant factor.
+    // Runtime resolution stays within a small constant factor of the
+    // compiled ghost exchange. With executor reuse the replayed schedule
+    // fuses each sweep's exchange into one message per peer, so the
+    // interpreter may even undercut the per-array halo protocol — the
+    // bound below only guards against pathological inflation.
     let inflation = lang.report.elapsed / native.report.elapsed;
     assert!(
-        (1.0..10.0).contains(&inflation),
+        (0.2..10.0).contains(&inflation),
         "virtual inflation out of range: {inflation}"
+    );
+    assert!(
+        lang.report.total_schedule_replays > lang.report.total_inspector_runs,
+        "looped jacobi must replay more schedules than it inspects: {} runs, {} replays",
+        lang.report.total_inspector_runs,
+        lang.report.total_schedule_replays
     );
 }
 
