@@ -1,13 +1,39 @@
 //! Ghost-layer exchange — the compiled form of Listing 2's guarded edge
 //! sends/receives, generalized to any block-distributed dimension of an
-//! N-dimensional array.
+//! N-dimensional array. Ships in two forms: the blocking
+//! [`DistArrayN::exchange_ghosts`] and the split-phase
+//! [`DistArrayN::begin_exchange_ghosts`] /
+//! [`DistArrayN::finish_exchange_ghosts`] pair that lets interior
+//! computation overlap the strip transit.
 
-use kali_machine::{tag, Proc, Wire, NS_ARRAY};
+use kali_machine::{tag, PendingRecv, Proc, Wire, NS_ARRAY};
 
 use crate::arrays::{DistArrayN, Elem};
 
 const DIR_TO_HI: u64 = 0;
 const DIR_TO_LO: u64 = 1;
+
+/// An in-flight split-phase ghost exchange created by
+/// [`DistArrayN::begin_exchange_ghosts`]. Complete it with
+/// [`DistArrayN::finish_exchange_ghosts`] on an array of the same shape —
+/// usually the array itself, or a same-layout snapshot taken for
+/// copy-in/copy-out updates.
+#[must_use = "a begun ghost exchange must be completed with finish_exchange_ghosts"]
+pub struct PendingHalo<T: Wire> {
+    /// `(dimension, fills_low_ghost, handle)` in post order.
+    recvs: Vec<(usize, bool, PendingRecv<Vec<T>>)>,
+}
+
+impl<T: Wire> PendingHalo<T> {
+    /// Number of strip messages still outstanding.
+    pub fn len(&self) -> usize {
+        self.recvs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.recvs.is_empty()
+    }
+}
 
 impl<T: Elem + Wire, const N: usize> DistArrayN<T, N> {
     /// Exchange ghost layers along every distributed dimension that has a
@@ -27,6 +53,82 @@ impl<T: Elem + Wire, const N: usize> DistArrayN<T, N> {
             if self.ghost[d] > 0 && self.dists[d].nprocs() > 1 {
                 self.exchange_dim(proc, d);
             }
+        }
+    }
+
+    /// Split-phase ghost exchange, post half: pack and issue every strip as
+    /// a nonblocking send and post the matching receives, then return
+    /// immediately so the caller can compute on interior points while the
+    /// strips are in transit. Must be called by every member of the owning
+    /// grid (SPMD); non-members and empty owners return an empty pending
+    /// set.
+    ///
+    /// Unlike [`DistArrayN::exchange_ghosts`], every dimension is posted
+    /// *concurrently*, so corner/edge ghosts shared between two
+    /// distributed dimensions are **not** refreshed — the packed strips
+    /// carry pre-exchange values in the orthogonal ghost slots. Use the
+    /// split-phase pair only for stencils that read no diagonal ghost
+    /// (5-point in 2-D, 7-point in 3-D); 9-point stencils need the
+    /// blocking exchange.
+    pub fn begin_exchange_ghosts(&self, proc: &mut Proc) -> PendingHalo<T> {
+        let mut recvs = Vec::new();
+        if !self.is_participant() {
+            return PendingHalo { recvs };
+        }
+        for d in 0..N {
+            if self.ghost[d] == 0 || self.dists[d].nprocs() <= 1 {
+                continue;
+            }
+            let g = self.ghost[d];
+            let my_layers = g.min(self.len[d]);
+            let up = self.neighbour(d, true);
+            let dn = self.neighbour(d, false);
+            debug_assert!(
+                my_layers == g || (up.is_none() && dn.is_none()) || self.len[d] >= g,
+                "block smaller than ghost width: halo will be partial"
+            );
+            if let Some(nbr) = up {
+                let strip = self.pack_layers(proc, d, g + self.len[d] - my_layers, my_layers);
+                let _ = proc.isend(nbr, tag(NS_ARRAY, (d as u64) << 1 | DIR_TO_HI), strip);
+            }
+            if let Some(nbr) = dn {
+                let strip = self.pack_layers(proc, d, g, my_layers);
+                let _ = proc.isend(nbr, tag(NS_ARRAY, (d as u64) << 1 | DIR_TO_LO), strip);
+            }
+        }
+        for d in 0..N {
+            if self.ghost[d] == 0 || self.dists[d].nprocs() <= 1 {
+                continue;
+            }
+            if let Some(nbr) = self.neighbour(d, false) {
+                recvs.push((
+                    d,
+                    true,
+                    proc.irecv(nbr, tag(NS_ARRAY, (d as u64) << 1 | DIR_TO_HI)),
+                ));
+            }
+            if let Some(nbr) = self.neighbour(d, true) {
+                recvs.push((
+                    d,
+                    false,
+                    proc.irecv(nbr, tag(NS_ARRAY, (d as u64) << 1 | DIR_TO_LO)),
+                ));
+            }
+        }
+        PendingHalo { recvs }
+    }
+
+    /// Split-phase ghost exchange, completion half: wait for every posted
+    /// strip and scatter it into this array's ghost layers. `self` must
+    /// have the shape the exchange was begun with (the array itself or a
+    /// same-layout clone).
+    pub fn finish_exchange_ghosts(&mut self, proc: &mut Proc, pending: PendingHalo<T>) {
+        for (d, to_low, h) in pending.recvs {
+            let strip = proc.wait(h);
+            let layers = strip.len() / self.layer_size(d);
+            let g = self.ghost[d];
+            let start = if to_low { g - layers } else { g + self.len[d] };
+            self.unpack_layers(proc, d, start, layers, &strip);
         }
     }
 
@@ -296,6 +398,74 @@ mod tests {
         assert_eq!(a0.at(3, 2, 1), 321.0); // y-ghost
         assert_eq!(a0.at(3, 1, 2), 312.0); // z-ghost
         assert_eq!(a0.at(2, 2, 2), 222.0); // corner pencil
+    }
+
+    #[test]
+    fn split_phase_halo_matches_blocking_off_corners() {
+        // 1-D distribution: no corner ghosts exist, so the split-phase
+        // exchange must be bit-identical to the blocking one.
+        let run = Machine::run(cfg(4), |proc| {
+            let g = ProcGrid::new_1d(4);
+            let spec = DistSpec::block1();
+            let mut a =
+                crate::DistArray1::from_fn(proc.rank(), &g, &spec, [16], [1], |[i]| i as f64);
+            let mut b = a.clone();
+            a.exchange_ghosts(proc);
+            let pending = b.begin_exchange_ghosts(proc);
+            proc.compute(100.0); // interior work while strips travel
+            b.finish_exchange_ghosts(proc, pending);
+            (a, b)
+        });
+        for (a, b) in &run.results {
+            assert_eq!(a.data, b.data);
+        }
+        // The compute between begin and finish hid transit.
+        assert!(run.report.overlap_hidden_seconds > 0.0);
+    }
+
+    #[test]
+    fn split_phase_halo_fills_edges_on_2d_grids() {
+        // block2: the face ghosts must match the blocking exchange; only
+        // the corner cells (which 5-point stencils never read) may differ.
+        let run = Machine::run(cfg(4), |proc| {
+            let g = ProcGrid::new_2d(2, 2);
+            let spec = DistSpec::block2();
+            let mut a =
+                crate::DistArray2::from_fn(proc.rank(), &g, &spec, [8, 8], [1, 1], |[i, j]| {
+                    (10 * i + j) as f64
+                });
+            let pending = a.begin_exchange_ghosts(proc);
+            a.finish_exchange_ghosts(proc, pending);
+            a
+        });
+        let a0 = &run.results[0]; // owns [0..4)x[0..4)
+        assert_eq!(a0.at(4, 2), 42.0); // face ghost below
+        assert_eq!(a0.at(2, 4), 24.0); // face ghost right
+        let a3 = &run.results[3]; // owns [4..8)x[4..8)
+        assert_eq!(a3.at(3, 4), 34.0);
+        assert_eq!(a3.at(4, 3), 43.0);
+    }
+
+    #[test]
+    fn finish_on_a_snapshot_lands_ghosts_in_the_snapshot() {
+        // The copy-in/copy-out pattern: begin on the live array, snapshot,
+        // finish into the snapshot so the update reads fresh ghosts while
+        // writing the live array.
+        let run = Machine::run(cfg(2), |proc| {
+            let g = ProcGrid::new_1d(2);
+            let spec = DistSpec::block1();
+            let mut a =
+                crate::DistArray1::from_fn(proc.rank(), &g, &spec, [8], [1], |[i]| i as f64);
+            let pending = a.begin_exchange_ghosts(proc);
+            let mut old = a.clone();
+            // Mutate the live array before completing: the snapshot must
+            // still receive the pre-mutation neighbour values.
+            a.map_owned(|_, v| v + 100.0);
+            old.finish_exchange_ghosts(proc, pending);
+            old
+        });
+        assert_eq!(run.results[0].at(4), 4.0, "ghost from the right block");
+        assert_eq!(run.results[1].at(3), 3.0, "ghost from the left block");
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //! compiler would generate:
 //!
 //! * [`DistArrayN::exchange_ghosts`] — the guarded edge exchange of
-//!   Listing 2 (Jacobi), generalized to any block-distributed dimension;
+//!   Listing 2 (Jacobi), generalized to any block-distributed dimension —
+//!   and its split-phase form [`DistArrayN::begin_exchange_ghosts`] /
+//!   [`DistArrayN::finish_exchange_ghosts`], which posts the strips
+//!   nonblocking so interior computation overlaps the transit;
 //! * [`DistArrayN::extract_slice`]/[`DistArrayN::store_slice`] — copy-in /
 //!   copy-out of array slices (`r(i, *)`) passed to distributed procedures;
 //! * [`DistArrayN::gather_to_root`] — assembling a global array for
@@ -25,3 +28,4 @@ mod halo;
 mod xfer;
 
 pub use arrays::{DistArray1, DistArray2, DistArray3, DistArrayN, Elem};
+pub use halo::PendingHalo;

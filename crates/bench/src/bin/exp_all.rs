@@ -1,7 +1,12 @@
 //! Regenerates every figure/claim experiment in sequence (the data behind
-//! EXPERIMENTS.md).
+//! EXPERIMENTS.md). `--smoke` and `--json` propagate uniformly to every
+//! experiment module; with `--json` the output is one JSON array of
+//! per-experiment documents.
+use kali_bench::{ExpOpts, ExpOut};
+
 fn main() {
-    let experiments: Vec<(&str, fn() -> String)> = vec![
+    let opts = ExpOpts::from_args();
+    let experiments: Vec<(&str, fn(ExpOpts) -> ExpOut)> = vec![
         ("F1/F2", kali_bench::exp_fig1_structure::run),
         ("F3/F4", kali_bench::exp_fig3_dataflow::run),
         ("F5/T2", kali_bench::exp_fig5_pipeline::run),
@@ -12,10 +17,24 @@ fn main() {
         ("T3", kali_bench::exp_adi::run),
         ("T4", kali_bench::exp_mg3::run),
         ("C6", kali_bench::exp_lang_overhead::run),
-        ("S1", || kali_bench::exp_schedule_reuse::run(false)),
+        ("S1", kali_bench::exp_schedule_reuse::run),
+        ("S2", kali_bench::exp_overlap::run),
     ];
+    let mut docs = Vec::new();
     for (id, f) in experiments {
-        println!("\n################ experiment {id} ################\n");
-        println!("{}", f());
+        let out = f(opts);
+        if opts.json {
+            let mut doc = out.json();
+            if let kali_bench::json::Json::Obj(fields) = &mut doc {
+                fields.insert(0, ("id".to_string(), kali_bench::json::Json::str(id)));
+            }
+            docs.push(doc);
+        } else {
+            println!("\n################ experiment {id} ################\n");
+            println!("{}", out.text);
+        }
+    }
+    if opts.json {
+        println!("{}", kali_bench::json::Json::Arr(docs).render());
     }
 }

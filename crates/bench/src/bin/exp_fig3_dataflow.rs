@@ -1,4 +1,5 @@
-//! Regenerates one paper artifact; see DESIGN.md §4.
+//! Regenerates one paper artifact; `--smoke` shrinks sweeps, `--json`
+//! emits the machine-readable document. See DESIGN.md §4.
 fn main() {
-    println!("{}", kali_bench::exp_fig3_dataflow::run());
+    kali_bench::exp_main(kali_bench::exp_fig3_dataflow::run);
 }

@@ -1,4 +1,5 @@
-//! Regenerates one paper artifact; see DESIGN.md §4.
+//! Regenerates one paper artifact; `--smoke` shrinks sweeps, `--json`
+//! emits the machine-readable document. See DESIGN.md §4.
 fn main() {
-    println!("{}", kali_bench::exp_kf1_vs_mp::run());
+    kali_bench::exp_main(kali_bench::exp_kf1_vs_mp::run);
 }

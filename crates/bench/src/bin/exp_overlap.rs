@@ -1,0 +1,6 @@
+//! Regenerates the split-phase overlap experiment; `--smoke` shrinks the
+//! sweep for CI, `--json` emits the machine-readable document tracked as
+//! BENCH_overlap.json.
+fn main() {
+    kali_bench::exp_main(kali_bench::exp_overlap::run);
+}

@@ -1,6 +1,5 @@
-//! Regenerates the executor-reuse scaling table; `--smoke` shrinks the
-//! sweep for CI.
+//! Regenerates one paper artifact; `--smoke` shrinks sweeps, `--json`
+//! emits the machine-readable document. See DESIGN.md §4.
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    println!("{}", kali_bench::exp_schedule_reuse::run(smoke));
+    kali_bench::exp_main(kali_bench::exp_schedule_reuse::run);
 }

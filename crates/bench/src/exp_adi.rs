@@ -9,7 +9,7 @@ use kali_solvers::adi::{adi_run, adi_seq_iteration, suggested_rho};
 use kali_solvers::seq::{apply2, Grid2};
 use kali_solvers::Pde;
 
-use crate::{cfg, fmt_s, Table};
+use crate::{cfg, fmt_s, ExpOpts, ExpOut, Table};
 
 fn dist_time(n: usize, px: usize, py: usize, iters: usize, pipelined: bool) -> (f64, f64) {
     let pde = Pde::poisson();
@@ -35,7 +35,8 @@ fn dist_time(n: usize, px: usize, py: usize, iters: usize, pipelined: bool) -> (
     (run.report.elapsed, hist[iters - 1] / hist[0])
 }
 
-pub fn run() -> String {
+pub fn run(opts: ExpOpts) -> ExpOut {
+    let _ = opts;
     let iters = 3;
     let mut out = String::from("=== T3: ADI — plain (Listing 7) vs pipelined (Listing 8) ===\n\n");
     let mut t = Table::new(&["n", "grid", "plain", "pipelined", "pipe speedup"]);
@@ -76,14 +77,14 @@ pub fn run() -> String {
         fmt_s(t44),
         seq.report.elapsed / t44,
     ));
-    out
+    ExpOut::new("adi", out).with_table("adi", t)
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn pipelined_wins_and_adi_converges() {
-        let r = super::run();
+        let r = super::run(crate::ExpOpts::default()).text;
         let l128 = r
             .lines()
             .find(|l| l.trim_start().starts_with("128") && l.contains("2x2"))

@@ -9,9 +9,10 @@ use kali_machine::Machine;
 use kali_runtime::Ctx;
 use kali_solvers::jacobi::jacobi_step;
 
-use crate::{cfg, fmt_s, Table};
+use crate::{cfg, fmt_s, ExpOpts, ExpOut, Table};
 
-pub fn run() -> String {
+pub fn run(opts: ExpOpts) -> ExpOut {
+    let _ = opts;
     let n = 128usize;
     let iters = 10usize;
     let p = 4usize;
@@ -60,19 +61,20 @@ pub fn run() -> String {
             fmt_s(run.report.elapsed),
         ]);
     }
-    format!(
+    let text = format!(
         "=== Claim C3: one-line distribution changes (Jacobi, n = {n}, p = {p}) ===\n\n{}\n\
          The algorithm body is identical in all three runs; only the\n\
          declaration differs — the tuning workflow §2 advertises.\n",
         t.render()
-    )
+    );
+    ExpOut::new("distributions", text).with_table("distributions", t)
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn all_three_layouts_run() {
-        let r = super::run();
+        let r = super::run(crate::ExpOpts::default()).text;
         assert!(r.contains("(block, block)"));
         assert!(r.contains("(block, *)"));
         assert!(r.contains("(*, block)"));

@@ -8,6 +8,8 @@
 use kali_kernels::substructure::{boundary_pair, reduce_block, reduced_pattern};
 use kali_kernels::tridiag::{thomas, TriDiag};
 
+use crate::{ExpOpts, ExpOut};
+
 fn pattern_to_ascii(n: usize, rows: &[(usize, Vec<usize>)], highlight: &[usize]) -> String {
     let mut out = String::new();
     for (r, cols) in rows {
@@ -23,7 +25,8 @@ fn pattern_to_ascii(n: usize, rows: &[(usize, Vec<usize>)], highlight: &[usize])
 }
 
 /// Run the experiment and return the report.
-pub fn run() -> String {
+pub fn run(opts: ExpOpts) -> ExpOut {
+    let _ = opts;
     let n = 16;
     let p = 4;
     let mut out = String::new();
@@ -111,14 +114,14 @@ pub fn run() -> String {
     let four_after: Vec<(usize, Vec<usize>)> =
         reduced_pattern(0, 3, 4).into_iter().enumerate().collect();
     out.push_str(&pattern_to_ascii(4, &four_after, &[0, 3]));
-    out
+    ExpOut::new("fig1_structure", out)
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn report_contains_both_figures() {
-        let r = super::run();
+        let r = super::run(crate::ExpOpts::default()).text;
         assert!(r.contains("Figure 1"));
         assert!(r.contains("Figure 2"));
         assert!(r.contains("2p = 8 equations"));

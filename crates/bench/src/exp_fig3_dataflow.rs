@@ -8,9 +8,10 @@ use kali_kernels::TriDiag;
 use kali_machine::Machine;
 use kali_runtime::Ctx;
 
-use crate::{cfg, Table};
+use crate::{cfg, ExpOpts, ExpOut, Table};
 
-pub fn run() -> String {
+pub fn run(opts: ExpOpts) -> ExpOut {
+    let _ = opts;
     let n = 1024;
     let p = 16;
     let k = 4;
@@ -80,7 +81,7 @@ pub fn run() -> String {
         count("tri:subst:s=0").to_string(),
         p.to_string(),
     ]);
-    format!(
+    let text = format!(
         "=== Figure 3: data-flow activity (n = {n}, p = {p}) ===\n\n{}\n\
          solution max error vs direct solve: {err:.2e}\n\
          virtual time {:.3e} s, {} messages, {} words\n",
@@ -88,14 +89,17 @@ pub fn run() -> String {
         run.report.elapsed,
         run.report.total_msgs,
         run.report.total_words
-    )
+    );
+    ExpOut::new("fig3_dataflow", text)
+        .with_table("activity", t)
+        .with_extra("report", crate::json::report_json(&run.report))
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn activity_matches_figure3() {
-        let r = super::run();
+        let r = super::run(crate::ExpOpts::default()).text;
         // Reduce steps halve the active set: 8, 4, 2, 1 after the local step.
         for (step, active) in [(1usize, 8usize), (2, 4), (3, 2), (4, 1)] {
             let line = r

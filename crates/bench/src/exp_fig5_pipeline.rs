@@ -11,7 +11,7 @@ use kali_kernels::TriDiag;
 use kali_machine::Machine;
 use kali_runtime::Ctx;
 
-use crate::{cfg, fmt_s, Table};
+use crate::{cfg, fmt_s, ExpOpts, ExpOut, Table};
 
 /// The Figure 5 mapping diagram for p processors.
 pub fn mapping_diagram(p: usize) -> String {
@@ -33,7 +33,8 @@ pub fn mapping_diagram(p: usize) -> String {
     out
 }
 
-pub fn run() -> String {
+pub fn run(opts: ExpOpts) -> ExpOut {
+    let _ = opts;
     let p = 8;
     let n = 2048;
     let mut out = format!(
@@ -105,14 +106,14 @@ pub fn run() -> String {
         ]);
     }
     out.push_str(&t.render());
-    out
+    ExpOut::new("fig5_pipeline", out).with_table("pipeline", t)
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn pipelining_wins_for_many_systems() {
-        let r = super::run();
+        let r = super::run(crate::ExpOpts::default()).text;
         let m64 = r
             .lines()
             .find(|l| l.trim_start().starts_with("64"))

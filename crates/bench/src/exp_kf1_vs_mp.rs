@@ -15,9 +15,10 @@ use kali_mp::{jacobi_mp, tri_mp};
 use kali_runtime::Ctx;
 use kali_solvers::jacobi::jacobi_step;
 
-use crate::{cfg, fmt_s, Table};
+use crate::{cfg, fmt_s, ExpOpts, ExpOut, Table};
 
-pub fn run() -> String {
+pub fn run(opts: ExpOpts) -> ExpOut {
+    let _ = opts;
     let mut t = Table::new(&[
         "program",
         "KF1 runtime",
@@ -116,20 +117,21 @@ pub fn run() -> String {
     ]);
     let tri_ratio = kf1.report.elapsed / mp.report.elapsed;
 
-    format!(
+    let text = format!(
         "=== Claim C2: KF1 runtime vs hand-written message passing ===\n\n{}\n\
          Time ratios: jacobi {jacobi_ratio:.3}, tridiagonal {tri_ratio:.3}\n\
          (1.000 = identical; small deviations come from ghost strips carrying\n\
          corner words the hand-coded version omits).\n",
         t.render()
-    )
+    );
+    ExpOut::new("kf1_vs_mp", text).with_table("comparison", t)
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn ratios_are_close_to_one() {
-        let r = super::run();
+        let r = super::run(crate::ExpOpts::default()).text;
         let line = r.lines().find(|l| l.contains("Time ratios")).unwrap();
         let nums: Vec<f64> = line
             .split(|c: char| !c.is_ascii_digit() && c != '.')

@@ -21,7 +21,7 @@ use kali_machine::Machine;
 use kali_runtime::Ctx;
 use kali_solvers::jacobi::jacobi_step;
 
-use crate::{cfg, fmt_s, Table};
+use crate::{cfg, fmt_s, ExpOpts, ExpOut, Table};
 
 fn run_jacobi_listing(w: usize, np: i64, iters: usize, f: &[f64], cache: bool) -> LangRun {
     run_source_with(
@@ -43,12 +43,14 @@ fn run_jacobi_listing(w: usize, np: i64, iters: usize, f: &[f64], cache: bool) -
         ],
         RunOptions {
             schedule_cache: cache,
+            ..RunOptions::default()
         },
     )
     .expect("listing runs")
 }
 
-pub fn run() -> String {
+pub fn run(opts: ExpOpts) -> ExpOut {
+    let _ = opts;
     let np = 16i64;
     let w = (np + 1) as usize;
     let iters = 5usize;
@@ -129,7 +131,7 @@ pub fn run() -> String {
         format!("{native_wall:.2?}"),
     ]);
     let share = lang_off.report.inspector_seconds / lang_on.report.inspector_seconds.max(1e-300);
-    format!(
+    let text = format!(
         "=== Claim C6: the price of the language layer (Jacobi 16², 2x2, {iters} sweeps) ===\n\n{}\n\
          virtual inflation {:.2}x — the request/reply rounds of run-time\n\
          resolution versus statically scheduled ghost exchanges ([17] vs a\n\
@@ -146,7 +148,12 @@ pub fn run() -> String {
         lang_on.report.total_schedule_replays,
         lang_off.report.total_exchange_words,
         lang_on.report.total_exchange_words,
-    )
+    );
+    ExpOut::new("lang_overhead", text)
+        .with_table("overhead", t)
+        .with_extra("uncached", crate::json::report_json(&lang_off.report))
+        .with_extra("cached", crate::json::report_json(&lang_on.report))
+        .with_extra("compiled", crate::json::report_json(&native.report))
 }
 
 #[cfg(test)]
@@ -163,7 +170,7 @@ mod tests {
 
     #[test]
     fn interpreter_overhead_is_bounded() {
-        let r = super::run();
+        let r = super::run(crate::ExpOpts::default()).text;
         let infl = parse_ratio(&r, "virtual inflation");
         assert!(
             infl < 10.0,
@@ -173,7 +180,7 @@ mod tests {
 
     #[test]
     fn executor_reuse_cuts_inspector_share() {
-        let r = super::run();
+        let r = super::run(crate::ExpOpts::default()).text;
         let share = parse_ratio(&r, "inspector share reduced");
         assert!(
             share >= 1.5,

@@ -3,7 +3,7 @@
 //! close to sequential length. Counted on this repository's own
 //! implementations of the same algorithms.
 
-use crate::Table;
+use crate::{ExpOpts, ExpOut, Table};
 
 /// Count non-blank, non-comment lines between `// LOC:BEGIN name` and
 /// `// LOC:END name` markers.
@@ -70,7 +70,8 @@ fn fn_loc(src: &str, name: &str) -> usize {
     n
 }
 
-pub fn run() -> String {
+pub fn run(opts: ExpOpts) -> ExpOut {
+    let _ = opts;
     let mp_jacobi = include_str!("../../mp/src/jacobi_mp.rs");
     let mp_tri = include_str!("../../mp/src/tri_mp.rs");
     let seq_rs = include_str!("../../solvers/src/seq.rs");
@@ -109,21 +110,22 @@ pub fn run() -> String {
         format!("{:.1}x", t_mp as f64 / t_seq as f64),
         format!("{:.1}x", t_kf1 as f64 / t_seq as f64),
     ]);
-    format!(
+    let text = format!(
         "=== Claim C1: lines of code (non-blank, non-comment) ===\n\n{}\n\
          Paper: \"the message passing version is often five to ten times\n\
          longer than the sequential version\"; KF1 stays close to sequential\n\
          (the KF1 tridiagonal routine is long because it contains the whole\n\
          divide-and-conquer algorithm, which Thomas does not).\n",
         t.render()
-    )
+    );
+    ExpOut::new("loc", text).with_table("loc", t)
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn mp_is_many_times_longer_than_sequential() {
-        let r = super::run();
+        let r = super::run(crate::ExpOpts::default()).text;
         let jacobi = r.lines().find(|l| l.contains("Jacobi")).unwrap();
         let ratio: f64 = jacobi
             .split_whitespace()

@@ -16,7 +16,7 @@ use kali_solvers::seq::{apply3, Grid3};
 use kali_solvers::transfer::resid3;
 use kali_solvers::Pde;
 
-use crate::{cfg, fmt_s, Table};
+use crate::{cfg, fmt_s, ExpOpts, ExpOut, Table};
 
 fn one_case(n: usize, p0: usize, p1: usize, cycles: usize) -> (f64, u64, f64) {
     let pde = Pde::poisson();
@@ -58,7 +58,8 @@ fn one_case(n: usize, p0: usize, p1: usize, cycles: usize) -> (f64, u64, f64) {
     )
 }
 
-pub fn run() -> String {
+pub fn run(opts: ExpOpts) -> ExpOut {
+    let _ = opts;
     let n = 16;
     let cycles = 2;
     let mut out = format!(
@@ -85,14 +86,14 @@ pub fn run() -> String {
          changes. With z-semicoarsening, shapes with more processors along z\n\
          idle them on coarse grids — the trade-off §5 discusses.\n",
     );
-    out
+    ExpOut::new("mg3", out).with_table("shapes", t)
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn all_shapes_converge_identically() {
-        let r = super::run();
+        let r = super::run(crate::ExpOpts::default()).text;
         assert!(r.contains("2x2") && r.contains("1x4") && r.contains("4x1"));
         // Each shape must show residual reduction (ratio < 1).
         for line in r.lines().filter(|l| l.contains("e-") && l.contains("x")) {

@@ -9,7 +9,7 @@
 
 use kali_lang::{listing, run_source_with, HostValue, LangRun, RunOptions};
 
-use crate::{cfg, fmt_s, Table};
+use crate::{cfg, fmt_s, ExpOpts, ExpOut, Table};
 
 fn jacobi(np: i64, iters: i64, cache: bool) -> LangRun {
     let w = (np + 1) as usize;
@@ -42,6 +42,7 @@ fn jacobi(np: i64, iters: i64, cache: bool) -> LangRun {
         ],
         RunOptions {
             schedule_cache: cache,
+            ..RunOptions::default()
         },
     )
     .expect("jacobi runs")
@@ -75,6 +76,7 @@ fn adi(np: i64, iters: i64, cache: bool) -> LangRun {
         ],
         RunOptions {
             schedule_cache: cache,
+            ..RunOptions::default()
         },
     )
     .expect("adi runs")
@@ -106,9 +108,9 @@ fn section(t: &mut Table, name: &str, iters: &[i64], mut run: impl FnMut(i64, bo
     }
 }
 
-/// `smoke` shrinks the sweep for CI.
-pub fn run(smoke: bool) -> String {
-    let (np, jac_iters, adi_iters): (i64, &[i64], &[i64]) = if smoke {
+/// `opts.smoke` shrinks the sweep for CI.
+pub fn run(opts: ExpOpts) -> ExpOut {
+    let (np, jac_iters, adi_iters): (i64, &[i64], &[i64]) = if opts.smoke {
         (8, &[2, 4], &[2])
     } else {
         (16, &[1, 2, 4, 8, 16], &[1, 2, 4])
@@ -126,7 +128,7 @@ pub fn run(smoke: bool) -> String {
         jacobi(np, it, cache)
     });
     section(&mut t, "adi", adi_iters, |it, cache| adi(np, it, cache));
-    format!(
+    let text = format!(
         "=== Executor reuse: schedule-cache scaling (np = {np}, 2x2 procs) ===\n\n{}\n\
          The inspector-share column is uncached/cached virtual seconds spent\n\
          in schedule discovery (inspect pass + request round): with reuse it\n\
@@ -134,7 +136,8 @@ pub fn run(smoke: bool) -> String {
          grows with the trip count while the value-exchange traffic stays\n\
          bit-identical.\n",
         t.render()
-    )
+    );
+    ExpOut::new("schedule_reuse", text).with_table("scaling", t)
 }
 
 #[cfg(test)]
@@ -143,7 +146,11 @@ mod tests {
     fn reuse_never_slows_the_looped_listings() {
         // Smoke-sized sweep; the assert_eq inside section() also checks
         // traffic parity.
-        let r = super::run(true);
+        let r = super::run(crate::ExpOpts {
+            smoke: true,
+            ..Default::default()
+        })
+        .text;
         assert!(r.contains("jacobi"));
         assert!(r.contains("adi"));
     }

@@ -11,7 +11,7 @@ use kali_machine::{CostModel, Machine, MachineConfig};
 use kali_runtime::Ctx;
 use std::time::Duration;
 
-use crate::{cfg, fmt_s, Table};
+use crate::{cfg, fmt_s, ExpOpts, ExpOut, Table};
 
 fn solve_time(n: usize, p: usize, cost: Option<CostModel>) -> f64 {
     let sys = TriDiag::random_dd(n, 5);
@@ -47,7 +47,8 @@ fn solve_time(n: usize, p: usize, cost: Option<CostModel>) -> f64 {
     run.report.elapsed
 }
 
-pub fn run() -> String {
+pub fn run(opts: ExpOpts) -> ExpOut {
+    let _ = opts;
     let mut out = String::from("=== T1: substructured tridiagonal solver scaling ===\n\n");
     let mut t = Table::new(&["n", "p=1 (Thomas)", "p=4", "p=16", "p=64", "speedup@64"]);
     for n in [1usize << 10, 1 << 14, 1 << 18] {
@@ -70,6 +71,7 @@ pub fn run() -> String {
         "\nCommunication-cost sweep (n = 4096, p = 16): the parallel solver\n\
          wins only while message start-up stays cheap relative to flops.\n\n",
     );
+    let t_scale = t;
     let mut t = Table::new(&["comm cost scale", "p=1", "p=16", "parallel wins"]);
     for scale in [0.1, 1.0, 10.0, 100.0] {
         let c = CostModel::ipsc2().scale_comm(scale);
@@ -83,14 +85,16 @@ pub fn run() -> String {
         ]);
     }
     out.push_str(&t.render());
-    out
+    ExpOut::new("tridiag_scaling", out)
+        .with_table("scaling", t_scale)
+        .with_table("crossover", t)
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn large_systems_scale_and_crossover_exists() {
-        let r = super::run();
+        let r = super::run(crate::ExpOpts::default()).text;
         // Largest n must show real speedup at p = 64.
         let big = r.lines().find(|l| l.starts_with("262144")).unwrap();
         let speedup: f64 = big

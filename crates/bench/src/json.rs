@@ -1,0 +1,178 @@
+//! A minimal hand-rolled JSON writer — no dependencies, no parsing.
+//!
+//! The experiment binaries emit machine-readable results (`--json`) so CI
+//! can track the performance trajectory across PRs; this module is the
+//! whole serialization layer. Numbers that are not finite render as
+//! `null` (JSON has no NaN/Inf).
+
+use kali_machine::RunReport;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object builder from key/value pairs.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// String convenience.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Render to a compact JSON document.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                if !v.is_finite() {
+                    out.push_str("null");
+                } else if *v == v.trunc() && v.abs() < 9.0e15 {
+                    out.push_str(&format!("{}", *v as i64));
+                } else {
+                    out.push_str(&format!("{v}"));
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+/// Serialize the aggregate counters of a [`RunReport`] (the per-processor
+/// table is omitted — experiments track fleet-level trends).
+pub fn report_json(r: &RunReport) -> Json {
+    Json::obj(vec![
+        ("elapsed_s", Json::Num(r.elapsed)),
+        ("nprocs", Json::from(r.nprocs())),
+        ("total_msgs", Json::from(r.total_msgs)),
+        ("total_words", Json::from(r.total_words)),
+        ("total_flops", Json::Num(r.total_flops)),
+        ("utilization", Json::Num(r.utilization())),
+        ("inspector_runs", Json::from(r.total_inspector_runs)),
+        ("schedule_replays", Json::from(r.total_schedule_replays)),
+        ("inspector_seconds", Json::Num(r.inspector_seconds)),
+        ("exchange_words", Json::from(r.total_exchange_words)),
+        (
+            "overlap_hidden_seconds",
+            Json::Num(r.overlap_hidden_seconds),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_and_escapes() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Num(3.0).render(), "3");
+        assert_eq!(Json::Num(0.5).render(), "0.5");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::str("a\"b\n").render(), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn renders_containers() {
+        let j = Json::obj(vec![
+            ("xs", Json::Arr(vec![Json::Num(1.0), Json::Num(2.5)])),
+            ("name", Json::str("t")),
+        ]);
+        assert_eq!(j.render(), r#"{"xs":[1,2.5],"name":"t"}"#);
+    }
+
+    #[test]
+    fn report_json_carries_overlap_counters() {
+        use kali_machine::{CostModel, Machine, MachineConfig};
+        let run = Machine::run(MachineConfig::new(1).with_cost(CostModel::unit()), |proc| {
+            proc.compute(1000.0)
+        });
+        let s = report_json(&run.report).render();
+        assert!(s.contains("\"elapsed_s\":1"));
+        assert!(s.contains("\"overlap_hidden_seconds\":0"));
+    }
+}

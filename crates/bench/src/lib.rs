@@ -1,7 +1,10 @@
 //! # kali-bench — experiment regenerators
 //!
-//! One module per paper artifact (figure or claim); each returns a plain
-//! text report and is wrapped by a binary of the same name plus the
+//! One module per paper artifact (figure or claim); each takes the
+//! uniform [`ExpOpts`] (`--smoke` shrinks sweeps for CI, `--json` selects
+//! machine-readable output) and returns an [`ExpOut`] carrying both the
+//! plain-text report and its tables for serialization. Every module is
+//! wrapped by a binary of the same name via [`exp_main`], plus the
 //! aggregate `exp_all`. See DESIGN.md §4 for the experiment index and
 //! EXPERIMENTS.md for recorded paper-vs-measured outcomes.
 
@@ -18,8 +21,98 @@ pub mod exp_kf1_vs_mp;
 pub mod exp_lang_overhead;
 pub mod exp_loc;
 pub mod exp_mg3;
+pub mod exp_overlap;
 pub mod exp_schedule_reuse;
 pub mod exp_tridiag_scaling;
+pub mod json;
+
+use json::Json;
+
+/// Uniform experiment options, parsed once from the command line by
+/// [`exp_main`] and threaded to every module.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExpOpts {
+    /// Shrink sweeps to CI-smoke size.
+    pub smoke: bool,
+    /// Emit the machine-readable JSON document instead of the text report.
+    pub json: bool,
+}
+
+impl ExpOpts {
+    /// Parse `--smoke` / `--json` from `std::env::args` (unknown flags are
+    /// rejected so typos do not silently run the full sweep).
+    pub fn from_args() -> ExpOpts {
+        let mut opts = ExpOpts::default();
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--smoke" => opts.smoke = true,
+                "--json" => opts.json = true,
+                other => {
+                    eprintln!("unknown flag {other}; expected --smoke and/or --json");
+                    std::process::exit(2);
+                }
+            }
+        }
+        opts
+    }
+}
+
+/// What one experiment produced: the human-readable report plus its
+/// tables and any extra machine-readable values, for `--json` output.
+pub struct ExpOut {
+    pub name: &'static str,
+    pub text: String,
+    pub tables: Vec<(String, Table)>,
+    pub extra: Vec<(String, Json)>,
+}
+
+impl ExpOut {
+    pub fn new(name: &'static str, text: String) -> ExpOut {
+        ExpOut {
+            name,
+            text,
+            tables: Vec::new(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// Attach a rendered table under `key` for JSON output.
+    pub fn with_table(mut self, key: &str, table: Table) -> ExpOut {
+        self.tables.push((key.to_string(), table));
+        self
+    }
+
+    /// Attach an extra machine-readable value under `key`.
+    pub fn with_extra(mut self, key: &str, value: Json) -> ExpOut {
+        self.extra.push((key.to_string(), value));
+        self
+    }
+
+    /// The machine-readable document: experiment name, every table as an
+    /// array of header-keyed row objects, and the extra values.
+    pub fn json(&self) -> Json {
+        let mut fields = vec![("experiment".to_string(), Json::str(self.name))];
+        for (k, t) in &self.tables {
+            fields.push((k.clone(), t.json_rows()));
+        }
+        for (k, v) in &self.extra {
+            fields.push((k.clone(), v.clone()));
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// Shared `main` for the experiment binaries: parse [`ExpOpts`], run the
+/// experiment, print text or JSON.
+pub fn exp_main(f: impl FnOnce(ExpOpts) -> ExpOut) {
+    let opts = ExpOpts::from_args();
+    let out = f(opts);
+    if opts.json {
+        println!("{}", out.json().render());
+    } else {
+        println!("{}", out.text);
+    }
+}
 
 /// Standard machine for experiments: iPSC/2-era costs, generous watchdog.
 pub fn cfg(p: usize) -> MachineConfig {
@@ -40,6 +133,7 @@ pub fn fmt_s(t: f64) -> String {
 }
 
 /// A minimal fixed-width table builder for experiment output.
+#[derive(Debug, Clone)]
 pub struct Table {
     header: Vec<String>,
     rows: Vec<Vec<String>>,
@@ -83,6 +177,26 @@ impl Table {
             line(&mut out, r);
         }
         out
+    }
+
+    /// The table as a JSON array of header-keyed row objects (cells stay
+    /// preformatted strings; experiments attach raw numbers via
+    /// [`ExpOut::with_extra`] when precision matters).
+    pub fn json_rows(&self) -> Json {
+        Json::Arr(
+            self.rows
+                .iter()
+                .map(|r| {
+                    Json::Obj(
+                        self.header
+                            .iter()
+                            .zip(r)
+                            .map(|(h, c)| (h.clone(), Json::str(c.clone())))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
     }
 }
 

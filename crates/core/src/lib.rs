@@ -16,7 +16,7 @@
 //! |---|---|---|
 //! | machine | [`machine`] | deterministic virtual-time distributed-machine simulator |
 //! | placement | [`grid`] | processor arrays, slices, block/cyclic distributions |
-//! | data | [`array`] | SPMD distributed arrays, ghost exchange, redistribution |
+//! | data | [`mod@array`] | SPMD distributed arrays, ghost exchange, redistribution |
 //! | execution | [`runtime`] | doall/owner-computes, teams, copy-in/copy-out |
 //! | kernels | [`kernels`] | Thomas, substructured & pipelined tridiagonal, FFT, splines |
 //! | applications | [`solvers`] | Jacobi, ADI (plain/pipelined), mg2/mg3 |
@@ -57,9 +57,10 @@ pub mod prelude {
     pub use kali_array::{DistArray1, DistArray2, DistArray3, DistArrayN};
     pub use kali_grid::{DimDist, DimMap, Dist1, DistSpec, ProcGrid};
     pub use kali_machine::{
-        collective, CostModel, Machine, MachineConfig, Proc, RunReport, Team, Topology,
+        collective, tag, CostModel, Machine, MachineConfig, PendingRecv, PendingSend, Proc,
+        RunReport, Tag, Team, Topology, NS_USER,
     };
-    pub use kali_runtime::{global_max_abs, global_norm2, jacobi_update, Ctx};
+    pub use kali_runtime::{global_max_abs, global_norm2, jacobi_update, jacobi_update_split, Ctx};
     pub use kali_solvers::Pde;
 }
 

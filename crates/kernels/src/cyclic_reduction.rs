@@ -1,5 +1,5 @@
 //! Cyclic (odd-even) reduction — the classical alternative parallel
-//! tridiagonal algorithm (reference [8] of the paper), implemented
+//! tridiagonal algorithm (reference \[8\] of the paper), implemented
 //! sequentially as an algorithmic baseline for the experiments.
 
 use crate::tridiag::thomas;

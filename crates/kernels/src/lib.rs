@@ -10,13 +10,13 @@
 //! * [`substructure`] — the block elimination of Figures 1 and 2 (interior
 //!   elimination with fill-in confined to the block's end columns) and the
 //!   Figure 4 interior back-substitution;
-//! * [`tri_dist`] — Listing 4: the substructured ("spike"-variant)
+//! * [`tri_dist()`](tri_dist::tri_dist) — Listing 4: the substructured ("spike"-variant)
 //!   divide-and-conquer solver on a 1-D processor array, using the
 //!   shuffle/unshuffle level mapping of Listing 5 / Figure 5;
-//! * [`mtrix`] — Listing 6: the pipelined multi-system solver that keeps
+//! * [`mtrix()`](mtrix::mtrix) — Listing 6: the pipelined multi-system solver that keeps
 //!   all level sets of Figure 3's data-flow graph busy simultaneously;
 //! * [`cyclic_reduction`] — the classical alternative parallel tridiagonal
-//!   algorithm, as a sequential baseline (reference [8] of the paper);
+//!   algorithm, as a sequential baseline (reference \[8\] of the paper);
 //! * [`fft`] — radix-2 FFT, sequential and distributed (binary exchange);
 //! * [`spline`] — natural cubic spline fitting built on the tridiagonal
 //!   kernels.

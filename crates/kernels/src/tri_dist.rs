@@ -5,7 +5,7 @@
 //! processor reduces its block to a boundary pair (Figure 1), pairs are
 //! mailed up a binary tree whose level `s` lives on team indices
 //! `[2^(k−s)−1, 2^(k−s+1)−1)` (the unshuffle mapping — level sets are
-//! *disjoint*, which is what lets the pipelined variant in [`crate::mtrix`]
+//! *disjoint*, which is what lets the pipelined variant in [`crate::mtrix()`](crate::mtrix::mtrix)
 //! keep every level busy at once), each active processor reduces four rows
 //! to two (Figure 2), and after `k = log₂ p` steps a final four-row system
 //! is solved by the sequential Thomas algorithm. Substitution then walks

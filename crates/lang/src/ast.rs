@@ -53,6 +53,9 @@ pub struct DeclItem {
 pub enum DistDim {
     Block,
     Cyclic,
+    /// `cyclic(k)` — round robin of fixed-size blocks of `k` indices (the
+    /// paper's block-cyclic pattern).
+    BlockCyclic(usize),
     Star,
 }
 

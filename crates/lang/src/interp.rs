@@ -7,25 +7,54 @@
 //! * a `doall` is executed owner-computes: each processor runs exactly the
 //!   iterations its `on` clause assigns to it, with **copy-in/copy-out**
 //!   semantics (writes are buffered and committed after the loop);
-//! * communication is *implicit*: a `doall` runs in three phases —
-//!   **inspect-or-replay**, **exchange**, **execute**. The inspector pass
-//!   discovers which remote elements the local iterations read and turns
-//!   them into a [`CommSchedule`] (per-array request vectors in both
-//!   directions); the exchange phase replays the schedule's all-to-all
-//!   value round to bring remote elements in; the executor then runs the
-//!   iterations against freshened storage — the runtime-resolution scheme
-//!   of the Kali project that the paper cites as [11]/[17];
+//! * communication is *implicit*: a `doall` runs as a four-phase engine —
+//!   **inspect-or-replay**, **post**, **interior**, **complete-boundary**.
+//!   A cold invocation runs the inspector pass, which discovers which
+//!   remote elements the local iterations read, turns them into a
+//!   `CommSchedule` (per-array request vectors in both directions, plus
+//!   the interior/boundary partition of the iteration set), and then
+//!   exchanges and executes synchronously — the runtime-resolution scheme
+//!   of the Kali project that the paper cites as \[11\]/\[17\];
 //! * **executor reuse**: schedules are cached across invocations. When a
 //!   `doall` sits inside a sequential `do` loop and nothing that could
 //!   steer the inspector has changed — same site, processor array,
 //!   iteration set, free scalars, and the identity + distribution
 //!   generation of every array the body touches — the inspector pass *and*
-//!   the request round are skipped and the cached schedule is replayed,
-//!   charging only the exchange + executor cost to the virtual clock. The
-//!   replay decision is collective (a one-word agreement reduction), so
-//!   the request/reply protocol stays SPMD-consistent, and a `distribute`
-//!   statement bumps the arrays' distribution generation, which makes any
-//!   stale schedule miss rather than replay;
+//!   the request round are skipped and the cached schedule is replayed.
+//!   The replay decision is collective (a one-word agreement reduction),
+//!   so the request/reply protocol stays SPMD-consistent, and a
+//!   `distribute` statement bumps the arrays' distribution generation,
+//!   which makes any stale schedule miss rather than replay;
+//! * **split-phase replay**: a replayed exchange is issued nonblocking.
+//!   The engine *posts* the fused per-peer value messages
+//!   ([`Proc::isend`]/[`Proc::irecv`]), executes the *interior* iterations
+//!   (those the inspector proved read no remote element) while the
+//!   messages are in transit, then *completes* the receives — idle is
+//!   charged only for the transit the interior work did not cover — and
+//!   finally executes the *boundary* iterations against freshened storage.
+//!   Buffered writes are committed in original iteration order, so the
+//!   reordering is invisible. On a latency-bound machine this hides most
+//!   of the message start-up cost behind owned-interior computation; the
+//!   hidden seconds are reported as
+//!   [`kali_machine::RunReport::overlap_hidden_seconds`].
+//!
+//! The phase marks (`doall:inspect`, `doall:post`, `doall:interior`,
+//! `doall:complete`, `doall:boundary`) let
+//! [`kali_machine::RunReport::merged_marks`] reconstruct the engine's
+//! activity. One warm Jacobi trip on a 2×2 machine (16², iPSC/2 costs)
+//! reconstructs as:
+//!
+//! ```text
+//! virtual time ──────────────────────────────────────────────────▶
+//! proc 0  |vote|post|■■■■ interior ■■■■|∙wait∙|■ boundary ■|commit|
+//! proc 1  |vote|post|■■■■ interior ■■■■|∙wait∙|■ boundary ■|commit|
+//! proc 2  |vote|post|■■■■ interior ■■■■|∙wait∙|■ boundary ■|commit|
+//! proc 3  |vote|post|■■■■ interior ■■■■|∙wait∙|■ boundary ■|commit|
+//!               └── value messages in flight ──┘
+//! ```
+//!
+//! whereas the blocking replay would sit idle for the full transit
+//! between `post` and the first executed iteration;
 //! * distributed procedure calls (`call sub(args; procslice)`) narrow the
 //!   current processor array to the slice and run the callee SPMD on it.
 
@@ -35,7 +64,7 @@ use std::rc::Rc;
 use kali_grid::ProcGrid;
 use kali_kernels::substructure::{reduce_block, reduce_flops};
 use kali_kernels::tridiag::{thomas, thomas_flops};
-use kali_machine::{collective, Proc, Team};
+use kali_machine::{collective, tag, PendingRecv, Proc, Tag, Team, NS_LANG};
 
 use crate::ast::*;
 use crate::value::*;
@@ -52,10 +81,15 @@ enum Flow {
 struct InspectState {
     /// Per distinct base array: remote flat indices needed by my iterations.
     needs: Vec<(ArrRef, Vec<usize>)>,
+    /// Did the iteration currently being inspected read any remote
+    /// element? Reset per iteration; drives the interior/boundary
+    /// partition of the split-phase executor.
+    iter_touched_remote: bool,
 }
 
 impl InspectState {
     fn record(&mut self, arr: &ArrRef, flat: usize) {
+        self.iter_touched_remote = true;
         for (a, v) in &mut self.needs {
             if Rc::ptr_eq(a, arr) {
                 if !v.contains(&flat) {
@@ -83,6 +117,12 @@ const INTRINSICS: &[&str] = &[
 /// this (a backstop — sites normally cycle through a handful of keys).
 const MAX_SCHEDULES_PER_SITE: usize = 128;
 
+/// Tag of the split-phase fused value message (one per communicating peer
+/// pair per replayed doall). A single tag suffices: matching is by
+/// `(source, tag)` in FIFO order and the engine is SPMD-synchronous, so
+/// successive invocations can never mis-pair messages.
+const SPLIT_VALUE_TAG: Tag = tag(NS_LANG, 0x0051_1137);
+
 /// The inspector's distilled output for one doall invocation: for each
 /// distributed array the body reads, the flat indices this processor must
 /// request from each team member and the flat indices each member will
@@ -93,6 +133,11 @@ struct CommSchedule {
     /// Buffered-write count observed when the schedule was built; pre-sizes
     /// the executor's copy-out buffer on replay.
     write_hint: usize,
+    /// Positions (into the invocation's `my_iters`, ascending) of the
+    /// *boundary* iterations — those that read at least one remote element
+    /// during inspection. Everything else is *interior* and can execute
+    /// while the replayed exchange is still in flight.
+    boundary: Vec<usize>,
 }
 
 struct ArraySchedule {
@@ -230,6 +275,9 @@ pub struct Interp<'a, 'p> {
     iter_start: usize,
     /// Is executor reuse (the schedule cache) enabled?
     cache_enabled: bool,
+    /// Replay cached schedules split-phase (post / interior /
+    /// complete-boundary) instead of with a blocking fused exchange?
+    split_phase: bool,
     /// Cached communication schedules. Shared across frames: the key
     /// carries every frame-dependent input (bindings, views, generations),
     /// so a hit is valid regardless of which call produced the entry.
@@ -246,6 +294,7 @@ impl<'a, 'p> Interp<'a, 'p> {
             doall_depth: 0,
             iter_start: 0,
             cache_enabled: true,
+            split_phase: true,
             schedules: Vec::new(),
         }
     }
@@ -254,6 +303,13 @@ impl<'a, 'p> Interp<'a, 'p> {
     /// re-runs the full inspector — the differential-testing baseline.
     pub fn set_schedule_cache(&mut self, on: bool) {
         self.cache_enabled = on;
+    }
+
+    /// Enable or disable split-phase replay. Disabled, replayed exchanges
+    /// run as one blocking fused value round before any iteration executes
+    /// — the latency-hiding differential baseline.
+    pub fn set_split_phase(&mut self, on: bool) {
+        self.split_phase = on;
     }
 
     fn me(&self) -> usize {
@@ -696,8 +752,14 @@ impl<'a, 'p> Interp<'a, 'p> {
                     let (cached_seq, sched) = local.expect("agreed ordinal implies a local hit");
                     debug_assert_eq!(cached_seq, seq);
                     self.proc.note_schedule_replay();
-                    self.exchange_replay(&team, &sched)?;
-                    self.run_executor(vars, my_iters, body, sched.write_hint)?;
+                    if self.split_phase {
+                        self.replay_split_phase(&team, &sched, vars, my_iters, body)?;
+                    } else {
+                        self.proc.mark("doall:exchange");
+                        self.exchange_replay(&team, &sched)?;
+                        self.proc.mark("doall:execute");
+                        self.run_executor(vars, my_iters, body, sched.write_hint)?;
+                    }
                     return Ok(());
                 }
             }
@@ -717,14 +779,26 @@ impl<'a, 'p> Interp<'a, 'p> {
         body: &[Stmt],
         key: Option<ScheduleKey>,
     ) -> RtResult<()> {
-        // ---- Inspector: discover remote reads.
+        // ---- Inspector: discover remote reads, and classify each
+        // iteration as interior (all reads local) or boundary (≥ 1 remote
+        // read) for later split-phase replays.
         self.proc.note_inspector_run();
+        self.proc.mark("doall:inspect");
         self.mode = Mode::Inspect(InspectState::default());
-        for it in my_iters {
+        let mut boundary = Vec::new();
+        for (pos, it) in my_iters.iter().enumerate() {
+            if let Mode::Inspect(st) = &mut self.mode {
+                st.iter_touched_remote = false;
+            }
             self.push_iter_scope(vars, it);
             let r = self.exec_stmts(body);
             self.pop_iter_scope();
             r?;
+            if let Mode::Inspect(st) = &self.mode {
+                if st.iter_touched_remote {
+                    boundary.push(pos);
+                }
+            }
         }
         let needs = match std::mem::replace(&mut self.mode, Mode::Normal) {
             Mode::Inspect(st) => st.needs,
@@ -733,6 +807,7 @@ impl<'a, 'p> Interp<'a, 'p> {
 
         // ---- Schedule construction + exchange: one request round and one
         // value round per distributed array the body reads (static order).
+        self.proc.mark("doall:exchange");
         let read_names = collect_read_names(body);
         let mut arrays: Vec<ArraySchedule> = Vec::new();
         let mut exchanged: Vec<ArrRef> = Vec::new();
@@ -790,14 +865,22 @@ impl<'a, 'p> Interp<'a, 'p> {
         }
 
         // ---- Executor.
+        self.proc.mark("doall:execute");
         let write_hint = self.run_executor(vars, my_iters, body, 0)?;
         if let Some(key) = key {
-            self.store_schedule(key, CommSchedule { arrays, write_hint });
+            self.store_schedule(
+                key,
+                CommSchedule {
+                    arrays,
+                    write_hint,
+                    boundary,
+                },
+            );
         }
         Ok(())
     }
 
-    /// Executor phase: run the iterations with buffered writes
+    /// Executor phase: run all the iterations with buffered writes
     /// (copy-in/copy-out); returns the buffered-write count.
     fn run_executor(
         &mut self,
@@ -806,26 +889,189 @@ impl<'a, 'p> Interp<'a, 'p> {
         body: &[Stmt],
         write_hint: usize,
     ) -> RtResult<usize> {
-        self.mode = Mode::Execute(Vec::with_capacity(write_hint));
-        for it in my_iters {
-            if let Mode::Execute(buf) = &self.mode {
-                self.iter_start = buf.len();
-            }
-            self.push_iter_scope(vars, it);
-            let r = self.exec_stmts(body);
-            self.pop_iter_scope();
-            r?;
-        }
-        let writes = match std::mem::replace(&mut self.mode, Mode::Normal) {
-            Mode::Execute(w) => w,
-            _ => unreachable!(),
-        };
+        let all: Vec<usize> = (0..my_iters.len()).collect();
+        let (writes, _) = self.exec_iterations(vars, my_iters, &all, body, write_hint)?;
         let n = writes.len();
         self.proc.memop(n as f64);
         for (arr, flat, v) in writes {
             arr.borrow_mut().data[flat] = v;
         }
         Ok(n)
+    }
+
+    /// Run the iterations at `positions` (indices into `my_iters`) under
+    /// Execute mode with a fresh write buffer. Returns the buffered writes
+    /// and per-iteration end offsets into them (aligned with `positions`),
+    /// so a caller that executes iterations out of order can still commit
+    /// writes in original iteration order.
+    #[allow(clippy::type_complexity)]
+    fn exec_iterations(
+        &mut self,
+        vars: &[String],
+        my_iters: &[Vec<i64>],
+        positions: &[usize],
+        body: &[Stmt],
+        capacity: usize,
+    ) -> RtResult<(Vec<(ArrRef, usize, f64)>, Vec<usize>)> {
+        self.mode = Mode::Execute(Vec::with_capacity(capacity));
+        let mut seg_ends = Vec::with_capacity(positions.len());
+        for &pos in positions {
+            if let Mode::Execute(buf) = &self.mode {
+                self.iter_start = buf.len();
+            }
+            self.push_iter_scope(vars, &my_iters[pos]);
+            let r = self.exec_stmts(body);
+            self.pop_iter_scope();
+            r?;
+            if let Mode::Execute(buf) = &self.mode {
+                seg_ends.push(buf.len());
+            }
+        }
+        let writes = match std::mem::replace(&mut self.mode, Mode::Normal) {
+            Mode::Execute(w) => w,
+            _ => unreachable!(),
+        };
+        Ok((writes, seg_ends))
+    }
+
+    /// Split-phase replay of a cached schedule — the latency-hiding
+    /// four-phase engine:
+    ///
+    /// 1. **post**: serve every peer's cached requests from local storage
+    ///    and issue the fused per-peer value messages as nonblocking sends;
+    ///    post the matching nonblocking receives. Peers with no traffic in
+    ///    a direction exchange no message at all (both sides hold the
+    ///    schedule, so they agree).
+    /// 2. **interior**: execute the iterations that read no remote element
+    ///    while the value messages are in transit.
+    /// 3. **complete**: wait for the posted receives and scatter the
+    ///    remote values into place — only now is idle charged, and only
+    ///    for the transit the interior work did not cover.
+    /// 4. **boundary**: execute the remote-reading iterations against the
+    ///    freshened storage, then commit all buffered writes in original
+    ///    iteration order (copy-out).
+    fn replay_split_phase(
+        &mut self,
+        team: &Team,
+        sched: &CommSchedule,
+        vars: &[String],
+        my_iters: &[Vec<i64>],
+        body: &[Stmt],
+    ) -> RtResult<()> {
+        let bases = self.resolve_schedule_bases(sched)?;
+        let q = team.len();
+        let me = team
+            .index_of(self.me())
+            .expect("replaying processor is a team member");
+
+        // ---- Phase 1: post.
+        self.proc.mark("doall:post");
+        let mut replies: Vec<Vec<f64>> = vec![Vec::new(); q];
+        let mut served = 0usize;
+        for (a, base) in sched.arrays.iter().zip(&bases) {
+            let b = base.borrow();
+            for (d, idxs) in a.incoming.iter().enumerate() {
+                replies[d].extend(idxs.iter().map(|&i| b.data[i as usize]));
+                served += idxs.len();
+            }
+        }
+        self.proc.memop(served as f64);
+        for (d, payload) in replies.into_iter().enumerate() {
+            if d != me && !payload.is_empty() {
+                let _ = self.proc.isend(team.rank(d), SPLIT_VALUE_TAG, payload);
+            }
+        }
+        let expect_from: Vec<usize> = (0..q)
+            .filter(|&d| d != me && sched.arrays.iter().any(|a| !a.my_reqs[d].is_empty()))
+            .collect();
+        let pending: Vec<(usize, PendingRecv<Vec<f64>>)> = expect_from
+            .iter()
+            .map(|&d| (d, self.proc.irecv(team.rank(d), SPLIT_VALUE_TAG)))
+            .collect();
+
+        // ---- Phase 2: interior.
+        self.proc.mark("doall:interior");
+        let mut bi = 0usize;
+        let mut interior = Vec::with_capacity(my_iters.len() - sched.boundary.len());
+        for pos in 0..my_iters.len() {
+            if bi < sched.boundary.len() && sched.boundary[bi] == pos {
+                bi += 1;
+            } else {
+                interior.push(pos);
+            }
+        }
+        let (int_writes, int_segs) =
+            self.exec_iterations(vars, my_iters, &interior, body, sched.write_hint)?;
+
+        // ---- Phase 3: complete.
+        self.proc.mark("doall:complete");
+        let mut values: Vec<Vec<f64>> = vec![Vec::new(); q];
+        for (d, p) in pending {
+            values[d] = self.proc.wait(p);
+        }
+        let mut recvd = 0usize;
+        let mut cursor = vec![0usize; q];
+        for (a, base) in sched.arrays.iter().zip(&bases) {
+            let mut b = base.borrow_mut();
+            for (d, idxs) in a.my_reqs.iter().enumerate() {
+                for &flat in idxs {
+                    b.data[flat as usize] = values[d][cursor[d]];
+                    cursor[d] += 1;
+                }
+                recvd += idxs.len();
+            }
+        }
+        self.proc.note_exchange_words(recvd as u64);
+
+        // ---- Phase 4: boundary, then copy-out.
+        self.proc.mark("doall:boundary");
+        let (bnd_writes, bnd_segs) =
+            self.exec_iterations(vars, my_iters, &sched.boundary, body, 0)?;
+
+        // Commit in *original* iteration order: if two iterations write
+        // the same element, the last iteration must win exactly as in the
+        // synchronous executor.
+        let total = int_writes.len() + bnd_writes.len();
+        self.proc.memop(total as f64);
+        let mut int_iter = int_writes.into_iter();
+        let mut bnd_iter = bnd_writes.into_iter();
+        let (mut i_seg, mut i_off) = (0usize, 0usize);
+        let (mut b_seg, mut b_off) = (0usize, 0usize);
+        let mut bi = 0usize;
+        for pos in 0..my_iters.len() {
+            let take = if bi < sched.boundary.len() && sched.boundary[bi] == pos {
+                bi += 1;
+                let n = bnd_segs[b_seg] - b_off;
+                b_off = bnd_segs[b_seg];
+                b_seg += 1;
+                bnd_iter.by_ref().take(n)
+            } else {
+                let n = int_segs[i_seg] - i_off;
+                i_off = int_segs[i_seg];
+                i_seg += 1;
+                int_iter.by_ref().take(n)
+            };
+            for (arr, flat, v) in take {
+                arr.borrow_mut().data[flat] = v;
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolve each schedule entry against the *current* frame: the cache
+    /// key match guarantees a structurally identical array under the name.
+    fn resolve_schedule_bases(&self, sched: &CommSchedule) -> RtResult<Vec<ArrRef>> {
+        sched
+            .arrays
+            .iter()
+            .map(|a| match self.frame().lookup(&a.name) {
+                Some(Binding::Array(v)) => Ok(v.base.clone()),
+                _ => Err(format!(
+                    "schedule replay: {} is no longer bound to an array",
+                    a.name
+                )),
+            })
+            .collect()
     }
 
     /// Compute the request vectors for `my_needs` (flat indices of remote
@@ -1039,19 +1285,7 @@ impl<'a, 'p> Interp<'a, 'p> {
     /// (the request round is skipped entirely — both sides already hold
     /// the schedule).
     fn exchange_replay(&mut self, team: &Team, sched: &CommSchedule) -> RtResult<()> {
-        // Resolve each schedule entry against the *current* frame: the key
-        // match guarantees a structurally identical array under this name.
-        let bases: Vec<ArrRef> = sched
-            .arrays
-            .iter()
-            .map(|a| match self.frame().lookup(&a.name) {
-                Some(Binding::Array(v)) => Ok(v.base.clone()),
-                _ => Err(format!(
-                    "schedule replay: {} is no longer bound to an array",
-                    a.name
-                )),
-            })
-            .collect::<RtResult<_>>()?;
+        let bases = self.resolve_schedule_bases(sched)?;
         let q = team.len();
         let mut replies: Vec<Vec<f64>> = vec![Vec::new(); q];
         let mut served = 0usize;

@@ -76,12 +76,19 @@ pub struct RunOptions {
     /// reuse). On by default; disable to force a fresh inspector pass on
     /// every invocation — the differential-testing baseline.
     pub schedule_cache: bool,
+    /// Replay cached schedules split-phase: post the fused value exchange
+    /// nonblocking, execute the interior iterations while messages are in
+    /// flight, then complete the boundary. On by default; disable for the
+    /// blocking-exchange baseline. Only effective with `schedule_cache`
+    /// (cold inspector invocations always run synchronously).
+    pub split_phase: bool,
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
         RunOptions {
             schedule_cache: true,
+            split_phase: true,
         }
     }
 }
@@ -177,6 +184,7 @@ pub fn run_source_with(
         let rank = proc.rank();
         let mut interp = Interp::new(proc, &prog);
         interp.set_schedule_cache(opts.schedule_cache);
+        interp.set_split_phase(opts.split_phase);
         interp
             .call_sub(sub, bindings, grid)
             .unwrap_or_else(|e| panic!("KF1 runtime error on processor {rank}: {e}"));
@@ -587,6 +595,7 @@ end
             &args,
             RunOptions {
                 schedule_cache: false,
+                ..RunOptions::default()
             },
         )
         .unwrap();
@@ -645,6 +654,149 @@ end
     // The pinned-message test for the exchange phase's unbound-name hard
     // error lives in tests/integration_schedule_cache.rs, which covers
     // both cache modes.
+
+    #[test]
+    fn block_cyclic_ownership_round_trips_through_exchange() {
+        // dist (cyclic(2)) writes owner-computes round-robin blocks; the
+        // distribute to cyclic(3) moves data to the new owners; the second
+        // doall reads a neighbour across the new block-cyclic boundaries.
+        let src = r#"
+parsub bc(a, n; procs)
+  processors procs(p)
+  real a(n) dist (cyclic(2))
+  doall 100 i = 1, n on owner(a(i))
+    a(i) = a(i) + 10.0*i
+100 continue
+  distribute a (cyclic(3))
+  doall 200 i = 1, n - 1 on owner(a(i))
+    a(i) = a(i) + a(i + 1)
+200 continue
+end
+"#;
+        let n = 8i64;
+        let run = run_source(
+            cfg(2),
+            src,
+            "bc",
+            &[2],
+            &[
+                HostValue::Array {
+                    data: vec![0.0; n as usize],
+                    bounds: vec![(1, n)],
+                },
+                HostValue::Int(n),
+            ],
+        )
+        .unwrap();
+        let a = &run.arrays[0].1;
+        for i in 1..n as usize {
+            assert_eq!(a[i - 1], (10 * i + 10 * (i + 1)) as f64, "i = {i}");
+        }
+        assert_eq!(a[n as usize - 1], 10.0 * n as f64);
+        assert!(run.report.total_msgs > 0, "cyclic(k) edges must travel");
+    }
+
+    #[test]
+    fn split_phase_replay_hides_transit_and_keeps_counters() {
+        let np = 8i64;
+        let w = (np + 1) as usize;
+        let args = [
+            HostValue::Array {
+                data: vec![0.0; w * w],
+                bounds: vec![(0, np), (0, np)],
+            },
+            HostValue::Array {
+                data: vec![0.02; w * w],
+                bounds: vec![(0, np), (0, np)],
+            },
+            HostValue::Int(np),
+            HostValue::Int(6),
+        ];
+        let split =
+            run_source(cfg(4), listing("jacobi").unwrap(), "jacobi", &[2, 2], &args).unwrap();
+        let sync = run_source_with(
+            cfg(4),
+            listing("jacobi").unwrap(),
+            "jacobi",
+            &[2, 2],
+            &args,
+            RunOptions {
+                split_phase: false,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        // Same replays, same value traffic, bitwise-identical answer.
+        assert_eq!(
+            split.report.total_schedule_replays,
+            sync.report.total_schedule_replays
+        );
+        assert_eq!(
+            split.report.total_exchange_words,
+            sync.report.total_exchange_words
+        );
+        for (x, y) in split.arrays[0].1.iter().zip(&sync.arrays[0].1) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // Replayed exchanges hid transit behind interior iterations; the
+        // blocking baseline hid nothing.
+        assert!(split.report.overlap_hidden_seconds > 0.0);
+        assert_eq!(sync.report.overlap_hidden_seconds, 0.0);
+        assert!(
+            split.report.elapsed < sync.report.elapsed,
+            "split-phase must not be slower: {} vs {}",
+            split.report.elapsed,
+            sync.report.elapsed
+        );
+    }
+
+    #[test]
+    fn split_phase_marks_reconstruct_the_four_phases() {
+        let np = 8i64;
+        let w = (np + 1) as usize;
+        let run = run_source(
+            cfg(4),
+            listing("jacobi").unwrap(),
+            "jacobi",
+            &[2, 2],
+            &[
+                HostValue::Array {
+                    data: vec![0.0; w * w],
+                    bounds: vec![(0, np), (0, np)],
+                },
+                HostValue::Array {
+                    data: vec![0.01; w * w],
+                    bounds: vec![(0, np), (0, np)],
+                },
+                HostValue::Int(np),
+                HostValue::Int(3),
+            ],
+        )
+        .unwrap();
+        let marks = run.report.merged_marks();
+        for label in [
+            "doall:inspect",
+            "doall:post",
+            "doall:interior",
+            "doall:complete",
+            "doall:boundary",
+        ] {
+            assert!(
+                marks.iter().any(|(_, _, l)| *l == label),
+                "missing phase mark {label}"
+            );
+        }
+        // Within one processor the phases appear in engine order.
+        let p0: Vec<&str> = run.report.procs[0]
+            .marks
+            .iter()
+            .map(|m| m.label.as_str())
+            .collect();
+        let first_post = p0.iter().position(|l| *l == "doall:post").unwrap();
+        assert_eq!(p0[first_post + 1], "doall:interior");
+        assert_eq!(p0[first_post + 2], "doall:complete");
+        assert_eq!(p0[first_post + 3], "doall:boundary");
+    }
 
     #[test]
     fn adi_listing_is_shipped_and_parses() {

@@ -251,15 +251,7 @@ impl Parser {
                         self.expect_punct("(")?;
                         let mut dd = Vec::new();
                         loop {
-                            if self.eat_punct("*") {
-                                dd.push(DistDim::Star);
-                            } else if self.eat_ident("block") {
-                                dd.push(DistDim::Block);
-                            } else if self.eat_ident("cyclic") {
-                                dd.push(DistDim::Cyclic);
-                            } else {
-                                return self.err("expected block, cyclic or * in dist clause");
-                            }
+                            dd.push(self.dist_dim("dist clause")?);
                             if !self.eat_punct(",") {
                                 break;
                             }
@@ -439,21 +431,42 @@ impl Parser {
         })
     }
 
+    /// One entry of a `dist (...)` / `distribute a (...)` clause:
+    /// `block`, `cyclic`, `cyclic(k)` or `*`.
+    fn dist_dim(&mut self, context: &str) -> PResult<DistDim> {
+        if self.eat_punct("*") {
+            Ok(DistDim::Star)
+        } else if self.eat_ident("block") {
+            Ok(DistDim::Block)
+        } else if self.eat_ident("cyclic") {
+            if self.eat_punct("(") {
+                let Tok::Int(k) = self.bump() else {
+                    return self.err(format!(
+                        "cyclic(k) needs an integer block size in {context}"
+                    ));
+                };
+                if k < 1 {
+                    return self.err(format!("cyclic({k}): block size must be positive"));
+                }
+                self.expect_punct(")")?;
+                Ok(DistDim::BlockCyclic(k as usize))
+            } else {
+                Ok(DistDim::Cyclic)
+            }
+        } else {
+            self.err(format!(
+                "expected block, cyclic, cyclic(k) or * in {context}"
+            ))
+        }
+    }
+
     fn distribute_stmt(&mut self) -> PResult<Stmt> {
         self.bump(); // distribute
         let name = self.expect_ident()?;
         self.expect_punct("(")?;
         let mut dist = Vec::new();
         loop {
-            if self.eat_punct("*") {
-                dist.push(DistDim::Star);
-            } else if self.eat_ident("block") {
-                dist.push(DistDim::Block);
-            } else if self.eat_ident("cyclic") {
-                dist.push(DistDim::Cyclic);
-            } else {
-                return self.err("expected block, cyclic or * in distribute");
-            }
+            dist.push(self.dist_dim("distribute")?);
             if !self.eat_punct(",") {
                 break;
             }
@@ -1030,6 +1043,39 @@ end
                 assert_eq!(dist, &vec![DistDim::Star, DistDim::Cyclic]);
             }
             other => panic!("expected distribute, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_block_cyclic_dist_clause() {
+        let src = "parsub f(a, b; p)\n  processors p(q)\n  real a(12) dist (cyclic(3))\n  \
+                   real b(8, 8) dist (cyclic(2), *)\n  distribute a (cyclic(4))\nend\n";
+        let prog = parse(src).unwrap();
+        let dists: Vec<_> = prog.subs[0]
+            .decls
+            .iter()
+            .filter_map(|d| match d {
+                Decl::Arrays { dist, .. } => dist.clone(),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(dists[0], vec![DistDim::BlockCyclic(3)]);
+        assert_eq!(dists[1], vec![DistDim::BlockCyclic(2), DistDim::Star]);
+        match &prog.subs[0].body[0] {
+            Stmt::Distribute { name, dist } => {
+                assert_eq!(name, "a");
+                assert_eq!(dist, &vec![DistDim::BlockCyclic(4)]);
+            }
+            other => panic!("expected distribute, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_block_cyclic_sizes() {
+        for clause in ["cyclic(0)", "cyclic(x)", "cyclic(-2)"] {
+            let src =
+                format!("parsub f(a; p)\n  processors p(q)\n  real a(8) dist ({clause})\nend\n");
+            assert!(parse(&src).is_err(), "{clause} must be rejected");
         }
     }
 

@@ -158,6 +158,7 @@ impl ArrObj {
         let kind = match self.dist[d] {
             DistDim::Block => DimDist::Block,
             DistDim::Cyclic => DimDist::Cyclic,
+            DistDim::BlockCyclic(b) => DimDist::BlockCyclic(b),
             DistDim::Star => unreachable!(),
         };
         Some(Dist1::new(self.extent(d), self.grid.extent(gd), kind))

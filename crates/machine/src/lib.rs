@@ -12,7 +12,15 @@
 //! * [`Proc::send`] stamps the message with its arrival time
 //!   `clock + α + β·words + hop·distance`;
 //! * [`Proc::recv`] raises the receiver's clock to `max(clock, arrival)`,
-//!   accounting the difference as *idle* (wait) time.
+//!   accounting the difference as *idle* (wait) time;
+//! * the split-phase pair [`Proc::irecv`] / [`Proc::wait`] (with
+//!   [`Proc::isend`] and [`Proc::wait_all`]) charges only the receive
+//!   overhead up front, letting message transit overlap subsequent
+//!   [`Proc::compute`] charges: idle is incurred only if the wait
+//!   actually blocks in virtual time, and the covered transit is
+//!   reported as [`ProcStats::overlap_hidden`]. Receives match messages
+//!   in posting order per `(source, tag)` (MPI semantics), so
+//!   out-of-order waits cannot mis-pair payloads.
 //!
 //! Message matching is by `(source, tag)` with per-pair FIFO order, so the
 //! virtual timeline of a run is **bit-for-bit deterministic** regardless of OS
@@ -36,7 +44,7 @@ pub mod collective;
 
 pub use cost::CostModel;
 pub use machine::{Machine, MachineConfig, SimRun};
-pub use proc::{Proc, ProcStats, Team};
+pub use proc::{PendingRecv, PendingSend, Proc, ProcStats, Team};
 pub use report::{ProcReport, RunReport};
 pub use topology::Topology;
 pub use wire::Wire;

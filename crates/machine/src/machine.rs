@@ -347,6 +347,184 @@ mod tests {
     }
 
     #[test]
+    fn irecv_overlap_hides_transit_behind_compute() {
+        // unit cost: alpha = 1, beta = 0.1, overhead = 0.
+        let run = Machine::run(unit_cfg(2), |proc| {
+            let t = tag(NS_USER, 20);
+            if proc.rank() == 0 {
+                proc.send(1, t, 5.0f64);
+            } else {
+                let h = proc.irecv::<f64>(0, t);
+                proc.compute(2000.0); // 2 s of work while 1.1 s transit runs
+                let v = proc.wait(h);
+                assert_eq!(v, 5.0);
+            }
+            (proc.stats().idle, proc.stats().overlap_hidden, proc.clock())
+        });
+        let (idle, hidden, clock) = run.results[1];
+        // Transit finished at 1.1 while we computed until 2.0: no idle, the
+        // whole 1.1 s window is hidden.
+        assert_eq!(idle, 0.0);
+        assert!((hidden - 1.1).abs() < 1e-12, "hidden = {hidden}");
+        assert_eq!(clock, 2.0);
+        assert!((run.report.overlap_hidden_seconds - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn irecv_partial_overlap_charges_the_shortfall_as_idle() {
+        let run = Machine::run(unit_cfg(2), |proc| {
+            let t = tag(NS_USER, 21);
+            if proc.rank() == 0 {
+                proc.send(1, t, 5.0f64);
+            } else {
+                let h = proc.irecv::<f64>(0, t);
+                proc.compute(400.0); // 0.4 s of the 1.1 s transit covered
+                let _ = proc.wait(h);
+            }
+            (proc.stats().idle, proc.stats().overlap_hidden, proc.clock())
+        });
+        let (idle, hidden, clock) = run.results[1];
+        assert!((idle - 0.7).abs() < 1e-12, "idle = {idle}");
+        assert!((hidden - 0.4).abs() < 1e-12, "hidden = {hidden}");
+        assert!((clock - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn immediately_waited_irecv_matches_blocking_recv_payloads() {
+        let go = |split: bool| {
+            Machine::run(unit_cfg(2), move |proc| {
+                let t = tag(NS_USER, 22);
+                if proc.rank() == 0 {
+                    proc.compute(300.0);
+                    if split {
+                        let _ = proc.isend(1, t, vec![1.0f64, 2.0, 3.0]);
+                    } else {
+                        proc.send(1, t, vec![1.0f64, 2.0, 3.0]);
+                    }
+                    0.0
+                } else if split {
+                    let h = proc.irecv::<Vec<f64>>(0, t);
+                    proc.wait(h).iter().sum()
+                } else {
+                    proc.recv::<Vec<f64>>(0, t).iter().sum()
+                }
+            })
+        };
+        let a = go(false);
+        let b = go(true);
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.report.total_words, b.report.total_words);
+        assert_eq!(a.report.total_msgs, b.report.total_msgs);
+    }
+
+    #[test]
+    fn wait_all_completes_out_of_order_arrivals() {
+        let run = Machine::run(unit_cfg(3), |proc| {
+            let t = tag(NS_USER, 23);
+            match proc.rank() {
+                0 => {
+                    // Post both receives first, then compute, then drain.
+                    let h1 = proc.irecv::<f64>(1, t);
+                    let h2 = proc.irecv::<f64>(2, t);
+                    proc.compute(10_000.0);
+                    proc.wait_all(vec![h2, h1]) // reversed completion order
+                }
+                r => {
+                    proc.compute(500.0 * r as f64);
+                    proc.send(0, t, r as f64 * 10.0);
+                    vec![]
+                }
+            }
+        });
+        assert_eq!(run.results[0], vec![20.0, 10.0]);
+        assert_eq!(run.report.procs[0].stats.idle, 0.0);
+        assert!(run.report.procs[0].stats.overlap_hidden > 0.0);
+    }
+
+    #[test]
+    fn idle_on_one_wait_is_not_credited_as_hiding_another() {
+        // Proc 1 posts two receives back to back with no compute: h1's
+        // message arrives late (big payload), h2's early. Waiting h1
+        // first idles through h2's entire transit — none of which was
+        // computation, so overlap_hidden must stay zero even though the
+        // clock moved past h2's arrival.
+        let run = Machine::run(unit_cfg(3), |proc| {
+            let t = tag(NS_USER, 25);
+            match proc.rank() {
+                1 => {
+                    let h1 = proc.irecv::<Vec<f64>>(0, t);
+                    let h2 = proc.irecv::<Vec<f64>>(2, t);
+                    let a = proc.wait(h1);
+                    let b = proc.wait(h2);
+                    (a.len(), b.len())
+                }
+                r => {
+                    // Rank 0 sends 50 words (arrival 1 + 5 = 6), rank 2
+                    // sends 1 word (arrival 1.1).
+                    let words = if r == 0 { 50 } else { 1 };
+                    proc.send(1, t, vec![0.0f64; words]);
+                    (0, 0)
+                }
+            }
+        });
+        assert_eq!(run.results[1], (50, 1));
+        assert_eq!(
+            run.report.procs[1].stats.overlap_hidden, 0.0,
+            "idle waiting on h1 must not count as hiding h2's transit"
+        );
+    }
+
+    #[test]
+    fn busy_before_arrival_counts_even_after_an_idle_wait() {
+        // Proc 1 computes 2 s, then waits a late message (idle), then an
+        // early one: the 1.1 s transit of the early message was fully
+        // covered by the up-front compute, so ~1.1 s is hidden for it.
+        let run = Machine::run(unit_cfg(3), |proc| {
+            let t = tag(NS_USER, 26);
+            match proc.rank() {
+                1 => {
+                    let h1 = proc.irecv::<Vec<f64>>(0, t); // 50 words: arrives at 6
+                    let h2 = proc.irecv::<Vec<f64>>(2, t); // 1 word: arrives at 1.1
+                    proc.compute(2000.0); // busy [0, 2]
+                    let _ = proc.wait(h1); // idle [2, 6]
+                    let _ = proc.wait(h2);
+                    proc.stats().overlap_hidden
+                }
+                r => {
+                    let words = if r == 0 { 50 } else { 1 };
+                    proc.send(1, t, vec![0.0f64; words]);
+                    0.0
+                }
+            }
+        });
+        // h1: busy 2 of its 6 s window; h2: its whole 1.1 s window was
+        // busy (the idle on h1 came after h2 had already arrived).
+        assert!(
+            (run.results[1] - 3.1).abs() < 1e-12,
+            "hidden = {}",
+            run.results[1]
+        );
+    }
+
+    #[test]
+    fn isend_token_reports_arrival() {
+        let run = Machine::run(unit_cfg(2), |proc| {
+            let t = tag(NS_USER, 24);
+            if proc.rank() == 0 {
+                let p = proc.isend(1, t, vec![0.0f64; 10]);
+                assert_eq!(p.words, 10);
+                // alpha + beta * 10 = 2.0 after the (free) overhead.
+                (p.arrival - proc.clock() - 2.0).abs() < 1e-12
+            } else {
+                let h = proc.irecv::<Vec<f64>>(0, t);
+                let _ = proc.wait(h);
+                true
+            }
+        });
+        assert!(run.results.iter().all(|&ok| ok));
+    }
+
+    #[test]
     fn report_aggregates_traffic() {
         let run = Machine::run(unit_cfg(4), |proc| {
             let t = tag(NS_USER, 7);

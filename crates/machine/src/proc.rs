@@ -1,7 +1,8 @@
 //! Per-processor handle: virtual clock, send/recv, metrics.
 
 use std::any::Any;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::marker::PhantomData;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -48,6 +49,12 @@ pub struct ProcStats {
     /// Data words delivered by executor exchange phases (the value
     /// traffic of runtime resolution, excluding request vectors).
     pub exchange_words: u64,
+    /// Virtual seconds of message transit that a split-phase receive hid
+    /// behind computation: per [`Proc::wait`], the *busy* time that fell
+    /// inside the message's transit window (from the [`Proc::irecv`]
+    /// post to the arrival) — transit covered by useful work; idle spent
+    /// waiting on other messages counts for nothing.
+    pub overlap_hidden: f64,
 }
 
 /// A named instant recorded by [`Proc::mark`]; used by the experiment
@@ -120,6 +127,56 @@ impl Team {
     }
 }
 
+/// Token returned by [`Proc::isend`]. Sends never block in this model
+/// (channels are unbounded), so the token exists for symmetry with
+/// [`PendingRecv`] and to expose the stamped arrival time to callers that
+/// reason about overlap windows.
+#[must_use = "an isend is complete at post time, but dropping the token usually means \
+              the matching irecv bookkeeping was forgotten"]
+#[derive(Debug, Clone, Copy)]
+pub struct PendingSend {
+    /// Virtual time at which the message lands at the receiver.
+    pub arrival: f64,
+    /// Payload size in 8-byte words.
+    pub words: usize,
+}
+
+/// A posted split-phase receive: created by [`Proc::irecv`], completed by
+/// [`Proc::wait`] / [`Proc::wait_all`]. The type parameter pins the
+/// expected payload type at post time.
+///
+/// Dropping a pending receive without waiting strands its message (its
+/// posting-order slot is never consumed), so the handle is
+/// `#[must_use]`.
+#[must_use = "a posted irecv must be completed with Proc::wait / Proc::wait_all"]
+#[derive(Debug)]
+pub struct PendingRecv<T: Wire> {
+    src: usize,
+    tag: Tag,
+    /// Posting-order ticket within `(src, tag)`: receives match messages
+    /// in the order they were *posted* (MPI semantics), not the order
+    /// they are waited, so out-of-order `wait`s cannot mis-pair payloads.
+    ticket: u64,
+    /// Virtual time at which the receive was posted (after the receive
+    /// overhead was charged) — the start of the overlap window.
+    posted_at: f64,
+    _payload: PhantomData<fn() -> T>,
+}
+
+impl<T: Wire> PendingRecv<T> {
+    /// Source rank this receive is matched against.
+    #[inline]
+    pub fn src(&self) -> usize {
+        self.src
+    }
+
+    /// Virtual post time (start of the overlap window).
+    #[inline]
+    pub fn posted_at(&self) -> f64 {
+        self.posted_at
+    }
+}
+
 /// Handle through which SPMD code drives one simulated processor.
 pub struct Proc {
     rank: usize,
@@ -130,6 +187,21 @@ pub struct Proc {
     inbox: Receiver<Envelope>,
     /// Messages physically received but not yet matched by a `recv`.
     pending: VecDeque<Envelope>,
+    /// Messages matched to a posted receive's ticket but not yet waited
+    /// (an out-of-order `wait` pulled past them).
+    claimed: Vec<((usize, Tag, u64), Envelope)>,
+    /// Idle intervals `[start, end)` charged while split-phase receives
+    /// were outstanding; lets [`Proc::wait`] compute the *busy* time
+    /// inside a transit window exactly (clock = busy + idle). Cleared
+    /// whenever no receive is outstanding, so it stays bounded by one
+    /// exchange's wait count.
+    idle_log: Vec<(f64, f64)>,
+    /// Number of posted-but-unwaited receives.
+    outstanding_recvs: usize,
+    /// Next posting-order ticket per `(src, tag)`.
+    tickets_issued: HashMap<(usize, Tag), u64>,
+    /// Next ticket to be matched against an arrival per `(src, tag)`.
+    tickets_served: HashMap<(usize, Tag), u64>,
     stats: ProcStats,
     marks: Vec<MarkEvent>,
 }
@@ -150,6 +222,11 @@ impl Proc {
             outboxes,
             inbox,
             pending: VecDeque::new(),
+            claimed: Vec::new(),
+            idle_log: Vec::new(),
+            outstanding_recvs: 0,
+            tickets_issued: HashMap::new(),
+            tickets_served: HashMap::new(),
             stats: ProcStats::default(),
             marks: Vec::new(),
         }
@@ -301,10 +378,10 @@ impl Proc {
     /// within the real-time watchdog budget (suspected deadlock) or if the
     /// payload type does not match `T`.
     pub fn recv<T: Wire>(&mut self, src: usize, tag: Tag) -> T {
-        let env = self.recv_envelope(src, tag);
+        let ticket = self.issue_ticket(src, tag);
+        let env = self.consume_ticket(src, tag, ticket);
         if env.arrival > self.clock {
-            self.stats.idle += env.arrival - self.clock;
-            self.clock = env.arrival;
+            self.charge_idle(env.arrival);
         }
         let cost = self.cfg.cost;
         self.clock += cost.overhead;
@@ -319,6 +396,49 @@ impl Proc {
                 self.rank,
                 std::any::type_name::<T>()
             ),
+        }
+    }
+
+    /// Raise the clock to `until`, accounting the gap as idle; the
+    /// interval is logged while split-phase receives are outstanding so
+    /// their overlap windows can separate idle from busy time.
+    fn charge_idle(&mut self, until: f64) {
+        debug_assert!(until >= self.clock);
+        if self.outstanding_recvs > 0 {
+            self.idle_log.push((self.clock, until));
+        }
+        self.stats.idle += until - self.clock;
+        self.clock = until;
+    }
+
+    /// Reserve the next posting-order ticket for `(src, tag)`.
+    fn issue_ticket(&mut self, src: usize, tag: Tag) -> u64 {
+        let t = self.tickets_issued.entry((src, tag)).or_insert(0);
+        let ticket = *t;
+        *t += 1;
+        ticket
+    }
+
+    /// Deliver the envelope matching `ticket`: arrivals for `(src, tag)`
+    /// are matched to tickets in FIFO order; envelopes pulled past the
+    /// requested ticket are parked in `claimed` for their own waits.
+    fn consume_ticket(&mut self, src: usize, tag: Tag, ticket: u64) -> Envelope {
+        loop {
+            if let Some(pos) = self
+                .claimed
+                .iter()
+                .position(|(k, _)| *k == (src, tag, ticket))
+            {
+                return self.claimed.remove(pos).1;
+            }
+            let env = self.recv_envelope(src, tag);
+            let served = self.tickets_served.entry((src, tag)).or_insert(0);
+            let s = *served;
+            *served += 1;
+            if s == ticket {
+                return env;
+            }
+            self.claimed.push(((src, tag, s), env));
         }
     }
 
@@ -372,6 +492,98 @@ impl Proc {
     pub fn sendrecv<T: Wire, U: Wire>(&mut self, dst: usize, peer: usize, tag: Tag, value: T) -> U {
         self.send(dst, tag, value);
         self.recv(peer, tag)
+    }
+
+    // ---------- split-phase (nonblocking) primitives ----------
+
+    /// Nonblocking send. In this machine model every send is asynchronous,
+    /// so `isend` charges exactly what [`Proc::send`] charges (the send
+    /// overhead) and completes immediately; the returned token carries the
+    /// stamped arrival time for overlap analysis.
+    pub fn isend<T: Wire>(&mut self, dst: usize, tag: Tag, value: T) -> PendingSend {
+        let words = value.wire_words();
+        self.send(dst, tag, value);
+        // send() stamped `arrival = clock_after_overhead + wire_time`;
+        // recompute it from the post-send clock for the token.
+        let hops = self.cfg.topology.hops(self.rank, dst, self.nprocs);
+        PendingSend {
+            arrival: self.clock + self.cfg.cost.wire_time(words, hops),
+            words,
+        }
+    }
+
+    /// Post a split-phase receive for a message from `src` carrying `tag`.
+    ///
+    /// The receive *overhead* is charged up front (the CPU-side cost of
+    /// posting); message transit then overlaps whatever the processor does
+    /// next. Idle time is only incurred if the matching [`Proc::wait`]
+    /// runs before the message's virtual arrival.
+    pub fn irecv<T: Wire>(&mut self, src: usize, tag: Tag) -> PendingRecv<T> {
+        assert!(
+            src < self.nprocs,
+            "irecv from rank {src} on {}-proc machine",
+            self.nprocs
+        );
+        let cost = self.cfg.cost;
+        self.clock += cost.overhead;
+        self.stats.busy += cost.overhead;
+        let ticket = self.issue_ticket(src, tag);
+        self.outstanding_recvs += 1;
+        PendingRecv {
+            src,
+            tag,
+            ticket,
+            posted_at: self.clock,
+            _payload: PhantomData,
+        }
+    }
+
+    /// Complete a posted receive, returning the payload.
+    ///
+    /// If the message has already arrived in virtual time, no idle is
+    /// charged and the whole transit counted toward
+    /// [`ProcStats::overlap_hidden`]; otherwise the clock is raised to the
+    /// arrival (the shortfall is idle) and only the covered part of the
+    /// window is counted as hidden.
+    pub fn wait<T: Wire>(&mut self, pending: PendingRecv<T>) -> T {
+        let env = self.consume_ticket(pending.src, pending.tag, pending.ticket);
+        // Transit covered by *work*: the elapsed part of the window
+        // [posted_at, arrival] minus the idle intervals that fell inside
+        // it (clock = busy + idle, so the remainder is exactly the busy
+        // time that overlapped this message's transit). Idle spent
+        // waiting on other receives hides nothing.
+        let win_end = self.clock.min(env.arrival);
+        let idle_in_window: f64 = self
+            .idle_log
+            .iter()
+            .map(|&(s, e)| (e.min(win_end) - s.max(pending.posted_at)).max(0.0))
+            .sum();
+        self.stats.overlap_hidden += (win_end - pending.posted_at - idle_in_window).max(0.0);
+        self.outstanding_recvs -= 1;
+        if self.outstanding_recvs == 0 {
+            self.idle_log.clear();
+        }
+        if env.arrival > self.clock {
+            self.charge_idle(env.arrival);
+        }
+        self.stats.msgs_recv += 1;
+        self.stats.words_recv += env.words as u64;
+        match env.payload.downcast::<T>() {
+            Ok(v) => *v,
+            Err(_) => panic!(
+                "type mismatch: proc {} waited on message (src={}, tag={:#x}) whose \
+                 payload is not a {}",
+                self.rank,
+                pending.src,
+                pending.tag,
+                std::any::type_name::<T>()
+            ),
+        }
+    }
+
+    /// Complete a batch of posted receives in order.
+    pub fn wait_all<T: Wire>(&mut self, pending: Vec<PendingRecv<T>>) -> Vec<T> {
+        pending.into_iter().map(|p| self.wait(p)).collect()
     }
 }
 

@@ -30,6 +30,9 @@ pub struct RunReport {
     pub inspector_seconds: f64,
     /// Data words delivered by executor exchange phases, summed.
     pub total_exchange_words: u64,
+    /// Virtual seconds of message transit hidden behind computation by
+    /// split-phase receives, summed over processors.
+    pub overlap_hidden_seconds: f64,
 }
 
 impl RunReport {
@@ -42,6 +45,7 @@ impl RunReport {
         let total_schedule_replays = procs.iter().map(|p| p.stats.schedule_replays).sum();
         let inspector_seconds = procs.iter().map(|p| p.stats.inspector_seconds).sum();
         let total_exchange_words = procs.iter().map(|p| p.stats.exchange_words).sum();
+        let overlap_hidden_seconds = procs.iter().map(|p| p.stats.overlap_hidden).sum();
         RunReport {
             procs,
             elapsed,
@@ -52,6 +56,7 @@ impl RunReport {
             total_schedule_replays,
             inspector_seconds,
             total_exchange_words,
+            overlap_hidden_seconds,
         }
     }
 
@@ -120,6 +125,13 @@ impl std::fmt::Display for RunReport {
                 self.total_schedule_replays,
                 self.inspector_seconds,
                 self.total_exchange_words
+            )?;
+        }
+        if self.overlap_hidden_seconds > 0.0 {
+            writeln!(
+                f,
+                "split-phase overlap: {:.3e} s of transit hidden behind computation",
+                self.overlap_hidden_seconds
             )?;
         }
         writeln!(

@@ -11,9 +11,14 @@
 //!   (initially the whole machine; narrowed by [`Ctx::call_on`] for
 //!   distributed procedure calls on grid slices);
 //! * [`Ctx::doall1`] / [`Ctx::doall2`] — strip-mined parallel loops whose
-//!   `on owner(...)` clause is a [`Dist1`] or a distributed array;
+//!   `on owner(...)` clause is a [`Dist1`] or a distributed array — and
+//!   their split-phase forms [`Ctx::doall1_split`] /
+//!   [`Ctx::doall2_split`], which run the communication-free interior
+//!   iterations while posted messages are in flight and the boundary
+//!   after a completion callback;
 //! * [`jacobi_update`] — the copy-in/copy-out stencil update that makes
-//!   Listing 3 need no explicit temporary;
+//!   Listing 3 need no explicit temporary — and [`jacobi_update_split`],
+//!   its latency-hiding form for face-only stencils;
 //! * global reductions over the current grid.
 //!
 //! Everything costs virtual time through the usual [`Proc`] accounting, so
@@ -110,6 +115,63 @@ impl<'a> Ctx<'a> {
         }
     }
 
+    /// Split-phase form of [`Ctx::doall1`]: the iterations at least
+    /// `margin` inside the owned block run first (typically while
+    /// communication posted by the caller is in flight), then `complete`
+    /// runs (typically [`DistArrayN::finish_exchange_ghosts`]), then the
+    /// boundary iterations. Covers exactly the iterations [`Ctx::doall1`]
+    /// covers, interior first — bodies must not rely on iteration order.
+    ///
+    /// Non-contiguous distributions have no communication-free interior:
+    /// `complete` runs first and every iteration is treated as boundary.
+    ///
+    /// [`DistArrayN::finish_exchange_ghosts`]: kali_array::DistArrayN::finish_exchange_ghosts
+    pub fn doall1_split(
+        &mut self,
+        gd: usize,
+        dist: &Dist1,
+        range: std::ops::Range<usize>,
+        margin: usize,
+        complete: impl FnOnce(&mut Ctx),
+        mut body: impl FnMut(&mut Ctx, usize),
+    ) {
+        let Some(coords) = self.coords.clone() else {
+            complete(self);
+            return;
+        };
+        let q = coords[gd];
+        if !dist.is_contiguous() {
+            complete(self);
+            for i in range {
+                if dist.owner(i) == q {
+                    body(self, i);
+                }
+            }
+            return;
+        }
+        let Some(lo) = dist.lower(q) else {
+            complete(self);
+            return;
+        };
+        let hi = dist.upper(q).expect("nonempty block") + 1;
+        let start = range.start.max(lo);
+        let end = range.end.min(hi);
+        // Interior: owned indices whose `margin`-wide footprint stays
+        // inside the owned block.
+        let is0 = start.max(lo + margin);
+        let is1 = end.min(hi.saturating_sub(margin)).max(is0);
+        for i in is0..is1 {
+            body(self, i);
+        }
+        complete(self);
+        for i in start..is0.min(end) {
+            body(self, i);
+        }
+        for i in is1.max(start)..end {
+            body(self, i);
+        }
+    }
+
     /// Strided variant of [`Ctx::doall1`] (`doall j = lo, hi, step` — used by
     /// the zebra sweeps of Listings 9 and 11).
     pub fn doall1_step(
@@ -159,6 +221,32 @@ impl<'a> Ctx<'a> {
         }
     }
 
+    /// Split-phase form of [`Ctx::doall2`]: the owned sub-box shrunk by
+    /// `margin` on every side runs first (while communication posted by
+    /// the caller is in flight), then `complete` runs (typically waiting
+    /// on a [`kali_array::PendingHalo`]), then the boundary frame.
+    /// Covers exactly the iterations [`Ctx::doall2`] covers, interior
+    /// first — bodies must not rely on iteration order.
+    pub fn doall2_split<T: Elem>(
+        &mut self,
+        a: &DistArray2<T>,
+        r0: std::ops::Range<usize>,
+        r1: std::ops::Range<usize>,
+        margin: [usize; 2],
+        complete: impl FnOnce(&mut Ctx),
+        mut body: impl FnMut(&mut Ctx, usize, usize),
+    ) {
+        if !a.is_participant() || !self.in_grid() {
+            complete(self);
+            return;
+        }
+        debug_assert!(a.dist(0).is_contiguous() && a.dist(1).is_contiguous());
+        let split = SplitBox2::new([a.owned_range(0), a.owned_range(1)], r0, r1, margin);
+        split.for_interior(|i, j| body(self, i, j));
+        complete(self);
+        split.for_boundary(|i, j| body(self, i, j));
+    }
+
     /// Call a distributed procedure on a slice of the processor array:
     /// `call sub(...; owner(r(i, *)))`. Only members of `slice` execute
     /// `f`; they see a narrowed context. Returns `Some(result)` on members.
@@ -192,6 +280,92 @@ impl<'a> Ctx<'a> {
     pub fn broadcast<T: Wire + Clone>(&mut self, value: Option<T>) -> T {
         let team = self.team();
         collective::broadcast(self.proc, &team, 0, value)
+    }
+}
+
+/// The interior/boundary partition of a 2-D owned box: the iterations of
+/// `range ∩ owned`, split into the *interior* sub-box (every point at
+/// least `margin` inside the owned block, so a `margin`-wide stencil
+/// footprint reads no ghost) and the *boundary* frame (everything else).
+/// One definition shared by [`Ctx::doall2_split`], [`jacobi_update_split`]
+/// and the split-phase solvers, so the clamp subtleties live in one place.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitBox2 {
+    i0: usize,
+    i1: usize,
+    j0: usize,
+    j1: usize,
+    ii0: usize,
+    ii1: usize,
+    jj0: usize,
+    jj1: usize,
+}
+
+impl SplitBox2 {
+    /// Partition `r0 × r1` clipped to the owned box, with the interior
+    /// shrunk by `margin` against the *owned* block edges.
+    pub fn new(
+        owned: [std::ops::Range<usize>; 2],
+        r0: std::ops::Range<usize>,
+        r1: std::ops::Range<usize>,
+        margin: [usize; 2],
+    ) -> SplitBox2 {
+        let i0 = r0.start.max(owned[0].start);
+        let i1 = r0.end.min(owned[0].end);
+        let j0 = r1.start.max(owned[1].start);
+        let j1 = r1.end.min(owned[1].end);
+        let ii0 = i0.max(owned[0].start + margin[0]);
+        let ii1 = i1.min(owned[0].end.saturating_sub(margin[0])).max(ii0);
+        let jj0 = j0.max(owned[1].start + margin[1]);
+        let jj1 = j1.min(owned[1].end.saturating_sub(margin[1])).max(jj0);
+        SplitBox2 {
+            i0,
+            i1,
+            j0,
+            j1,
+            ii0,
+            ii1,
+            jj0,
+            jj1,
+        }
+    }
+
+    /// Number of interior points.
+    pub fn interior_count(&self) -> usize {
+        (self.ii1 - self.ii0) * (self.jj1 - self.jj0)
+    }
+
+    /// Number of boundary points.
+    pub fn boundary_count(&self) -> usize {
+        self.i1.saturating_sub(self.i0) * self.j1.saturating_sub(self.j0) - self.interior_count()
+    }
+
+    /// Visit the interior points in row-major order.
+    pub fn for_interior(&self, mut f: impl FnMut(usize, usize)) {
+        for i in self.ii0..self.ii1 {
+            for j in self.jj0..self.jj1 {
+                f(i, j);
+            }
+        }
+    }
+
+    /// Visit the boundary frame (covered box minus interior) in row-major
+    /// order.
+    pub fn for_boundary(&self, mut f: impl FnMut(usize, usize)) {
+        for i in self.i0..self.i1 {
+            if i < self.ii0 || i >= self.ii1 {
+                for j in self.j0..self.j1 {
+                    f(i, j);
+                }
+            } else {
+                for j in self.j0..self.jj0.min(self.j1) {
+                    f(i, j);
+                }
+                for j in self.jj1.max(self.j0)..self.j1 {
+                    f(i, j);
+                }
+            }
+        }
     }
 }
 
@@ -232,6 +406,43 @@ pub fn jacobi_update<T: Elem + Wire>(
         }
     }
     proc.compute(flops_per_point * points as f64);
+}
+
+/// Split-phase form of [`jacobi_update`]: the ghost strips are posted
+/// nonblocking, the interior points (whose stencil footprint stays inside
+/// the owned block) are updated while the strips are in transit, and the
+/// boundary frame is updated after completion — so on a latency-bound
+/// machine the message start-up hides behind interior computation.
+///
+/// The split-phase halo does not refresh corner ghosts, so `f` must be a
+/// face-only stencil (5-point in 2-D) reading at most `u.ghosts()` away
+/// along each axis separately. Results are bitwise identical to
+/// [`jacobi_update`] for such stencils.
+pub fn jacobi_update_split<T: Elem + Wire>(
+    proc: &mut Proc,
+    u: &mut DistArray2<T>,
+    r0: std::ops::Range<usize>,
+    r1: std::ops::Range<usize>,
+    flops_per_point: f64,
+    f: impl Fn(&DistArray2<T>, usize, usize) -> T,
+) {
+    let pending = u.begin_exchange_ghosts(proc);
+    if !u.is_participant() {
+        u.finish_exchange_ghosts(proc, pending);
+        return;
+    }
+    // Copy-in snapshot taken before any write; its ghosts are completed
+    // below, while the live array receives the updates.
+    let mut old = u.clone();
+    proc.memop((u.local_len(0) * u.local_len(1)) as f64);
+    let split = SplitBox2::new([u.owned_range(0), u.owned_range(1)], r0, r1, u.ghosts());
+    split.for_interior(|i, j| u.set([i, j], f(&old, i, j)));
+    // Charge the interior flops *before* completing: this is the work
+    // that overlaps the strip transit on the virtual timeline.
+    proc.compute(flops_per_point * split.interior_count() as f64);
+    old.finish_exchange_ghosts(proc, pending);
+    split.for_boundary(|i, j| u.set([i, j], f(&old, i, j)));
+    proc.compute(flops_per_point * split.boundary_count() as f64);
 }
 
 /// Squared 2-norm of a distributed array over the current grid
@@ -364,6 +575,142 @@ mod tests {
         });
         let g = run.results[0].as_ref().unwrap();
         assert_eq!(g, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn doall1_split_covers_exactly_the_doall1_iterations() {
+        for (n, p, range, margin) in [
+            (16usize, 4usize, 1..15usize, 1usize),
+            (16, 4, 0..16, 2),
+            (10, 4, 3..9, 1),
+            (8, 4, 0..8, 5), // margin swallows the whole block
+        ] {
+            let run = Machine::run(cfg(p), move |proc| {
+                let nprocs = proc.nprocs();
+                let grid = ProcGrid::new_1d(nprocs);
+                let mut ctx = Ctx::new(proc, grid);
+                let dist = Dist1::block(n, nprocs);
+                let mut plain = Vec::new();
+                ctx.doall1(0, &dist, range.clone(), |_, i| plain.push(i));
+                let split = std::cell::RefCell::new(Vec::new());
+                let completed = std::cell::Cell::new(false);
+                ctx.doall1_split(
+                    0,
+                    &dist,
+                    range.clone(),
+                    margin,
+                    |_| completed.set(true),
+                    |_, i| split.borrow_mut().push(i),
+                );
+                assert!(completed.get(), "complete callback must run");
+                (plain, split.into_inner())
+            });
+            for (r, (plain, split)) in run.results.iter().enumerate() {
+                let mut sorted = split.clone();
+                sorted.sort_unstable();
+                let mut want = plain.clone();
+                want.sort_unstable();
+                assert_eq!(sorted, want, "n={n} p={p} rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn doall1_split_on_cyclic_runs_complete_first() {
+        let run = Machine::run(cfg(3), |proc| {
+            let grid = ProcGrid::new_1d(3);
+            let mut ctx = Ctx::new(proc, grid);
+            let dist = Dist1::cyclic(9, 3);
+            let order = std::cell::RefCell::new(Vec::new());
+            ctx.doall1_split(
+                0,
+                &dist,
+                0..9,
+                1,
+                |_| order.borrow_mut().push(usize::MAX),
+                |_, i| order.borrow_mut().push(i),
+            );
+            order.into_inner()
+        });
+        // No interior exists under cyclic: the completion marker precedes
+        // every iteration.
+        assert_eq!(run.results[1][0], usize::MAX);
+        assert_eq!(&run.results[1][1..], &[1, 4, 7]);
+    }
+
+    #[test]
+    fn doall2_split_covers_exactly_the_doall2_iterations() {
+        let run = Machine::run(cfg(4), |proc| {
+            let grid = ProcGrid::new_2d(2, 2);
+            let a = DistArray2::<f64>::new(proc.rank(), &grid, &DistSpec::block2(), [8, 8], [1, 1]);
+            let mut ctx = Ctx::new(proc, grid);
+            let mut plain = Vec::new();
+            ctx.doall2(&a, 1..7, 1..7, |_, i, j| plain.push((i, j)));
+            let split = std::cell::RefCell::new(Vec::new());
+            let interior_count = std::cell::Cell::new(0usize);
+            ctx.doall2_split(
+                &a,
+                1..7,
+                1..7,
+                [1, 1],
+                |_| interior_count.set(split.borrow().len()),
+                |_, i, j| split.borrow_mut().push((i, j)),
+            );
+            (plain, split.into_inner(), interior_count.get())
+        });
+        for (r, (plain, split, interior)) in run.results.iter().enumerate() {
+            let mut sorted = split.clone();
+            sorted.sort_unstable();
+            let mut want = plain.clone();
+            want.sort_unstable();
+            assert_eq!(sorted, want, "rank {r}");
+            // A 3x3 owned patch with margin 1 against a 4x4 block leaves a
+            // nonempty strict interior on every corner processor.
+            assert!(*interior > 0 && interior < &split.len(), "rank {r}");
+            // Interior prefix never touches the block frame adjacent to a
+            // neighbour.
+            for &(i, j) in &split[..*interior] {
+                assert!((1..7).contains(&i) && (1..7).contains(&j));
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_update_split_matches_blocking_update() {
+        let go = |split: bool| {
+            Machine::run(cfg(4), move |proc| {
+                let grid = ProcGrid::new_2d(2, 2);
+                let spec = DistSpec::block2();
+                let mut u =
+                    DistArray2::from_fn(proc.rank(), &grid, &spec, [10, 10], [1, 1], |[i, j]| {
+                        ((i * 31 + j * 17) % 13) as f64 * 0.25
+                    });
+                for _ in 0..4 {
+                    let step = |old: &DistArray2<f64>, i: usize, j: usize| {
+                        0.25 * (old.at(i + 1, j)
+                            + old.at(i - 1, j)
+                            + old.at(i, j + 1)
+                            + old.at(i, j - 1))
+                    };
+                    if split {
+                        jacobi_update_split(proc, &mut u, 1..9, 1..9, 5.0, step);
+                    } else {
+                        jacobi_update(proc, &mut u, 1..9, 1..9, 5.0, step);
+                    }
+                }
+                (u.gather_to_root(proc), proc.stats().overlap_hidden)
+            })
+        };
+        let blocking = go(false);
+        let split = go(true);
+        let a = blocking.results[0].0.as_ref().unwrap();
+        let b = split.results[0].0.as_ref().unwrap();
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // The interior updates overlapped the strip transit.
+        assert!(split.results.iter().all(|(_, h)| *h > 0.0));
+        assert!(split.report.elapsed < blocking.report.elapsed);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::collections::HashMap;
 
 use kali_array::{DistArray2, DistArray3};
 use kali_machine::{collective, Proc, Team};
-use kali_runtime::Ctx;
+use kali_runtime::{Ctx, SplitBox2};
 
 use crate::Pde;
 
@@ -36,7 +36,11 @@ pub fn route(
 }
 
 /// Distributed residual `r = f − L u` for 2-D arrays (any block layout with
-/// ghosts ≥ 1 on distributed dimensions). `u`'s ghosts are refreshed.
+/// ghosts ≥ 1 on distributed dimensions). `u`'s *face* ghosts are
+/// refreshed, split-phase: the 5-point stencil is evaluated on the block
+/// interior while the edge strips travel, then on the boundary frame once
+/// they land. (Corner ghosts of `u` are left stale — the 5-point operator
+/// never reads them, and every consumer of ghosts re-exchanges first.)
 pub fn resid2(
     proc: &mut Proc,
     pde: &Pde,
@@ -46,24 +50,31 @@ pub fn resid2(
     let [nxp, nyp] = u.extents();
     let (nx, ny) = (nxp - 1, nyp - 1);
     let (ax, ay, ad) = pde.stencil2(nx, ny);
-    u.exchange_ghosts(proc);
+    let pending = u.begin_exchange_ghosts(proc);
     let mut r = u.like();
     if !u.is_participant() {
+        u.finish_exchange_ghosts(proc, pending);
         return r;
     }
-    let i0 = u.owned_range(0).start.max(1);
-    let i1 = u.owned_range(0).end.min(nx);
-    let j0 = u.owned_range(1).start.max(1);
-    let j1 = u.owned_range(1).end.min(ny);
-    for i in i0..i1 {
-        for j in j0..j1 {
-            let lu = ax * (u.at(i - 1, j) + u.at(i + 1, j))
-                + ay * (u.at(i, j - 1) + u.at(i, j + 1))
-                + ad * u.at(i, j);
-            r.put(i, j, f.at(i, j) - lu);
-        }
-    }
-    proc.compute(8.0 * (i1.saturating_sub(i0) * j1.saturating_sub(j0)) as f64);
+    let stencil = |u: &DistArray2<f64>, r: &mut DistArray2<f64>, i: usize, j: usize| {
+        let lu = ax * (u.at(i - 1, j) + u.at(i + 1, j))
+            + ay * (u.at(i, j - 1) + u.at(i, j + 1))
+            + ad * u.at(i, j);
+        r.put(i, j, f.at(i, j) - lu);
+    };
+    let split = SplitBox2::new(
+        [u.owned_range(0), u.owned_range(1)],
+        1..nx,
+        1..ny,
+        u.ghosts(),
+    );
+    split.for_interior(|i, j| stencil(u, &mut r, i, j));
+    // Charge the interior flops *before* completing: this is the work
+    // that overlaps the strip transit on the virtual timeline.
+    proc.compute(8.0 * split.interior_count() as f64);
+    u.finish_exchange_ghosts(proc, pending);
+    split.for_boundary(|i, j| stencil(u, &mut r, i, j));
+    proc.compute(8.0 * split.boundary_count() as f64);
     r
 }
 

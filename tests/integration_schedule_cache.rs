@@ -32,6 +32,7 @@ fn differential(
         args,
         RunOptions {
             schedule_cache: false,
+            ..RunOptions::default()
         },
     )
     .unwrap_or_else(|e| panic!("{entry} (cache off): {e}"));
@@ -43,6 +44,7 @@ fn differential(
         args,
         RunOptions {
             schedule_cache: true,
+            ..RunOptions::default()
         },
     )
     .unwrap_or_else(|e| panic!("{entry} (cache on): {e}"));
@@ -364,6 +366,7 @@ end
                 ],
                 RunOptions {
                     schedule_cache: cache,
+                    ..RunOptions::default()
                 },
             )
         });

@@ -1,0 +1,284 @@
+//! Differential suite for the split-phase exchange engine: every shipped
+//! KF1 program runs with split-phase replay force-disabled (blocking
+//! fused exchange) and force-enabled; the final arrays must be *bitwise*
+//! identical and the exchange phases must move exactly the same value
+//! words. Overlapping communication with interior computation is an
+//! optimization of the virtual timeline, never of the answer — and on a
+//! latency-bound machine it must actually shorten that timeline.
+
+use std::time::Duration;
+
+use kali::lang::{listing, run_source_with, HostValue, LangRun, RunOptions};
+use kali::prelude::*;
+
+fn cfg(p: usize) -> MachineConfig {
+    MachineConfig::new(p)
+        .with_cost(CostModel::ipsc2())
+        .with_watchdog(Duration::from_secs(60))
+}
+
+/// Run `src` twice (split-phase off, on; schedule cache on in both) and
+/// assert the differential invariants; returns (blocking, split).
+fn differential(
+    src: &str,
+    entry: &str,
+    p: usize,
+    grid: &[usize],
+    args: &[HostValue],
+) -> (LangRun, LangRun) {
+    let blocking = run_source_with(
+        cfg(p),
+        src,
+        entry,
+        grid,
+        args,
+        RunOptions {
+            split_phase: false,
+            ..RunOptions::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("{entry} (blocking): {e}"));
+    let split = run_source_with(
+        cfg(p),
+        src,
+        entry,
+        grid,
+        args,
+        RunOptions {
+            split_phase: true,
+            ..RunOptions::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("{entry} (split-phase): {e}"));
+
+    for ((name_b, a_b), (name_s, a_s)) in blocking.arrays.iter().zip(&split.arrays) {
+        assert_eq!(name_b, name_s);
+        assert_eq!(a_b.len(), a_s.len());
+        for (k, (x, y)) in a_b.iter().zip(a_s).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{entry}: array {name_b} diverges at flat {k}: {x} vs {y}"
+            );
+        }
+    }
+    assert_eq!(
+        blocking.report.total_exchange_words, split.report.total_exchange_words,
+        "{entry}: split-phase must move exactly the blocking value words"
+    );
+    assert_eq!(
+        blocking.report.total_schedule_replays, split.report.total_schedule_replays,
+        "{entry}: the replay decisions must not depend on the exchange mode"
+    );
+    assert_eq!(
+        blocking.report.overlap_hidden_seconds, 0.0,
+        "{entry}: the blocking engine must hide nothing"
+    );
+    assert!(
+        split.report.elapsed <= blocking.report.elapsed,
+        "{entry}: split-phase must never lengthen the virtual timeline \
+         ({} vs {})",
+        split.report.elapsed,
+        blocking.report.elapsed
+    );
+    (blocking, split)
+}
+
+fn grid2(np: i64, fill: f64) -> HostValue {
+    let w = (np + 1) as usize;
+    HostValue::Array {
+        data: vec![fill; w * w],
+        bounds: vec![(0, np), (0, np)],
+    }
+}
+
+#[test]
+fn differential_jacobi() {
+    let np = 12i64;
+    let (_, split) = differential(
+        listing("jacobi").unwrap(),
+        "jacobi",
+        4,
+        &[2, 2],
+        &[
+            grid2(np, 0.0),
+            grid2(np, 0.03),
+            HostValue::Int(np),
+            HostValue::Int(6),
+        ],
+    );
+    // The looped stencil replays and hides transit on every warm trip.
+    assert!(split.report.total_schedule_replays > 0);
+    assert!(
+        split.report.overlap_hidden_seconds > 0.0,
+        "warm jacobi trips must overlap transit with interior iterations"
+    );
+}
+
+#[test]
+fn differential_shift() {
+    let n = 12usize;
+    differential(
+        listing("shift").unwrap(),
+        "shift",
+        4,
+        &[4],
+        &[
+            HostValue::Array {
+                data: (1..=n).map(|i| i as f64).collect(),
+                bounds: vec![(1, n as i64)],
+            },
+            HostValue::Int(n as i64),
+        ],
+    );
+}
+
+#[test]
+fn differential_tri() {
+    let n = 32usize;
+    let sys = kali::kernels::TriDiag::random_dd(n, 7);
+    let x_true: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.31).cos()).collect();
+    let f = sys.apply(&x_true);
+    let arr = |data: Vec<f64>| HostValue::Array {
+        data,
+        bounds: vec![(1, n as i64)],
+    };
+    differential(
+        listing("tri").unwrap(),
+        "tri",
+        4,
+        &[4],
+        &[
+            arr(vec![0.0; n]),
+            arr(f),
+            arr(sys.b.clone()),
+            arr(sys.a.clone()),
+            arr(sys.c.clone()),
+            HostValue::Int(n as i64),
+        ],
+    );
+}
+
+#[test]
+fn differential_adi() {
+    let np = 8i64;
+    let (_, split) = differential(
+        listing("adi").unwrap(),
+        "adi",
+        4,
+        &[2, 2],
+        &[
+            grid2(np, 0.0),
+            grid2(np, 0.1),
+            grid2(np, 0.0),
+            HostValue::Int(np),
+            HostValue::Real(50.0),
+            HostValue::Int(2),
+            HostValue::Real(1.0),
+            HostValue::Real(1.0),
+        ],
+    );
+    assert!(split.report.total_schedule_replays > 0);
+}
+
+#[test]
+fn differential_block_cyclic_neighbour_reads() {
+    // cyclic(2) ownership: every block boundary is a remote read, so the
+    // boundary partition is dense — the worst case for overlap, and the
+    // best test that the engine still answers identically.
+    let src = r#"
+parsub bc(a, b, n, niter; procs)
+  processors procs(p)
+  real a(n), b(n) dist (cyclic(2))
+  do 1000 it = 1, niter
+    doall 100 i = 1, n - 1 on owner(a(i))
+      a(i) = a(i) + 0.5*b(i + 1) + 0.125*a(i + 1)
+100 continue
+1000 continue
+end
+"#;
+    let n = 16usize;
+    let (_, split) = differential(
+        src,
+        "bc",
+        4,
+        &[4],
+        &[
+            HostValue::Array {
+                data: vec![0.0; n],
+                bounds: vec![(1, n as i64)],
+            },
+            HostValue::Array {
+                data: (0..n).map(|i| (i * 3) as f64).collect(),
+                bounds: vec![(1, n as i64)],
+            },
+            HostValue::Int(n as i64),
+            HostValue::Int(4),
+        ],
+    );
+    assert!(split.report.total_schedule_replays > 0);
+}
+
+#[test]
+fn differential_redistribution_mid_loop() {
+    // A distribute between trips invalidates the schedule; the fresh
+    // (synchronous) invocation and later split-phase replays must still
+    // agree bitwise with the fully blocking run.
+    let src = r#"
+parsub swap(a, b, n, niter; procs)
+  processors procs(p)
+  real a(n), b(n) dist (block)
+  do 1000 it = 1, niter
+    doall 100 i = 1, n - 1 on owner(a(i))
+      a(i) = a(i) + 0.5*b(i + 1) + 0.25*b(i)
+100 continue
+    if (it .eq. 2) then
+      distribute b (cyclic(3))
+    endif
+1000 continue
+end
+"#;
+    let n = 16usize;
+    differential(
+        src,
+        "swap",
+        4,
+        &[4],
+        &[
+            HostValue::Array {
+                data: vec![0.0; n],
+                bounds: vec![(1, n as i64)],
+            },
+            HostValue::Array {
+                data: (0..n).map(|i| (i * i) as f64).collect(),
+                bounds: vec![(1, n as i64)],
+            },
+            HostValue::Int(n as i64),
+            HostValue::Int(5),
+        ],
+    );
+}
+
+#[test]
+fn split_phase_speedup_on_latency_bound_trips() {
+    // End-to-end latency check on a warm loop: with iPSC/2 costs the
+    // split-phase engine must be measurably faster, not merely no slower.
+    let np = 16i64;
+    let (blocking, split) = differential(
+        listing("jacobi").unwrap(),
+        "jacobi",
+        4,
+        &[2, 2],
+        &[
+            grid2(np, 0.0),
+            grid2(np, 0.02),
+            HostValue::Int(np),
+            HostValue::Int(8),
+        ],
+    );
+    let speedup = blocking.report.elapsed / split.report.elapsed;
+    assert!(
+        speedup > 1.05,
+        "expected a real win on 8 warm trips, got {speedup:.3}x"
+    );
+}

@@ -32,6 +32,7 @@ fn run_pair(
         args,
         RunOptions {
             schedule_cache: false,
+            ..RunOptions::default()
         },
     )
     .unwrap_or_else(|e| panic!("cache off: {e}\n{src}"));
@@ -43,6 +44,7 @@ fn run_pair(
         args,
         RunOptions {
             schedule_cache: true,
+            ..RunOptions::default()
         },
     )
     .unwrap_or_else(|e| panic!("cache on: {e}\n{src}"));
