@@ -300,9 +300,29 @@ impl<T: Elem, const N: usize> DistArrayN<T, N> {
         s
     }
 
+    /// Row-major flat index of a global element over the full extents —
+    /// the element naming used by communication schedules.
+    pub(crate) fn global_flat(&self, idx: [usize; N]) -> usize {
+        let mut f = 0usize;
+        for d in 0..N {
+            f = f * self.extents[d] + idx[d];
+        }
+        f
+    }
+
+    /// Inverse of [`DistArrayN::global_flat`].
+    pub(crate) fn global_unflat(&self, mut f: usize) -> [usize; N] {
+        let mut idx = [0usize; N];
+        for d in (0..N).rev() {
+            idx[d] = f % self.extents[d];
+            f /= self.extents[d];
+        }
+        idx
+    }
+
     /// Storage index of a global element visible to this processor (owned or
     /// within a ghost layer); `None` if remote.
-    fn storage_index(&self, idx: [usize; N]) -> Option<usize> {
+    pub(crate) fn storage_index(&self, idx: [usize; N]) -> Option<usize> {
         if !self.is_participant() {
             return None;
         }

@@ -1,37 +1,82 @@
 //! Ghost-layer exchange — the compiled form of Listing 2's guarded edge
 //! sends/receives, generalized to any block-distributed dimension of an
 //! N-dimensional array. Ships in two forms: the blocking
-//! [`DistArrayN::exchange_ghosts`] and the split-phase
+//! [`DistArrayN::exchange_ghosts`] (sequential per-dimension strip
+//! pipeline) and the split-phase
 //! [`DistArrayN::begin_exchange_ghosts`] /
 //! [`DistArrayN::finish_exchange_ghosts`] pair that lets interior
-//! computation overlap the strip transit.
+//! computation overlap the ghost transit.
+//!
+//! The split-phase pair is a thin adapter over the shared
+//! inspector–executor engine (`kali-sched`): the ghost geometry is turned
+//! into a [`CommSchedule`] *analytically* — every member derives, with no
+//! communication, which of its ghost cells each peer owns and which of
+//! its owned cells sit in each peer's ghost skirt — and the fused
+//! per-peer value messages are posted and completed by the same
+//! [`ScheduleExecutor`] that replays the interpreter's `doall` schedules.
+//! Because each ghost cell is fetched directly from its true *owner*
+//! (not pipelined through a face neighbour), the full variant
+//! ([`DistArrayN::begin_exchange_ghosts_full`]) refreshes corner and
+//! edge ghosts in the same posted exchange, so 9-point stencils can run
+//! split-phase; the default face-only variant skips the diagonal traffic
+//! that 5/7-point stencils never read.
 
-use kali_machine::{tag, PendingRecv, Proc, Wire, NS_ARRAY};
+use kali_machine::{tag, Proc, Wire, NS_ARRAY};
+use kali_sched::{ArraySchedule, CommSchedule, PendingValues, ScheduleExecutor, ScheduleWorld};
 
 use crate::arrays::{DistArrayN, Elem};
 
 const DIR_TO_HI: u64 = 0;
 const DIR_TO_LO: u64 = 1;
 
+/// Tag of the fused split-phase ghost value messages (one per
+/// communicating peer pair per exchange; posting-order matching keeps
+/// successive exchanges paired).
+const HALO_VALUE_TAG: u64 = tag(NS_ARRAY, 0x0048_6057);
+
+/// The halo's instance of the shared schedule executor.
+const EXEC: ScheduleExecutor = ScheduleExecutor::new(HALO_VALUE_TAG);
+
+/// The executor's view of a distributed array: a halo schedule names one
+/// array (index 0) and flat indices are global row-major element indices.
+impl<T: Elem, const N: usize> ScheduleWorld<T> for DistArrayN<T, N> {
+    fn load(&self, _array: usize, flat: u64) -> T {
+        let idx = self.global_unflat(flat as usize);
+        let s = self
+            .storage_index(idx)
+            .expect("halo schedule serves owned cells only");
+        self.data[s]
+    }
+
+    fn store(&mut self, _array: usize, flat: u64, value: T) {
+        let idx = self.global_unflat(flat as usize);
+        let s = self
+            .storage_index(idx)
+            .expect("halo schedule scatters into this processor's ghost skirt");
+        self.data[s] = value;
+    }
+}
+
 /// An in-flight split-phase ghost exchange created by
-/// [`DistArrayN::begin_exchange_ghosts`]. Complete it with
+/// [`DistArrayN::begin_exchange_ghosts`] or
+/// [`DistArrayN::begin_exchange_ghosts_full`]. Complete it with
 /// [`DistArrayN::finish_exchange_ghosts`] on an array of the same shape —
 /// usually the array itself, or a same-layout snapshot taken for
 /// copy-in/copy-out updates.
 #[must_use = "a begun ghost exchange must be completed with finish_exchange_ghosts"]
 pub struct PendingHalo<T: Wire> {
-    /// `(dimension, fills_low_ghost, handle)` in post order.
-    recvs: Vec<(usize, bool, PendingRecv<Vec<T>>)>,
+    sched: CommSchedule,
+    pending: PendingValues<T>,
 }
 
 impl<T: Wire> PendingHalo<T> {
-    /// Number of strip messages still outstanding.
+    /// Number of ghost value messages still outstanding.
     pub fn len(&self) -> usize {
-        self.recvs.len()
+        self.pending.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.recvs.is_empty()
+        self.pending.is_empty()
     }
 }
 
@@ -56,80 +101,182 @@ impl<T: Elem + Wire, const N: usize> DistArrayN<T, N> {
         }
     }
 
-    /// Split-phase ghost exchange, post half: pack and issue every strip as
-    /// a nonblocking send and post the matching receives, then return
-    /// immediately so the caller can compute on interior points while the
-    /// strips are in transit. Must be called by every member of the owning
-    /// grid (SPMD); non-members and empty owners return an empty pending
-    /// set.
+    /// Split-phase ghost exchange, post half: derive the ghost schedule
+    /// analytically, issue the fused per-peer value messages nonblocking
+    /// and post the matching receives, then return immediately so the
+    /// caller can compute on interior points while the values are in
+    /// transit. Must be called by every member of the owning grid (SPMD);
+    /// non-members and empty owners return an empty pending set.
     ///
-    /// Unlike [`DistArrayN::exchange_ghosts`], every dimension is posted
-    /// *concurrently*, so corner/edge ghosts shared between two
-    /// distributed dimensions are **not** refreshed — the packed strips
-    /// carry pre-exchange values in the orthogonal ghost slots. Use the
-    /// split-phase pair only for stencils that read no diagonal ghost
-    /// (5-point in 2-D, 7-point in 3-D); 9-point stencils need the
-    /// blocking exchange.
+    /// This face-only variant fetches the ghost cells that differ from
+    /// the owned box in exactly one dimension; corner/edge ghosts shared
+    /// between two distributed dimensions are **not** refreshed. Use it
+    /// for stencils that read no diagonal ghost (5-point in 2-D, 7-point
+    /// in 3-D); 9-point stencils use
+    /// [`DistArrayN::begin_exchange_ghosts_full`].
     pub fn begin_exchange_ghosts(&self, proc: &mut Proc) -> PendingHalo<T> {
-        let mut recvs = Vec::new();
-        if !self.is_participant() {
-            return PendingHalo { recvs };
+        self.begin_halo(proc, false)
+    }
+
+    /// Corner-completing split-phase ghost exchange: like
+    /// [`DistArrayN::begin_exchange_ghosts`], but every global-valid cell
+    /// of the ghost skirt — faces, edges *and* corners — is fetched
+    /// directly from its true owner, fused into the same posted exchange.
+    /// After completion the skirt is equal to what the blocking
+    /// [`DistArrayN::exchange_ghosts`] produces, so 9-point (2-D) and
+    /// 27-point (3-D) stencils can overlap the transit too.
+    pub fn begin_exchange_ghosts_full(&self, proc: &mut Proc) -> PendingHalo<T> {
+        self.begin_halo(proc, true)
+    }
+
+    fn begin_halo(&self, proc: &mut Proc, corners: bool) -> PendingHalo<T> {
+        if !self.in_grid() {
+            return PendingHalo {
+                sched: CommSchedule {
+                    arrays: Vec::new(),
+                    write_hint: 0,
+                    boundary: Vec::new(),
+                },
+                pending: PendingValues::none(),
+            };
         }
-        for d in 0..N {
-            if self.ghost[d] == 0 || self.dists[d].nprocs() <= 1 {
-                continue;
-            }
-            let g = self.ghost[d];
-            let my_layers = g.min(self.len[d]);
-            let up = self.neighbour(d, true);
-            let dn = self.neighbour(d, false);
-            debug_assert!(
-                my_layers == g || (up.is_none() && dn.is_none()) || self.len[d] >= g,
-                "block smaller than ghost width: halo will be partial"
-            );
-            if let Some(nbr) = up {
-                let strip = self.pack_layers(proc, d, g + self.len[d] - my_layers, my_layers);
-                let _ = proc.isend(nbr, tag(NS_ARRAY, (d as u64) << 1 | DIR_TO_HI), strip);
-            }
-            if let Some(nbr) = dn {
-                let strip = self.pack_layers(proc, d, g, my_layers);
-                let _ = proc.isend(nbr, tag(NS_ARRAY, (d as u64) << 1 | DIR_TO_LO), strip);
-            }
-        }
-        for d in 0..N {
-            if self.ghost[d] == 0 || self.dists[d].nprocs() <= 1 {
-                continue;
-            }
-            if let Some(nbr) = self.neighbour(d, false) {
-                recvs.push((
-                    d,
-                    true,
-                    proc.irecv(nbr, tag(NS_ARRAY, (d as u64) << 1 | DIR_TO_HI)),
-                ));
-            }
-            if let Some(nbr) = self.neighbour(d, true) {
-                recvs.push((
-                    d,
-                    false,
-                    proc.irecv(nbr, tag(NS_ARRAY, (d as u64) << 1 | DIR_TO_LO)),
-                ));
-            }
-        }
-        PendingHalo { recvs }
+        let sched = self.halo_schedule(corners);
+        let team = self.grid.team();
+        let pending = EXEC.post(proc, &team, &sched, self);
+        PendingHalo { sched, pending }
     }
 
     /// Split-phase ghost exchange, completion half: wait for every posted
-    /// strip and scatter it into this array's ghost layers. `self` must
-    /// have the shape the exchange was begun with (the array itself or a
-    /// same-layout clone).
+    /// value message and scatter it into this array's ghost skirt. `self`
+    /// must have the shape the exchange was begun with (the array itself
+    /// or a same-layout clone).
     pub fn finish_exchange_ghosts(&mut self, proc: &mut Proc, pending: PendingHalo<T>) {
-        for (d, to_low, h) in pending.recvs {
-            let strip = proc.wait(h);
-            let layers = strip.len() / self.layer_size(d);
-            let g = self.ghost[d];
-            let start = if to_low { g - layers } else { g + self.len[d] };
-            self.unpack_layers(proc, d, start, layers, &strip);
+        if !self.in_grid() {
+            return;
         }
+        let team = self.grid.team();
+        let PendingHalo { sched, pending } = pending;
+        EXEC.complete(proc, &team, &sched, self, pending);
+    }
+
+    /// Derive the ghost [`CommSchedule`] analytically: every member walks
+    /// each rank's storage box (owned block plus ghost skirt, clipped to
+    /// the global extents) in the same canonical row-major order, so the
+    /// requesting side and every serving side agree on the per-pair
+    /// element sequences without a request round. `corners` selects the
+    /// full skirt; otherwise only cells outside the owned box in exactly
+    /// one dimension (faces) take part.
+    fn halo_schedule(&self, corners: bool) -> CommSchedule {
+        let team = self.grid.team();
+        let q = team.len();
+        let mut my_reqs: Vec<Vec<u64>> = vec![Vec::new(); q];
+        let mut incoming: Vec<Vec<u64>> = vec![Vec::new(); q];
+        if self.ghost.iter().any(|&g| g > 0) && self.is_participant() {
+            // My own skirt: what I request of each cell's owner.
+            self.walk_skirt(&self.qs, corners, &mut |g| {
+                let oi = team
+                    .index_of(self.owner_rank(g))
+                    .expect("every owner belongs to the owning grid");
+                my_reqs[oi].push(self.global_flat(g) as u64);
+            });
+            // Peers whose widened (skirted) box can overlap my owned
+            // block: what each will request of me. Every other rank
+            // exchanges nothing with us, so its box is never walked.
+            for ti in 0..q {
+                let r = team.rank(ti);
+                if r == self.rank {
+                    continue;
+                }
+                let Some(rc) = self.grid.coords_of(r) else {
+                    continue;
+                };
+                let mut qs = [0usize; N];
+                let mut relevant = true;
+                for d in 0..N {
+                    let qd = match self.spec.grid_dim_of(d) {
+                        Some(gd) => rc[gd],
+                        None => 0,
+                    };
+                    qs[d] = qd;
+                    let dist = self.dists[d];
+                    let len = dist.local_len(qd);
+                    relevant &= len > 0;
+                    if dist.is_contiguous() {
+                        // Interval prefilter; non-contiguous dims (ghost
+                        // width 0 there) are conservatively kept.
+                        let lo = dist.lower(qd).unwrap_or(0);
+                        let skirt_lo = lo.saturating_sub(self.ghost[d]);
+                        let skirt_hi = lo + len + self.ghost[d];
+                        relevant &= skirt_lo < self.lo[d] + self.len[d] && self.lo[d] < skirt_hi;
+                    }
+                }
+                if !relevant {
+                    continue;
+                }
+                self.walk_skirt(&qs, corners, &mut |g| {
+                    if self.owner_rank(g) == self.rank {
+                        incoming[ti].push(self.global_flat(g) as u64);
+                    }
+                });
+            }
+        }
+        CommSchedule {
+            arrays: vec![ArraySchedule {
+                name: "ghosts".into(),
+                my_reqs,
+                incoming,
+            }],
+            write_hint: 0,
+            boundary: Vec::new(),
+        }
+    }
+
+    /// Visit the global-valid ghost-skirt cells of the block owned by the
+    /// processor at per-dimension coordinates `qs`, in canonical
+    /// (row-major, ascending) order: cells of its storage box that lie
+    /// outside its owned set — all of them when `corners`, else only
+    /// those outside in exactly one dimension. Along a contiguous
+    /// (block/local) dimension the storage box is the owned interval
+    /// widened by the ghost width and clipped to the extents; along a
+    /// non-contiguous dimension (necessarily ghost-free) it is exactly
+    /// the owned index list.
+    fn walk_skirt(&self, qs: &[usize; N], corners: bool, f: &mut impl FnMut([usize; N])) {
+        // Per dimension: the global indices of the storage box, each
+        // tagged with whether the processor owns it along that dimension.
+        let dims: [Vec<(usize, bool)>; N] = std::array::from_fn(|d| {
+            let dist = self.dists[d];
+            if dist.is_contiguous() {
+                let len = dist.local_len(qs[d]);
+                let lo = dist.lower(qs[d]).unwrap_or(0);
+                let start = lo.saturating_sub(self.ghost[d]);
+                let end = (lo + len + self.ghost[d]).min(self.extents[d]);
+                (start..end).map(|g| (g, g >= lo && g < lo + len)).collect()
+            } else {
+                debug_assert_eq!(self.ghost[d], 0, "ghosts require contiguous dims");
+                dist.owned(qs[d]).map(|g| (g, true)).collect()
+            }
+        });
+        fn rec<const N: usize>(
+            dims: &[Vec<(usize, bool)>; N],
+            d: usize,
+            corners: bool,
+            idx: &mut [usize; N],
+            outside: usize,
+            f: &mut impl FnMut([usize; N]),
+        ) {
+            if d == N {
+                if outside > 0 && (corners || outside == 1) {
+                    f(*idx);
+                }
+                return;
+            }
+            for &(g, inside) in &dims[d] {
+                idx[d] = g;
+                rec(dims, d + 1, corners, idx, outside + usize::from(!inside), f);
+            }
+        }
+        let mut idx = [0usize; N];
+        rec(&dims, 0, corners, &mut idx, 0, f);
     }
 
     /// Machine rank of the ownership neighbour in direction `dir` (−1/+1)
@@ -444,6 +591,127 @@ mod tests {
         let a3 = &run.results[3]; // owns [4..8)x[4..8)
         assert_eq!(a3.at(3, 4), 34.0);
         assert_eq!(a3.at(4, 3), 43.0);
+    }
+
+    #[test]
+    fn full_halo_matches_blocking_including_corners() {
+        // The corner-completing split-phase exchange must reproduce the
+        // blocking exchange bitwise on the whole storage box — faces,
+        // edges and corners — so 9-point stencils can go split-phase.
+        let run = Machine::run(cfg(4), |proc| {
+            let g = ProcGrid::new_2d(2, 2);
+            let spec = DistSpec::block2();
+            let mut a =
+                crate::DistArray2::from_fn(proc.rank(), &g, &spec, [8, 8], [1, 1], |[i, j]| {
+                    (10 * i + j) as f64
+                });
+            let mut b = a.clone();
+            a.exchange_ghosts(proc);
+            let pending = b.begin_exchange_ghosts_full(proc);
+            proc.compute(50.0);
+            b.finish_exchange_ghosts(proc, pending);
+            (a, b)
+        });
+        // Every global-valid cell of each storage box agrees.
+        for (rank, (a, b)) in run.results.iter().enumerate() {
+            for i in 0..8 {
+                for j in 0..8 {
+                    match (a.try_get([i, j]), b.try_get([i, j])) {
+                        (Some(x), Some(y)) => {
+                            assert_eq!(x.to_bits(), y.to_bits(), "rank {rank} ({i},{j})")
+                        }
+                        (None, None) => {}
+                        other => panic!("rank {rank} ({i},{j}): visibility differs {other:?}"),
+                    }
+                }
+            }
+        }
+        // The diagonal corner travelled: rank 0 sees (4,4) from rank 3.
+        assert_eq!(run.results[0].1.at(4, 4), 44.0);
+        assert_eq!(run.results[3].1.at(3, 3), 33.0);
+        assert!(run.report.overlap_hidden_seconds > 0.0);
+    }
+
+    #[test]
+    fn full_halo_on_3d_fills_edge_pencils() {
+        // dist (*, block, block): the (y, z) edge ghosts are diagonal
+        // traffic; the full halo must fetch them from the diagonal owner.
+        let run = Machine::run(cfg(4), |proc| {
+            let g = ProcGrid::new_2d(2, 2);
+            let spec = DistSpec::local_block_block();
+            let mut a = crate::DistArray3::from_fn(
+                proc.rank(),
+                &g,
+                &spec,
+                [4, 4, 4],
+                [0, 1, 1],
+                |[i, j, k]| (100 * i + 10 * j + k) as f64,
+            );
+            let pending = a.begin_exchange_ghosts_full(proc);
+            a.finish_exchange_ghosts(proc, pending);
+            a
+        });
+        let a0 = &run.results[0]; // owns y in [0..2), z in [0..2), all of x
+        assert_eq!(a0.at(3, 2, 1), 321.0); // y-face
+        assert_eq!(a0.at(3, 1, 2), 312.0); // z-face
+        assert_eq!(a0.at(2, 2, 2), 222.0); // diagonal edge pencil
+    }
+
+    #[test]
+    fn halo_on_an_array_with_a_cyclic_unghosted_dim() {
+        // dist (cyclic, block) with ghosts only along the block dim: the
+        // cyclic dimension's storage is its owned index list, not an
+        // interval, so the analytic schedule must enumerate owned
+        // indices there — and both sides must agree on the order.
+        let run = Machine::run(cfg(4), |proc| {
+            let g = ProcGrid::new_2d(2, 2);
+            let spec = DistSpec::parse("(cyclic, block)").unwrap();
+            let mut a =
+                crate::DistArray2::from_fn(proc.rank(), &g, &spec, [6, 8], [0, 1], |[i, j]| {
+                    (10 * i + j) as f64
+                });
+            let mut b = a.clone();
+            a.exchange_ghosts(proc);
+            let pending = b.begin_exchange_ghosts(proc);
+            b.finish_exchange_ghosts(proc, pending);
+            (a, b)
+        });
+        for (rank, (a, b)) in run.results.iter().enumerate() {
+            for i in 0..6 {
+                for j in 0..8 {
+                    assert_eq!(
+                        a.try_get([i, j]),
+                        b.try_get([i, j]),
+                        "rank {rank} ({i},{j})"
+                    );
+                }
+            }
+        }
+        // Rank 0 owns rows {0, 2, 4} and cols [0..4): its j-ghost at
+        // (2, 4) must hold the value from the col-neighbour (rank 1).
+        assert_eq!(run.results[0].1.try_get([2, 4]), Some(24.0));
+    }
+
+    #[test]
+    fn ghosts_wider_than_a_block_fetch_from_the_true_owner() {
+        // 8 elements over 4 procs with ghost width 2: each skirt spans
+        // two neighbouring blocks, so the outer ghost layer's owner is
+        // two hops away. The ownership-routed schedule fetches it
+        // directly; the strip pipeline could not.
+        let run = Machine::run(cfg(4), |proc| {
+            let g = ProcGrid::new_1d(4);
+            let spec = DistSpec::block1();
+            let mut a =
+                crate::DistArray1::from_fn(proc.rank(), &g, &spec, [8], [2], |[i]| i as f64);
+            let pending = a.begin_exchange_ghosts(proc);
+            a.finish_exchange_ghosts(proc, pending);
+            a
+        });
+        let a1 = &run.results[1]; // owns [2..4)
+        assert_eq!(a1.at(0), 0.0, "outer low ghost from rank 0");
+        assert_eq!(a1.at(1), 1.0);
+        assert_eq!(a1.at(4), 4.0);
+        assert_eq!(a1.at(5), 5.0, "outer high ghost from rank 3");
     }
 
     #[test]

@@ -13,8 +13,11 @@
 //!
 //! * [`DistArrayN::exchange_ghosts`] — the guarded edge exchange of
 //!   Listing 2 (Jacobi), generalized to any block-distributed dimension —
-//!   and its split-phase form [`DistArrayN::begin_exchange_ghosts`] /
-//!   [`DistArrayN::finish_exchange_ghosts`], which posts the strips
+//!   and its split-phase forms [`DistArrayN::begin_exchange_ghosts`]
+//!   (face ghosts) / [`DistArrayN::begin_exchange_ghosts_full`]
+//!   (corner-completing, for 9-point stencils) /
+//!   [`DistArrayN::finish_exchange_ghosts`], thin adapters over the
+//!   shared `kali-sched` executor that post the fused ghost values
 //!   nonblocking so interior computation overlaps the transit;
 //! * [`DistArrayN::extract_slice`]/[`DistArrayN::store_slice`] — copy-in /
 //!   copy-out of array slices (`r(i, *)`) passed to distributed procedures;

@@ -31,7 +31,7 @@ fn cfg_scaled(p: usize, comm_scale: f64) -> MachineConfig {
         .with_watchdog(Duration::from_secs(120))
 }
 
-fn jacobi_listing(np: i64, trips: i64, comm_scale: f64, split: bool) -> LangRun {
+fn jacobi_listing_with(np: i64, trips: i64, comm_scale: f64, opts: RunOptions) -> LangRun {
     let w = (np + 1) as usize;
     let f: Vec<f64> = (0..w * w)
         .map(|k| {
@@ -60,12 +60,21 @@ fn jacobi_listing(np: i64, trips: i64, comm_scale: f64, split: bool) -> LangRun 
             HostValue::Int(np),
             HostValue::Int(trips),
         ],
-        RunOptions {
-            schedule_cache: true,
-            split_phase: split,
-        },
+        opts,
     )
     .expect("jacobi listing runs")
+}
+
+fn jacobi_listing(np: i64, trips: i64, comm_scale: f64, split: bool) -> LangRun {
+    jacobi_listing_with(
+        np,
+        trips,
+        comm_scale,
+        RunOptions {
+            split_phase: split,
+            ..RunOptions::default()
+        },
+    )
 }
 
 /// Compiled-path Jacobi: `sweeps` runtime-library sweeps with the
@@ -169,6 +178,62 @@ pub fn run(opts: ExpOpts) -> ExpOut {
         }
     }
 
+    // Optimistic replay: the piggybacked consensus vote vs the dedicated
+    // one-word vote round, warm-trip marginal time (both split-phase).
+    let mut topt = Table::new(&[
+        "comm scale",
+        "pessimistic warm trip",
+        "optimistic warm trip",
+        "cut",
+        "hits",
+        "rollbacks",
+    ]);
+    let mut opt_rows = Vec::new();
+    for &scale in scales {
+        let pess = RunOptions {
+            optimistic: false,
+            ..RunOptions::default()
+        };
+        let pess_lo = jacobi_listing_with(np, lo, scale, pess);
+        let pess_hi = jacobi_listing_with(np, hi, scale, pess);
+        let opt_lo = jacobi_listing_with(np, lo, scale, RunOptions::default());
+        let opt_hi = jacobi_listing_with(np, hi, scale, RunOptions::default());
+        assert_eq!(
+            pess_hi.report.total_exchange_words, opt_hi.report.total_exchange_words,
+            "the piggybacked vote must not change the value traffic"
+        );
+        assert_eq!(
+            opt_hi.report.total_rollbacks, 0,
+            "a loop with stable distributions must never roll back"
+        );
+        assert_eq!(
+            opt_hi.report.total_optimistic_hits, opt_hi.report.total_schedule_replays,
+            "every replay must be served by the piggybacked vote"
+        );
+        let warm_p = warm_trip_from(&pess_lo, &pess_hi, lo, hi);
+        let warm_o = warm_trip_from(&opt_lo, &opt_hi, lo, hi);
+        topt.row(vec![
+            format!("{scale}x"),
+            fmt_s(warm_p),
+            fmt_s(warm_o),
+            format!("{:.2}x", warm_p / warm_o),
+            opt_hi.report.total_optimistic_hits.to_string(),
+            opt_hi.report.total_rollbacks.to_string(),
+        ]);
+        opt_rows.push(Json::obj(vec![
+            ("comm_scale", Json::Num(scale)),
+            ("trips", Json::from(hi as u64)),
+            ("warm_trip_pessimistic_s", Json::Num(warm_p)),
+            ("warm_trip_optimistic_s", Json::Num(warm_o)),
+            ("optimistic_cut", Json::Num(warm_p / warm_o)),
+            (
+                "optimistic_hits",
+                Json::from(opt_hi.report.total_optimistic_hits),
+            ),
+            ("rollbacks", Json::from(opt_hi.report.total_rollbacks)),
+        ]));
+    }
+
     // Compiled path: the same sweep shape through the runtime library.
     let mut tc = Table::new(&[
         "comm scale",
@@ -193,21 +258,26 @@ pub fn run(opts: ExpOpts) -> ExpOut {
     let text = format!(
         "=== Split-phase exchange: overlap vs blocking replay (jacobi {np}², 2x2 procs) ===\n\n\
          KF1 listing, schedule-cache replays:\n\n{}\n\
+         Optimistic replay (piggybacked vote vs one-word vote round, warm trip):\n\n{}\n\
          Compiled path (runtime-library sweeps):\n\n{}\n\
          The warm-trip column isolates one replayed trip ((t({hi})−t({lo}))/{d});\n\
          hidden/trip is the virtual transit the engine overlapped with\n\
          interior iterations. Speedups grow until the interior computation\n\
          no longer covers the transit (high comm scales), exactly the\n\
-         surface/volume reasoning of the paper's §3.\n",
+         surface/volume reasoning of the paper's §3. The optimistic cut is\n\
+         the warm-trip start-up the piggybacked consensus vote removes.\n",
         t.render(),
+        topt.render(),
         tc.render(),
         d = hi - lo,
     );
     let (sync_report, split_report) = sample_reports.expect("at least one scale");
     ExpOut::new("overlap", text)
         .with_table("listing", t)
+        .with_table("optimistic", topt)
         .with_table("compiled", tc)
         .with_extra("rows", Json::Arr(raw_rows))
+        .with_extra("optimistic_rows", Json::Arr(opt_rows))
         .with_extra("blocking_report", sync_report)
         .with_extra("split_report", split_report)
 }
@@ -238,5 +308,30 @@ mod tests {
         let doc = out.json().render();
         assert!(doc.contains("overlap_hidden_s"));
         assert!(doc.contains("warm_trip_speedup"));
+        assert!(doc.contains("optimistic_rows"));
+        assert!(doc.contains("warm_trip_optimistic_s"));
+    }
+
+    #[test]
+    fn optimistic_vote_cuts_the_warm_trip() {
+        use kali_lang::RunOptions;
+        let pess = RunOptions {
+            optimistic: false,
+            ..RunOptions::default()
+        };
+        let p_lo = super::jacobi_listing_with(16, 2, 1.0, pess);
+        let p_hi = super::jacobi_listing_with(16, 6, 1.0, pess);
+        let o_lo = super::jacobi_listing_with(16, 2, 1.0, RunOptions::default());
+        let o_hi = super::jacobi_listing_with(16, 6, 1.0, RunOptions::default());
+        let warm_p = super::warm_trip_from(&p_lo, &p_hi, 2, 6);
+        let warm_o = super::warm_trip_from(&o_lo, &o_hi, 2, 6);
+        assert!(
+            warm_o < warm_p,
+            "piggybacked vote must cut the warm trip: {warm_o:.3e} vs {warm_p:.3e}"
+        );
+        // Bitwise-identical answers despite the protocol change.
+        for (x, y) in p_hi.arrays[0].1.iter().zip(&o_hi.arrays[0].1) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 }

@@ -16,6 +16,7 @@
 //! |---|---|---|
 //! | machine | [`machine`] | deterministic virtual-time distributed-machine simulator |
 //! | placement | [`grid`] | processor arrays, slices, block/cyclic distributions |
+//! | scheduling | [`sched`] | shared inspector–executor engine: schedules, cache, replay consensus, split-phase executor |
 //! | data | [`mod@array`] | SPMD distributed arrays, ghost exchange, redistribution |
 //! | execution | [`runtime`] | doall/owner-computes, teams, copy-in/copy-out |
 //! | kernels | [`kernels`] | Thomas, substructured & pipelined tridiagonal, FFT, splines |
@@ -50,6 +51,7 @@ pub use kali_lang as lang;
 pub use kali_machine as machine;
 pub use kali_mp as mp;
 pub use kali_runtime as runtime;
+pub use kali_sched as sched;
 pub use kali_solvers as solvers;
 
 /// The commonly needed names in one import.

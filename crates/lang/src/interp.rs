@@ -36,7 +36,32 @@
 //!   reordering is invisible. On a latency-bound machine this hides most
 //!   of the message start-up cost behind owned-interior computation; the
 //!   hidden seconds are reported as
-//!   [`kali_machine::RunReport::overlap_hidden_seconds`].
+//!   [`kali_machine::RunReport::overlap_hidden_seconds`]. The cold
+//!   inspector invocation is split-phase too: the request rounds of all
+//!   participating arrays are posted nonblocking at once, and the cold
+//!   value exchange runs through the same post/interior/complete/boundary
+//!   engine, so even the first trip hides part of its start-up latency;
+//! * **optimistic replay**: by default the replay-consensus vote is not a
+//!   dedicated round at all. Each member assumes agreement, posts its
+//!   fused value messages immediately, and carries its `(site, team)`
+//!   ordinal as a one-word header on those messages (peers with no
+//!   scheduled traffic get the bare header word). Agreement is checked at
+//!   completion — zero extra latency on the hit path, counted as
+//!   [`kali_machine::RunReport::total_optimistic_hits`] — and a
+//!   disagreement (e.g. a `distribute` between trips on some member)
+//!   discards the received payloads and *rolls back* to a full
+//!   inspection, counted as
+//!   [`kali_machine::RunReport::total_rollbacks`]. Stale routes never
+//!   reach storage: rollback re-runs everything, including any interior
+//!   iterations speculatively executed, from the copy-in state.
+//!
+//! The schedule subsystem itself — [`CommSchedule`], the keyed
+//! [`ScheduleCache`], the consensus protocols, and the split-phase
+//! [`ScheduleExecutor`] — lives in the shared `kali-sched` crate; this
+//! module contributes only the language-side halves: the inspector
+//! (abstract interpretation of the body), the cache key (free scalars,
+//! structural array descriptions, distribution generations), and frame
+//! resolution of schedule array names.
 //!
 //! The phase marks (`doall:inspect`, `doall:post`, `doall:interior`,
 //! `doall:complete`, `doall:boundary`) let
@@ -64,7 +89,11 @@ use std::rc::Rc;
 use kali_grid::ProcGrid;
 use kali_kernels::substructure::{reduce_block, reduce_flops};
 use kali_kernels::tridiag::{thomas, thomas_flops};
-use kali_machine::{collective, tag, PendingRecv, Proc, Tag, Team, NS_LANG};
+use kali_machine::{collective, tag, Proc, Tag, Team, NS_LANG};
+use kali_sched::{
+    interior_positions, vote, ArraySchedule, CommSchedule, ScheduleCache, ScheduleExecutor,
+    ScheduleWorld, SiteKey, NO_VOTE,
+};
 
 use crate::ast::*;
 use crate::value::*;
@@ -123,35 +152,30 @@ const MAX_SCHEDULES_PER_SITE: usize = 128;
 /// successive invocations can never mis-pair messages.
 const SPLIT_VALUE_TAG: Tag = tag(NS_LANG, 0x0051_1137);
 
-/// The inspector's distilled output for one doall invocation: for each
-/// distributed array the body reads, the flat indices this processor must
-/// request from each team member and the flat indices each member will
-/// request of it. With both directions cached, a later invocation can run
-/// the value exchange directly — no inspector pass, no request round.
-struct CommSchedule {
-    arrays: Vec<ArraySchedule>,
-    /// Buffered-write count observed when the schedule was built; pre-sizes
-    /// the executor's copy-out buffer on replay.
-    write_hint: usize,
-    /// Positions (into the invocation's `my_iters`, ascending) of the
-    /// *boundary* iterations — those that read at least one remote element
-    /// during inspection. Everything else is *interior* and can execute
-    /// while the replayed exchange is still in flight.
-    boundary: Vec<usize>,
+/// Tag of the split-phase cold-inspection request round (one message per
+/// ordered peer pair per participating array; posting-order matching
+/// pairs the per-array messages).
+const SPLIT_REQUEST_TAG: Tag = tag(NS_LANG, 0x0052_4551);
+
+/// The interpreter's instance of the shared schedule executor: all fused
+/// value traffic travels under [`SPLIT_VALUE_TAG`].
+const EXEC: ScheduleExecutor = ScheduleExecutor::new(SPLIT_VALUE_TAG);
+
+/// The executor's view of the interpreter's storage: schedule array `k`
+/// resolves to the `k`-th frame-resolved base array, and flat indices are
+/// [`ArrObj`] row-major storage indices.
+struct LangWorld {
+    bases: Vec<ArrRef>,
 }
 
-struct ArraySchedule {
-    /// Body-visible name of the array; replay resolves it against the
-    /// *current* frame, so a schedule built in one call frame (e.g. a
-    /// `dynamic` array of a distributed procedure) replays in a later
-    /// frame whose arrays have the same structure. The cache therefore
-    /// holds no array references and cannot leak dead storage.
-    name: String,
-    /// Per team member: flat indices this processor requests.
-    my_reqs: Vec<Vec<u64>>,
-    /// Per team member: flat indices they request of us (the reply layout
-    /// of the value round).
-    incoming: Vec<Vec<u64>>,
+impl ScheduleWorld<f64> for LangWorld {
+    fn load(&self, array: usize, flat: u64) -> f64 {
+        self.bases[array].borrow().data[flat as usize]
+    }
+
+    fn store(&mut self, array: usize, flat: u64, value: f64) {
+        self.bases[array].borrow_mut().data[flat as usize] = value;
+    }
 }
 
 /// Everything the inspector's output is a deterministic function of. Two
@@ -190,17 +214,14 @@ struct ArrayKey {
     alias_of: usize,
 }
 
-struct CacheEntry {
-    key: ScheduleKey,
-    /// Fresh-construction ordinal *per (site, team)*. A fresh run for a
-    /// given site and team is collective across exactly that team, so
-    /// these counters advance in lockstep on every member (unlike any
-    /// processor-global counter, which diverges when a processor belongs
-    /// to intersecting teams — e.g. ADI row and column slices). The
-    /// replay consensus compares ordinals to guarantee all members
-    /// replay the same logical invocation.
-    seq: u64,
-    sched: Rc<CommSchedule>,
+impl SiteKey for ScheduleKey {
+    fn site(&self) -> usize {
+        self.site
+    }
+
+    fn team_ranks(&self) -> &[usize] {
+        &self.team_ranks
+    }
 }
 
 /// What a body scan found: every name the body references, the subset in
@@ -278,10 +299,14 @@ pub struct Interp<'a, 'p> {
     /// Replay cached schedules split-phase (post / interior /
     /// complete-boundary) instead of with a blocking fused exchange?
     split_phase: bool,
+    /// Piggyback the replay-consensus vote on the fused value messages
+    /// (optimistic replay with rollback) instead of running a dedicated
+    /// one-word vote round before each replay?
+    optimistic: bool,
     /// Cached communication schedules. Shared across frames: the key
     /// carries every frame-dependent input (bindings, views, generations),
     /// so a hit is valid regardless of which call produced the entry.
-    schedules: Vec<CacheEntry>,
+    schedules: ScheduleCache<ScheduleKey>,
 }
 
 impl<'a, 'p> Interp<'a, 'p> {
@@ -295,7 +320,8 @@ impl<'a, 'p> Interp<'a, 'p> {
             iter_start: 0,
             cache_enabled: true,
             split_phase: true,
-            schedules: Vec::new(),
+            optimistic: true,
+            schedules: ScheduleCache::new(MAX_SCHEDULES_PER_SITE),
         }
     }
 
@@ -310,6 +336,13 @@ impl<'a, 'p> Interp<'a, 'p> {
     /// — the latency-hiding differential baseline.
     pub fn set_split_phase(&mut self, on: bool) {
         self.split_phase = on;
+    }
+
+    /// Enable or disable optimistic replay. Disabled, every replay
+    /// decision runs the dedicated one-word pessimistic vote round — the
+    /// differential baseline for the piggybacked-vote protocol.
+    pub fn set_optimistic(&mut self, on: bool) {
+        self.optimistic = on;
     }
 
     fn me(&self) -> usize {
@@ -719,7 +752,8 @@ impl<'a, 'p> Interp<'a, 'p> {
         self.frame_mut().scopes.pop();
     }
 
-    /// The three-phase doall engine: inspect-or-replay, exchange, execute.
+    /// The four-phase doall engine: inspect-or-replay, then either the
+    /// replayed split-phase exchange or a fresh inspection.
     fn run_inspector_executor(
         &mut self,
         site: usize,
@@ -739,33 +773,166 @@ impl<'a, 'p> Interp<'a, 'p> {
         // alone would not be uniform: a site cached under a row slice and
         // re-entered under a column slice would mix voters with
         // non-voters and desynchronize the collectives.)
-        if self.cache_enabled {
-            let key = self.schedule_cache_key(site, &team, my_iters, body);
-            let site_team_has_entries = self
-                .schedules
-                .iter()
-                .any(|e| e.key.site == site && e.key.team_ranks == team.ranks());
-            if key.is_some() && site_team_has_entries {
-                let local = key.as_ref().and_then(|k| self.lookup_schedule(k));
-                let agreed = self.replay_consensus(&team, local.as_ref().map(|(s, _)| *s));
-                if let Some(seq) = agreed {
-                    let (cached_seq, sched) = local.expect("agreed ordinal implies a local hit");
-                    debug_assert_eq!(cached_seq, seq);
-                    self.proc.note_schedule_replay();
-                    if self.split_phase {
-                        self.replay_split_phase(&team, &sched, vars, my_iters, body)?;
-                    } else {
-                        self.proc.mark("doall:exchange");
-                        self.exchange_replay(&team, &sched)?;
-                        self.proc.mark("doall:execute");
-                        self.run_executor(vars, my_iters, body, sched.write_hint)?;
-                    }
+        if !self.cache_enabled {
+            return self.run_fresh(&team, vars, my_iters, body, None);
+        }
+        let key = self.schedule_cache_key(site, &team, my_iters, body);
+        let can_vote = key.is_some() && self.schedules.has_site_team(site, team.ranks());
+        if can_vote {
+            let local = key.as_ref().and_then(|k| self.schedules.lookup(k));
+            if self.optimistic {
+                if self.replay_optimistic(&team, local, vars, my_iters, body)? {
                     return Ok(());
                 }
+                // Disagreement rolled the trip back: inspect fresh below.
+            } else if let Some(seq) =
+                vote::consensus(self.proc, &team, local.as_ref().map(|(s, _)| *s))
+            {
+                let (cached_seq, sched) = local.expect("agreed ordinal implies a local hit");
+                debug_assert_eq!(cached_seq, seq);
+                self.proc.note_schedule_replay();
+                self.replay_pessimistic(&team, &sched, vars, my_iters, body)?;
+                return Ok(());
             }
-            self.run_fresh(&team, vars, my_iters, body, key)
+        }
+        self.run_fresh(&team, vars, my_iters, body, key)
+    }
+
+    /// Replay a vote-confirmed schedule: split-phase (post / interior /
+    /// complete / boundary) or as one blocking fused value round.
+    fn replay_pessimistic(
+        &mut self,
+        team: &Team,
+        sched: &CommSchedule,
+        vars: &[String],
+        my_iters: &[Vec<i64>],
+        body: &[Stmt],
+    ) -> RtResult<()> {
+        let mut world = LangWorld {
+            bases: self.resolve_schedule_bases(sched)?,
+        };
+        if self.split_phase {
+            self.proc.mark("doall:post");
+            let pending = EXEC.post(self.proc, team, sched, &world);
+            self.proc.mark("doall:interior");
+            let interior = interior_positions(&sched.boundary, my_iters.len());
+            let (int_writes, int_segs) =
+                self.exec_iterations(vars, my_iters, &interior, body, sched.write_hint)?;
+            self.proc.mark("doall:complete");
+            EXEC.complete(self.proc, team, sched, &mut world, pending);
+            self.finish_split_execution(
+                &sched.boundary,
+                vars,
+                my_iters,
+                body,
+                int_writes,
+                int_segs,
+            )?;
         } else {
-            self.run_fresh(&team, vars, my_iters, body, None)
+            self.proc.mark("doall:exchange");
+            EXEC.exchange_blocking(self.proc, team, sched, &mut world);
+            self.proc.mark("doall:execute");
+            self.run_executor(vars, my_iters, body, sched.write_hint)?;
+        }
+        Ok(())
+    }
+
+    /// Optimistic replay attempt: post the fused value messages with the
+    /// local `(site, team)` ordinal as a one-word header (bare header for
+    /// a local miss), speculatively run the interior while they fly, and
+    /// check the peers' headers at completion. Returns `Ok(true)` when
+    /// the piggybacked votes agreed and the trip was served; `Ok(false)`
+    /// rolls back — speculative writes and received payloads are
+    /// discarded, and the caller re-runs the full inspection.
+    fn replay_optimistic(
+        &mut self,
+        team: &Team,
+        local: Option<(u64, Rc<CommSchedule>)>,
+        vars: &[String],
+        my_iters: &[Vec<i64>],
+        body: &[Stmt],
+    ) -> RtResult<bool> {
+        let hit = match &local {
+            Some((seq, sched)) => {
+                let world = LangWorld {
+                    bases: self.resolve_schedule_bases(sched)?,
+                };
+                Some((*seq, Rc::clone(sched), world))
+            }
+            None => None,
+        };
+        let my_vote = hit.as_ref().map_or(NO_VOTE, |(seq, _, _)| *seq as i64);
+        if self.split_phase {
+            self.proc.mark("doall:post");
+            let pending = EXEC.post_optimistic(
+                self.proc,
+                team,
+                my_vote,
+                hit.as_ref().map(|(_, s, w)| (s.as_ref(), w)),
+            );
+            // Interior iterations read no remote element and my key
+            // matched my own arrays, so they are safe to run before the
+            // consensus is known; their writes stay buffered and are
+            // simply dropped on rollback.
+            let mut interior_run = None;
+            if let Some((_, sched, _)) = &hit {
+                self.proc.mark("doall:interior");
+                let interior = interior_positions(&sched.boundary, my_iters.len());
+                interior_run = Some(self.exec_iterations(
+                    vars,
+                    my_iters,
+                    &interior,
+                    body,
+                    sched.write_hint,
+                )?);
+            }
+            self.proc.mark("doall:complete");
+            let outcome = EXEC.complete_optimistic(self.proc, pending);
+            match (outcome.agreed, hit) {
+                (Some(seq), Some((cached_seq, sched, mut world))) => {
+                    debug_assert_eq!(cached_seq, seq);
+                    self.proc.note_schedule_replay();
+                    self.proc.note_optimistic_hit();
+                    EXEC.scatter_agreed(self.proc, &sched, &mut world, &outcome);
+                    let (int_writes, int_segs) = interior_run.expect("local hit ran the interior");
+                    self.finish_split_execution(
+                        &sched.boundary,
+                        vars,
+                        my_iters,
+                        body,
+                        int_writes,
+                        int_segs,
+                    )?;
+                    Ok(true)
+                }
+                _ => {
+                    self.proc.note_rollback();
+                    Ok(false)
+                }
+            }
+        } else {
+            self.proc.mark("doall:exchange");
+            let outcome = EXEC.exchange_optimistic_blocking(
+                self.proc,
+                team,
+                my_vote,
+                hit.as_ref().map(|(_, s, w)| (s.as_ref(), w)),
+            );
+            match (outcome.agreed, hit) {
+                (Some(seq), Some((cached_seq, sched, mut world))) => {
+                    debug_assert_eq!(cached_seq, seq);
+                    self.proc.note_schedule_replay();
+                    self.proc.note_optimistic_hit();
+                    EXEC.scatter_agreed(self.proc, &sched, &mut world, &outcome);
+                    self.proc.mark("doall:execute");
+                    self.run_executor(vars, my_iters, body, sched.write_hint)?;
+                    Ok(true)
+                }
+                _ => {
+                    self.proc.note_rollback();
+                    Ok(false)
+                }
+            }
         }
     }
 
@@ -805,12 +972,14 @@ impl<'a, 'p> Interp<'a, 'p> {
             _ => unreachable!(),
         };
 
-        // ---- Schedule construction + exchange: one request round and one
-        // value round per distributed array the body reads (static order).
+        // ---- Schedule construction: gather the distributed arrays the
+        // body reads (static order) and route each array's remote needs
+        // to their owners.
         self.proc.mark("doall:exchange");
         let read_names = collect_read_names(body);
-        let mut arrays: Vec<ArraySchedule> = Vec::new();
-        let mut exchanged: Vec<ArrRef> = Vec::new();
+        let mut names: Vec<String> = Vec::new();
+        let mut bases: Vec<ArrRef> = Vec::new();
+        let mut reqs_all: Vec<Vec<Vec<u64>>> = Vec::new();
         for name in read_names {
             let view = match self.frame().lookup(&name) {
                 Some(Binding::Array(view)) => view.clone(),
@@ -834,7 +1003,7 @@ impl<'a, 'p> Interp<'a, 'p> {
             if base.borrow().replicated() {
                 continue;
             }
-            if exchanged.iter().any(|a| Rc::ptr_eq(a, &base)) {
+            if bases.iter().any(|a| Rc::ptr_eq(a, &base)) {
                 continue;
             }
             let my_needs: Vec<usize> = needs
@@ -842,19 +1011,15 @@ impl<'a, 'p> Interp<'a, 'p> {
                 .find(|(a, _)| Rc::ptr_eq(a, &base))
                 .map(|(_, v)| v.clone())
                 .unwrap_or_default();
-            let t0 = self.proc.clock();
-            let sched = self.build_schedule(team, &base, name, &my_needs)?;
-            let dt = self.proc.clock() - t0;
-            self.proc.attribute_inspector_time(dt);
-            self.exchange_schedule(team, &base, &sched)?;
-            arrays.push(sched);
-            exchanged.push(base);
+            reqs_all.push(self.compute_requests(team, &base, &my_needs)?);
+            names.push(name);
+            bases.push(base);
         }
-        // Every array the inspector recorded remote reads for must have
-        // been exchanged above; anything missed would execute on stale
+        // Every array the inspector recorded remote reads for must take
+        // part in the exchange; anything missed would execute on stale
         // values.
         for (arr, flats) in &needs {
-            if !flats.is_empty() && !exchanged.iter().any(|a| Rc::ptr_eq(a, arr)) {
+            if !flats.is_empty() && !bases.iter().any(|a| Rc::ptr_eq(a, arr)) {
                 return Err(format!(
                     "inspector recorded {} remote read(s) of {} but the exchange phase \
                      did not fetch them (stale-read hazard)",
@@ -864,18 +1029,69 @@ impl<'a, 'p> Interp<'a, 'p> {
             }
         }
 
-        // ---- Executor.
-        self.proc.mark("doall:execute");
-        let write_hint = self.run_executor(vars, my_iters, body, 0)?;
+        // ---- Request rounds: afterwards every team member also knows
+        // what its peers will ask of it. In split-phase mode the rounds
+        // of *all* arrays are posted nonblocking at once, so the request
+        // latency of later arrays hides behind the traffic of earlier
+        // ones instead of serializing one synchronous exchange per array.
+        let t0 = self.proc.clock();
+        let incoming_all: Vec<Vec<Vec<u64>>> = if self.split_phase {
+            ScheduleExecutor::request_rounds_split(SPLIT_REQUEST_TAG, self.proc, team, &reqs_all)
+        } else {
+            reqs_all
+                .iter()
+                .map(|reqs| collective::alltoallv(self.proc, team, reqs.clone()))
+                .collect()
+        };
+        let dt = self.proc.clock() - t0;
+        self.proc.attribute_inspector_time(dt);
+
+        let arrays: Vec<ArraySchedule> = names
+            .into_iter()
+            .zip(reqs_all)
+            .zip(incoming_all)
+            .map(|((name, my_reqs), incoming)| ArraySchedule {
+                name,
+                my_reqs,
+                incoming,
+            })
+            .collect();
+        let mut sched = CommSchedule {
+            arrays,
+            write_hint: 0,
+            boundary,
+        };
+        let mut world = LangWorld { bases };
+
+        // ---- Value exchange + executor. Even the cold trip runs the
+        // split-phase engine: the inspector already proved which
+        // iterations are interior, so they execute while the fused value
+        // messages are in flight.
+        let write_hint = if self.split_phase {
+            self.proc.mark("doall:post");
+            let pending = EXEC.post(self.proc, team, &sched, &world);
+            self.proc.mark("doall:interior");
+            let interior = interior_positions(&sched.boundary, my_iters.len());
+            let (int_writes, int_segs) =
+                self.exec_iterations(vars, my_iters, &interior, body, 0)?;
+            self.proc.mark("doall:complete");
+            EXEC.complete(self.proc, team, &sched, &mut world, pending);
+            self.finish_split_execution(
+                &sched.boundary,
+                vars,
+                my_iters,
+                body,
+                int_writes,
+                int_segs,
+            )?
+        } else {
+            EXEC.exchange_blocking(self.proc, team, &sched, &mut world);
+            self.proc.mark("doall:execute");
+            self.run_executor(vars, my_iters, body, 0)?
+        };
         if let Some(key) = key {
-            self.store_schedule(
-                key,
-                CommSchedule {
-                    arrays,
-                    write_hint,
-                    boundary,
-                },
-            );
+            sched.write_hint = write_hint;
+            self.schedules.store(key, sched);
         }
         Ok(())
     }
@@ -934,103 +1150,25 @@ impl<'a, 'p> Interp<'a, 'p> {
         Ok((writes, seg_ends))
     }
 
-    /// Split-phase replay of a cached schedule — the latency-hiding
-    /// four-phase engine:
-    ///
-    /// 1. **post**: serve every peer's cached requests from local storage
-    ///    and issue the fused per-peer value messages as nonblocking sends;
-    ///    post the matching nonblocking receives. Peers with no traffic in
-    ///    a direction exchange no message at all (both sides hold the
-    ///    schedule, so they agree).
-    /// 2. **interior**: execute the iterations that read no remote element
-    ///    while the value messages are in transit.
-    /// 3. **complete**: wait for the posted receives and scatter the
-    ///    remote values into place — only now is idle charged, and only
-    ///    for the transit the interior work did not cover.
-    /// 4. **boundary**: execute the remote-reading iterations against the
-    ///    freshened storage, then commit all buffered writes in original
-    ///    iteration order (copy-out).
-    fn replay_split_phase(
+    /// The tail of a split-phase execution, shared by replays and cold
+    /// trips: run the **boundary** iterations against freshened storage,
+    /// then commit all buffered writes (interior and boundary) in
+    /// *original* iteration order — if two iterations write the same
+    /// element, the last iteration must win exactly as in the synchronous
+    /// executor. Returns the total buffered-write count (the next
+    /// replay's `write_hint`).
+    fn finish_split_execution(
         &mut self,
-        team: &Team,
-        sched: &CommSchedule,
+        boundary: &[usize],
         vars: &[String],
         my_iters: &[Vec<i64>],
         body: &[Stmt],
-    ) -> RtResult<()> {
-        let bases = self.resolve_schedule_bases(sched)?;
-        let q = team.len();
-        let me = team
-            .index_of(self.me())
-            .expect("replaying processor is a team member");
-
-        // ---- Phase 1: post.
-        self.proc.mark("doall:post");
-        let mut replies: Vec<Vec<f64>> = vec![Vec::new(); q];
-        let mut served = 0usize;
-        for (a, base) in sched.arrays.iter().zip(&bases) {
-            let b = base.borrow();
-            for (d, idxs) in a.incoming.iter().enumerate() {
-                replies[d].extend(idxs.iter().map(|&i| b.data[i as usize]));
-                served += idxs.len();
-            }
-        }
-        self.proc.memop(served as f64);
-        for (d, payload) in replies.into_iter().enumerate() {
-            if d != me && !payload.is_empty() {
-                let _ = self.proc.isend(team.rank(d), SPLIT_VALUE_TAG, payload);
-            }
-        }
-        let expect_from: Vec<usize> = (0..q)
-            .filter(|&d| d != me && sched.arrays.iter().any(|a| !a.my_reqs[d].is_empty()))
-            .collect();
-        let pending: Vec<(usize, PendingRecv<Vec<f64>>)> = expect_from
-            .iter()
-            .map(|&d| (d, self.proc.irecv(team.rank(d), SPLIT_VALUE_TAG)))
-            .collect();
-
-        // ---- Phase 2: interior.
-        self.proc.mark("doall:interior");
-        let mut bi = 0usize;
-        let mut interior = Vec::with_capacity(my_iters.len() - sched.boundary.len());
-        for pos in 0..my_iters.len() {
-            if bi < sched.boundary.len() && sched.boundary[bi] == pos {
-                bi += 1;
-            } else {
-                interior.push(pos);
-            }
-        }
-        let (int_writes, int_segs) =
-            self.exec_iterations(vars, my_iters, &interior, body, sched.write_hint)?;
-
-        // ---- Phase 3: complete.
-        self.proc.mark("doall:complete");
-        let mut values: Vec<Vec<f64>> = vec![Vec::new(); q];
-        for (d, p) in pending {
-            values[d] = self.proc.wait(p);
-        }
-        let mut recvd = 0usize;
-        let mut cursor = vec![0usize; q];
-        for (a, base) in sched.arrays.iter().zip(&bases) {
-            let mut b = base.borrow_mut();
-            for (d, idxs) in a.my_reqs.iter().enumerate() {
-                for &flat in idxs {
-                    b.data[flat as usize] = values[d][cursor[d]];
-                    cursor[d] += 1;
-                }
-                recvd += idxs.len();
-            }
-        }
-        self.proc.note_exchange_words(recvd as u64);
-
-        // ---- Phase 4: boundary, then copy-out.
+        int_writes: Vec<(ArrRef, usize, f64)>,
+        int_segs: Vec<usize>,
+    ) -> RtResult<usize> {
         self.proc.mark("doall:boundary");
-        let (bnd_writes, bnd_segs) =
-            self.exec_iterations(vars, my_iters, &sched.boundary, body, 0)?;
+        let (bnd_writes, bnd_segs) = self.exec_iterations(vars, my_iters, boundary, body, 0)?;
 
-        // Commit in *original* iteration order: if two iterations write
-        // the same element, the last iteration must win exactly as in the
-        // synchronous executor.
         let total = int_writes.len() + bnd_writes.len();
         self.proc.memop(total as f64);
         let mut int_iter = int_writes.into_iter();
@@ -1039,7 +1177,7 @@ impl<'a, 'p> Interp<'a, 'p> {
         let (mut b_seg, mut b_off) = (0usize, 0usize);
         let mut bi = 0usize;
         for pos in 0..my_iters.len() {
-            let take = if bi < sched.boundary.len() && sched.boundary[bi] == pos {
+            let take = if bi < boundary.len() && boundary[bi] == pos {
                 bi += 1;
                 let n = bnd_segs[b_seg] - b_off;
                 b_off = bnd_segs[b_seg];
@@ -1055,7 +1193,7 @@ impl<'a, 'p> Interp<'a, 'p> {
                 arr.borrow_mut().data[flat] = v;
             }
         }
-        Ok(())
+        Ok(total)
     }
 
     /// Resolve each schedule entry against the *current* frame: the cache
@@ -1074,79 +1212,56 @@ impl<'a, 'p> Interp<'a, 'p> {
             .collect()
     }
 
-    /// Compute the request vectors for `my_needs` (flat indices of remote
-    /// elements of `base`) and run the request round; afterwards every
-    /// team member also knows what its peers will ask of it.
-    fn build_schedule(
+    /// Route `my_needs` (flat indices of remote elements of `base`) to
+    /// their owners: one request vector per team member. Purely local —
+    /// the request *round* itself runs through the shared executor (or a
+    /// blocking all-to-all in blocking mode).
+    fn compute_requests(
         &mut self,
         team: &Team,
         base: &ArrRef,
-        name: String,
         my_needs: &[usize],
-    ) -> RtResult<ArraySchedule> {
+    ) -> RtResult<Vec<Vec<u64>>> {
         let q = team.len();
         let mut reqs: Vec<Vec<u64>> = vec![Vec::new(); q];
-        {
-            let b = base.borrow();
-            for &flat in my_needs {
-                let idxs = b.unflat(flat);
-                let owner = b
-                    .owner_of(&idxs)
-                    .ok_or_else(|| format!("element of {} has no owner", b.name))?;
-                let Some(ti) = team.index_of(owner) else {
-                    return Err(format!(
-                        "owner rank {owner} of {} is outside the current processor array",
-                        b.name
-                    ));
-                };
-                reqs[ti].push(flat as u64);
-            }
+        let b = base.borrow();
+        for &flat in my_needs {
+            let idxs = b.unflat(flat);
+            let owner = b
+                .owner_of(&idxs)
+                .ok_or_else(|| format!("element of {} has no owner", b.name))?;
+            let Some(ti) = team.index_of(owner) else {
+                return Err(format!(
+                    "owner rank {owner} of {} is outside the current processor array",
+                    b.name
+                ));
+            };
+            reqs[ti].push(flat as u64);
         }
-        let incoming = collective::alltoallv(self.proc, team, reqs.clone());
-        Ok(ArraySchedule {
-            name,
-            my_reqs: reqs,
-            incoming,
-        })
-    }
-
-    /// The value round: serve the schedule's `incoming` requests from
-    /// local storage and scatter the received values into place.
-    fn exchange_schedule(
-        &mut self,
-        team: &Team,
-        base: &ArrRef,
-        sched: &ArraySchedule,
-    ) -> RtResult<()> {
-        let replies: Vec<Vec<f64>> = {
-            let b = base.borrow();
-            sched
-                .incoming
-                .iter()
-                .map(|idxs| idxs.iter().map(|&i| b.data[i as usize]).collect())
-                .collect()
-        };
-        self.proc
-            .memop(replies.iter().map(|r| r.len()).sum::<usize>() as f64);
-        let values = collective::alltoallv(self.proc, team, replies);
-        let recvd: usize = sched.my_reqs.iter().map(|r| r.len()).sum();
-        self.proc.note_exchange_words(recvd as u64);
-        let mut b = base.borrow_mut();
-        for (d, idxs) in sched.my_reqs.iter().enumerate() {
-            for (k, &flat) in idxs.iter().enumerate() {
-                b.data[flat as usize] = values[d][k];
-            }
-        }
-        Ok(())
+        Ok(reqs)
     }
 
     /// Request/reply exchange bringing `my_needs` (flat indices of remote
-    /// elements of `base`) into local storage — an uncached
-    /// build-plus-exchange, used by `distribute`.
+    /// elements of `base`) into local storage — an uncached one-shot
+    /// schedule executed blocking through the shared engine, used by
+    /// `distribute`.
     fn fetch_remote(&mut self, team: &Team, base: &ArrRef, my_needs: &[usize]) -> RtResult<()> {
-        let name = base.borrow().name.clone();
-        let sched = self.build_schedule(team, base, name, my_needs)?;
-        self.exchange_schedule(team, base, &sched)
+        let my_reqs = self.compute_requests(team, base, my_needs)?;
+        let incoming = collective::alltoallv(self.proc, team, my_reqs.clone());
+        let sched = CommSchedule {
+            arrays: vec![ArraySchedule {
+                name: base.borrow().name.clone(),
+                my_reqs,
+                incoming,
+            }],
+            write_hint: 0,
+            boundary: Vec::new(),
+        };
+        let mut world = LangWorld {
+            bases: vec![base.clone()],
+        };
+        EXEC.exchange_blocking(self.proc, team, &sched, &mut world);
+        Ok(())
     }
 
     // ---------- schedule cache ----------
@@ -1220,98 +1335,6 @@ impl<'a, 'p> Interp<'a, 'p> {
             scalars,
             arrays,
         })
-    }
-
-    /// Most recent cached schedule matching `key`, with its ordinal.
-    fn lookup_schedule(&self, key: &ScheduleKey) -> Option<(u64, Rc<CommSchedule>)> {
-        self.schedules
-            .iter()
-            .filter(|e| e.key == *key)
-            .max_by_key(|e| e.seq)
-            .map(|e| (e.seq, Rc::clone(&e.sched)))
-    }
-
-    fn store_schedule(&mut self, key: ScheduleKey, sched: CommSchedule) {
-        // Next per-(site, team) ordinal; eviction removes the *lowest*
-        // ordinal, so the running maximum (and hence the numbering) stays
-        // aligned across the team.
-        let seq = self
-            .schedules
-            .iter()
-            .filter(|e| e.key.site == key.site && e.key.team_ranks == key.team_ranks)
-            .map(|e| e.seq)
-            .max()
-            .unwrap_or(0)
-            + 1;
-        let site = key.site;
-        self.schedules.push(CacheEntry {
-            key,
-            seq,
-            sched: Rc::new(sched),
-        });
-        let count = self.schedules.iter().filter(|e| e.key.site == site).count();
-        if count > MAX_SCHEDULES_PER_SITE {
-            if let Some(pos) = self
-                .schedules
-                .iter()
-                .enumerate()
-                .filter(|(_, e)| e.key.site == site)
-                .min_by_key(|(_, e)| e.seq)
-                .map(|(i, _)| i)
-            {
-                self.schedules.remove(pos);
-            }
-        }
-    }
-
-    /// Team-wide agreement on the cached (site, team) ordinal to replay:
-    /// returns `Some(seq)` only when *every* member holds a matching
-    /// schedule from the same fresh construction. A flat one-word vote
-    /// exchange — no tree depth, so it costs one latency, not log q of
-    /// them; members with no local hit vote -1, which can never win.
-    fn replay_consensus(&mut self, team: &Team, local_seq: Option<u64>) -> Option<u64> {
-        let mine = local_seq.map_or(-1.0, |e| e as f64);
-        if team.len() > 1 {
-            let votes = collective::alltoallv(self.proc, team, vec![mine; team.len()]);
-            if votes.iter().any(|&v| v != mine) {
-                return None;
-            }
-        }
-        (mine >= 0.0).then_some(mine as u64)
-    }
-
-    /// Replay the cached schedule's exchange as one *fused* value round:
-    /// the replies for every array travel in a single message per peer
-    /// (the request round is skipped entirely — both sides already hold
-    /// the schedule).
-    fn exchange_replay(&mut self, team: &Team, sched: &CommSchedule) -> RtResult<()> {
-        let bases = self.resolve_schedule_bases(sched)?;
-        let q = team.len();
-        let mut replies: Vec<Vec<f64>> = vec![Vec::new(); q];
-        let mut served = 0usize;
-        for (a, base) in sched.arrays.iter().zip(&bases) {
-            let b = base.borrow();
-            for (d, idxs) in a.incoming.iter().enumerate() {
-                replies[d].extend(idxs.iter().map(|&i| b.data[i as usize]));
-                served += idxs.len();
-            }
-        }
-        self.proc.memop(served as f64);
-        let values = collective::alltoallv(self.proc, team, replies);
-        let mut recvd = 0usize;
-        let mut cursor = vec![0usize; q];
-        for (a, base) in sched.arrays.iter().zip(&bases) {
-            let mut b = base.borrow_mut();
-            for (d, idxs) in a.my_reqs.iter().enumerate() {
-                for &flat in idxs {
-                    b.data[flat as usize] = values[d][cursor[d]];
-                    cursor[d] += 1;
-                }
-                recvd += idxs.len();
-            }
-        }
-        self.proc.note_exchange_words(recvd as u64);
-        Ok(())
     }
 
     /// `distribute a (block, cyclic, *)`: move the array's data to the

@@ -76,12 +76,18 @@ pub struct RunOptions {
     /// reuse). On by default; disable to force a fresh inspector pass on
     /// every invocation — the differential-testing baseline.
     pub schedule_cache: bool,
-    /// Replay cached schedules split-phase: post the fused value exchange
+    /// Run the exchange engine split-phase: post the fused value exchange
     /// nonblocking, execute the interior iterations while messages are in
-    /// flight, then complete the boundary. On by default; disable for the
-    /// blocking-exchange baseline. Only effective with `schedule_cache`
-    /// (cold inspector invocations always run synchronously).
+    /// flight, then complete the boundary — on replays *and* on cold
+    /// inspector invocations, whose request rounds are posted nonblocking
+    /// too. On by default; disable for the fully blocking baseline.
     pub split_phase: bool,
+    /// Piggyback the replay-consensus vote on the fused value messages
+    /// (optimistic replay): a confirmed header replaces the dedicated
+    /// one-word vote round, and a disagreement rolls the trip back to a
+    /// full inspection. On by default; disable for the pessimistic-vote
+    /// baseline. Only effective with `schedule_cache`.
+    pub optimistic: bool,
 }
 
 impl Default for RunOptions {
@@ -89,6 +95,7 @@ impl Default for RunOptions {
         RunOptions {
             schedule_cache: true,
             split_phase: true,
+            optimistic: true,
         }
     }
 }
@@ -185,6 +192,7 @@ pub fn run_source_with(
         let mut interp = Interp::new(proc, &prog);
         interp.set_schedule_cache(opts.schedule_cache);
         interp.set_split_phase(opts.split_phase);
+        interp.set_optimistic(opts.optimistic);
         interp
             .call_sub(sub, bindings, grid)
             .unwrap_or_else(|e| panic!("KF1 runtime error on processor {rank}: {e}"));

@@ -55,6 +55,14 @@ pub struct ProcStats {
     /// post to the arrival) — transit covered by useful work; idle spent
     /// waiting on other messages counts for nothing.
     pub overlap_hidden: f64,
+    /// Replays whose consensus vote rode as a header on the fused value
+    /// messages (optimistic replay) and was confirmed — warm trips that
+    /// paid no dedicated vote round.
+    pub optimistic_hits: u64,
+    /// Optimistic replay attempts whose piggybacked votes disagreed: the
+    /// received payloads were discarded and the trip rolled back to a
+    /// full inspection.
+    pub rollbacks: u64,
 }
 
 /// A named instant recorded by [`Proc::mark`]; used by the experiment
@@ -310,6 +318,20 @@ impl Proc {
     #[inline]
     pub fn note_schedule_replay(&mut self) {
         self.stats.schedule_replays += 1;
+    }
+
+    /// Record one replay whose piggybacked (optimistic) consensus vote
+    /// was confirmed. Pure bookkeeping: no virtual time.
+    #[inline]
+    pub fn note_optimistic_hit(&mut self) {
+        self.stats.optimistic_hits += 1;
+    }
+
+    /// Record one optimistic replay attempt that rolled back to a full
+    /// inspection. Pure bookkeeping: no virtual time.
+    #[inline]
+    pub fn note_rollback(&mut self) {
+        self.stats.rollbacks += 1;
     }
 
     /// Attribute `seconds` of already-charged virtual time to inspection.

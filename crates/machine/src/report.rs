@@ -33,6 +33,12 @@ pub struct RunReport {
     /// Virtual seconds of message transit hidden behind computation by
     /// split-phase receives, summed over processors.
     pub overlap_hidden_seconds: f64,
+    /// Replays confirmed by a piggybacked (optimistic) consensus vote,
+    /// summed over processors.
+    pub total_optimistic_hits: u64,
+    /// Optimistic replay attempts that rolled back to a full inspection,
+    /// summed over processors.
+    pub total_rollbacks: u64,
 }
 
 impl RunReport {
@@ -46,6 +52,8 @@ impl RunReport {
         let inspector_seconds = procs.iter().map(|p| p.stats.inspector_seconds).sum();
         let total_exchange_words = procs.iter().map(|p| p.stats.exchange_words).sum();
         let overlap_hidden_seconds = procs.iter().map(|p| p.stats.overlap_hidden).sum();
+        let total_optimistic_hits = procs.iter().map(|p| p.stats.optimistic_hits).sum();
+        let total_rollbacks = procs.iter().map(|p| p.stats.rollbacks).sum();
         RunReport {
             procs,
             elapsed,
@@ -57,6 +65,8 @@ impl RunReport {
             inspector_seconds,
             total_exchange_words,
             overlap_hidden_seconds,
+            total_optimistic_hits,
+            total_rollbacks,
         }
     }
 
@@ -132,6 +142,13 @@ impl std::fmt::Display for RunReport {
                 f,
                 "split-phase overlap: {:.3e} s of transit hidden behind computation",
                 self.overlap_hidden_seconds
+            )?;
+        }
+        if self.total_optimistic_hits > 0 || self.total_rollbacks > 0 {
+            writeln!(
+                f,
+                "optimistic replay: {} piggybacked-vote hits, {} rollbacks",
+                self.total_optimistic_hits, self.total_rollbacks
             )?;
         }
         writeln!(
@@ -214,6 +231,22 @@ mod tests {
         let s = format!("{r}");
         assert!(s.contains("3 inspector runs"));
         assert!(s.contains("11 schedule replays"));
+    }
+
+    #[test]
+    fn optimistic_counters_aggregate_and_render() {
+        let mut a = mk_proc(0, 2.0, 1.0);
+        a.stats.optimistic_hits = 4;
+        a.stats.rollbacks = 1;
+        let mut b = mk_proc(1, 2.0, 1.0);
+        b.stats.optimistic_hits = 4;
+        b.stats.rollbacks = 1;
+        let r = RunReport::new(vec![a, b]);
+        assert_eq!(r.total_optimistic_hits, 8);
+        assert_eq!(r.total_rollbacks, 2);
+        let s = format!("{r}");
+        assert!(s.contains("8 piggybacked-vote hits"));
+        assert!(s.contains("2 rollbacks"));
     }
 
     #[test]

@@ -29,6 +29,11 @@ use kali_array::{DistArray2, DistArrayN, Elem};
 use kali_grid::{Dist1, ProcGrid};
 use kali_machine::{collective, Proc, Team, Wire};
 
+// The interior/boundary partitions live in the shared scheduling crate
+// (they are the compiled-path mirror of `CommSchedule::boundary`);
+// re-exported here so runtime users keep their import paths.
+pub use kali_sched::{SplitBox2, SplitRange1};
+
 /// Execution context: one processor's handle on the machine plus the
 /// processor array currently in scope (the `procs` argument of a `parsub`).
 pub struct Ctx<'a> {
@@ -154,22 +159,12 @@ impl<'a> Ctx<'a> {
             return;
         };
         let hi = dist.upper(q).expect("nonempty block") + 1;
-        let start = range.start.max(lo);
-        let end = range.end.min(hi);
         // Interior: owned indices whose `margin`-wide footprint stays
         // inside the owned block.
-        let is0 = start.max(lo + margin);
-        let is1 = end.min(hi.saturating_sub(margin)).max(is0);
-        for i in is0..is1 {
-            body(self, i);
-        }
+        let split = SplitRange1::new(lo..hi, range, margin);
+        split.for_interior(|i| body(self, i));
         complete(self);
-        for i in start..is0.min(end) {
-            body(self, i);
-        }
-        for i in is1.max(start)..end {
-            body(self, i);
-        }
+        split.for_boundary(|i| body(self, i));
     }
 
     /// Strided variant of [`Ctx::doall1`] (`doall j = lo, hi, step` — used by
@@ -280,92 +275,6 @@ impl<'a> Ctx<'a> {
     pub fn broadcast<T: Wire + Clone>(&mut self, value: Option<T>) -> T {
         let team = self.team();
         collective::broadcast(self.proc, &team, 0, value)
-    }
-}
-
-/// The interior/boundary partition of a 2-D owned box: the iterations of
-/// `range ∩ owned`, split into the *interior* sub-box (every point at
-/// least `margin` inside the owned block, so a `margin`-wide stencil
-/// footprint reads no ghost) and the *boundary* frame (everything else).
-/// One definition shared by [`Ctx::doall2_split`], [`jacobi_update_split`]
-/// and the split-phase solvers, so the clamp subtleties live in one place.
-#[derive(Debug, Clone, Copy)]
-pub struct SplitBox2 {
-    i0: usize,
-    i1: usize,
-    j0: usize,
-    j1: usize,
-    ii0: usize,
-    ii1: usize,
-    jj0: usize,
-    jj1: usize,
-}
-
-impl SplitBox2 {
-    /// Partition `r0 × r1` clipped to the owned box, with the interior
-    /// shrunk by `margin` against the *owned* block edges.
-    pub fn new(
-        owned: [std::ops::Range<usize>; 2],
-        r0: std::ops::Range<usize>,
-        r1: std::ops::Range<usize>,
-        margin: [usize; 2],
-    ) -> SplitBox2 {
-        let i0 = r0.start.max(owned[0].start);
-        let i1 = r0.end.min(owned[0].end);
-        let j0 = r1.start.max(owned[1].start);
-        let j1 = r1.end.min(owned[1].end);
-        let ii0 = i0.max(owned[0].start + margin[0]);
-        let ii1 = i1.min(owned[0].end.saturating_sub(margin[0])).max(ii0);
-        let jj0 = j0.max(owned[1].start + margin[1]);
-        let jj1 = j1.min(owned[1].end.saturating_sub(margin[1])).max(jj0);
-        SplitBox2 {
-            i0,
-            i1,
-            j0,
-            j1,
-            ii0,
-            ii1,
-            jj0,
-            jj1,
-        }
-    }
-
-    /// Number of interior points.
-    pub fn interior_count(&self) -> usize {
-        (self.ii1 - self.ii0) * (self.jj1 - self.jj0)
-    }
-
-    /// Number of boundary points.
-    pub fn boundary_count(&self) -> usize {
-        self.i1.saturating_sub(self.i0) * self.j1.saturating_sub(self.j0) - self.interior_count()
-    }
-
-    /// Visit the interior points in row-major order.
-    pub fn for_interior(&self, mut f: impl FnMut(usize, usize)) {
-        for i in self.ii0..self.ii1 {
-            for j in self.jj0..self.jj1 {
-                f(i, j);
-            }
-        }
-    }
-
-    /// Visit the boundary frame (covered box minus interior) in row-major
-    /// order.
-    pub fn for_boundary(&self, mut f: impl FnMut(usize, usize)) {
-        for i in self.i0..self.i1 {
-            if i < self.ii0 || i >= self.ii1 {
-                for j in self.j0..self.j1 {
-                    f(i, j);
-                }
-            } else {
-                for j in self.j0..self.jj0.min(self.j1) {
-                    f(i, j);
-                }
-                for j in self.jj1.max(self.j0)..self.j1 {
-                    f(i, j);
-                }
-            }
-        }
     }
 }
 

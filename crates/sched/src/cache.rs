@@ -1,0 +1,205 @@
+//! The schedule cache: schedules stored under consumer-defined keys with
+//! per-`(site, team)` fresh-construction ordinals.
+
+use std::rc::Rc;
+
+use crate::schedule::CommSchedule;
+
+/// What a cache key must expose to the cache itself. The rest of the key
+/// (iteration sets, scalars, structural array descriptions, distribution
+/// generations, ...) is consumer-defined and only compared for equality.
+pub trait SiteKey: PartialEq {
+    /// Static site identifier (e.g. the parser-assigned `doall` site id).
+    fn site(&self) -> usize;
+    /// Machine ranks of the team the invocation ran on, in team order.
+    fn team_ranks(&self) -> &[usize];
+}
+
+struct CacheEntry<K> {
+    key: K,
+    /// Fresh-construction ordinal *per (site, team)*. A fresh run for a
+    /// given site and team is collective across exactly that team, so
+    /// these counters advance in lockstep on every member (unlike any
+    /// processor-global counter, which diverges when a processor belongs
+    /// to intersecting teams — e.g. ADI row and column slices). The
+    /// replay consensus compares ordinals to guarantee all members
+    /// replay the same logical invocation.
+    seq: u64,
+    sched: Rc<CommSchedule>,
+}
+
+/// Cached schedules, shared across call frames: the key must carry every
+/// frame-dependent input, so a hit is valid regardless of which call
+/// produced the entry.
+pub struct ScheduleCache<K: SiteKey> {
+    entries: Vec<CacheEntry<K>>,
+    /// Per-site entry cap; the lowest ordinal is evicted beyond it (a
+    /// backstop — sites normally cycle through a handful of keys).
+    max_per_site: usize,
+}
+
+impl<K: SiteKey> ScheduleCache<K> {
+    pub fn new(max_per_site: usize) -> Self {
+        assert!(max_per_site >= 1);
+        ScheduleCache {
+            entries: Vec::new(),
+            max_per_site,
+        }
+    }
+
+    /// Does this cache hold any entry for `(site, team)`? Stores are
+    /// collective per `(site, team)`, so this predicate is SPMD-uniform
+    /// across the team and gates the replay vote: until a site-team pair
+    /// has an entry, every member skips the vote and inspects fresh.
+    pub fn has_site_team(&self, site: usize, team_ranks: &[usize]) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.key.site() == site && e.key.team_ranks() == team_ranks)
+    }
+
+    /// Most recent cached schedule matching `key`, with its ordinal.
+    pub fn lookup(&self, key: &K) -> Option<(u64, Rc<CommSchedule>)> {
+        self.entries
+            .iter()
+            .filter(|e| e.key == *key)
+            .max_by_key(|e| e.seq)
+            .map(|e| (e.seq, Rc::clone(&e.sched)))
+    }
+
+    /// Store a freshly constructed schedule; returns its `(site, team)`
+    /// ordinal. Eviction is scoped per `(site, team)` — like the ordinal
+    /// numbering and the vote gate — and removes the *lowest* ordinal, so
+    /// both the running maximum and [`ScheduleCache::has_site_team`] stay
+    /// aligned across the team. (Scoping eviction by site alone would let
+    /// a processor sitting in two intersecting teams evict another team's
+    /// only entry while that team's other members keep theirs, splitting
+    /// the gate and desynchronizing the collectives.)
+    pub fn store(&mut self, key: K, sched: CommSchedule) -> u64 {
+        let seq = self
+            .entries
+            .iter()
+            .filter(|e| e.key.site() == key.site() && e.key.team_ranks() == key.team_ranks())
+            .map(|e| e.seq)
+            .max()
+            .unwrap_or(0)
+            + 1;
+        let site = key.site();
+        let team: Vec<usize> = key.team_ranks().to_vec();
+        self.entries.push(CacheEntry {
+            key,
+            seq,
+            sched: Rc::new(sched),
+        });
+        let in_site_team = |e: &CacheEntry<K>| e.key.site() == site && e.key.team_ranks() == team;
+        let count = self.entries.iter().filter(|e| in_site_team(e)).count();
+        if count > self.max_per_site {
+            if let Some(pos) = self
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| in_site_team(e))
+                .min_by_key(|(_, e)| e.seq)
+                .map(|(i, _)| i)
+            {
+                self.entries.remove(pos);
+            }
+        }
+        seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(PartialEq)]
+    struct Key {
+        site: usize,
+        team: Vec<usize>,
+        tag: u64,
+    }
+
+    impl SiteKey for Key {
+        fn site(&self) -> usize {
+            self.site
+        }
+        fn team_ranks(&self) -> &[usize] {
+            &self.team
+        }
+    }
+
+    fn sched() -> CommSchedule {
+        CommSchedule {
+            arrays: vec![],
+            write_hint: 0,
+            boundary: vec![],
+        }
+    }
+
+    fn key(site: usize, team: &[usize], tag: u64) -> Key {
+        Key {
+            site,
+            team: team.to_vec(),
+            tag,
+        }
+    }
+
+    #[test]
+    fn ordinals_advance_per_site_team() {
+        let mut c = ScheduleCache::new(8);
+        assert_eq!(c.store(key(1, &[0, 1], 0), sched()), 1);
+        assert_eq!(c.store(key(1, &[0, 1], 1), sched()), 2);
+        // A different team for the same site numbers independently.
+        assert_eq!(c.store(key(1, &[0, 2], 0), sched()), 1);
+        assert_eq!(c.store(key(2, &[0, 1], 0), sched()), 1);
+    }
+
+    #[test]
+    fn lookup_returns_the_most_recent_match() {
+        let mut c = ScheduleCache::new(8);
+        c.store(key(1, &[0, 1], 7), sched());
+        c.store(key(1, &[0, 1], 8), sched());
+        c.store(key(1, &[0, 1], 7), sched());
+        let (seq, _) = c.lookup(&key(1, &[0, 1], 7)).unwrap();
+        assert_eq!(seq, 3);
+        assert!(c.lookup(&key(1, &[0, 1], 9)).is_none());
+    }
+
+    #[test]
+    fn site_team_gate_is_exact() {
+        let mut c = ScheduleCache::new(8);
+        c.store(key(1, &[0, 1], 0), sched());
+        assert!(c.has_site_team(1, &[0, 1]));
+        assert!(!c.has_site_team(1, &[0, 2]));
+        assert!(!c.has_site_team(2, &[0, 1]));
+    }
+
+    #[test]
+    fn eviction_drops_the_lowest_ordinal_and_keeps_numbering() {
+        let mut c = ScheduleCache::new(2);
+        c.store(key(1, &[0], 0), sched());
+        c.store(key(1, &[0], 1), sched());
+        c.store(key(1, &[0], 2), sched()); // evicts ordinal 1
+        assert!(c.lookup(&key(1, &[0], 0)).is_none());
+        // Numbering continues from the maximum, not the entry count.
+        assert_eq!(c.store(key(1, &[0], 3), sched()), 4);
+    }
+
+    #[test]
+    fn eviction_is_scoped_per_site_team() {
+        // One site under two intersecting teams: filling one team's quota
+        // must never evict the other team's entries — a processor in both
+        // teams would otherwise drop a (site, team) pair its peers keep,
+        // splitting the SPMD-uniform vote gate.
+        let mut c = ScheduleCache::new(2);
+        c.store(key(1, &[0, 2], 0), sched());
+        for tag in 0..5 {
+            c.store(key(1, &[0, 1], tag), sched());
+        }
+        assert!(c.has_site_team(1, &[0, 2]));
+        assert!(c.lookup(&key(1, &[0, 2], 0)).is_some());
+        // The overfilled team evicted only its own lowest ordinals.
+        assert!(c.lookup(&key(1, &[0, 1], 0)).is_none());
+        assert!(c.lookup(&key(1, &[0, 1], 4)).is_some());
+    }
+}

@@ -1,0 +1,49 @@
+//! # kali-sched — the shared inspector–executor scheduling engine
+//!
+//! The paper's central runtime idea is the *inspector/executor* split:
+//! analyze a tensor-product loop's communication once, then replay a fused
+//! schedule on every later trip. This crate owns that subsystem as
+//! first-class, consumer-neutral data and protocols, so the KF1
+//! interpreter (`kali-lang`) and the compiled path (`kali-array` /
+//! `kali-runtime`) drive one engine instead of two divergent copies:
+//!
+//! * [`CommSchedule`] / [`ArraySchedule`] — the distilled output of an
+//!   inspection: per communicating array, the flat element indices this
+//!   processor requests of each peer and the indices each peer will
+//!   request of it, plus the interior/boundary partition of the local
+//!   iteration set. A schedule is plain data: the interpreter builds one
+//!   from an inspector pass over a `doall` body; the distributed-array
+//!   halo builds one *analytically* from ghost geometry. Both replay it
+//!   through the same executor.
+//! * [`ScheduleCache`] — schedules cached under consumer-defined keys
+//!   ([`SiteKey`]), with the per-`(site, team)` fresh-construction
+//!   ordinals the replay consensus compares.
+//! * [`vote`] — the replay-consensus protocols: the pessimistic flat
+//!   one-word vote round, and the protocol contract behind **optimistic
+//!   replay**, where the vote travels as a one-word header on the fused
+//!   value messages themselves (see [`ScheduleExecutor::post_optimistic`])
+//!   and a disagreement rolls the trip back to a full inspection.
+//! * [`ScheduleExecutor`] — the split-phase executor: **post** the fused
+//!   per-peer value messages nonblocking, compute *interior* work while
+//!   they fly, **complete** the receives and scatter, then run the
+//!   *boundary*. Storage access is abstracted behind [`ScheduleWorld`],
+//!   which both the interpreter's `ArrObj` world and `kali-array`'s
+//!   `DistArrayN` world implement.
+//! * [`SplitBox2`] / [`SplitRange1`] — the interior/boundary partitions
+//!   of owned iteration boxes shared by the compiled `doall` forms.
+//!
+//! Treating communication schedules as shared algebraic objects follows
+//! the reusable-communication view of sparse/tensor runtime systems; in
+//! this repository it means optimistic replay, split-phase cold
+//! inspection, and corner-completing halos are each built once.
+
+mod cache;
+mod exec;
+mod schedule;
+mod split;
+pub mod vote;
+
+pub use cache::{ScheduleCache, SiteKey};
+pub use exec::{PendingValues, PendingVote, ScheduleExecutor, ScheduleWorld, VoteOutcome, NO_VOTE};
+pub use schedule::{interior_positions, ArraySchedule, CommSchedule};
+pub use split::{SplitBox2, SplitRange1};

@@ -1,0 +1,98 @@
+//! Communication schedules: the inspector's distilled output, as shared,
+//! consumer-neutral data.
+
+/// The communication plan for one site invocation: for each participating
+/// array, the flat indices this processor must request from each team
+/// member and the flat indices each member will request of it. With both
+/// directions recorded, a later invocation can run the value exchange
+/// directly — no inspector pass, no request round — and both sides agree
+/// on which peer pairs exchange no message at all.
+pub struct CommSchedule {
+    pub arrays: Vec<ArraySchedule>,
+    /// Buffered-write count observed when the schedule was built;
+    /// pre-sizes a copy-out buffer on replay. Consumers without
+    /// copy-in/copy-out semantics leave it 0.
+    pub write_hint: usize,
+    /// Positions (into the invocation's local iteration set, ascending) of
+    /// the *boundary* iterations — those that read at least one remote
+    /// element. Everything else is *interior* and can execute while the
+    /// replayed exchange is still in flight. Consumers whose iteration
+    /// split lives elsewhere (e.g. the ghost halo) leave it empty.
+    pub boundary: Vec<usize>,
+}
+
+/// One array's slice of a [`CommSchedule`].
+pub struct ArraySchedule {
+    /// Consumer-meaning name of the array. The interpreter resolves it
+    /// against the current frame on replay (so a schedule built in one
+    /// call frame replays in a structurally identical later frame); the
+    /// halo uses a fixed label. The cache therefore holds no storage
+    /// references and cannot leak dead arrays.
+    pub name: String,
+    /// Per team member: flat indices this processor requests.
+    pub my_reqs: Vec<Vec<u64>>,
+    /// Per team member: flat indices they request of us (the reply layout
+    /// of the value round).
+    pub incoming: Vec<Vec<u64>>,
+}
+
+impl CommSchedule {
+    /// Total words this processor will receive on a replay (the
+    /// `exchange_words` accounting unit).
+    pub fn words_expected(&self) -> usize {
+        self.arrays
+            .iter()
+            .map(|a| a.my_reqs.iter().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
+    /// Does this processor expect at least one value word from team
+    /// member `d` on a replay?
+    pub fn expects_from(&self, d: usize) -> bool {
+        self.arrays.iter().any(|a| !a.my_reqs[d].is_empty())
+    }
+}
+
+/// Complement of a sorted `boundary` position list within `0..n`: the
+/// interior positions, ascending.
+pub fn interior_positions(boundary: &[usize], n: usize) -> Vec<usize> {
+    let mut bi = 0usize;
+    let mut interior = Vec::with_capacity(n - boundary.len());
+    for pos in 0..n {
+        if bi < boundary.len() && boundary[bi] == pos {
+            bi += 1;
+        } else {
+            interior.push(pos);
+        }
+    }
+    interior
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interior_is_the_complement_of_boundary() {
+        assert_eq!(interior_positions(&[1, 3], 5), vec![0, 2, 4]);
+        assert_eq!(interior_positions(&[], 3), vec![0, 1, 2]);
+        assert_eq!(interior_positions(&[0, 1, 2], 3), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn words_and_peer_expectations() {
+        let s = CommSchedule {
+            arrays: vec![ArraySchedule {
+                name: "x".into(),
+                my_reqs: vec![vec![], vec![3, 4], vec![7]],
+                incoming: vec![vec![], vec![1], vec![]],
+            }],
+            write_hint: 0,
+            boundary: vec![],
+        };
+        assert_eq!(s.words_expected(), 3);
+        assert!(!s.expects_from(0));
+        assert!(s.expects_from(1));
+        assert!(s.expects_from(2));
+    }
+}

@@ -1,0 +1,207 @@
+//! Interior/boundary partitions of owned iteration sets.
+//!
+//! The split-phase engine's compiled forms partition each processor's
+//! owned iterations into an *interior* (whose stencil footprint stays
+//! inside the owned block, so it reads no ghost and can run while posted
+//! messages are in flight) and a *boundary* (everything else, run after
+//! completion). These partitions are schedule-subsystem logic — the
+//! compiled-path mirror of [`crate::CommSchedule::boundary`] — so the
+//! clamp subtleties live here, once.
+
+/// The interior/boundary partition of a 1-D owned range: the iterations
+/// of `range ∩ owned`, split into the indices at least `margin` inside
+/// the owned block and the rest.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitRange1 {
+    start: usize,
+    end: usize,
+    is0: usize,
+    is1: usize,
+}
+
+impl SplitRange1 {
+    pub fn new(
+        owned: std::ops::Range<usize>,
+        range: std::ops::Range<usize>,
+        margin: usize,
+    ) -> SplitRange1 {
+        let start = range.start.max(owned.start);
+        let end = range.end.min(owned.end);
+        let is0 = start.max(owned.start + margin);
+        let is1 = end.min(owned.end.saturating_sub(margin)).max(is0);
+        SplitRange1 {
+            start,
+            end,
+            is0,
+            is1,
+        }
+    }
+
+    /// Number of interior indices.
+    pub fn interior_count(&self) -> usize {
+        self.is1 - self.is0
+    }
+
+    /// Number of boundary indices.
+    pub fn boundary_count(&self) -> usize {
+        self.end.saturating_sub(self.start) - self.interior_count()
+    }
+
+    /// Visit the interior indices in ascending order.
+    pub fn for_interior(&self, mut f: impl FnMut(usize)) {
+        for i in self.is0..self.is1 {
+            f(i);
+        }
+    }
+
+    /// Visit the boundary indices (covered range minus interior): the low
+    /// edge ascending, then the high edge ascending.
+    pub fn for_boundary(&self, mut f: impl FnMut(usize)) {
+        for i in self.start..self.is0.min(self.end) {
+            f(i);
+        }
+        for i in self.is1.max(self.start)..self.end {
+            f(i);
+        }
+    }
+}
+
+/// The interior/boundary partition of a 2-D owned box: the iterations of
+/// `range ∩ owned`, split into the *interior* sub-box (every point at
+/// least `margin` inside the owned block, so a `margin`-wide stencil
+/// footprint reads no ghost) and the *boundary* frame (everything else).
+/// One definition shared by the split-phase `doall` forms,
+/// `jacobi_update_split` and the split-phase solvers.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitBox2 {
+    i0: usize,
+    i1: usize,
+    j0: usize,
+    j1: usize,
+    ii0: usize,
+    ii1: usize,
+    jj0: usize,
+    jj1: usize,
+}
+
+impl SplitBox2 {
+    /// Partition `r0 × r1` clipped to the owned box, with the interior
+    /// shrunk by `margin` against the *owned* block edges.
+    pub fn new(
+        owned: [std::ops::Range<usize>; 2],
+        r0: std::ops::Range<usize>,
+        r1: std::ops::Range<usize>,
+        margin: [usize; 2],
+    ) -> SplitBox2 {
+        let i0 = r0.start.max(owned[0].start);
+        let i1 = r0.end.min(owned[0].end);
+        let j0 = r1.start.max(owned[1].start);
+        let j1 = r1.end.min(owned[1].end);
+        let ii0 = i0.max(owned[0].start + margin[0]);
+        let ii1 = i1.min(owned[0].end.saturating_sub(margin[0])).max(ii0);
+        let jj0 = j0.max(owned[1].start + margin[1]);
+        let jj1 = j1.min(owned[1].end.saturating_sub(margin[1])).max(jj0);
+        SplitBox2 {
+            i0,
+            i1,
+            j0,
+            j1,
+            ii0,
+            ii1,
+            jj0,
+            jj1,
+        }
+    }
+
+    /// Number of interior points.
+    pub fn interior_count(&self) -> usize {
+        (self.ii1 - self.ii0) * (self.jj1 - self.jj0)
+    }
+
+    /// Number of boundary points.
+    pub fn boundary_count(&self) -> usize {
+        self.i1.saturating_sub(self.i0) * self.j1.saturating_sub(self.j0) - self.interior_count()
+    }
+
+    /// Visit the interior points in row-major order.
+    pub fn for_interior(&self, mut f: impl FnMut(usize, usize)) {
+        for i in self.ii0..self.ii1 {
+            for j in self.jj0..self.jj1 {
+                f(i, j);
+            }
+        }
+    }
+
+    /// Visit the boundary frame (covered box minus interior) in row-major
+    /// order.
+    pub fn for_boundary(&self, mut f: impl FnMut(usize, usize)) {
+        for i in self.i0..self.i1 {
+            if i < self.ii0 || i >= self.ii1 {
+                for j in self.j0..self.j1 {
+                    f(i, j);
+                }
+            } else {
+                for j in self.j0..self.jj0.min(self.j1) {
+                    f(i, j);
+                }
+                for j in self.jj1.max(self.j0)..self.j1 {
+                    f(i, j);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range1_partitions_exactly() {
+        for (owned, range, margin) in [
+            (4..8, 1..15, 1),
+            (0..4, 0..16, 2),
+            (3..5, 3..9, 1),
+            (0..2, 0..8, 5), // margin swallows the whole block
+            (4..8, 9..12, 1),
+        ] {
+            let s = SplitRange1::new(owned.clone(), range.clone(), margin);
+            let mut seen = Vec::new();
+            s.for_interior(|i| seen.push(i));
+            assert_eq!(seen.len(), s.interior_count());
+            for &i in &seen {
+                assert!(i >= owned.start + margin && i + margin < owned.end);
+            }
+            s.for_boundary(|i| seen.push(i));
+            assert_eq!(seen.len(), s.interior_count() + s.boundary_count());
+            let mut sorted = seen.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), seen.len(), "no index visited twice");
+            let want: Vec<usize> = range.filter(|i| owned.contains(i)).collect();
+            assert_eq!(sorted, want);
+        }
+    }
+
+    #[test]
+    fn box2_interior_plus_boundary_is_the_covered_box() {
+        let s = SplitBox2::new([4..8, 0..4], 1..7, 1..7, [1, 1]);
+        let mut pts = Vec::new();
+        s.for_interior(|i, j| pts.push((i, j)));
+        assert_eq!(pts.len(), s.interior_count());
+        s.for_boundary(|i, j| pts.push((i, j)));
+        assert_eq!(pts.len(), s.interior_count() + s.boundary_count());
+        pts.sort_unstable();
+        pts.dedup();
+        let want: Vec<(usize, usize)> = (4..7).flat_map(|i| (1..4).map(move |j| (i, j))).collect();
+        assert_eq!(pts, want);
+    }
+
+    #[test]
+    fn box2_interior_keeps_the_margin() {
+        let s = SplitBox2::new([0..4, 0..4], 0..8, 0..8, [1, 1]);
+        s.for_interior(|i, j| {
+            assert!((1..3).contains(&i) && (1..3).contains(&j));
+        });
+    }
+}

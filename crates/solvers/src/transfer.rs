@@ -15,7 +15,7 @@ use std::collections::HashMap;
 
 use kali_array::{DistArray2, DistArray3};
 use kali_machine::{collective, Proc, Team};
-use kali_runtime::{Ctx, SplitBox2};
+use kali_runtime::{Ctx, SplitBox2, SplitRange1};
 
 use crate::Pde;
 
@@ -78,33 +78,73 @@ pub fn resid2(
     r
 }
 
+/// Full-weight fine line `j` of `r` into a freshly allocated line.
+fn weigh_line(ctx: &mut Ctx, r: &DistArray2<f64>, j: usize) -> Vec<f64> {
+    let [nxp, _] = r.extents();
+    let nx = nxp - 1;
+    let mut line = vec![0.0; nxp];
+    for (i, slot) in line.iter_mut().enumerate().take(nx).skip(1) {
+        *slot = 0.25 * r.at(i, j - 1) + 0.5 * r.at(i, j) + 0.25 * r.at(i, j + 1);
+    }
+    ctx.proc().compute(5.0 * (nx - 1) as f64);
+    line
+}
+
 /// Distributed 2-D restriction with y-semicoarsening (full weighting) for
 /// `dist (*, block)` arrays on a 1-D team. Returns the coarse right-hand
-/// side with extents `(nx+1, ny/2+1)`. `r`'s ghosts are refreshed.
+/// side with extents `(nx+1, ny/2+1)`. `r`'s ghosts are refreshed,
+/// split-phase through the corner-completing schedule halo: the owned
+/// fine lines whose ±1 neighbours are also owned are full-weighted while
+/// the ghost lines travel, and only the block-edge lines wait for
+/// completion.
 pub fn rest2(ctx: &mut Ctx, r: &mut DistArray2<f64>) -> DistArray2<f64> {
+    rest2_with(ctx, r, true)
+}
+
+/// [`rest2`] with an explicit exchange mode: `split` selects the
+/// split-phase schedule halo, otherwise the blocking strip exchange —
+/// the differential baseline. Results are bitwise identical.
+pub fn rest2_with(ctx: &mut Ctx, r: &mut DistArray2<f64>, split: bool) -> DistArray2<f64> {
     let [nxp, nyp] = r.extents();
-    let nx = nxp - 1;
     let ny = nyp - 1;
     let nyc = ny / 2;
-    r.exchange_ghosts(ctx.proc());
+    let pending = if split {
+        Some(r.begin_exchange_ghosts_full(ctx.proc()))
+    } else {
+        r.exchange_ghosts(ctx.proc());
+        None
+    };
     let mut g = r.with_extents([nxp, nyc + 1]);
     let team = ctx.team();
 
     // Full-weight the fine-even lines we own, keyed by coarse index.
     let mut items = Vec::new();
     if r.is_participant() {
-        for jc in 1..nyc {
-            let j = 2 * jc;
-            if r.owned_range(1).contains(&j) {
-                let mut line = vec![0.0; nxp];
-                for (i, slot) in line.iter_mut().enumerate().take(nx).skip(1) {
-                    *slot = 0.25 * r.at(i, j - 1) + 0.5 * r.at(i, j) + 0.25 * r.at(i, j + 1);
+        let owned = r.owned_range(1);
+        let cdist = g.dist(1);
+        let weigh = |ctx: &mut Ctx, r: &DistArray2<f64>, items: &mut Vec<_>, j: usize| {
+            // Only the fine-even lines j = 2·jc, jc in 1..nyc, restrict.
+            if j.is_multiple_of(2) {
+                items.push((cdist.owner(j / 2), (j / 2) as u64, weigh_line(ctx, r, j)));
+            }
+        };
+        let range = 2..(2 * nyc).saturating_sub(1);
+        if let Some(p) = pending {
+            // Margin-1 split: a line is ghost-free when both its
+            // neighbours are owned.
+            let split_lines = SplitRange1::new(owned, range, 1);
+            split_lines.for_interior(|j| weigh(ctx, r, &mut items, j));
+            r.finish_exchange_ghosts(ctx.proc(), p);
+            split_lines.for_boundary(|j| weigh(ctx, r, &mut items, j));
+        } else {
+            for j in range {
+                if owned.contains(&j) {
+                    weigh(ctx, r, &mut items, j);
                 }
-                ctx.proc().compute(5.0 * (nx - 1) as f64);
-                let dest = g.dist(1).owner(jc);
-                items.push((dest, jc as u64, line));
             }
         }
+    } else if let Some(p) = pending {
+        r.finish_exchange_ghosts(ctx.proc(), p);
     }
     for (jc, line) in route(ctx.proc(), &team, items) {
         let jc = jc as usize;
@@ -159,7 +199,7 @@ pub fn intrp2(ctx: &mut Ctx, u: &mut DistArray2<f64>, v: &DistArray2<f64>) {
     let j1 = u.owned_range(1).end.min(ny);
     let zero = vec![0.0; nxp];
     for j in j0..j1 {
-        let (la, lb, w) = if j % 2 == 0 {
+        let (la, lb, w) = if j.is_multiple_of(2) {
             (j / 2, j / 2, 1.0)
         } else {
             ((j - 1) / 2, j.div_ceil(2), 0.5)

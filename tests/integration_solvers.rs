@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use kali::prelude::*;
 use kali::solvers::adi::{adi_run, adi_seq_iteration, suggested_rho};
-use kali::solvers::mg2::mg2_vcycle;
+use kali::solvers::mg2::{mg2_vcycle, mg2_vcycle_with};
 use kali::solvers::mg3::mg3_vcycle;
 use kali::solvers::seq;
 
@@ -93,6 +93,64 @@ fn mg2_on_eight_processors_matches_sequential_bitwise_tolerance() {
             );
         }
     }
+}
+
+#[test]
+fn mg2_split_phase_full_weighting_is_bitwise_equal_to_blocking() {
+    // The zebra and full-weighting halos run split-phase through the
+    // corner-completing schedule halo by default; against the fully
+    // blocking strip exchange the V-cycle must be *bitwise* identical —
+    // overlapping the ghost transit is an optimization of the virtual
+    // timeline, never of the answer — and must actually shorten that
+    // timeline on a latency-bound cost model.
+    let (nx, ny) = (16usize, 32usize);
+    let pde = Pde::anisotropic(3.0, 1.0, 0.0);
+    let us = seq::Grid2::random_interior(nx, ny, 23);
+    let f = seq::apply2(&pde, &us);
+    let go = |split: bool| {
+        let f2 = f.clone();
+        Machine::run(
+            MachineConfig::new(4)
+                .with_cost(CostModel::ipsc2())
+                .with_watchdog(Duration::from_secs(60)),
+            move |proc| {
+                let grid = ProcGrid::new_1d(4);
+                let spec = DistSpec::local_block();
+                let mut u =
+                    DistArray2::<f64>::new(proc.rank(), &grid, &spec, [nx + 1, ny + 1], [0, 1]);
+                let farr = DistArray2::from_fn(
+                    proc.rank(),
+                    &grid,
+                    &spec,
+                    [nx + 1, ny + 1],
+                    [0, 1],
+                    |[i, j]| f2.at(i, j),
+                );
+                let mut ctx = Ctx::new(proc, grid);
+                for _ in 0..3 {
+                    mg2_vcycle_with(&mut ctx, &pde, &mut u, &farr, split);
+                }
+                u.gather_to_root(ctx.proc())
+            },
+        )
+    };
+    let blocking = go(false);
+    let split = go(true);
+    let a = blocking.results[0].as_ref().unwrap();
+    let b = split.results[0].as_ref().unwrap();
+    for (k, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "flat {k}: {x} vs {y}");
+    }
+    assert!(
+        split.report.overlap_hidden_seconds > 0.0,
+        "interior zebra lines must overlap the ghost transit"
+    );
+    assert!(
+        split.report.elapsed < blocking.report.elapsed,
+        "split-phase mg2 must be faster: {} vs {}",
+        split.report.elapsed,
+        blocking.report.elapsed
+    );
 }
 
 #[test]

@@ -127,6 +127,12 @@ end
             on.report.total_schedule_replays,
             p as u64 * (niter as u64 - 1)
         );
+        // Every replay is served by the piggybacked (optimistic) vote.
+        prop_assert_eq!(
+            on.report.total_optimistic_hits,
+            on.report.total_schedule_replays
+        );
+        prop_assert_eq!(on.report.total_rollbacks, 0);
     }
 
     #[test]
@@ -174,6 +180,11 @@ end
             on.report.total_schedule_replays,
             p as u64 * (niter as u64 - 1)
         );
+        prop_assert_eq!(
+            on.report.total_optimistic_hits,
+            on.report.total_schedule_replays
+        );
+        prop_assert_eq!(on.report.total_rollbacks, 0);
     }
 
     #[test]
@@ -227,5 +238,18 @@ end
             on.report.total_schedule_replays,
             p as u64 * (niter as u64 - 2)
         );
+        // Under optimistic voting the invalidated trip is exactly one
+        // rollback per processor — the headers disagree, the posted
+        // payloads are discarded (never a stale read: bitwise equality
+        // above is against the cache-off truth), and every surviving
+        // replay was served by the piggybacked vote.
+        prop_assert_eq!(on.report.total_rollbacks, p as u64);
+        prop_assert_eq!(
+            on.report.total_optimistic_hits,
+            on.report.total_schedule_replays
+        );
+        for proc in &on.report.procs {
+            prop_assert_eq!(proc.stats.rollbacks, 1);
+        }
     }
 }

@@ -194,4 +194,96 @@ end
         );
         prop_assert!(split.report.elapsed <= blocking.report.elapsed);
     }
+
+    #[test]
+    fn random_redistributions_roll_back_and_never_read_stale(
+        logp in 0u32..3,
+        extra in 0usize..10,
+        offset in 1usize..3,
+        flip_at in 1i64..5,
+        flip_to in 0usize..3,
+        niter in 2i64..6,
+        seed in 0u64..100,
+    ) {
+        // A random redistribute-mid-loop sequence under optimistic
+        // voting: the invalidated trip must *roll back* (one per
+        // processor when the flip lands before the last trip), later
+        // trips must replay through the piggybacked vote again, and the
+        // answers must stay bitwise-identical to the pessimistic-vote
+        // run — a stale-route payload reaching storage would diverge.
+        let p = 1usize << logp;
+        let n = (4 * p + extra).max(6);
+        let clause = match flip_to {
+            0 => "cyclic".to_string(),
+            1 => "cyclic(2)".to_string(),
+            _ => "cyclic(3)".to_string(),
+        };
+        let src = format!(
+            r#"
+parsub flip(a, b, n, niter; procs)
+  processors procs(p)
+  real a(n), b(n) dist (block)
+  do 1000 it = 1, niter
+    doall 100 i = 1, n - {offset} on owner(a(i))
+      a(i) = a(i) + 0.5*b(i + {offset}) + 0.25*a(i + {offset})
+100 continue
+    if (it .eq. {flip_at}) then
+      distribute b ({clause})
+    endif
+1000 continue
+end
+"#
+        );
+        let b0: Vec<f64> = (0..n).map(|i| ((i as u64 * 41 + seed) % 23) as f64).collect();
+        let args = [
+            HostValue::Array { data: vec![0.0; n], bounds: vec![(1, n as i64)] },
+            HostValue::Array { data: b0, bounds: vec![(1, n as i64)] },
+            HostValue::Int(n as i64),
+            HostValue::Int(niter),
+        ];
+        let go = |optimistic: bool| {
+            run_source_with(
+                cfg(p),
+                &src,
+                "flip",
+                &[p],
+                &args,
+                RunOptions { optimistic, ..RunOptions::default() },
+            )
+            .unwrap_or_else(|e| panic!("{e}\n{src}"))
+        };
+        let pess = go(false);
+        let opt = go(true);
+        for ((_, xs), (name, ys)) in pess.arrays.iter().zip(&opt.arrays) {
+            for (k, (x, y)) in xs.iter().zip(ys).enumerate() {
+                prop_assert_eq!(
+                    x.to_bits(), y.to_bits(),
+                    "array {} flat {} diverges: {} vs {}\n{}", name, k, x, y, src
+                );
+            }
+        }
+        prop_assert_eq!(
+            pess.report.total_exchange_words,
+            opt.report.total_exchange_words
+        );
+        prop_assert_eq!(
+            pess.report.total_schedule_replays,
+            opt.report.total_schedule_replays
+        );
+        // Exact counter accounting: trip 1 is cold; a flip before the
+        // last trip makes trip flip_at+1 the single rollback; every
+        // other warm trip is a piggybacked-vote hit.
+        let flips = u64::from(flip_at < niter);
+        prop_assert_eq!(opt.report.total_rollbacks, p as u64 * flips);
+        prop_assert_eq!(
+            opt.report.total_optimistic_hits,
+            p as u64 * (niter as u64 - 1 - flips)
+        );
+        prop_assert_eq!(
+            opt.report.total_optimistic_hits,
+            opt.report.total_schedule_replays
+        );
+        prop_assert_eq!(pess.report.total_optimistic_hits, 0);
+        prop_assert_eq!(pess.report.total_rollbacks, 0);
+    }
 }
