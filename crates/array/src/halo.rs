@@ -1,37 +1,47 @@
 //! Ghost-layer exchange — the compiled form of Listing 2's guarded edge
 //! sends/receives, generalized to any block-distributed dimension of an
-//! N-dimensional array. Ships in two forms: the blocking
-//! [`DistArrayN::exchange_ghosts`] (sequential per-dimension strip
-//! pipeline) and the split-phase
-//! [`DistArrayN::begin_exchange_ghosts`] /
-//! [`DistArrayN::finish_exchange_ghosts`] pair that lets interior
-//! computation overlap the ghost transit.
+//! N-dimensional array, and routed *entirely* through the shared
+//! inspector–executor engine (`kali-sched`).
 //!
-//! The split-phase pair is a thin adapter over the shared
-//! inspector–executor engine (`kali-sched`): the ghost geometry is turned
-//! into a [`CommSchedule`] *analytically* — every member derives, with no
-//! communication, which of its ghost cells each peer owns and which of
-//! its owned cells sit in each peer's ghost skirt — and the fused
-//! per-peer value messages are posted and completed by the same
-//! [`ScheduleExecutor`] that replays the interpreter's `doall` schedules.
-//! Because each ghost cell is fetched directly from its true *owner*
-//! (not pipelined through a face neighbour), the full variant
-//! ([`DistArrayN::begin_exchange_ghosts_full`]) refreshes corner and
-//! edge ghosts in the same posted exchange, so 9-point stencils can run
-//! split-phase; the default face-only variant skips the diagonal traffic
-//! that 5/7-point stencils never read.
+//! The ghost geometry is turned into a [`CommSchedule`] *analytically* —
+//! every member derives, with no communication, which of its ghost cells
+//! each peer owns and which of its owned cells sit in each peer's ghost
+//! skirt — and the fused per-peer value messages are posted and completed
+//! by the same [`ScheduleExecutor`] that replays the interpreter's
+//! `doall` schedules. Because each ghost cell is fetched directly from
+//! its true *owner* (not pipelined through a face neighbour), the
+//! corner-completing variant (`corners = true`) refreshes edge and corner
+//! ghosts in the same posted exchange, so 9-point stencils can run
+//! split-phase; the face-only variant skips the diagonal traffic that
+//! 5/7-point stencils never read.
+//!
+//! Deriving the schedule is host work a real runtime pays per trip:
+//! every relevant peer's storage box is walked, so the build is charged
+//! to the virtual clock (as inspection time) like the interpreter's
+//! inspector pass. The [`HaloCache`] removes it from warm trips: built
+//! schedules are stored in `kali-sched`'s [`ScheduleCache`] keyed on
+//! `(extents, dists, ghosts, corner policy, distribution generation)`,
+//! and a warm exchange replays the cached schedule with the replay
+//! consensus vote riding as a one-word header on the fused value
+//! messages (`kali-sched`'s optimistic protocol). A disagreement — e.g.
+//! a redistribution that bumped the generation — discards the payloads,
+//! rolls the trip back to a fresh analytic build, and re-runs the
+//! exchange, so stale routes never reach storage.
 
+use std::rc::Rc;
+
+use kali_grid::Dist1;
 use kali_machine::{tag, Proc, Wire, NS_ARRAY};
-use kali_sched::{ArraySchedule, CommSchedule, PendingValues, ScheduleExecutor, ScheduleWorld};
+use kali_sched::{
+    ArraySchedule, CommSchedule, PendingValues, PendingVote, ScheduleCache, ScheduleExecutor,
+    ScheduleWorld, SiteKey, NO_VOTE,
+};
 
 use crate::arrays::{DistArrayN, Elem};
 
-const DIR_TO_HI: u64 = 0;
-const DIR_TO_LO: u64 = 1;
-
-/// Tag of the fused split-phase ghost value messages (one per
-/// communicating peer pair per exchange; posting-order matching keeps
-/// successive exchanges paired).
+/// Tag of the fused ghost value messages (one per communicating peer
+/// pair per exchange; posting-order matching keeps successive exchanges
+/// paired).
 const HALO_VALUE_TAG: u64 = tag(NS_ARRAY, 0x0048_6057);
 
 /// The halo's instance of the shared schedule executor.
@@ -55,50 +65,170 @@ impl<T: Elem, const N: usize> ScheduleWorld<T> for DistArrayN<T, N> {
             .expect("halo schedule scatters into this processor's ghost skirt");
         self.data[s] = value;
     }
+
+    // Batched forms for the executor's hot loops: the canonical skirt
+    // walk emits long runs of consecutive flat indices (rows of the
+    // storage box), so successive elements usually advance the storage
+    // index by one last-dimension stride — the full N-dimensional decode
+    // runs only at run breaks.
+    fn load_into(&self, _array: usize, flats: &[u64], out: &mut Vec<T>) {
+        let row = self.extents[N - 1] as u64;
+        let step = self.stride[N - 1];
+        let mut prev: Option<(u64, usize)> = None;
+        out.reserve(flats.len());
+        for &f in flats {
+            let s = match prev {
+                Some((pf, ps)) if f == pf + 1 && f % row != 0 => ps + step,
+                _ => self
+                    .storage_index(self.global_unflat(f as usize))
+                    .expect("halo schedule serves owned cells only"),
+            };
+            out.push(self.data[s]);
+            prev = Some((f, s));
+        }
+    }
+
+    fn store_from(&mut self, _array: usize, flats: &[u64], values: &[T]) {
+        debug_assert_eq!(flats.len(), values.len());
+        let row = self.extents[N - 1] as u64;
+        let step = self.stride[N - 1];
+        let mut prev: Option<(u64, usize)> = None;
+        for (&f, &v) in flats.iter().zip(values) {
+            let s = match prev {
+                Some((pf, ps)) if f == pf + 1 && f % row != 0 => ps + step,
+                _ => self
+                    .storage_index(self.global_unflat(f as usize))
+                    .expect("halo schedule scatters into this processor's ghost skirt"),
+            };
+            self.data[s] = v;
+            prev = Some((f, s));
+        }
+    }
+}
+
+/// Cache key of an analytic halo schedule. The *site* is a stable hash
+/// of the exchange's static shape (rank, extents, ghost widths, corner
+/// policy) — the compiled-path analogue of the interpreter's
+/// parser-assigned `doall` site id — while the full key adds the index
+/// maps and the distribution generation, so a redistribution makes the
+/// lookup miss (and the piggybacked vote roll back) instead of
+/// replaying a stale route.
+#[derive(Clone, PartialEq)]
+pub struct HaloKey {
+    site: usize,
+    team_ranks: Vec<usize>,
+    extents: Vec<usize>,
+    dists: Vec<Dist1>,
+    ghost: Vec<usize>,
+    corners: bool,
+    generation: u64,
+}
+
+impl SiteKey for HaloKey {
+    fn site(&self) -> usize {
+        self.site
+    }
+    fn team_ranks(&self) -> &[usize] {
+        &self.team_ranks
+    }
+}
+
+fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for byte in w.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Cached analytic halo schedules, shared by every exchange a context
+/// issues. One instance lives in `kali-runtime`'s `Ctx`; arrays with the
+/// same geometry (e.g. an array and its copy-in snapshot, or the coarse
+/// levels successive V-cycles reallocate) share entries, because the
+/// schedule is a function of geometry alone.
+pub struct HaloCache {
+    cache: ScheduleCache<HaloKey>,
+}
+
+impl HaloCache {
+    pub fn new() -> Self {
+        // Sites cycle through at most a couple of keys (generation bumps);
+        // the cap is a backstop against unbounded redistribution churn.
+        HaloCache {
+            cache: ScheduleCache::new(4),
+        }
+    }
+}
+
+impl Default for HaloCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// An in-flight split-phase ghost exchange created by
 /// [`DistArrayN::begin_exchange_ghosts`] or
-/// [`DistArrayN::begin_exchange_ghosts_full`]. Complete it with
-/// [`DistArrayN::finish_exchange_ghosts`] on an array of the same shape —
-/// usually the array itself, or a same-layout snapshot taken for
-/// copy-in/copy-out updates.
+/// [`DistArrayN::begin_exchange_ghosts_cached`]. Complete it with the
+/// matching finish call on an array of the same shape — usually the
+/// array itself, or a same-layout snapshot taken for copy-in/copy-out
+/// updates.
 #[must_use = "a begun ghost exchange must be completed with finish_exchange_ghosts"]
 pub struct PendingHalo<T: Wire> {
-    sched: CommSchedule,
-    pending: PendingValues<T>,
+    inner: PendingInner<T>,
+}
+
+enum PendingInner<T: Wire> {
+    /// Not a member of the owning grid: nothing was posted.
+    Idle,
+    /// Pessimistic posted exchange over a (fresh or wrapped) schedule.
+    Plain {
+        sched: Rc<CommSchedule>,
+        pending: PendingValues<T>,
+    },
+    /// Optimistic posted exchange: vote headers are in flight; `hit` is
+    /// the locally cached schedule (None voted [`NO_VOTE`]).
+    Vote {
+        pending: PendingVote,
+        hit: Option<Rc<CommSchedule>>,
+        corners: bool,
+    },
 }
 
 impl<T: Wire> PendingHalo<T> {
     /// Number of ghost value messages still outstanding.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        match &self.inner {
+            PendingInner::Idle => 0,
+            PendingInner::Plain { pending, .. } => pending.len(),
+            PendingInner::Vote { pending, .. } => pending.len(),
+        }
     }
 
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.len() == 0
     }
 }
 
 impl<T: Elem + Wire, const N: usize> DistArrayN<T, N> {
-    /// Exchange ghost layers along every distributed dimension that has a
-    /// non-zero ghost width. Must be called by every member of the owning
-    /// grid (SPMD); non-members and empty owners return immediately.
+    /// Blocking ghost exchange: derive the full-skirt (faces, edges and
+    /// corners) schedule analytically and run it through the shared
+    /// executor's blocking fused value round. Must be called by every
+    /// member of the owning grid (SPMD); non-members return immediately.
     ///
-    /// Neighbours are determined by *ownership*, not grid adjacency, so the
-    /// exchange remains correct on coarse multigrid levels where some
-    /// processors own nothing.
-    ///
-    /// Dimensions are exchanged in increasing order and each strip spans the
-    /// full storage box of the other dimensions (ghosts included), so corner
-    /// ghosts are consistent after the last dimension — sufficient for the
-    /// 5/7/9-point stencils used by the paper's applications.
+    /// Neighbours are determined by *ownership*, not grid adjacency, so
+    /// the exchange remains correct on coarse multigrid levels where some
+    /// processors own nothing, and for ghost skirts wider than a
+    /// neighbour's block.
     pub fn exchange_ghosts(&mut self, proc: &mut Proc) {
-        for d in 0..N {
-            if self.ghost[d] > 0 && self.dists[d].nprocs() > 1 {
-                self.exchange_dim(proc, d);
-            }
+        if !self.in_grid() {
+            return;
         }
+        let sched = self.build_halo_schedule(proc, true);
+        let team = self.grid.team();
+        EXEC.exchange_blocking(proc, &team, &sched, self);
     }
 
     /// Split-phase ghost exchange, post half: derive the ghost schedule
@@ -106,44 +236,26 @@ impl<T: Elem + Wire, const N: usize> DistArrayN<T, N> {
     /// and post the matching receives, then return immediately so the
     /// caller can compute on interior points while the values are in
     /// transit. Must be called by every member of the owning grid (SPMD);
-    /// non-members and empty owners return an empty pending set.
+    /// non-members return an empty pending set.
     ///
-    /// This face-only variant fetches the ghost cells that differ from
-    /// the owned box in exactly one dimension; corner/edge ghosts shared
-    /// between two distributed dimensions are **not** refreshed. Use it
-    /// for stencils that read no diagonal ghost (5-point in 2-D, 7-point
-    /// in 3-D); 9-point stencils use
-    /// [`DistArrayN::begin_exchange_ghosts_full`].
-    pub fn begin_exchange_ghosts(&self, proc: &mut Proc) -> PendingHalo<T> {
-        self.begin_halo(proc, false)
-    }
-
-    /// Corner-completing split-phase ghost exchange: like
-    /// [`DistArrayN::begin_exchange_ghosts`], but every global-valid cell
-    /// of the ghost skirt — faces, edges *and* corners — is fetched
-    /// directly from its true owner, fused into the same posted exchange.
-    /// After completion the skirt is equal to what the blocking
-    /// [`DistArrayN::exchange_ghosts`] produces, so 9-point (2-D) and
-    /// 27-point (3-D) stencils can overlap the transit too.
-    pub fn begin_exchange_ghosts_full(&self, proc: &mut Proc) -> PendingHalo<T> {
-        self.begin_halo(proc, true)
-    }
-
-    fn begin_halo(&self, proc: &mut Proc, corners: bool) -> PendingHalo<T> {
+    /// `corners` selects the corner policy: `false` fetches only the
+    /// ghost cells that differ from the owned box in exactly one
+    /// dimension (faces — all that 5-point/7-point stencils read);
+    /// `true` fetches every global-valid cell of the skirt — faces,
+    /// edges *and* corners — directly from its true owner, so 9-point
+    /// (2-D) and 27-point (3-D) stencils can overlap the transit too.
+    pub fn begin_exchange_ghosts(&self, proc: &mut Proc, corners: bool) -> PendingHalo<T> {
         if !self.in_grid() {
             return PendingHalo {
-                sched: CommSchedule {
-                    arrays: Vec::new(),
-                    write_hint: 0,
-                    boundary: Vec::new(),
-                },
-                pending: PendingValues::none(),
+                inner: PendingInner::Idle,
             };
         }
-        let sched = self.halo_schedule(corners);
+        let sched = Rc::new(self.build_halo_schedule(proc, corners));
         let team = self.grid.team();
         let pending = EXEC.post(proc, &team, &sched, self);
-        PendingHalo { sched, pending }
+        PendingHalo {
+            inner: PendingInner::Plain { sched, pending },
+        }
     }
 
     /// Split-phase ghost exchange, completion half: wait for every posted
@@ -151,29 +263,67 @@ impl<T: Elem + Wire, const N: usize> DistArrayN<T, N> {
     /// must have the shape the exchange was begun with (the array itself
     /// or a same-layout clone).
     pub fn finish_exchange_ghosts(&mut self, proc: &mut Proc, pending: PendingHalo<T>) {
-        if !self.in_grid() {
-            return;
+        match pending.inner {
+            PendingInner::Idle => {}
+            PendingInner::Plain { sched, pending } => {
+                let team = self.grid.team();
+                EXEC.complete(proc, &team, &sched, self, pending);
+            }
+            PendingInner::Vote { .. } => {
+                panic!(
+                    "a cached ghost exchange must be completed with finish_exchange_ghosts_cached"
+                )
+            }
         }
-        let team = self.grid.team();
-        let PendingHalo { sched, pending } = pending;
-        EXEC.complete(proc, &team, &sched, self, pending);
     }
 
-    /// Derive the ghost [`CommSchedule`] analytically: every member walks
-    /// each rank's storage box (owned block plus ghost skirt, clipped to
-    /// the global extents) in the same canonical row-major order, so the
-    /// requesting side and every serving side agree on the per-pair
-    /// element sequences without a request round. `corners` selects the
-    /// full skirt; otherwise only cells outside the owned box in exactly
-    /// one dimension (faces) take part.
-    fn halo_schedule(&self, corners: bool) -> CommSchedule {
+    /// Derive the ghost [`CommSchedule`] analytically and charge the
+    /// walk (every relevant rank's storage box) to the virtual clock as
+    /// inspection work, mirroring the interpreter's inspector pass.
+    fn build_halo_schedule(&self, proc: &mut Proc, corners: bool) -> CommSchedule {
+        let t0 = proc.clock();
+        proc.note_inspector_run();
+        let (sched, cells_walked) = self.halo_schedule(corners);
+        proc.memop(cells_walked as f64);
+        let dt = proc.clock() - t0;
+        proc.attribute_inspector_time(dt);
+        sched
+    }
+
+    /// The cache key of this array's ghost schedule under `corners`.
+    fn halo_key(&self, corners: bool) -> HaloKey {
+        let site = fnv1a(
+            std::iter::once(N as u64)
+                .chain(self.extents.iter().map(|&e| e as u64))
+                .chain(self.ghost.iter().map(|&g| g as u64))
+                .chain(std::iter::once(corners as u64)),
+        ) as usize;
+        HaloKey {
+            site,
+            team_ranks: self.grid.team().ranks().to_vec(),
+            extents: self.extents.to_vec(),
+            dists: self.dists.to_vec(),
+            ghost: self.ghost.to_vec(),
+            corners,
+            generation: self.generation,
+        }
+    }
+
+    /// Derive the ghost [`CommSchedule`]: every member walks each rank's
+    /// storage box (owned block plus ghost skirt, clipped to the global
+    /// extents) in the same canonical row-major order, so the requesting
+    /// side and every serving side agree on the per-pair element
+    /// sequences without a request round. Returns the schedule plus the
+    /// number of cells walked (the work the build is charged for).
+    fn halo_schedule(&self, corners: bool) -> (CommSchedule, usize) {
         let team = self.grid.team();
         let q = team.len();
         let mut my_reqs: Vec<Vec<u64>> = vec![Vec::new(); q];
         let mut incoming: Vec<Vec<u64>> = vec![Vec::new(); q];
+        let mut cells_walked = 0usize;
         if self.ghost.iter().any(|&g| g > 0) && self.is_participant() {
             // My own skirt: what I request of each cell's owner.
-            self.walk_skirt(&self.qs, corners, &mut |g| {
+            cells_walked += self.walk_skirt(&self.qs, corners, &mut |g| {
                 let oi = team
                     .index_of(self.owner_rank(g))
                     .expect("every owner belongs to the owning grid");
@@ -213,14 +363,14 @@ impl<T: Elem + Wire, const N: usize> DistArrayN<T, N> {
                 if !relevant {
                     continue;
                 }
-                self.walk_skirt(&qs, corners, &mut |g| {
+                cells_walked += self.walk_skirt(&qs, corners, &mut |g| {
                     if self.owner_rank(g) == self.rank {
                         incoming[ti].push(self.global_flat(g) as u64);
                     }
                 });
             }
         }
-        CommSchedule {
+        let sched = CommSchedule {
             arrays: vec![ArraySchedule {
                 name: "ghosts".into(),
                 my_reqs,
@@ -228,7 +378,8 @@ impl<T: Elem + Wire, const N: usize> DistArrayN<T, N> {
             }],
             write_hint: 0,
             boundary: Vec::new(),
-        }
+        };
+        (sched, cells_walked)
     }
 
     /// Visit the global-valid ghost-skirt cells of the block owned by the
@@ -239,8 +390,8 @@ impl<T: Elem + Wire, const N: usize> DistArrayN<T, N> {
     /// (block/local) dimension the storage box is the owned interval
     /// widened by the ghost width and clipped to the extents; along a
     /// non-contiguous dimension (necessarily ghost-free) it is exactly
-    /// the owned index list.
-    fn walk_skirt(&self, qs: &[usize; N], corners: bool, f: &mut impl FnMut([usize; N])) {
+    /// the owned index list. Returns the size of the walked box.
+    fn walk_skirt(&self, qs: &[usize; N], corners: bool, f: &mut impl FnMut([usize; N])) -> usize {
         // Per dimension: the global indices of the storage box, each
         // tagged with whether the processor owns it along that dimension.
         let dims: [Vec<(usize, bool)>; N] = std::array::from_fn(|d| {
@@ -277,150 +428,141 @@ impl<T: Elem + Wire, const N: usize> DistArrayN<T, N> {
         }
         let mut idx = [0usize; N];
         rec(&dims, 0, corners, &mut idx, 0, f);
+        dims.iter().map(Vec::len).product()
+    }
+}
+
+impl<const N: usize> DistArrayN<f64, N> {
+    /// The cold/rollback protocol shared by every cached blocking path:
+    /// derive the schedule analytically (charged as inspection work),
+    /// run the fused blocking value round through the executor, and
+    /// store the schedule for later replays.
+    fn rebuild_and_exchange(&mut self, proc: &mut Proc, cache: &mut HaloCache, corners: bool) {
+        let team = self.grid.team();
+        let key = self.halo_key(corners);
+        let sched = self.build_halo_schedule(proc, corners);
+        EXEC.exchange_blocking(proc, &team, &sched, self);
+        cache.cache.store(key, sched);
     }
 
-    /// Machine rank of the ownership neighbour in direction `dir` (−1/+1)
-    /// along array dimension `d`, if any.
-    fn neighbour(&self, d: usize, up: bool) -> Option<usize> {
-        if !self.is_participant() {
-            return None;
-        }
-        let dist = self.dists[d];
-        let target = if up {
-            let hi = self.lo[d] + self.len[d];
-            if hi >= self.extents[d] {
-                return None;
-            }
-            hi
-        } else {
-            if self.lo[d] == 0 {
-                return None;
-            }
-            self.lo[d] - 1
-        };
-        let gd = self
-            .spec
-            .grid_dim_of(d)
-            .expect("ghosted dimension is distributed");
-        let coords = self.coords.as_ref().expect("participant has coords");
-        let mut nbr = coords.clone();
-        nbr[gd] = dist.owner(target);
-        Some(self.grid.rank_at(&nbr))
-    }
-
-    fn exchange_dim(&mut self, proc: &mut Proc, d: usize) {
-        if !self.is_participant() {
+    /// Blocking ghost exchange through the [`HaloCache`]: a warm trip
+    /// replays the cached schedule with the replay vote carried on the
+    /// fused value round ([`ScheduleExecutor::exchange_optimistic_blocking`]),
+    /// a cold trip builds analytically, exchanges, and stores.
+    pub fn exchange_ghosts_cached(
+        &mut self,
+        proc: &mut Proc,
+        cache: &mut HaloCache,
+        corners: bool,
+    ) {
+        if !self.in_grid() {
             return;
         }
-        let g = self.ghost[d];
-        let up = self.neighbour(d, true);
-        let dn = self.neighbour(d, false);
-
-        // Number of layers each side can provide/accept.
-        let my_layers = g.min(self.len[d]);
-        debug_assert!(
-            my_layers == g || (up.is_none() && dn.is_none()) || self.len[d] >= g,
-            "block smaller than ghost width: halo will be partial"
-        );
-
-        // The guarded sends (paper Listing 2: `if (ip .gt. 1) send(...)`).
-        if let Some(nbr) = up {
-            let strip =
-                self.pack_layers(proc, d, self.ghost[d] + self.len[d] - my_layers, my_layers);
-            proc.send(nbr, tag(NS_ARRAY, (d as u64) << 1 | DIR_TO_HI), strip);
-        }
-        if let Some(nbr) = dn {
-            let strip = self.pack_layers(proc, d, self.ghost[d], my_layers);
-            proc.send(nbr, tag(NS_ARRAY, (d as u64) << 1 | DIR_TO_LO), strip);
-        }
-        // The matching guarded receives.
-        if let Some(nbr) = dn {
-            // Our low ghost is the tail of the lower neighbour's box: it sent
-            // "to hi".
-            let strip: Vec<T> = proc.recv(nbr, tag(NS_ARRAY, (d as u64) << 1 | DIR_TO_HI));
-            let layers = strip.len() / self.layer_size(d);
-            self.unpack_layers(proc, d, g - layers, layers, &strip);
-        }
-        if let Some(nbr) = up {
-            let strip: Vec<T> = proc.recv(nbr, tag(NS_ARRAY, (d as u64) << 1 | DIR_TO_LO));
-            let layers = strip.len() / self.layer_size(d);
-            self.unpack_layers(proc, d, g + self.len[d], layers, &strip);
-        }
-    }
-
-    /// Number of elements in one storage layer orthogonal to dimension `d`.
-    fn layer_size(&self, d: usize) -> usize {
-        let mut s = 1;
-        for e in 0..N {
-            if e != d {
-                s *= self.len[e] + 2 * self.ghost[e];
+        let team = self.grid.team();
+        let key = self.halo_key(corners);
+        if cache.cache.has_site_team(key.site(), key.team_ranks()) {
+            let local = cache.cache.lookup(&key);
+            let vote = local.as_ref().map_or(NO_VOTE, |(seq, _)| *seq as i64);
+            let hit = local.as_ref().map(|(_, s)| (s.as_ref(), &*self));
+            let outcome = EXEC.exchange_optimistic_blocking(proc, &team, vote, hit);
+            match (outcome.agreed, local) {
+                (Some(seq), Some((cached_seq, sched))) => {
+                    debug_assert_eq!(cached_seq, seq);
+                    proc.note_schedule_replay();
+                    proc.note_optimistic_hit();
+                    EXEC.scatter_agreed(proc, &sched, self, &outcome);
+                    return;
+                }
+                _ => proc.note_rollback(),
             }
         }
-        s
+        self.rebuild_and_exchange(proc, cache, corners);
     }
 
-    /// Pack `count` storage layers starting at storage coordinate `start`
-    /// along dimension `d` (full storage extent in the other dimensions).
-    fn pack_layers(&self, proc: &mut Proc, d: usize, start: usize, count: usize) -> Vec<T> {
-        let mut out = Vec::with_capacity(count * self.layer_size(d));
-        let mut idx = [0usize; N];
-        self.walk_box(d, start, count, &mut idx, &mut |s| out.push(self.data[s]));
-        proc.memop(out.len() as f64);
-        out
-    }
-
-    fn unpack_layers(&mut self, proc: &mut Proc, d: usize, start: usize, count: usize, vals: &[T]) {
-        let mut idx = [0usize; N];
-        let mut slots = Vec::with_capacity(vals.len());
-        self.walk_box(d, start, count, &mut idx, &mut |s| slots.push(s));
-        assert_eq!(slots.len(), vals.len(), "halo strip size mismatch");
-        for (s, &v) in slots.into_iter().zip(vals) {
-            self.data[s] = v;
-        }
-        proc.memop(vals.len() as f64);
-    }
-
-    /// Visit storage indices of the box where dim `d` ranges over
-    /// `[start, start+count)` in storage coordinates and every other
-    /// dimension covers its full storage extent, in lexicographic order.
-    fn walk_box(
+    /// Split-phase ghost exchange through the [`HaloCache`], post half.
+    /// A warm trip posts the cached schedule's fused value messages with
+    /// the replay vote as a one-word header — no analytic rebuild, no
+    /// dedicated vote round; a cold trip builds analytically, stores,
+    /// and posts pessimistically (the store is collective per site and
+    /// team, so the vote gate stays SPMD-uniform). Complete with
+    /// [`DistArrayN::finish_exchange_ghosts_cached`].
+    pub fn begin_exchange_ghosts_cached(
         &self,
-        d: usize,
-        start: usize,
-        count: usize,
-        idx: &mut [usize; N],
-        f: &mut impl FnMut(usize),
-    ) {
-        fn rec<T: Elem, const N: usize>(
-            a: &DistArrayN<T, N>,
-            dim: usize,
-            d: usize,
-            start: usize,
-            count: usize,
-            idx: &mut [usize; N],
-            f: &mut impl FnMut(usize),
-        ) {
-            if dim == N {
-                let s: usize = (0..N).map(|e| idx[e] * a.stride[e]).sum();
-                f(s);
-                return;
-            }
-            let (lo, hi) = if dim == d {
-                (start, start + count)
-            } else {
-                (0, a.len[dim] + 2 * a.ghost[dim])
+        proc: &mut Proc,
+        cache: &mut HaloCache,
+        corners: bool,
+    ) -> PendingHalo<f64> {
+        if !self.in_grid() {
+            return PendingHalo {
+                inner: PendingInner::Idle,
             };
-            for v in lo..hi {
-                idx[dim] = v;
-                rec(a, dim + 1, d, start, count, idx, f);
+        }
+        let team = self.grid.team();
+        let key = self.halo_key(corners);
+        if cache.cache.has_site_team(key.site(), key.team_ranks()) {
+            let local = cache.cache.lookup(&key);
+            let vote = local.as_ref().map_or(NO_VOTE, |(seq, _)| *seq as i64);
+            let hit = local.as_ref().map(|(_, s)| (s.as_ref(), &*self));
+            let pending = EXEC.post_optimistic(proc, &team, vote, hit);
+            return PendingHalo {
+                inner: PendingInner::Vote {
+                    pending,
+                    hit: local.map(|(_, s)| s),
+                    corners,
+                },
+            };
+        }
+        let sched = self.build_halo_schedule(proc, corners);
+        let pending = EXEC.post(proc, &team, &sched, self);
+        let (_, sched) = cache.cache.store(key, sched);
+        PendingHalo {
+            inner: PendingInner::Plain { sched, pending },
+        }
+    }
+
+    /// Completion half of [`DistArrayN::begin_exchange_ghosts_cached`].
+    /// On vote agreement the payloads scatter into the skirt; on a
+    /// rollback (e.g. a redistribution bumped the generation under a
+    /// still-gated site) the stale payloads are discarded and the whole
+    /// exchange re-runs from a fresh analytic build — reading `self`'s
+    /// *current* owned values, so copy-in/copy-out snapshots stay exact.
+    pub fn finish_exchange_ghosts_cached(
+        &mut self,
+        proc: &mut Proc,
+        cache: &mut HaloCache,
+        pending: PendingHalo<f64>,
+    ) {
+        match pending.inner {
+            PendingInner::Idle => {}
+            PendingInner::Plain { sched, pending } => {
+                let team = self.grid.team();
+                EXEC.complete(proc, &team, &sched, self, pending);
+            }
+            PendingInner::Vote {
+                pending,
+                hit,
+                corners,
+            } => {
+                let outcome = EXEC.complete_optimistic(proc, pending);
+                match (outcome.agreed, hit) {
+                    (Some(_), Some(sched)) => {
+                        proc.note_schedule_replay();
+                        proc.note_optimistic_hit();
+                        EXEC.scatter_agreed(proc, &sched, self, &outcome);
+                    }
+                    _ => {
+                        proc.note_rollback();
+                        self.rebuild_and_exchange(proc, cache, corners);
+                    }
+                }
             }
         }
-        rec(self, 0, d, start, count, idx, f);
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
     use kali_grid::{DistSpec, ProcGrid};
     use kali_machine::{CostModel, Machine, MachineConfig};
     use std::time::Duration;
@@ -450,7 +592,8 @@ mod tests {
         assert_eq!(run.results[1], (3.0, 8.0));
         assert_eq!(run.results[2], (7.0, 12.0));
         assert_eq!(run.results[3], (11.0, -1.0));
-        // 3 interior boundaries, 2 messages each.
+        // 3 interior boundaries, 2 messages each: the executor's blocking
+        // round moves no message between pairs without scheduled traffic.
         assert_eq!(run.report.total_msgs, 6);
     }
 
@@ -558,7 +701,7 @@ mod tests {
                 crate::DistArray1::from_fn(proc.rank(), &g, &spec, [16], [1], |[i]| i as f64);
             let mut b = a.clone();
             a.exchange_ghosts(proc);
-            let pending = b.begin_exchange_ghosts(proc);
+            let pending = b.begin_exchange_ghosts(proc, false);
             proc.compute(100.0); // interior work while strips travel
             b.finish_exchange_ghosts(proc, pending);
             (a, b)
@@ -581,7 +724,7 @@ mod tests {
                 crate::DistArray2::from_fn(proc.rank(), &g, &spec, [8, 8], [1, 1], |[i, j]| {
                     (10 * i + j) as f64
                 });
-            let pending = a.begin_exchange_ghosts(proc);
+            let pending = a.begin_exchange_ghosts(proc, false);
             a.finish_exchange_ghosts(proc, pending);
             a
         });
@@ -607,7 +750,7 @@ mod tests {
                 });
             let mut b = a.clone();
             a.exchange_ghosts(proc);
-            let pending = b.begin_exchange_ghosts_full(proc);
+            let pending = b.begin_exchange_ghosts(proc, true);
             proc.compute(50.0);
             b.finish_exchange_ghosts(proc, pending);
             (a, b)
@@ -647,7 +790,7 @@ mod tests {
                 [0, 1, 1],
                 |[i, j, k]| (100 * i + 10 * j + k) as f64,
             );
-            let pending = a.begin_exchange_ghosts_full(proc);
+            let pending = a.begin_exchange_ghosts(proc, true);
             a.finish_exchange_ghosts(proc, pending);
             a
         });
@@ -672,7 +815,7 @@ mod tests {
                 });
             let mut b = a.clone();
             a.exchange_ghosts(proc);
-            let pending = b.begin_exchange_ghosts(proc);
+            let pending = b.begin_exchange_ghosts(proc, false);
             b.finish_exchange_ghosts(proc, pending);
             (a, b)
         });
@@ -697,13 +840,13 @@ mod tests {
         // 8 elements over 4 procs with ghost width 2: each skirt spans
         // two neighbouring blocks, so the outer ghost layer's owner is
         // two hops away. The ownership-routed schedule fetches it
-        // directly; the strip pipeline could not.
+        // directly; a strip pipeline could not.
         let run = Machine::run(cfg(4), |proc| {
             let g = ProcGrid::new_1d(4);
             let spec = DistSpec::block1();
             let mut a =
                 crate::DistArray1::from_fn(proc.rank(), &g, &spec, [8], [2], |[i]| i as f64);
-            let pending = a.begin_exchange_ghosts(proc);
+            let pending = a.begin_exchange_ghosts(proc, false);
             a.finish_exchange_ghosts(proc, pending);
             a
         });
@@ -724,7 +867,7 @@ mod tests {
             let spec = DistSpec::block1();
             let mut a =
                 crate::DistArray1::from_fn(proc.rank(), &g, &spec, [8], [1], |[i]| i as f64);
-            let pending = a.begin_exchange_ghosts(proc);
+            let pending = a.begin_exchange_ghosts(proc, false);
             let mut old = a.clone();
             // Mutate the live array before completing: the snapshot must
             // still receive the pre-mutation neighbour values.
@@ -757,5 +900,82 @@ mod tests {
         let b = go();
         assert_eq!(a.report.elapsed, b.report.elapsed);
         assert_eq!(a.report.total_words, b.report.total_words);
+    }
+
+    #[test]
+    fn cached_halo_replays_warm_trips_from_the_cache() {
+        // Same geometry, many trips: one analytic build per processor,
+        // every later trip a piggybacked-vote replay with zero rollbacks
+        // and bitwise-identical skirts.
+        let trips = 5usize;
+        let run = Machine::run(cfg(4), move |proc| {
+            let g = ProcGrid::new_2d(2, 2);
+            let spec = DistSpec::block2();
+            let mut cache = HaloCache::new();
+            let mut a =
+                crate::DistArray2::from_fn(proc.rank(), &g, &spec, [8, 8], [1, 1], |[i, j]| {
+                    (10 * i + j) as f64
+                });
+            let mut b = a.clone();
+            for _ in 0..trips {
+                a.exchange_ghosts(proc);
+                let pending = b.begin_exchange_ghosts_cached(proc, &mut cache, true);
+                b.finish_exchange_ghosts_cached(proc, &mut cache, pending);
+            }
+            assert_eq!(a.data, b.data);
+            (
+                proc.stats().inspector_runs,
+                proc.stats().optimistic_hits,
+                proc.stats().rollbacks,
+            )
+        });
+        for (builds, hits, rollbacks) in &run.results {
+            // `a` rebuilds per trip; the cached `b` builds exactly once.
+            assert_eq!(*builds, trips as u64 + 1);
+            assert_eq!(*hits, trips as u64 - 1);
+            assert_eq!(*rollbacks, 0);
+        }
+    }
+
+    #[test]
+    fn cached_halo_rolls_back_after_a_redistribution() {
+        // A redistribution bumps the generation under an unchanged static
+        // shape: the gated vote must miss, roll back exactly once,
+        // rebuild, and then replay warm again — with the
+        // post-redistribution skirt equal to an uncached exchange.
+        let run = Machine::run(cfg(4), |proc| {
+            let g = ProcGrid::new_1d(4);
+            let spec = DistSpec::block_local();
+            let mut cache = HaloCache::new();
+            let mut a =
+                crate::DistArray2::from_fn(proc.rank(), &g, &spec, [8, 8], [1, 0], |[i, j]| {
+                    (10 * i + j) as f64
+                });
+            for _ in 0..2 {
+                a.exchange_ghosts_cached(proc, &mut cache, true);
+            }
+            // Structurally identical layout, but the generation bump must
+            // invalidate the cached route all the same.
+            let mut a = a.redistribute(proc, &spec, [1, 0]);
+            for _ in 0..2 {
+                a.exchange_ghosts_cached(proc, &mut cache, true);
+            }
+            let mut b = a.clone();
+            b.exchange_ghosts(proc);
+            assert_eq!(a.data, b.data);
+            (
+                proc.stats().inspector_runs,
+                proc.stats().optimistic_hits,
+                proc.stats().rollbacks,
+            )
+        });
+        for (builds, hits, rollbacks) in &run.results {
+            // Two cold builds (one per generation) plus b's uncached
+            // exchange; the redistribution costs exactly one rollback
+            // (same site, so the vote gate stays up and disagrees once).
+            assert_eq!(*builds, 3);
+            assert_eq!(*hits, 2);
+            assert_eq!(*rollbacks, 1);
+        }
     }
 }

@@ -11,14 +11,16 @@
 //! remote data must be brought in through the explicit operations a KF1
 //! compiler would generate:
 //!
-//! * [`DistArrayN::exchange_ghosts`] — the guarded edge exchange of
-//!   Listing 2 (Jacobi), generalized to any block-distributed dimension —
-//!   and its split-phase forms [`DistArrayN::begin_exchange_ghosts`]
-//!   (face ghosts) / [`DistArrayN::begin_exchange_ghosts_full`]
-//!   (corner-completing, for 9-point stencils) /
-//!   [`DistArrayN::finish_exchange_ghosts`], thin adapters over the
-//!   shared `kali-sched` executor that post the fused ghost values
-//!   nonblocking so interior computation overlaps the transit;
+//! * the ghost exchange — the guarded edge exchange of Listing 2
+//!   (Jacobi), generalized to any block-distributed dimension and routed
+//!   entirely through the shared `kali-sched` executor on an
+//!   *analytically derived* [`kali_sched::CommSchedule`]: blocking
+//!   ([`DistArrayN::exchange_ghosts`]), split-phase
+//!   ([`DistArrayN::begin_exchange_ghosts`] with a corner-policy flag /
+//!   [`DistArrayN::finish_exchange_ghosts`]), and the [`HaloCache`]d
+//!   forms that replay warm trips from `kali-sched`'s schedule cache
+//!   with a piggybacked (optimistic) consensus vote — the layer
+//!   `kali-runtime`'s `StencilPlan` drives;
 //! * [`DistArrayN::extract_slice`]/[`DistArrayN::store_slice`] — copy-in /
 //!   copy-out of array slices (`r(i, *)`) passed to distributed procedures;
 //! * [`DistArrayN::gather_to_root`] — assembling a global array for
@@ -31,4 +33,4 @@ mod halo;
 mod xfer;
 
 pub use arrays::{DistArray1, DistArray2, DistArray3, DistArrayN, Elem};
-pub use halo::PendingHalo;
+pub use halo::{HaloCache, HaloKey, PendingHalo};

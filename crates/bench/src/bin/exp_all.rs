@@ -19,6 +19,7 @@ fn main() {
         ("C6", kali_bench::exp_lang_overhead::run),
         ("S1", kali_bench::exp_schedule_reuse::run),
         ("S2", kali_bench::exp_overlap::run),
+        ("S3", kali_bench::exp_halo_cache::run),
     ];
     let mut docs = Vec::new();
     for (id, f) in experiments {

@@ -1,0 +1,6 @@
+//! Regenerates the analytic-halo schedule-cache experiment; `--smoke`
+//! shrinks the workloads for CI, `--json` emits the machine-readable
+//! document tracked as BENCH_halo_cache.json.
+fn main() {
+    kali_bench::exp_main(kali_bench::exp_halo_cache::run);
+}

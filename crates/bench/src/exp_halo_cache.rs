@@ -1,0 +1,254 @@
+//! Analytic-halo schedule caching: what does replaying the compiled
+//! path's ghost schedules from `kali-sched`'s `ScheduleCache` buy over
+//! re-deriving them on every exchange?
+//!
+//! Deriving a halo schedule walks every relevant peer's storage box —
+//! host work the virtual machine charges as inspection time, exactly
+//! like the interpreter's inspector pass. Under the default
+//! `ExecPolicy` the `StencilPlan` caches the derived schedule keyed on
+//! `(extents, dists, ghosts, corner policy, distribution generation)`
+//! and replays warm exchanges with the consensus vote riding as a
+//! one-word header on the fused value messages. This experiment runs the
+//! two flagship stencil workloads — the Jacobi sweep (faces-only halo)
+//! and the mg2 V-cycle (corner-completing halos across every
+//! semicoarsened level) — with caching off (`ExecPolicy::pessimistic`:
+//! split-phase, rebuild per trip) and on, and reports the *warm-trip*
+//! marginal time plus the build/replay/rollback counters. A healthy
+//! cache shows **zero analytic rebuilds and zero rollbacks on warm
+//! trips** — the invariant CI enforces on the archived
+//! `BENCH_halo_cache.json`.
+
+use std::time::Duration;
+
+use kali_array::DistArray2;
+use kali_grid::{DistSpec, ProcGrid};
+use kali_machine::{CostModel, Machine, MachineConfig, RunReport};
+use kali_runtime::{Ctx, ExecPolicy, Ghosts};
+use kali_solvers::mg2::mg2_vcycle;
+use kali_solvers::Pde;
+
+use crate::json::Json;
+use crate::{fmt_s, ExpOpts, ExpOut, Table};
+
+fn cfg(p: usize) -> MachineConfig {
+    MachineConfig::new(p)
+        .with_cost(CostModel::ipsc2())
+        .with_watchdog(Duration::from_secs(120))
+}
+
+/// `sweeps` compiled Jacobi trips on a 2×2 grid under `policy`.
+fn jacobi_trips(n: usize, sweeps: usize, policy: ExecPolicy) -> RunReport {
+    let run = Machine::run(cfg(4), move |proc| {
+        let grid = ProcGrid::new_2d(2, 2);
+        let spec = DistSpec::block2();
+        let mut u = DistArray2::<f64>::new(proc.rank(), &grid, &spec, [n + 1, n + 1], [1, 1]);
+        let f = DistArray2::from_fn(
+            proc.rank(),
+            &grid,
+            &spec,
+            [n + 1, n + 1],
+            [0, 0],
+            |[i, j]| ((i * 5 + j) % 7) as f64 / 70.0,
+        );
+        let mut ctx = Ctx::with_policy(proc, grid, policy);
+        for _ in 0..sweeps {
+            ctx.plan()
+                .reads(&mut u, Ghosts::faces(1))
+                .update2(1..n, 1..n, 5.0, |old, i, j| {
+                    0.25 * (old.at(i + 1, j)
+                        + old.at(i - 1, j)
+                        + old.at(i, j + 1)
+                        + old.at(i, j - 1))
+                        - f.at(i, j)
+                });
+        }
+    });
+    run.report
+}
+
+/// `cycles` mg2 V-cycles on a 1-D team under `policy` (corner-completing
+/// halos on every level; coarse levels reallocate per cycle, so cache
+/// hits require geometry-keyed sharing, not object identity).
+fn mg2_cycles(nx: usize, ny: usize, cycles: usize, policy: ExecPolicy) -> RunReport {
+    let run = Machine::run(cfg(4), move |proc| {
+        let pde = Pde::anisotropic(3.0, 1.0, 0.0);
+        let grid = ProcGrid::new_1d(4);
+        let spec = DistSpec::local_block();
+        let mut u = DistArray2::<f64>::new(proc.rank(), &grid, &spec, [nx + 1, ny + 1], [0, 1]);
+        let f = DistArray2::from_fn(
+            proc.rank(),
+            &grid,
+            &spec,
+            [nx + 1, ny + 1],
+            [0, 1],
+            |[i, j]| ((i * 3 + j * 5) % 11) as f64 / 110.0,
+        );
+        let mut ctx = Ctx::with_policy(proc, grid, policy);
+        for _ in 0..cycles {
+            mg2_vcycle(&mut ctx, &pde, &mut u, &f);
+        }
+    });
+    run.report
+}
+
+struct Row {
+    workload: &'static str,
+    lo: usize,
+    hi: usize,
+    warm_uncached: f64,
+    warm_cached: f64,
+    /// Analytic builds on warm trips of the cached run (hi − lo window);
+    /// anything but 0 means the cache failed to serve a warm exchange.
+    warm_builds: u64,
+    hits: u64,
+    rollbacks: u64,
+}
+
+fn measure(
+    workload: &'static str,
+    lo: usize,
+    hi: usize,
+    run: impl Fn(usize, ExecPolicy) -> RunReport,
+) -> Row {
+    let unc_lo = run(lo, ExecPolicy::pessimistic());
+    let unc_hi = run(hi, ExecPolicy::pessimistic());
+    let cach_lo = run(lo, ExecPolicy::default());
+    let cach_hi = run(hi, ExecPolicy::default());
+    let d = (hi - lo) as f64;
+    Row {
+        workload,
+        lo,
+        hi,
+        warm_uncached: (unc_hi.elapsed - unc_lo.elapsed) / d,
+        warm_cached: (cach_hi.elapsed - cach_lo.elapsed) / d,
+        warm_builds: cach_hi.total_inspector_runs - cach_lo.total_inspector_runs,
+        hits: cach_hi.total_optimistic_hits,
+        rollbacks: cach_hi.total_rollbacks,
+    }
+}
+
+/// `opts.smoke` shrinks the workloads for CI.
+pub fn run(opts: ExpOpts) -> ExpOut {
+    let (jn, mg, lo, hi) = if opts.smoke {
+        (48usize, (16usize, 32usize), 2usize, 5usize)
+    } else {
+        (64, (32, 64), 2, 8)
+    };
+    let rows = vec![
+        measure("jacobi", lo, hi, |trips, policy| {
+            jacobi_trips(jn, trips, policy)
+        }),
+        measure("mg2_vcycle", lo, hi, |cycles, policy| {
+            mg2_cycles(mg.0, mg.1, cycles, policy)
+        }),
+    ];
+
+    let mut t = Table::new(&[
+        "workload",
+        "warm trip, rebuild",
+        "warm trip, cached",
+        "cut",
+        "warm builds",
+        "hits",
+        "rollbacks",
+    ]);
+    let mut raw_rows = Vec::new();
+    for r in &rows {
+        t.row(vec![
+            r.workload.to_string(),
+            fmt_s(r.warm_uncached),
+            fmt_s(r.warm_cached),
+            format!("{:.2}x", r.warm_uncached / r.warm_cached),
+            r.warm_builds.to_string(),
+            r.hits.to_string(),
+            r.rollbacks.to_string(),
+        ]);
+        raw_rows.push(Json::obj(vec![
+            ("workload", Json::str(r.workload)),
+            ("trips_lo", Json::from(r.lo as u64)),
+            ("trips_hi", Json::from(r.hi as u64)),
+            ("warm_trip_uncached_s", Json::Num(r.warm_uncached)),
+            ("warm_trip_cached_s", Json::Num(r.warm_cached)),
+            ("cached_cut", Json::Num(r.warm_uncached / r.warm_cached)),
+            ("warm_builds", Json::from(r.warm_builds)),
+            ("optimistic_hits", Json::from(r.hits)),
+            ("rollbacks", Json::from(r.rollbacks)),
+        ]));
+    }
+
+    let text = format!(
+        "=== Analytic-halo schedule caching (compiled path, iPSC/2 costs) ===\n\n{}\n\
+         The warm-trip column isolates one steady-state trip\n\
+         ((t({hi})−t({lo}))/{d}). \"Rebuild\" re-derives the halo schedule\n\
+         every exchange (split-phase, uncached); \"cached\" replays it from\n\
+         the ScheduleCache with the consensus vote piggybacked on the value\n\
+         messages. Warm builds and rollbacks must both be zero: every warm\n\
+         exchange is served by the cache, with the analytic walk paid once\n\
+         per geometry (per mg2 level) instead of once per trip.\n",
+        t.render(),
+        d = hi - lo,
+    );
+    ExpOut::new("halo_cache", text)
+        .with_table("summary", t)
+        .with_extra("rows", Json::Arr(raw_rows))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn warm_trips_never_rebuild_or_roll_back() {
+        use crate::json::Json;
+        let out = super::run(crate::ExpOpts {
+            smoke: true,
+            ..Default::default()
+        });
+        // Walk the structured rows: *every* workload must report zero
+        // warm-trip rebuilds and zero rollbacks, not just one of them.
+        let rows = out
+            .extra
+            .iter()
+            .find_map(|(k, v)| match (k.as_str(), v) {
+                ("rows", Json::Arr(rows)) => Some(rows),
+                _ => None,
+            })
+            .expect("rows in the JSON document");
+        let mut workloads = Vec::new();
+        for row in rows {
+            let Json::Obj(fields) = row else {
+                panic!("row must be an object")
+            };
+            let field = |name: &str| {
+                fields
+                    .iter()
+                    .find_map(|(k, v)| (k == name).then_some(v))
+                    .unwrap_or_else(|| panic!("row field {name}"))
+            };
+            let Json::Str(workload) = field("workload") else {
+                panic!("workload must be a string")
+            };
+            assert_eq!(field("warm_builds"), &Json::Num(0.0), "{workload}");
+            assert_eq!(field("rollbacks"), &Json::Num(0.0), "{workload}");
+            workloads.push(workload.clone());
+        }
+        assert!(workloads.contains(&"jacobi".to_string()));
+        assert!(workloads.contains(&"mg2_vcycle".to_string()));
+    }
+
+    #[test]
+    fn caching_cuts_the_jacobi_warm_trip() {
+        // On a latency-bound model the cached warm trip must not be
+        // slower than re-deriving the schedule each exchange: the saved
+        // analytic walk outweighs the piggybacked vote headers.
+        let r = super::measure("jacobi", 2, 5, |trips, policy| {
+            super::jacobi_trips(48, trips, policy)
+        });
+        assert!(
+            r.warm_cached <= r.warm_uncached,
+            "cached warm trip {:.3e} s vs rebuild {:.3e} s",
+            r.warm_cached,
+            r.warm_uncached
+        );
+        assert_eq!(r.warm_builds, 0);
+        assert_eq!(r.rollbacks, 0);
+    }
+}

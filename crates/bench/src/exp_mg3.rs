@@ -10,7 +10,7 @@
 use kali_array::DistArray3;
 use kali_grid::{DistSpec, ProcGrid};
 use kali_machine::Machine;
-use kali_runtime::Ctx;
+use kali_runtime::{Ctx, Ghosts};
 use kali_solvers::mg3::mg3_vcycle;
 use kali_solvers::seq::{apply3, Grid3};
 use kali_solvers::transfer::resid3;
@@ -40,8 +40,8 @@ fn one_case(n: usize, p0: usize, p1: usize, cycles: usize) -> (f64, u64, f64) {
         let mut rn = 0.0;
         for c in 0..cycles {
             mg3_vcycle(&mut ctx, &pde, &mut u, &farr, 1);
-            let mut r = resid3(ctx.proc(), &pde, &mut u, &farr);
-            r.exchange_ghosts(ctx.proc());
+            let mut r = resid3(&mut ctx, &pde, &mut u, &farr);
+            ctx.plan().reads(&mut r, Ghosts::full(1)).refresh();
             let norm = kali_runtime::global_max_abs(&mut ctx, &r);
             if c == 0 {
                 r0 = norm;

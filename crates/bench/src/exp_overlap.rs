@@ -20,7 +20,7 @@ use kali_array::DistArray2;
 use kali_grid::{DistSpec, ProcGrid};
 use kali_lang::{listing, run_source_with, HostValue, LangRun, RunOptions};
 use kali_machine::{CostModel, Machine, MachineConfig, RunReport};
-use kali_runtime::{jacobi_update, jacobi_update_split, Ctx};
+use kali_runtime::{Ctx, ExecPolicy, Ghosts};
 
 use crate::json::{report_json, Json};
 use crate::{fmt_s, ExpOpts, ExpOut, Table};
@@ -77,9 +77,9 @@ fn jacobi_listing(np: i64, trips: i64, comm_scale: f64, split: bool) -> LangRun 
     )
 }
 
-/// Compiled-path Jacobi: `sweeps` runtime-library sweeps with the
-/// blocking or the split-phase ghost exchange.
-fn jacobi_compiled(n: usize, sweeps: usize, comm_scale: f64, split: bool) -> RunReport {
+/// Compiled-path Jacobi: `sweeps` stencil-plan sweeps under the given
+/// execution policy.
+fn jacobi_compiled(n: usize, sweeps: usize, comm_scale: f64, policy: ExecPolicy) -> RunReport {
     let run = Machine::run(cfg_scaled(4, comm_scale), move |proc| {
         let grid = ProcGrid::new_2d(2, 2);
         let spec = DistSpec::block2();
@@ -92,17 +92,17 @@ fn jacobi_compiled(n: usize, sweeps: usize, comm_scale: f64, split: bool) -> Run
             [0, 0],
             |[i, j]| ((i * 5 + j) % 7) as f64 / 70.0,
         );
-        let mut ctx = Ctx::new(proc, grid);
+        let mut ctx = Ctx::with_policy(proc, grid, policy);
         for _ in 0..sweeps {
-            let step = |old: &DistArray2<f64>, i: usize, j: usize| {
-                0.25 * (old.at(i + 1, j) + old.at(i - 1, j) + old.at(i, j + 1) + old.at(i, j - 1))
-                    - f.at(i, j)
-            };
-            if split {
-                jacobi_update_split(ctx.proc(), &mut u, 1..n, 1..n, 5.0, step);
-            } else {
-                jacobi_update(ctx.proc(), &mut u, 1..n, 1..n, 5.0, step);
-            }
+            ctx.plan()
+                .reads(&mut u, Ghosts::faces(1))
+                .update2(1..n, 1..n, 5.0, |old, i, j| {
+                    0.25 * (old.at(i + 1, j)
+                        + old.at(i - 1, j)
+                        + old.at(i, j + 1)
+                        + old.at(i, j - 1))
+                        - f.at(i, j)
+                });
         }
         u.gather_to_root(ctx.proc())
     });
@@ -244,8 +244,11 @@ pub fn run(opts: ExpOpts) -> ExpOut {
     ]);
     let sweeps = (hi - lo) as usize + 2;
     for &scale in scales {
-        let sync = jacobi_compiled(np as usize, sweeps, scale, false);
-        let split = jacobi_compiled(np as usize, sweeps, scale, true);
+        // Pessimistic (uncached) split vs blocking isolates the overlap
+        // win alone; the schedule-cache win on top of it is measured
+        // separately by exp_halo_cache.
+        let sync = jacobi_compiled(np as usize, sweeps, scale, ExecPolicy::blocking());
+        let split = jacobi_compiled(np as usize, sweeps, scale, ExecPolicy::pessimistic());
         tc.row(vec![
             format!("{scale}x"),
             sweeps.to_string(),

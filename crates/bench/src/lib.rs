@@ -17,6 +17,7 @@ pub mod exp_distributions;
 pub mod exp_fig1_structure;
 pub mod exp_fig3_dataflow;
 pub mod exp_fig5_pipeline;
+pub mod exp_halo_cache;
 pub mod exp_kf1_vs_mp;
 pub mod exp_lang_overhead;
 pub mod exp_loc;

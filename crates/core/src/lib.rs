@@ -62,7 +62,7 @@ pub mod prelude {
         collective, tag, CostModel, Machine, MachineConfig, PendingRecv, PendingSend, Proc,
         RunReport, Tag, Team, Topology, NS_USER,
     };
-    pub use kali_runtime::{global_max_abs, global_norm2, jacobi_update, jacobi_update_split, Ctx};
+    pub use kali_runtime::{global_max_abs, global_norm2, Ctx, ExecPolicy, Ghosts, StencilPlan};
     pub use kali_solvers::Pde;
 }
 

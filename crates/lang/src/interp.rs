@@ -176,6 +176,20 @@ impl ScheduleWorld<f64> for LangWorld {
     fn store(&mut self, array: usize, flat: u64, value: f64) {
         self.bases[array].borrow_mut().data[flat as usize] = value;
     }
+
+    // Batched forms: one `RefCell` borrow per request vector instead of
+    // one per element — the executor's serve/scatter hot loops call these.
+    fn load_into(&self, array: usize, flats: &[u64], out: &mut Vec<f64>) {
+        let arr = self.bases[array].borrow();
+        out.extend(flats.iter().map(|&f| arr.data[f as usize]));
+    }
+
+    fn store_from(&mut self, array: usize, flats: &[u64], values: &[f64]) {
+        let mut arr = self.bases[array].borrow_mut();
+        for (&f, &v) in flats.iter().zip(values) {
+            arr.data[f as usize] = v;
+        }
+    }
 }
 
 /// Everything the inspector's output is a deterministic function of. Two

@@ -9,25 +9,50 @@
 //!
 //! * [`Ctx`] — a processor's view of the current processor array
 //!   (initially the whole machine; narrowed by [`Ctx::call_on`] for
-//!   distributed procedure calls on grid slices);
-//! * [`Ctx::doall1`] / [`Ctx::doall2`] — strip-mined parallel loops whose
-//!   `on owner(...)` clause is a [`Dist1`] or a distributed array — and
-//!   their split-phase forms [`Ctx::doall1_split`] /
-//!   [`Ctx::doall2_split`], which run the communication-free interior
-//!   iterations while posted messages are in flight and the boundary
-//!   after a completion callback;
-//! * [`jacobi_update`] — the copy-in/copy-out stencil update that makes
-//!   Listing 3 need no explicit temporary — and [`jacobi_update_split`],
-//!   its latency-hiding form for face-only stencils;
+//!   distributed procedure calls on grid slices), carrying the
+//!   [`ExecPolicy`] every communicating loop executes under and the
+//!   [`kali_array::HaloCache`] of analytic ghost schedules;
+//! * [`Ctx::plan`] — **the** entry point for communicating `doall`s: a
+//!   declarative [`StencilPlan`] where the caller states what a stencil
+//!   reads ([`Ghosts`]: width + corner policy) and which loop shape runs
+//!   ([`PlanRead::update2`] for copy-in/copy-out updates,
+//!   [`PlanRead::run2`] for product-range loops writing elsewhere,
+//!   [`PlanRead::run_lines`] for line `doall`s,
+//!   [`PlanRead::refresh`] for a bare skirt refresh) — and the runtime
+//!   derives and executes the communication: split-phase with the
+//!   interior overlapping the transit, warm trips replayed from the
+//!   schedule cache with a piggybacked consensus vote, all policy-driven
+//!   rather than API-driven;
+//! * [`Ctx::doall1`] / [`Ctx::doall2`] — communication-free strip-mined
+//!   parallel loops whose `on owner(...)` clause is a [`Dist1`] or a
+//!   distributed array;
 //! * global reductions over the current grid.
 //!
-//! Everything costs virtual time through the usual [`Proc`] accounting, so
-//! programs written against this API are directly comparable with the
+//! There is deliberately **one** name per construct: how an exchange
+//! executes (blocking vs split-phase, rebuilt vs cached) is an
+//! [`ExecPolicy`], not a second set of entry points. Everything costs
+//! virtual time through the usual [`Proc`] accounting, so programs
+//! written against this API are directly comparable with the
 //! hand-written message-passing baselines in `kali-mp` (paper claim C2).
+//!
+//! ## Migrating from the pre-plan API
+//!
+//! | old entry point | plan call |
+//! |---|---|
+//! | `jacobi_update(proc, u, r0, r1, fl, f)` | `ctx.plan().policy(ExecPolicy::blocking()).reads(&mut u, Ghosts::faces(1)).update2(r0, r1, fl, f)` |
+//! | `jacobi_update_split(proc, u, r0, r1, fl, f)` | `ctx.plan().reads(&mut u, Ghosts::faces(1)).update2(r0, r1, fl, f)` |
+//! | `doall2_split(a, r0, r1, m, complete, body)` | `ctx.plan().reads(&mut a, Ghosts::faces(m)).run2(r0, r1, fl, body)` |
+//! | `doall1_split(gd, dist, r, m, complete, body)` | `ctx.plan().reads(&mut a, Ghosts::full(m)).run_lines(d, r, body)` |
+//! | `a.exchange_ghosts(proc)` (in solver code) | `ctx.plan().reads(&mut a, Ghosts::full(1)).refresh()` |
+//! | `zebra2_with(.., split)` / `rest2_with(.., split)` / `mg2_vcycle_with(.., split)` | `ctx.set_policy(..)` once; call `zebra2` / `rest2` / `mg2_vcycle` |
 
-use kali_array::{DistArray2, DistArrayN, Elem};
+use kali_array::{DistArray2, DistArrayN, Elem, HaloCache};
 use kali_grid::{Dist1, ProcGrid};
 use kali_machine::{collective, Proc, Team, Wire};
+
+mod plan;
+
+pub use plan::{ExecPolicy, Ghosts, PlanRead, StencilPlan};
 
 // The interior/boundary partitions live in the shared scheduling crate
 // (they are the compiled-path mirror of `CommSchedule::boundary`);
@@ -35,24 +60,68 @@ use kali_machine::{collective, Proc, Team, Wire};
 pub use kali_sched::{SplitBox2, SplitRange1};
 
 /// Execution context: one processor's handle on the machine plus the
-/// processor array currently in scope (the `procs` argument of a `parsub`).
+/// processor array currently in scope (the `procs` argument of a
+/// `parsub`), the [`ExecPolicy`] its communicating loops run under, and
+/// the cache of analytic ghost schedules warm exchanges replay from.
 pub struct Ctx<'a> {
     proc: &'a mut Proc,
     grid: ProcGrid,
     /// Grid coordinates of this processor within `grid` (None if not a member).
     coords: Option<Vec<usize>>,
+    policy: ExecPolicy,
+    halo: HaloCache,
 }
 
 impl<'a> Ctx<'a> {
-    /// Enter a parallel subroutine on the given processor array.
+    /// Enter a parallel subroutine on the given processor array, under
+    /// the default [`ExecPolicy`] (split-phase, optimistic replay).
     pub fn new(proc: &'a mut Proc, grid: ProcGrid) -> Self {
         let coords = grid.coords_of(proc.rank());
-        Ctx { proc, grid, coords }
+        Ctx {
+            proc,
+            grid,
+            coords,
+            policy: ExecPolicy::default(),
+            halo: HaloCache::new(),
+        }
+    }
+
+    /// Enter with an explicit policy (differential baselines, sweeps).
+    pub fn with_policy(proc: &'a mut Proc, grid: ProcGrid, policy: ExecPolicy) -> Self {
+        let mut ctx = Ctx::new(proc, grid);
+        ctx.policy = policy;
+        ctx
+    }
+
+    /// The policy communicating loops currently execute under.
+    pub fn policy(&self) -> ExecPolicy {
+        self.policy
+    }
+
+    /// Change the execution policy for subsequent plans. SPMD programs
+    /// must set the same policy on every member (the replay consensus is
+    /// collective).
+    pub fn set_policy(&mut self, policy: ExecPolicy) {
+        self.policy = policy;
+    }
+
+    /// Build a [`StencilPlan`] under the context's policy: declare what
+    /// the loop reads, then run it. See the crate docs for the migration
+    /// table from the pre-plan entry points.
+    pub fn plan(&mut self) -> StencilPlan<'_, 'a> {
+        let policy = self.policy;
+        StencilPlan { ctx: self, policy }
     }
 
     /// The machine-level processor handle.
     pub fn proc(&mut self) -> &mut Proc {
         self.proc
+    }
+
+    /// Split borrow used by the plan executor: the processor handle and
+    /// the halo schedule cache, simultaneously.
+    pub(crate) fn proc_and_halo(&mut self) -> (&mut Proc, &mut HaloCache) {
+        (self.proc, &mut self.halo)
     }
 
     /// The processor array in scope.
@@ -91,7 +160,8 @@ impl<'a> Ctx<'a> {
     /// Block distributions are strip-mined to the intersection of the range
     /// with the owned interval (no per-iteration owner tests), like the
     /// compiled code the paper describes; other patterns fall back to an
-    /// owner test per iteration.
+    /// owner test per iteration. Loops that *communicate* go through
+    /// [`Ctx::plan`] instead.
     pub fn doall1(
         &mut self,
         gd: usize,
@@ -118,53 +188,6 @@ impl<'a> Ctx<'a> {
                 }
             }
         }
-    }
-
-    /// Split-phase form of [`Ctx::doall1`]: the iterations at least
-    /// `margin` inside the owned block run first (typically while
-    /// communication posted by the caller is in flight), then `complete`
-    /// runs (typically [`DistArrayN::finish_exchange_ghosts`]), then the
-    /// boundary iterations. Covers exactly the iterations [`Ctx::doall1`]
-    /// covers, interior first — bodies must not rely on iteration order.
-    ///
-    /// Non-contiguous distributions have no communication-free interior:
-    /// `complete` runs first and every iteration is treated as boundary.
-    ///
-    /// [`DistArrayN::finish_exchange_ghosts`]: kali_array::DistArrayN::finish_exchange_ghosts
-    pub fn doall1_split(
-        &mut self,
-        gd: usize,
-        dist: &Dist1,
-        range: std::ops::Range<usize>,
-        margin: usize,
-        complete: impl FnOnce(&mut Ctx),
-        mut body: impl FnMut(&mut Ctx, usize),
-    ) {
-        let Some(coords) = self.coords.clone() else {
-            complete(self);
-            return;
-        };
-        let q = coords[gd];
-        if !dist.is_contiguous() {
-            complete(self);
-            for i in range {
-                if dist.owner(i) == q {
-                    body(self, i);
-                }
-            }
-            return;
-        }
-        let Some(lo) = dist.lower(q) else {
-            complete(self);
-            return;
-        };
-        let hi = dist.upper(q).expect("nonempty block") + 1;
-        // Interior: owned indices whose `margin`-wide footprint stays
-        // inside the owned block.
-        let split = SplitRange1::new(lo..hi, range, margin);
-        split.for_interior(|i| body(self, i));
-        complete(self);
-        split.for_boundary(|i| body(self, i));
     }
 
     /// Strided variant of [`Ctx::doall1`] (`doall j = lo, hi, step` — used by
@@ -216,41 +239,24 @@ impl<'a> Ctx<'a> {
         }
     }
 
-    /// Split-phase form of [`Ctx::doall2`]: the owned sub-box shrunk by
-    /// `margin` on every side runs first (while communication posted by
-    /// the caller is in flight), then `complete` runs (typically waiting
-    /// on a [`kali_array::PendingHalo`]), then the boundary frame.
-    /// Covers exactly the iterations [`Ctx::doall2`] covers, interior
-    /// first — bodies must not rely on iteration order.
-    pub fn doall2_split<T: Elem>(
-        &mut self,
-        a: &DistArray2<T>,
-        r0: std::ops::Range<usize>,
-        r1: std::ops::Range<usize>,
-        margin: [usize; 2],
-        complete: impl FnOnce(&mut Ctx),
-        mut body: impl FnMut(&mut Ctx, usize, usize),
-    ) {
-        if !a.is_participant() || !self.in_grid() {
-            complete(self);
-            return;
-        }
-        debug_assert!(a.dist(0).is_contiguous() && a.dist(1).is_contiguous());
-        let split = SplitBox2::new([a.owned_range(0), a.owned_range(1)], r0, r1, margin);
-        split.for_interior(|i, j| body(self, i, j));
-        complete(self);
-        split.for_boundary(|i, j| body(self, i, j));
-    }
-
     /// Call a distributed procedure on a slice of the processor array:
     /// `call sub(...; owner(r(i, *)))`. Only members of `slice` execute
-    /// `f`; they see a narrowed context. Returns `Some(result)` on members.
+    /// `f`; they see a narrowed context that inherits the caller's
+    /// [`ExecPolicy`] and *borrows* the caller's halo schedule cache
+    /// (keys carry the team, so slice-team entries are distinct and
+    /// survive across repeated calls — mg3's per-plane `mg2` solves
+    /// replay warm instead of re-deriving every level's halo per
+    /// plane). Returns `Some(result)` on members.
     pub fn call_on<R>(&mut self, slice: ProcGrid, f: impl FnOnce(&mut Ctx) -> R) -> Option<R> {
         if !slice.contains(self.proc.rank()) {
             return None;
         }
         let mut sub = Ctx::new(self.proc, slice);
-        Some(f(&mut sub))
+        sub.policy = self.policy;
+        sub.halo = std::mem::take(&mut self.halo);
+        let r = f(&mut sub);
+        self.halo = sub.halo;
+        Some(r)
     }
 
     /// Global sum over the current grid (replicated result).
@@ -276,82 +282,6 @@ impl<'a> Ctx<'a> {
         let team = self.team();
         collective::broadcast(self.proc, &team, 0, value)
     }
-}
-
-/// Copy-in/copy-out stencil update (the `doall` semantics of §2):
-///
-/// ```text
-/// doall (i, j) = [r0] * [r1] on owner(u(i, j))
-///     u(i, j) = f(u_old, i, j)
-/// ```
-///
-/// Ghosts are exchanged first, the *old* array (owned block + ghosts) is
-/// snapshotted, and every owned point in the range is rewritten from the
-/// snapshot — so no user-visible temporary is needed, exactly as in
-/// Listing 3. `flops_per_point` is charged per updated point.
-pub fn jacobi_update<T: Elem + Wire>(
-    proc: &mut Proc,
-    u: &mut DistArray2<T>,
-    r0: std::ops::Range<usize>,
-    r1: std::ops::Range<usize>,
-    flops_per_point: f64,
-    f: impl Fn(&DistArray2<T>, usize, usize) -> T,
-) {
-    u.exchange_ghosts(proc);
-    if !u.is_participant() {
-        return;
-    }
-    let old = u.clone();
-    proc.memop((u.local_len(0) * u.local_len(1)) as f64);
-    let i0 = r0.start.max(u.owned_range(0).start);
-    let i1 = r0.end.min(u.owned_range(0).end);
-    let j0 = r1.start.max(u.owned_range(1).start);
-    let j1 = r1.end.min(u.owned_range(1).end);
-    let mut points = 0usize;
-    for i in i0..i1 {
-        for j in j0..j1 {
-            u.set([i, j], f(&old, i, j));
-            points += 1;
-        }
-    }
-    proc.compute(flops_per_point * points as f64);
-}
-
-/// Split-phase form of [`jacobi_update`]: the ghost strips are posted
-/// nonblocking, the interior points (whose stencil footprint stays inside
-/// the owned block) are updated while the strips are in transit, and the
-/// boundary frame is updated after completion — so on a latency-bound
-/// machine the message start-up hides behind interior computation.
-///
-/// The split-phase halo does not refresh corner ghosts, so `f` must be a
-/// face-only stencil (5-point in 2-D) reading at most `u.ghosts()` away
-/// along each axis separately. Results are bitwise identical to
-/// [`jacobi_update`] for such stencils.
-pub fn jacobi_update_split<T: Elem + Wire>(
-    proc: &mut Proc,
-    u: &mut DistArray2<T>,
-    r0: std::ops::Range<usize>,
-    r1: std::ops::Range<usize>,
-    flops_per_point: f64,
-    f: impl Fn(&DistArray2<T>, usize, usize) -> T,
-) {
-    let pending = u.begin_exchange_ghosts(proc);
-    if !u.is_participant() {
-        u.finish_exchange_ghosts(proc, pending);
-        return;
-    }
-    // Copy-in snapshot taken before any write; its ghosts are completed
-    // below, while the live array receives the updates.
-    let mut old = u.clone();
-    proc.memop((u.local_len(0) * u.local_len(1)) as f64);
-    let split = SplitBox2::new([u.owned_range(0), u.owned_range(1)], r0, r1, u.ghosts());
-    split.for_interior(|i, j| u.set([i, j], f(&old, i, j)));
-    // Charge the interior flops *before* completing: this is the work
-    // that overlaps the strip transit on the virtual timeline.
-    proc.compute(flops_per_point * split.interior_count() as f64);
-    old.finish_exchange_ghosts(proc, pending);
-    split.for_boundary(|i, j| u.set([i, j], f(&old, i, j)));
-    proc.compute(flops_per_point * split.boundary_count() as f64);
 }
 
 /// Squared 2-norm of a distributed array over the current grid
@@ -454,13 +384,14 @@ mod tests {
     }
 
     #[test]
-    fn call_on_narrows_the_grid() {
+    fn call_on_narrows_the_grid_and_inherits_the_policy() {
         let run = Machine::run(cfg(4), |proc| {
             let grid = ProcGrid::new_2d(2, 2);
             let row1 = grid.slice(0, 1);
-            let mut ctx = Ctx::new(proc, grid);
+            let mut ctx = Ctx::with_policy(proc, grid, ExecPolicy::blocking());
             ctx.call_on(row1, |sub| {
                 assert_eq!(sub.grid().size(), 2);
+                assert_eq!(sub.policy(), ExecPolicy::blocking());
                 // Within the slice we can run collectives scoped to it.
                 sub.allreduce_sum(1.0)
             })
@@ -471,7 +402,7 @@ mod tests {
     }
 
     #[test]
-    fn jacobi_update_has_copy_in_copy_out_semantics() {
+    fn plan_update_has_copy_in_copy_out_semantics() {
         // A shift `x(i) = x(i+1)` done as a 2-D row; without copy-in/copy-out
         // the values would cascade.
         let run = Machine::run(cfg(2), |proc| {
@@ -479,114 +410,22 @@ mod tests {
             let spec = DistSpec::local_block();
             let mut u =
                 DistArray2::from_fn(proc.rank(), &grid, &spec, [1, 8], [0, 1], |[_, j]| j as f64);
-            jacobi_update(proc, &mut u, 0..1, 0..7, 1.0, |old, i, j| old.at(i, j + 1));
+            let mut ctx = Ctx::new(proc, grid);
+            ctx.plan()
+                .reads(&mut u, Ghosts::faces(1))
+                .update2(0..1, 0..7, 1.0, |old, i, j| old.at(i, j + 1));
             u.gather_to_root(proc)
         });
         let g = run.results[0].as_ref().unwrap();
         assert_eq!(g, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 7.0]);
     }
 
+    /// Every policy combination must produce the same bits; the split
+    /// policies must overlap transit and be faster on this latency-bound
+    /// cost model.
     #[test]
-    fn doall1_split_covers_exactly_the_doall1_iterations() {
-        for (n, p, range, margin) in [
-            (16usize, 4usize, 1..15usize, 1usize),
-            (16, 4, 0..16, 2),
-            (10, 4, 3..9, 1),
-            (8, 4, 0..8, 5), // margin swallows the whole block
-        ] {
-            let run = Machine::run(cfg(p), move |proc| {
-                let nprocs = proc.nprocs();
-                let grid = ProcGrid::new_1d(nprocs);
-                let mut ctx = Ctx::new(proc, grid);
-                let dist = Dist1::block(n, nprocs);
-                let mut plain = Vec::new();
-                ctx.doall1(0, &dist, range.clone(), |_, i| plain.push(i));
-                let split = std::cell::RefCell::new(Vec::new());
-                let completed = std::cell::Cell::new(false);
-                ctx.doall1_split(
-                    0,
-                    &dist,
-                    range.clone(),
-                    margin,
-                    |_| completed.set(true),
-                    |_, i| split.borrow_mut().push(i),
-                );
-                assert!(completed.get(), "complete callback must run");
-                (plain, split.into_inner())
-            });
-            for (r, (plain, split)) in run.results.iter().enumerate() {
-                let mut sorted = split.clone();
-                sorted.sort_unstable();
-                let mut want = plain.clone();
-                want.sort_unstable();
-                assert_eq!(sorted, want, "n={n} p={p} rank {r}");
-            }
-        }
-    }
-
-    #[test]
-    fn doall1_split_on_cyclic_runs_complete_first() {
-        let run = Machine::run(cfg(3), |proc| {
-            let grid = ProcGrid::new_1d(3);
-            let mut ctx = Ctx::new(proc, grid);
-            let dist = Dist1::cyclic(9, 3);
-            let order = std::cell::RefCell::new(Vec::new());
-            ctx.doall1_split(
-                0,
-                &dist,
-                0..9,
-                1,
-                |_| order.borrow_mut().push(usize::MAX),
-                |_, i| order.borrow_mut().push(i),
-            );
-            order.into_inner()
-        });
-        // No interior exists under cyclic: the completion marker precedes
-        // every iteration.
-        assert_eq!(run.results[1][0], usize::MAX);
-        assert_eq!(&run.results[1][1..], &[1, 4, 7]);
-    }
-
-    #[test]
-    fn doall2_split_covers_exactly_the_doall2_iterations() {
-        let run = Machine::run(cfg(4), |proc| {
-            let grid = ProcGrid::new_2d(2, 2);
-            let a = DistArray2::<f64>::new(proc.rank(), &grid, &DistSpec::block2(), [8, 8], [1, 1]);
-            let mut ctx = Ctx::new(proc, grid);
-            let mut plain = Vec::new();
-            ctx.doall2(&a, 1..7, 1..7, |_, i, j| plain.push((i, j)));
-            let split = std::cell::RefCell::new(Vec::new());
-            let interior_count = std::cell::Cell::new(0usize);
-            ctx.doall2_split(
-                &a,
-                1..7,
-                1..7,
-                [1, 1],
-                |_| interior_count.set(split.borrow().len()),
-                |_, i, j| split.borrow_mut().push((i, j)),
-            );
-            (plain, split.into_inner(), interior_count.get())
-        });
-        for (r, (plain, split, interior)) in run.results.iter().enumerate() {
-            let mut sorted = split.clone();
-            sorted.sort_unstable();
-            let mut want = plain.clone();
-            want.sort_unstable();
-            assert_eq!(sorted, want, "rank {r}");
-            // A 3x3 owned patch with margin 1 against a 4x4 block leaves a
-            // nonempty strict interior on every corner processor.
-            assert!(*interior > 0 && interior < &split.len(), "rank {r}");
-            // Interior prefix never touches the block frame adjacent to a
-            // neighbour.
-            for &(i, j) in &split[..*interior] {
-                assert!((1..7).contains(&i) && (1..7).contains(&j));
-            }
-        }
-    }
-
-    #[test]
-    fn jacobi_update_split_matches_blocking_update() {
-        let go = |split: bool| {
+    fn plan_update_is_policy_invariant_bitwise() {
+        let go = |policy: ExecPolicy| {
             Machine::run(cfg(4), move |proc| {
                 let grid = ProcGrid::new_2d(2, 2);
                 let spec = DistSpec::block2();
@@ -594,32 +433,120 @@ mod tests {
                     DistArray2::from_fn(proc.rank(), &grid, &spec, [10, 10], [1, 1], |[i, j]| {
                         ((i * 31 + j * 17) % 13) as f64 * 0.25
                     });
+                let mut ctx = Ctx::with_policy(proc, grid, policy);
                 for _ in 0..4 {
-                    let step = |old: &DistArray2<f64>, i: usize, j: usize| {
-                        0.25 * (old.at(i + 1, j)
-                            + old.at(i - 1, j)
-                            + old.at(i, j + 1)
-                            + old.at(i, j - 1))
-                    };
-                    if split {
-                        jacobi_update_split(proc, &mut u, 1..9, 1..9, 5.0, step);
-                    } else {
-                        jacobi_update(proc, &mut u, 1..9, 1..9, 5.0, step);
-                    }
+                    ctx.plan().reads(&mut u, Ghosts::faces(1)).update2(
+                        1..9,
+                        1..9,
+                        5.0,
+                        |old, i, j| {
+                            0.25 * (old.at(i + 1, j)
+                                + old.at(i - 1, j)
+                                + old.at(i, j + 1)
+                                + old.at(i, j - 1))
+                        },
+                    );
                 }
                 (u.gather_to_root(proc), proc.stats().overlap_hidden)
             })
         };
-        let blocking = go(false);
-        let split = go(true);
+        let blocking = go(ExecPolicy::blocking());
+        let pessimistic = go(ExecPolicy::pessimistic());
+        let optimistic = go(ExecPolicy::default());
         let a = blocking.results[0].0.as_ref().unwrap();
-        let b = split.results[0].0.as_ref().unwrap();
-        for (x, y) in a.iter().zip(b) {
-            assert_eq!(x.to_bits(), y.to_bits());
+        for other in [&pessimistic, &optimistic] {
+            let b = other.results[0].0.as_ref().unwrap();
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
         }
         // The interior updates overlapped the strip transit.
-        assert!(split.results.iter().all(|(_, h)| *h > 0.0));
-        assert!(split.report.elapsed < blocking.report.elapsed);
+        assert!(pessimistic.results.iter().all(|(_, h)| *h > 0.0));
+        assert!(pessimistic.report.elapsed < blocking.report.elapsed);
+    }
+
+    #[test]
+    fn plan_run2_covers_exactly_the_owned_product_subbox() {
+        for policy in [ExecPolicy::blocking(), ExecPolicy::default()] {
+            let run = Machine::run(cfg(4), move |proc| {
+                let grid = ProcGrid::new_2d(2, 2);
+                let spec = DistSpec::block2();
+                let mut a = DistArray2::<f64>::new(proc.rank(), &grid, &spec, [8, 8], [1, 1]);
+                let mut ctx = Ctx::with_policy(proc, grid, policy);
+                let mut seen = Vec::new();
+                ctx.plan()
+                    .reads(&mut a, Ghosts::faces(1))
+                    .run2(1..7, 1..7, 1.0, |_, _, i, j| seen.push((i, j)));
+                seen
+            });
+            let mut all: Vec<(usize, usize)> = run.results.into_iter().flatten().collect();
+            all.sort_unstable();
+            let want: Vec<(usize, usize)> =
+                (1..7).flat_map(|i| (1..7).map(move |j| (i, j))).collect();
+            assert_eq!(all, want, "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn plan_run_lines_covers_owned_lines_interior_first() {
+        let run = Machine::run(cfg(4), |proc| {
+            let grid = ProcGrid::new_1d(4);
+            let spec = DistSpec::local_block();
+            let mut a = DistArray2::<f64>::new(proc.rank(), &grid, &spec, [4, 16], [0, 1]);
+            let mut ctx = Ctx::new(proc, grid);
+            let mut seen = Vec::new();
+            ctx.plan()
+                .reads(&mut a, Ghosts::full(1))
+                .run_lines(1, 1..15, |_, _, j| seen.push(j));
+            (seen, a.owned_range(1))
+        });
+        let mut all: Vec<usize> = run
+            .results
+            .iter()
+            .flat_map(|(seen, _)| seen.clone())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (1..15).collect::<Vec<_>>());
+        // Interior-first: each member's first lines avoid its block edges.
+        for (seen, owned) in &run.results {
+            if seen.len() > 2 {
+                assert!(seen[0] > owned.start && seen[0] < owned.end - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn warm_plan_trips_replay_from_the_schedule_cache() {
+        let trips = 6u64;
+        let run = Machine::run(cfg(4), move |proc| {
+            let grid = ProcGrid::new_2d(2, 2);
+            let spec = DistSpec::block2();
+            let mut u =
+                DistArray2::from_fn(proc.rank(), &grid, &spec, [10, 10], [1, 1], |[i, j]| {
+                    (i + j) as f64
+                });
+            let mut ctx = Ctx::new(proc, grid);
+            for _ in 0..trips {
+                ctx.plan()
+                    .reads(&mut u, Ghosts::faces(1))
+                    .update2(1..9, 1..9, 5.0, |old, i, j| {
+                        0.25 * (old.at(i + 1, j)
+                            + old.at(i - 1, j)
+                            + old.at(i, j + 1)
+                            + old.at(i, j - 1))
+                    });
+            }
+            (
+                proc.stats().inspector_runs,
+                proc.stats().optimistic_hits,
+                proc.stats().rollbacks,
+            )
+        });
+        for (builds, hits, rollbacks) in &run.results {
+            assert_eq!(*builds, 1, "one analytic build, then replays");
+            assert_eq!(*hits, trips - 1);
+            assert_eq!(*rollbacks, 0);
+        }
     }
 
     #[test]

@@ -1,0 +1,378 @@
+//! The declarative stencil-plan API: one `doall` entry point for the
+//! compiled path.
+//!
+//! The paper's position is that the *program* states what a loop reads
+//! and writes, and the compiler/runtime derives all communication. This
+//! module is that contract as an API: the caller declares the array a
+//! stencil reads (with a ghost width and corner policy — [`Ghosts`]) and
+//! runs the loop through one of a small set of entry points; *how* the
+//! ghost refresh executes — blocking or split-phase, rebuilt per trip or
+//! replayed from the cached analytic schedule with a piggybacked
+//! consensus vote — is an [`ExecPolicy`] carried by the [`Ctx`], not a
+//! choice of function name. The policy default
+//! (`split + optimistic`) makes the latency-hiding, schedule-replaying
+//! fast path the normal case everywhere; `ExecPolicy::blocking()` is the
+//! fully synchronous differential baseline.
+//!
+//! ```text
+//! ctx.plan()
+//!    .reads(&mut u, Ghosts::faces(1))       // what the stencil reads
+//!    .update2(1..nx, 1..ny, 5.0, |old, i, j| ...)   // copy-in/copy-out doall
+//! ```
+//!
+//! Entry points (all cover exactly the owned iterations, interior first
+//! under a split policy — bodies must not rely on iteration order):
+//!
+//! * [`PlanRead::update2`] — the copy-in/copy-out stencil update of §2
+//!   (Listing 3's one-statement Jacobi `doall`): ghosts are refreshed,
+//!   the old array is snapshotted, and every owned point in the range is
+//!   rewritten from the snapshot — no user-visible temporary.
+//! * [`PlanRead::run2`] — a product-range `doall` that reads the
+//!   declared array (fresh ghosts) and writes elsewhere (e.g. a
+//!   residual into a second array captured by the body).
+//! * [`PlanRead::run_lines`] — a one-dimensional `doall` over lines
+//!   (zebra relaxation, semicoarsening restriction) with the declared
+//!   array handed back mutably for in-place line solves.
+//! * [`PlanRead::refresh`] — the bare ghost refresh, for consumers that
+//!   only need the skirt made current.
+
+use kali_array::{DistArray2, DistArrayN, PendingHalo};
+use kali_sched::{SplitBox2, SplitRange1};
+
+use crate::Ctx;
+
+/// How a plan's communication executes. Carried by [`Ctx`] (set once per
+/// program with [`Ctx::set_policy`]); overridable per plan with
+/// [`StencilPlan::policy`]. The *answer* never depends on the policy —
+/// differential suites pin every combination bitwise — only the virtual
+/// timeline and the schedule-construction work do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecPolicy {
+    /// Post the ghost values nonblocking and run the communication-free
+    /// interior iterations while they are in transit (the four-phase
+    /// post / interior / complete / boundary engine). `false` exchanges
+    /// synchronously and runs the iterations in natural order.
+    pub split: bool,
+    /// Replay warm ghost refreshes from the cached analytic schedule,
+    /// with the replay-consensus vote piggybacked as a one-word header
+    /// on the fused value messages (rollback on disagreement). `false`
+    /// rebuilds the analytic schedule on every exchange — the
+    /// pre-caching baseline.
+    pub optimistic: bool,
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        ExecPolicy {
+            split: true,
+            optimistic: true,
+        }
+    }
+}
+
+impl ExecPolicy {
+    /// Fully synchronous, rebuild-per-exchange: the differential baseline.
+    pub fn blocking() -> Self {
+        ExecPolicy {
+            split: false,
+            optimistic: false,
+        }
+    }
+
+    /// Split-phase overlap without schedule caching.
+    pub fn pessimistic() -> Self {
+        ExecPolicy {
+            split: true,
+            optimistic: false,
+        }
+    }
+}
+
+/// What a stencil reads beyond the owned block: the read footprint
+/// (`width` cells along each distributed axis) and whether diagonal
+/// (corner/edge) ghosts are read at all. 5/7-point stencils are
+/// [`Ghosts::faces`]; 9/27-point stencils (and anything reading a
+/// corner) are [`Ghosts::full`]. The refresh always fills the array's
+/// declared skirt; `width` additionally bounds the interior margin of
+/// the split-phase iteration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ghosts {
+    width: usize,
+    corners: bool,
+}
+
+impl Ghosts {
+    /// Face ghosts only: the stencil reads at most `width` away along
+    /// each axis *separately* (no diagonal reads).
+    pub fn faces(width: usize) -> Self {
+        Ghosts {
+            width,
+            corners: false,
+        }
+    }
+
+    /// The whole skirt — faces, edges and corners — fetched directly
+    /// from each cell's true owner.
+    pub fn full(width: usize) -> Self {
+        Ghosts {
+            width,
+            corners: true,
+        }
+    }
+
+    /// The stencil's read distance.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Does the refresh fill diagonal (corner/edge) ghosts?
+    pub fn corners(&self) -> bool {
+        self.corners
+    }
+}
+
+/// A stencil plan being built: created by [`Ctx::plan`], carrying the
+/// context's [`ExecPolicy`] until [`StencilPlan::reads`] attaches the
+/// communicated array.
+pub struct StencilPlan<'c, 'p> {
+    pub(crate) ctx: &'c mut Ctx<'p>,
+    pub(crate) policy: ExecPolicy,
+}
+
+impl<'c, 'p> StencilPlan<'c, 'p> {
+    /// Override the context's policy for this plan only.
+    pub fn policy(mut self, policy: ExecPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Declare the distributed array this stencil reads beyond its owned
+    /// block. The runtime derives the ghost communication from the
+    /// declaration; the array is handed back to the loop body (shared
+    /// for [`PlanRead::run2`]/[`PlanRead::update2`], mutable for
+    /// [`PlanRead::run_lines`]) once its skirt is current.
+    pub fn reads<'a, const N: usize>(
+        self,
+        a: &'a mut DistArrayN<f64, N>,
+        ghosts: Ghosts,
+    ) -> PlanRead<'c, 'p, 'a, N> {
+        PlanRead {
+            ctx: self.ctx,
+            policy: self.policy,
+            a,
+            ghosts,
+        }
+    }
+}
+
+/// The result of an armed plan's ghost refresh: either already complete
+/// (blocking policies) or in flight (split policies).
+enum Refresh {
+    Done,
+    Pending(PendingHalo<f64>),
+}
+
+/// A stencil plan with its communicated array attached; consumed by one
+/// of the run entry points.
+pub struct PlanRead<'c, 'p, 'a, const N: usize> {
+    ctx: &'c mut Ctx<'p>,
+    policy: ExecPolicy,
+    a: &'a mut DistArrayN<f64, N>,
+    ghosts: Ghosts,
+}
+
+impl<const N: usize> PlanRead<'_, '_, '_, N> {
+    /// Start the declared ghost refresh under the plan's policy.
+    fn begin(&mut self) -> Refresh {
+        let corners = self.ghosts.corners;
+        let (proc, halo) = self.ctx.proc_and_halo();
+        match (self.policy.split, self.policy.optimistic) {
+            (true, true) => {
+                Refresh::Pending(self.a.begin_exchange_ghosts_cached(proc, halo, corners))
+            }
+            (true, false) => Refresh::Pending(self.a.begin_exchange_ghosts(proc, corners)),
+            (false, true) => {
+                self.a.exchange_ghosts_cached(proc, halo, corners);
+                Refresh::Done
+            }
+            (false, false) => {
+                self.a.exchange_ghosts(proc);
+                Refresh::Done
+            }
+        }
+    }
+
+    /// Complete an in-flight refresh into `target` (the declared array,
+    /// or a same-layout copy-in snapshot).
+    fn finish(
+        policy: ExecPolicy,
+        ctx: &mut Ctx,
+        target: &mut DistArrayN<f64, N>,
+        pending: PendingHalo<f64>,
+    ) {
+        let (proc, halo) = ctx.proc_and_halo();
+        if policy.optimistic {
+            target.finish_exchange_ghosts_cached(proc, halo, pending);
+        } else {
+            target.finish_exchange_ghosts(proc, pending);
+        }
+    }
+
+    /// Refresh the declared ghost skirt and stop: the plan form of a bare
+    /// ghost exchange, for callers that read the skirt outside a `doall`
+    /// (e.g. before a gather or a hand-written sweep).
+    pub fn refresh(mut self) {
+        match self.begin() {
+            Refresh::Done => {}
+            Refresh::Pending(p) => Self::finish(self.policy, self.ctx, self.a, p),
+        }
+    }
+
+    /// `doall` over the owned lines of dimension `d` in `range`, with the
+    /// refreshed array handed back mutably (in-place line solves — zebra
+    /// relaxation, restriction). Under a split policy the lines whose
+    /// `width`-neighbourhood is owned run while the ghost lines travel;
+    /// block-edge lines run after completion.
+    pub fn run_lines(
+        mut self,
+        d: usize,
+        range: std::ops::Range<usize>,
+        mut body: impl FnMut(&mut Ctx, &mut DistArrayN<f64, N>, usize),
+    ) {
+        let refresh = self.begin();
+        let PlanRead {
+            ctx,
+            policy,
+            a,
+            ghosts,
+        } = self;
+        if !a.is_participant() {
+            if let Refresh::Pending(p) = refresh {
+                Self::finish(policy, ctx, a, p);
+            }
+            return;
+        }
+        let owned = a.owned_range(d);
+        match refresh {
+            Refresh::Done => {
+                for j in range {
+                    if owned.contains(&j) {
+                        body(ctx, a, j);
+                    }
+                }
+            }
+            Refresh::Pending(p) => {
+                let margin = ghosts.width.min(a.ghosts()[d]);
+                let split = SplitRange1::new(owned, range, margin);
+                split.for_interior(|j| body(ctx, a, j));
+                Self::finish(policy, ctx, a, p);
+                split.for_boundary(|j| body(ctx, a, j));
+            }
+        }
+    }
+}
+
+impl PlanRead<'_, '_, '_, 2> {
+    /// Copy-in/copy-out product-range update (the `doall` semantics of
+    /// §2): ghosts are refreshed, the *old* array (owned block + skirt)
+    /// is snapshotted, and every owned point of `[r0] × [r1]` is
+    /// rewritten as `f(old, i, j)` — so no user-visible temporary is
+    /// needed, exactly as in Listing 3. `flops_per_point` is charged per
+    /// updated point; under a split policy the interior flops are
+    /// charged *before* completion, so they overlap the transit on the
+    /// virtual timeline.
+    pub fn update2(
+        self,
+        r0: std::ops::Range<usize>,
+        r1: std::ops::Range<usize>,
+        flops_per_point: f64,
+        f: impl Fn(&DistArray2<f64>, usize, usize) -> f64,
+    ) {
+        self.drive2(r0, r1, flops_per_point, true, |_, a, old, i, j| {
+            a.set([i, j], f(old.expect("update2 always snapshots"), i, j))
+        });
+    }
+
+    /// Product-range `doall` reading the refreshed array and writing
+    /// elsewhere: `body(ctx, a, i, j)` runs for exactly the owned points
+    /// of `[r0] × [r1]`, interior first under a split policy.
+    /// `flops_per_point` is charged per point, interior before
+    /// completion (overlapping the transit), boundary after.
+    pub fn run2(
+        self,
+        r0: std::ops::Range<usize>,
+        r1: std::ops::Range<usize>,
+        flops_per_point: f64,
+        mut body: impl FnMut(&mut Ctx, &DistArray2<f64>, usize, usize),
+    ) {
+        self.drive2(r0, r1, flops_per_point, false, |ctx, a, _, i, j| {
+            body(ctx, a, i, j)
+        });
+    }
+
+    /// The shared product-range engine behind [`PlanRead::update2`] and
+    /// [`PlanRead::run2`]: refresh under the policy, clamp `[r0] × [r1]`
+    /// to the owned box, and run `point` over it — natural order after a
+    /// blocking refresh, interior / complete / boundary around an
+    /// in-flight one. With `snapshot`, a copy-in clone is taken before
+    /// any write and the refresh completes *into the clone* (its ghosts
+    /// are the copy-in state, while the live array receives updates);
+    /// without it, the refresh completes into the array itself.
+    fn drive2(
+        mut self,
+        r0: std::ops::Range<usize>,
+        r1: std::ops::Range<usize>,
+        flops_per_point: f64,
+        snapshot: bool,
+        mut point: impl FnMut(&mut Ctx, &mut DistArray2<f64>, Option<&DistArray2<f64>>, usize, usize),
+    ) {
+        let width = self.ghosts.width;
+        let refresh = self.begin();
+        let PlanRead { ctx, policy, a, .. } = self;
+        if !a.is_participant() {
+            if let Refresh::Pending(p) = refresh {
+                Self::finish(policy, ctx, a, p);
+            }
+            return;
+        }
+        debug_assert!(a.dist(0).is_contiguous() && a.dist(1).is_contiguous());
+        let mut old = snapshot.then(|| {
+            let old = a.clone();
+            ctx.proc().memop((a.local_len(0) * a.local_len(1)) as f64);
+            old
+        });
+        match refresh {
+            Refresh::Done => {
+                let i0 = r0.start.max(a.owned_range(0).start);
+                let i1 = r0.end.min(a.owned_range(0).end);
+                let j0 = r1.start.max(a.owned_range(1).start);
+                let j1 = r1.end.min(a.owned_range(1).end);
+                let mut points = 0usize;
+                for i in i0..i1 {
+                    for j in j0..j1 {
+                        point(ctx, a, old.as_ref(), i, j);
+                        points += 1;
+                    }
+                }
+                ctx.proc().compute(flops_per_point * points as f64);
+            }
+            Refresh::Pending(p) => {
+                let margins = {
+                    let g = a.ghosts();
+                    [width.min(g[0]), width.min(g[1])]
+                };
+                let split = SplitBox2::new([a.owned_range(0), a.owned_range(1)], r0, r1, margins);
+                split.for_interior(|i, j| point(ctx, a, old.as_ref(), i, j));
+                ctx.proc()
+                    .compute(flops_per_point * split.interior_count() as f64);
+                match old.as_mut() {
+                    Some(old) => Self::finish(policy, ctx, old, p),
+                    None => Self::finish(policy, ctx, a, p),
+                }
+                split.for_boundary(|i, j| point(ctx, a, old.as_ref(), i, j));
+                ctx.proc()
+                    .compute(flops_per_point * split.boundary_count() as f64);
+            }
+        }
+    }
+}

@@ -67,14 +67,17 @@ impl<K: SiteKey> ScheduleCache<K> {
     }
 
     /// Store a freshly constructed schedule; returns its `(site, team)`
-    /// ordinal. Eviction is scoped per `(site, team)` — like the ordinal
-    /// numbering and the vote gate — and removes the *lowest* ordinal, so
-    /// both the running maximum and [`ScheduleCache::has_site_team`] stay
-    /// aligned across the team. (Scoping eviction by site alone would let
-    /// a processor sitting in two intersecting teams evict another team's
-    /// only entry while that team's other members keep theirs, splitting
-    /// the gate and desynchronizing the collectives.)
-    pub fn store(&mut self, key: K, sched: CommSchedule) -> u64 {
+    /// ordinal and the stored (shared) schedule, so a caller that still
+    /// needs it — e.g. to complete the exchange it was built for — does
+    /// not pay a lookup round trip. Eviction is scoped per
+    /// `(site, team)` — like the ordinal numbering and the vote gate —
+    /// and removes the *lowest* ordinal, so both the running maximum and
+    /// [`ScheduleCache::has_site_team`] stay aligned across the team.
+    /// (Scoping eviction by site alone would let a processor sitting in
+    /// two intersecting teams evict another team's only entry while that
+    /// team's other members keep theirs, splitting the gate and
+    /// desynchronizing the collectives.)
+    pub fn store(&mut self, key: K, sched: CommSchedule) -> (u64, Rc<CommSchedule>) {
         let seq = self
             .entries
             .iter()
@@ -85,10 +88,11 @@ impl<K: SiteKey> ScheduleCache<K> {
             + 1;
         let site = key.site();
         let team: Vec<usize> = key.team_ranks().to_vec();
+        let sched = Rc::new(sched);
         self.entries.push(CacheEntry {
             key,
             seq,
-            sched: Rc::new(sched),
+            sched: Rc::clone(&sched),
         });
         let in_site_team = |e: &CacheEntry<K>| e.key.site() == site && e.key.team_ranks() == team;
         let count = self.entries.iter().filter(|e| in_site_team(e)).count();
@@ -104,7 +108,7 @@ impl<K: SiteKey> ScheduleCache<K> {
                 self.entries.remove(pos);
             }
         }
-        seq
+        (seq, sched)
     }
 }
 
@@ -147,11 +151,11 @@ mod tests {
     #[test]
     fn ordinals_advance_per_site_team() {
         let mut c = ScheduleCache::new(8);
-        assert_eq!(c.store(key(1, &[0, 1], 0), sched()), 1);
-        assert_eq!(c.store(key(1, &[0, 1], 1), sched()), 2);
+        assert_eq!(c.store(key(1, &[0, 1], 0), sched()).0, 1);
+        assert_eq!(c.store(key(1, &[0, 1], 1), sched()).0, 2);
         // A different team for the same site numbers independently.
-        assert_eq!(c.store(key(1, &[0, 2], 0), sched()), 1);
-        assert_eq!(c.store(key(2, &[0, 1], 0), sched()), 1);
+        assert_eq!(c.store(key(1, &[0, 2], 0), sched()).0, 1);
+        assert_eq!(c.store(key(2, &[0, 1], 0), sched()).0, 1);
     }
 
     #[test]
@@ -182,7 +186,7 @@ mod tests {
         c.store(key(1, &[0], 2), sched()); // evicts ordinal 1
         assert!(c.lookup(&key(1, &[0], 0)).is_none());
         // Numbering continues from the maximum, not the entry count.
-        assert_eq!(c.store(key(1, &[0], 3), sched()), 4);
+        assert_eq!(c.store(key(1, &[0], 3), sched()).0, 4);
     }
 
     #[test]

@@ -15,6 +15,12 @@ use crate::schedule::CommSchedule;
 /// How the executor touches a consumer's storage. `array` indexes into
 /// [`CommSchedule::arrays`]; `flat` is the consumer's flat element index
 /// (global row-major for both current consumers).
+///
+/// The executor's serve/scatter hot loops call the *batched* accessors
+/// ([`ScheduleWorld::load_into`] / [`ScheduleWorld::store_from`]), which
+/// default to per-element calls; consumers whose per-element access pays
+/// a fixed cost (a `RefCell` borrow, an N-dimensional index decode)
+/// override them to pay it once per request vector instead.
 pub trait ScheduleWorld<T> {
     /// Read the current local value of element `flat` of schedule array
     /// `array` (serving a peer's cached request).
@@ -22,6 +28,28 @@ pub trait ScheduleWorld<T> {
     /// Store a freshly received value into element `flat` of schedule
     /// array `array`.
     fn store(&mut self, array: usize, flat: u64, value: T);
+
+    /// Append the values of `flats` (one request vector of array `array`)
+    /// to `out`, in order. Override to hoist per-element overhead.
+    fn load_into(&self, array: usize, flats: &[u64], out: &mut Vec<T>)
+    where
+        T: Copy,
+    {
+        out.extend(flats.iter().map(|&f| self.load(array, f)));
+    }
+
+    /// Store `values` into the elements named by `flats`, pairwise
+    /// (`values.len() == flats.len()`). Override to hoist per-element
+    /// overhead.
+    fn store_from(&mut self, array: usize, flats: &[u64], values: &[T])
+    where
+        T: Copy,
+    {
+        debug_assert_eq!(flats.len(), values.len());
+        for (&f, &v) in flats.iter().zip(values) {
+            self.store(array, f, v);
+        }
+    }
 }
 
 /// An in-flight pessimistic value exchange created by
@@ -63,6 +91,17 @@ pub struct PendingVote {
     nmembers: usize,
 }
 
+impl PendingVote {
+    /// Number of header-carrying messages still outstanding.
+    pub fn len(&self) -> usize {
+        self.recvs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.recvs.is_empty()
+    }
+}
+
 /// What an optimistic exchange decided.
 pub struct VoteOutcome {
     /// `Some(seq)` when every member voted the same non-negative ordinal:
@@ -99,7 +138,7 @@ impl ScheduleExecutor {
         let mut served = 0usize;
         for (k, a) in sched.arrays.iter().enumerate() {
             for (d, idxs) in a.incoming.iter().enumerate() {
-                replies[d].extend(idxs.iter().map(|&i| world.load(k, i)));
+                world.load_into(k, idxs, &mut replies[d]);
                 served += idxs.len();
             }
         }
@@ -120,20 +159,20 @@ impl ScheduleExecutor {
         let mut recvd = 0usize;
         for (k, a) in sched.arrays.iter().enumerate() {
             for (d, idxs) in a.my_reqs.iter().enumerate() {
-                for &flat in idxs {
-                    world.store(k, flat, values[d][cursor[d]]);
-                    cursor[d] += 1;
-                }
+                world.store_from(k, idxs, &values[d][cursor[d]..cursor[d] + idxs.len()]);
+                cursor[d] += idxs.len();
                 recvd += idxs.len();
             }
         }
         proc.note_exchange_words(recvd as u64);
     }
 
-    /// Blocking fused replay: one value round over the whole team (every
-    /// ordered pair exchanges a message, empty for pairs with no
-    /// scheduled traffic). The baseline the split-phase paths are
-    /// differentially tested against.
+    /// Blocking fused replay: serve, move the fused per-peer value
+    /// messages with blocking sends/receives, scatter. Like the
+    /// split-phase path, peer pairs with no scheduled traffic in a
+    /// direction exchange no message at all — both sides hold the
+    /// schedule, so they agree. The baseline the split-phase paths are
+    /// differentially tested against: same messages, no overlap.
     pub fn exchange_blocking<T: Wire + Copy, W: ScheduleWorld<T>>(
         &self,
         proc: &mut Proc,
@@ -141,8 +180,23 @@ impl ScheduleExecutor {
         sched: &CommSchedule,
         world: &mut W,
     ) {
-        let replies = Self::serve(proc, team.len(), sched, world);
-        let values = collective::alltoallv(proc, team, replies);
+        let q = team.len();
+        let me = team
+            .index_of(proc.rank())
+            .expect("exchanging processor is a team member");
+        let replies = Self::serve(proc, q, sched, world);
+        for (d, payload) in replies.into_iter().enumerate() {
+            if d != me && !payload.is_empty() {
+                proc.send(team.rank(d), self.value_tag, payload);
+            }
+        }
+        let mut values: Vec<Vec<T>> = Vec::with_capacity(q);
+        values.resize_with(q, Vec::new);
+        for d in 0..q {
+            if d != me && sched.expects_from(d) {
+                values[d] = proc.recv(team.rank(d), self.value_tag);
+            }
+        }
         Self::scatter(proc, sched, world, &values);
     }
 

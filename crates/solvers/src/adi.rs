@@ -147,11 +147,11 @@ pub fn adi_run(
 ) -> Vec<f64> {
     let mut history = Vec::with_capacity(iters);
     for _ in 0..iters {
-        let r = resid2(ctx.proc(), pde, u, f);
+        let r = resid2(ctx, pde, u, f);
         half_sweep(ctx, pde, rho, u, &r, Dir::Y, pipelined);
-        let r = resid2(ctx.proc(), pde, u, f);
+        let r = resid2(ctx, pde, u, f);
         half_sweep(ctx, pde, rho, u, &r, Dir::X, pipelined);
-        let r = resid2(ctx.proc(), pde, u, f);
+        let r = resid2(ctx, pde, u, f);
         history.push(global_norm2(ctx, &r).sqrt());
     }
     history

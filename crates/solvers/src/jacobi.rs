@@ -6,18 +6,24 @@
 //! temporary array appears, exactly as the paper advertises over Listing 2.
 
 use kali_array::DistArray2;
-use kali_runtime::{jacobi_update_split, Ctx};
+use kali_runtime::{Ctx, Ghosts};
 
 /// One Jacobi sweep over the interior of `u` (extents `(n+1) × (n+1)`
-/// style; any rectangle works). Ghosts are exchanged internally,
-/// split-phase: the 5-point stencil reads no corner ghosts, so the
-/// interior points update while the edge strips are still in transit.
+/// style; any rectangle works). The sweep declares its 5-point (face-only,
+/// width-1) read of `u` to the stencil plan; the context's [`ExecPolicy`]
+/// decides how the ghost refresh executes — under the default policy the
+/// interior points update while the edge strips are still in transit and
+/// warm sweeps replay the cached halo schedule.
+///
+/// [`ExecPolicy`]: kali_runtime::ExecPolicy
 pub fn jacobi_step(ctx: &mut Ctx, u: &mut DistArray2<f64>, f: &DistArray2<f64>) {
     let [nxp, nyp] = u.extents();
-    jacobi_update_split(ctx.proc(), u, 1..nxp - 1, 1..nyp - 1, 5.0, |old, i, j| {
-        0.25 * (old.at(i + 1, j) + old.at(i - 1, j) + old.at(i, j + 1) + old.at(i, j - 1))
-            - f.at(i, j)
-    });
+    ctx.plan()
+        .reads(u, Ghosts::faces(1))
+        .update2(1..nxp - 1, 1..nyp - 1, 5.0, |old, i, j| {
+            0.25 * (old.at(i + 1, j) + old.at(i - 1, j) + old.at(i, j + 1) + old.at(i, j - 1))
+                - f.at(i, j)
+        });
 }
 
 /// Run `iters` Jacobi sweeps, returning the global max-abs update per

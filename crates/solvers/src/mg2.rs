@@ -11,16 +11,20 @@
 
 use kali_array::DistArray2;
 use kali_kernels::tridiag::{thomas, thomas_flops};
-use kali_runtime::{Ctx, SplitRange1};
+use kali_runtime::{Ctx, Ghosts};
 
-use crate::transfer::{intrp2, resid2, rest2_with};
+use crate::transfer::{intrp2, resid2, rest2};
 use crate::Pde;
 
 /// Zebra relaxation of one colour (0 = even lines): solve every owned
 /// interior line of that colour exactly, with the other colour frozen.
-/// The neighbour-line ghosts are refreshed split-phase through the
-/// schedule halo: lines whose ±1 neighbours are owned solve while the
-/// ghost lines travel; block-edge lines solve after completion.
+/// The line `doall` declares its corner-reading, width-1 access to `u`
+/// to the stencil plan; under the default (split-phase) policy, lines
+/// whose ±1 neighbours are owned solve while the ghost lines travel and
+/// block-edge lines solve after completion. Lines of one colour never
+/// read each other (their ±1 neighbours are the frozen colour), so the
+/// interior-first solve order is invisible and results are bitwise
+/// identical across policies.
 pub fn zebra2(
     ctx: &mut Ctx,
     pde: &Pde,
@@ -28,109 +32,55 @@ pub fn zebra2(
     f: &DistArray2<f64>,
     colour: usize,
 ) {
-    zebra2_with(ctx, pde, u, f, colour, true)
-}
-
-/// [`zebra2`] with an explicit exchange mode: `split` selects the
-/// split-phase schedule halo, otherwise the blocking strip exchange —
-/// the differential baseline. Lines of one colour never read each other
-/// (their ±1 neighbours are the frozen colour), so the interior-first
-/// solve order is invisible and results are bitwise identical.
-pub fn zebra2_with(
-    ctx: &mut Ctx,
-    pde: &Pde,
-    u: &mut DistArray2<f64>,
-    f: &DistArray2<f64>,
-    colour: usize,
-    split: bool,
-) {
     let [nxp, nyp] = u.extents();
     let (nx, ny) = (nxp - 1, nyp - 1);
     let (ax, ay, ad) = pde.stencil2(nx, ny);
-    let pending = if split {
-        Some(u.begin_exchange_ghosts_full(ctx.proc()))
-    } else {
-        u.exchange_ghosts(ctx.proc());
-        None
-    };
-    if !u.is_participant() {
-        if let Some(p) = pending {
-            u.finish_exchange_ghosts(ctx.proc(), p);
-        }
-        return;
-    }
     let ni = nx - 1;
     let mut b = vec![ax; ni];
     let mut c = vec![ax; ni];
     b[0] = 0.0;
     c[ni - 1] = 0.0;
     let a = vec![ad; ni];
-    let owned = u.owned_range(1);
-    let j0 = owned.start.max(1);
-    let j1 = owned.end.min(ny);
-    let solve = |ctx: &mut Ctx, u: &mut DistArray2<f64>, j: usize| {
-        if j % 2 != colour % 2 {
-            return;
-        }
-        let rhs: Vec<f64> = (1..nx)
-            .map(|i| f.at(i, j) - ay * (u.at(i, j - 1) + u.at(i, j + 1)))
-            .collect();
-        ctx.proc().compute(3.0 * ni as f64);
-        let x = thomas(&b, &a, &c, &rhs);
-        ctx.proc().compute(thomas_flops(ni));
-        for i in 1..nx {
-            u.put(i, j, x[i - 1]);
-        }
-    };
-    if let Some(p) = pending {
-        // Margin-1 split: a line is ghost-free when both its neighbours
-        // are owned.
-        let split_lines = SplitRange1::new(owned, j0..j1, 1);
-        split_lines.for_interior(|j| solve(ctx, u, j));
-        u.finish_exchange_ghosts(ctx.proc(), p);
-        split_lines.for_boundary(|j| solve(ctx, u, j));
-    } else {
-        for j in j0..j1 {
-            solve(ctx, u, j);
-        }
-    }
+    ctx.plan()
+        .reads(u, Ghosts::full(1))
+        .run_lines(1, 1..ny, |ctx, u, j| {
+            if j % 2 != colour % 2 {
+                return;
+            }
+            let rhs: Vec<f64> = (1..nx)
+                .map(|i| f.at(i, j) - ay * (u.at(i, j - 1) + u.at(i, j + 1)))
+                .collect();
+            ctx.proc().compute(3.0 * ni as f64);
+            let x = thomas(&b, &a, &c, &rhs);
+            ctx.proc().compute(thomas_flops(ni));
+            for i in 1..nx {
+                u.put(i, j, x[i - 1]);
+            }
+        });
 }
 
 /// One V-cycle of Listing 11 on the current (1-D) processor array.
 /// `u` and `f` are `dist (*, block)` with a ghost layer along y;
-/// `ny` must be a power of two ≥ 2. The zebra relaxations and the
-/// full-weighting restriction run split-phase through the
-/// corner-completing schedule halo.
+/// `ny` must be a power of two ≥ 2. How the zebra and full-weighting
+/// halos execute — blocking, split-phase, cached — is the context's
+/// [`kali_runtime::ExecPolicy`]; the answer is policy-invariant.
 pub fn mg2_vcycle(ctx: &mut Ctx, pde: &Pde, u: &mut DistArray2<f64>, f: &DistArray2<f64>) {
-    mg2_vcycle_with(ctx, pde, u, f, true)
-}
-
-/// [`mg2_vcycle`] with an explicit exchange mode for the zebra and
-/// full-weighting halos (`split = false` is the fully blocking
-/// differential baseline; results are bitwise identical).
-pub fn mg2_vcycle_with(
-    ctx: &mut Ctx,
-    pde: &Pde,
-    u: &mut DistArray2<f64>,
-    f: &DistArray2<f64>,
-    split: bool,
-) {
     let [_, nyp] = u.extents();
     let ny = nyp - 1;
     if ny <= 2 {
         // Single interior line: one odd-colour zebra solve is exact.
-        zebra2_with(ctx, pde, u, f, 1, split);
+        zebra2(ctx, pde, u, f, 1);
         return;
     }
-    zebra2_with(ctx, pde, u, f, 0, split);
-    zebra2_with(ctx, pde, u, f, 1, split);
-    let mut r = resid2(ctx.proc(), pde, u, f);
-    let g = rest2_with(ctx, &mut r, split);
+    zebra2(ctx, pde, u, f, 0);
+    zebra2(ctx, pde, u, f, 1);
+    let mut r = resid2(ctx, pde, u, f);
+    let g = rest2(ctx, &mut r);
     let mut v = g.like();
-    mg2_vcycle_with(ctx, pde, &mut v, &g, split);
+    mg2_vcycle(ctx, pde, &mut v, &g);
     intrp2(ctx, u, &v);
-    zebra2_with(ctx, pde, u, f, 0, split);
-    zebra2_with(ctx, pde, u, f, 1, split);
+    zebra2(ctx, pde, u, f, 0);
+    zebra2(ctx, pde, u, f, 1);
 }
 
 #[cfg(test)]
@@ -225,8 +175,8 @@ mod tests {
             let mut norms = Vec::new();
             for _ in 0..8 {
                 mg2_vcycle(&mut ctx, &pde, &mut u, &farr);
-                let mut r = resid2(ctx.proc(), &pde, &mut u, &farr);
-                r.exchange_ghosts(ctx.proc());
+                let mut r = resid2(&mut ctx, &pde, &mut u, &farr);
+                ctx.plan().reads(&mut r, Ghosts::full(1)).refresh();
                 norms.push(kali_runtime::global_max_abs(&mut ctx, &r));
             }
             norms

@@ -13,7 +13,7 @@
 
 use kali_array::{DistArray2, DistArray3};
 use kali_grid::DistSpec;
-use kali_runtime::Ctx;
+use kali_runtime::{Ctx, Ghosts};
 
 use crate::mg2::mg2_vcycle;
 use crate::transfer::{intrp3, resid3, rest3};
@@ -46,7 +46,7 @@ pub fn zebra_planes(
     let (nx, ny, nz) = (nxp - 1, nyp - 1, nzp - 1);
     let az = pde.e * (nz * nz) as f64;
     let ppde = plane_pde(pde, nz);
-    u.exchange_ghosts(ctx.proc());
+    ctx.plan().reads(u, Ghosts::full(1)).refresh();
     let grid = ctx.grid().clone();
     let Some(coords) = ctx.coords().map(|c| c.to_vec()) else {
         return;
@@ -114,7 +114,7 @@ pub fn mg3_vcycle(
     zebra_planes(ctx, pde, u, f, 0, plane_cycles);
     zebra_planes(ctx, pde, u, f, 1, plane_cycles);
     // recursively solve coarse grid problem
-    let mut r = resid3(ctx.proc(), pde, u, f);
+    let mut r = resid3(ctx, pde, u, f);
     let g = rest3(ctx, &mut r);
     let mut v = g.like();
     mg3_vcycle(ctx, pde, &mut v, &g, plane_cycles);
@@ -235,8 +235,8 @@ mod tests {
             let mut norms = Vec::new();
             for _ in 0..5 {
                 mg3_vcycle(&mut ctx, &pde, &mut u, &farr, 1);
-                let mut r = resid3(ctx.proc(), &pde, &mut u, &farr);
-                r.exchange_ghosts(ctx.proc());
+                let mut r = resid3(&mut ctx, &pde, &mut u, &farr);
+                ctx.plan().reads(&mut r, Ghosts::full(1)).refresh();
                 norms.push(kali_runtime::global_max_abs(&mut ctx, &r));
             }
             norms

@@ -15,7 +15,7 @@ use std::collections::HashMap;
 
 use kali_array::{DistArray2, DistArray3};
 use kali_machine::{collective, Proc, Team};
-use kali_runtime::{Ctx, SplitBox2, SplitRange1};
+use kali_runtime::{Ctx, Ghosts};
 
 use crate::Pde;
 
@@ -35,14 +35,13 @@ pub fn route(
     recvd.into_iter().flatten().collect()
 }
 
-/// Distributed residual `r = f − L u` for 2-D arrays (any block layout with
-/// ghosts ≥ 1 on distributed dimensions). `u`'s *face* ghosts are
-/// refreshed, split-phase: the 5-point stencil is evaluated on the block
-/// interior while the edge strips travel, then on the boundary frame once
-/// they land. (Corner ghosts of `u` are left stale — the 5-point operator
-/// never reads them, and every consumer of ghosts re-exchanges first.)
+/// Distributed residual `r = f − L u` for 2-D arrays (any block layout
+/// with ghosts ≥ 1 on distributed dimensions). The 5-point read of `u`
+/// is declared to the stencil plan ([`Ghosts::faces`]); under a split
+/// policy the operator is evaluated on the block interior while the edge
+/// strips travel, then on the boundary frame once they land.
 pub fn resid2(
-    proc: &mut Proc,
+    ctx: &mut Ctx,
     pde: &Pde,
     u: &mut DistArray2<f64>,
     f: &DistArray2<f64>,
@@ -50,31 +49,15 @@ pub fn resid2(
     let [nxp, nyp] = u.extents();
     let (nx, ny) = (nxp - 1, nyp - 1);
     let (ax, ay, ad) = pde.stencil2(nx, ny);
-    let pending = u.begin_exchange_ghosts(proc);
     let mut r = u.like();
-    if !u.is_participant() {
-        u.finish_exchange_ghosts(proc, pending);
-        return r;
-    }
-    let stencil = |u: &DistArray2<f64>, r: &mut DistArray2<f64>, i: usize, j: usize| {
-        let lu = ax * (u.at(i - 1, j) + u.at(i + 1, j))
-            + ay * (u.at(i, j - 1) + u.at(i, j + 1))
-            + ad * u.at(i, j);
-        r.put(i, j, f.at(i, j) - lu);
-    };
-    let split = SplitBox2::new(
-        [u.owned_range(0), u.owned_range(1)],
-        1..nx,
-        1..ny,
-        u.ghosts(),
-    );
-    split.for_interior(|i, j| stencil(u, &mut r, i, j));
-    // Charge the interior flops *before* completing: this is the work
-    // that overlaps the strip transit on the virtual timeline.
-    proc.compute(8.0 * split.interior_count() as f64);
-    u.finish_exchange_ghosts(proc, pending);
-    split.for_boundary(|i, j| stencil(u, &mut r, i, j));
-    proc.compute(8.0 * split.boundary_count() as f64);
+    ctx.plan()
+        .reads(u, Ghosts::faces(1))
+        .run2(1..nx, 1..ny, 8.0, |_, u, i, j| {
+            let lu = ax * (u.at(i - 1, j) + u.at(i + 1, j))
+                + ay * (u.at(i, j - 1) + u.at(i, j + 1))
+                + ad * u.at(i, j);
+            r.put(i, j, f.at(i, j) - lu);
+        });
     r
 }
 
@@ -92,60 +75,31 @@ fn weigh_line(ctx: &mut Ctx, r: &DistArray2<f64>, j: usize) -> Vec<f64> {
 
 /// Distributed 2-D restriction with y-semicoarsening (full weighting) for
 /// `dist (*, block)` arrays on a 1-D team. Returns the coarse right-hand
-/// side with extents `(nx+1, ny/2+1)`. `r`'s ghosts are refreshed,
-/// split-phase through the corner-completing schedule halo: the owned
-/// fine lines whose ±1 neighbours are also owned are full-weighted while
-/// the ghost lines travel, and only the block-edge lines wait for
-/// completion.
+/// side with extents `(nx+1, ny/2+1)`. The full-weighting stencil's
+/// corner-reading, width-1 access to `r` is declared to the stencil plan
+/// ([`Ghosts::full`]); under a split policy the owned fine lines whose
+/// ±1 neighbours are also owned are full-weighted while the ghost lines
+/// travel, and only the block-edge lines wait for completion.
 pub fn rest2(ctx: &mut Ctx, r: &mut DistArray2<f64>) -> DistArray2<f64> {
-    rest2_with(ctx, r, true)
-}
-
-/// [`rest2`] with an explicit exchange mode: `split` selects the
-/// split-phase schedule halo, otherwise the blocking strip exchange —
-/// the differential baseline. Results are bitwise identical.
-pub fn rest2_with(ctx: &mut Ctx, r: &mut DistArray2<f64>, split: bool) -> DistArray2<f64> {
     let [nxp, nyp] = r.extents();
     let ny = nyp - 1;
     let nyc = ny / 2;
-    let pending = if split {
-        Some(r.begin_exchange_ghosts_full(ctx.proc()))
-    } else {
-        r.exchange_ghosts(ctx.proc());
-        None
-    };
     let mut g = r.with_extents([nxp, nyc + 1]);
     let team = ctx.team();
+    let cdist = g.dist(1);
 
     // Full-weight the fine-even lines we own, keyed by coarse index.
+    // Only the fine-even lines j = 2·jc, jc in 1..nyc, restrict.
     let mut items = Vec::new();
-    if r.is_participant() {
-        let owned = r.owned_range(1);
-        let cdist = g.dist(1);
-        let weigh = |ctx: &mut Ctx, r: &DistArray2<f64>, items: &mut Vec<_>, j: usize| {
-            // Only the fine-even lines j = 2·jc, jc in 1..nyc, restrict.
+    ctx.plan().reads(r, Ghosts::full(1)).run_lines(
+        1,
+        2..(2 * nyc).saturating_sub(1),
+        |ctx, r, j| {
             if j.is_multiple_of(2) {
                 items.push((cdist.owner(j / 2), (j / 2) as u64, weigh_line(ctx, r, j)));
             }
-        };
-        let range = 2..(2 * nyc).saturating_sub(1);
-        if let Some(p) = pending {
-            // Margin-1 split: a line is ghost-free when both its
-            // neighbours are owned.
-            let split_lines = SplitRange1::new(owned, range, 1);
-            split_lines.for_interior(|j| weigh(ctx, r, &mut items, j));
-            r.finish_exchange_ghosts(ctx.proc(), p);
-            split_lines.for_boundary(|j| weigh(ctx, r, &mut items, j));
-        } else {
-            for j in range {
-                if owned.contains(&j) {
-                    weigh(ctx, r, &mut items, j);
-                }
-            }
-        }
-    } else if let Some(p) = pending {
-        r.finish_exchange_ghosts(ctx.proc(), p);
-    }
+        },
+    );
     for (jc, line) in route(ctx.proc(), &team, items) {
         let jc = jc as usize;
         for (i, v) in line.iter().enumerate() {
@@ -215,9 +169,11 @@ pub fn intrp2(ctx: &mut Ctx, u: &mut DistArray2<f64>, v: &DistArray2<f64>) {
 }
 
 /// Distributed 3-D residual `r = f − L u` for `dist (*, block, block)`
-/// arrays with ghosts ≥ 1 on the distributed dimensions.
+/// arrays with ghosts ≥ 1 on the distributed dimensions. The 7-point
+/// read of `u` is declared to the stencil plan, which refreshes the
+/// skirt under the context's policy.
 pub fn resid3(
-    proc: &mut Proc,
+    ctx: &mut Ctx,
     pde: &Pde,
     u: &mut DistArray3<f64>,
     f: &DistArray3<f64>,
@@ -225,7 +181,8 @@ pub fn resid3(
     let [nxp, nyp, nzp] = u.extents();
     let (nx, ny, nz) = (nxp - 1, nyp - 1, nzp - 1);
     let (ax, ay, az, ad) = pde.stencil3(nx, ny, nz);
-    u.exchange_ghosts(proc);
+    ctx.plan().reads(u, Ghosts::faces(1)).refresh();
+    let proc = ctx.proc();
     let mut r = u.like();
     if !u.is_participant() {
         return r;
@@ -269,12 +226,14 @@ fn pack_patch(r: &DistArray3<f64>, k: usize, weighted: bool) -> Vec<f64> {
 }
 
 /// Distributed 3-D restriction with z-semicoarsening (full weighting) for
-/// `dist (*, block, block)` arrays on a 2-D grid. `r`'s ghosts refreshed.
+/// `dist (*, block, block)` arrays on a 2-D grid. `r`'s ghosts are
+/// refreshed through the stencil plan (faces only — the z-weighting
+/// reads no diagonal ghost).
 pub fn rest3(ctx: &mut Ctx, r: &mut DistArray3<f64>) -> DistArray3<f64> {
     let [nxp, nyp, nzp] = r.extents();
     let nz = nzp - 1;
     let nzc = nz / 2;
-    r.exchange_ghosts(ctx.proc());
+    ctx.plan().reads(r, Ghosts::faces(1)).refresh();
     let mut g = r.with_extents([nxp, nyp, nzc + 1]);
     // Route within my z-team (fixed y coordinate, varying z coordinate).
     let grid = ctx.grid().clone();
@@ -434,8 +393,9 @@ mod tests {
                 [1, 1],
                 |[i, j]| fs2.at(i, j),
             );
-            let r = resid2(proc, &pde, &mut u, &f);
-            r.gather_to_root(proc)
+            let mut ctx = Ctx::new(proc, grid);
+            let r = resid2(&mut ctx, &pde, &mut u, &f);
+            r.gather_to_root(ctx.proc())
         });
         let got = run.results[0].as_ref().unwrap();
         for i in 0..=nx {
@@ -562,9 +522,9 @@ mod tests {
                     [0, 1, 1],
                     |[i, j, k]| fs2.at(i, j, k),
                 );
-                let r0 = resid3(proc, &pde, &mut u, &f);
-                let mut r = r0;
                 let mut ctx = Ctx::new(proc, grid);
+                let r0 = resid3(&mut ctx, &pde, &mut u, &f);
+                let mut r = r0;
                 let g = rest3(&mut ctx, &mut r);
                 let v = DistArray3::from_fn(
                     ctx.rank(),

@@ -31,8 +31,8 @@ fn run_shape(n: usize, p0: usize, p1: usize, cycles: usize) -> (Vec<f64>, RunRep
         let mut norms = Vec::new();
         for _ in 0..cycles {
             mg3_vcycle(&mut ctx, &pde, &mut u, &farr, 1);
-            let mut r = resid3(ctx.proc(), &pde, &mut u, &farr);
-            r.exchange_ghosts(ctx.proc());
+            let mut r = resid3(&mut ctx, &pde, &mut u, &farr);
+            ctx.plan().reads(&mut r, Ghosts::full(1)).refresh();
             norms.push(global_max_abs(&mut ctx, &r));
         }
         norms

@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use kali::prelude::*;
 use kali::solvers::adi::{adi_run, adi_seq_iteration, suggested_rho};
-use kali::solvers::mg2::{mg2_vcycle, mg2_vcycle_with};
+use kali::solvers::mg2::mg2_vcycle;
 use kali::solvers::mg3::mg3_vcycle;
 use kali::solvers::seq;
 
@@ -96,18 +96,18 @@ fn mg2_on_eight_processors_matches_sequential_bitwise_tolerance() {
 }
 
 #[test]
-fn mg2_split_phase_full_weighting_is_bitwise_equal_to_blocking() {
-    // The zebra and full-weighting halos run split-phase through the
-    // corner-completing schedule halo by default; against the fully
-    // blocking strip exchange the V-cycle must be *bitwise* identical —
-    // overlapping the ghost transit is an optimization of the virtual
+fn mg2_execution_policy_is_bitwise_invariant_and_split_is_faster() {
+    // The zebra and full-weighting halos run split-phase with cached
+    // optimistic replay by default; against the fully blocking
+    // rebuild-per-exchange baseline the V-cycle must be *bitwise*
+    // identical — the ExecPolicy is an optimization of the virtual
     // timeline, never of the answer — and must actually shorten that
     // timeline on a latency-bound cost model.
     let (nx, ny) = (16usize, 32usize);
     let pde = Pde::anisotropic(3.0, 1.0, 0.0);
     let us = seq::Grid2::random_interior(nx, ny, 23);
     let f = seq::apply2(&pde, &us);
-    let go = |split: bool| {
+    let go = |policy: ExecPolicy| {
         let f2 = f.clone();
         Machine::run(
             MachineConfig::new(4)
@@ -126,16 +126,16 @@ fn mg2_split_phase_full_weighting_is_bitwise_equal_to_blocking() {
                     [0, 1],
                     |[i, j]| f2.at(i, j),
                 );
-                let mut ctx = Ctx::new(proc, grid);
+                let mut ctx = Ctx::with_policy(proc, grid, policy);
                 for _ in 0..3 {
-                    mg2_vcycle_with(&mut ctx, &pde, &mut u, &farr, split);
+                    mg2_vcycle(&mut ctx, &pde, &mut u, &farr);
                 }
                 u.gather_to_root(ctx.proc())
             },
         )
     };
-    let blocking = go(false);
-    let split = go(true);
+    let blocking = go(ExecPolicy::blocking());
+    let split = go(ExecPolicy::default());
     let a = blocking.results[0].as_ref().unwrap();
     let b = split.results[0].as_ref().unwrap();
     for (k, (x, y)) in a.iter().zip(b).enumerate() {
@@ -150,6 +150,10 @@ fn mg2_split_phase_full_weighting_is_bitwise_equal_to_blocking() {
         "split-phase mg2 must be faster: {} vs {}",
         split.report.elapsed,
         blocking.report.elapsed
+    );
+    assert_eq!(
+        split.report.total_rollbacks, 0,
+        "a stable mg2 loop must never roll a halo replay back"
     );
 }
 
