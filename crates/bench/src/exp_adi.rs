@@ -84,6 +84,9 @@ pub fn run(opts: ExpOpts) -> ExpOut {
 mod tests {
     #[test]
     fn pipelined_wins_and_adi_converges() {
+        if !kali_machine::BackendKind::from_env().virtual_time() {
+            return; // cost-model assertion; meaningful on the simulator only
+        }
         let r = super::run(crate::ExpOpts::default()).text;
         let l128 = r
             .lines()

@@ -113,6 +113,9 @@ pub fn run(opts: ExpOpts) -> ExpOut {
 mod tests {
     #[test]
     fn pipelining_wins_for_many_systems() {
+        if !kali_machine::BackendKind::from_env().virtual_time() {
+            return; // cost-model assertion; meaningful on the simulator only
+        }
         let r = super::run(crate::ExpOpts::default()).text;
         let m64 = r
             .lines()

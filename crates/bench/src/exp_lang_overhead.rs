@@ -170,6 +170,9 @@ mod tests {
 
     #[test]
     fn interpreter_overhead_is_bounded() {
+        if !kali_machine::BackendKind::from_env().virtual_time() {
+            return; // cost-model assertion; meaningful on the simulator only
+        }
         let r = super::run(crate::ExpOpts::default()).text;
         let infl = parse_ratio(&r, "virtual inflation");
         assert!(
@@ -180,6 +183,9 @@ mod tests {
 
     #[test]
     fn executor_reuse_cuts_inspector_share() {
+        if !kali_machine::BackendKind::from_env().virtual_time() {
+            return; // cost-model assertion; meaningful on the simulator only
+        }
         let r = super::run(crate::ExpOpts::default()).text;
         let share = parse_ratio(&r, "inspector share reduced");
         assert!(

@@ -125,6 +125,9 @@ pub fn run(opts: ExpOpts) -> ExpOut {
 mod tests {
     #[test]
     fn mp_is_many_times_longer_than_sequential() {
+        if !kali_machine::BackendKind::from_env().virtual_time() {
+            return; // cost-model assertion; meaningful on the simulator only
+        }
         let r = super::run(crate::ExpOpts::default()).text;
         let jacobi = r.lines().find(|l| l.contains("Jacobi")).unwrap();
         let ratio: f64 = jacobi

@@ -19,16 +19,21 @@ use std::time::Duration;
 use kali_array::DistArray2;
 use kali_grid::{DistSpec, ProcGrid};
 use kali_lang::{listing, run_source_with, HostValue, LangRun, RunOptions};
-use kali_machine::{CostModel, Machine, MachineConfig, RunReport};
+use kali_machine::{BackendKind, CostModel, Machine, MachineConfig, RunReport, Topology};
 use kali_runtime::{Ctx, ExecPolicy, Ghosts};
 
 use crate::json::{report_json, Json};
 use crate::{fmt_s, ExpOpts, ExpOut, Table};
 
 fn cfg_scaled(p: usize, comm_scale: f64) -> MachineConfig {
-    MachineConfig::new(p)
-        .with_cost(CostModel::ipsc2().scale_comm(comm_scale))
-        .with_watchdog(Duration::from_secs(120))
+    Machine::build(
+        BackendKind::from_env(),
+        Topology::FullyConnected,
+        CostModel::ipsc2().scale_comm(comm_scale),
+    )
+    .procs(p)
+    .watchdog(Duration::from_secs(120))
+    .config()
 }
 
 fn jacobi_listing_with(np: i64, trips: i64, comm_scale: f64, opts: RunOptions) -> LangRun {
@@ -71,7 +76,10 @@ fn jacobi_listing(np: i64, trips: i64, comm_scale: f64, split: bool) -> LangRun 
         trips,
         comm_scale,
         RunOptions {
-            split_phase: split,
+            policy: ExecPolicy {
+                split,
+                ..ExecPolicy::default()
+            },
             ..RunOptions::default()
         },
     )
@@ -80,8 +88,31 @@ fn jacobi_listing(np: i64, trips: i64, comm_scale: f64, split: bool) -> LangRun 
 /// Compiled-path Jacobi: `sweeps` stencil-plan sweeps under the given
 /// execution policy.
 fn jacobi_compiled(n: usize, sweeps: usize, comm_scale: f64, policy: ExecPolicy) -> RunReport {
-    let run = Machine::run(cfg_scaled(4, comm_scale), move |proc| {
-        let grid = ProcGrid::new_2d(2, 2);
+    jacobi_compiled_on(BackendKind::from_env(), n, sweeps, comm_scale, policy, 2, 2).1
+}
+
+/// The same compiled sweep on an explicit backend and `pr × pc`
+/// processor grid; returns the root-gathered field so callers can check
+/// that backends agree bitwise.
+fn jacobi_compiled_on(
+    backend: BackendKind,
+    n: usize,
+    sweeps: usize,
+    comm_scale: f64,
+    policy: ExecPolicy,
+    pr: usize,
+    pc: usize,
+) -> (Vec<f64>, RunReport) {
+    let mcfg = Machine::build(
+        backend,
+        Topology::FullyConnected,
+        CostModel::ipsc2().scale_comm(comm_scale),
+    )
+    .procs(pr * pc)
+    .watchdog(Duration::from_secs(120))
+    .config();
+    let run = Machine::run(mcfg, move |proc| {
+        let grid = ProcGrid::new_2d(pr, pc);
         let spec = DistSpec::block2();
         let mut u = DistArray2::<f64>::new(proc.rank(), &grid, &spec, [n + 1, n + 1], [1, 1]);
         let f = DistArray2::from_fn(
@@ -106,7 +137,13 @@ fn jacobi_compiled(n: usize, sweeps: usize, comm_scale: f64, policy: ExecPolicy)
         }
         u.gather_to_root(ctx.proc())
     });
-    run.report
+    let field = run
+        .results
+        .into_iter()
+        .flatten()
+        .next()
+        .expect("root gathers the field");
+    (field, run.report)
 }
 
 /// Warm-trip marginal time: `(t(hi trips) − t(lo trips)) / (hi − lo)` —
@@ -191,7 +228,7 @@ pub fn run(opts: ExpOpts) -> ExpOut {
     let mut opt_rows = Vec::new();
     for &scale in scales {
         let pess = RunOptions {
-            optimistic: false,
+            policy: ExecPolicy::pessimistic(),
             ..RunOptions::default()
         };
         let pess_lo = jacobi_listing_with(np, lo, scale, pess);
@@ -258,20 +295,88 @@ pub fn run(opts: ExpOpts) -> ExpOut {
         ]);
     }
 
+    // Real-threads backend: the same compiled sweep timed on the wall
+    // clock, one OS thread per processor, against the simulator's
+    // bitwise reference at the same grid. Always measured, whatever
+    // KALI_BACKEND says, so the report shows virtual-time and
+    // wall-clock results side by side.
+    let (wn, wsweeps, reps) = if opts.smoke {
+        (256, 8, 3)
+    } else {
+        (512, 12, 5)
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut tw = Table::new(&["workers", "grid", "best wall", "speedup", "matches sim"]);
+    let mut thread_rows = Vec::new();
+    let mut base_wall = f64::NAN;
+    for (pr, pc) in [(1usize, 1usize), (2, 1), (2, 2)] {
+        let workers = pr * pc;
+        let (sim_field, _) = jacobi_compiled_on(
+            BackendKind::Sim,
+            wn,
+            wsweeps,
+            1.0,
+            ExecPolicy::default(),
+            pr,
+            pc,
+        );
+        let mut best = f64::INFINITY;
+        let mut matches = true;
+        for _ in 0..reps {
+            let (field, rep) = jacobi_compiled_on(
+                BackendKind::Threads,
+                wn,
+                wsweeps,
+                1.0,
+                ExecPolicy::default(),
+                pr,
+                pc,
+            );
+            best = best.min(rep.wall_seconds);
+            matches &= field.len() == sim_field.len()
+                && field
+                    .iter()
+                    .zip(&sim_field)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+        }
+        if workers == 1 {
+            base_wall = best;
+        }
+        let speedup = base_wall / best;
+        tw.row(vec![
+            workers.to_string(),
+            format!("{pr}x{pc}"),
+            fmt_s(best),
+            format!("{speedup:.2}x"),
+            if matches { "yes" } else { "NO" }.to_string(),
+        ]);
+        thread_rows.push(Json::obj(vec![
+            ("workers", Json::from(workers)),
+            ("best_wall_s", Json::Num(best)),
+            ("wall_speedup", Json::Num(speedup)),
+            ("matches_sim", Json::Bool(matches)),
+        ]));
+    }
+
     let text = format!(
         "=== Split-phase exchange: overlap vs blocking replay (jacobi {np}², 2x2 procs) ===\n\n\
          KF1 listing, schedule-cache replays:\n\n{}\n\
          Optimistic replay (piggybacked vote vs one-word vote round, warm trip):\n\n{}\n\
          Compiled path (runtime-library sweeps):\n\n{}\n\
+         Real-threads backend (compiled jacobi {wn}², wall clock, best of {reps},\n\
+         {cores} hardware threads available):\n\n{}\n\
          The warm-trip column isolates one replayed trip ((t({hi})−t({lo}))/{d});\n\
          hidden/trip is the virtual transit the engine overlapped with\n\
          interior iterations. Speedups grow until the interior computation\n\
          no longer covers the transit (high comm scales), exactly the\n\
          surface/volume reasoning of the paper's §3. The optimistic cut is\n\
-         the warm-trip start-up the piggybacked consensus vote removes.\n",
+         the warm-trip start-up the piggybacked consensus vote removes.\n\
+         The real-threads table runs the identical protocol on OS threads:\n\
+         'matches sim' checks the two backends agree bitwise.\n",
         t.render(),
         topt.render(),
         tc.render(),
+        tw.render(),
         d = hi - lo,
     );
     let (sync_report, split_report) = sample_reports.expect("at least one scale");
@@ -279,8 +384,11 @@ pub fn run(opts: ExpOpts) -> ExpOut {
         .with_table("listing", t)
         .with_table("optimistic", topt)
         .with_table("compiled", tc)
+        .with_table("threads", tw)
         .with_extra("rows", Json::Arr(raw_rows))
         .with_extra("optimistic_rows", Json::Arr(opt_rows))
+        .with_extra("threads_rows", Json::Arr(thread_rows))
+        .with_extra("available_parallelism", Json::from(cores))
         .with_extra("blocking_report", sync_report)
         .with_extra("split_report", split_report)
 }
@@ -289,6 +397,9 @@ pub fn run(opts: ExpOpts) -> ExpOut {
 mod tests {
     #[test]
     fn split_phase_hits_1_2x_on_latency_dominated_warm_trips() {
+        if !kali_machine::BackendKind::from_env().virtual_time() {
+            return; // cost-model assertion; meaningful on the simulator only
+        }
         // Acceptance criterion: ≥ 1.2x virtual-time speedup for jacobi on
         // a latency-dominated cost model at warm (replayed) trips.
         let warm_sync = super::warm_trip_time(32, 1.0, false, 2, 6);
@@ -313,13 +424,21 @@ mod tests {
         assert!(doc.contains("warm_trip_speedup"));
         assert!(doc.contains("optimistic_rows"));
         assert!(doc.contains("warm_trip_optimistic_s"));
+        // The real-threads section always runs and must agree with the
+        // simulator bitwise at every grid.
+        assert!(doc.contains("threads_rows"));
+        assert!(doc.contains("available_parallelism"));
+        assert!(!doc.contains("\"matches_sim\":false"));
     }
 
     #[test]
     fn optimistic_vote_cuts_the_warm_trip() {
-        use kali_lang::RunOptions;
+        if !kali_machine::BackendKind::from_env().virtual_time() {
+            return; // cost-model assertion; meaningful on the simulator only
+        }
+        use kali_lang::{ExecPolicy, RunOptions};
         let pess = RunOptions {
-            optimistic: false,
+            policy: ExecPolicy::pessimistic(),
             ..RunOptions::default()
         };
         let p_lo = super::jacobi_listing_with(16, 2, 1.0, pess);

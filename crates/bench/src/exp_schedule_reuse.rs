@@ -7,7 +7,7 @@
 //! amortized inspector cost is the paper's justification for run-time
 //! resolution being competitive with compiled communication.
 
-use kali_lang::{listing, run_source_with, HostValue, LangRun, RunOptions};
+use kali_lang::{listing, run_source_with, ExecPolicy, HostValue, LangRun, RunOptions};
 
 use crate::json::Json;
 use crate::{cfg, fmt_s, ExpOpts, ExpOut, Table};
@@ -72,7 +72,10 @@ fn jacobi_vote(np: i64, iters: i64, optimistic: bool) -> LangRun {
             HostValue::Int(iters),
         ],
         RunOptions {
-            optimistic,
+            policy: ExecPolicy {
+                optimistic,
+                ..ExecPolicy::default()
+            },
             ..RunOptions::default()
         },
     )
@@ -246,6 +249,9 @@ mod tests {
 
     #[test]
     fn optimistic_vote_cuts_warm_trip_startup() {
+        if !kali_machine::BackendKind::from_env().virtual_time() {
+            return; // cost-model assertion; meaningful on the simulator only
+        }
         // The piggybacked vote removes the dedicated one-word round from
         // every warm trip: the marginal replayed-trip time must drop.
         let warm = |optimistic: bool| {
@@ -267,6 +273,9 @@ mod tests {
 
     #[test]
     fn inspector_share_cut_grows_with_trip_count() {
+        if !kali_machine::BackendKind::from_env().virtual_time() {
+            return; // cost-model assertion; meaningful on the simulator only
+        }
         let a = super::jacobi(8, 2, false).report.inspector_seconds
             / super::jacobi(8, 2, true).report.inspector_seconds;
         let b = super::jacobi(8, 6, false).report.inspector_seconds

@@ -7,7 +7,7 @@ use kali_grid::{Dist1, ProcGrid};
 use kali_kernels::tri_dist::tri_dist;
 use kali_kernels::tridiag::{thomas, thomas_flops};
 use kali_kernels::TriDiag;
-use kali_machine::{CostModel, Machine, MachineConfig};
+use kali_machine::{CostModel, Machine};
 use kali_runtime::Ctx;
 use std::time::Duration;
 
@@ -17,9 +17,14 @@ fn solve_time(n: usize, p: usize, cost: Option<CostModel>) -> f64 {
     let sys = TriDiag::random_dd(n, 5);
     let f = sys.apply(&vec![1.0; n]);
     let mcfg = match cost {
-        Some(c) => MachineConfig::new(p)
-            .with_cost(c)
-            .with_watchdog(Duration::from_secs(120)),
+        Some(c) => Machine::build(
+            kali_machine::BackendKind::from_env(),
+            kali_machine::Topology::FullyConnected,
+            c,
+        )
+        .procs(p)
+        .watchdog(Duration::from_secs(120))
+        .config(),
         None => cfg(p),
     };
     if p == 1 {
@@ -94,6 +99,9 @@ pub fn run(opts: ExpOpts) -> ExpOut {
 mod tests {
     #[test]
     fn large_systems_scale_and_crossover_exists() {
+        if !kali_machine::BackendKind::from_env().virtual_time() {
+            return; // cost-model assertion; meaningful on the simulator only
+        }
         let r = super::run(crate::ExpOpts::default()).text;
         // Largest n must show real speedup at p = 64.
         let big = r.lines().find(|l| l.starts_with("262144")).unwrap();

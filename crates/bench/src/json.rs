@@ -125,7 +125,9 @@ impl From<&str> for Json {
 /// table is omitted — experiments track fleet-level trends).
 pub fn report_json(r: &RunReport) -> Json {
     Json::obj(vec![
+        ("backend", Json::str(r.backend.name())),
         ("elapsed_s", Json::Num(r.elapsed)),
+        ("wall_seconds", Json::Num(r.wall_seconds)),
         ("nprocs", Json::from(r.nprocs())),
         ("total_msgs", Json::from(r.total_msgs)),
         ("total_words", Json::from(r.total_words)),
@@ -172,7 +174,9 @@ mod tests {
             proc.compute(1000.0)
         });
         let s = report_json(&run.report).render();
+        assert!(s.contains("\"backend\":\"sim\""));
         assert!(s.contains("\"elapsed_s\":1"));
+        assert!(s.contains("\"wall_seconds\":"));
         assert!(s.contains("\"overlap_hidden_seconds\":0"));
     }
 }

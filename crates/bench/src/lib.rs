@@ -10,7 +10,7 @@
 
 use std::time::Duration;
 
-use kali_machine::{CostModel, MachineConfig};
+use kali_machine::{BackendKind, CostModel, Machine, MachineConfig, Topology};
 
 pub mod exp_adi;
 pub mod exp_distributions;
@@ -115,11 +115,19 @@ pub fn exp_main(f: impl FnOnce(ExpOpts) -> ExpOut) {
     }
 }
 
-/// Standard machine for experiments: iPSC/2-era costs, generous watchdog.
+/// Standard machine for experiments: iPSC/2-era costs, generous
+/// watchdog. The backend honours the `KALI_BACKEND` environment
+/// variable — `KALI_BACKEND=threads` reruns any experiment on real
+/// threads (wall-clock timing, zero virtual time).
 pub fn cfg(p: usize) -> MachineConfig {
-    MachineConfig::new(p)
-        .with_cost(CostModel::ipsc2())
-        .with_watchdog(Duration::from_secs(120))
+    Machine::build(
+        BackendKind::from_env(),
+        Topology::FullyConnected,
+        CostModel::ipsc2(),
+    )
+    .procs(p)
+    .watchdog(Duration::from_secs(120))
+    .config()
 }
 
 /// Format seconds in engineering notation.

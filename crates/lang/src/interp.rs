@@ -91,8 +91,8 @@ use kali_kernels::substructure::{reduce_block, reduce_flops};
 use kali_kernels::tridiag::{thomas, thomas_flops};
 use kali_machine::{collective, tag, Proc, Tag, Team, NS_LANG};
 use kali_sched::{
-    interior_positions, vote, ArraySchedule, CommSchedule, ScheduleCache, ScheduleExecutor,
-    ScheduleWorld, SiteKey, NO_VOTE,
+    interior_positions, vote, ArraySchedule, CommSchedule, ExecPolicy, ScheduleCache,
+    ScheduleExecutor, ScheduleWorld, SiteKey, NO_VOTE,
 };
 
 use crate::ast::*;
@@ -310,13 +310,14 @@ pub struct Interp<'a, 'p> {
     iter_start: usize,
     /// Is executor reuse (the schedule cache) enabled?
     cache_enabled: bool,
-    /// Replay cached schedules split-phase (post / interior /
-    /// complete-boundary) instead of with a blocking fused exchange?
-    split_phase: bool,
-    /// Piggyback the replay-consensus vote on the fused value messages
-    /// (optimistic replay with rollback) instead of running a dedicated
-    /// one-word vote round before each replay?
-    optimistic: bool,
+    /// Execution strategy for communicating doalls — the same
+    /// [`ExecPolicy`] the compiled stencil-plan path runs under.
+    /// `policy.split` replays cached schedules split-phase (post /
+    /// interior / complete-boundary) instead of with a blocking fused
+    /// exchange; `policy.optimistic` piggybacks the replay-consensus
+    /// vote on the fused value messages (with rollback) instead of
+    /// running a dedicated one-word vote round before each replay.
+    policy: ExecPolicy,
     /// Cached communication schedules. Shared across frames: the key
     /// carries every frame-dependent input (bindings, views, generations),
     /// so a hit is valid regardless of which call produced the entry.
@@ -333,8 +334,7 @@ impl<'a, 'p> Interp<'a, 'p> {
             doall_depth: 0,
             iter_start: 0,
             cache_enabled: true,
-            split_phase: true,
-            optimistic: true,
+            policy: ExecPolicy::default(),
             schedules: ScheduleCache::new(MAX_SCHEDULES_PER_SITE),
         }
     }
@@ -345,18 +345,13 @@ impl<'a, 'p> Interp<'a, 'p> {
         self.cache_enabled = on;
     }
 
-    /// Enable or disable split-phase replay. Disabled, replayed exchanges
-    /// run as one blocking fused value round before any iteration executes
-    /// — the latency-hiding differential baseline.
-    pub fn set_split_phase(&mut self, on: bool) {
-        self.split_phase = on;
-    }
-
-    /// Enable or disable optimistic replay. Disabled, every replay
-    /// decision runs the dedicated one-word pessimistic vote round — the
-    /// differential baseline for the piggybacked-vote protocol.
-    pub fn set_optimistic(&mut self, on: bool) {
-        self.optimistic = on;
+    /// Set the execution strategy for communicating doalls. The answer
+    /// never depends on it — only the timeline and the
+    /// schedule-construction work do; the defaults are the
+    /// latency-hiding fast path, [`ExecPolicy::blocking`] the fully
+    /// synchronous differential baseline.
+    pub fn set_policy(&mut self, policy: ExecPolicy) {
+        self.policy = policy;
     }
 
     fn me(&self) -> usize {
@@ -794,7 +789,7 @@ impl<'a, 'p> Interp<'a, 'p> {
         let can_vote = key.is_some() && self.schedules.has_site_team(site, team.ranks());
         if can_vote {
             let local = key.as_ref().and_then(|k| self.schedules.lookup(k));
-            if self.optimistic {
+            if self.policy.optimistic {
                 if self.replay_optimistic(&team, local, vars, my_iters, body)? {
                     return Ok(());
                 }
@@ -825,7 +820,7 @@ impl<'a, 'p> Interp<'a, 'p> {
         let mut world = LangWorld {
             bases: self.resolve_schedule_bases(sched)?,
         };
-        if self.split_phase {
+        if self.policy.split {
             self.proc.mark("doall:post");
             let pending = EXEC.post(self.proc, team, sched, &world);
             self.proc.mark("doall:interior");
@@ -876,7 +871,7 @@ impl<'a, 'p> Interp<'a, 'p> {
             None => None,
         };
         let my_vote = hit.as_ref().map_or(NO_VOTE, |(seq, _, _)| *seq as i64);
-        if self.split_phase {
+        if self.policy.split {
             self.proc.mark("doall:post");
             let pending = EXEC.post_optimistic(
                 self.proc,
@@ -1049,8 +1044,8 @@ impl<'a, 'p> Interp<'a, 'p> {
         // latency of later arrays hides behind the traffic of earlier
         // ones instead of serializing one synchronous exchange per array.
         let t0 = self.proc.clock();
-        let incoming_all: Vec<Vec<Vec<u64>>> = if self.split_phase {
-            ScheduleExecutor::request_rounds_split(SPLIT_REQUEST_TAG, self.proc, team, &reqs_all)
+        let incoming_all: Vec<Vec<Vec<u64>>> = if self.policy.split {
+            ScheduleExecutor::request_rounds(SPLIT_REQUEST_TAG, self.proc, team, &reqs_all)
         } else {
             reqs_all
                 .iter()
@@ -1081,7 +1076,7 @@ impl<'a, 'p> Interp<'a, 'p> {
         // split-phase engine: the inspector already proved which
         // iterations are interior, so they execute while the fused value
         // messages are in flight.
-        let write_hint = if self.split_phase {
+        let write_hint = if self.policy.split {
             self.proc.mark("doall:post");
             let pending = EXEC.post(self.proc, team, &sched, &world);
             self.proc.mark("doall:interior");

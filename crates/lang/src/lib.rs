@@ -36,6 +36,7 @@ use ast::{DistDim, Program};
 use interp::Interp;
 use value::{ArrObj, Binding, Value, View};
 
+pub use kali_sched::ExecPolicy;
 pub use parser::{parse, ParseError};
 
 /// The paper's listings, adapted to the implemented subset.
@@ -76,26 +77,22 @@ pub struct RunOptions {
     /// reuse). On by default; disable to force a fresh inspector pass on
     /// every invocation — the differential-testing baseline.
     pub schedule_cache: bool,
-    /// Run the exchange engine split-phase: post the fused value exchange
-    /// nonblocking, execute the interior iterations while messages are in
-    /// flight, then complete the boundary — on replays *and* on cold
-    /// inspector invocations, whose request rounds are posted nonblocking
-    /// too. On by default; disable for the fully blocking baseline.
-    pub split_phase: bool,
-    /// Piggyback the replay-consensus vote on the fused value messages
-    /// (optimistic replay): a confirmed header replaces the dedicated
-    /// one-word vote round, and a disagreement rolls the trip back to a
-    /// full inspection. On by default; disable for the pessimistic-vote
-    /// baseline. Only effective with `schedule_cache`.
-    pub optimistic: bool,
+    /// Execution strategy for communicating doalls — the same
+    /// [`ExecPolicy`] the compiled stencil-plan path runs under.
+    /// `policy.split` runs the exchange engine split-phase (post the
+    /// fused value exchange nonblocking, execute the interior iterations
+    /// while messages are in flight, then complete the boundary — on
+    /// replays *and* on cold inspector invocations); `policy.optimistic`
+    /// piggybacks the replay-consensus vote on the fused value messages
+    /// (only effective with `schedule_cache`). Both on by default.
+    pub policy: ExecPolicy,
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
         RunOptions {
             schedule_cache: true,
-            split_phase: true,
-            optimistic: true,
+            policy: ExecPolicy::default(),
         }
     }
 }
@@ -191,8 +188,7 @@ pub fn run_source_with(
         let rank = proc.rank();
         let mut interp = Interp::new(proc, &prog);
         interp.set_schedule_cache(opts.schedule_cache);
-        interp.set_split_phase(opts.split_phase);
-        interp.set_optimistic(opts.optimistic);
+        interp.set_policy(opts.policy);
         interp
             .call_sub(sub, bindings, grid)
             .unwrap_or_else(|e| panic!("KF1 runtime error on processor {rank}: {e}"));
@@ -729,7 +725,10 @@ end
             &[2, 2],
             &args,
             RunOptions {
-                split_phase: false,
+                policy: ExecPolicy {
+                    split: false,
+                    ..ExecPolicy::default()
+                },
                 ..RunOptions::default()
             },
         )

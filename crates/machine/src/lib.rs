@@ -1,11 +1,21 @@
-//! # kali-machine — a deterministic virtual-time distributed-memory machine
+//! # kali-machine — a distributed-memory machine with swappable backends
 //!
-//! This crate simulates the "loosely coupled architecture" assumed by
+//! This crate models the "loosely coupled architecture" assumed by
 //! Mehrotra & Van Rosendale (ICASE 89-41, 1989): a collection of processors,
 //! each with private memory, interacting only through message passing.
 //!
-//! Every simulated processor runs as an OS thread executing the same SPMD
-//! closure (see [`Machine::run`]). A processor owns a scalar *virtual clock*:
+//! Every processor runs as an OS thread executing the same SPMD closure
+//! (see [`Machine::run`]). What *time* means during that run is a pluggable
+//! policy — the [`backend`] module — selected by data when the machine is
+//! built ([`Machine::build`], [`BackendKind`]):
+//!
+//! * [`BackendKind::Sim`] (the default): the deterministic virtual-time
+//!   simulator and cost model described below;
+//! * [`BackendKind::Threads`]: the same threads, channels, and matching
+//!   protocol at hardware speed, timed by the wall clock only
+//!   ([`RunReport::wall_seconds`]).
+//!
+//! On the simulator, a processor owns a scalar *virtual clock*:
 //!
 //! * local computation advances it explicitly via [`Proc::compute`] /
 //!   [`Proc::memop`] using the per-flop / per-word costs in [`CostModel`];
@@ -22,9 +32,11 @@
 //!   in posting order per `(source, tag)` (MPI semantics), so
 //!   out-of-order waits cannot mis-pair payloads.
 //!
-//! Message matching is by `(source, tag)` with per-pair FIFO order, so the
-//! virtual timeline of a run is **bit-for-bit deterministic** regardless of OS
-//! scheduling — reports can be asserted exactly in tests.
+//! Message matching is by `(source, tag)` with per-pair FIFO order **on both
+//! backends**, so payload pairing — and with it every numerical result and
+//! traffic counter — is bit-for-bit deterministic regardless of OS
+//! scheduling; on the simulator the virtual timeline is exact too, and
+//! reports can be asserted exactly in tests.
 //!
 //! Collective operations ([`collective`]) are built *on top of* point-to-point
 //! send/recv (binomial trees, dissemination barrier), so they cost virtual
@@ -33,6 +45,7 @@
 //! The defaults in [`CostModel::ipsc2`] approximate an Intel iPSC/2-class
 //! hypercube node, the hardware contemporary with the paper.
 
+pub mod backend;
 mod cost;
 mod machine;
 mod proc;
@@ -42,8 +55,9 @@ mod wire;
 
 pub mod collective;
 
+pub use backend::{Backend, BackendKind};
 pub use cost::CostModel;
-pub use machine::{Machine, MachineConfig, SimRun};
+pub use machine::{Machine, MachineBuilder, MachineConfig, MachineRun, SimRun};
 pub use proc::{PendingRecv, PendingSend, Proc, ProcStats, Team};
 pub use report::{ProcReport, RunReport};
 pub use topology::Topology;

@@ -1,16 +1,18 @@
 //! Machine construction and the SPMD run loop.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::unbounded;
 
+use crate::backend::BackendKind;
 use crate::cost::CostModel;
 use crate::proc::{Envelope, Proc};
 use crate::report::{ProcReport, RunReport};
 use crate::topology::Topology;
 
-/// Static description of the simulated machine.
+/// Static description of the machine: size, interconnect, cost model,
+/// and which execution [`BackendKind`] runs it.
 #[derive(Debug, Clone)]
 pub struct MachineConfig {
     /// Number of processors.
@@ -22,16 +24,22 @@ pub struct MachineConfig {
     /// Real-time budget a processor may spend blocked in one `recv` before
     /// the run is declared deadlocked.
     pub watchdog: Duration,
+    /// Execution backend: the virtual-time simulator (default) or real
+    /// wall-clock threads. Selection is data — same config type, same
+    /// run loop, either backend.
+    pub backend: BackendKind,
 }
 
 impl MachineConfig {
-    /// `nprocs` processors, fully connected, iPSC/2-era costs.
+    /// `nprocs` processors, fully connected, iPSC/2-era costs, on the
+    /// virtual-time simulator.
     pub fn new(nprocs: usize) -> Self {
         MachineConfig {
             nprocs,
             topology: Topology::FullyConnected,
             cost: CostModel::ipsc2(),
             watchdog: Duration::from_secs(60),
+            backend: BackendKind::Sim,
         }
     }
 
@@ -52,37 +60,111 @@ impl MachineConfig {
         self.watchdog = watchdog;
         self
     }
+
+    /// Replace the execution backend.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
 }
 
-/// Result of a simulated run: the timing/traffic report plus the value each
+/// Result of a run: the timing/traffic report plus the value each
 /// processor's closure returned (indexed by rank).
-pub struct SimRun<R> {
+pub struct MachineRun<R> {
     pub report: RunReport,
     pub results: Vec<R>,
 }
 
-/// The virtual machine. Stateless — all state lives in a single [`Machine::run`].
+/// Former name of [`MachineRun`], kept while call sites migrate.
+pub type SimRun<R> = MachineRun<R>;
+
+/// Builder for a machine whose backend is chosen by data — the one
+/// construction entry point, so no call site ever names a concrete
+/// backend type.
+///
+/// ```
+/// use kali_machine::{BackendKind, CostModel, Machine, Topology};
+///
+/// let run = Machine::build(BackendKind::from_env(), Topology::FullyConnected, CostModel::unit())
+///     .procs(2)
+///     .run(|proc| proc.rank());
+/// assert_eq!(run.results, vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+#[must_use = "a machine builder does nothing until .run()"]
+pub struct MachineBuilder {
+    cfg: MachineConfig,
+}
+
+impl MachineBuilder {
+    /// Set the processor count (default 1).
+    pub fn procs(mut self, nprocs: usize) -> Self {
+        self.cfg.nprocs = nprocs;
+        self
+    }
+
+    /// Replace the deadlock watchdog budget.
+    pub fn watchdog(mut self, watchdog: Duration) -> Self {
+        self.cfg.watchdog = watchdog;
+        self
+    }
+
+    /// The assembled [`MachineConfig`] — for APIs that carry a config
+    /// (e.g. `kali_lang::run_source`) rather than a closure.
+    pub fn config(self) -> MachineConfig {
+        self.cfg
+    }
+
+    /// Run `body` SPMD on every processor; see [`Machine::run`].
+    pub fn run<R, F>(self, body: F) -> MachineRun<R>
+    where
+        R: Send + 'static,
+        F: Fn(&mut Proc) -> R + Send + Sync,
+    {
+        Machine::run(self.cfg, body)
+    }
+}
+
+/// The machine. Stateless — all state lives in a single [`Machine::run`].
 pub struct Machine;
 
 impl Machine {
-    /// Run `body` SPMD on every simulated processor and collect results.
+    /// The one construction entry point: backend, interconnect and cost
+    /// model in, [`MachineBuilder`] out. The backend is plain data
+    /// ([`BackendKind`]), so call sites stay backend-neutral; pass
+    /// [`BackendKind::from_env`] where `KALI_BACKEND` should decide.
+    pub fn build(backend: BackendKind, topology: Topology, cost: CostModel) -> MachineBuilder {
+        MachineBuilder {
+            cfg: MachineConfig::new(1)
+                .with_topology(topology)
+                .with_cost(cost)
+                .with_backend(backend),
+        }
+    }
+
+    /// Run `body` SPMD on every processor and collect results.
     ///
     /// Each processor executes `body(&mut proc)` on its own OS thread;
     /// processors may only interact through [`Proc::send`]/[`Proc::recv`]
     /// (and the collectives built on them). The returned [`RunReport`] is
-    /// deterministic: running the same program twice yields identical
-    /// virtual times and message counts.
+    /// deterministic in its results and traffic counters: running the
+    /// same program twice yields identical payload matchings on either
+    /// backend, and on [`BackendKind::Sim`] identical virtual times too.
+    /// Wall-clock time for the whole run is measured on both backends
+    /// ([`RunReport::wall_seconds`]).
     ///
     /// Panics in any processor propagate out of `run` after all threads have
     /// stopped (peers blocked on a vanished message are released by the
     /// watchdog).
-    pub fn run<R, F>(cfg: MachineConfig, body: F) -> SimRun<R>
+    pub fn run<R, F>(cfg: MachineConfig, body: F) -> MachineRun<R>
     where
         R: Send + 'static,
         F: Fn(&mut Proc) -> R + Send + Sync,
     {
         assert!(cfg.nprocs >= 1, "machine needs at least one processor");
         let p = cfg.nprocs;
+        let backend = cfg.backend;
+        let started = Instant::now();
         let cfg = Arc::new(cfg);
 
         let mut senders = Vec::with_capacity(p);
@@ -141,15 +223,15 @@ impl Machine {
             procs.push(rep);
             results.push(res);
         }
-        SimRun {
-            report: RunReport::new(procs),
+        MachineRun {
+            report: RunReport::new(backend, started.elapsed().as_secs_f64(), procs),
             results,
         }
     }
 
     /// Run a sequential program on a 1-processor machine with the given cost
     /// model; convenient for baselines.
-    pub fn run_seq<R, F>(cost: CostModel, body: F) -> SimRun<R>
+    pub fn run_seq<R, F>(cost: CostModel, body: F) -> MachineRun<R>
     where
         R: Send + 'static,
         F: Fn(&mut Proc) -> R + Send + Sync,
@@ -522,6 +604,64 @@ mod tests {
             }
         });
         assert!(run.results.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn build_constructs_backend_neutral_machines() {
+        let run = Machine::build(
+            BackendKind::Sim,
+            Topology::FullyConnected,
+            CostModel::unit(),
+        )
+        .procs(2)
+        .watchdog(Duration::from_secs(5))
+        .run(|proc| proc.rank());
+        assert_eq!(run.results, vec![0, 1]);
+        assert_eq!(run.report.backend, BackendKind::Sim);
+        assert!(run.report.wall_seconds > 0.0);
+
+        let cfg = Machine::build(BackendKind::Threads, Topology::Ring, CostModel::ipsc2())
+            .procs(3)
+            .config();
+        assert_eq!(cfg.nprocs, 3);
+        assert_eq!(cfg.backend, BackendKind::Threads);
+        assert_eq!(cfg.topology, Topology::Ring);
+    }
+
+    #[test]
+    fn threads_backend_runs_the_same_protocol_with_zero_virtual_time() {
+        let f = |proc: &mut Proc| {
+            let t = tag(NS_USER, 30);
+            if proc.rank() == 0 {
+                proc.compute(1000.0);
+                proc.send(1, t, 5.0f64);
+                let x: f64 = proc.recv(1, t);
+                x
+            } else {
+                let h = proc.irecv::<f64>(0, t);
+                let x = proc.wait(h);
+                proc.send(0, t, x + 1.0);
+                x
+            }
+        };
+        let sim = Machine::run(unit_cfg(2), f);
+        let thr = Machine::run(unit_cfg(2).with_backend(BackendKind::Threads), f);
+        // Same payload matching, same results and traffic...
+        assert_eq!(thr.results, sim.results);
+        assert_eq!(thr.report.total_msgs, sim.report.total_msgs);
+        assert_eq!(thr.report.total_words, sim.report.total_words);
+        // ...but no virtual time anywhere on the threads backend.
+        assert_eq!(thr.report.backend, BackendKind::Threads);
+        assert_eq!(thr.report.elapsed, 0.0);
+        for p in &thr.report.procs {
+            assert_eq!(p.clock, 0.0);
+            assert_eq!(p.stats.busy, 0.0);
+            assert_eq!(p.stats.idle, 0.0);
+            assert_eq!(p.stats.overlap_hidden, 0.0);
+        }
+        assert!(thr.report.wall_seconds > 0.0);
+        // The simulator still charges its timeline.
+        assert!(sim.report.elapsed > 0.0);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use std::time::Duration;
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 
+use crate::backend::{backend_for, Backend};
 use crate::machine::MachineConfig;
 use crate::wire::Wire;
 use crate::Tag;
@@ -185,12 +186,17 @@ impl<T: Wire> PendingRecv<T> {
     }
 }
 
-/// Handle through which SPMD code drives one simulated processor.
+/// Handle through which SPMD code drives one processor.
 pub struct Proc {
     rank: usize,
     nprocs: usize,
     clock: f64,
     cfg: Arc<MachineConfig>,
+    /// Time-semantics policy for this run's [`crate::BackendKind`]: every
+    /// virtual charge and arrival stamp goes through these hooks, so the
+    /// protocol code below is identical on the simulator and on real
+    /// threads.
+    backend: &'static dyn Backend,
     outboxes: Arc<Vec<Sender<Envelope>>>,
     inbox: Receiver<Envelope>,
     /// Messages physically received but not yet matched by a `recv`.
@@ -222,11 +228,13 @@ impl Proc {
         outboxes: Arc<Vec<Sender<Envelope>>>,
         inbox: Receiver<Envelope>,
     ) -> Self {
+        let backend = backend_for(cfg.backend);
         Proc {
             rank,
             nprocs,
             clock: 0.0,
             cfg,
+            backend,
             outboxes,
             inbox,
             pending: VecDeque::new(),
@@ -290,7 +298,7 @@ impl Proc {
     #[inline]
     pub fn compute(&mut self, flops: f64) {
         debug_assert!(flops >= 0.0);
-        let dt = flops * self.cfg.cost.flop;
+        let dt = self.backend.flop_seconds(&self.cfg.cost, flops);
         self.clock += dt;
         self.stats.busy += dt;
         self.stats.flops += flops;
@@ -300,7 +308,7 @@ impl Proc {
     #[inline]
     pub fn memop(&mut self, words: f64) {
         debug_assert!(words >= 0.0);
-        let dt = words * self.cfg.cost.memop;
+        let dt = self.backend.memop_seconds(&self.cfg.cost, words);
         self.clock += dt;
         self.stats.busy += dt;
         self.stats.mem_words += words;
@@ -355,8 +363,9 @@ impl Proc {
     #[inline]
     pub fn busy_for(&mut self, seconds: f64) {
         debug_assert!(seconds >= 0.0);
-        self.clock += seconds;
-        self.stats.busy += seconds;
+        let dt = self.backend.busy_seconds(seconds);
+        self.clock += dt;
+        self.stats.busy += dt;
     }
 
     /// Asynchronous send: never blocks (channels are unbounded, matching the
@@ -371,11 +380,13 @@ impl Proc {
             self.nprocs
         );
         let words = value.wire_words();
-        let cost = &self.cfg.cost;
-        self.clock += cost.overhead;
-        self.stats.busy += cost.overhead;
+        let overhead = self.backend.overhead_seconds(&self.cfg.cost);
+        self.clock += overhead;
+        self.stats.busy += overhead;
         let hops = self.cfg.topology.hops(self.rank, dst, self.nprocs);
-        let arrival = self.clock + cost.wire_time(words, hops);
+        let arrival = self
+            .backend
+            .arrival(&self.cfg.cost, self.clock, words, hops);
         self.stats.msgs_sent += 1;
         self.stats.words_sent += words as u64;
         let env = Envelope {
@@ -405,9 +416,9 @@ impl Proc {
         if env.arrival > self.clock {
             self.charge_idle(env.arrival);
         }
-        let cost = self.cfg.cost;
-        self.clock += cost.overhead;
-        self.stats.busy += cost.overhead;
+        let overhead = self.backend.overhead_seconds(&self.cfg.cost);
+        self.clock += overhead;
+        self.stats.busy += overhead;
         self.stats.msgs_recv += 1;
         self.stats.words_recv += env.words as u64;
         match env.payload.downcast::<T>() {
@@ -525,11 +536,13 @@ impl Proc {
     pub fn isend<T: Wire>(&mut self, dst: usize, tag: Tag, value: T) -> PendingSend {
         let words = value.wire_words();
         self.send(dst, tag, value);
-        // send() stamped `arrival = clock_after_overhead + wire_time`;
+        // send() stamped the arrival from the clock after overhead;
         // recompute it from the post-send clock for the token.
         let hops = self.cfg.topology.hops(self.rank, dst, self.nprocs);
         PendingSend {
-            arrival: self.clock + self.cfg.cost.wire_time(words, hops),
+            arrival: self
+                .backend
+                .arrival(&self.cfg.cost, self.clock, words, hops),
             words,
         }
     }
@@ -546,9 +559,9 @@ impl Proc {
             "irecv from rank {src} on {}-proc machine",
             self.nprocs
         );
-        let cost = self.cfg.cost;
-        self.clock += cost.overhead;
-        self.stats.busy += cost.overhead;
+        let overhead = self.backend.overhead_seconds(&self.cfg.cost);
+        self.clock += overhead;
+        self.stats.busy += overhead;
         let ticket = self.issue_ticket(src, tag);
         self.outstanding_recvs += 1;
         PendingRecv {

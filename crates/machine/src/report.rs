@@ -1,5 +1,6 @@
 //! Post-run reports: per-processor and aggregate timing/traffic.
 
+use crate::backend::BackendKind;
 use crate::proc::{MarkEvent, ProcStats};
 
 /// What one processor did during a run.
@@ -16,6 +17,15 @@ pub struct ProcReport {
 /// Aggregate report for a whole run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
+    /// Which execution backend produced this report. On
+    /// [`BackendKind::Threads`] every virtual-time field (`elapsed`,
+    /// busy/idle, `inspector_seconds`, `overlap_hidden_seconds`) is
+    /// identically zero and [`RunReport::wall_seconds`] is the timing
+    /// signal; traffic and protocol counters are meaningful on both.
+    pub backend: BackendKind,
+    /// Measured wall-clock duration of the whole run (thread spawn to
+    /// last join), on either backend.
+    pub wall_seconds: f64,
     pub procs: Vec<ProcReport>,
     /// Virtual makespan: the maximum final clock over all processors.
     pub elapsed: f64,
@@ -42,7 +52,7 @@ pub struct RunReport {
 }
 
 impl RunReport {
-    pub(crate) fn new(procs: Vec<ProcReport>) -> Self {
+    pub(crate) fn new(backend: BackendKind, wall_seconds: f64, procs: Vec<ProcReport>) -> Self {
         let elapsed = procs.iter().map(|p| p.clock).fold(0.0, f64::max);
         let total_msgs = procs.iter().map(|p| p.stats.msgs_sent).sum();
         let total_words = procs.iter().map(|p| p.stats.words_sent).sum();
@@ -55,6 +65,8 @@ impl RunReport {
         let total_optimistic_hits = procs.iter().map(|p| p.stats.optimistic_hits).sum();
         let total_rollbacks = procs.iter().map(|p| p.stats.rollbacks).sum();
         RunReport {
+            backend,
+            wall_seconds,
             procs,
             elapsed,
             total_msgs,
@@ -116,16 +128,32 @@ impl RunReport {
 
 impl std::fmt::Display for RunReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(
-            f,
-            "virtual time {:.6e} s on {} procs | {} msgs, {} words, {:.3e} flops | utilization {:.1}%",
-            self.elapsed,
-            self.procs.len(),
-            self.total_msgs,
-            self.total_words,
-            self.total_flops,
-            100.0 * self.utilization()
-        )?;
+        if self.backend.virtual_time() {
+            writeln!(
+                f,
+                "backend {} | virtual time {:.6e} s (wall {:.3e} s) on {} procs | {} msgs, {} words, \
+                 {:.3e} flops | utilization {:.1}%",
+                self.backend,
+                self.elapsed,
+                self.wall_seconds,
+                self.procs.len(),
+                self.total_msgs,
+                self.total_words,
+                self.total_flops,
+                100.0 * self.utilization()
+            )?;
+        } else {
+            writeln!(
+                f,
+                "backend {} | wall time {:.6e} s on {} procs | {} msgs, {} words, {:.3e} flops",
+                self.backend,
+                self.wall_seconds,
+                self.procs.len(),
+                self.total_msgs,
+                self.total_words,
+                self.total_flops,
+            )?;
+        }
         if self.total_inspector_runs > 0 || self.total_schedule_replays > 0 {
             writeln!(
                 f,
@@ -185,30 +213,49 @@ mod tests {
 
     #[test]
     fn elapsed_is_max_clock() {
-        let r = RunReport::new(vec![mk_proc(0, 2.0, 1.0), mk_proc(1, 5.0, 5.0)]);
+        let r = RunReport::new(
+            BackendKind::Sim,
+            0.0,
+            vec![mk_proc(0, 2.0, 1.0), mk_proc(1, 5.0, 5.0)],
+        );
         assert_eq!(r.elapsed, 5.0);
         assert_eq!(r.nprocs(), 2);
     }
 
     #[test]
     fn utilization_averages_busy_fractions() {
-        let r = RunReport::new(vec![mk_proc(0, 4.0, 2.0), mk_proc(1, 4.0, 4.0)]);
+        let r = RunReport::new(
+            BackendKind::Sim,
+            0.0,
+            vec![mk_proc(0, 4.0, 2.0), mk_proc(1, 4.0, 4.0)],
+        );
         assert!((r.utilization() - 0.75).abs() < 1e-12);
         assert!((r.proc_utilization(0) - 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn speedup_is_baseline_ratio() {
-        let r = RunReport::new(vec![mk_proc(0, 2.0, 2.0)]);
+        let r = RunReport::new(BackendKind::Sim, 0.0, vec![mk_proc(0, 2.0, 2.0)]);
         assert_eq!(r.speedup_over(8.0), 4.0);
     }
 
     #[test]
     fn display_renders_table() {
-        let r = RunReport::new(vec![mk_proc(0, 1.0, 0.5)]);
+        let r = RunReport::new(BackendKind::Sim, 0.0, vec![mk_proc(0, 1.0, 0.5)]);
         let s = format!("{r}");
+        assert!(s.contains("backend sim"));
         assert!(s.contains("virtual time"));
         assert!(s.contains("proc"));
+    }
+
+    #[test]
+    fn threads_display_leads_with_wall_time() {
+        let r = RunReport::new(BackendKind::Threads, 0.25, vec![mk_proc(0, 0.0, 0.0)]);
+        assert_eq!(r.wall_seconds, 0.25);
+        let s = format!("{r}");
+        assert!(s.contains("backend threads"));
+        assert!(s.contains("wall time"));
+        assert!(!s.contains("virtual time"));
     }
 
     #[test]
@@ -223,7 +270,7 @@ mod tests {
         b.stats.schedule_replays = 6;
         b.stats.inspector_seconds = 0.5;
         b.stats.exchange_words = 2;
-        let r = RunReport::new(vec![a, b]);
+        let r = RunReport::new(BackendKind::Sim, 0.0, vec![a, b]);
         assert_eq!(r.total_inspector_runs, 3);
         assert_eq!(r.total_schedule_replays, 11);
         assert!((r.inspector_seconds - 0.75).abs() < 1e-12);
@@ -241,7 +288,7 @@ mod tests {
         let mut b = mk_proc(1, 2.0, 1.0);
         b.stats.optimistic_hits = 4;
         b.stats.rollbacks = 1;
-        let r = RunReport::new(vec![a, b]);
+        let r = RunReport::new(BackendKind::Sim, 0.0, vec![a, b]);
         assert_eq!(r.total_optimistic_hits, 8);
         assert_eq!(r.total_rollbacks, 2);
         let s = format!("{r}");
@@ -261,7 +308,7 @@ mod tests {
             at: 1.0,
             label: "early".into(),
         });
-        let r = RunReport::new(vec![a, b]);
+        let r = RunReport::new(BackendKind::Sim, 0.0, vec![a, b]);
         let marks = r.merged_marks();
         assert_eq!(marks[0].2, "early");
         assert_eq!(marks[1].2, "late");

@@ -41,52 +41,11 @@ use kali_sched::{SplitBox2, SplitRange1};
 
 use crate::Ctx;
 
-/// How a plan's communication executes. Carried by [`Ctx`] (set once per
-/// program with [`Ctx::set_policy`]); overridable per plan with
-/// [`StencilPlan::policy`]. The *answer* never depends on the policy —
-/// differential suites pin every combination bitwise — only the virtual
-/// timeline and the schedule-construction work do.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ExecPolicy {
-    /// Post the ghost values nonblocking and run the communication-free
-    /// interior iterations while they are in transit (the four-phase
-    /// post / interior / complete / boundary engine). `false` exchanges
-    /// synchronously and runs the iterations in natural order.
-    pub split: bool,
-    /// Replay warm ghost refreshes from the cached analytic schedule,
-    /// with the replay-consensus vote piggybacked as a one-word header
-    /// on the fused value messages (rollback on disagreement). `false`
-    /// rebuilds the analytic schedule on every exchange — the
-    /// pre-caching baseline.
-    pub optimistic: bool,
-}
-
-impl Default for ExecPolicy {
-    fn default() -> Self {
-        ExecPolicy {
-            split: true,
-            optimistic: true,
-        }
-    }
-}
-
-impl ExecPolicy {
-    /// Fully synchronous, rebuild-per-exchange: the differential baseline.
-    pub fn blocking() -> Self {
-        ExecPolicy {
-            split: false,
-            optimistic: false,
-        }
-    }
-
-    /// Split-phase overlap without schedule caching.
-    pub fn pessimistic() -> Self {
-        ExecPolicy {
-            split: true,
-            optimistic: false,
-        }
-    }
-}
+/// How a plan's communication executes: [`kali_sched::ExecPolicy`],
+/// the one strategy type shared with the interpreter's run options.
+/// Carried by [`Ctx`] (set once per program with [`Ctx::set_policy`]);
+/// overridable per plan with [`StencilPlan::policy`].
+pub use kali_sched::ExecPolicy;
 
 /// What a stencil reads beyond the owned block: the read footprint
 /// (`width` cells along each distributed axis) and whether diagonal

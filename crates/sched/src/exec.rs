@@ -376,7 +376,7 @@ impl ScheduleExecutor {
     ///
     /// Posting-order receive matching pairs the per-array messages: both
     /// sides walk the arrays in the same (static) order.
-    pub fn request_rounds_split(
+    pub fn request_rounds(
         request_tag: Tag,
         proc: &mut Proc,
         team: &Team,
@@ -575,7 +575,7 @@ mod tests {
                     .map(|d| if d == 0 { vec![me] } else { vec![] })
                     .collect(),
             ];
-            ScheduleExecutor::request_rounds_split(VT, proc, &team, &reqs)
+            ScheduleExecutor::request_rounds(VT, proc, &team, &reqs)
         });
         for d in 0..3usize {
             for s in 0..3usize {

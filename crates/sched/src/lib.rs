@@ -31,6 +31,10 @@
 //!   `DistArrayN` world implement.
 //! * [`SplitBox2`] / [`SplitRange1`] — the interior/boundary partitions
 //!   of owned iteration boxes shared by the compiled `doall` forms.
+//! * [`ExecPolicy`] — the execution-strategy datum (split-phase?
+//!   optimistic replay?) shared by every consumer of this engine: the
+//!   interpreter's run options and the compiled path's plan policy are
+//!   the same type, so the strategy lattice cannot fork.
 //!
 //! Treating communication schedules as shared algebraic objects follows
 //! the reusable-communication view of sparse/tensor runtime systems; in
@@ -39,11 +43,13 @@
 
 mod cache;
 mod exec;
+mod policy;
 mod schedule;
 mod split;
 pub mod vote;
 
 pub use cache::{ScheduleCache, SiteKey};
 pub use exec::{PendingValues, PendingVote, ScheduleExecutor, ScheduleWorld, VoteOutcome, NO_VOTE};
+pub use policy::ExecPolicy;
 pub use schedule::{interior_positions, ArraySchedule, CommSchedule};
 pub use split::{SplitBox2, SplitRange1};

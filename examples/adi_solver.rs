@@ -9,6 +9,19 @@ use kali::prelude::*;
 use kali::solvers::adi::{adi_run, suggested_rho};
 use kali::solvers::seq::{apply2, Grid2};
 
+/// Machine for this example: iPSC/2-era costs on the virtual-time
+/// simulator by default; `KALI_BACKEND=threads` runs the same program
+/// on real threads (wall-clock timing, zero virtual time).
+fn machine_cfg(p: usize) -> MachineConfig {
+    Machine::build(
+        BackendKind::from_env(),
+        Topology::FullyConnected,
+        CostModel::ipsc2(),
+    )
+    .procs(p)
+    .config()
+}
+
 fn main() {
     let n = 64usize;
     let pde = Pde::anisotropic(4.0, 1.0, 0.0);
@@ -20,7 +33,7 @@ fn main() {
     let mut reports = Vec::new();
     for pipelined in [false, true] {
         let f = f.clone();
-        let run = Machine::run(MachineConfig::new(4), move |proc| {
+        let run = Machine::run(machine_cfg(4), move |proc| {
             let grid = ProcGrid::new_2d(2, 2);
             let spec = DistSpec::block2();
             let mut u = DistArray2::<f64>::new(proc.rank(), &grid, &spec, [n + 1, n + 1], [1, 1]);

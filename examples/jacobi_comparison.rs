@@ -9,6 +9,19 @@
 
 use kali::mp::jacobi_mp;
 use kali::prelude::*;
+
+/// Machine for this example: iPSC/2-era costs on the virtual-time
+/// simulator by default; `KALI_BACKEND=threads` runs the same program
+/// on real threads (wall-clock timing, zero virtual time).
+fn machine_cfg(p: usize) -> MachineConfig {
+    Machine::build(
+        BackendKind::from_env(),
+        Topology::FullyConnected,
+        CostModel::ipsc2(),
+    )
+    .procs(p)
+    .config()
+}
 use kali::solvers::jacobi::jacobi_step;
 use kali::solvers::seq::{jacobi_seq_step, Grid2};
 
@@ -31,12 +44,12 @@ fn main() {
     }
 
     // --- Listing 2: hand-written message passing on 2x2 processes.
-    let mp = Machine::run(MachineConfig::new(4), move |proc| {
+    let mp = Machine::run(machine_cfg(4), move |proc| {
         jacobi_mp(proc, 2, 2, n, &fsrc, iters)
     });
 
     // --- Listing 3: KF1 runtime, same machine.
-    let kf1 = Machine::run(MachineConfig::new(4), move |proc| {
+    let kf1 = Machine::run(machine_cfg(4), move |proc| {
         let grid = ProcGrid::new_2d(2, 2);
         let spec = DistSpec::block2();
         let mut u = DistArray2::<f64>::new(proc.rank(), &grid, &spec, [n + 1, n + 1], [1, 1]);

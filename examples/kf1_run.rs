@@ -9,7 +9,20 @@
 //! ```
 
 use kali::lang::{listing, run_source, HostValue};
-use kali::machine::MachineConfig;
+use kali::machine::{BackendKind, CostModel, Machine, MachineConfig, Topology};
+
+/// Machine for this example: iPSC/2-era costs on the virtual-time
+/// simulator by default; `KALI_BACKEND=threads` runs the same program
+/// on real threads (wall-clock timing, zero virtual time).
+fn machine_cfg(p: usize) -> MachineConfig {
+    Machine::build(
+        BackendKind::from_env(),
+        Topology::FullyConnected,
+        CostModel::ipsc2(),
+    )
+    .procs(p)
+    .config()
+}
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "jacobi".into());
@@ -36,7 +49,7 @@ fn main() {
                 })
                 .collect();
             let run = run_source(
-                MachineConfig::new(4),
+                machine_cfg(4),
                 src,
                 "jacobi",
                 &[2, 2],
@@ -64,7 +77,7 @@ fn main() {
         "shift" => {
             let n = 16usize;
             let run = run_source(
-                MachineConfig::new(4),
+                machine_cfg(4),
                 src,
                 "shift",
                 &[4],
@@ -87,7 +100,7 @@ fn main() {
             let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.2).sin()).collect();
             let f = sys.apply(&x_true);
             let run = run_source(
-                MachineConfig::new(p),
+                machine_cfg(p),
                 src,
                 "tri",
                 &[p],
@@ -139,7 +152,7 @@ fn main() {
             let fdata: Vec<f64> = (0..w * w).map(|k| f.at(k / w, k % w)).collect();
             let iters = 10i64;
             let run = run_source(
-                MachineConfig::new(4),
+                machine_cfg(4),
                 src,
                 "adi",
                 &[2, 2],

@@ -10,11 +10,24 @@ use kali::solvers::mg3::mg3_vcycle;
 use kali::solvers::seq::{apply3, Grid3};
 use kali::solvers::transfer::resid3;
 
+/// Machine for this example: iPSC/2-era costs on the virtual-time
+/// simulator by default; `KALI_BACKEND=threads` runs the same program
+/// on real threads (wall-clock timing, zero virtual time).
+fn machine_cfg(p: usize) -> MachineConfig {
+    Machine::build(
+        BackendKind::from_env(),
+        Topology::FullyConnected,
+        CostModel::ipsc2(),
+    )
+    .procs(p)
+    .config()
+}
+
 fn run_shape(n: usize, p0: usize, p1: usize, cycles: usize) -> (Vec<f64>, RunReport) {
     let pde = Pde::poisson();
     let us = Grid3::random_interior(n, n, n, 7);
     let f = apply3(&pde, &us);
-    let run = Machine::run(MachineConfig::new(p0 * p1), move |proc| {
+    let run = Machine::run(machine_cfg(p0 * p1), move |proc| {
         let grid = ProcGrid::new_2d(p0, p1);
         let spec = DistSpec::local_block_block();
         let mut u =

@@ -8,10 +8,23 @@
 use kali::prelude::*;
 use kali::solvers::jacobi::jacobi_run;
 
+/// Machine for this example: iPSC/2-era costs on the virtual-time
+/// simulator by default; `KALI_BACKEND=threads` runs the same program
+/// on real threads (wall-clock timing, zero virtual time).
+fn machine_cfg(p: usize) -> MachineConfig {
+    Machine::build(
+        BackendKind::from_env(),
+        Topology::FullyConnected,
+        CostModel::ipsc2(),
+    )
+    .procs(p)
+    .config()
+}
+
 fn main() {
     let n = 32usize;
     // A 4-processor machine with 1989-class communication costs.
-    let cfg = MachineConfig::new(4);
+    let cfg = machine_cfg(4);
     let run = Machine::run(cfg, move |proc| {
         // processors procs(2, 2)
         let grid = ProcGrid::new_2d(2, 2);

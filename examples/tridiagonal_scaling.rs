@@ -17,6 +17,19 @@ mod kali_bench_stub {
     use kali::kernels::TriDiag;
     use kali::prelude::*;
 
+    /// Machine for this example: iPSC/2-era costs on the virtual-time
+    /// simulator by default; `KALI_BACKEND=threads` runs the same program
+    /// on real threads (wall-clock timing, zero virtual time).
+    fn machine_cfg(p: usize) -> MachineConfig {
+        Machine::build(
+            BackendKind::from_env(),
+            Topology::FullyConnected,
+            CostModel::ipsc2(),
+        )
+        .procs(p)
+        .config()
+    }
+
     pub fn run() -> String {
         let mut out = String::from("substructured tridiagonal solver: virtual time\n\n");
         out.push_str(&format!(
@@ -28,7 +41,7 @@ mod kali_bench_stub {
             for p in [1usize, 4, 16] {
                 let sys = TriDiag::random_dd(n, 5);
                 let f = sys.apply(&vec![1.0; n]);
-                let run = Machine::run(MachineConfig::new(p), move |proc| {
+                let run = Machine::run(machine_cfg(p), move |proc| {
                     if proc.nprocs() == 1 {
                         proc.compute(thomas_flops(n));
                         thomas(&sys.b, &sys.a, &sys.c, &f);

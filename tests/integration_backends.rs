@@ -1,0 +1,316 @@
+//! Differential tests between the two execution backends.
+//!
+//! The virtual-time simulator and the real-threads backend share every
+//! line of protocol code — topology routing, posting-order ticket
+//! matching, collectives, the split-phase doall engine and its
+//! optimistic replay — and differ only in what the clock means. So for
+//! any program the two backends must produce *bitwise identical*
+//! results and identical traffic/scheduling counters, and the threads
+//! backend must be bitwise deterministic across repeated runs however
+//! the OS schedules its workers.
+
+use std::time::Duration;
+
+use kali::lang::{listing, run_source, HostValue, LangRun};
+use kali::prelude::*;
+use kali::solvers::adi::{adi_run, suggested_rho};
+use kali::solvers::mg2::mg2_vcycle;
+use kali::solvers::seq;
+
+fn cfg_on(backend: BackendKind, p: usize) -> MachineConfig {
+    Machine::build(backend, Topology::FullyConnected, CostModel::ipsc2())
+        .procs(p)
+        .watchdog(Duration::from_secs(60))
+        .config()
+}
+
+/// The counters that must not depend on the backend: traffic, value
+/// exchange, and every inspector-executor scheduling decision.
+fn protocol_counters(r: &RunReport) -> [u64; 7] {
+    [
+        r.total_msgs,
+        r.total_words,
+        r.total_exchange_words,
+        r.total_inspector_runs,
+        r.total_schedule_replays,
+        r.total_optimistic_hits,
+        r.total_rollbacks,
+    ]
+}
+
+fn assert_bitwise(tag: &str, a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "{tag}: length mismatch");
+    for (k, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{tag} flat {k}: {x} vs {y}");
+    }
+}
+
+/// Run one of the four shipped KF1 listings with fixed inputs on the
+/// given backend.
+fn run_kf1(backend: BackendKind, which: &str) -> LangRun {
+    let src = listing(which).expect("shipped listing");
+    match which {
+        "jacobi" => {
+            let np = 16i64;
+            let w = (np + 1) as usize;
+            let f: Vec<f64> = (0..w * w)
+                .map(|k| {
+                    let (i, j) = (k / w, k % w);
+                    if i == 0 || i == w - 1 || j == 0 || j == w - 1 {
+                        0.0
+                    } else {
+                        ((i * 5 + j) % 7) as f64 / 70.0
+                    }
+                })
+                .collect();
+            run_source(
+                cfg_on(backend, 4),
+                src,
+                "jacobi",
+                &[2, 2],
+                &[
+                    HostValue::Array {
+                        data: vec![0.0; w * w],
+                        bounds: vec![(0, np), (0, np)],
+                    },
+                    HostValue::Array {
+                        data: f,
+                        bounds: vec![(0, np), (0, np)],
+                    },
+                    HostValue::Int(np),
+                    HostValue::Int(6),
+                ],
+            )
+        }
+        "shift" => {
+            let n = 16usize;
+            run_source(
+                cfg_on(backend, 4),
+                src,
+                "shift",
+                &[4],
+                &[
+                    HostValue::Array {
+                        data: (1..=n).map(|i| i as f64).collect(),
+                        bounds: vec![(1, n as i64)],
+                    },
+                    HostValue::Int(n as i64),
+                ],
+            )
+        }
+        "tri" => {
+            let n = 64usize;
+            let sys = kali::kernels::TriDiag::random_dd(n, 1);
+            let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.2).sin()).collect();
+            let f = sys.apply(&x_true);
+            run_source(
+                cfg_on(backend, 4),
+                src,
+                "tri",
+                &[4],
+                &[
+                    HostValue::Array {
+                        data: vec![0.0; n],
+                        bounds: vec![(1, n as i64)],
+                    },
+                    HostValue::Array {
+                        data: f,
+                        bounds: vec![(1, n as i64)],
+                    },
+                    HostValue::Array {
+                        data: sys.b.clone(),
+                        bounds: vec![(1, n as i64)],
+                    },
+                    HostValue::Array {
+                        data: sys.a.clone(),
+                        bounds: vec![(1, n as i64)],
+                    },
+                    HostValue::Array {
+                        data: sys.c.clone(),
+                        bounds: vec![(1, n as i64)],
+                    },
+                    HostValue::Int(n as i64),
+                ],
+            )
+        }
+        "adi" => {
+            let np = 12usize;
+            let w = np + 1;
+            let pde = Pde::poisson();
+            let us = seq::Grid2::random_interior(np, np, 7);
+            let f = seq::apply2(&pde, &us);
+            let rho = suggested_rho(&pde, np, np);
+            let fdata: Vec<f64> = (0..w * w).map(|k| f.at(k / w, k % w)).collect();
+            run_source(
+                cfg_on(backend, 4),
+                src,
+                "adi",
+                &[2, 2],
+                &[
+                    HostValue::Array {
+                        data: vec![0.0; w * w],
+                        bounds: vec![(0, np as i64), (0, np as i64)],
+                    },
+                    HostValue::Array {
+                        data: fdata,
+                        bounds: vec![(0, np as i64), (0, np as i64)],
+                    },
+                    HostValue::Array {
+                        data: vec![0.0; w * w],
+                        bounds: vec![(0, np as i64), (0, np as i64)],
+                    },
+                    HostValue::Int(np as i64),
+                    HostValue::Real(rho),
+                    HostValue::Int(3),
+                    HostValue::Real(1.0),
+                    HostValue::Real(1.0),
+                ],
+            )
+        }
+        other => panic!("unknown listing {other}"),
+    }
+    .expect("listing runs")
+}
+
+const KF1: [&str; 4] = ["jacobi", "tri", "shift", "adi"];
+
+#[test]
+fn kf1_listings_agree_bitwise_across_backends() {
+    for which in KF1 {
+        let sim = run_kf1(BackendKind::Sim, which);
+        let thr = run_kf1(BackendKind::Threads, which);
+        for ((name, a), (_, b)) in sim.arrays.iter().zip(&thr.arrays) {
+            assert_bitwise(&format!("{which}:{name}"), a, b);
+        }
+        assert_eq!(
+            protocol_counters(&sim.report),
+            protocol_counters(&thr.report),
+            "{which}: protocol counters diverge across backends"
+        );
+        // The threads backend spends no virtual time but real wall time.
+        assert_eq!(thr.report.backend, BackendKind::Threads);
+        assert_eq!(thr.report.elapsed, 0.0, "{which}");
+        assert!(thr.report.wall_seconds > 0.0, "{which}");
+        assert!(sim.report.elapsed > 0.0, "{which}");
+    }
+}
+
+/// Compiled jacobi through the stencil plan on a 2x2 grid.
+fn compiled_jacobi(backend: BackendKind) -> (Vec<f64>, RunReport) {
+    let n = 16usize;
+    let run = Machine::run(cfg_on(backend, 4), move |proc| {
+        let grid = ProcGrid::new_2d(2, 2);
+        let spec = DistSpec::block2();
+        let mut u = DistArray2::<f64>::new(proc.rank(), &grid, &spec, [n + 1, n + 1], [1, 1]);
+        let farr = DistArray2::from_fn(
+            proc.rank(),
+            &grid,
+            &spec,
+            [n + 1, n + 1],
+            [0, 0],
+            |[i, j]| ((3 * i + j) % 9) as f64 / 40.0,
+        );
+        let mut ctx = Ctx::new(proc, grid);
+        for _ in 0..6 {
+            kali::solvers::jacobi::jacobi_step(&mut ctx, &mut u, &farr);
+        }
+        u.gather_to_root(ctx.proc())
+    });
+    (run.results[0].clone().unwrap(), run.report)
+}
+
+/// Compiled pipelined ADI on a 4x2 grid.
+fn compiled_adi(backend: BackendKind) -> (Vec<f64>, RunReport) {
+    let (nx, ny) = (24usize, 16usize);
+    let pde = Pde::poisson();
+    let us = seq::Grid2::random_interior(nx, ny, 31);
+    let f = seq::apply2(&pde, &us);
+    let rho = suggested_rho(&pde, nx, ny);
+    let run = Machine::run(cfg_on(backend, 8), move |proc| {
+        let grid = ProcGrid::new_2d(4, 2);
+        let spec = DistSpec::block2();
+        let mut u = DistArray2::<f64>::new(proc.rank(), &grid, &spec, [nx + 1, ny + 1], [1, 1]);
+        let farr = DistArray2::from_fn(
+            proc.rank(),
+            &grid,
+            &spec,
+            [nx + 1, ny + 1],
+            [0, 0],
+            |[i, j]| f.at(i, j),
+        );
+        let mut ctx = Ctx::new(proc, grid);
+        adi_run(&mut ctx, &pde, rho, &mut u, &farr, 3, true);
+        u.gather_to_root(ctx.proc())
+    });
+    (run.results[0].clone().unwrap(), run.report)
+}
+
+/// Compiled mg2 V-cycles on an eight-processor line.
+fn compiled_mg2(backend: BackendKind) -> (Vec<f64>, RunReport) {
+    let (nx, ny) = (16usize, 32usize);
+    let pde = Pde::anisotropic(3.0, 1.0, 0.0);
+    let us = seq::Grid2::random_interior(nx, ny, 17);
+    let f = seq::apply2(&pde, &us);
+    let run = Machine::run(cfg_on(backend, 8), move |proc| {
+        let grid = ProcGrid::new_1d(8);
+        let spec = DistSpec::local_block();
+        let mut u = DistArray2::<f64>::new(proc.rank(), &grid, &spec, [nx + 1, ny + 1], [0, 1]);
+        let farr = DistArray2::from_fn(
+            proc.rank(),
+            &grid,
+            &spec,
+            [nx + 1, ny + 1],
+            [0, 1],
+            |[i, j]| f.at(i, j),
+        );
+        let mut ctx = Ctx::new(proc, grid);
+        for _ in 0..3 {
+            mg2_vcycle(&mut ctx, &pde, &mut u, &farr);
+        }
+        u.gather_to_root(ctx.proc())
+    });
+    (run.results[0].clone().unwrap(), run.report)
+}
+
+#[test]
+fn compiled_solvers_agree_bitwise_across_backends() {
+    let cases: [(&str, fn(BackendKind) -> (Vec<f64>, RunReport)); 3] = [
+        ("jacobi", compiled_jacobi),
+        ("adi", compiled_adi),
+        ("mg2", compiled_mg2),
+    ];
+    for (tag, go) in cases {
+        let (sim_x, sim_r) = go(BackendKind::Sim);
+        let (thr_x, thr_r) = go(BackendKind::Threads);
+        assert_bitwise(tag, &sim_x, &thr_x);
+        assert_eq!(
+            protocol_counters(&sim_r),
+            protocol_counters(&thr_r),
+            "{tag}: protocol counters diverge across backends"
+        );
+        assert_eq!(thr_r.elapsed, 0.0, "{tag}");
+        assert!(thr_r.wall_seconds > 0.0, "{tag}");
+    }
+}
+
+#[test]
+fn threads_backend_is_bitwise_deterministic_over_repeated_runs() {
+    // Ten runs per listing: however the OS interleaves the worker
+    // threads, the posting-order ticket matching must serve receives in
+    // the same order every time, so results AND the exchange/vote
+    // counters must be identical run over run.
+    for which in KF1 {
+        let reference = run_kf1(BackendKind::Threads, which);
+        for rep in 1..10 {
+            let again = run_kf1(BackendKind::Threads, which);
+            for ((name, a), (_, b)) in reference.arrays.iter().zip(&again.arrays) {
+                assert_bitwise(&format!("{which}:{name} rep {rep}"), a, b);
+            }
+            assert_eq!(
+                protocol_counters(&reference.report),
+                protocol_counters(&again.report),
+                "{which} rep {rep}: counters drift across runs"
+            );
+        }
+    }
+}

@@ -8,9 +8,14 @@ use kali::prelude::*;
 use kali::solvers::jacobi::jacobi_step;
 
 fn cfg(p: usize) -> MachineConfig {
-    MachineConfig::new(p)
-        .with_cost(CostModel::unit())
-        .with_watchdog(Duration::from_secs(60))
+    Machine::build(
+        BackendKind::from_env(),
+        Topology::FullyConnected,
+        CostModel::unit(),
+    )
+    .procs(p)
+    .watchdog(Duration::from_secs(60))
+    .config()
 }
 
 #[test]
@@ -94,11 +99,13 @@ fn interpreted_jacobi_equals_native_jacobi_values() {
     // fuses each sweep's exchange into one message per peer, so the
     // interpreter may even undercut the per-array halo protocol — the
     // bound below only guards against pathological inflation.
-    let inflation = lang.report.elapsed / native.report.elapsed;
-    assert!(
-        (0.2..10.0).contains(&inflation),
-        "virtual inflation out of range: {inflation}"
-    );
+    if lang.report.backend.virtual_time() {
+        let inflation = lang.report.elapsed / native.report.elapsed;
+        assert!(
+            (0.2..10.0).contains(&inflation),
+            "virtual inflation out of range: {inflation}"
+        );
+    }
     assert!(
         lang.report.total_schedule_replays > lang.report.total_inspector_runs,
         "looped jacobi must replay more schedules than it inspects: {} runs, {} replays",

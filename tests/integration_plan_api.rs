@@ -16,9 +16,14 @@ use kali::solvers::seq;
 use kali::solvers::transfer::{intrp2, resid2, rest2};
 
 fn cfg(p: usize) -> MachineConfig {
-    MachineConfig::new(p)
-        .with_cost(CostModel::unit())
-        .with_watchdog(Duration::from_secs(60))
+    Machine::build(
+        BackendKind::from_env(),
+        Topology::FullyConnected,
+        CostModel::unit(),
+    )
+    .procs(p)
+    .watchdog(Duration::from_secs(60))
+    .config()
 }
 
 fn assert_bitwise(a: &[f64], b: &[f64], what: &str) {

@@ -10,9 +10,14 @@ use kali::lang::{listing, run_source_with, HostValue, LangRun, RunOptions};
 use kali::prelude::*;
 
 fn cfg(p: usize) -> MachineConfig {
-    MachineConfig::new(p)
-        .with_cost(CostModel::unit())
-        .with_watchdog(Duration::from_secs(60))
+    Machine::build(
+        BackendKind::from_env(),
+        Topology::FullyConnected,
+        CostModel::unit(),
+    )
+    .procs(p)
+    .watchdog(Duration::from_secs(60))
+    .config()
 }
 
 /// Run `src` twice (cache off, cache on) and assert the differential

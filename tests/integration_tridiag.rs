@@ -13,9 +13,14 @@ use kali::mp::tri_mp;
 use kali::prelude::*;
 
 fn cfg(p: usize) -> MachineConfig {
-    MachineConfig::new(p)
-        .with_cost(CostModel::unit())
-        .with_watchdog(Duration::from_secs(60))
+    Machine::build(
+        BackendKind::from_env(),
+        Topology::FullyConnected,
+        CostModel::unit(),
+    )
+    .procs(p)
+    .watchdog(Duration::from_secs(60))
+    .config()
 }
 
 #[test]

@@ -19,9 +19,14 @@ use kali::lang::{run_source_with, HostValue, RunOptions};
 use kali::prelude::*;
 
 fn cfg(p: usize) -> MachineConfig {
-    MachineConfig::new(p)
-        .with_cost(CostModel::unit())
-        .with_watchdog(Duration::from_secs(60))
+    Machine::build(
+        BackendKind::from_env(),
+        Topology::FullyConnected,
+        CostModel::unit(),
+    )
+    .procs(p)
+    .watchdog(Duration::from_secs(60))
+    .config()
 }
 
 const T: Tag = tag(NS_USER, 0x5);
@@ -174,7 +179,7 @@ end
                 "s",
                 &[p],
                 &args,
-                RunOptions { split_phase: split, ..RunOptions::default() },
+                RunOptions { policy: ExecPolicy { split, ..ExecPolicy::default() }, ..RunOptions::default() },
             )
             .unwrap_or_else(|e| panic!("{e}\n{src}"))
         };
@@ -248,7 +253,7 @@ end
                 "flip",
                 &[p],
                 &args,
-                RunOptions { optimistic, ..RunOptions::default() },
+                RunOptions { policy: ExecPolicy { optimistic, ..ExecPolicy::default() }, ..RunOptions::default() },
             )
             .unwrap_or_else(|e| panic!("{e}\n{src}"))
         };

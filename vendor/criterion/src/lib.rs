@@ -1,0 +1,229 @@
+//! Minimal, std-only stand-in for the subset of `criterion` this workspace
+//! uses: `Criterion` with benchmark groups, `bench_function` /
+//! `bench_with_input`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! The build environment has no route to a crates registry, so the real
+//! crate cannot be fetched. Semantics:
+//!
+//! * normal runs time each benchmark over a fixed number of iterations
+//!   (`sample_size`, default 10) and print the mean wall time;
+//! * `cargo bench -- --test` (the mode CI uses) runs every benchmark
+//!   body exactly once so suites cannot rot without failing the pipeline;
+//! * unknown harness flags are ignored, as the real criterion does.
+//!
+//! Swap this for the real `criterion` once a registry is reachable — the
+//! API below is call-for-call compatible with what the `kali-bench`
+//! benches import.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: a function name plus a parameter rendering, as
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    /// `--test` mode: run the body once, skip timing.
+    test_mode: bool,
+    iters: u64,
+    /// Mean seconds per iteration of the last `iter` call.
+    mean_s: f64,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.mean_s = start.elapsed().as_secs_f64() / self.iters as f64;
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    group: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.group, id);
+        self.criterion.run_one(&name, self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.group, id);
+        self.criterion.run_one(&name, self.sample_size, |b| {
+            f(b, input);
+        });
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry object, as `criterion::Criterion`.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // The real harness accepts (and mostly ignores) a trail of CLI
+        // flags; honour the one CI depends on and skip the rest.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            group: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.to_string();
+        self.run_one(&name, 10, f);
+        self
+    }
+
+    fn run_one<F>(&self, name: &str, samples: u64, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            iters: samples,
+            mean_s: 0.0,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("test {name} ... ok");
+        } else {
+            println!("{name}: {:.6e} s/iter ({samples} iters)", b.mean_s);
+        }
+    }
+
+    /// Called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&self) {}
+}
+
+/// Declare a group of benchmark functions, as `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`, as `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_body_and_reports_mean() {
+        let mut b = Bencher {
+            test_mode: false,
+            iters: 3,
+            mean_s: 0.0,
+        };
+        let mut n = 0u64;
+        b.iter(|| n += 1);
+        assert_eq!(n, 3);
+        assert!(b.mean_s >= 0.0);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut b = Bencher {
+            test_mode: true,
+            iters: 10,
+            mean_s: 0.0,
+        };
+        let mut n = 0u64;
+        b.iter(|| n += 1);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn benchmark_id_renders_name_and_parameter() {
+        assert_eq!(BenchmarkId::new("solve", 64).to_string(), "solve/64");
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(5);
+            g.bench_function("a", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert_eq!(ran, 1);
+    }
+}
