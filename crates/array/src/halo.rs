@@ -161,6 +161,35 @@ impl HaloCache {
             cache: ScheduleCache::new(4),
         }
     }
+
+    /// A cache additionally bounded to `max_entries` schedules in total,
+    /// with per-`(site, team)` LRU victim selection — the multi-tenant
+    /// configuration, where a shape-diverse request stream must not grow
+    /// the cache without limit.
+    pub fn with_budget(max_entries: usize) -> Self {
+        HaloCache {
+            cache: ScheduleCache::with_budget(4, max_entries),
+        }
+    }
+
+    /// Re-cap the global entry budget, evicting LRU entries down to it.
+    pub fn set_budget(&mut self, max_entries: usize) {
+        self.cache.set_budget(max_entries);
+    }
+
+    /// Schedules currently held.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// The global entry budget, if one is set.
+    pub fn budget(&self) -> Option<usize> {
+        self.cache.budget()
+    }
 }
 
 impl Default for HaloCache {
@@ -375,6 +404,7 @@ impl<T: Elem + Wire, const N: usize> DistArrayN<T, N> {
                 name: "ghosts".into(),
                 my_reqs,
                 incoming,
+                origin: 0,
             }],
             write_hint: 0,
             boundary: Vec::new(),
@@ -443,6 +473,7 @@ impl<const N: usize> DistArrayN<f64, N> {
         let sched = self.build_halo_schedule(proc, corners);
         EXEC.exchange_blocking(proc, &team, &sched, self);
         cache.cache.store(key, sched);
+        proc.note_schedule_evictions(cache.cache.take_evictions());
     }
 
     /// Blocking ghost exchange through the [`HaloCache`]: a warm trip
@@ -515,6 +546,7 @@ impl<const N: usize> DistArrayN<f64, N> {
         let sched = self.build_halo_schedule(proc, corners);
         let pending = EXEC.post(proc, &team, &sched, self);
         let (_, sched) = cache.cache.store(key, sched);
+        proc.note_schedule_evictions(cache.cache.take_evictions());
         PendingHalo {
             inner: PendingInner::Plain { sched, pending },
         }
@@ -935,6 +967,85 @@ mod tests {
             assert_eq!(*hits, trips as u64 - 1);
             assert_eq!(*rollbacks, 0);
         }
+    }
+
+    #[test]
+    fn colliding_site_hashes_neither_cross_hit_nor_split_the_gate() {
+        // Force two *distinct* halo shapes onto one site id — what an
+        // fnv1a shape-hash collision would produce. The full key still
+        // carries the real geometry, so the colliding shapes must never
+        // serve each other's schedules; and since the gate and ordinal
+        // stream are per (site, team) — not per key — a collision shares
+        // them rather than splitting them, exactly like any other pair of
+        // keys at one site.
+        let team = vec![0usize, 1];
+        let mk = |extents: Vec<usize>| HaloKey {
+            site: 0xC011_1DED,
+            team_ranks: team.clone(),
+            extents,
+            dists: vec![],
+            ghost: vec![1, 1],
+            corners: true,
+            generation: 0,
+        };
+        let sched = |words: usize| CommSchedule {
+            arrays: vec![ArraySchedule {
+                name: "ghosts".into(),
+                my_reqs: vec![vec![7; words], vec![]],
+                incoming: vec![vec![], vec![]],
+                origin: 0,
+            }],
+            write_hint: 0,
+            boundary: vec![],
+        };
+        let mut cache = HaloCache::new();
+        let small = mk(vec![16, 16]);
+        let large = mk(vec![32, 32]);
+        cache.cache.store(small.clone(), sched(1));
+        // The gate is up for *both* shapes (same site, same team)...
+        assert!(cache.cache.has_site_team(small.site(), small.team_ranks()));
+        assert!(cache.cache.has_site_team(large.site(), large.team_ranks()));
+        // ...but the colliding shape must not hit the other's schedule.
+        assert!(cache.cache.lookup(&large).is_none());
+        // Storing it joins the shared ordinal stream (seq 2, not a fresh
+        // gate counting from 1), and each key keeps its own schedule.
+        let (seq, _) = cache.cache.store(large.clone(), sched(2));
+        assert_eq!(seq, 2);
+        let (sa, a) = cache.cache.lookup(&small).unwrap();
+        let (sb, b) = cache.cache.lookup(&large).unwrap();
+        assert_eq!((sa, a.words_expected()), (1, 1));
+        assert_eq!((sb, b.words_expected()), (2, 2));
+    }
+
+    #[test]
+    fn halo_budget_bounds_entries_and_counts_evictions() {
+        // Shape-diverse trips through a budgeted cache: the entry count
+        // stays at the budget and the overflow shows up in the eviction
+        // counter (drained into ProcStats at the store sites).
+        let shapes = 6usize;
+        let budget = 3usize;
+        let run = Machine::run(cfg(2), move |proc| {
+            let g = ProcGrid::new_1d(2);
+            let spec = DistSpec::block1();
+            let mut cache = HaloCache::with_budget(budget);
+            for s in 0..shapes {
+                let mut a =
+                    crate::DistArray1::from_fn(proc.rank(), &g, &spec, [8 + 2 * s], [1], |[i]| {
+                        i as f64
+                    });
+                a.exchange_ghosts_cached(proc, &mut cache, true);
+            }
+            assert_eq!(cache.len(), budget);
+            assert_eq!(cache.budget(), Some(budget));
+            proc.stats().schedule_evictions
+        });
+        for evictions in &run.results {
+            assert_eq!(*evictions, (shapes - budget) as u64);
+        }
+        assert_eq!(
+            run.report.total_schedule_evictions,
+            2 * (shapes - budget) as u64
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@ fn main() {
         ("S1", kali_bench::exp_schedule_reuse::run),
         ("S2", kali_bench::exp_overlap::run),
         ("S3", kali_bench::exp_halo_cache::run),
+        ("S4", kali_bench::exp_serve::run),
     ];
     let mut docs = Vec::new();
     for (id, f) in experiments {

@@ -1,0 +1,6 @@
+//! Regenerates the multi-tenant serving experiment; `--smoke` shrinks
+//! the sweep for CI, `--json` emits the machine-readable document
+//! tracked as BENCH_serve.json.
+fn main() {
+    kali_bench::exp_main(kali_bench::exp_serve::run);
+}

@@ -1,0 +1,241 @@
+//! Multi-tenant serving throughput: what does batching same-shaped solve
+//! requests over the shared, budgeted halo-schedule cache buy?
+//!
+//! A `kali-serve` server executes a stream of tenant requests SPMD; the
+//! schedule cache is keyed by geometry (shape-hashed site ids), not by
+//! tenant, so same-shaped tenants are cache hits of each other. This
+//! experiment sweeps tenant count × shape diversity on both backends
+//! (virtual-time simulator and real threads), serving each stream twice:
+//! pass 0 cold (cache-filling), pass 1 warm. A healthy server shows
+//! **zero analytic rebuilds and zero rollbacks on the warm pass**,
+//! strictly higher warm throughput on the simulator's deterministic
+//! timeline, and bitwise-identical per-request checksums between the two
+//! backends — the invariants CI enforces on the archived
+//! `BENCH_serve.json`. A final bounded-budget stream checks the
+//! admission policy: resident entries stay at the budget and the
+//! overflow shows up as evictions, not growth.
+
+use kali_machine::BackendKind;
+use kali_serve::{serve, DistKind, ServeConfig, SolveRequest, SolverKind};
+
+use crate::json::Json;
+use crate::{ExpOpts, ExpOut, Table};
+
+/// `tenants` requests over `shapes` distinct schedule shapes (tenant `t`
+/// gets shape index `t % shapes`).
+fn stream(tenants: usize, shapes: usize, base: usize, iters: usize) -> Vec<SolveRequest> {
+    (0..tenants)
+        .map(|t| {
+            let s = t % shapes;
+            SolveRequest {
+                tenant: t as u64,
+                shape: [base + 2 * s, base],
+                dist: DistKind::Rows,
+                solver: if s.is_multiple_of(2) {
+                    SolverKind::Jacobi5
+                } else {
+                    SolverKind::Stencil9
+                },
+                iters,
+                tol: 0.0,
+            }
+        })
+        .collect()
+}
+
+struct Row {
+    backend: &'static str,
+    tenants: usize,
+    shapes: usize,
+    cold_rps: f64,
+    warm_rps: f64,
+    warm_builds: u64,
+    warm_rollbacks: u64,
+    warm_hits: u64,
+    /// Bitwise checksum agreement between the sim and threads runs of
+    /// the same stream.
+    checksums_match: bool,
+}
+
+/// `opts.smoke` shrinks the sweep for CI.
+pub fn run(opts: ExpOpts) -> ExpOut {
+    let p = 4;
+    // One sweep per request: each request is one exchange, so the cold
+    // pass's analytic walks are not amortized away by replayed sweeps
+    // and the warm speedup is the cache's, isolated. The base extent
+    // keeps the walk (array-area memops) above the vote overhead the
+    // warm pass adds (one header message per non-neighbour peer), so
+    // warm throughput is strictly higher on the simulator's exact
+    // timeline.
+    let (combos, base, iters) = if opts.smoke {
+        (vec![(4usize, 1usize), (8, 4)], 96usize, 1usize)
+    } else {
+        (vec![(4, 1), (16, 1), (16, 4), (64, 4), (64, 16)], 96, 1)
+    };
+
+    let mut rows = Vec::new();
+    for &(tenants, shapes) in &combos {
+        let reqs = stream(tenants, shapes, base, iters);
+        let mk = |backend| ServeConfig {
+            nprocs: p,
+            backend,
+            halo_budget: None,
+            passes: 2,
+        };
+        let sim = serve(&mk(BackendKind::Sim), &reqs);
+        let thr = serve(&mk(BackendKind::Threads), &reqs);
+        let matches = sim.checksums == thr.checksums;
+        for (name, out) in [("sim", &sim), ("threads", &thr)] {
+            rows.push(Row {
+                backend: name,
+                tenants,
+                shapes,
+                cold_rps: out.passes[0].requests_per_sec(),
+                warm_rps: out.passes[1].requests_per_sec(),
+                warm_builds: out.passes[1].inspector_runs,
+                warm_rollbacks: out.passes[1].rollbacks,
+                warm_hits: out.passes[1].optimistic_hits,
+                checksums_match: matches,
+            });
+        }
+    }
+
+    // Bounded-budget stream: more schedule shapes than cache slots. One
+    // pass — with shapes evicted under the budget a second pass would
+    // legitimately rebuild, which is the recoverable cost the budget
+    // trades for bounded memory.
+    let (bshapes, budget) = if opts.smoke {
+        (4usize, 2usize)
+    } else {
+        (12, 4)
+    };
+    let breqs = stream(bshapes, bshapes, base, iters);
+    let bounded = serve(
+        &ServeConfig {
+            nprocs: p,
+            backend: BackendKind::Sim,
+            halo_budget: Some(budget),
+            passes: 1,
+        },
+        &breqs,
+    );
+
+    let mut t = Table::new(&[
+        "backend",
+        "tenants",
+        "shapes",
+        "cold req/s",
+        "warm req/s",
+        "speedup",
+        "warm builds",
+        "rollbacks",
+        "bitwise",
+    ]);
+    let mut raw_rows = Vec::new();
+    for r in &rows {
+        t.row(vec![
+            r.backend.to_string(),
+            r.tenants.to_string(),
+            r.shapes.to_string(),
+            format!("{:.1}", r.cold_rps),
+            format!("{:.1}", r.warm_rps),
+            format!("{:.2}x", r.warm_rps / r.cold_rps),
+            r.warm_builds.to_string(),
+            r.warm_rollbacks.to_string(),
+            if r.checksums_match { "ok" } else { "MISMATCH" }.to_string(),
+        ]);
+        raw_rows.push(Json::obj(vec![
+            ("backend", Json::str(r.backend)),
+            ("tenants", Json::from(r.tenants as u64)),
+            ("shapes", Json::from(r.shapes as u64)),
+            ("cold_rps", Json::Num(r.cold_rps)),
+            ("warm_rps", Json::Num(r.warm_rps)),
+            ("warm_builds", Json::from(r.warm_builds)),
+            ("warm_rollbacks", Json::from(r.warm_rollbacks)),
+            ("warm_hits", Json::from(r.warm_hits)),
+            ("checksums_match", Json::Bool(r.checksums_match)),
+        ]));
+    }
+
+    let text = format!(
+        "=== Multi-tenant serving over shared schedule caches ({p} procs) ===\n\n{}\n\
+         Each stream is served twice: cold fills the shared halo-schedule\n\
+         cache, warm replays it — same-shaped tenants are cache hits of each\n\
+         other, so warm builds and rollbacks must both be zero and warm\n\
+         throughput strictly higher on the simulator's timeline (threads\n\
+         rows time the wall clock and are reported, not pinned). The\n\
+         bounded stream ({bshapes} shapes, budget {budget}) held {blen}\n\
+         resident entries and evicted {bev} — memory stays at the budget\n\
+         under shape diversity.\n",
+        t.render(),
+        blen = bounded.passes[0].cache_len,
+        bev = bounded.passes[0].evictions,
+    );
+    ExpOut::new("serve", text)
+        .with_table("summary", t)
+        .with_extra("rows", Json::Arr(raw_rows))
+        .with_extra(
+            "bounded",
+            Json::obj(vec![
+                ("shapes", Json::from(bshapes as u64)),
+                ("budget", Json::from(budget as u64)),
+                ("cache_len", Json::from(bounded.passes[0].cache_len as u64)),
+                ("evictions", Json::from(bounded.passes[0].evictions)),
+            ]),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::json::Json;
+
+    fn field<'a>(fields: &'a [(String, Json)], name: &str) -> &'a Json {
+        fields
+            .iter()
+            .find_map(|(k, v)| (k == name).then_some(v))
+            .unwrap_or_else(|| panic!("field {name}"))
+    }
+
+    #[test]
+    fn warm_batches_hit_the_shared_cache_and_budgets_hold() {
+        let out = super::run(crate::ExpOpts {
+            smoke: true,
+            ..Default::default()
+        });
+        let doc = out.json();
+        let Json::Obj(top) = &doc else { panic!("doc") };
+        let Json::Arr(rows) = field(top, "rows") else {
+            panic!("rows")
+        };
+        assert!(!rows.is_empty());
+        for row in rows {
+            let Json::Obj(f) = row else { panic!("row") };
+            let Json::Str(backend) = field(f, "backend") else {
+                panic!("backend")
+            };
+            assert_eq!(field(f, "warm_builds"), &Json::Num(0.0), "{backend}");
+            assert_eq!(field(f, "warm_rollbacks"), &Json::Num(0.0), "{backend}");
+            assert_eq!(field(f, "checksums_match"), &Json::Bool(true));
+            if backend == "sim" {
+                let (Json::Num(cold), Json::Num(warm)) =
+                    (field(f, "cold_rps"), field(f, "warm_rps"))
+                else {
+                    panic!("rps")
+                };
+                assert!(warm > cold, "warm {warm} req/s must beat cold {cold}");
+            }
+        }
+        let Json::Obj(b) = field(top, "bounded") else {
+            panic!("bounded")
+        };
+        let (Json::Num(len), Json::Num(budget)) = (field(b, "cache_len"), field(b, "budget"))
+        else {
+            panic!("budget fields")
+        };
+        assert!(len <= budget, "resident {len} must fit the budget {budget}");
+        let Json::Num(ev) = field(b, "evictions") else {
+            panic!("evictions")
+        };
+        assert!(*ev > 0.0, "shape overflow must surface as evictions");
+    }
+}

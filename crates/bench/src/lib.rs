@@ -24,6 +24,7 @@ pub mod exp_loc;
 pub mod exp_mg3;
 pub mod exp_overlap;
 pub mod exp_schedule_reuse;
+pub mod exp_serve;
 pub mod exp_tridiag_scaling;
 pub mod json;
 

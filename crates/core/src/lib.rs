@@ -23,6 +23,7 @@
 //! | applications | [`solvers`] | Jacobi, ADI (plain/pipelined), mg2/mg3 |
 //! | baselines | [`mp`] | hand-written message-passing versions (Listing 2 style) |
 //! | language | [`lang`] | KF1 lexer/parser/SPMD interpreter + paper listings |
+//! | serving | [`serve`] | multi-tenant solve-request serving over shared, budgeted schedule caches |
 //!
 //! ## Quickstart
 //!
@@ -52,6 +53,7 @@ pub use kali_machine as machine;
 pub use kali_mp as mp;
 pub use kali_runtime as runtime;
 pub use kali_sched as sched;
+pub use kali_serve as serve;
 pub use kali_solvers as solvers;
 
 /// The commonly needed names in one import.

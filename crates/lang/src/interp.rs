@@ -220,12 +220,35 @@ struct ArrayKey {
     /// Belt and braces next to the structural fields: a `distribute`
     /// bumps this even when it restores a structurally identical layout.
     dist_gen: u64,
-    map: Vec<ViewDim>,
+    map: Vec<KeyDim>,
     callee_lo: Vec<i64>,
     /// Position (in this sorted list) of the first entry sharing the same
     /// underlying array object; equal to the entry's own position when
     /// unique. Distinguishes aliased from merely look-alike bindings.
     alias_of: usize,
+}
+
+/// A view dimension as it appears in an [`ArrayKey`]. Fixed coordinates
+/// of *unaliased* bases are normalized to the owner's grid coordinate
+/// along that dimension: ownership is a tensor product of per-dimension
+/// maps, so two invocations whose fixed coordinates land on the same
+/// owners (with everything else in the key equal) provably need
+/// translation-equivalent communication. That collapses ADI's per-line
+/// views `x = u(i, *)` to one key per row/column team instead of one per
+/// trip value of `i` — which used to cost a guaranteed lost vote on
+/// every line after the first — and the line difference is recovered at
+/// replay by shifting the schedule's flat indices by the origin delta
+/// ([`ArraySchedule::origin`]). Aliased bases keep absolute coordinates:
+/// one shared base cannot carry two different deltas.
+#[derive(PartialEq)]
+enum KeyDim {
+    /// Fixed coordinate of an unaliased base, as the owner's grid
+    /// coordinate along this dimension (`None` for undistributed dims).
+    FixedOwner(Option<usize>),
+    /// Fixed coordinate kept absolute.
+    FixedAbs(i64),
+    /// Ranged dimension: inclusive base-index range.
+    Range(i64, i64),
 }
 
 impl SiteKey for ScheduleKey {
@@ -788,7 +811,14 @@ impl<'a, 'p> Interp<'a, 'p> {
         let key = self.schedule_cache_key(site, &team, my_iters, body);
         let can_vote = key.is_some() && self.schedules.has_site_team(site, team.ranks());
         if can_vote {
-            let local = key.as_ref().and_then(|k| self.schedules.lookup(k));
+            // Keys identify regions up to translation (owner-normalized
+            // fixed view coordinates), so a hit may have been built for a
+            // different line of the same team: shift its flat indices to
+            // the current frame's regions before replaying.
+            let local = match key.as_ref().and_then(|k| self.schedules.lookup(k)) {
+                Some((seq, sched)) => Some((seq, self.translate_for_replay(&sched)?)),
+                None => None,
+            };
             if self.policy.optimistic {
                 if self.replay_optimistic(&team, local, vars, my_iters, body)? {
                     return Ok(());
@@ -988,6 +1018,7 @@ impl<'a, 'p> Interp<'a, 'p> {
         let read_names = collect_read_names(body);
         let mut names: Vec<String> = Vec::new();
         let mut bases: Vec<ArrRef> = Vec::new();
+        let mut origins: Vec<u64> = Vec::new();
         let mut reqs_all: Vec<Vec<Vec<u64>>> = Vec::new();
         for name in read_names {
             let view = match self.frame().lookup(&name) {
@@ -1022,6 +1053,7 @@ impl<'a, 'p> Interp<'a, 'p> {
                 .unwrap_or_default();
             reqs_all.push(self.compute_requests(team, &base, &my_needs)?);
             names.push(name);
+            origins.push(view_origin_flat(&view)?);
             bases.push(base);
         }
         // Every array the inspector recorded remote reads for must take
@@ -1059,10 +1091,12 @@ impl<'a, 'p> Interp<'a, 'p> {
             .into_iter()
             .zip(reqs_all)
             .zip(incoming_all)
-            .map(|((name, my_reqs), incoming)| ArraySchedule {
+            .zip(origins)
+            .map(|(((name, my_reqs), incoming), origin)| ArraySchedule {
                 name,
                 my_reqs,
                 incoming,
+                origin,
             })
             .collect();
         let mut sched = CommSchedule {
@@ -1101,6 +1135,8 @@ impl<'a, 'p> Interp<'a, 'p> {
         if let Some(key) = key {
             sched.write_hint = write_hint;
             self.schedules.store(key, sched);
+            self.proc
+                .note_schedule_evictions(self.schedules.take_evictions());
         }
         Ok(())
     }
@@ -1221,6 +1257,48 @@ impl<'a, 'p> Interp<'a, 'p> {
             .collect()
     }
 
+    /// Shift a cached schedule to the current frame's array regions. The
+    /// cache key normalizes fixed view coordinates to owner grid
+    /// coordinates, so a hit may have been built for a different line of
+    /// the same team — the key match proves the communication pattern is
+    /// identical *up to translation*, and the exact shift per array is
+    /// the delta between the current view's origin flat and the one the
+    /// schedule was built for. Returns the schedule unchanged (shared)
+    /// when every delta is zero — the common warm-trip case.
+    fn translate_for_replay(&self, sched: &Rc<CommSchedule>) -> RtResult<Rc<CommSchedule>> {
+        let mut deltas = Vec::with_capacity(sched.arrays.len());
+        for a in &sched.arrays {
+            let Some(Binding::Array(view)) = self.frame().lookup(&a.name) else {
+                return Err(format!(
+                    "schedule replay: {} is no longer bound to an array",
+                    a.name
+                ));
+            };
+            deltas.push(view_origin_flat(view)? as i64 - a.origin as i64);
+        }
+        if deltas.iter().all(|&d| d == 0) {
+            return Ok(Rc::clone(sched));
+        }
+        let shift =
+            |v: &[u64], d: i64| -> Vec<u64> { v.iter().map(|&f| (f as i64 + d) as u64).collect() };
+        let arrays = sched
+            .arrays
+            .iter()
+            .zip(&deltas)
+            .map(|(a, &d)| ArraySchedule {
+                name: a.name.clone(),
+                my_reqs: a.my_reqs.iter().map(|v| shift(v, d)).collect(),
+                incoming: a.incoming.iter().map(|v| shift(v, d)).collect(),
+                origin: (a.origin as i64 + d) as u64,
+            })
+            .collect();
+        Ok(Rc::new(CommSchedule {
+            arrays,
+            write_hint: sched.write_hint,
+            boundary: sched.boundary.clone(),
+        }))
+    }
+
     /// Route `my_needs` (flat indices of remote elements of `base`) to
     /// their owners: one request vector per team member. Purely local —
     /// the request *round* itself runs through the shared executor (or a
@@ -1262,6 +1340,7 @@ impl<'a, 'p> Interp<'a, 'p> {
                 name: base.borrow().name.clone(),
                 my_reqs,
                 incoming,
+                origin: 0,
             }],
             write_hint: 0,
             boundary: Vec::new(),
@@ -1323,7 +1402,30 @@ impl<'a, 'p> Interp<'a, 'p> {
                     .iter()
                     .position(|(_, w)| Rc::ptr_eq(&w.base, &view.base))
                     .unwrap_or(i);
+                let aliased = views
+                    .iter()
+                    .filter(|(_, w)| Rc::ptr_eq(&w.base, &view.base))
+                    .count()
+                    > 1;
                 let b = view.base.borrow();
+                let map = view
+                    .map
+                    .iter()
+                    .enumerate()
+                    .map(|(d, vd)| match *vd {
+                        ViewDim::Range(lo, hi) => KeyDim::Range(lo, hi),
+                        ViewDim::Fixed(v) => {
+                            if aliased || v < b.bounds[d].0 || v > b.bounds[d].1 {
+                                KeyDim::FixedAbs(v)
+                            } else {
+                                KeyDim::FixedOwner(
+                                    b.dist1(d)
+                                        .map(|dist| dist.owner((v - b.bounds[d].0) as usize)),
+                                )
+                            }
+                        }
+                    })
+                    .collect();
                 ArrayKey {
                     name: n.clone(),
                     bounds: b.bounds.clone(),
@@ -1331,7 +1433,7 @@ impl<'a, 'p> Interp<'a, 'p> {
                     grid_ranks: b.grid.ranks().to_vec(),
                     grid_extents: (0..b.grid.ndims()).map(|d| b.grid.extent(d)).collect(),
                     dist_gen: b.dist_gen,
-                    map: view.map.clone(),
+                    map,
                     callee_lo: view.callee_lo.clone(),
                     alias_of,
                 }
@@ -2207,6 +2309,22 @@ fn scan_expr(frame: &Frame, e: &Expr, in_sched: bool, s: &mut BodyScan<'_>) {
             scan_expr(frame, r, in_sched, s);
         }
     }
+}
+
+/// Flat base index of a view's origin: fixed dimensions at their
+/// coordinates, ranged dimensions at their lower bounds. Schedules record
+/// it at build time ([`ArraySchedule::origin`]); replays under an
+/// owner-normalized key shift their flat indices by the origin delta.
+fn view_origin_flat(view: &View) -> RtResult<u64> {
+    let idxs: Vec<i64> = view
+        .map
+        .iter()
+        .map(|d| match *d {
+            ViewDim::Fixed(v) => v,
+            ViewDim::Range(lo, _) => lo,
+        })
+        .collect();
+    Ok(view.base.borrow().flat(&idxs)? as u64)
 }
 
 /// Is `name` a scalar the body itself defines (a `do` loop variable or

@@ -1,5 +1,7 @@
 //! Machine construction and the SPMD run loop.
 
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -153,9 +155,12 @@ impl Machine {
     /// Wall-clock time for the whole run is measured on both backends
     /// ([`RunReport::wall_seconds`]).
     ///
-    /// Panics in any processor propagate out of `run` after all threads have
-    /// stopped (peers blocked on a vanished message are released by the
-    /// watchdog).
+    /// Panics in any processor propagate out of `run` after all threads
+    /// have stopped: the first failure is flagged to every peer, so a
+    /// processor blocked mid-collective on a message that will never come
+    /// aborts within one receive poll slice instead of sitting out the
+    /// whole watchdog budget, and `run` re-raises the *original* panic
+    /// payload rather than a peer's secondary abort.
     pub fn run<R, F>(cfg: MachineConfig, body: F) -> MachineRun<R>
     where
         R: Send + 'static,
@@ -175,6 +180,10 @@ impl Machine {
             receivers.push(rx);
         }
         let senders = Arc::new(senders);
+        // Rank of the first processor whose body panicked (usize::MAX =
+        // none). Peers poll it while blocked in a receive, so a panic
+        // mid-collective aborts the whole run promptly.
+        let failed = Arc::new(AtomicUsize::new(usize::MAX));
 
         let mut slots: Vec<Option<(ProcReport, R)>> = Vec::with_capacity(p);
         slots.resize_with(p, || None);
@@ -184,10 +193,23 @@ impl Machine {
             for (rank, inbox) in receivers.into_iter().enumerate() {
                 let cfg = Arc::clone(&cfg);
                 let senders = Arc::clone(&senders);
+                let failed = Arc::clone(&failed);
                 let body = &body;
                 handles.push(scope.spawn(move || {
-                    let mut proc = Proc::new(rank, p, cfg, senders, inbox);
-                    let result = body(&mut proc);
+                    let mut proc = Proc::new(rank, p, cfg, senders, inbox, Arc::clone(&failed));
+                    let result =
+                        match std::panic::catch_unwind(AssertUnwindSafe(|| body(&mut proc))) {
+                            Ok(r) => r,
+                            Err(e) => {
+                                let _ = failed.compare_exchange(
+                                    usize::MAX,
+                                    rank,
+                                    Ordering::SeqCst,
+                                    Ordering::SeqCst,
+                                );
+                                std::panic::resume_unwind(e);
+                            }
+                        };
                     let (stats, clock, marks) = proc.take_stats();
                     (
                         ProcReport {
@@ -200,19 +222,22 @@ impl Machine {
                     )
                 }));
             }
-            let mut panic_payload = None;
+            let mut panics: Vec<(usize, Box<dyn std::any::Any + Send>)> = Vec::new();
             for (rank, h) in handles.into_iter().enumerate() {
                 match h.join() {
                     Ok((rep, res)) => slots[rank] = Some((rep, res)),
-                    Err(e) => {
-                        if panic_payload.is_none() {
-                            panic_payload = Some(e);
-                        }
-                    }
+                    Err(e) => panics.push((rank, e)),
                 }
             }
-            if let Some(e) = panic_payload {
-                std::panic::resume_unwind(e);
+            if !panics.is_empty() {
+                // Re-raise the root cause — the first body to panic — not
+                // a peer's secondary "run aborted" panic.
+                let first = failed.load(Ordering::SeqCst);
+                let pos = panics
+                    .iter()
+                    .position(|(rank, _)| *rank == first)
+                    .unwrap_or(0);
+                std::panic::resume_unwind(panics.swap_remove(pos).1);
             }
         });
 
@@ -359,6 +384,40 @@ mod tests {
         let _ = Machine::run(cfg, |proc| {
             let _: f64 = proc.recv(0, tag(NS_USER, 99));
         });
+    }
+
+    #[test]
+    fn worker_panic_mid_collective_aborts_peers_promptly() {
+        // Rank 1 panics before sending; rank 0 is blocked on the recv.
+        // With a watchdog far longer than the test budget the run must
+        // still end almost immediately — peers poll the failure flag each
+        // receive slice — and re-raise rank 1's *original* panic, not a
+        // peer's secondary abort.
+        let cfg = unit_cfg(2)
+            .with_backend(BackendKind::Threads)
+            .with_watchdog(Duration::from_secs(60));
+        let started = Instant::now();
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _ = Machine::run(cfg, |proc| {
+                if proc.rank() == 1 {
+                    panic!("injected worker failure");
+                }
+                let _: f64 = proc.recv(1, tag(NS_USER, 40));
+            });
+        }))
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("injected worker failure"), "got: {msg}");
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "peers sat out the watchdog instead of aborting promptly ({:?})",
+            started.elapsed()
+        );
     }
 
     #[test]

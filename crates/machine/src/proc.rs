@@ -3,6 +3,7 @@
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -64,6 +65,10 @@ pub struct ProcStats {
     /// received payloads were discarded and the trip rolled back to a
     /// full inspection.
     pub rollbacks: u64,
+    /// Schedule-cache entries this processor evicted (per-site-cap and
+    /// global-budget victims both count) — the admission-policy pressure
+    /// gauge for bounded multi-tenant caches.
+    pub schedule_evictions: u64,
 }
 
 /// A named instant recorded by [`Proc::mark`]; used by the experiment
@@ -199,6 +204,11 @@ pub struct Proc {
     backend: &'static dyn Backend,
     outboxes: Arc<Vec<Sender<Envelope>>>,
     inbox: Receiver<Envelope>,
+    /// Rank of the first processor whose body panicked this run
+    /// (`usize::MAX` = none). Checked while blocked in a receive so peers
+    /// stuck mid-collective abort promptly instead of sitting out the
+    /// full watchdog budget.
+    failed: Arc<AtomicUsize>,
     /// Messages physically received but not yet matched by a `recv`.
     pending: VecDeque<Envelope>,
     /// Messages matched to a posted receive's ticket but not yet waited
@@ -227,6 +237,7 @@ impl Proc {
         cfg: Arc<MachineConfig>,
         outboxes: Arc<Vec<Sender<Envelope>>>,
         inbox: Receiver<Envelope>,
+        failed: Arc<AtomicUsize>,
     ) -> Self {
         let backend = backend_for(cfg.backend);
         Proc {
@@ -237,6 +248,7 @@ impl Proc {
             backend,
             outboxes,
             inbox,
+            failed,
             pending: VecDeque::new(),
             claimed: Vec::new(),
             idle_log: Vec::new(),
@@ -340,6 +352,13 @@ impl Proc {
     #[inline]
     pub fn note_rollback(&mut self) {
         self.stats.rollbacks += 1;
+    }
+
+    /// Record `n` schedule-cache evictions (callers drain the cache's
+    /// counter after a store). Pure bookkeeping: no virtual time.
+    #[inline]
+    pub fn note_schedule_evictions(&mut self, n: u64) {
+        self.stats.schedule_evictions += n;
     }
 
     /// Attribute `seconds` of already-charged virtual time to inspection.
@@ -494,6 +513,14 @@ impl Proc {
                     self.pending.push_back(e);
                 }
                 Err(RecvTimeoutError::Timeout) => {
+                    let f = self.failed.load(Ordering::SeqCst);
+                    if f != usize::MAX {
+                        panic!(
+                            "run aborted: processor {f} panicked while proc {} waited for \
+                             (src={src}, tag={tag:#x})",
+                            self.rank
+                        );
+                    }
                     waited += slice;
                     if waited >= self.cfg.watchdog {
                         panic!(

@@ -49,6 +49,9 @@ pub struct RunReport {
     /// Optimistic replay attempts that rolled back to a full inspection,
     /// summed over processors.
     pub total_rollbacks: u64,
+    /// Schedule-cache evictions (per-site-cap and global-budget victims),
+    /// summed over processors.
+    pub total_schedule_evictions: u64,
 }
 
 impl RunReport {
@@ -64,6 +67,7 @@ impl RunReport {
         let overlap_hidden_seconds = procs.iter().map(|p| p.stats.overlap_hidden).sum();
         let total_optimistic_hits = procs.iter().map(|p| p.stats.optimistic_hits).sum();
         let total_rollbacks = procs.iter().map(|p| p.stats.rollbacks).sum();
+        let total_schedule_evictions = procs.iter().map(|p| p.stats.schedule_evictions).sum();
         RunReport {
             backend,
             wall_seconds,
@@ -79,6 +83,7 @@ impl RunReport {
             overlap_hidden_seconds,
             total_optimistic_hits,
             total_rollbacks,
+            total_schedule_evictions,
         }
     }
 
@@ -177,6 +182,13 @@ impl std::fmt::Display for RunReport {
                 f,
                 "optimistic replay: {} piggybacked-vote hits, {} rollbacks",
                 self.total_optimistic_hits, self.total_rollbacks
+            )?;
+        }
+        if self.total_schedule_evictions > 0 {
+            writeln!(
+                f,
+                "cache pressure: {} schedule entries evicted",
+                self.total_schedule_evictions
             )?;
         }
         writeln!(
@@ -294,6 +306,18 @@ mod tests {
         let s = format!("{r}");
         assert!(s.contains("8 piggybacked-vote hits"));
         assert!(s.contains("2 rollbacks"));
+    }
+
+    #[test]
+    fn eviction_counter_aggregates_and_renders() {
+        let mut a = mk_proc(0, 1.0, 1.0);
+        a.stats.schedule_evictions = 3;
+        let mut b = mk_proc(1, 1.0, 1.0);
+        b.stats.schedule_evictions = 2;
+        let r = RunReport::new(BackendKind::Sim, 0.0, vec![a, b]);
+        assert_eq!(r.total_schedule_evictions, 5);
+        let s = format!("{r}");
+        assert!(s.contains("5 schedule entries evicted"));
     }
 
     #[test]

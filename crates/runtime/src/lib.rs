@@ -105,6 +105,27 @@ impl<'a> Ctx<'a> {
         self.policy = policy;
     }
 
+    /// Cap the total number of cached halo schedules, evicting the
+    /// least-recently-used entries if already over. SPMD programs must
+    /// set the same budget on every member: evictions keep the vote gate
+    /// up, so a divergent choice degrades to a rollback, but matched
+    /// budgets keep warm streams replaying. Long-running servers set this
+    /// so shape-diverse request streams cannot grow the cache without
+    /// bound.
+    pub fn set_halo_budget(&mut self, max_entries: usize) {
+        self.halo.set_budget(max_entries);
+    }
+
+    /// Number of halo schedule entries currently cached.
+    pub fn halo_len(&self) -> usize {
+        self.halo.len()
+    }
+
+    /// The halo cache's global entry budget (`None` if unbounded).
+    pub fn halo_budget(&self) -> Option<usize> {
+        self.halo.budget()
+    }
+
     /// Build a [`StencilPlan`] under the context's policy: declare what
     /// the loop reads, then run it. See the crate docs for the migration
     /// table from the pre-plan entry points.
@@ -546,6 +567,26 @@ mod tests {
             assert_eq!(*builds, 1, "one analytic build, then replays");
             assert_eq!(*hits, trips - 1);
             assert_eq!(*rollbacks, 0);
+        }
+    }
+
+    #[test]
+    fn ctx_halo_budget_bounds_shape_diverse_streams() {
+        let run = Machine::run(cfg(2), |proc| {
+            let grid = ProcGrid::new_1d(2);
+            let rank = proc.rank();
+            let mut ctx = Ctx::new(proc, grid.clone());
+            ctx.set_halo_budget(2);
+            let spec = DistSpec::local_block();
+            for s in 0..5usize {
+                let mut a = DistArray2::<f64>::new(rank, &grid, &spec, [2, 8 + 2 * s], [0, 1]);
+                ctx.plan().reads(&mut a, Ghosts::faces(1)).refresh();
+            }
+            (ctx.halo_len(), ctx.halo_budget())
+        });
+        for (len, budget) in run.results {
+            assert_eq!(budget, Some(2));
+            assert_eq!(len, 2, "five distinct shapes must evict down to the budget");
         }
     }
 

@@ -1,6 +1,10 @@
 //! The schedule cache: schedules stored under consumer-defined keys with
-//! per-`(site, team)` fresh-construction ordinals.
+//! per-`(site, team)` fresh-construction ordinals, indexed by site so
+//! lookups never scan unrelated entries, and bounded by a global entry
+//! budget with LRU victim selection.
 
+use std::cell::Cell;
+use std::collections::HashMap;
 use std::rc::Rc;
 
 use crate::schedule::CommSchedule;
@@ -26,89 +30,219 @@ struct CacheEntry<K> {
     /// replay the same logical invocation.
     seq: u64,
     sched: Rc<CommSchedule>,
+    /// Recency stamp for LRU victim selection under the global budget.
+    /// `Cell` because a lookup hit must refresh it through `&self`.
+    last_used: Cell<u64>,
+}
+
+/// All entries for one `(site, team)` pair. The bucket itself is *never*
+/// removed once created: an empty bucket is a tombstone that keeps
+/// [`ScheduleCache::has_site_team`] answering `true` and keeps `next_seq`
+/// advancing from where it left off. Both matter for SPMD correctness:
+/// the vote gate must stay monotone (stores are collective per
+/// `(site, team)`, evictions under memory pressure need not be — a member
+/// whose LRU order diverged must still *vote* so the consensus can fail
+/// over to a recoverable rollback instead of desynchronizing the
+/// collective), and ordinals must never restart from 1 on one member
+/// while another still counts from its surviving entries.
+struct Bucket<K> {
+    team: Vec<usize>,
+    /// Last issued fresh-construction ordinal; survives eviction of every
+    /// entry in the bucket.
+    last_seq: u64,
+    entries: Vec<CacheEntry<K>>,
 }
 
 /// Cached schedules, shared across call frames: the key must carry every
 /// frame-dependent input, so a hit is valid regardless of which call
 /// produced the entry.
+///
+/// Entries are indexed by site (and within a site by team), so
+/// [`ScheduleCache::lookup`] / [`ScheduleCache::store`] /
+/// [`ScheduleCache::has_site_team`] touch only the handful of entries of
+/// one `(site, team)` pair — never the whole cache. Capacity is bounded
+/// twice over: a per-`(site, team)` cap evicting the lowest ordinal (a
+/// backstop against one site cycling through many keys), and an optional
+/// global entry budget evicting the least-recently-used entry anywhere
+/// (the multi-tenant bound — shape-diverse request streams stop growing
+/// the cache without limit).
 pub struct ScheduleCache<K: SiteKey> {
-    entries: Vec<CacheEntry<K>>,
-    /// Per-site entry cap; the lowest ordinal is evicted beyond it (a
-    /// backstop — sites normally cycle through a handful of keys).
+    sites: HashMap<usize, Vec<Bucket<K>>>,
+    /// Per-`(site, team)` entry cap; the lowest ordinal is evicted beyond
+    /// it (sites normally cycle through a handful of keys).
     max_per_site: usize,
+    /// Global entry budget; `usize::MAX` = unbounded.
+    max_entries: usize,
+    /// Total entries across all buckets (tombstones count 0).
+    len: usize,
+    /// Monotone recency clock; every insert and every lookup hit takes a
+    /// fresh tick, so LRU victim selection never sees a tie.
+    tick: Cell<u64>,
+    /// Evictions since the last [`ScheduleCache::take_evictions`] drain.
+    evictions: u64,
 }
 
 impl<K: SiteKey> ScheduleCache<K> {
+    /// Unbounded-total cache with a per-`(site, team)` cap.
     pub fn new(max_per_site: usize) -> Self {
+        Self::with_budget(max_per_site, usize::MAX)
+    }
+
+    /// Cache bounded both per `(site, team)` and in total entries.
+    pub fn with_budget(max_per_site: usize, max_entries: usize) -> Self {
         assert!(max_per_site >= 1);
+        assert!(max_entries >= 1);
         ScheduleCache {
-            entries: Vec::new(),
+            sites: HashMap::new(),
             max_per_site,
+            max_entries,
+            len: 0,
+            tick: Cell::new(0),
+            evictions: 0,
         }
     }
 
-    /// Does this cache hold any entry for `(site, team)`? Stores are
+    /// Entries currently held (excluding tombstoned buckets).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The global entry budget, if one is set.
+    pub fn budget(&self) -> Option<usize> {
+        (self.max_entries != usize::MAX).then_some(self.max_entries)
+    }
+
+    /// Re-cap the global budget, evicting LRU entries down to it.
+    pub fn set_budget(&mut self, max_entries: usize) {
+        assert!(max_entries >= 1);
+        self.max_entries = max_entries;
+        while self.len > self.max_entries {
+            self.evict_lru();
+        }
+    }
+
+    /// Evictions performed since the last drain (per-site-cap and
+    /// global-budget evictions both count).
+    pub fn take_evictions(&mut self) -> u64 {
+        std::mem::take(&mut self.evictions)
+    }
+
+    fn next_tick(&self) -> u64 {
+        let t = self.tick.get() + 1;
+        self.tick.set(t);
+        t
+    }
+
+    fn bucket(&self, site: usize, team_ranks: &[usize]) -> Option<&Bucket<K>> {
+        self.sites.get(&site)?.iter().find(|b| b.team == team_ranks)
+    }
+
+    /// Has a schedule *ever* been stored for `(site, team)`? Stores are
     /// collective per `(site, team)`, so this predicate is SPMD-uniform
     /// across the team and gates the replay vote: until a site-team pair
-    /// has an entry, every member skips the vote and inspects fresh.
+    /// has stored, every member skips the vote and inspects fresh. It is
+    /// deliberately monotone — entries evicted under the global budget
+    /// leave a tombstoned bucket behind, so a member whose LRU order
+    /// diverged still votes (and loses, recoverably) rather than sitting
+    /// out a collective its peers entered.
     pub fn has_site_team(&self, site: usize, team_ranks: &[usize]) -> bool {
-        self.entries
-            .iter()
-            .any(|e| e.key.site() == site && e.key.team_ranks() == team_ranks)
+        self.bucket(site, team_ranks).is_some()
     }
 
     /// Most recent cached schedule matching `key`, with its ordinal.
+    /// Refreshes the entry's LRU stamp.
     pub fn lookup(&self, key: &K) -> Option<(u64, Rc<CommSchedule>)> {
-        self.entries
+        let hit = self
+            .bucket(key.site(), key.team_ranks())?
+            .entries
             .iter()
             .filter(|e| e.key == *key)
-            .max_by_key(|e| e.seq)
-            .map(|e| (e.seq, Rc::clone(&e.sched)))
+            .max_by_key(|e| e.seq)?;
+        hit.last_used.set(self.next_tick());
+        Some((hit.seq, Rc::clone(&hit.sched)))
     }
 
     /// Store a freshly constructed schedule; returns its `(site, team)`
     /// ordinal and the stored (shared) schedule, so a caller that still
     /// needs it — e.g. to complete the exchange it was built for — does
-    /// not pay a lookup round trip. Eviction is scoped per
-    /// `(site, team)` — like the ordinal numbering and the vote gate —
-    /// and removes the *lowest* ordinal, so both the running maximum and
-    /// [`ScheduleCache::has_site_team`] stay aligned across the team.
-    /// (Scoping eviction by site alone would let a processor sitting in
-    /// two intersecting teams evict another team's only entry while that
-    /// team's other members keep theirs, splitting the gate and
-    /// desynchronizing the collectives.)
+    /// not pay a lookup round trip.
+    ///
+    /// The per-`(site, team)` cap evicts the *lowest* ordinal within the
+    /// same bucket — like the ordinal numbering and the vote gate, its
+    /// scope is exactly the collective's. (Scoping it by site alone would
+    /// let a processor sitting in two intersecting teams evict another
+    /// team's only entry while that team's other members keep theirs,
+    /// splitting the gate and desynchronizing the collectives.) The
+    /// global budget then evicts the least-recently-used entry anywhere,
+    /// leaving its bucket as a tombstone so the gate and ordinals survive.
     pub fn store(&mut self, key: K, sched: CommSchedule) -> (u64, Rc<CommSchedule>) {
-        let seq = self
-            .entries
-            .iter()
-            .filter(|e| e.key.site() == key.site() && e.key.team_ranks() == key.team_ranks())
-            .map(|e| e.seq)
-            .max()
-            .unwrap_or(0)
-            + 1;
         let site = key.site();
-        let team: Vec<usize> = key.team_ranks().to_vec();
+        let tick = self.next_tick();
         let sched = Rc::new(sched);
-        self.entries.push(CacheEntry {
+        let buckets = self.sites.entry(site).or_default();
+        let bucket = match buckets.iter_mut().find(|b| b.team == key.team_ranks()) {
+            Some(b) => b,
+            None => {
+                buckets.push(Bucket {
+                    team: key.team_ranks().to_vec(),
+                    last_seq: 0,
+                    entries: Vec::new(),
+                });
+                buckets.last_mut().unwrap()
+            }
+        };
+        bucket.last_seq += 1;
+        let seq = bucket.last_seq;
+        bucket.entries.push(CacheEntry {
             key,
             seq,
             sched: Rc::clone(&sched),
+            last_used: Cell::new(tick),
         });
-        let in_site_team = |e: &CacheEntry<K>| e.key.site() == site && e.key.team_ranks() == team;
-        let count = self.entries.iter().filter(|e| in_site_team(e)).count();
-        if count > self.max_per_site {
-            if let Some(pos) = self
+        self.len += 1;
+        if bucket.entries.len() > self.max_per_site {
+            if let Some(pos) = bucket
                 .entries
                 .iter()
                 .enumerate()
-                .filter(|(_, e)| in_site_team(e))
                 .min_by_key(|(_, e)| e.seq)
                 .map(|(i, _)| i)
             {
-                self.entries.remove(pos);
+                bucket.entries.remove(pos);
+                self.len -= 1;
+                self.evictions += 1;
             }
         }
+        while self.len > self.max_entries {
+            self.evict_lru();
+        }
         (seq, sched)
+    }
+
+    /// Remove the least-recently-used entry anywhere in the cache. Ticks
+    /// are unique, so the victim is deterministic regardless of map
+    /// iteration order. The victim's bucket stays behind as a tombstone.
+    fn evict_lru(&mut self) {
+        let mut victim: Option<(usize, usize, usize, u64)> = None;
+        for (&site, buckets) in &self.sites {
+            for (bi, b) in buckets.iter().enumerate() {
+                for (ei, e) in b.entries.iter().enumerate() {
+                    let stamp = e.last_used.get();
+                    if victim.is_none_or(|(.., best)| stamp < best) {
+                        victim = Some((site, bi, ei, stamp));
+                    }
+                }
+            }
+        }
+        if let Some((site, bi, ei, _)) = victim {
+            self.sites.get_mut(&site).unwrap()[bi].entries.remove(ei);
+            self.len -= 1;
+            self.evictions += 1;
+        }
     }
 }
 
@@ -187,6 +321,8 @@ mod tests {
         assert!(c.lookup(&key(1, &[0], 0)).is_none());
         // Numbering continues from the maximum, not the entry count.
         assert_eq!(c.store(key(1, &[0], 3), sched()).0, 4);
+        assert_eq!(c.take_evictions(), 2);
+        assert_eq!(c.take_evictions(), 0);
     }
 
     #[test]
@@ -205,5 +341,53 @@ mod tests {
         // The overfilled team evicted only its own lowest ordinals.
         assert!(c.lookup(&key(1, &[0, 1], 0)).is_none());
         assert!(c.lookup(&key(1, &[0, 1], 4)).is_some());
+    }
+
+    #[test]
+    fn global_budget_bounds_total_entries_with_lru_victims() {
+        let mut c = ScheduleCache::with_budget(8, 3);
+        c.store(key(1, &[0], 0), sched());
+        c.store(key(2, &[0], 0), sched());
+        c.store(key(3, &[0], 0), sched());
+        assert_eq!(c.len(), 3);
+        // Touch site 1 so site 2 becomes the least recently used.
+        assert!(c.lookup(&key(1, &[0], 0)).is_some());
+        c.store(key(4, &[0], 0), sched());
+        assert_eq!(c.len(), 3);
+        assert!(c.lookup(&key(2, &[0], 0)).is_none());
+        assert!(c.lookup(&key(1, &[0], 0)).is_some());
+        assert!(c.lookup(&key(4, &[0], 0)).is_some());
+        assert_eq!(c.take_evictions(), 1);
+    }
+
+    #[test]
+    fn budget_eviction_keeps_the_gate_up_and_ordinals_monotone() {
+        // Fully evicting a (site, team) pair under the global budget must
+        // leave its vote gate up (tombstoned bucket) and keep numbering
+        // from the last issued ordinal — peers whose LRU order diverged
+        // rely on both to stay in lockstep on the consensus vote.
+        let mut c = ScheduleCache::with_budget(8, 1);
+        c.store(key(1, &[0, 1], 0), sched());
+        c.store(key(2, &[0, 1], 0), sched()); // evicts site 1's only entry
+        assert!(c.lookup(&key(1, &[0, 1], 0)).is_none());
+        assert!(c.has_site_team(1, &[0, 1]));
+        assert_eq!(c.store(key(1, &[0, 1], 0), sched()).0, 2);
+    }
+
+    #[test]
+    fn set_budget_evicts_down_to_the_new_cap() {
+        let mut c = ScheduleCache::new(8);
+        for site in 0..6 {
+            c.store(key(site, &[0], 0), sched());
+        }
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.budget(), None);
+        c.set_budget(2);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.budget(), Some(2));
+        assert_eq!(c.take_evictions(), 4);
+        // The most recently stored entries survive.
+        assert!(c.lookup(&key(4, &[0], 0)).is_some());
+        assert!(c.lookup(&key(5, &[0], 0)).is_some());
     }
 }

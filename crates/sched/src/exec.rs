@@ -459,6 +459,7 @@ mod tests {
                 name: "x".into(),
                 my_reqs,
                 incoming,
+                origin: 0,
             }],
             write_hint: 0,
             boundary: vec![],

@@ -34,6 +34,14 @@ pub struct ArraySchedule {
     /// Per team member: flat indices they request of us (the reply layout
     /// of the value round).
     pub incoming: Vec<Vec<u64>>,
+    /// Flat index of the array region's origin (fixed view coordinates at
+    /// their values, ranged dimensions at their lower bounds) when the
+    /// schedule was built. A consumer whose cache key identifies regions
+    /// only up to translation (e.g. the interpreter's owner-normalized
+    /// line views) replays by shifting every flat index by the delta
+    /// between the current region's origin and this one. Consumers whose
+    /// keys pin absolute geometry leave it 0.
+    pub origin: u64,
 }
 
 impl CommSchedule {
@@ -86,6 +94,7 @@ mod tests {
                 name: "x".into(),
                 my_reqs: vec![vec![], vec![3, 4], vec![7]],
                 incoming: vec![vec![], vec![1], vec![]],
+                origin: 0,
             }],
             write_hint: 0,
             boundary: vec![],

@@ -1,0 +1,498 @@
+//! # kali-serve — multi-tenant solve serving over shared schedule caches
+//!
+//! A long-running solver service accepts a stream of independent solve
+//! requests — each naming a grid shape, a distribution, a stencil and a
+//! tolerance — from many tenants. The expensive part of every request is
+//! not the sweeps themselves but the *analytic halo walk* that derives
+//! each exchange's communication schedule; and that cost is keyed by
+//! geometry, not by tenant. The [`kali_array::HaloKey`] site id is a
+//! hash of the array's shape (extents, ghost widths, corner policy), and
+//! the full key adds only the distributions, the team and the
+//! distribution generation — fresh arrays all start at generation 0, so
+//! **two tenants with the same shape are cache hits of each other**.
+//!
+//! [`serve`] exploits this: requests are batched by schedule shape
+//! ([`batch_order`]) so same-shaped tenants run back-to-back, the first
+//! paying the analytic build and the rest replaying it from the shared
+//! [`kali_array::HaloCache`] with the consensus vote piggybacked on the
+//! value messages. The cache is *bounded*: [`ServeConfig::halo_budget`]
+//! caps total entries with per-`(site, team)` LRU eviction that keeps
+//! the SPMD vote gate up (an evicted entry degrades to a recoverable
+//! rollback, never a collective desync), so a shape-diverse stream
+//! cannot grow the server's memory without bound.
+//!
+//! Everything runs SPMD inside one [`Machine::run`]: every processor
+//! executes the whole request stream collectively, once per pass — pass
+//! 0 is the cold (cache-filling) pass, later passes are warm. Results
+//! are replicated reductions, so the per-request checksums are bitwise
+//! comparable across passes *and* across backends (sim vs threads).
+
+use std::time::{Duration, Instant};
+
+use kali_array::DistArray2;
+use kali_grid::{DistSpec, ProcGrid};
+use kali_machine::{BackendKind, CostModel, Machine, MachineConfig, RunReport, Topology};
+use kali_runtime::{Ctx, Ghosts};
+
+/// Which stencil a request sweeps. The two kinds derive different halo
+/// schedules (faces-only vs corner-completing), so they never share
+/// cache entries even at equal shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolverKind {
+    /// 5-point Jacobi relaxation (faces-only ghosts).
+    Jacobi5,
+    /// 9-point weighted smoothing (corner-completing ghosts).
+    Stencil9,
+}
+
+/// How a request's array is laid over the (1-D) processor team.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DistKind {
+    /// Rows distributed, columns local (`DistSpec::block_local`).
+    Rows,
+    /// Rows local, columns distributed (`DistSpec::local_block`).
+    Cols,
+}
+
+/// One tenant's solve request.
+#[derive(Debug, Clone)]
+pub struct SolveRequest {
+    /// Tenant id; seeds the initial data, so distinct tenants produce
+    /// distinct answers from identical schedules.
+    pub tenant: u64,
+    /// Global extents `[n, m]` of the 2-D grid (each ≥ 3, and the
+    /// distributed extent at least the team size).
+    pub shape: [usize; 2],
+    pub dist: DistKind,
+    pub solver: SolverKind,
+    /// Sweep cap.
+    pub iters: usize,
+    /// Stop early once the max pointwise change of a sweep drops below
+    /// this (0.0 never stops early).
+    pub tol: f64,
+}
+
+impl SolveRequest {
+    /// The schedule-shape key: everything that determines the halo
+    /// schedule this request derives — shape, distribution, stencil —
+    /// and nothing tenant-specific. Requests with equal keys are cache
+    /// hits of each other.
+    pub fn shape_key(&self) -> u64 {
+        // FNV-1a over the schedule-relevant fields, mirroring the
+        // HaloKey site hash's construction (not its exact value; this
+        // key only needs to partition the stream).
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        mix(self.shape[0] as u64);
+        mix(self.shape[1] as u64);
+        mix(match self.dist {
+            DistKind::Rows => 1,
+            DistKind::Cols => 2,
+        });
+        mix(match self.solver {
+            SolverKind::Jacobi5 => 1,
+            SolverKind::Stencil9 => 2,
+        });
+        h
+    }
+}
+
+/// Batch the stream: indices into `reqs`, grouped so requests with equal
+/// [`SolveRequest::shape_key`] run back-to-back. Groups keep first-seen
+/// order and requests keep arrival order within their group, so the
+/// batching is deterministic and stable.
+pub fn batch_order(reqs: &[SolveRequest]) -> Vec<usize> {
+    let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
+    for (i, r) in reqs.iter().enumerate() {
+        let k = r.shape_key();
+        match groups.iter_mut().find(|(g, _)| *g == k) {
+            Some((_, v)) => v.push(i),
+            None => groups.push((k, vec![i])),
+        }
+    }
+    groups.into_iter().flat_map(|(_, v)| v).collect()
+}
+
+/// Server configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    pub nprocs: usize,
+    pub backend: BackendKind,
+    /// Global halo-cache entry budget (`None` = unbounded). SPMD-uniform
+    /// by construction: every processor applies the same budget.
+    pub halo_budget: Option<usize>,
+    /// How many times to run the whole stream (≥ 1). Pass 0 is cold;
+    /// subsequent passes measure the warm steady state.
+    pub passes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            nprocs: 4,
+            backend: BackendKind::Sim,
+            halo_budget: None,
+            passes: 2,
+        }
+    }
+}
+
+/// Counters for one pass over the stream, summed across processors
+/// (elapsed is the max).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PassStats {
+    /// Seconds for the pass: virtual time on the simulator, wall clock
+    /// on the threads backend.
+    pub elapsed: f64,
+    /// Requests served this pass.
+    pub requests: usize,
+    /// Analytic schedule builds (cold derivations) during the pass.
+    pub inspector_runs: u64,
+    /// Warm exchanges served by piggybacked-vote replay.
+    pub optimistic_hits: u64,
+    pub rollbacks: u64,
+    /// Cache entries evicted under the budget during the pass.
+    pub evictions: u64,
+    /// Halo-cache entries resident at the end of the pass.
+    pub cache_len: usize,
+}
+
+impl PassStats {
+    pub fn requests_per_sec(&self) -> f64 {
+        self.requests as f64 / self.elapsed.max(1e-9)
+    }
+}
+
+/// What [`serve`] produced.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// Execution order (indices into the request slice) after batching.
+    pub order: Vec<usize>,
+    /// Per-request checksum (bits of the replicated final-sum reduction),
+    /// in *original* request order. Identical across passes and across
+    /// backends by construction; [`serve`] panics if a warm pass ever
+    /// disagrees with the cold one.
+    pub checksums: Vec<u64>,
+    /// One entry per pass: `passes[0]` is cold, the rest warm.
+    pub passes: Vec<PassStats>,
+    pub report: RunReport,
+}
+
+fn machine_cfg(cfg: &ServeConfig) -> MachineConfig {
+    Machine::build(cfg.backend, Topology::FullyConnected, CostModel::ipsc2())
+        .procs(cfg.nprocs)
+        .watchdog(Duration::from_secs(120))
+        .config()
+}
+
+/// Raw per-processor counters for one pass, merged by [`serve`].
+struct PassRaw {
+    virt: f64,
+    wall: f64,
+    inspector_runs: u64,
+    optimistic_hits: u64,
+    rollbacks: u64,
+    evictions: u64,
+    cache_len: usize,
+}
+
+/// Run one request under the shared context; returns the checksum.
+fn run_request(ctx: &mut Ctx, grid: &ProcGrid, req: &SolveRequest) -> u64 {
+    let [n, m] = req.shape;
+    assert!(n >= 3 && m >= 3, "shape {n}x{m} too small for a stencil");
+    let spec = match req.dist {
+        DistKind::Rows => DistSpec::block_local(),
+        DistKind::Cols => DistSpec::local_block(),
+    };
+    let ghosts = match req.solver {
+        SolverKind::Jacobi5 => Ghosts::faces(1),
+        SolverKind::Stencil9 => Ghosts::full(1),
+    };
+    let tenant = req.tenant;
+    let mut u = DistArray2::from_fn(ctx.rank(), grid, &spec, [n, m], [1, 1], |[i, j]| {
+        ((i * 31 + j * 17 + tenant as usize * 13) % 97) as f64 / 97.0
+    });
+    for _ in 0..req.iters {
+        // update2's body is a plain Fn; the convergence measure threads
+        // out through a Cell.
+        let diff = std::cell::Cell::new(0.0f64);
+        match req.solver {
+            SolverKind::Jacobi5 => {
+                ctx.plan()
+                    .reads(&mut u, ghosts)
+                    .update2(1..n - 1, 1..m - 1, 5.0, |old, i, j| {
+                        let new = 0.25
+                            * (old.at(i + 1, j)
+                                + old.at(i - 1, j)
+                                + old.at(i, j + 1)
+                                + old.at(i, j - 1));
+                        diff.set(diff.get().max((new - old.at(i, j)).abs()));
+                        new
+                    });
+            }
+            SolverKind::Stencil9 => {
+                ctx.plan()
+                    .reads(&mut u, ghosts)
+                    .update2(1..n - 1, 1..m - 1, 10.0, |old, i, j| {
+                        let new = 0.2 * old.at(i, j)
+                            + 0.125
+                                * (old.at(i + 1, j)
+                                    + old.at(i - 1, j)
+                                    + old.at(i, j + 1)
+                                    + old.at(i, j - 1))
+                            + 0.075
+                                * (old.at(i + 1, j + 1)
+                                    + old.at(i + 1, j - 1)
+                                    + old.at(i - 1, j + 1)
+                                    + old.at(i - 1, j - 1));
+                        diff.set(diff.get().max((new - old.at(i, j)).abs()));
+                        new
+                    });
+            }
+        }
+        if req.tol > 0.0 && ctx.allreduce_max(diff.get()) < req.tol {
+            break;
+        }
+    }
+    let mut local = 0.0;
+    u.for_each_owned(|_, v| local += v);
+    ctx.allreduce_sum(local).to_bits()
+}
+
+/// Serve the stream: batch by schedule shape, run every pass SPMD on one
+/// machine with one shared, budgeted halo cache per processor. See the
+/// crate docs for the cache-sharing model.
+pub fn serve(cfg: &ServeConfig, reqs: &[SolveRequest]) -> ServeOutcome {
+    assert!(cfg.passes >= 1, "at least one pass");
+    let order = batch_order(reqs);
+    let owned: Vec<SolveRequest> = reqs.to_vec();
+    let exec_order = order.clone();
+    let backend = cfg.backend;
+    let serve_cfg = *cfg;
+    let run = Machine::run(machine_cfg(cfg), move |proc| {
+        let grid = ProcGrid::new_1d(proc.nprocs());
+        let mut ctx = Ctx::new(proc, grid.clone());
+        if let Some(b) = serve_cfg.halo_budget {
+            ctx.set_halo_budget(b);
+        }
+        let mut checksums = vec![0u64; owned.len()];
+        let mut passes: Vec<PassRaw> = Vec::with_capacity(serve_cfg.passes);
+        for pass in 0..serve_cfg.passes {
+            let stats0 = ctx.proc().stats().clone();
+            let virt0 = ctx.proc().clock();
+            let wall0 = Instant::now();
+            for &i in &exec_order {
+                let sum = run_request(&mut ctx, &grid, &owned[i]);
+                if pass == 0 {
+                    checksums[i] = sum;
+                } else {
+                    assert_eq!(
+                        sum, checksums[i],
+                        "request {i} (tenant {}): warm replay changed the bits",
+                        owned[i].tenant
+                    );
+                }
+            }
+            let virt1 = ctx.proc().clock();
+            let wall1 = wall0.elapsed().as_secs_f64();
+            let stats1 = ctx.proc().stats().clone();
+            passes.push(PassRaw {
+                virt: virt1 - virt0,
+                wall: wall1,
+                inspector_runs: stats1.inspector_runs - stats0.inspector_runs,
+                optimistic_hits: stats1.optimistic_hits - stats0.optimistic_hits,
+                rollbacks: stats1.rollbacks - stats0.rollbacks,
+                evictions: stats1.schedule_evictions - stats0.schedule_evictions,
+                cache_len: ctx.halo_len(),
+            });
+        }
+        (passes, checksums)
+    });
+
+    // Merge the replicated per-processor views: counters sum, times max,
+    // SPMD-uniform values (checksums, cache length) must agree exactly.
+    let nreq = reqs.len();
+    let npass = cfg.passes;
+    let mut passes = Vec::with_capacity(npass);
+    for p in 0..npass {
+        let mut s = PassStats {
+            elapsed: 0.0,
+            requests: nreq,
+            inspector_runs: 0,
+            optimistic_hits: 0,
+            rollbacks: 0,
+            evictions: 0,
+            cache_len: run.results[0].0[p].cache_len,
+        };
+        for (raws, _) in &run.results {
+            let r = &raws[p];
+            s.elapsed = s.elapsed.max(match backend {
+                BackendKind::Sim => r.virt,
+                BackendKind::Threads => r.wall,
+            });
+            s.inspector_runs += r.inspector_runs;
+            s.optimistic_hits += r.optimistic_hits;
+            s.rollbacks += r.rollbacks;
+            s.evictions += r.evictions;
+            assert_eq!(
+                r.cache_len, s.cache_len,
+                "cache length must be SPMD-uniform"
+            );
+        }
+        passes.push(s);
+    }
+    let checksums = run.results[0].1.clone();
+    for (_, sums) in &run.results {
+        assert_eq!(sums, &checksums, "checksums are replicated reductions");
+    }
+    ServeOutcome {
+        order,
+        checksums,
+        passes,
+        report: run.report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(tenant: u64, shape: [usize; 2], dist: DistKind, solver: SolverKind) -> SolveRequest {
+        SolveRequest {
+            tenant,
+            shape,
+            dist,
+            solver,
+            iters: 3,
+            tol: 0.0,
+        }
+    }
+
+    #[test]
+    fn batching_groups_equal_shapes_stably() {
+        let reqs = vec![
+            req(1, [12, 12], DistKind::Rows, SolverKind::Jacobi5),
+            req(2, [16, 12], DistKind::Rows, SolverKind::Jacobi5),
+            req(3, [12, 12], DistKind::Rows, SolverKind::Jacobi5),
+            req(4, [12, 12], DistKind::Cols, SolverKind::Jacobi5),
+            req(5, [16, 12], DistKind::Rows, SolverKind::Jacobi5),
+        ];
+        // Same shape+dist+solver collapses; dist is schedule-relevant.
+        assert_eq!(batch_order(&reqs), vec![0, 2, 1, 4, 3]);
+    }
+
+    #[test]
+    fn same_shape_tenants_are_cache_hits_of_each_other() {
+        // 6 tenants over 2 distinct schedule shapes: the cold pass pays
+        // exactly one analytic build per shape per processor, and the
+        // warm pass rebuilds nothing and never rolls back.
+        let p = 2;
+        let reqs: Vec<SolveRequest> = (0..6)
+            .map(|t| {
+                let shape = if t % 2 == 0 { [12, 8] } else { [8, 12] };
+                req(t, shape, DistKind::Rows, SolverKind::Jacobi5)
+            })
+            .collect();
+        let cfg = ServeConfig {
+            nprocs: p,
+            passes: 2,
+            ..Default::default()
+        };
+        let out = serve(&cfg, &reqs);
+        assert_eq!(
+            out.passes[0].inspector_runs,
+            2 * p as u64,
+            "cold: one build per schedule shape per processor"
+        );
+        assert_eq!(out.passes[1].inspector_runs, 0, "warm: zero rebuilds");
+        assert_eq!(out.passes[1].rollbacks, 0, "warm: zero rollbacks");
+        assert!(out.passes[1].optimistic_hits > 0);
+        // Distinct tenants at the same shape still get distinct answers.
+        assert_ne!(out.checksums[0], out.checksums[2]);
+    }
+
+    #[test]
+    fn budget_bounds_the_cache_under_shape_diversity() {
+        let reqs: Vec<SolveRequest> = (0..6)
+            .map(|t| {
+                req(
+                    t,
+                    [8 + 2 * t as usize, 8],
+                    DistKind::Rows,
+                    SolverKind::Jacobi5,
+                )
+            })
+            .collect();
+        let cfg = ServeConfig {
+            nprocs: 2,
+            halo_budget: Some(3),
+            passes: 1,
+            ..Default::default()
+        };
+        let out = serve(&cfg, &reqs);
+        assert_eq!(out.passes[0].cache_len, 3, "entries bounded by the budget");
+        assert!(out.passes[0].evictions > 0);
+        assert_eq!(out.report.total_schedule_evictions, out.passes[0].evictions);
+    }
+
+    #[test]
+    fn warm_throughput_beats_cold_on_the_simulator() {
+        let reqs: Vec<SolveRequest> = (0..4)
+            .map(|t| req(t, [16, 16], DistKind::Cols, SolverKind::Stencil9))
+            .collect();
+        let out = serve(
+            &ServeConfig {
+                nprocs: 4,
+                passes: 2,
+                ..Default::default()
+            },
+            &reqs,
+        );
+        assert!(
+            out.passes[1].requests_per_sec() > out.passes[0].requests_per_sec(),
+            "warm {} req/s vs cold {} req/s",
+            out.passes[1].requests_per_sec(),
+            out.passes[0].requests_per_sec()
+        );
+    }
+
+    #[test]
+    fn sim_and_threads_agree_bitwise() {
+        let reqs = vec![
+            req(7, [12, 12], DistKind::Rows, SolverKind::Jacobi5),
+            req(8, [12, 12], DistKind::Rows, SolverKind::Stencil9),
+            req(9, [10, 14], DistKind::Cols, SolverKind::Jacobi5),
+        ];
+        let mk = |backend| ServeConfig {
+            nprocs: 2,
+            backend,
+            passes: 2,
+            ..Default::default()
+        };
+        let sim = serve(&mk(BackendKind::Sim), &reqs);
+        let thr = serve(&mk(BackendKind::Threads), &reqs);
+        assert_eq!(sim.checksums, thr.checksums);
+    }
+
+    #[test]
+    fn tolerance_stops_sweeping_early() {
+        let mut r = req(1, [12, 12], DistKind::Rows, SolverKind::Jacobi5);
+        r.iters = 50;
+        r.tol = f64::INFINITY; // first sweep's change is always below
+        let out = serve(
+            &ServeConfig {
+                nprocs: 2,
+                passes: 1,
+                ..Default::default()
+            },
+            &[r],
+        );
+        // One sweep means one exchange: exactly one analytic build per
+        // processor, no replays.
+        assert_eq!(out.passes[0].inspector_runs, 2);
+        assert_eq!(out.passes[0].optimistic_hits, 0);
+    }
+}

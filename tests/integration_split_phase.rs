@@ -335,16 +335,18 @@ fn optimistic_differential(
 #[test]
 fn no_unexpected_rollbacks_on_the_kf1_listings() {
     // The rollback counts of the four shipped listings are pinned
-    // exactly; CI fails here on any *unexpected* rollback. Jacobi, shift
-    // and tri redistribute nothing and keep their cache keys stable, so
-    // every consensus is won by the piggybacked header and they roll back
-    // zero times. ADI's substructured solver feeds trip-varying scalars
-    // into some sites' keys, so those invocations lose the consensus in
-    // *both* protocols — under the pessimistic baseline they lose the
-    // dedicated one-word vote; under optimistic voting the same losses
-    // surface as exactly 15 rollbacks per processor (60 on 4 procs), at
-    // the same cost. `optimistic_differential` pins that the verdicts,
-    // replays, traffic and answers agree between the protocols.
+    // exactly; CI fails here on any *unexpected* rollback. None of the
+    // listings redistributes mid-loop, so every consensus must be won by
+    // the piggybacked header and nothing may roll back. ADI is the
+    // interesting pin: its line sweeps fix a different row/column index
+    // each doall iteration, and a key that recorded the absolute index
+    // would miss the cache on every line. Cache keys instead normalize
+    // fixed view coordinates to their *owner* grid coordinate — constant
+    // across a row/column team — and replay translates the stored flat
+    // indices to the current line's origin, so ADI's formerly guaranteed
+    // lost votes (15 per processor, 60 on 4 procs) are now cache hits.
+    // `optimistic_differential` pins that the verdicts, replays, traffic
+    // and answers agree between the protocols.
     let np = 8i64;
     let n = 16usize;
     let sys = kali::kernels::TriDiag::random_dd(n, 3);
@@ -405,7 +407,7 @@ fn no_unexpected_rollbacks_on_the_kf1_listings() {
                 HostValue::Real(1.0),
                 HostValue::Real(1.0),
             ],
-            60,
+            0,
         ),
     ];
     for (entry, p, grid, args, expected_rollbacks) in cases {
