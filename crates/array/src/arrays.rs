@@ -2,9 +2,25 @@
 
 use kali_grid::{DimDist, DimMap, Dist1, DistSpec, ProcGrid};
 
-/// Element types a distributed array can hold.
-pub trait Elem: Copy + Default + Send + 'static + std::fmt::Debug {}
-impl<T: Copy + Default + Send + 'static + std::fmt::Debug> Elem for T {}
+/// Element types a distributed array can hold — re-exported from
+/// `kali-machine`, where the wire width of an element is defined next to
+/// the cost model that charges it. The impls are nominal (`f64`, `f32`),
+/// not blanket: packing and checksum behaviour are audited per type.
+pub use kali_machine::{Elem, Real};
+
+/// The read footprint a stencil plan declared for the current sweep:
+/// reads may stray at most `width` cells outside the owned box, and into
+/// diagonal (corner) ghosts only when `corners` is set. Debug builds
+/// check every element read against it; release builds compile the
+/// fence away entirely.
+#[cfg(debug_assertions)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadFence {
+    /// Maximum ghost depth a read may reach, per dimension.
+    pub width: usize,
+    /// Whether diagonal (multi-dimension) ghost reads are declared.
+    pub corners: bool,
+}
 
 /// One processor's view of an N-dimensional distributed array.
 ///
@@ -36,6 +52,10 @@ pub struct DistArrayN<T, const N: usize> {
     /// changes (redistribution). Cached communication schedules carry the
     /// generation they were derived under and must be discarded on mismatch.
     pub(crate) generation: u64,
+    /// Debug-build read fence (see [`ReadFence`]): while armed, every
+    /// element read is checked against the declared stencil footprint.
+    #[cfg(debug_assertions)]
+    pub(crate) fence: std::cell::Cell<Option<ReadFence>>,
 }
 
 /// 1-D distributed array.
@@ -120,7 +140,74 @@ impl<T: Elem, const N: usize> DistArrayN<T, N> {
             stride,
             data: vec![T::default(); total],
             generation: 0,
+            #[cfg(debug_assertions)]
+            fence: std::cell::Cell::new(None),
         }
+    }
+
+    /// Arm the debug-build read fence: until [`DistArrayN::clear_read_fence`],
+    /// every element read of this array must stay within the owned box
+    /// plus a ghost skirt of depth `width`, touching diagonal (corner)
+    /// ghosts only if `corners` is set. The compiled stencil path arms
+    /// the fence with the footprint the plan *declared*, so a body that
+    /// reads beyond its declaration panics in debug builds instead of
+    /// silently consuming stale ghost values. No-op in release builds.
+    #[inline]
+    pub fn set_read_fence(&self, width: usize, corners: bool) {
+        #[cfg(debug_assertions)]
+        self.fence.set(Some(ReadFence { width, corners }));
+        #[cfg(not(debug_assertions))]
+        let _ = (width, corners);
+    }
+
+    /// Disarm the debug-build read fence. No-op in release builds.
+    #[inline]
+    pub fn clear_read_fence(&self) {
+        #[cfg(debug_assertions)]
+        self.fence.set(None);
+    }
+
+    /// Debug-build fence check for a single global index (see
+    /// [`DistArrayN::set_read_fence`]). Only non-owned dimensions count
+    /// against the footprint; a read more than `width` outside the owned
+    /// interval, or outside it in two or more dimensions without a
+    /// `corners` declaration, is a plan violation.
+    #[cfg(debug_assertions)]
+    pub(crate) fn check_fence(&self, idx: [usize; N]) {
+        let Some(f) = self.fence.get() else { return };
+        if !self.is_participant() {
+            return;
+        }
+        let mut outside = 0usize;
+        for d in 0..N {
+            if !self.dists[d].is_contiguous() {
+                continue;
+            }
+            let g = idx[d];
+            let lo = self.lo[d];
+            let hi = lo + self.len[d];
+            if g >= lo && g < hi {
+                continue;
+            }
+            outside += 1;
+            let depth = if g < lo { lo - g } else { g + 1 - hi };
+            assert!(
+                depth <= f.width,
+                "proc {}: read fence violation at {:?} — depth-{} ghost read \
+                 exceeds the declared stencil footprint (width {})",
+                self.rank,
+                idx,
+                depth,
+                f.width
+            );
+        }
+        assert!(
+            outside <= 1 || f.corners,
+            "proc {}: read fence violation at {:?} — corner ghost read but \
+             the stencil plan declared corners: false",
+            self.rank,
+            idx
+        );
     }
 
     /// Distribution generation of this descriptor. Monotonically bumped by
@@ -353,6 +440,8 @@ impl<T: Elem, const N: usize> DistArrayN<T, N> {
 
     /// Read a visible (owned or ghost) element; `None` if remote.
     pub fn try_get(&self, idx: [usize; N]) -> Option<T> {
+        #[cfg(debug_assertions)]
+        self.check_fence(idx);
         self.storage_index(idx).map(|s| self.data[s])
     }
 
@@ -471,6 +560,68 @@ impl<T: Elem> DistArray2<T> {
     #[inline]
     pub fn put(&mut self, i: usize, j: usize, v: T) {
         self.set([i, j], v)
+    }
+
+    /// A whole contiguous run of row `i` (global indices), columns
+    /// `js.start..js.end`, as a slice.
+    ///
+    /// This is the read side of the row-form stencil interface: because
+    /// local storage is row-major with the last dimension innermost
+    /// (`stride[1] == 1`), any visible run of a row — owned cells *and*
+    /// their ghost-column neighbours — is one contiguous `&[T]`, so a
+    /// stencil body can consume three such slices and compile to an
+    /// autovectorizable tight loop instead of per-point `at` calls.
+    ///
+    /// Panics if any element of the run is not visible (owned or ghost)
+    /// on this processor, exactly like [`DistArrayN::get`].
+    #[inline]
+    pub fn row(&self, i: usize, js: std::ops::Range<usize>) -> &[T] {
+        if js.is_empty() {
+            return &[];
+        }
+        #[cfg(debug_assertions)]
+        {
+            self.check_fence([i, js.start]);
+            if js.end > js.start + 1 {
+                self.check_fence([i, js.end - 1]);
+            }
+        }
+        let s = self
+            .storage_index([i, js.start])
+            .unwrap_or_else(|| self.non_visible_row(i, js.clone()));
+        let e = self
+            .storage_index([i, js.end - 1])
+            .unwrap_or_else(|| self.non_visible_row(i, js.clone()));
+        debug_assert_eq!(e + 1 - s, js.len(), "row run must be contiguous");
+        &self.data[s..=e]
+    }
+
+    /// The write side of the row-form interface: a mutable slice of the
+    /// *owned* run of row `i`, columns `js`. Writes outside the owned box
+    /// are an owner-computes violation, exactly like [`DistArrayN::set`].
+    #[inline]
+    pub fn row_mut(&mut self, i: usize, js: std::ops::Range<usize>) -> &mut [T] {
+        if js.is_empty() {
+            return &mut [];
+        }
+        assert!(
+            self.owns([i, js.start]) && self.owns([i, js.end - 1]),
+            "proc {}: owner-computes violation — row_mut({i}, {js:?}) reaches \
+             outside the owned box",
+            self.rank
+        );
+        let s = self.storage_index_owned([i, js.start]);
+        let e = self.storage_index_owned([i, js.end - 1]);
+        &mut self.data[s..=e]
+    }
+
+    #[cold]
+    fn non_visible_row(&self, i: usize, js: std::ops::Range<usize>) -> usize {
+        panic!(
+            "proc {}: non-local row read ({i}, {js:?}) (dist {}); a ghost \
+             exchange or slice transfer must make it visible first",
+            self.rank, self.spec
+        )
     }
 }
 

@@ -27,11 +27,36 @@
 //! a redistribution that bumped the generation — discards the payloads,
 //! rolls the trip back to a fresh analytic build, and re-runs the
 //! exchange, so stale routes never reach storage.
+//!
+//! ## Active-team vote gating
+//!
+//! Every message of an exchange — fused values and the piggybacked vote
+//! headers alike — travels over the array's *active team*: the sub-team
+//! of grid ranks whose owned block is non-empty in every dimension
+//! ([`DistArrayN::active_team`]). Membership is a pure function of the
+//! array's geometry, so every member derives the same team with zero
+//! communication, and a member owning nothing (a coarse multigrid level
+//! leaves most of the machine empty) sends *no* messages at all — in
+//! particular no bare `(vote, [])` headers, which on a small coarse team
+//! would otherwise cost more traffic than the values themselves.
+//! Non-active grid members keep the *collective* cache discipline —
+//! analytic builds and stores still happen on every grid member — so the
+//! per-site vote gate and the schedule ordinal stream stay SPMD-uniform;
+//! on warm trips they note the replay locally instead of voting.
+//!
+//! One divergence is accepted and documented rather than defended: the
+//! actives decide hit-or-rollback by vote, while a non-active member
+//! consults only its local cache. A *non-collective* divergence in cache
+//! state (which the collective store discipline rules out for every
+//! SPMD-uniform program — lookups, stores and evictions all happen on
+//! every member in the same order) could therefore desynchronize the
+//! replay counters. No communication-free scheme can do better: a
+//! processor that exchanges no messages observes no votes.
 
 use std::rc::Rc;
 
 use kali_grid::Dist1;
-use kali_machine::{tag, Proc, Wire, NS_ARRAY};
+use kali_machine::{tag, Proc, Team, NS_ARRAY};
 use kali_sched::{
     ArraySchedule, CommSchedule, PendingValues, PendingVote, ScheduleCache, ScheduleExecutor,
     ScheduleWorld, SiteKey, NO_VOTE,
@@ -205,12 +230,13 @@ impl Default for HaloCache {
 /// array itself, or a same-layout snapshot taken for copy-in/copy-out
 /// updates.
 #[must_use = "a begun ghost exchange must be completed with finish_exchange_ghosts"]
-pub struct PendingHalo<T: Wire> {
+pub struct PendingHalo<T: Elem> {
     inner: PendingInner<T>,
 }
 
-enum PendingInner<T: Wire> {
-    /// Not a member of the owning grid: nothing was posted.
+enum PendingInner<T: Elem> {
+    /// Not a member of the owning grid (or owning nothing on an uncached
+    /// path): nothing was posted.
     Idle,
     /// Pessimistic posted exchange over a (fresh or wrapped) schedule.
     Plain {
@@ -220,17 +246,22 @@ enum PendingInner<T: Wire> {
     /// Optimistic posted exchange: vote headers are in flight; `hit` is
     /// the locally cached schedule (None voted [`NO_VOTE`]).
     Vote {
-        pending: PendingVote,
+        pending: PendingVote<T>,
         hit: Option<Rc<CommSchedule>>,
         corners: bool,
     },
+    /// Active-team gating: a grid member owning nothing sat the vote out.
+    /// The collective cache bookkeeping (replay note, or rollback and
+    /// rebuild-and-store) runs at finish time, where `&mut self` and the
+    /// cache are available.
+    Gated { hit: bool, corners: bool },
 }
 
-impl<T: Wire> PendingHalo<T> {
+impl<T: Elem> PendingHalo<T> {
     /// Number of ghost value messages still outstanding.
     pub fn len(&self) -> usize {
         match &self.inner {
-            PendingInner::Idle => 0,
+            PendingInner::Idle | PendingInner::Gated { .. } => 0,
             PendingInner::Plain { pending, .. } => pending.len(),
             PendingInner::Vote { pending, .. } => pending.len(),
         }
@@ -241,7 +272,39 @@ impl<T: Wire> PendingHalo<T> {
     }
 }
 
-impl<T: Elem + Wire, const N: usize> DistArrayN<T, N> {
+impl<T: Elem, const N: usize> DistArrayN<T, N> {
+    /// The *active team* of this array: the grid ranks whose owned block
+    /// is non-empty in every dimension, in grid-team order. A pure
+    /// function of the array's geometry — every member derives the same
+    /// team with no communication — so it is safe to route all exchange
+    /// traffic (values *and* optimistic vote headers) over it: a rank
+    /// owning nothing can neither serve nor request a single ghost cell,
+    /// and its vote is implied by the collective cache discipline.
+    pub fn active_team(&self) -> Team {
+        let team = self.grid.team();
+        Team::new(
+            team.ranks()
+                .iter()
+                .copied()
+                .filter(|&r| self.rank_participates(r))
+                .collect(),
+        )
+    }
+
+    /// Does rank `r` (a grid member) own a non-empty block of this array?
+    fn rank_participates(&self, r: usize) -> bool {
+        let Some(rc) = self.grid.coords_of(r) else {
+            return false;
+        };
+        (0..N).all(|d| {
+            let qd = match self.spec.grid_dim_of(d) {
+                Some(gd) => rc[gd],
+                None => 0,
+            };
+            self.dists[d].local_len(qd) > 0
+        })
+    }
+
     /// Blocking ghost exchange: derive the full-skirt (faces, edges and
     /// corners) schedule analytically and run it through the shared
     /// executor's blocking fused value round. Must be called by every
@@ -256,7 +319,10 @@ impl<T: Elem + Wire, const N: usize> DistArrayN<T, N> {
             return;
         }
         let sched = self.build_halo_schedule(proc, true);
-        let team = self.grid.team();
+        if !self.is_participant() {
+            return;
+        }
+        let team = self.active_team();
         EXEC.exchange_blocking(proc, &team, &sched, self);
     }
 
@@ -280,7 +346,12 @@ impl<T: Elem + Wire, const N: usize> DistArrayN<T, N> {
             };
         }
         let sched = Rc::new(self.build_halo_schedule(proc, corners));
-        let team = self.grid.team();
+        if !self.is_participant() {
+            return PendingHalo {
+                inner: PendingInner::Idle,
+            };
+        }
+        let team = self.active_team();
         let pending = EXEC.post(proc, &team, &sched, self);
         PendingHalo {
             inner: PendingInner::Plain { sched, pending },
@@ -295,10 +366,10 @@ impl<T: Elem + Wire, const N: usize> DistArrayN<T, N> {
         match pending.inner {
             PendingInner::Idle => {}
             PendingInner::Plain { sched, pending } => {
-                let team = self.grid.team();
+                let team = self.active_team();
                 EXEC.complete(proc, &team, &sched, self, pending);
             }
-            PendingInner::Vote { .. } => {
+            PendingInner::Vote { .. } | PendingInner::Gated { .. } => {
                 panic!(
                     "a cached ghost exchange must be completed with finish_exchange_ghosts_cached"
                 )
@@ -344,8 +415,14 @@ impl<T: Elem + Wire, const N: usize> DistArrayN<T, N> {
     /// side and every serving side agree on the per-pair element
     /// sequences without a request round. Returns the schedule plus the
     /// number of cells walked (the work the build is charged for).
+    ///
+    /// The per-peer vectors are indexed by *active-team* position (see
+    /// [`DistArrayN::active_team`]): ranks owning nothing can appear on
+    /// neither side of a ghost transfer, and dropping their slots lets
+    /// every exchange path — including the optimistic vote — run over the
+    /// active team alone.
     fn halo_schedule(&self, corners: bool) -> (CommSchedule, usize) {
-        let team = self.grid.team();
+        let team = self.active_team();
         let q = team.len();
         let mut my_reqs: Vec<Vec<u64>> = vec![Vec::new(); q];
         let mut incoming: Vec<Vec<u64>> = vec![Vec::new(); q];
@@ -462,24 +539,32 @@ impl<T: Elem + Wire, const N: usize> DistArrayN<T, N> {
     }
 }
 
-impl<const N: usize> DistArrayN<f64, N> {
+impl<T: Elem, const N: usize> DistArrayN<T, N> {
     /// The cold/rollback protocol shared by every cached blocking path:
     /// derive the schedule analytically (charged as inspection work),
     /// run the fused blocking value round through the executor, and
-    /// store the schedule for later replays.
+    /// store the schedule for later replays. The build and store run on
+    /// *every* grid member — the collective discipline that keeps the
+    /// vote gate and ordinal stream SPMD-uniform — while the value round
+    /// moves over the active team only.
     fn rebuild_and_exchange(&mut self, proc: &mut Proc, cache: &mut HaloCache, corners: bool) {
-        let team = self.grid.team();
         let key = self.halo_key(corners);
         let sched = self.build_halo_schedule(proc, corners);
-        EXEC.exchange_blocking(proc, &team, &sched, self);
+        if self.is_participant() {
+            let team = self.active_team();
+            EXEC.exchange_blocking(proc, &team, &sched, self);
+        }
         cache.cache.store(key, sched);
         proc.note_schedule_evictions(cache.cache.take_evictions());
     }
 
     /// Blocking ghost exchange through the [`HaloCache`]: a warm trip
     /// replays the cached schedule with the replay vote carried on the
-    /// fused value round ([`ScheduleExecutor::exchange_optimistic_blocking`]),
-    /// a cold trip builds analytically, exchanges, and stores.
+    /// fused value round ([`ScheduleExecutor::exchange_optimistic_blocking`])
+    /// over the active team, a cold trip builds analytically, exchanges,
+    /// and stores. A grid member owning nothing exchanges no messages at
+    /// all (active-team gating) and keeps only the collective cache
+    /// bookkeeping.
     pub fn exchange_ghosts_cached(
         &mut self,
         proc: &mut Proc,
@@ -489,22 +574,36 @@ impl<const N: usize> DistArrayN<f64, N> {
         if !self.in_grid() {
             return;
         }
-        let team = self.grid.team();
         let key = self.halo_key(corners);
         if cache.cache.has_site_team(key.site(), key.team_ranks()) {
-            let local = cache.cache.lookup(&key);
-            let vote = local.as_ref().map_or(NO_VOTE, |(seq, _)| *seq as i64);
-            let hit = local.as_ref().map(|(_, s)| (s.as_ref(), &*self));
-            let outcome = EXEC.exchange_optimistic_blocking(proc, &team, vote, hit);
-            match (outcome.agreed, local) {
-                (Some(seq), Some((cached_seq, sched))) => {
-                    debug_assert_eq!(cached_seq, seq);
-                    proc.note_schedule_replay();
-                    proc.note_optimistic_hit();
-                    EXEC.scatter_agreed(proc, &sched, self, &outcome);
-                    return;
+            if !self.is_participant() {
+                // Gated out of the vote: decide replay-or-rollback from
+                // the local cache alone (collective stores keep it in
+                // step with the actives' verdict).
+                match cache.cache.lookup(&key) {
+                    Some(_) => {
+                        proc.note_schedule_replay();
+                        proc.note_optimistic_hit();
+                        return;
+                    }
+                    None => proc.note_rollback(),
                 }
-                _ => proc.note_rollback(),
+            } else {
+                let team = self.active_team();
+                let local = cache.cache.lookup(&key);
+                let vote = local.as_ref().map_or(NO_VOTE, |(seq, _)| *seq as i64);
+                let hit = local.as_ref().map(|(_, s)| (s.as_ref(), &*self));
+                let outcome = EXEC.exchange_optimistic_blocking(proc, &team, vote, hit);
+                match (outcome.agreed, local) {
+                    (Some(seq), Some((cached_seq, sched))) => {
+                        debug_assert_eq!(cached_seq, seq);
+                        proc.note_schedule_replay();
+                        proc.note_optimistic_hit();
+                        EXEC.scatter_agreed(proc, &sched, self, &outcome);
+                        return;
+                    }
+                    _ => proc.note_rollback(),
+                }
             }
         }
         self.rebuild_and_exchange(proc, cache, corners);
@@ -512,26 +611,38 @@ impl<const N: usize> DistArrayN<f64, N> {
 
     /// Split-phase ghost exchange through the [`HaloCache`], post half.
     /// A warm trip posts the cached schedule's fused value messages with
-    /// the replay vote as a one-word header — no analytic rebuild, no
-    /// dedicated vote round; a cold trip builds analytically, stores,
-    /// and posts pessimistically (the store is collective per site and
-    /// team, so the vote gate stays SPMD-uniform). Complete with
+    /// the replay vote as a one-word header over the active team — no
+    /// analytic rebuild, no dedicated vote round; a cold trip builds
+    /// analytically, stores, and posts pessimistically (the store is
+    /// collective per site and team, so the vote gate stays
+    /// SPMD-uniform). Complete with
     /// [`DistArrayN::finish_exchange_ghosts_cached`].
     pub fn begin_exchange_ghosts_cached(
         &self,
         proc: &mut Proc,
         cache: &mut HaloCache,
         corners: bool,
-    ) -> PendingHalo<f64> {
+    ) -> PendingHalo<T> {
         if !self.in_grid() {
             return PendingHalo {
                 inner: PendingInner::Idle,
             };
         }
-        let team = self.grid.team();
         let key = self.halo_key(corners);
         if cache.cache.has_site_team(key.site(), key.team_ranks()) {
             let local = cache.cache.lookup(&key);
+            if !self.is_participant() {
+                // Gated out of the vote; the (possibly collective-
+                // rollback) bookkeeping needs `&mut self`, so it runs at
+                // finish time.
+                return PendingHalo {
+                    inner: PendingInner::Gated {
+                        hit: local.is_some(),
+                        corners,
+                    },
+                };
+            }
+            let team = self.active_team();
             let vote = local.as_ref().map_or(NO_VOTE, |(seq, _)| *seq as i64);
             let hit = local.as_ref().map(|(_, s)| (s.as_ref(), &*self));
             let pending = EXEC.post_optimistic(proc, &team, vote, hit);
@@ -544,6 +655,14 @@ impl<const N: usize> DistArrayN<f64, N> {
             };
         }
         let sched = self.build_halo_schedule(proc, corners);
+        if !self.is_participant() {
+            cache.cache.store(key, sched);
+            proc.note_schedule_evictions(cache.cache.take_evictions());
+            return PendingHalo {
+                inner: PendingInner::Idle,
+            };
+        }
+        let team = self.active_team();
         let pending = EXEC.post(proc, &team, &sched, self);
         let (_, sched) = cache.cache.store(key, sched);
         proc.note_schedule_evictions(cache.cache.take_evictions());
@@ -562,13 +681,22 @@ impl<const N: usize> DistArrayN<f64, N> {
         &mut self,
         proc: &mut Proc,
         cache: &mut HaloCache,
-        pending: PendingHalo<f64>,
+        pending: PendingHalo<T>,
     ) {
         match pending.inner {
             PendingInner::Idle => {}
             PendingInner::Plain { sched, pending } => {
-                let team = self.grid.team();
+                let team = self.active_team();
                 EXEC.complete(proc, &team, &sched, self, pending);
+            }
+            PendingInner::Gated { hit, corners } => {
+                if hit {
+                    proc.note_schedule_replay();
+                    proc.note_optimistic_hit();
+                } else {
+                    proc.note_rollback();
+                    self.rebuild_and_exchange(proc, cache, corners);
+                }
             }
             PendingInner::Vote {
                 pending,

@@ -32,5 +32,5 @@ mod arrays;
 mod halo;
 mod xfer;
 
-pub use arrays::{DistArray1, DistArray2, DistArray3, DistArrayN, Elem};
+pub use arrays::{DistArray1, DistArray2, DistArray3, DistArrayN, Elem, Real};
 pub use halo::{HaloCache, HaloKey, PendingHalo};

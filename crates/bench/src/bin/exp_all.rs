@@ -21,6 +21,7 @@ fn main() {
         ("S2", kali_bench::exp_overlap::run),
         ("S3", kali_bench::exp_halo_cache::run),
         ("S4", kali_bench::exp_serve::run),
+        ("S5", kali_bench::exp_elem::run),
     ];
     let mut docs = Vec::new();
     for (id, f) in experiments {

@@ -1,0 +1,6 @@
+//! Regenerates the generic-element / row-form experiment; `--smoke`
+//! shrinks the workloads for CI, `--json` emits the machine-readable
+//! document tracked as BENCH_elem.json.
+fn main() {
+    kali_bench::exp_main(kali_bench::exp_elem::run);
+}

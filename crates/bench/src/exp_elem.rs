@@ -1,0 +1,364 @@
+//! Generic element types and row-form interiors: what do `f32` fields
+//! and SIMD-friendly slice bodies buy on the compiled path?
+//!
+//! The compiled path is generic over [`kali_array::Elem`]: every halo
+//! word carries `Elem::WIRE_BYTES` of payload, so a 4-byte element packs
+//! two values per 8-byte machine word and *halves the wire* for the same
+//! grid. Independently, [`kali_runtime::ExecPolicy::rows`] hands stencil
+//! bodies whole contiguous row segments (`update2_rows`) instead of one
+//! point at a time, turning the hot loop into straight-line slice
+//! arithmetic the compiler can vectorize — bitwise identical to the
+//! per-point form by construction.
+//!
+//! Two measurements, archived as BENCH_elem.json:
+//!
+//! 1. **Wire**: the compiled Jacobi sweep on the simulator, `f64` vs
+//!    `f32`, under the pessimistic policy (pure payload: with the even
+//!    face rows used here the f32 exchange is *exactly* half) and the
+//!    default optimistic policy (one piggybacked vote word per message;
+//!    the ratio rises slightly above 1/2 but stays ≤ 0.55).
+//! 2. **Wall clock**: the same sweep on the real-threads backend at
+//!    4 workers, per-point form vs row form (and row-form `f32`),
+//!    best-of-`reps`. The row form must not be slower than the point
+//!    form, and both forms must agree bitwise.
+
+use std::time::Duration;
+
+use kali_array::{DistArray2, Real};
+use kali_grid::{DistSpec, ProcGrid};
+use kali_machine::{BackendKind, CostModel, Machine, RunReport, Topology};
+use kali_runtime::{Ctx, ExecPolicy};
+use kali_solvers::jacobi::jacobi_step;
+
+use crate::json::Json;
+use crate::{fmt_s, ExpOpts, ExpOut, Table};
+
+/// `sweeps` compiled Jacobi trips over a `(n+1)²` field on a 2×2 grid,
+/// generic over the element type. Returns the gathered field as checksum
+/// bit patterns (root's copy) plus the run report; the bit patterns let
+/// callers compare row/point forms and sim/threads runs for exact
+/// equality without caring about `T`.
+fn jacobi_elem<T: Real>(
+    backend: BackendKind,
+    n: usize,
+    sweeps: usize,
+    policy: ExecPolicy,
+) -> (Vec<u64>, RunReport) {
+    let mcfg = Machine::build(backend, Topology::FullyConnected, CostModel::ipsc2())
+        .procs(4)
+        .watchdog(Duration::from_secs(120))
+        .config();
+    let run = Machine::run(mcfg, move |proc| {
+        let grid = ProcGrid::new_2d(2, 2);
+        let spec = DistSpec::block2();
+        let mut u = DistArray2::<T>::new(proc.rank(), &grid, &spec, [n + 1, n + 1], [1, 1]);
+        let f = DistArray2::from_fn(
+            proc.rank(),
+            &grid,
+            &spec,
+            [n + 1, n + 1],
+            [0, 0],
+            |[i, j]| T::from_f64(((i * 5 + j) % 7) as f64 / 70.0),
+        );
+        let mut ctx = Ctx::with_policy(proc, grid, policy);
+        for _ in 0..sweeps {
+            jacobi_step(&mut ctx, &mut u, &f);
+        }
+        u.gather_to_root(ctx.proc())
+            .map(|field| field.iter().map(|v| v.checksum_bits()).collect::<Vec<_>>())
+    });
+    let field = run
+        .results
+        .into_iter()
+        .flatten()
+        .next()
+        .expect("root gathers the field");
+    (field, run.report)
+}
+
+struct WireRow {
+    element: &'static str,
+    policy: &'static str,
+    exchange_words: u64,
+    total_words: u64,
+    msgs: u64,
+    elapsed: f64,
+}
+
+fn wire_row<T: Real>(
+    element: &'static str,
+    policy_name: &'static str,
+    n: usize,
+    sweeps: usize,
+    policy: ExecPolicy,
+) -> WireRow {
+    let (_, rep) = jacobi_elem::<T>(BackendKind::Sim, n, sweeps, policy);
+    WireRow {
+        element,
+        policy: policy_name,
+        exchange_words: rep.total_exchange_words,
+        total_words: rep.total_words,
+        msgs: rep.total_msgs,
+        elapsed: rep.elapsed,
+    }
+}
+
+struct FormRow {
+    form: &'static str,
+    best_wall: f64,
+    matches_point: bool,
+}
+
+/// Best-of-`reps` wall clock for one (element, form) on real threads,
+/// plus a bitwise comparison against the f64 per-point reference field
+/// (for the f32 row, the comparison is reported but expected `false` —
+/// different precision, different bits).
+fn form_row<T: Real>(
+    form: &'static str,
+    n: usize,
+    sweeps: usize,
+    reps: usize,
+    policy: ExecPolicy,
+    reference: &[u64],
+) -> FormRow {
+    let mut best = f64::INFINITY;
+    let mut matches = true;
+    for _ in 0..reps {
+        let (field, rep) = jacobi_elem::<T>(BackendKind::Threads, n, sweeps, policy);
+        best = best.min(rep.wall_seconds);
+        matches &= field == reference;
+    }
+    FormRow {
+        form,
+        best_wall: best,
+        matches_point: matches,
+    }
+}
+
+/// `opts.smoke` shrinks the grids and sweep counts for CI.
+pub fn run(opts: ExpOpts) -> ExpOut {
+    // Wire part: n odd so the global extent n+1 is even and the face
+    // rows each rank exchanges have even length — f32 packs them into
+    // whole words with no odd tail, making the pessimistic halving exact.
+    let (wire_n, wire_sweeps) = if opts.smoke {
+        (31usize, 4usize)
+    } else {
+        (63, 8)
+    };
+    let wire_rows = vec![
+        wire_row::<f64>(
+            "f64",
+            "pessimistic",
+            wire_n,
+            wire_sweeps,
+            ExecPolicy::pessimistic(),
+        ),
+        wire_row::<f32>(
+            "f32",
+            "pessimistic",
+            wire_n,
+            wire_sweeps,
+            ExecPolicy::pessimistic(),
+        ),
+        wire_row::<f64>(
+            "f64",
+            "optimistic",
+            wire_n,
+            wire_sweeps,
+            ExecPolicy::default(),
+        ),
+        wire_row::<f32>(
+            "f32",
+            "optimistic",
+            wire_n,
+            wire_sweeps,
+            ExecPolicy::default(),
+        ),
+    ];
+
+    let mut tw = Table::new(&[
+        "element",
+        "policy",
+        "exchange words",
+        "total words",
+        "msgs",
+        "elapsed",
+    ]);
+    let mut raw_wire = Vec::new();
+    for r in &wire_rows {
+        tw.row(vec![
+            r.element.to_string(),
+            r.policy.to_string(),
+            r.exchange_words.to_string(),
+            r.total_words.to_string(),
+            r.msgs.to_string(),
+            fmt_s(r.elapsed),
+        ]);
+        raw_wire.push(Json::obj(vec![
+            ("element", Json::str(r.element)),
+            ("policy", Json::str(r.policy)),
+            ("exchange_words", Json::from(r.exchange_words)),
+            ("total_words", Json::from(r.total_words)),
+            ("msgs", Json::from(r.msgs)),
+            ("elapsed_s", Json::Num(r.elapsed)),
+        ]));
+    }
+    let ratio = |policy: &str| {
+        let words = |el: &str| {
+            wire_rows
+                .iter()
+                .find(|r| r.element == el && r.policy == policy)
+                .expect("wire row")
+                .exchange_words as f64
+        };
+        words("f32") / words("f64")
+    };
+    let (pess_ratio, opt_ratio) = (ratio("pessimistic"), ratio("optimistic"));
+
+    // Form part: per-point vs row-form on the real-threads backend at
+    // 4 workers, best of `reps`; always measured, whatever KALI_BACKEND
+    // says, so the wire and wall-clock results sit side by side.
+    let (fn_, fsweeps, reps) = if opts.smoke {
+        (256usize, 8usize, 3usize)
+    } else {
+        (512, 12, 5)
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (point_field, _) = jacobi_elem::<f64>(
+        BackendKind::Threads,
+        fn_,
+        fsweeps,
+        ExecPolicy::default().point_form(),
+    );
+    let form_rows = vec![
+        form_row::<f64>(
+            "f64 point",
+            fn_,
+            fsweeps,
+            reps,
+            ExecPolicy::default().point_form(),
+            &point_field,
+        ),
+        form_row::<f64>(
+            "f64 rows",
+            fn_,
+            fsweeps,
+            reps,
+            ExecPolicy::default(),
+            &point_field,
+        ),
+        form_row::<f32>(
+            "f32 rows",
+            fn_,
+            fsweeps,
+            reps,
+            ExecPolicy::default(),
+            &point_field,
+        ),
+    ];
+
+    let point_wall = form_rows[0].best_wall;
+    let mut tf = Table::new(&["form", "best wall", "vs point", "matches point bits"]);
+    let mut raw_form = Vec::new();
+    for r in &form_rows {
+        tf.row(vec![
+            r.form.to_string(),
+            fmt_s(r.best_wall),
+            format!("{:.2}x", point_wall / r.best_wall),
+            if r.matches_point { "yes" } else { "no" }.to_string(),
+        ]);
+        raw_form.push(Json::obj(vec![
+            ("form", Json::str(r.form)),
+            ("best_wall_s", Json::Num(r.best_wall)),
+            ("speedup_vs_point", Json::Num(point_wall / r.best_wall)),
+            ("matches_point_bits", Json::Bool(r.matches_point)),
+        ]));
+    }
+
+    let text = format!(
+        "=== Generic elements + row-form interiors (compiled jacobi) ===\n\n\
+         Wire: jacobi {wn}², 2x2 procs, {ws} sweeps, sim backend:\n\n{}\n\
+         f32/f64 exchange-word ratio: {pess_ratio:.3} pessimistic (exact 1/2:\n\
+         pure payload, even face rows), {opt_ratio:.3} optimistic (one vote\n\
+         word piggybacked per message).\n\n\
+         Form: jacobi {fnn}², 4 workers, {fs} sweeps, real threads, best of\n\
+         {reps} ({cores} hardware threads available):\n\n{}\n\
+         The row form hands the stencil body whole contiguous row slices\n\
+         instead of one point per closure call; it must not be slower than\n\
+         the per-point form and must produce bitwise-identical fields. The\n\
+         f32 row differs bitwise from f64 by construction (precision), but\n\
+         rides the same halved wire measured above.\n",
+        tw.render(),
+        tf.render(),
+        wn = wire_n + 1,
+        ws = wire_sweeps,
+        fnn = fn_ + 1,
+        fs = fsweeps,
+    );
+    ExpOut::new("elem", text)
+        .with_table("wire", tw)
+        .with_table("form", tf)
+        .with_extra("wire_rows", Json::Arr(raw_wire))
+        .with_extra("wire_ratio_pessimistic", Json::Num(pess_ratio))
+        .with_extra("wire_ratio_optimistic", Json::Num(opt_ratio))
+        .with_extra("form_rows", Json::Arr(raw_form))
+        .with_extra("available_parallelism", Json::from(cores))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_halves_the_wire() {
+        // Pessimistic policy, even face rows: pure payload, so the f32
+        // exchange must be *exactly* half the f64 one. With the
+        // piggybacked vote word the ratio rises but stays within the
+        // ≤ 0.55 budget CI enforces on BENCH_elem.json.
+        let (_, r64) = jacobi_elem::<f64>(BackendKind::Sim, 31, 3, ExecPolicy::pessimistic());
+        let (_, r32) = jacobi_elem::<f32>(BackendKind::Sim, 31, 3, ExecPolicy::pessimistic());
+        assert_eq!(r64.total_exchange_words, 2 * r32.total_exchange_words);
+
+        let (_, o64) = jacobi_elem::<f64>(BackendKind::Sim, 31, 3, ExecPolicy::default());
+        let (_, o32) = jacobi_elem::<f32>(BackendKind::Sim, 31, 3, ExecPolicy::default());
+        assert!(
+            100 * o32.total_exchange_words <= 55 * o64.total_exchange_words,
+            "optimistic f32 wire {} vs f64 {}",
+            o32.total_exchange_words,
+            o64.total_exchange_words
+        );
+    }
+
+    #[test]
+    fn row_form_matches_point_form_and_is_not_slower() {
+        let (n, sweeps, reps) = (128, 4, 3);
+        let (point_field, _) = jacobi_elem::<f64>(
+            BackendKind::Threads,
+            n,
+            sweeps,
+            ExecPolicy::default().point_form(),
+        );
+        let point = form_row::<f64>(
+            "point",
+            n,
+            sweeps,
+            reps,
+            ExecPolicy::default().point_form(),
+            &point_field,
+        );
+        let rows = form_row::<f64>("rows", n, sweeps, reps, ExecPolicy::default(), &point_field);
+        // Bitwise parity holds unconditionally.
+        assert!(point.matches_point && rows.matches_point);
+        // The wall-clock ordering is only enforced where the 4 workers
+        // have real hardware parallelism, mirroring the CI gate.
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cores >= 4 {
+            assert!(
+                rows.best_wall <= point.best_wall,
+                "row form {} vs point form {}",
+                rows.best_wall,
+                point.best_wall
+            );
+        }
+    }
+}

@@ -14,6 +14,7 @@ use kali_machine::{BackendKind, CostModel, Machine, MachineConfig, Topology};
 
 pub mod exp_adi;
 pub mod exp_distributions;
+pub mod exp_elem;
 pub mod exp_fig1_structure;
 pub mod exp_fig3_dataflow;
 pub mod exp_fig5_pipeline;

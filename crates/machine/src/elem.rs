@@ -1,0 +1,159 @@
+//! The [`Elem`] trait: the element types a distributed array may hold.
+//!
+//! The paper's tensor-product constructs are element-type agnostic; this
+//! trait is the one place the machine model learns what an element *is* —
+//! how wide it rides on the 1989-style interconnect ([`Elem::WIRE_BYTES`],
+//! [`Elem::slice_words`]), what its additive identity is, and how to fold
+//! it into a bitwise-stable checksum. Everything above the machine
+//! (`DistArrayN`, the split-phase executor, `StencilPlan`) is generic over
+//! `T: Elem`, so a 4-byte element halves `exchange_words` end to end
+//! without touching protocol code.
+//!
+//! `Elem` lives here, next to [`Wire`](crate::Wire), rather than in the
+//! umbrella `kali` crate: the wire width of an element is a property of
+//! the machine's cost model, and every other crate already depends on
+//! this one.
+
+use crate::Wire;
+
+/// An element type a distributed array can hold and the machine can ship.
+///
+/// Implementations are *nominal*, not blanket: the exchange-word
+/// accounting ([`slice_words`](Elem::slice_words)) and the checksum
+/// channel must be audited per type, so the library provides exactly
+/// `f64` and `f32` today. A future complex element for the FFT path adds
+/// a third impl here — no executor or plan code changes.
+pub trait Elem:
+    Copy + Default + PartialEq + std::fmt::Debug + Wire + Send + Sync + 'static
+{
+    /// Bytes one element occupies on the wire. Message payloads are
+    /// charged in 8-byte words; a contiguous slice of elements packs
+    /// `8 / WIRE_BYTES` elements per word (see [`Elem::slice_words`]).
+    const WIRE_BYTES: usize;
+
+    /// The additive identity (ghost cells and fresh arrays start here).
+    #[inline]
+    fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Packed wire size, in 8-byte words, of `n` contiguous elements:
+    /// `ceil(n · WIRE_BYTES / 8)`. Two `f32` ride in one word; `f64` is
+    /// word-per-element, so the `f64` accounting is bit-identical to the
+    /// historical element-count accounting.
+    #[inline]
+    fn slice_words(n: usize) -> usize {
+        (n * Self::WIRE_BYTES).div_ceil(8)
+    }
+
+    /// The element's exact bit pattern widened to 64 bits, for
+    /// replicated, backend-portable checksums (kali-serve compares these
+    /// across passes and across sim/threads).
+    fn checksum_bits(self) -> u64;
+
+    /// Lossy-in, exact-out conversion pair: `f64` is the library's
+    /// "literal" type (problem setup, reductions, tolerances).
+    fn from_f64(v: f64) -> Self;
+
+    /// Widen to `f64` for reductions and convergence tests. Exact for
+    /// both provided impls.
+    fn to_f64(self) -> f64;
+}
+
+impl Elem for f64 {
+    const WIRE_BYTES: usize = 8;
+
+    #[inline]
+    fn checksum_bits(self) -> u64 {
+        self.to_bits()
+    }
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+impl Elem for f32 {
+    const WIRE_BYTES: usize = 4;
+
+    #[inline]
+    fn checksum_bits(self) -> u64 {
+        self.to_bits() as u64
+    }
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+/// The arithmetic the stencil solvers need on top of [`Elem`]: a real
+/// field with ordering. Kept separate so a future non-ordered element
+/// (complex, for the FFT path) can be an `Elem` without pretending to be
+/// ordered.
+pub trait Real:
+    Elem
+    + PartialOrd
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + std::ops::Div<Output = Self>
+    + std::ops::Neg<Output = Self>
+{
+}
+
+impl Real for f64 {}
+impl Real for f32 {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_slice_words_match_element_counts() {
+        // The historical accounting charged one word per f64 element;
+        // the packed form must agree exactly so every pinned
+        // exchange-word counter survives the generalization.
+        for n in 0..100 {
+            assert_eq!(f64::slice_words(n), n);
+        }
+    }
+
+    #[test]
+    fn f32_packs_two_per_word() {
+        assert_eq!(f32::slice_words(0), 0);
+        assert_eq!(f32::slice_words(1), 1);
+        assert_eq!(f32::slice_words(2), 1);
+        assert_eq!(f32::slice_words(3), 2);
+        assert_eq!(f32::slice_words(16), 8);
+        assert_eq!(f32::slice_words(17), 9);
+    }
+
+    #[test]
+    fn checksum_bits_are_exact_bit_patterns() {
+        assert_eq!(1.5f64.checksum_bits(), 1.5f64.to_bits());
+        assert_eq!(1.5f32.checksum_bits(), 1.5f32.to_bits() as u64);
+        assert_ne!((-0.0f64).checksum_bits(), 0.0f64.checksum_bits());
+    }
+
+    #[test]
+    fn f64_round_trips_exactly() {
+        for v in [0.0, -1.25, 3.5e300, f64::MIN_POSITIVE] {
+            assert_eq!(f64::from_f64(v).to_f64(), v);
+        }
+        // f32 widening is exact even though narrowing is not.
+        let x = f32::from_f64(0.1);
+        assert_eq!(x.to_f64() as f32, x);
+    }
+}

@@ -47,6 +47,7 @@
 
 pub mod backend;
 mod cost;
+mod elem;
 mod machine;
 mod proc;
 mod report;
@@ -57,6 +58,7 @@ pub mod collective;
 
 pub use backend::{Backend, BackendKind};
 pub use cost::CostModel;
+pub use elem::{Elem, Real};
 pub use machine::{Machine, MachineBuilder, MachineConfig, MachineRun, SimRun};
 pub use proc::{PendingRecv, PendingSend, Proc, ProcStats, Team};
 pub use report::{ProcReport, RunReport};

@@ -10,6 +10,21 @@
 pub trait Wire: Send + 'static {
     /// Size of the encoded value in 8-byte words.
     fn wire_words(&self) -> usize;
+
+    /// Packed size of a *contiguous slice* of this type, in 8-byte words.
+    ///
+    /// Containers (`Vec<T>`, `[T; N]`) charge their elements through this
+    /// hook rather than summing per-element [`Wire::wire_words`], so a
+    /// sub-word scalar can pack: `f32` overrides it to ride two per word,
+    /// halving the value traffic of single-precision ghost exchanges.
+    /// The default — the plain per-element sum — keeps every other type's
+    /// accounting unchanged.
+    fn slice_wire_words(vals: &[Self]) -> usize
+    where
+        Self: Sized,
+    {
+        vals.iter().map(Wire::wire_words).sum()
+    }
 }
 
 macro_rules! scalar_wire {
@@ -21,7 +36,21 @@ macro_rules! scalar_wire {
     )*};
 }
 
-scalar_wire!(f64, f32, i64, u64, i32, u32, usize, isize, bool);
+scalar_wire!(f64, i64, u64, i32, u32, usize, isize, bool);
+
+impl Wire for f32 {
+    /// A bare `f32` still occupies a whole word — scalar messages cannot
+    /// pack — but contiguous slices ride two elements per word.
+    #[inline]
+    fn wire_words(&self) -> usize {
+        1
+    }
+
+    #[inline]
+    fn slice_wire_words(vals: &[Self]) -> usize {
+        vals.len().div_ceil(2)
+    }
+}
 
 impl Wire for () {
     #[inline]
@@ -53,13 +82,13 @@ impl<T: Wire, U: Wire, V: Wire, W: Wire> Wire for (T, U, V, W) {
 
 impl<T: Wire> Wire for Vec<T> {
     fn wire_words(&self) -> usize {
-        self.iter().map(Wire::wire_words).sum()
+        T::slice_wire_words(self)
     }
 }
 
 impl<T: Wire, const N: usize> Wire for [T; N] {
     fn wire_words(&self) -> usize {
-        self.iter().map(Wire::wire_words).sum()
+        T::slice_wire_words(self)
     }
 }
 
@@ -116,5 +145,17 @@ mod tests {
     fn nested_vectors() {
         let v: Vec<Vec<f64>> = vec![vec![0.0; 3], vec![0.0; 5]];
         assert_eq!(v.wire_words(), 8);
+    }
+
+    #[test]
+    fn f32_slices_pack_two_per_word() {
+        assert_eq!(2.0f32.wire_words(), 1, "bare scalars cannot pack");
+        assert_eq!(vec![0.0f32; 16].wire_words(), 8);
+        assert_eq!(vec![0.0f32; 17].wire_words(), 9, "odd tail rounds up");
+        assert_eq!([0.0f32; 6].wire_words(), 3);
+        assert_eq!(Vec::<f32>::new().wire_words(), 0);
+        // The vote-header tuple: one header word plus the packed payload.
+        assert_eq!((7i64, vec![0.0f32; 10]).wire_words(), 6);
+        assert_eq!((7i64, vec![0.0f64; 10]).wire_words(), 11);
     }
 }

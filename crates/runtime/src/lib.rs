@@ -45,6 +45,21 @@
 //! | `doall1_split(gd, dist, r, m, complete, body)` | `ctx.plan().reads(&mut a, Ghosts::full(m)).run_lines(d, r, body)` |
 //! | `a.exchange_ghosts(proc)` (in solver code) | `ctx.plan().reads(&mut a, Ghosts::full(1)).refresh()` |
 //! | `zebra2_with(.., split)` / `rest2_with(.., split)` / `mg2_vcycle_with(.., split)` | `ctx.set_policy(..)` once; call `zebra2` / `rest2` / `mg2_vcycle` |
+//!
+//! ### Migrating to generic elements and row-form interiors
+//!
+//! The plan API is generic over [`kali_array::Elem`] — existing `f64`
+//! call sites compile unchanged, and `DistArray2<f32>` fields flow
+//! through the same entry points with half the exchange words. The hot
+//! loop shapes additionally have row-form siblings,
+//! [`PlanRead::update2_rows`] and [`PlanRead::run2_rows`], which hand
+//! the body whole contiguous row segments (`&[T]` in, `&mut [T]` out)
+//! instead of one point per closure call so the interior vectorizes;
+//! [`ExecPolicy::rows`] (on by default) selects which form the solver
+//! entry points dispatch to, and [`ExecPolicy::point_form`] is the
+//! bitwise-identical per-point differential baseline. Per-point code
+//! needs no migration — port an interior to the row form only when it
+//! is hot.
 
 use kali_array::{DistArray2, DistArrayN, Elem, HaloCache};
 use kali_grid::{Dist1, ProcGrid};
@@ -306,11 +321,14 @@ impl<'a> Ctx<'a> {
 }
 
 /// Squared 2-norm of a distributed array over the current grid
-/// (replicated result).
-pub fn global_norm2<const N: usize>(ctx: &mut Ctx, a: &DistArrayN<f64, N>) -> f64 {
+/// (replicated result). Accumulates in `f64` regardless of the element
+/// type, so `f32` arrays get a full-precision residual norm — the usual
+/// mixed-precision discipline.
+pub fn global_norm2<T: Elem, const N: usize>(ctx: &mut Ctx, a: &DistArrayN<T, N>) -> f64 {
     let mut local = 0.0;
     let mut count = 0usize;
     a.for_each_owned(|_, v| {
+        let v = v.to_f64();
         local += v * v;
         count += 1;
     });
@@ -318,12 +336,13 @@ pub fn global_norm2<const N: usize>(ctx: &mut Ctx, a: &DistArrayN<f64, N>) -> f6
     ctx.allreduce_sum(local)
 }
 
-/// Max-abs of a distributed array over the current grid (replicated result).
-pub fn global_max_abs<const N: usize>(ctx: &mut Ctx, a: &DistArrayN<f64, N>) -> f64 {
+/// Max-abs of a distributed array over the current grid (replicated
+/// result). Compares in `f64` regardless of the element type.
+pub fn global_max_abs<T: Elem, const N: usize>(ctx: &mut Ctx, a: &DistArrayN<T, N>) -> f64 {
     let mut local = 0.0f64;
     let mut count = 0usize;
     a.for_each_owned(|_, v| {
-        local = local.max(v.abs());
+        local = local.max(v.to_f64().abs());
         count += 1;
     });
     ctx.proc().compute(count as f64);

@@ -36,7 +36,7 @@
 //! * [`PlanRead::refresh`] — the bare ghost refresh, for consumers that
 //!   only need the skirt made current.
 
-use kali_array::{DistArray2, DistArrayN, PendingHalo};
+use kali_array::{DistArray2, DistArrayN, Elem, PendingHalo};
 use kali_sched::{SplitBox2, SplitRange1};
 
 use crate::Ctx;
@@ -110,11 +110,17 @@ impl<'c, 'p> StencilPlan<'c, 'p> {
     /// declaration; the array is handed back to the loop body (shared
     /// for [`PlanRead::run2`]/[`PlanRead::update2`], mutable for
     /// [`PlanRead::run_lines`]) once its skirt is current.
-    pub fn reads<'a, const N: usize>(
+    ///
+    /// Generic over the element type: an `f32` array halves the wire
+    /// words of every ghost exchange ([`kali_array::Elem`]) with no
+    /// change to the plan, the schedule cache, or the consensus protocol
+    /// (the replay vote travels in its own element-independent header
+    /// channel).
+    pub fn reads<'a, T: Elem, const N: usize>(
         self,
-        a: &'a mut DistArrayN<f64, N>,
+        a: &'a mut DistArrayN<T, N>,
         ghosts: Ghosts,
-    ) -> PlanRead<'c, 'p, 'a, N> {
+    ) -> PlanRead<'c, 'p, 'a, T, N> {
         PlanRead {
             ctx: self.ctx,
             policy: self.policy,
@@ -126,23 +132,23 @@ impl<'c, 'p> StencilPlan<'c, 'p> {
 
 /// The result of an armed plan's ghost refresh: either already complete
 /// (blocking policies) or in flight (split policies).
-enum Refresh {
+enum Refresh<T: Elem> {
     Done,
-    Pending(PendingHalo<f64>),
+    Pending(PendingHalo<T>),
 }
 
 /// A stencil plan with its communicated array attached; consumed by one
 /// of the run entry points.
-pub struct PlanRead<'c, 'p, 'a, const N: usize> {
+pub struct PlanRead<'c, 'p, 'a, T: Elem, const N: usize> {
     ctx: &'c mut Ctx<'p>,
     policy: ExecPolicy,
-    a: &'a mut DistArrayN<f64, N>,
+    a: &'a mut DistArrayN<T, N>,
     ghosts: Ghosts,
 }
 
-impl<const N: usize> PlanRead<'_, '_, '_, N> {
+impl<T: Elem, const N: usize> PlanRead<'_, '_, '_, T, N> {
     /// Start the declared ghost refresh under the plan's policy.
-    fn begin(&mut self) -> Refresh {
+    fn begin(&mut self) -> Refresh<T> {
         let corners = self.ghosts.corners;
         let (proc, halo) = self.ctx.proc_and_halo();
         match (self.policy.split, self.policy.optimistic) {
@@ -166,8 +172,8 @@ impl<const N: usize> PlanRead<'_, '_, '_, N> {
     fn finish(
         policy: ExecPolicy,
         ctx: &mut Ctx,
-        target: &mut DistArrayN<f64, N>,
-        pending: PendingHalo<f64>,
+        target: &mut DistArrayN<T, N>,
+        pending: PendingHalo<T>,
     ) {
         let (proc, halo) = ctx.proc_and_halo();
         if policy.optimistic {
@@ -196,7 +202,7 @@ impl<const N: usize> PlanRead<'_, '_, '_, N> {
         mut self,
         d: usize,
         range: std::ops::Range<usize>,
-        mut body: impl FnMut(&mut Ctx, &mut DistArrayN<f64, N>, usize),
+        mut body: impl FnMut(&mut Ctx, &mut DistArrayN<T, N>, usize),
     ) {
         let refresh = self.begin();
         let PlanRead {
@@ -211,6 +217,8 @@ impl<const N: usize> PlanRead<'_, '_, '_, N> {
             }
             return;
         }
+        // Debug builds deny the body reads outside the declared skirt.
+        a.set_read_fence(ghosts.width, ghosts.corners);
         let owned = a.owned_range(d);
         match refresh {
             Refresh::Done => {
@@ -224,14 +232,17 @@ impl<const N: usize> PlanRead<'_, '_, '_, N> {
                 let margin = ghosts.width.min(a.ghosts()[d]);
                 let split = SplitRange1::new(owned, range, margin);
                 split.for_interior(|j| body(ctx, a, j));
+                a.clear_read_fence();
                 Self::finish(policy, ctx, a, p);
+                a.set_read_fence(ghosts.width, ghosts.corners);
                 split.for_boundary(|j| body(ctx, a, j));
             }
         }
+        a.clear_read_fence();
     }
 }
 
-impl PlanRead<'_, '_, '_, 2> {
+impl<T: Elem> PlanRead<'_, '_, '_, T, 2> {
     /// Copy-in/copy-out product-range update (the `doall` semantics of
     /// §2): ghosts are refreshed, the *old* array (owned block + skirt)
     /// is snapshotted, and every owned point of `[r0] × [r1]` is
@@ -245,10 +256,33 @@ impl PlanRead<'_, '_, '_, 2> {
         r0: std::ops::Range<usize>,
         r1: std::ops::Range<usize>,
         flops_per_point: f64,
-        f: impl Fn(&DistArray2<f64>, usize, usize) -> f64,
+        f: impl Fn(&DistArray2<T>, usize, usize) -> T,
     ) {
         self.drive2(r0, r1, flops_per_point, true, |_, a, old, i, j| {
             a.set([i, j], f(old.expect("update2 always snapshots"), i, j))
+        });
+    }
+
+    /// Row-form sibling of [`PlanRead::update2`]: the same copy-in/
+    /// copy-out semantics, the same points, the same flop accounting —
+    /// but the body is handed whole contiguous *row runs* instead of one
+    /// call per point: `f(old, i, js, dst)` must write
+    /// `dst[k] = new value of (i, js.start + k)` reading the snapshot's
+    /// rows ([`DistArrayN::row`]). Because owned rows and their ghost
+    /// columns are contiguous in storage (`stride[1] == 1`), a stencil
+    /// body written against slices compiles to an autovectorizable tight
+    /// loop; per-point and row form are pinned bitwise-identical, so
+    /// solvers dispatch on [`ExecPolicy::rows`] freely.
+    pub fn update2_rows(
+        self,
+        r0: std::ops::Range<usize>,
+        r1: std::ops::Range<usize>,
+        flops_per_point: f64,
+        f: impl Fn(&DistArray2<T>, usize, std::ops::Range<usize>, &mut [T]),
+    ) {
+        self.drive2_rows(r0, r1, flops_per_point, true, |_, a, old, i, js| {
+            let old = old.expect("update2_rows always snapshots");
+            f(old, i, js.clone(), a.row_mut(i, js))
         });
     }
 
@@ -262,10 +296,27 @@ impl PlanRead<'_, '_, '_, 2> {
         r0: std::ops::Range<usize>,
         r1: std::ops::Range<usize>,
         flops_per_point: f64,
-        mut body: impl FnMut(&mut Ctx, &DistArray2<f64>, usize, usize),
+        mut body: impl FnMut(&mut Ctx, &DistArray2<T>, usize, usize),
     ) {
         self.drive2(r0, r1, flops_per_point, false, |ctx, a, _, i, j| {
             body(ctx, a, i, j)
+        });
+    }
+
+    /// Row-form sibling of [`PlanRead::run2`]: the same points and flop
+    /// accounting, with the body handed whole row runs
+    /// (`body(ctx, a, i, js)`) of the refreshed array — it reads `a`'s
+    /// rows as slices ([`DistArrayN::row`]) and writes wherever it
+    /// captures (typically `row_mut` of a second array).
+    pub fn run2_rows(
+        self,
+        r0: std::ops::Range<usize>,
+        r1: std::ops::Range<usize>,
+        flops_per_point: f64,
+        mut body: impl FnMut(&mut Ctx, &DistArray2<T>, usize, std::ops::Range<usize>),
+    ) {
+        self.drive2_rows(r0, r1, flops_per_point, false, |ctx, a, _, i, js| {
+            body(ctx, a, i, js)
         });
     }
 
@@ -283,9 +334,10 @@ impl PlanRead<'_, '_, '_, 2> {
         r1: std::ops::Range<usize>,
         flops_per_point: f64,
         snapshot: bool,
-        mut point: impl FnMut(&mut Ctx, &mut DistArray2<f64>, Option<&DistArray2<f64>>, usize, usize),
+        mut point: impl FnMut(&mut Ctx, &mut DistArray2<T>, Option<&DistArray2<T>>, usize, usize),
     ) {
         let width = self.ghosts.width;
+        let corners = self.ghosts.corners;
         let refresh = self.begin();
         let PlanRead { ctx, policy, a, .. } = self;
         if !a.is_participant() {
@@ -295,6 +347,9 @@ impl PlanRead<'_, '_, '_, 2> {
             return;
         }
         debug_assert!(a.dist(0).is_contiguous() && a.dist(1).is_contiguous());
+        // Debug builds deny the body reads outside the declared skirt
+        // (the snapshot clone inherits the armed fence).
+        a.set_read_fence(width, corners);
         let mut old = snapshot.then(|| {
             let old = a.clone();
             ctx.proc().memop((a.local_len(0) * a.local_len(1)) as f64);
@@ -333,5 +388,68 @@ impl PlanRead<'_, '_, '_, 2> {
                     .compute(flops_per_point * split.boundary_count() as f64);
             }
         }
+        a.clear_read_fence();
+    }
+
+    /// Row-segment twin of [`PlanRead::drive2`]: identical refresh,
+    /// clamping, split structure, snapshot semantics, and flop
+    /// accounting, but `seg` runs once per contiguous row run
+    /// (`(i, j-range)`) instead of once per point.
+    fn drive2_rows(
+        mut self,
+        r0: std::ops::Range<usize>,
+        r1: std::ops::Range<usize>,
+        flops_per_point: f64,
+        snapshot: bool,
+        mut seg: impl FnMut(
+            &mut Ctx,
+            &mut DistArray2<T>,
+            Option<&DistArray2<T>>,
+            usize,
+            std::ops::Range<usize>,
+        ),
+    ) {
+        let width = self.ghosts.width;
+        let corners = self.ghosts.corners;
+        let refresh = self.begin();
+        let PlanRead { ctx, policy, a, .. } = self;
+        if !a.is_participant() {
+            if let Refresh::Pending(p) = refresh {
+                Self::finish(policy, ctx, a, p);
+            }
+            return;
+        }
+        debug_assert!(a.dist(0).is_contiguous() && a.dist(1).is_contiguous());
+        a.set_read_fence(width, corners);
+        let mut old = snapshot.then(|| {
+            let old = a.clone();
+            ctx.proc().memop((a.local_len(0) * a.local_len(1)) as f64);
+            old
+        });
+        let g = a.ghosts();
+        let owned = [a.owned_range(0), a.owned_range(1)];
+        match refresh {
+            Refresh::Done => {
+                let split = SplitBox2::new(owned, r0, r1, [0, 0]);
+                split.for_interior_rows(|i, js| seg(ctx, a, old.as_ref(), i, js));
+                ctx.proc()
+                    .compute(flops_per_point * split.interior_count() as f64);
+            }
+            Refresh::Pending(p) => {
+                let margins = [width.min(g[0]), width.min(g[1])];
+                let split = SplitBox2::new(owned, r0, r1, margins);
+                split.for_interior_rows(|i, js| seg(ctx, a, old.as_ref(), i, js));
+                ctx.proc()
+                    .compute(flops_per_point * split.interior_count() as f64);
+                match old.as_mut() {
+                    Some(old) => Self::finish(policy, ctx, old, p),
+                    None => Self::finish(policy, ctx, a, p),
+                }
+                split.for_boundary_rows(|i, js| seg(ctx, a, old.as_ref(), i, js));
+                ctx.proc()
+                    .compute(flops_per_point * split.boundary_count() as f64);
+            }
+        }
+        a.clear_read_fence();
     }
 }

@@ -8,7 +8,7 @@
 //! the interpreter's `ArrObj` arrays and `kali-array`'s `DistArrayN`
 //! arrays replay through identical code.
 
-use kali_machine::{collective, PendingRecv, Proc, Tag, Team, Wire};
+use kali_machine::{collective, Elem, PendingRecv, Proc, Tag, Team, Wire};
 
 use crate::schedule::CommSchedule;
 
@@ -83,15 +83,19 @@ impl<T: Wire> PendingValues<T> {
 pub const NO_VOTE: i64 = -1;
 
 /// An in-flight optimistic exchange: fused value messages carrying the
-/// replay vote as a one-word header, one message per ordered peer pair.
+/// replay vote as a *typed* one-word header (`(i64, Vec<T>)`), one
+/// message per ordered peer pair. The header rides in its own channel of
+/// the tuple rather than inside an element slot, so the consensus word
+/// is element-independent: it costs one wire word whatever `T` is, and
+/// the payload half packs by element width ([`Elem::slice_words`]).
 #[must_use = "a posted optimistic exchange must be completed"]
-pub struct PendingVote {
-    recvs: Vec<(usize, PendingRecv<Vec<f64>>)>,
+pub struct PendingVote<T: Elem> {
+    recvs: Vec<(usize, PendingRecv<(i64, Vec<T>)>)>,
     vote: i64,
     nmembers: usize,
 }
 
-impl PendingVote {
+impl<T: Elem> PendingVote<T> {
     /// Number of header-carrying messages still outstanding.
     pub fn len(&self) -> usize {
         self.recvs.len()
@@ -103,14 +107,14 @@ impl PendingVote {
 }
 
 /// What an optimistic exchange decided.
-pub struct VoteOutcome {
+pub struct VoteOutcome<T> {
     /// `Some(seq)` when every member voted the same non-negative ordinal:
     /// replay it. `None`: roll back to a full inspection; the payloads
     /// must be discarded.
     pub agreed: Option<u64>,
-    /// Per team member, the received value payload with the header word
-    /// stripped (own slot and header-only messages are empty).
-    pub payloads: Vec<Vec<f64>>,
+    /// Per team member, the received value payload (own slot and
+    /// header-only messages are empty).
+    pub payloads: Vec<Vec<T>>,
 }
 
 /// The executor. Holds only the tags its nonblocking messages travel
@@ -148,22 +152,25 @@ impl ScheduleExecutor {
 
     /// Scatter received value payloads into storage, walking arrays-major
     /// with one cursor per peer — the exact order [`Self::serve`] packed.
-    /// Records the delivered words as executor exchange traffic.
-    fn scatter<T: Copy, W: ScheduleWorld<T>>(
+    /// Records the delivered *packed* words as executor exchange traffic:
+    /// each peer's payload is one contiguous message, so it is charged at
+    /// [`Elem::slice_words`] — word-per-element for `f64` (bit-identical
+    /// to the historical element-count accounting), two-per-word for
+    /// `f32`.
+    fn scatter<T: Elem, W: ScheduleWorld<T>>(
         proc: &mut Proc,
         sched: &CommSchedule,
         world: &mut W,
         values: &[Vec<T>],
     ) {
         let mut cursor = vec![0usize; values.len()];
-        let mut recvd = 0usize;
         for (k, a) in sched.arrays.iter().enumerate() {
             for (d, idxs) in a.my_reqs.iter().enumerate() {
                 world.store_from(k, idxs, &values[d][cursor[d]..cursor[d] + idxs.len()]);
                 cursor[d] += idxs.len();
-                recvd += idxs.len();
             }
         }
+        let recvd: usize = values.iter().map(|v| T::slice_words(v.len())).sum();
         proc.note_exchange_words(recvd as u64);
     }
 
@@ -173,7 +180,7 @@ impl ScheduleExecutor {
     /// direction exchange no message at all — both sides hold the
     /// schedule, so they agree. The baseline the split-phase paths are
     /// differentially tested against: same messages, no overlap.
-    pub fn exchange_blocking<T: Wire + Copy, W: ScheduleWorld<T>>(
+    pub fn exchange_blocking<T: Elem, W: ScheduleWorld<T>>(
         &self,
         proc: &mut Proc,
         team: &Team,
@@ -205,7 +212,7 @@ impl ScheduleExecutor {
     /// so the caller can run interior work while the messages are in
     /// transit. Peer pairs with no traffic in a direction exchange no
     /// message at all (both sides hold the schedule, so they agree).
-    pub fn post<T: Wire + Copy, W: ScheduleWorld<T>>(
+    pub fn post<T: Elem, W: ScheduleWorld<T>>(
         &self,
         proc: &mut Proc,
         team: &Team,
@@ -232,7 +239,7 @@ impl ScheduleExecutor {
     /// Split-phase completion: wait for the posted receives and scatter
     /// the remote values into place — only now is idle charged, and only
     /// for the transit the caller's interleaved work did not cover.
-    pub fn complete<T: Wire + Copy, W: ScheduleWorld<T>>(
+    pub fn complete<T: Elem, W: ScheduleWorld<T>>(
         &self,
         proc: &mut Proc,
         team: &Team,
@@ -250,26 +257,29 @@ impl ScheduleExecutor {
 
     /// Optimistic post: piggyback the replay vote on the value messages.
     ///
-    /// Every member sends one message to every other member — `[vote]`
-    /// alone when it holds no replayable schedule (or the pair has no
-    /// scheduled traffic), `[vote, values...]` otherwise — and posts one
+    /// Every member sends one message to every other member —
+    /// `(vote, [])` when it holds no replayable schedule (or the pair has
+    /// no scheduled traffic), `(vote, values)` otherwise — and posts one
     /// receive per peer. All members therefore observe the full vote
     /// multiset when they complete, deciding hit-or-rollback identically
     /// with zero dedicated vote rounds: the one-word round-trip the
     /// pessimistic protocol serializes before every warm trip disappears
-    /// into the exchange itself.
-    pub fn post_optimistic<W: ScheduleWorld<f64>>(
+    /// into the exchange itself. (Consumers with analytically derivable
+    /// team participation can shrink the vote set further — see
+    /// `kali-array`'s active-team gating — but the executor itself sends
+    /// to the team it is given.)
+    pub fn post_optimistic<T: Elem, W: ScheduleWorld<T>>(
         &self,
         proc: &mut Proc,
         team: &Team,
         vote: i64,
         hit: Option<(&CommSchedule, &W)>,
-    ) -> PendingVote {
+    ) -> PendingVote<T> {
         let q = team.len();
         let me = team
             .index_of(proc.rank())
             .expect("posting processor is a team member");
-        let mut replies: Vec<Vec<f64>> = match hit {
+        let mut replies: Vec<Vec<T>> = match hit {
             Some((sched, world)) => Self::serve(proc, q, sched, world),
             None => vec![Vec::new(); q],
         };
@@ -277,10 +287,7 @@ impl ScheduleExecutor {
             if d == me {
                 continue;
             }
-            let mut payload = Vec::with_capacity(1 + values.len());
-            payload.push(vote as f64);
-            payload.append(values);
-            let _ = proc.isend(team.rank(d), self.value_tag, payload);
+            let _ = proc.isend(team.rank(d), self.value_tag, (vote, std::mem::take(values)));
         }
         let recvs = (0..q)
             .filter(|&d| d != me)
@@ -293,19 +300,21 @@ impl ScheduleExecutor {
         }
     }
 
-    /// Optimistic completion: wait for every peer's message, strip and
-    /// compare the headers. Returns the team's verdict plus the value
+    /// Optimistic completion: wait for every peer's message and compare
+    /// the typed headers. Returns the team's verdict plus the value
     /// payloads — which the caller scatters on agreement and discards on
     /// rollback (stale routes must never reach storage).
-    pub fn complete_optimistic(&self, proc: &mut Proc, pending: PendingVote) -> VoteOutcome {
-        let mut payloads: Vec<Vec<f64>> = Vec::with_capacity(pending.nmembers);
+    pub fn complete_optimistic<T: Elem>(
+        &self,
+        proc: &mut Proc,
+        pending: PendingVote<T>,
+    ) -> VoteOutcome<T> {
+        let mut payloads: Vec<Vec<T>> = Vec::with_capacity(pending.nmembers);
         payloads.resize_with(pending.nmembers, Vec::new);
         let mut agreed = pending.vote >= 0;
         for (d, h) in pending.recvs {
-            let mut payload: Vec<f64> = proc.wait(h);
-            debug_assert!(!payload.is_empty(), "optimistic message without a header");
-            let theirs = payload.remove(0);
-            if theirs != pending.vote as f64 {
+            let (theirs, payload): (i64, Vec<T>) = proc.wait(h);
+            if theirs != pending.vote {
                 agreed = false;
             }
             payloads[d] = payload;
@@ -320,30 +329,27 @@ impl ScheduleExecutor {
     /// without interior work to overlap): the same header-carrying fused
     /// messages, moved with blocking sends/receives so no split-phase
     /// accounting is incurred.
-    pub fn exchange_optimistic_blocking<W: ScheduleWorld<f64>>(
+    pub fn exchange_optimistic_blocking<T: Elem, W: ScheduleWorld<T>>(
         &self,
         proc: &mut Proc,
         team: &Team,
         vote: i64,
         hit: Option<(&CommSchedule, &W)>,
-    ) -> VoteOutcome {
+    ) -> VoteOutcome<T> {
         let q = team.len();
-        let mut replies: Vec<Vec<f64>> = match hit {
+        let replies: Vec<Vec<T>> = match hit {
             Some((sched, world)) => Self::serve(proc, q, sched, world),
             None => vec![Vec::new(); q],
         };
-        for payload in replies.iter_mut() {
-            payload.insert(0, vote as f64);
-        }
+        let replies: Vec<(i64, Vec<T>)> = replies.into_iter().map(|v| (vote, v)).collect();
         let values = collective::alltoallv(proc, team, replies);
         let me = team
             .index_of(proc.rank())
             .expect("exchanging processor is a team member");
         let mut agreed = vote >= 0;
         let mut payloads = Vec::with_capacity(q);
-        for (d, mut payload) in values.into_iter().enumerate() {
-            let theirs = payload.remove(0);
-            if d != me && theirs != vote as f64 {
+        for (d, (theirs, payload)) in values.into_iter().enumerate() {
+            if d != me && theirs != vote {
                 agreed = false;
             }
             payloads.push(payload);
@@ -355,12 +361,12 @@ impl ScheduleExecutor {
     }
 
     /// Scatter the payloads of an agreed optimistic exchange.
-    pub fn scatter_agreed<W: ScheduleWorld<f64>>(
+    pub fn scatter_agreed<T: Elem, W: ScheduleWorld<T>>(
         &self,
         proc: &mut Proc,
         sched: &CommSchedule,
         world: &mut W,
-        outcome: &VoteOutcome,
+        outcome: &VoteOutcome<T>,
     ) {
         debug_assert!(outcome.agreed.is_some(), "scatter of a rolled-back vote");
         Self::scatter(proc, sched, world, &outcome.payloads);
@@ -602,7 +608,7 @@ mod tests {
             let exec = ScheduleExecutor::new(VT);
             let pending = exec.post_optimistic(proc, &team, 7, Some((&sched, &world)));
             let hit = exec.complete_optimistic(proc, pending).agreed;
-            let pending = exec.post_optimistic::<VecWorld>(proc, &team, NO_VOTE, None);
+            let pending = exec.post_optimistic::<f64, VecWorld>(proc, &team, NO_VOTE, None);
             let miss = exec.complete_optimistic(proc, pending).agreed;
             (hit, miss)
         });

@@ -2,7 +2,7 @@
 //!
 //! Both drivers of this engine — the KF1 interpreter (`kali-lang`) and
 //! the compiled stencil-plan path (`kali-runtime`) — choose between the
-//! same two independent strategy axes. [`ExecPolicy`] is that choice as
+//! same independent strategy axes. [`ExecPolicy`] is that choice as
 //! one piece of shared data, defined here next to the executor it
 //! configures so neither consumer can grow a private variant drifting
 //! out of sync with the other.
@@ -24,23 +24,34 @@ pub struct ExecPolicy {
     /// pre-caching baseline: rebuild (or dedicated vote round) on every
     /// trip.
     pub optimistic: bool,
+    /// Hand stencil bodies whole contiguous owned rows (`&[T]` in,
+    /// `&mut [T]` out) so the interior compiles to autovectorizable tight
+    /// loops, instead of calling the body once per `(i, j)` point.
+    /// Solvers with a row kernel dispatch on this flag; the per-point
+    /// form (`false`) is the differential baseline and both are pinned
+    /// bitwise-identical.
+    pub rows: bool,
 }
 
 impl Default for ExecPolicy {
-    /// Split-phase with optimistic replay: the latency-hiding,
-    /// schedule-replaying fast path.
+    /// Split-phase with optimistic replay over row-form interiors: the
+    /// latency-hiding, schedule-replaying, vectorizing fast path.
     fn default() -> Self {
         ExecPolicy {
             split: true,
             optimistic: true,
+            rows: true,
         }
     }
 }
 
 impl ExecPolicy {
     /// Fully synchronous, rebuild-per-exchange: the differential baseline.
+    /// (Row-form interiors stay on — the interior iteration shape is
+    /// orthogonal to the exchange strategy.)
     pub fn blocking() -> Self {
         ExecPolicy {
+            rows: true,
             split: false,
             optimistic: false,
         }
@@ -49,8 +60,18 @@ impl ExecPolicy {
     /// Split-phase overlap without optimistic replay.
     pub fn pessimistic() -> Self {
         ExecPolicy {
+            rows: true,
             split: true,
             optimistic: false,
+        }
+    }
+
+    /// The same exchange strategy with per-point interior bodies — the
+    /// differential (and perf) baseline for the row form.
+    pub fn point_form(self) -> Self {
+        ExecPolicy {
+            rows: false,
+            ..self
         }
     }
 }
@@ -65,21 +86,32 @@ mod tests {
             ExecPolicy::default(),
             ExecPolicy {
                 split: true,
-                optimistic: true
+                optimistic: true,
+                rows: true,
             }
         );
         assert_eq!(
             ExecPolicy::blocking(),
             ExecPolicy {
                 split: false,
-                optimistic: false
+                optimistic: false,
+                rows: true,
             }
         );
         assert_eq!(
             ExecPolicy::pessimistic(),
             ExecPolicy {
                 split: true,
-                optimistic: false
+                optimistic: false,
+                rows: true,
+            }
+        );
+        assert_eq!(
+            ExecPolicy::default().point_form(),
+            ExecPolicy {
+                split: true,
+                optimistic: true,
+                rows: false,
             }
         );
     }

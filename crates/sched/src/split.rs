@@ -150,6 +150,42 @@ impl SplitBox2 {
             }
         }
     }
+
+    /// The interior as whole-row segments `(i, column range)`, row-major:
+    /// exactly the points of [`SplitBox2::for_interior`], emitted as
+    /// contiguous column runs so row-form stencil bodies can consume each
+    /// visit as slices instead of one call per point.
+    pub fn for_interior_rows(&self, mut f: impl FnMut(usize, std::ops::Range<usize>)) {
+        if self.jj0 >= self.jj1 {
+            return;
+        }
+        for i in self.ii0..self.ii1 {
+            f(i, self.jj0..self.jj1);
+        }
+    }
+
+    /// The boundary frame as row segments: exactly the points of
+    /// [`SplitBox2::for_boundary`], in the same row-major order (full
+    /// rows above and below the interior, then the left and right margin
+    /// runs of each interior row).
+    pub fn for_boundary_rows(&self, mut f: impl FnMut(usize, std::ops::Range<usize>)) {
+        for i in self.i0..self.i1 {
+            if i < self.ii0 || i >= self.ii1 {
+                if self.j0 < self.j1 {
+                    f(i, self.j0..self.j1);
+                }
+            } else {
+                let lo = self.j0..self.jj0.min(self.j1);
+                if !lo.is_empty() {
+                    f(i, lo);
+                }
+                let hi = self.jj1.max(self.j0)..self.j1;
+                if !hi.is_empty() {
+                    f(i, hi);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -195,6 +231,29 @@ mod tests {
         pts.dedup();
         let want: Vec<(usize, usize)> = (4..7).flat_map(|i| (1..4).map(move |j| (i, j))).collect();
         assert_eq!(pts, want);
+    }
+
+    #[test]
+    fn box2_row_segments_cover_the_same_points_in_order() {
+        for (owned, r0, r1, margin) in [
+            ([4..8, 0..4], 1..7, 1..7, [1, 1]),
+            ([0..4, 0..4], 0..8, 0..8, [1, 1]),
+            ([0..8, 0..8], 1..7, 1..7, [2, 1]),
+            ([0..2, 0..2], 0..2, 0..2, [3, 3]), // margin swallows the block
+            ([4..8, 4..8], 0..3, 0..3, [1, 1]), // box misses the range
+        ] {
+            let s = SplitBox2::new(owned, r0, r1, margin);
+            let mut pts = Vec::new();
+            s.for_interior(|i, j| pts.push((i, j)));
+            let mut rows = Vec::new();
+            s.for_interior_rows(|i, js| rows.extend(js.map(|j| (i, j))));
+            assert_eq!(pts, rows, "interior segments");
+            pts.clear();
+            rows.clear();
+            s.for_boundary(|i, j| pts.push((i, j)));
+            s.for_boundary_rows(|i, js| rows.extend(js.map(|j| (i, j))));
+            assert_eq!(pts, rows, "boundary segments");
+        }
     }
 
     #[test]

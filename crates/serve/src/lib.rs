@@ -29,7 +29,7 @@
 
 use std::time::{Duration, Instant};
 
-use kali_array::DistArray2;
+use kali_array::{DistArray2, Real};
 use kali_grid::{DistSpec, ProcGrid};
 use kali_machine::{BackendKind, CostModel, Machine, MachineConfig, RunReport, Topology};
 use kali_runtime::{Ctx, Ghosts};
@@ -200,7 +200,14 @@ struct PassRaw {
 }
 
 /// Run one request under the shared context; returns the checksum.
-fn run_request(ctx: &mut Ctx, grid: &ProcGrid, req: &SolveRequest) -> u64 {
+///
+/// Generic over the element type: the grid is seeded, swept, and summed
+/// in `T`, the convergence measure and final reduction accumulate in
+/// `f64`, and the checksum goes out through [`Elem::checksum_bits`] so
+/// the wire format never assumes an 8-byte element. The serve stream
+/// instantiates `T = f64` today; an `f32` tenant class only needs a
+/// request field.
+fn run_request<T: Real>(ctx: &mut Ctx, grid: &ProcGrid, req: &SolveRequest) -> u64 {
     let [n, m] = req.shape;
     assert!(n >= 3 && m >= 3, "shape {n}x{m} too small for a stencil");
     let spec = match req.dist {
@@ -213,7 +220,7 @@ fn run_request(ctx: &mut Ctx, grid: &ProcGrid, req: &SolveRequest) -> u64 {
     };
     let tenant = req.tenant;
     let mut u = DistArray2::from_fn(ctx.rank(), grid, &spec, [n, m], [1, 1], |[i, j]| {
-        ((i * 31 + j * 17 + tenant as usize * 13) % 97) as f64 / 97.0
+        T::from_f64(((i * 31 + j * 17 + tenant as usize * 13) % 97) as f64 / 97.0)
     });
     for _ in 0..req.iters {
         // update2's body is a plain Fn; the convergence measure threads
@@ -221,34 +228,34 @@ fn run_request(ctx: &mut Ctx, grid: &ProcGrid, req: &SolveRequest) -> u64 {
         let diff = std::cell::Cell::new(0.0f64);
         match req.solver {
             SolverKind::Jacobi5 => {
+                let w = T::from_f64(0.25);
                 ctx.plan()
                     .reads(&mut u, ghosts)
                     .update2(1..n - 1, 1..m - 1, 5.0, |old, i, j| {
-                        let new = 0.25
+                        let new = w
                             * (old.at(i + 1, j)
                                 + old.at(i - 1, j)
                                 + old.at(i, j + 1)
                                 + old.at(i, j - 1));
-                        diff.set(diff.get().max((new - old.at(i, j)).abs()));
+                        diff.set(diff.get().max((new - old.at(i, j)).to_f64().abs()));
                         new
                     });
             }
             SolverKind::Stencil9 => {
+                let (wc, wf, wd) = (T::from_f64(0.2), T::from_f64(0.125), T::from_f64(0.075));
                 ctx.plan()
                     .reads(&mut u, ghosts)
                     .update2(1..n - 1, 1..m - 1, 10.0, |old, i, j| {
-                        let new = 0.2 * old.at(i, j)
-                            + 0.125
-                                * (old.at(i + 1, j)
-                                    + old.at(i - 1, j)
-                                    + old.at(i, j + 1)
-                                    + old.at(i, j - 1))
-                            + 0.075
-                                * (old.at(i + 1, j + 1)
-                                    + old.at(i + 1, j - 1)
-                                    + old.at(i - 1, j + 1)
-                                    + old.at(i - 1, j - 1));
-                        diff.set(diff.get().max((new - old.at(i, j)).abs()));
+                        let new = wc * old.at(i, j)
+                            + wf * (old.at(i + 1, j)
+                                + old.at(i - 1, j)
+                                + old.at(i, j + 1)
+                                + old.at(i, j - 1))
+                            + wd * (old.at(i + 1, j + 1)
+                                + old.at(i + 1, j - 1)
+                                + old.at(i - 1, j + 1)
+                                + old.at(i - 1, j - 1));
+                        diff.set(diff.get().max((new - old.at(i, j)).to_f64().abs()));
                         new
                     });
             }
@@ -258,8 +265,8 @@ fn run_request(ctx: &mut Ctx, grid: &ProcGrid, req: &SolveRequest) -> u64 {
         }
     }
     let mut local = 0.0;
-    u.for_each_owned(|_, v| local += v);
-    ctx.allreduce_sum(local).to_bits()
+    u.for_each_owned(|_, v| local += v.to_f64());
+    T::from_f64(ctx.allreduce_sum(local)).checksum_bits()
 }
 
 /// Serve the stream: batch by schedule shape, run every pass SPMD on one
@@ -285,7 +292,7 @@ pub fn serve(cfg: &ServeConfig, reqs: &[SolveRequest]) -> ServeOutcome {
             let virt0 = ctx.proc().clock();
             let wall0 = Instant::now();
             for &i in &exec_order {
-                let sum = run_request(&mut ctx, &grid, &owned[i]);
+                let sum = run_request::<f64>(&mut ctx, &grid, &owned[i]);
                 if pass == 0 {
                     checksums[i] = sum;
                 } else {

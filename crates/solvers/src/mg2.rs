@@ -25,6 +25,14 @@ use crate::Pde;
 /// read each other (their ±1 neighbours are the frozen colour), so the
 /// interior-first solve order is invisible and results are bitwise
 /// identical across policies.
+///
+/// Zebra stays in per-point form regardless of [`ExecPolicy::rows`]: its
+/// x-lines run *across* the storage rows (`dist (*, block)` keeps the y
+/// dimension contiguous), so each line is column-strided and there is no
+/// contiguous slice to hand a row body. The V-cycle's vectorized hot
+/// loop is the [`resid2`] it calls between relaxations.
+///
+/// [`ExecPolicy::rows`]: kali_runtime::ExecPolicy::rows
 pub fn zebra2(
     ctx: &mut Ctx,
     pde: &Pde,
