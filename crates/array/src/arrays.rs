@@ -623,6 +623,73 @@ impl<T: Elem> DistArray2<T> {
             self.rank, self.spec
         )
     }
+
+    /// The column sibling of [`DistArray2::row`]: copy the visible run of
+    /// column `j`, rows `is`, into the head of the contiguous scratch
+    /// `out` (which must be at least `is.len()` long).
+    ///
+    /// A column is *strided* in row-major storage (`stride[0]` apart), so
+    /// it cannot be handed out as a slice; gathering it once into
+    /// contiguous scratch hoists the per-point index decode out of the
+    /// consumer's arithmetic loop — the loop over the scratch then
+    /// vectorizes like any row-form interior (the zebra x-line solver is
+    /// the motivating consumer). Panics like [`DistArrayN::get`] if any
+    /// element of the run is not visible.
+    #[inline]
+    pub fn col_into(&self, j: usize, is: std::ops::Range<usize>, out: &mut [T]) {
+        if is.is_empty() {
+            return;
+        }
+        #[cfg(debug_assertions)]
+        {
+            self.check_fence([is.start, j]);
+            if is.end > is.start + 1 {
+                self.check_fence([is.end - 1, j]);
+            }
+        }
+        let s = self
+            .storage_index([is.start, j])
+            .unwrap_or_else(|| self.non_visible_col(j, is.clone()));
+        let e = self
+            .storage_index([is.end - 1, j])
+            .unwrap_or_else(|| self.non_visible_col(j, is.clone()));
+        let step = self.stride[0];
+        debug_assert_eq!(s + (is.len() - 1) * step, e, "column run must be strided");
+        for (k, o) in out.iter_mut().take(is.len()).enumerate() {
+            *o = self.data[s + k * step];
+        }
+    }
+
+    /// The write side of the column interface: scatter `vals` into the
+    /// *owned* run of column `j`, rows `is`. Writes outside the owned box
+    /// are an owner-computes violation, exactly like [`DistArrayN::set`].
+    #[inline]
+    pub fn col_set(&mut self, j: usize, is: std::ops::Range<usize>, vals: &[T]) {
+        if is.is_empty() {
+            return;
+        }
+        debug_assert!(vals.len() >= is.len());
+        assert!(
+            self.owns([is.start, j]) && self.owns([is.end - 1, j]),
+            "proc {}: owner-computes violation — col_set({j}, {is:?}) reaches \
+             outside the owned box",
+            self.rank
+        );
+        let s = self.storage_index_owned([is.start, j]);
+        let step = self.stride[0];
+        for (k, &v) in vals.iter().take(is.len()).enumerate() {
+            self.data[s + k * step] = v;
+        }
+    }
+
+    #[cold]
+    fn non_visible_col(&self, j: usize, is: std::ops::Range<usize>) -> usize {
+        panic!(
+            "proc {}: non-local column read ({is:?}, {j}) (dist {}); a ghost \
+             exchange or slice transfer must make it visible first",
+            self.rank, self.spec
+        )
+    }
 }
 
 impl<T: Elem> DistArray3<T> {

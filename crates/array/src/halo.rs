@@ -158,7 +158,7 @@ impl SiteKey for HaloKey {
     }
 }
 
-fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
+pub(crate) fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for w in words {
         for byte in w.to_le_bytes() {

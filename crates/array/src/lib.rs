@@ -26,11 +26,20 @@
 //! * [`DistArrayN::gather_to_root`] — assembling a global array for
 //!   verification or output;
 //! * [`DistArrayN::redistribute`] — changing the `dist` clause at run time
-//!   (the "tuning" the paper advertises as a one-line change).
+//!   (the "tuning" the paper advertises as a one-line change);
+//! * the irregular x-vector gather of the sparse matrix type
+//!   ([`SparseCsr`]) — the halo's runtime-sparsity sibling: an
+//!   *inspector-derived* schedule (the column index set cannot be walked
+//!   analytically) cached in the same `kali-sched` cache, replayed warm
+//!   with the same piggybacked vote, landing remote values in a
+//!   trip-private [`GatherHaul`] instead of ghost storage — the layer
+//!   `kali-runtime`'s `SparsePlan` drives.
 
 mod arrays;
 mod halo;
+mod sparse;
 mod xfer;
 
 pub use arrays::{DistArray1, DistArray2, DistArray3, DistArrayN, Elem, Real};
 pub use halo::{HaloCache, HaloKey, PendingHalo};
+pub use sparse::{GatherCache, GatherHaul, GatherKey, Gathered, PendingGather, SparseCsr};

@@ -1,0 +1,1019 @@
+//! Distributed sparse matrices — the irregular-gather workload the
+//! inspector–executor engine was built for, routed *entirely* through
+//! `kali-sched` like the ghost halo.
+//!
+//! A [`SparseCsr`] stores the owned rows of a block-row-distributed CSR
+//! matrix. An SpMV `y = A·x` against a conformally block-distributed `x`
+//! needs, on each processor, the x-values of every *non-owned* column its
+//! rows reference — an index set that cannot be derived analytically the
+//! way the halo's ghost skirt can, because it depends on the runtime
+//! sparsity pattern. So the classic inspector runs instead:
+//!
+//! * **Cold trip**: walk the local column index set, bucket the non-owned
+//!   columns per owning peer into sorted, deduplicated request vectors,
+//!   and run the executor's split-phase *request round*
+//!   ([`ScheduleExecutor::request_rounds`]) so every peer learns which of
+//!   its x-values to serve. The resulting [`CommSchedule`] also records
+//!   the *boundary rows* — those reading at least one remote column — so
+//!   a split-phase executor can compute every other row while the values
+//!   are in flight. The walk and the request round are charged to the
+//!   virtual clock as inspection time, and the schedule is stored in
+//!   `kali-sched`'s [`ScheduleCache`] keyed on (shape, teams, dists, a
+//!   sparsity fingerprint, and both distribution generations).
+//! * **Warm trip**: replay the cached schedule optimistically, the replay
+//!   consensus vote riding as a one-word header on the fused value
+//!   messages — zero inspector runs, zero request rounds. A CG solve does
+//!   one SpMV per iteration against a fixed pattern, so every iteration
+//!   after the first is a warm replay.
+//! * **Repartition**: a [`SparseCsr::distribute`] (or a redistribution of
+//!   `x`) bumps a monotone generation, the next lookup misses, the vote
+//!   disagrees, and the trip rolls back to one fresh inspection — stale
+//!   routes never reach storage.
+//!
+//! Unlike the halo — whose value traffic is gated to the *active team* —
+//! the gather votes over the **full grid team**: with a runtime sparsity
+//! pattern, a rank owning no matrix rows may still own x-elements other
+//! ranks need (and vice versa), so no communication-free participation
+//! test exists. Every grid member therefore serves, votes, and keeps the
+//! collective cache discipline; empty members move only bare one-word
+//! headers.
+//!
+//! Gathered values land in a [`GatherHaul`] — a contiguous, binary-
+//! searchable (column → value) bundle private to the trip — never in
+//! `x`'s storage, so concurrent gathers against the same `x` cannot
+//! trample each other and `x` needs no ghost allocation.
+
+use std::rc::Rc;
+
+use kali_grid::{Dist1, ProcGrid};
+use kali_machine::{tag, Proc, Real, NS_ARRAY};
+use kali_sched::{
+    ArraySchedule, CommSchedule, PendingValues, PendingVote, ScheduleCache, ScheduleExecutor,
+    ScheduleWorld, SiteKey, NO_VOTE,
+};
+
+use crate::arrays::DistArray1;
+use crate::halo::fnv1a;
+
+/// Tag of the fused gather value messages ("GAT").
+const GATHER_VALUE_TAG: u64 = tag(NS_ARRAY, 0x0047_4154);
+
+/// Tag of the cold inspection's request round ("GRQ").
+const GATHER_REQUEST_TAG: u64 = tag(NS_ARRAY, 0x0047_5251);
+
+/// The gather's instance of the shared schedule executor.
+const EXEC: ScheduleExecutor = ScheduleExecutor::new(GATHER_VALUE_TAG);
+
+/// Site-hash salt ("SPMV") keeping gather sites disjoint from halo sites.
+const GATHER_SITE_SALT: u64 = 0x5350_4d56;
+
+/// The owned rows of a sparse matrix in CSR form, rows block-distributed
+/// over a 1-D processor grid (the matrix analogue of a block
+/// [`DistArray1`]), generic over the element type like the dense arrays.
+///
+/// Only the owned rows are materialized: `row_ptr` has one entry per
+/// owned row plus one, and `col_idx`/`vals` hold their nonzeros with
+/// *global* column indices. The distribution carries a monotone
+/// `generation` like [`crate::DistArrayN`], so cached gather schedules
+/// keyed on it roll back — exactly once — after a [`SparseCsr::distribute`].
+pub struct SparseCsr<T: Real> {
+    nrows: usize,
+    ncols: usize,
+    grid: ProcGrid,
+    rank: usize,
+    /// My grid coordinate along the (single) distributed dimension;
+    /// `None` when this rank is not a grid member.
+    q: Option<usize>,
+    row_dist: Dist1,
+    /// Global index of my first owned row (0 when owning nothing).
+    row_lo: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    vals: Vec<T>,
+    generation: u64,
+}
+
+impl<T: Real> SparseCsr<T> {
+    /// Build the owned block of an `nrows × ncols` matrix on a 1-D grid:
+    /// `row` is called once per *owned* global row and returns its
+    /// `(column, value)` entries in any order (they are sorted; duplicate
+    /// columns are rejected). Every rank evaluates only its own rows, so
+    /// construction is owner-computes like [`DistArrayN::from_fn`].
+    ///
+    /// [`DistArrayN::from_fn`]: crate::DistArrayN::from_fn
+    pub fn from_rows(
+        rank: usize,
+        grid: &ProcGrid,
+        nrows: usize,
+        ncols: usize,
+        mut row: impl FnMut(usize) -> Vec<(usize, T)>,
+    ) -> Self {
+        assert_eq!(grid.ndims(), 1, "sparse rows distribute over a 1-D grid");
+        let row_dist = Dist1::block(nrows, grid.size());
+        let q = grid.coords_of(rank).map(|c| c[0]);
+        let (row_lo, nlocal) = match q {
+            Some(qd) => (row_dist.lower(qd).unwrap_or(0), row_dist.local_len(qd)),
+            None => (0, 0),
+        };
+        let mut row_ptr = Vec::with_capacity(nlocal + 1);
+        let mut col_idx = Vec::new();
+        let mut vals = Vec::new();
+        row_ptr.push(0);
+        for li in 0..nlocal {
+            let mut entries = row(row_lo + li);
+            entries.sort_by_key(|&(c, _)| c);
+            for w in entries.windows(2) {
+                assert_ne!(w[0].0, w[1].0, "duplicate column in sparse row");
+            }
+            for (c, v) in entries {
+                assert!(c < ncols, "column {c} outside 0..{ncols}");
+                col_idx.push(c);
+                vals.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        SparseCsr {
+            nrows,
+            ncols,
+            grid: grid.clone(),
+            rank,
+            q,
+            row_dist,
+            row_lo,
+            row_ptr,
+            col_idx,
+            vals,
+            generation: 0,
+        }
+    }
+
+    /// Global row count.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Global column count (the length `x` must have).
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of rows this processor owns.
+    pub fn local_rows(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Nonzeros stored on this processor.
+    pub fn local_nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Global index of local row `li`.
+    pub fn global_row(&self, li: usize) -> usize {
+        self.row_lo + li
+    }
+
+    /// The block distribution of the rows.
+    pub fn row_dist(&self) -> Dist1 {
+        self.row_dist
+    }
+
+    /// The owning grid.
+    pub fn grid(&self) -> &ProcGrid {
+        &self.grid
+    }
+
+    /// The machine rank this local block belongs to.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Is this rank a member of the owning grid?
+    pub fn in_grid(&self) -> bool {
+        self.q.is_some()
+    }
+
+    /// Monotone distribution generation (see [`SparseCsr::distribute`]).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Re-elaborate the distribution at run time — the paper's one-line
+    /// tuning change. Block rows over the full grid is the one layout
+    /// today, so no data moves; the generation bump alone invalidates
+    /// every cached gather schedule keyed on it, and the next SpMV pays
+    /// exactly one rollback and one fresh inspection before going warm
+    /// again (pinned by tests). The re-blessing walk is charged like a
+    /// dense redistribution's bookkeeping.
+    pub fn distribute(&mut self, proc: &mut Proc) {
+        self.row_dist = Dist1::block(self.nrows, self.grid.size());
+        self.generation += 1;
+        proc.memop(self.local_rows() as f64);
+    }
+
+    /// Mutable view of the stored nonzero values (pattern is fixed).
+    /// Changing values never invalidates a gather schedule — only the
+    /// *pattern* and the distributions are keyed.
+    pub fn vals_mut(&mut self) -> &mut [T] {
+        &mut self.vals
+    }
+}
+
+impl SiteKey for GatherKey {
+    fn site(&self) -> usize {
+        self.site
+    }
+    fn team_ranks(&self) -> &[usize] {
+        &self.team_ranks
+    }
+}
+
+/// Cache key of an inspected gather schedule. The *site* hashes only the
+/// SPMD-uniform shape `(nrows, ncols)` — never the local sparsity, which
+/// differs per rank — so the per-site vote gate opens and closes
+/// identically on every member. The full key adds the index maps, a
+/// fingerprint of the local sparsity pattern, and both distribution
+/// generations, so a repartition (of the matrix *or* of `x`) or a
+/// different pattern at the same shape makes the lookup miss and the
+/// piggybacked vote roll back instead of replaying a stale route.
+#[derive(Clone, PartialEq)]
+pub struct GatherKey {
+    site: usize,
+    team_ranks: Vec<usize>,
+    shape: [usize; 2],
+    row_dist: Dist1,
+    x_dist: Dist1,
+    /// FNV-1a over the local `row_ptr`/`col_idx` stream.
+    fingerprint: u64,
+    mat_generation: u64,
+    x_generation: u64,
+}
+
+/// Cached gather schedules, shared by every sparse matrix a context
+/// drives. One instance lives in `kali-runtime`'s `Ctx` beside the halo
+/// cache; distinct patterns at the same shape share a site (the
+/// colliding-site regime the optimistic protocol tolerates by voting).
+pub struct GatherCache {
+    pub(crate) cache: ScheduleCache<GatherKey>,
+}
+
+impl GatherCache {
+    /// Default per-site budget, matching the halo cache.
+    pub fn new() -> Self {
+        GatherCache {
+            cache: ScheduleCache::new(4),
+        }
+    }
+
+    /// A cache additionally bounded to `max_entries` schedules in total.
+    pub fn with_budget(max_entries: usize) -> Self {
+        GatherCache {
+            cache: ScheduleCache::with_budget(4, max_entries),
+        }
+    }
+
+    /// Re-cap the global entry budget, evicting LRU entries down to it.
+    pub fn set_budget(&mut self, max_entries: usize) {
+        self.cache.set_budget(max_entries);
+    }
+
+    /// Cached schedules currently held.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// The global entry budget, if one is set.
+    pub fn budget(&self) -> Option<usize> {
+        self.cache.budget()
+    }
+}
+
+impl Default for GatherCache {
+    fn default() -> Self {
+        GatherCache::new()
+    }
+}
+
+/// The remote x-values one gather trip brought in: parallel sorted
+/// columns and values, resolved by binary search. Private to the trip —
+/// the executor scatters into this bundle, never into `x`'s storage.
+pub struct GatherHaul<T> {
+    cols: Vec<u64>,
+    vals: Vec<T>,
+}
+
+impl<T: Real> GatherHaul<T> {
+    fn empty() -> Self {
+        GatherHaul {
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Pre-size the haul from a schedule's request vectors. Block
+    /// x-distribution makes the per-peer request ranges disjoint and
+    /// ascending in team order, so their concatenation is sorted.
+    fn for_schedule(sched: &CommSchedule) -> Self {
+        let cols: Vec<u64> = sched.arrays[0]
+            .my_reqs
+            .iter()
+            .flat_map(|v| v.iter().copied())
+            .collect();
+        debug_assert!(cols.windows(2).all(|w| w[0] < w[1]));
+        let vals = vec![T::zero(); cols.len()];
+        GatherHaul { cols, vals }
+    }
+
+    /// The gathered value of global column `c`, if `c` was fetched.
+    pub fn get(&self, c: usize) -> Option<T> {
+        self.cols
+            .binary_search(&(c as u64))
+            .ok()
+            .map(|p| self.vals[p])
+    }
+
+    /// Number of gathered values.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Did this trip fetch nothing?
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+}
+
+/// The executor's view of one gather trip: serves owned x-values by
+/// global column index, scatters received values into the trip's haul.
+struct GatherWorld<'a, T: Real> {
+    x: &'a DistArray1<T>,
+    haul: &'a mut GatherHaul<T>,
+}
+
+impl<T: Real> ScheduleWorld<T> for GatherWorld<'_, T> {
+    fn load(&self, _array: usize, flat: u64) -> T {
+        let s = self
+            .x
+            .storage_index([flat as usize])
+            .expect("gather schedule serves owned x-values only");
+        self.x.data[s]
+    }
+
+    fn store(&mut self, _array: usize, flat: u64, value: T) {
+        let p = self
+            .haul
+            .cols
+            .binary_search(&flat)
+            .expect("gather schedule scatters the requested columns only");
+        self.haul.vals[p] = value;
+    }
+}
+
+/// A completed gather: the schedule that produced it (for the
+/// interior/boundary row split) plus the haul of remote values.
+pub struct Gathered<T> {
+    sched: Rc<CommSchedule>,
+    haul: GatherHaul<T>,
+}
+
+impl<T: Real> Gathered<T> {
+    fn idle() -> Self {
+        Gathered {
+            sched: Rc::new(CommSchedule {
+                arrays: Vec::new(),
+                write_hint: 0,
+                boundary: Vec::new(),
+            }),
+            haul: GatherHaul::empty(),
+        }
+    }
+
+    /// Ascending local positions of the rows that read at least one
+    /// remote column.
+    pub fn boundary(&self) -> &[usize] {
+        &self.sched.boundary
+    }
+
+    /// The gathered remote values.
+    pub fn haul(&self) -> &GatherHaul<T> {
+        &self.haul
+    }
+}
+
+/// In-flight split-phase gather; complete with
+/// [`SparseCsr::finish_gather_x`] / [`SparseCsr::finish_gather_x_cached`].
+#[must_use = "a posted gather must be finished"]
+pub struct PendingGather<T: Real> {
+    inner: PendingInner<T>,
+}
+
+enum PendingInner<T: Real> {
+    /// Not a grid member: nothing was posted.
+    Idle,
+    /// Pessimistic post against a fresh (or freshly stored) schedule.
+    Plain {
+        sched: Rc<CommSchedule>,
+        pending: PendingValues<T>,
+        haul: GatherHaul<T>,
+    },
+    /// Optimistic post; `hit` carries the locally cached schedule and its
+    /// pre-sized haul when the lookup hit.
+    Vote {
+        pending: PendingVote<T>,
+        hit: Option<(Rc<CommSchedule>, GatherHaul<T>)>,
+    },
+}
+
+impl<T: Real> PendingGather<T> {
+    /// The schedule this trip will replay, when one is locally known
+    /// *and* locally valid — a fresh build, or a cache hit (the full key
+    /// matched, so its boundary classification reflects the current
+    /// pattern and distributions even if the team later votes to roll
+    /// back). Interior rows read only owner-local x-values, so the
+    /// caller may compute them against this schedule's boundary split
+    /// while the exchange is in flight.
+    pub fn local_schedule(&self) -> Option<Rc<CommSchedule>> {
+        match &self.inner {
+            PendingInner::Idle => None,
+            PendingInner::Plain { sched, .. } => Some(Rc::clone(sched)),
+            PendingInner::Vote { hit, .. } => hit.as_ref().map(|(s, _)| Rc::clone(s)),
+        }
+    }
+}
+
+/// Packed words a replay of `sched` delivers to this processor — what the
+/// executor charges to `exchange_words`, re-attributed to `gather_words`
+/// by the consumer so sparse gather volume stays separable from halo
+/// volume.
+fn gather_words_of<T: Real>(sched: &CommSchedule) -> u64 {
+    sched.arrays[0]
+        .my_reqs
+        .iter()
+        .map(|v| T::slice_words(v.len()) as u64)
+        .sum()
+}
+
+impl<T: Real> SparseCsr<T> {
+    fn check_conformal(&self, x: &DistArray1<T>) {
+        assert_eq!(x.extents()[0], self.ncols, "x length must equal ncols");
+        assert_eq!(
+            x.grid().team().ranks(),
+            self.grid.team().ranks(),
+            "x must distribute over the matrix's grid"
+        );
+    }
+
+    /// The cache key of this matrix's gather against `x`.
+    fn gather_key(&self, x: &DistArray1<T>) -> GatherKey {
+        let site = fnv1a([GATHER_SITE_SALT, self.nrows as u64, self.ncols as u64]) as usize;
+        let fingerprint = fnv1a(
+            self.row_ptr
+                .iter()
+                .map(|&v| v as u64)
+                .chain(self.col_idx.iter().map(|&c| c as u64)),
+        );
+        GatherKey {
+            site,
+            team_ranks: self.grid.team().ranks().to_vec(),
+            shape: [self.nrows, self.ncols],
+            row_dist: self.row_dist,
+            x_dist: x.dist(0),
+            fingerprint,
+            mat_generation: self.generation,
+            x_generation: x.generation(),
+        }
+    }
+
+    /// The inspector: walk the local column index set, bucket non-owned
+    /// columns per owning peer (sorted, deduplicated), record the
+    /// boundary rows, and run the request round so every peer learns
+    /// which x-values to serve. The walk and the request round are
+    /// charged to the virtual clock as inspection time, mirroring the
+    /// interpreter's inspector pass.
+    fn build_gather_schedule(&self, proc: &mut Proc, x: &DistArray1<T>) -> CommSchedule {
+        let t0 = proc.clock();
+        proc.note_inspector_run();
+        let team = self.grid.team();
+        let q = team.len();
+        let xd = x.dist(0);
+        // Team position of each grid coordinate (identical on 1-D grids,
+        // but derived, not assumed).
+        let pos: Vec<usize> = (0..q)
+            .map(|c| {
+                team.index_of(self.grid.rank_at(&[c]))
+                    .expect("every grid member belongs to the grid team")
+            })
+            .collect();
+        let myq = self.q.expect("inspection runs on grid members only");
+        let mut my_reqs: Vec<Vec<u64>> = vec![Vec::new(); q];
+        let mut boundary = Vec::new();
+        for li in 0..self.local_rows() {
+            let mut remote = false;
+            for k in self.row_ptr[li]..self.row_ptr[li + 1] {
+                let c = self.col_idx[k];
+                let oq = xd.owner(c);
+                if oq != myq {
+                    my_reqs[pos[oq]].push(c as u64);
+                    remote = true;
+                }
+            }
+            if remote {
+                boundary.push(li);
+            }
+        }
+        for reqs in &mut my_reqs {
+            reqs.sort_unstable();
+            reqs.dedup();
+        }
+        proc.memop(self.local_nnz() as f64);
+        let reqs = [my_reqs];
+        let mut rounds = ScheduleExecutor::request_rounds(GATHER_REQUEST_TAG, proc, &team, &reqs);
+        let incoming = rounds.remove(0);
+        let [my_reqs] = reqs;
+        let dt = proc.clock() - t0;
+        proc.attribute_inspector_time(dt);
+        CommSchedule {
+            arrays: vec![ArraySchedule {
+                name: "x".into(),
+                my_reqs,
+                incoming,
+                origin: 0,
+            }],
+            write_hint: 0,
+            boundary,
+        }
+    }
+
+    /// The cold/rollback protocol shared by every cached blocking path:
+    /// inspect (charged), exchange blocking, store for later replays.
+    /// Build and store run on every grid member — the collective
+    /// discipline that keeps the vote gate and ordinal stream
+    /// SPMD-uniform.
+    fn rebuild_and_gather(
+        &self,
+        proc: &mut Proc,
+        cache: &mut GatherCache,
+        x: &DistArray1<T>,
+    ) -> Gathered<T> {
+        let key = self.gather_key(x);
+        let sched = self.build_gather_schedule(proc, x);
+        let mut haul = GatherHaul::for_schedule(&sched);
+        let team = self.grid.team();
+        EXEC.exchange_blocking(proc, &team, &sched, &mut GatherWorld { x, haul: &mut haul });
+        proc.note_gather_words(gather_words_of::<T>(&sched));
+        let (_, sched) = cache.cache.store(key, sched);
+        proc.note_schedule_evictions(cache.cache.take_evictions());
+        Gathered { sched, haul }
+    }
+
+    /// Uncached blocking gather: inspect and exchange, every trip. The
+    /// pessimistic baseline the cached paths are differentially tested
+    /// against.
+    pub fn gather_x(&self, proc: &mut Proc, x: &DistArray1<T>) -> Gathered<T> {
+        if !self.in_grid() {
+            return Gathered::idle();
+        }
+        self.check_conformal(x);
+        let sched = self.build_gather_schedule(proc, x);
+        let mut haul = GatherHaul::for_schedule(&sched);
+        let team = self.grid.team();
+        EXEC.exchange_blocking(proc, &team, &sched, &mut GatherWorld { x, haul: &mut haul });
+        proc.note_gather_words(gather_words_of::<T>(&sched));
+        Gathered {
+            sched: Rc::new(sched),
+            haul,
+        }
+    }
+
+    /// Blocking gather through the [`GatherCache`]: a warm trip replays
+    /// the cached schedule with the replay vote carried on the fused
+    /// value round; a cold trip (or a vote rollback) inspects, exchanges,
+    /// and stores.
+    pub fn gather_x_cached(
+        &self,
+        proc: &mut Proc,
+        cache: &mut GatherCache,
+        x: &DistArray1<T>,
+    ) -> Gathered<T> {
+        if !self.in_grid() {
+            return Gathered::idle();
+        }
+        self.check_conformal(x);
+        let key = self.gather_key(x);
+        if cache.cache.has_site_team(key.site(), key.team_ranks()) {
+            let team = self.grid.team();
+            let local = cache.cache.lookup(&key);
+            let vote = local.as_ref().map_or(NO_VOTE, |(seq, _)| *seq as i64);
+            let mut haul = match &local {
+                Some((_, s)) => GatherHaul::for_schedule(s),
+                None => GatherHaul::empty(),
+            };
+            let mut world = GatherWorld { x, haul: &mut haul };
+            let hit = local.as_ref().map(|(_, s)| (s.as_ref(), &world));
+            let outcome = EXEC.exchange_optimistic_blocking(proc, &team, vote, hit);
+            match (outcome.agreed, local) {
+                (Some(seq), Some((cached_seq, sched))) => {
+                    debug_assert_eq!(cached_seq, seq);
+                    proc.note_schedule_replay();
+                    proc.note_optimistic_hit();
+                    EXEC.scatter_agreed(proc, &sched, &mut world, &outcome);
+                    proc.note_gather_words(gather_words_of::<T>(&sched));
+                    return Gathered { sched, haul };
+                }
+                _ => proc.note_rollback(),
+            }
+        }
+        self.rebuild_and_gather(proc, cache, x)
+    }
+
+    /// Uncached split-phase gather, post half: inspect, then post the
+    /// fused value messages nonblocking so interior rows can run while
+    /// remote x-values are in transit. Complete with
+    /// [`SparseCsr::finish_gather_x`].
+    pub fn begin_gather_x(&self, proc: &mut Proc, x: &DistArray1<T>) -> PendingGather<T> {
+        if !self.in_grid() {
+            return PendingGather {
+                inner: PendingInner::Idle,
+            };
+        }
+        self.check_conformal(x);
+        let sched = self.build_gather_schedule(proc, x);
+        let mut haul = GatherHaul::for_schedule(&sched);
+        let team = self.grid.team();
+        let pending = EXEC.post(proc, &team, &sched, &GatherWorld { x, haul: &mut haul });
+        PendingGather {
+            inner: PendingInner::Plain {
+                sched: Rc::new(sched),
+                pending,
+                haul,
+            },
+        }
+    }
+
+    /// Completion half of [`SparseCsr::begin_gather_x`].
+    pub fn finish_gather_x(
+        &self,
+        proc: &mut Proc,
+        x: &DistArray1<T>,
+        pending: PendingGather<T>,
+    ) -> Gathered<T> {
+        match pending.inner {
+            PendingInner::Idle => Gathered::idle(),
+            PendingInner::Plain {
+                sched,
+                pending,
+                mut haul,
+            } => {
+                let team = self.grid.team();
+                EXEC.complete(
+                    proc,
+                    &team,
+                    &sched,
+                    &mut GatherWorld { x, haul: &mut haul },
+                    pending,
+                );
+                proc.note_gather_words(gather_words_of::<T>(&sched));
+                Gathered { sched, haul }
+            }
+            PendingInner::Vote { .. } => {
+                unreachable!("optimistic gathers complete through the cached path")
+            }
+        }
+    }
+
+    /// Split-phase gather through the [`GatherCache`], post half. A warm
+    /// trip posts the cached schedule's fused value messages with the
+    /// replay vote as a one-word header — no inspection, no request
+    /// round; a cold trip inspects, stores, and posts pessimistically
+    /// (the store is collective per site and team, so the vote gate stays
+    /// SPMD-uniform). Complete with
+    /// [`SparseCsr::finish_gather_x_cached`].
+    pub fn begin_gather_x_cached(
+        &self,
+        proc: &mut Proc,
+        cache: &mut GatherCache,
+        x: &DistArray1<T>,
+    ) -> PendingGather<T> {
+        if !self.in_grid() {
+            return PendingGather {
+                inner: PendingInner::Idle,
+            };
+        }
+        self.check_conformal(x);
+        let key = self.gather_key(x);
+        let team = self.grid.team();
+        if cache.cache.has_site_team(key.site(), key.team_ranks()) {
+            let local = cache.cache.lookup(&key);
+            let vote = local.as_ref().map_or(NO_VOTE, |(seq, _)| *seq as i64);
+            let mut haul = match &local {
+                Some((_, s)) => GatherHaul::for_schedule(s),
+                None => GatherHaul::empty(),
+            };
+            let pending = {
+                let world = GatherWorld { x, haul: &mut haul };
+                let hit = local.as_ref().map(|(_, s)| (s.as_ref(), &world));
+                EXEC.post_optimistic(proc, &team, vote, hit)
+            };
+            return PendingGather {
+                inner: PendingInner::Vote {
+                    pending,
+                    hit: local.map(|(_, s)| (s, haul)),
+                },
+            };
+        }
+        let sched = self.build_gather_schedule(proc, x);
+        let mut haul = GatherHaul::for_schedule(&sched);
+        let pending = EXEC.post(proc, &team, &sched, &GatherWorld { x, haul: &mut haul });
+        let (_, sched) = cache.cache.store(key, sched);
+        proc.note_schedule_evictions(cache.cache.take_evictions());
+        PendingGather {
+            inner: PendingInner::Plain {
+                sched,
+                pending,
+                haul,
+            },
+        }
+    }
+
+    /// Completion half of [`SparseCsr::begin_gather_x_cached`]. On vote
+    /// agreement the payloads scatter into the haul; on a rollback (e.g.
+    /// a `distribute` bumped a generation under a still-gated site) the
+    /// stale payloads are discarded and the whole gather re-runs from a
+    /// fresh inspection — so the returned haul always reflects `x`'s
+    /// current values under the current distributions.
+    pub fn finish_gather_x_cached(
+        &self,
+        proc: &mut Proc,
+        cache: &mut GatherCache,
+        x: &DistArray1<T>,
+        pending: PendingGather<T>,
+    ) -> Gathered<T> {
+        match pending.inner {
+            PendingInner::Idle => Gathered::idle(),
+            PendingInner::Plain {
+                sched,
+                pending,
+                mut haul,
+            } => {
+                let team = self.grid.team();
+                EXEC.complete(
+                    proc,
+                    &team,
+                    &sched,
+                    &mut GatherWorld { x, haul: &mut haul },
+                    pending,
+                );
+                proc.note_gather_words(gather_words_of::<T>(&sched));
+                Gathered { sched, haul }
+            }
+            PendingInner::Vote { pending, hit } => {
+                let outcome = EXEC.complete_optimistic(proc, pending);
+                match (outcome.agreed, hit) {
+                    (Some(_), Some((sched, mut haul))) => {
+                        proc.note_schedule_replay();
+                        proc.note_optimistic_hit();
+                        EXEC.scatter_agreed(
+                            proc,
+                            &sched,
+                            &mut GatherWorld { x, haul: &mut haul },
+                            &outcome,
+                        );
+                        proc.note_gather_words(gather_words_of::<T>(&sched));
+                        Gathered { sched, haul }
+                    }
+                    _ => {
+                        proc.note_rollback();
+                        self.rebuild_and_gather(proc, cache, x)
+                    }
+                }
+            }
+        }
+    }
+
+    /// One x-value during row compute: owner-local reads come straight
+    /// from `x`'s storage, remote columns from the trip's haul.
+    #[inline]
+    fn xval(&self, x: &DistArray1<T>, haul: Option<&GatherHaul<T>>, c: usize) -> T {
+        if x.owned_range(0).contains(&c) {
+            let s = x.storage_index([c]).expect("owned x-value");
+            x.data[s]
+        } else {
+            haul.and_then(|h| h.get(c))
+                .expect("remote column must have been gathered")
+        }
+    }
+
+    /// Compute `y(i) = Σ_j A(i,j)·x(j)` for the owned rows at the given
+    /// ascending local `positions`. Interior rows (not in a schedule's
+    /// boundary list) read no remote column, so they may run with
+    /// `haul = None` while a gather is still in flight. Returns the
+    /// number of nonzeros visited (2 flops each; the caller charges the
+    /// clock, mirroring the stencil plan's drive).
+    pub fn apply_positions(
+        &self,
+        x: &DistArray1<T>,
+        haul: Option<&GatherHaul<T>>,
+        y: &mut DistArray1<T>,
+        positions: &[usize],
+    ) -> usize {
+        debug_assert!(
+            y.dist(0) == self.row_dist,
+            "y must share the row distribution"
+        );
+        let mut nnz = 0usize;
+        for &li in positions {
+            let mut sum = T::zero();
+            for k in self.row_ptr[li]..self.row_ptr[li + 1] {
+                sum = sum + self.vals[k] * self.xval(x, haul, self.col_idx[k]);
+            }
+            nnz += self.row_ptr[li + 1] - self.row_ptr[li];
+            y.put(self.row_lo + li, sum);
+        }
+        nnz
+    }
+
+    /// [`SparseCsr::apply_positions`] over every owned row.
+    pub fn apply_all(
+        &self,
+        x: &DistArray1<T>,
+        haul: Option<&GatherHaul<T>>,
+        y: &mut DistArray1<T>,
+    ) -> usize {
+        let all: Vec<usize> = (0..self.local_rows()).collect();
+        self.apply_positions(x, haul, y, &all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kali_grid::{DistSpec, ProcGrid};
+    use kali_machine::{CostModel, Machine, MachineConfig};
+    use kali_sched::interior_positions;
+    use std::time::Duration;
+
+    fn cfg(p: usize) -> MachineConfig {
+        MachineConfig::new(p)
+            .with_cost(CostModel::unit())
+            .with_watchdog(Duration::from_secs(10))
+    }
+
+    /// A banded test matrix: row i holds columns {i-2, i, i+2} (clipped),
+    /// with deterministic values. The ±2 band crosses every block
+    /// boundary on 4 procs, fetching an *even* number of columns (two)
+    /// from each neighbour — so the f32 wire-halving assertion below is
+    /// exact even under `slice_words`' odd-length rounding.
+    fn band_row<T: Real>(n: usize) -> impl FnMut(usize) -> Vec<(usize, T)> {
+        move |i| {
+            [i.checked_sub(2), Some(i), (i + 2 < n).then_some(i + 2)]
+                .into_iter()
+                .flatten()
+                .map(|c| (c, T::from_f64(((i * 7 + c * 3) % 11) as f64 + 1.0)))
+                .collect()
+        }
+    }
+
+    fn dense_spmv(n: usize, x: &[f64]) -> Vec<f64> {
+        let mut row = band_row::<f64>(n);
+        (0..n)
+            .map(|i| row(i).into_iter().map(|(c, v)| v * x[c]).sum())
+            .collect()
+    }
+
+    fn mk_x<T: Real>(proc_rank: usize, g: &ProcGrid, n: usize) -> DistArray1<T> {
+        DistArray1::from_fn(proc_rank, g, &DistSpec::block1(), [n], [0], |[i]| {
+            T::from_f64((i % 13) as f64 * 0.5 + 1.0)
+        })
+    }
+
+    #[test]
+    fn uncached_gather_spmv_matches_dense_reference() {
+        let n = 19;
+        let run = Machine::run(cfg(4), |proc| {
+            let g = ProcGrid::new_1d(4);
+            let a = SparseCsr::from_rows(proc.rank(), &g, n, n, band_row::<f64>(n));
+            let x = mk_x::<f64>(proc.rank(), &g, n);
+            let mut y =
+                DistArray1::from_fn(proc.rank(), &g, &DistSpec::block1(), [n], [0], |_| 0.0);
+            let got = a.gather_x(proc, &x);
+            a.apply_all(&x, Some(got.haul()), &mut y);
+            y.gather_to_root(proc)
+        });
+        let xs: Vec<f64> = (0..n).map(|i| (i % 13) as f64 * 0.5 + 1.0).collect();
+        let want = dense_spmv(n, &xs);
+        assert_eq!(run.results[0].as_ref().unwrap(), &want);
+        assert_eq!(run.report.total_inspector_runs, 4);
+        assert!(run.report.total_gather_words > 0);
+        assert!(run.report.total_gather_words <= run.report.total_exchange_words);
+    }
+
+    #[test]
+    fn cached_gather_replays_warm_trips() {
+        let n = 19;
+        let trips = 4u64;
+        let run = Machine::run(cfg(4), |proc| {
+            let g = ProcGrid::new_1d(4);
+            let a = SparseCsr::from_rows(proc.rank(), &g, n, n, band_row::<f64>(n));
+            let x = mk_x::<f64>(proc.rank(), &g, n);
+            let mut cache = GatherCache::new();
+            let mut hauls = Vec::new();
+            for _ in 0..trips {
+                let got = a.gather_x_cached(proc, &mut cache, &x);
+                hauls.push(got.haul().len());
+            }
+            hauls
+        });
+        // All trips fetch the same columns; one inspection per proc.
+        for h in &run.results {
+            assert!(h.windows(2).all(|w| w[0] == w[1]));
+        }
+        assert_eq!(run.report.total_inspector_runs, 4);
+        assert_eq!(run.report.total_optimistic_hits, 4 * (trips - 1));
+        assert_eq!(run.report.total_rollbacks, 0);
+    }
+
+    #[test]
+    fn distribute_mid_stream_costs_exactly_one_rollback() {
+        let n = 19;
+        let run = Machine::run(cfg(4), |proc| {
+            let g = ProcGrid::new_1d(4);
+            let mut a = SparseCsr::from_rows(proc.rank(), &g, n, n, band_row::<f64>(n));
+            let x = mk_x::<f64>(proc.rank(), &g, n);
+            let mut cache = GatherCache::new();
+            let _ = a.gather_x_cached(proc, &mut cache, &x);
+            let _ = a.gather_x_cached(proc, &mut cache, &x);
+            a.distribute(proc);
+            let _ = a.gather_x_cached(proc, &mut cache, &x);
+            let _ = a.gather_x_cached(proc, &mut cache, &x);
+        });
+        assert_eq!(run.report.total_inspector_runs, 2 * 4);
+        assert_eq!(run.report.total_rollbacks, 4);
+        assert_eq!(run.report.total_optimistic_hits, 2 * 4);
+    }
+
+    #[test]
+    fn split_phase_interior_then_boundary_matches_blocking() {
+        let n = 23;
+        let run = Machine::run(cfg(4), |proc| {
+            let g = ProcGrid::new_1d(4);
+            let a = SparseCsr::from_rows(proc.rank(), &g, n, n, band_row::<f64>(n));
+            let x = mk_x::<f64>(proc.rank(), &g, n);
+            let mk_y = |proc: &mut kali_machine::Proc| {
+                DistArray1::from_fn(proc.rank(), &g, &DistSpec::block1(), [n], [0], |_| 0.0)
+            };
+            let mut cache = GatherCache::new();
+
+            // Blocking baseline.
+            let mut y_blk = mk_y(proc);
+            let got = a.gather_x_cached(proc, &mut cache, &x);
+            a.apply_all(&x, Some(got.haul()), &mut y_blk);
+
+            // Warm split-phase trip: interior while in flight, boundary
+            // after completion.
+            let pending = a.begin_gather_x_cached(proc, &mut cache, &x);
+            let sched = pending.local_schedule().expect("warm trip hits locally");
+            let interior = interior_positions(&sched.boundary, a.local_rows());
+            let mut y_spl = mk_y(proc);
+            a.apply_positions(&x, None, &mut y_spl, &interior);
+            let got = a.finish_gather_x_cached(proc, &mut cache, &x, pending);
+            a.apply_positions(&x, Some(got.haul()), &mut y_spl, got.boundary());
+
+            let blk = y_blk.gather_to_root(proc);
+            let spl = y_spl.gather_to_root(proc);
+            (blk, spl)
+        });
+        let (blk, spl) = &run.results[0];
+        assert_eq!(blk.as_ref().unwrap(), spl.as_ref().unwrap());
+        // One inspection (first trip); the split trip replayed.
+        assert_eq!(run.report.total_inspector_runs, 4);
+        assert_eq!(run.report.total_rollbacks, 0);
+        assert_eq!(run.report.total_optimistic_hits, 4);
+    }
+
+    #[test]
+    fn f32_gather_moves_half_the_words_of_f64() {
+        fn words<T: Real>() -> (u64, u64) {
+            let n = 20;
+            let run = Machine::run(cfg(4), |proc| {
+                let g = ProcGrid::new_1d(4);
+                let a = SparseCsr::from_rows(proc.rank(), &g, n, n, band_row::<T>(n));
+                let x = mk_x::<T>(proc.rank(), &g, n);
+                let _ = a.gather_x(proc, &x);
+            });
+            (
+                run.report.total_gather_words,
+                run.report.total_exchange_words,
+            )
+        }
+        let (g64, e64) = words::<f64>();
+        let (g32, e32) = words::<f32>();
+        assert!(g64 > 0);
+        assert_eq!(e64, g64);
+        assert_eq!(e32, g32);
+        assert_eq!(g64, 2 * g32);
+    }
+}

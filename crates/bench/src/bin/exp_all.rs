@@ -22,6 +22,7 @@ fn main() {
         ("S3", kali_bench::exp_halo_cache::run),
         ("S4", kali_bench::exp_serve::run),
         ("S5", kali_bench::exp_elem::run),
+        ("S6", kali_bench::exp_spmv::run),
     ];
     let mut docs = Vec::new();
     for (id, f) in experiments {

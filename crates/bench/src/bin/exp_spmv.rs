@@ -1,0 +1,6 @@
+//! Regenerates the inspector-executor sparse SpMV experiment; `--smoke`
+//! shrinks the sweep for CI, `--json` emits the machine-readable document
+//! tracked as BENCH_spmv.json.
+fn main() {
+    kali_bench::exp_main(kali_bench::exp_spmv::run);
+}

@@ -137,10 +137,12 @@ pub fn report_json(r: &RunReport) -> Json {
         ("schedule_replays", Json::from(r.total_schedule_replays)),
         ("inspector_seconds", Json::Num(r.inspector_seconds)),
         ("exchange_words", Json::from(r.total_exchange_words)),
+        ("gather_words", Json::from(r.total_gather_words)),
         (
             "overlap_hidden_seconds",
             Json::Num(r.overlap_hidden_seconds),
         ),
+        ("rollbacks", Json::from(r.total_rollbacks)),
     ])
 }
 

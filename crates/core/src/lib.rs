@@ -58,7 +58,7 @@ pub use kali_solvers as solvers;
 
 /// The commonly needed names in one import.
 pub mod prelude {
-    pub use kali_array::{DistArray1, DistArray2, DistArray3, DistArrayN, Elem, Real};
+    pub use kali_array::{DistArray1, DistArray2, DistArray3, DistArrayN, Elem, Real, SparseCsr};
     pub use kali_grid::{DimDist, DimMap, Dist1, DistSpec, ProcGrid};
     pub use kali_machine::{
         collective, tag, BackendKind, CostModel, Machine, MachineBuilder, MachineConfig,

@@ -139,8 +139,11 @@ enum Mode {
 
 /// Intrinsic function names: legal in a doall body without a binding.
 const INTRINSICS: &[&str] = &[
-    "log2", "mod", "abs", "sqrt", "min", "max", "lower", "upper", "reduce", "seqtri",
+    "log2", "mod", "abs", "sqrt", "min", "max", "lower", "upper", "reduce", "seqtri", "spmv",
 ];
+
+/// Built-in sequential kernels callable inside a doall body.
+const BUILTINS: &[&str] = &["reduce", "seqtri", "spmv"];
 
 /// Cached schedules per doall site; the oldest epoch is evicted beyond
 /// this (a backstop — sites normally cycle through a handful of keys).
@@ -206,8 +209,29 @@ struct ScheduleKey {
     my_iters: Vec<Vec<i64>>,
     /// Free scalars of the body at entry, sorted by name.
     scalars: Vec<(String, Value)>,
+    /// Content fingerprints of *replicated* arrays in schedule-relevant
+    /// positions (subscripts, section bounds, builtin arguments), sorted
+    /// by name. A CSR structure array (`spmv`'s column indices) makes the
+    /// schedule a function of array *values*; replicated values are
+    /// locally visible, so hashing them keys the schedule exactly —
+    /// change the sparsity and the key misses, vote disagrees, and the
+    /// trip re-inspects.
+    fingerprints: Vec<(String, u64)>,
     /// Every array read or written, sorted by name.
     arrays: Vec<ArrayKey>,
+}
+
+/// FNV-1a over the bit patterns of an array's storage, for
+/// [`ScheduleKey::fingerprints`].
+fn data_fingerprint(data: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in data {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
 }
 
 #[derive(PartialEq)]
@@ -1371,11 +1395,24 @@ impl<'a, 'p> Interp<'a, 'p> {
         if !scan.cacheable {
             return None;
         }
+        let mut fingerprints = Vec::new();
         for n in &scan.sched_names {
-            if matches!(self.frame().lookup(n), Some(Binding::Array(_))) {
-                return None; // data-dependent schedule
+            if let Some(Binding::Array(view)) = self.frame().lookup(n) {
+                let b = view.base.borrow();
+                if b.replicated() {
+                    // Replicated values are locally visible: key on their
+                    // content so the cached schedule is exactly as fresh
+                    // as the data it was derived from.
+                    fingerprints.push((n.clone(), data_fingerprint(&b.data)));
+                } else {
+                    // A distributed array's remote values cannot key a
+                    // local decision; the schedule is data-dependent in a
+                    // way no local key captures.
+                    return None;
+                }
             }
         }
+        fingerprints.sort();
         let mut names = scan.names;
         names.sort();
         names.dedup();
@@ -1444,6 +1481,7 @@ impl<'a, 'p> Interp<'a, 'p> {
             team_ranks: team.ranks().to_vec(),
             my_iters: my_iters.to_vec(),
             scalars,
+            fingerprints,
             arrays,
         })
     }
@@ -1618,7 +1656,7 @@ impl<'a, 'p> Interp<'a, 'p> {
     // ---------- calls ----------
 
     fn exec_call(&mut self, name: &str, args: &[Arg], on: Option<&ProcExpr>) -> RtResult<()> {
-        if name == "reduce" || name == "seqtri" {
+        if BUILTINS.contains(&name) {
             return self.exec_builtin(name, args);
         }
         let Some(sub) = self.prog.find(name) else {
@@ -1718,9 +1756,34 @@ impl<'a, 'p> Interp<'a, 'p> {
         })
     }
 
-    /// Built-in sequential kernels (`reduce`, `seqtri`) operating on fully
-    /// local 1-D sections.
+    /// Resolve a 1-D section to its base array and storage indices,
+    /// requiring every element to live on this processor.
+    fn local_section_flats(&self, name: &str, v: &View) -> RtResult<(ArrRef, Vec<usize>)> {
+        let n = v.extent(0);
+        let lo = v.callee_lo[0];
+        let mut flats = Vec::with_capacity(n);
+        let b = v.base.borrow();
+        for i in 0..n {
+            let idxs = v.to_base(&[lo + i as i64])?;
+            if !b.owned_by(self.me(), &idxs) {
+                return Err(format!(
+                    "builtin {name}: section of {} is not local to processor {}",
+                    b.name,
+                    self.me()
+                ));
+            }
+            flats.push(b.flat(&idxs)?);
+        }
+        drop(b);
+        Ok((v.base.clone(), flats))
+    }
+
+    /// Built-in sequential kernels (`reduce`, `seqtri`, `spmv`) operating
+    /// on 1-D sections — fully local, except `spmv`'s gathered operand.
     fn exec_builtin(&mut self, name: &str, args: &[Arg]) -> RtResult<()> {
+        if name == "spmv" {
+            return self.exec_spmv(args);
+        }
         // Materialize section arguments.
         let mut sections: Vec<(ArrRef, Vec<usize>)> = Vec::new();
         let mut scalars: Vec<Value> = Vec::new();
@@ -1731,23 +1794,7 @@ impl<'a, 'p> Interp<'a, 'p> {
                     if v.ndims() != 1 {
                         return Err(format!("builtin {name}: sections must be 1-D"));
                     }
-                    let n = v.extent(0);
-                    let lo = v.callee_lo[0];
-                    let mut flats = Vec::with_capacity(n);
-                    let b = v.base.borrow();
-                    for i in 0..n {
-                        let idxs = v.to_base(&[lo + i as i64])?;
-                        if !b.owned_by(self.me(), &idxs) {
-                            return Err(format!(
-                                "builtin {name}: section of {} is not local to processor {}",
-                                b.name,
-                                self.me()
-                            ));
-                        }
-                        flats.push(b.flat(&idxs)?);
-                    }
-                    drop(b);
-                    sections.push((v.base.clone(), flats));
+                    sections.push(self.local_section_flats(name, &v)?);
                 }
                 Arg::Expr(e) => scalars.push(self.eval(e)?),
             }
@@ -1790,6 +1837,89 @@ impl<'a, 'p> Interp<'a, 'p> {
             }
             _ => unreachable!(),
         }
+        Ok(())
+    }
+
+    /// `call spmv(y(i:i), ci(lo:hi), av(lo:hi), x(1:n))`: one CSR row of
+    /// a sparse matrix-vector product. `y(i)` is the owned row, `ci`/`av`
+    /// its (local) column indices and values, and `x` the gathered
+    /// operand — the one builtin section that may reach off-processor.
+    /// The inspector reads the local `ci` values and records exactly the
+    /// remote `x` elements this row touches, so the doall engine's fused
+    /// exchange carries the x-gather and warm trips replay it like any
+    /// other schedule (the body is cacheable: replicated structure arrays
+    /// key the schedule by content fingerprint). Column indices count
+    /// from 1 in the x *section*'s index space; `x` reads are copy-in
+    /// (writes from earlier iterations of the same doall stay invisible).
+    fn exec_spmv(&mut self, args: &[Arg]) -> RtResult<()> {
+        let mut views = Vec::with_capacity(4);
+        for a in args {
+            let Arg::Section { name: an, subs } = a else {
+                return Err("spmv(y, ci, av, x) takes four sections".into());
+            };
+            let v = self.make_section_view(an, subs)?;
+            if v.ndims() != 1 {
+                return Err("builtin spmv: sections must be 1-D".into());
+            }
+            views.push(v);
+        }
+        let [yv, civ, avv, xv] = views.as_slice() else {
+            return Err("spmv(y, ci, av, x) takes four sections".into());
+        };
+        let y = self.local_section_flats("spmv", yv)?;
+        let ci = self.local_section_flats("spmv", civ)?;
+        let av = self.local_section_flats("spmv", avv)?;
+        if y.1.len() != 1 {
+            return Err("builtin spmv: the y section is one element (one row)".into());
+        }
+        if ci.1.len() != av.1.len() {
+            return Err("builtin spmv: ci and av sections must conform".into());
+        }
+        // The row's column set, from the local index array — fresh even
+        // during inspection, which is what lets the inspector derive the
+        // x-gather from data rather than from subscript structure.
+        let cols: Vec<i64> = {
+            let b = ci.0.borrow();
+            ci.1.iter().map(|&f| b.data[f] as i64).collect()
+        };
+        let me = self.me();
+        let mut xflats = Vec::with_capacity(cols.len());
+        let mut remote = Vec::new();
+        {
+            let b = xv.base.borrow();
+            let repl = b.replicated();
+            for &c in &cols {
+                let idxs = xv.to_base(&[c])?;
+                let flat = b.flat(&idxs)?;
+                if !repl && !b.owned_by(me, &idxs) {
+                    remote.push(flat);
+                }
+                xflats.push(flat);
+            }
+        }
+        if let Mode::Inspect(st) = &mut self.mode {
+            for f in remote {
+                st.record(&xv.base, f);
+            }
+            return Ok(()); // gather recorded; no mutation during inspection
+        }
+        if matches!(self.mode, Mode::Normal) && self.doall_depth == 0 && !remote.is_empty() {
+            return Err(format!(
+                "non-local read of {} in replicated code; remote values only \
+                 flow through doall communication",
+                xv.base.borrow().name
+            ));
+        }
+        let sum = {
+            let ab = av.0.borrow();
+            let xb = xv.base.borrow();
+            av.1.iter()
+                .zip(&xflats)
+                .map(|(&fa, &fx)| ab.data[fa] * xb.data[fx])
+                .sum()
+        };
+        self.proc.compute(2.0 * cols.len() as f64);
+        self.write_section(&y, &[sum])?;
         Ok(())
     }
 
@@ -2238,12 +2368,20 @@ fn scan_stmts<'b>(frame: &Frame, body: &'b [Stmt], s: &mut BodyScan<'b>) {
                 scan_stmts(frame, body, s);
             }
             Stmt::Call { name, args, .. } => {
-                if name == "reduce" || name == "seqtri" {
-                    for a in args {
+                if BUILTINS.contains(&name.as_str()) {
+                    for (k, a) in args.iter().enumerate() {
                         match a {
                             Arg::Expr(e) => scan_expr(frame, e, true, s),
                             Arg::Section { name: an, subs } => {
                                 scan_push(&mut s.names, an);
+                                // spmv derives its x-gather from the
+                                // *values* of the column-index section
+                                // (argument 2): those values are
+                                // schedule-relevant the same way a
+                                // subscript array would be.
+                                if name == "spmv" && k == 1 {
+                                    scan_push(&mut s.sched_names, an);
+                                }
                                 for sec in subs {
                                     match sec {
                                         Section::Index(e) => scan_expr(frame, e, true, s),
@@ -2421,10 +2559,31 @@ fn collect_read_names(body: &[Stmt]) -> Vec<String> {
                     }
                     stmts(body, out);
                 }
-                Stmt::Call { args, .. } => {
+                Stmt::Call { name, args, .. } => {
                     for a in args {
-                        if let Arg::Expr(e) = a {
-                            expr(e, out);
+                        match a {
+                            Arg::Expr(e) => expr(e, out),
+                            // Builtin section arguments are reads of the
+                            // named array; the gathered operand of `spmv`
+                            // in particular must enter the exchange, or
+                            // its inspector-recorded remote columns would
+                            // trip the stale-read hazard check.
+                            Arg::Section { name: an, subs }
+                                if BUILTINS.contains(&name.as_str()) =>
+                            {
+                                push(an, out);
+                                for sec in subs {
+                                    match sec {
+                                        Section::Index(e) => expr(e, out),
+                                        Section::Range(e1, e2) => {
+                                            expr(e1, out);
+                                            expr(e2, out);
+                                        }
+                                        Section::All => {}
+                                    }
+                                }
+                            }
+                            Arg::Section { .. } => {}
                         }
                     }
                 }

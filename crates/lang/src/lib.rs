@@ -46,6 +46,7 @@ pub fn listing(name: &str) -> Option<&'static str> {
         "shift" => Some(include_str!("../programs/shift.kf1")),
         "tri" => Some(include_str!("../programs/tri.kf1")),
         "adi" => Some(include_str!("../programs/adi.kf1")),
+        "spmv" => Some(include_str!("../programs/spmv.kf1")),
         _ => None,
     }
 }
@@ -803,6 +804,88 @@ end
         assert_eq!(p0[first_post + 1], "doall:interior");
         assert_eq!(p0[first_post + 2], "doall:complete");
         assert_eq!(p0[first_post + 3], "doall:boundary");
+    }
+
+    /// The spmv listing (entry `spmvit`; `spmv` itself names the builtin)
+    /// is the corpus guard for the irregular workload: parse, run, match
+    /// the sequential CSR product bitwise, and pin that the value-derived
+    /// x-gather is inspected once per site and replayed warm after.
+    #[test]
+    fn spmv_listing_derives_the_gather_from_values_and_replays_warm() {
+        let src = listing("spmv").unwrap();
+        let prog = parse(src).unwrap();
+        assert!(prog.find("spmvit").is_some());
+        let n = 12usize;
+        // CSR band {i-2, i, i+2}, all indices 1-based as the program sees them.
+        let mut rp = vec![1.0];
+        let mut ci: Vec<f64> = Vec::new();
+        let mut av: Vec<f64> = Vec::new();
+        for i in 1..=n as i64 {
+            for c in [i - 2, i, i + 2] {
+                if c >= 1 && c <= n as i64 {
+                    ci.push(c as f64);
+                    av.push(((i * 5 + c * 3) % 7) as f64 + 1.0);
+                }
+            }
+            rp.push((ci.len() + 1) as f64);
+        }
+        let nz = ci.len();
+        let x0: Vec<f64> = (0..n).map(|i| (i % 9) as f64 * 0.75 - 2.0).collect();
+        let iters = 4usize;
+        let run = run_source(
+            cfg(4),
+            src,
+            "spmvit",
+            &[4],
+            &[
+                HostValue::Array {
+                    data: vec![0.0; n],
+                    bounds: vec![(1, n as i64)],
+                },
+                HostValue::Array {
+                    data: x0.clone(),
+                    bounds: vec![(1, n as i64)],
+                },
+                HostValue::Array {
+                    data: rp.clone(),
+                    bounds: vec![(1, (n + 1) as i64)],
+                },
+                HostValue::Array {
+                    data: ci.clone(),
+                    bounds: vec![(1, nz as i64)],
+                },
+                HostValue::Array {
+                    data: av.clone(),
+                    bounds: vec![(1, nz as i64)],
+                },
+                HostValue::Int(n as i64),
+                HostValue::Int(nz as i64),
+                HostValue::Int(iters as i64),
+            ],
+        )
+        .unwrap();
+        // Sequential reference of the same iteration, same summation order.
+        let mut x = x0;
+        let mut y = vec![0.0; n];
+        for _ in 0..iters {
+            for i in 0..n {
+                let (lo, hi) = (rp[i] as usize - 1, rp[i + 1] as usize - 1);
+                y[i] = (lo..hi).map(|k| av[k] * x[ci[k] as usize - 1]).sum();
+            }
+            x = y.iter().map(|v| v / 10.0).collect();
+        }
+        for (got, want) in run.arrays[0].1.iter().zip(&y) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+        // One inspection per doall site per processor; every later trip
+        // replays the cached gather warm, with zero rollbacks.
+        assert_eq!(run.report.total_inspector_runs, 2 * 4);
+        assert_eq!(run.report.total_rollbacks, 0);
+        assert_eq!(run.report.total_optimistic_hits, 2 * 4 * (iters as u64 - 1));
+        assert!(
+            run.report.total_msgs > 0,
+            "the x-gather must move remote columns"
+        );
     }
 
     #[test]

@@ -69,6 +69,10 @@ pub struct ProcStats {
     /// global-budget victims both count) — the admission-policy pressure
     /// gauge for bounded multi-tenant caches.
     pub schedule_evictions: u64,
+    /// Subset of [`ProcStats::exchange_words`] delivered by *irregular
+    /// gather* schedules (sparse x-vector fetches), so sparse gather
+    /// volume is separable from halo exchange volume in benches.
+    pub gather_words: u64,
 }
 
 /// A named instant recorded by [`Proc::mark`]; used by the experiment
@@ -375,6 +379,15 @@ impl Proc {
     #[inline]
     pub fn note_exchange_words(&mut self, words: u64) {
         self.stats.exchange_words += words;
+    }
+
+    /// Attribute `words` already-recorded exchange words to an irregular
+    /// gather (sparse x-vector fetch). Pure bookkeeping: the consumer
+    /// calls this *in addition to* the executor's exchange-word note, so
+    /// `gather_words <= exchange_words` always holds.
+    #[inline]
+    pub fn note_gather_words(&mut self, words: u64) {
+        self.stats.gather_words += words;
     }
 
     /// Advance the clock by an arbitrary busy interval (used by collectives

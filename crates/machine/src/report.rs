@@ -52,6 +52,10 @@ pub struct RunReport {
     /// Schedule-cache evictions (per-site-cap and global-budget victims),
     /// summed over processors.
     pub total_schedule_evictions: u64,
+    /// Subset of [`RunReport::total_exchange_words`] delivered by
+    /// irregular gather schedules (sparse x-vector fetches), summed over
+    /// processors.
+    pub total_gather_words: u64,
 }
 
 impl RunReport {
@@ -68,6 +72,7 @@ impl RunReport {
         let total_optimistic_hits = procs.iter().map(|p| p.stats.optimistic_hits).sum();
         let total_rollbacks = procs.iter().map(|p| p.stats.rollbacks).sum();
         let total_schedule_evictions = procs.iter().map(|p| p.stats.schedule_evictions).sum();
+        let total_gather_words = procs.iter().map(|p| p.stats.gather_words).sum();
         RunReport {
             backend,
             wall_seconds,
@@ -84,6 +89,7 @@ impl RunReport {
             total_optimistic_hits,
             total_rollbacks,
             total_schedule_evictions,
+            total_gather_words,
         }
     }
 
@@ -189,6 +195,13 @@ impl std::fmt::Display for RunReport {
                 f,
                 "cache pressure: {} schedule entries evicted",
                 self.total_schedule_evictions
+            )?;
+        }
+        if self.total_gather_words > 0 {
+            writeln!(
+                f,
+                "sparse gather: {} of the exchange words were irregular x-vector fetches",
+                self.total_gather_words
             )?;
         }
         writeln!(
@@ -318,6 +331,20 @@ mod tests {
         assert_eq!(r.total_schedule_evictions, 5);
         let s = format!("{r}");
         assert!(s.contains("5 schedule entries evicted"));
+    }
+
+    #[test]
+    fn gather_word_counter_aggregates_and_renders() {
+        let mut a = mk_proc(0, 1.0, 1.0);
+        a.stats.exchange_words = 10;
+        a.stats.gather_words = 6;
+        let mut b = mk_proc(1, 1.0, 1.0);
+        b.stats.exchange_words = 9;
+        b.stats.gather_words = 5;
+        let r = RunReport::new(BackendKind::Sim, 0.0, vec![a, b]);
+        assert_eq!(r.total_gather_words, 11);
+        let s = format!("{r}");
+        assert!(s.contains("11 of the exchange words were irregular x-vector fetches"));
     }
 
     #[test]

@@ -23,6 +23,11 @@
 //!   interior overlapping the transit, warm trips replayed from the
 //!   schedule cache with a piggybacked consensus vote, all policy-driven
 //!   rather than API-driven;
+//! * [`Ctx::sparse`] — the same contract for *irregular* reads: a
+//!   [`SparsePlan`] drives one inspector-executor SpMV against a
+//!   [`kali_array::SparseCsr`], overlapping the x-gather transit with
+//!   the matrix rows whose columns are all owner-local and replaying
+//!   warm iterations from the gather schedule cache;
 //! * [`Ctx::doall1`] / [`Ctx::doall2`] — communication-free strip-mined
 //!   parallel loops whose `on owner(...)` clause is a [`Dist1`] or a
 //!   distributed array;
@@ -61,13 +66,15 @@
 //! needs no migration — port an interior to the row form only when it
 //! is hot.
 
-use kali_array::{DistArray2, DistArrayN, Elem, HaloCache};
+use kali_array::{DistArray2, DistArrayN, Elem, GatherCache, HaloCache};
 use kali_grid::{Dist1, ProcGrid};
 use kali_machine::{collective, Proc, Team, Wire};
 
 mod plan;
+mod sparse_plan;
 
 pub use plan::{ExecPolicy, Ghosts, PlanRead, StencilPlan};
+pub use sparse_plan::SparsePlan;
 
 // The interior/boundary partitions live in the shared scheduling crate
 // (they are the compiled-path mirror of `CommSchedule::boundary`);
@@ -85,6 +92,7 @@ pub struct Ctx<'a> {
     coords: Option<Vec<usize>>,
     policy: ExecPolicy,
     halo: HaloCache,
+    gather: GatherCache,
 }
 
 impl<'a> Ctx<'a> {
@@ -98,6 +106,7 @@ impl<'a> Ctx<'a> {
             coords,
             policy: ExecPolicy::default(),
             halo: HaloCache::new(),
+            gather: GatherCache::new(),
         }
     }
 
@@ -149,6 +158,32 @@ impl<'a> Ctx<'a> {
         StencilPlan { ctx: self, policy }
     }
 
+    /// Build a [`SparsePlan`] under the context's policy — the sparse
+    /// sibling of [`Ctx::plan`]: `ctx.sparse().spmv(&a, &x, &mut y)`
+    /// runs one inspector-executor SpMV trip (split-phase overlap, warm
+    /// replay, rollback-on-repartition all policy-driven).
+    pub fn sparse(&mut self) -> SparsePlan<'_, 'a> {
+        let policy = self.policy;
+        SparsePlan { ctx: self, policy }
+    }
+
+    /// Number of gather schedule entries currently cached.
+    pub fn gather_len(&self) -> usize {
+        self.gather.len()
+    }
+
+    /// Cap the total number of cached gather schedules (the sparse
+    /// analogue of [`Ctx::set_halo_budget`], with the same SPMD
+    /// discipline: set it on every member).
+    pub fn set_gather_budget(&mut self, max_entries: usize) {
+        self.gather.set_budget(max_entries);
+    }
+
+    /// The gather cache's global entry budget (`None` if unbounded).
+    pub fn gather_budget(&self) -> Option<usize> {
+        self.gather.budget()
+    }
+
     /// The machine-level processor handle.
     pub fn proc(&mut self) -> &mut Proc {
         self.proc
@@ -158,6 +193,12 @@ impl<'a> Ctx<'a> {
     /// the halo schedule cache, simultaneously.
     pub(crate) fn proc_and_halo(&mut self) -> (&mut Proc, &mut HaloCache) {
         (self.proc, &mut self.halo)
+    }
+
+    /// Split borrow used by the sparse plan executor: the processor
+    /// handle and the gather schedule cache, simultaneously.
+    pub(crate) fn proc_and_gather(&mut self) -> (&mut Proc, &mut GatherCache) {
+        (self.proc, &mut self.gather)
     }
 
     /// The processor array in scope.
@@ -290,8 +331,10 @@ impl<'a> Ctx<'a> {
         let mut sub = Ctx::new(self.proc, slice);
         sub.policy = self.policy;
         sub.halo = std::mem::take(&mut self.halo);
+        sub.gather = std::mem::take(&mut self.gather);
         let r = f(&mut sub);
         self.halo = sub.halo;
+        self.gather = sub.gather;
         Some(r)
     }
 

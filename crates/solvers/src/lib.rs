@@ -19,14 +19,20 @@
 //! * [`transfer`] — residuals, semicoarsening restriction and interpolation
 //!   (`resid2/3`, `rest2/3`, `intrp2/3`), with ownership-routed row/plane
 //!   transfers that stay correct for any block alignment;
+//! * [`spmv`] / [`cg`] — the irregular workload class: sparse
+//!   matrix-vector product and conjugate gradients on the
+//!   block-row-distributed CSR matrix, whose x-gather is inspected once
+//!   and replayed warm every iteration (ROADMAP item 1);
 //! * [`seq`] — plain sequential references used for verification and for
 //!   the paper's lines-of-code comparison (claim C1).
 
 pub mod adi;
+pub mod cg;
 pub mod jacobi;
 pub mod mg2;
 pub mod mg3;
 pub mod seq;
+pub mod spmv;
 pub mod transfer;
 
 /// The constant-coefficient model operator `a·∂xx + b·∂yy (+ e·∂zz) + c`

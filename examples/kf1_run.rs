@@ -6,6 +6,7 @@
 //! cargo run --example kf1_run -- tri     # runs Listings 4+5 (tridiagonal)
 //! cargo run --example kf1_run -- shift   # the §2 doall semantics example
 //! cargo run --example kf1_run -- adi     # Listings 7+8 (ADI)
+//! cargo run --example kf1_run -- spmv    # sparse SpMV via the builtin
 //! ```
 
 use kali::lang::{listing, run_source, HostValue};
@@ -27,7 +28,7 @@ fn machine_cfg(p: usize) -> MachineConfig {
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "jacobi".into());
     let src = listing(&which).unwrap_or_else(|| {
-        eprintln!("unknown listing {which:?}; available: jacobi, tri, shift, adi");
+        eprintln!("unknown listing {which:?}; available: jacobi, tri, shift, adi, spmv");
         std::process::exit(1);
     });
     println!("--- KF1 source ({which}) ---\n{src}\n--- running ---\n");
@@ -182,6 +183,70 @@ fn main() {
                 .map(|k| (x[k] - us.at(k / w, k % w)).abs())
                 .fold(0.0f64, f64::max);
             println!("ADI {iters} iterations on 2x2: max error vs truth {err:.2e}");
+            println!("{}", run.report);
+        }
+        "spmv" => {
+            // Power-iteration-style SpMV loop on a CSR band {i-2, i, i+2}
+            // (1-based, as the program sees it): the gather schedule is
+            // derived from the *values* of rp/ci by the inspector, cached,
+            // and replayed warm on every later trip.
+            let n = 32usize;
+            let mut rp = vec![1.0];
+            let mut ci: Vec<f64> = Vec::new();
+            let mut av: Vec<f64> = Vec::new();
+            for i in 1..=n as i64 {
+                for c in [i - 2, i, i + 2] {
+                    if c >= 1 && c <= n as i64 {
+                        ci.push(c as f64);
+                        av.push(((i * 5 + c * 3) % 7) as f64 + 1.0);
+                    }
+                }
+                rp.push((ci.len() + 1) as f64);
+            }
+            let nz = ci.len();
+            let x0: Vec<f64> = (0..n).map(|i| (i % 9) as f64 * 0.75 - 2.0).collect();
+            let iters = 8i64;
+            let run = run_source(
+                machine_cfg(4),
+                src,
+                "spmvit",
+                &[4],
+                &[
+                    HostValue::Array {
+                        data: vec![0.0; n],
+                        bounds: vec![(1, n as i64)],
+                    },
+                    HostValue::Array {
+                        data: x0,
+                        bounds: vec![(1, n as i64)],
+                    },
+                    HostValue::Array {
+                        data: rp,
+                        bounds: vec![(1, (n + 1) as i64)],
+                    },
+                    HostValue::Array {
+                        data: ci,
+                        bounds: vec![(1, nz as i64)],
+                    },
+                    HostValue::Array {
+                        data: av,
+                        bounds: vec![(1, nz as i64)],
+                    },
+                    HostValue::Int(n as i64),
+                    HostValue::Int(nz as i64),
+                    HostValue::Int(iters),
+                ],
+            )
+            .expect("listing runs");
+            let y = &run.arrays[0].1;
+            let norm = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+            println!(
+                "{iters} SpMV trips on 4 processors: |y| = {norm:.6}, \
+                 {} inspections / {} warm replays / {} rollbacks",
+                run.report.total_inspector_runs,
+                run.report.total_optimistic_hits,
+                run.report.total_rollbacks,
+            );
             println!("{}", run.report);
         }
         _ => unreachable!(),
