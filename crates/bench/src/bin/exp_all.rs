@@ -23,6 +23,7 @@ fn main() {
         ("S4", kali_bench::exp_serve::run),
         ("S5", kali_bench::exp_elem::run),
         ("S6", kali_bench::exp_spmv::run),
+        ("S7", kali_bench::exp_static::run),
     ];
     let mut docs = Vec::new();
     for (id, f) in experiments {

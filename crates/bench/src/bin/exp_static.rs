@@ -1,0 +1,5 @@
+//! Regenerates one paper artifact; `--smoke` shrinks sweeps, `--json`
+//! emits the machine-readable document. See DESIGN.md §4.
+fn main() {
+    kali_bench::exp_main(kali_bench::exp_static::run);
+}

@@ -1,0 +1,251 @@
+//! Static communication analysis (compile-time KF1 analyzer): the
+//! analyzer extracts a `StaticCommPlan` for every affine-stencil `doall`,
+//! and the interpreter seeds the schedule cache from it before the first
+//! trip. This experiment validates the paper's compile-time/run-time
+//! continuum claim on the shipped listings: every analyzable listing is
+//! diagnostic-free, and its *cold* trip executes with zero inspector
+//! runs — bitwise-identical to the inspector-derived path under all four
+//! execution-policy squares — so the inspector cost disappears entirely
+//! where subscripts are statically analyzable, not merely amortized.
+
+use kali_lang::{
+    analyze, comm_plans, listing, parse, run_source_with, ExecPolicy, HostValue, LangRun,
+    RunOptions,
+};
+
+use crate::json::Json;
+use crate::{cfg, fmt_s, ExpOpts, ExpOut, Table};
+
+fn run_with(
+    src: &str,
+    entry: &str,
+    p: usize,
+    grid: &[usize],
+    args: &[HostValue],
+    policy: ExecPolicy,
+    static_seed: bool,
+) -> LangRun {
+    run_source_with(
+        cfg(p),
+        src,
+        entry,
+        grid,
+        args,
+        RunOptions {
+            policy,
+            static_seed,
+            ..RunOptions::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("{entry} runs: {e}"))
+}
+
+fn jacobi_args(np: i64, iters: i64) -> Vec<HostValue> {
+    let w = (np + 1) as usize;
+    let f: Vec<f64> = (0..w * w)
+        .map(|k| {
+            let (i, j) = (k / w, k % w);
+            if i == 0 || i == w - 1 || j == 0 || j == w - 1 {
+                0.0
+            } else {
+                ((i * 5 + j) % 7) as f64 / 70.0
+            }
+        })
+        .collect();
+    vec![
+        HostValue::Array {
+            data: vec![0.0; w * w],
+            bounds: vec![(0, np), (0, np)],
+        },
+        HostValue::Array {
+            data: f,
+            bounds: vec![(0, np), (0, np)],
+        },
+        HostValue::Int(np),
+        HostValue::Int(iters),
+    ]
+}
+
+fn shift_args(n: i64) -> Vec<HostValue> {
+    vec![
+        HostValue::Array {
+            data: (1..=n).map(|k| k as f64).collect(),
+            bounds: vec![(1, n)],
+        },
+        HostValue::Int(n),
+    ]
+}
+
+/// One workload under one policy square: inspector path vs statically
+/// seeded path. Asserts bitwise equality, traffic parity, and — the
+/// claim under test — a cold trip served without any inspector run.
+struct SquareRow {
+    workload: &'static str,
+    split: bool,
+    optimistic: bool,
+    inspect: LangRun,
+    seeded: LangRun,
+}
+
+fn run_square(
+    workload: &'static str,
+    entry: &str,
+    p: usize,
+    grid: &[usize],
+    args: &[HostValue],
+    policy: ExecPolicy,
+) -> SquareRow {
+    let src = listing(workload).unwrap();
+    let inspect = run_with(src, entry, p, grid, args, policy, false);
+    let seeded = run_with(src, entry, p, grid, args, policy, true);
+    for ((name, a), (_, b)) in inspect.arrays.iter().zip(&seeded.arrays) {
+        for (k, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{workload} (split={} opt={}): {name} diverges at flat {k}",
+                policy.split,
+                policy.optimistic
+            );
+        }
+    }
+    assert_eq!(
+        inspect.report.total_exchange_words, seeded.report.total_exchange_words,
+        "{workload}: the static schedule must move exactly the inspector's value words"
+    );
+    assert_eq!(
+        seeded.report.total_inspector_runs, 0,
+        "{workload}: an analyzable cold trip must not run the inspector"
+    );
+    SquareRow {
+        workload,
+        split: policy.split,
+        optimistic: policy.optimistic,
+        inspect,
+        seeded,
+    }
+}
+
+/// `opts.smoke` shrinks the sweep for CI.
+pub fn run(opts: ExpOpts) -> ExpOut {
+    let (np, niter, shift_n) = if opts.smoke { (8, 4, 12) } else { (16, 8, 24) };
+
+    // ---- Analyzer verdicts over every shipped listing.
+    let mut ta = Table::new(&["listing", "diagnostics", "plan sites", "static reads"]);
+    let mut analyzable = 0u64;
+    for name in ["jacobi", "shift", "tri", "adi", "spmv"] {
+        let prog = parse(listing(name).unwrap()).expect("shipped listing parses");
+        let diags = analyze(&prog);
+        assert!(
+            diags.is_empty(),
+            "{name}: shipped listing must be diagnostic-free: {diags:?}"
+        );
+        let plans = comm_plans(&prog);
+        let reads: usize = plans.values().map(|p| p.reads.len()).sum();
+        analyzable += plans.len() as u64;
+        ta.row(vec![
+            name.into(),
+            diags.len().to_string(),
+            plans.len().to_string(),
+            reads.to_string(),
+        ]);
+    }
+
+    // ---- Cold-trip seeding across the policy squares.
+    let jargs = jacobi_args(np, niter);
+    let sargs = shift_args(shift_n);
+    let mut tc = Table::new(&[
+        "workload",
+        "split",
+        "optimistic",
+        "inspector runs (insp/seeded)",
+        "replays (insp/seeded)",
+        "inspector path",
+        "seeded",
+        "cold-trip cut",
+    ]);
+    let mut rows = Vec::new();
+    for split in [false, true] {
+        for optimistic in [false, true] {
+            let policy = ExecPolicy {
+                split,
+                optimistic,
+                ..ExecPolicy::default()
+            };
+            rows.push(run_square("jacobi", "jacobi", 4, &[2, 2], &jargs, policy));
+            rows.push(run_square("shift", "shift", 4, &[4], &sargs, policy));
+        }
+    }
+    let mut seeded_runs_total = 0u64;
+    for r in &rows {
+        seeded_runs_total += r.seeded.report.total_inspector_runs;
+        tc.row(vec![
+            r.workload.into(),
+            r.split.to_string(),
+            r.optimistic.to_string(),
+            format!(
+                "{}/{}",
+                r.inspect.report.total_inspector_runs, r.seeded.report.total_inspector_runs
+            ),
+            format!(
+                "{}/{}",
+                r.inspect.report.total_schedule_replays, r.seeded.report.total_schedule_replays
+            ),
+            fmt_s(r.inspect.report.elapsed),
+            fmt_s(r.seeded.report.elapsed),
+            format!(
+                "{:.2}x",
+                r.inspect.report.elapsed / r.seeded.report.elapsed.max(1e-300)
+            ),
+        ]);
+    }
+
+    let summary = Json::obj(vec![
+        ("np", Json::from(np as u64)),
+        ("niter", Json::from(niter as u64)),
+        ("analyzable_sites", Json::from(analyzable)),
+        ("policy_squares", Json::from(rows.len() as u64 / 2)),
+        // CI validates this field: any inspector run on a seeded cold
+        // trip means the static plan failed to cover an analyzable site.
+        ("seeded_inspector_runs", Json::from(seeded_runs_total)),
+        ("bitwise_equal", Json::Bool(true)),
+    ]);
+
+    let text = format!(
+        "=== Static communication analysis: seeded cold trips (np = {np}) ===\n\n\
+         Analyzer verdicts over the shipped listings:\n\n{}\n\
+         Cold-trip execution, inspector path vs compile-time seeded plan\n\
+         (4 procs, every split x optimistic square):\n\n{}\n\
+         Every analyzable listing executes its cold trip from the schedule\n\
+         the analyzer computed at compile time: zero inspector runs, value\n\
+         traffic and results bitwise-identical to the inspector path. Where\n\
+         no plan exists (tri's pipelined solves, spmv's irregular rows the\n\
+         analyzer declines), the inspector serves exactly as before — the\n\
+         paper's continuum between compile-time and run-time resolution.\n",
+        ta.render(),
+        tc.render(),
+    );
+    ExpOut::new("static", text)
+        .with_table("analyzer", ta)
+        .with_table("seeding", tc)
+        .with_extra("summary", summary)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn seeded_cold_trips_bypass_the_inspector() {
+        // The asserts inside run_square() pin zero inspector runs and
+        // bitwise equality; here we check the emitted document exposes
+        // the field CI validates.
+        let out = super::run(crate::ExpOpts {
+            smoke: true,
+            ..Default::default()
+        });
+        let doc = out.json().render();
+        assert!(doc.contains("\"seeded_inspector_runs\":0"));
+        assert!(doc.contains("\"bitwise_equal\":true"));
+        assert!(out.text.contains("jacobi"));
+        assert!(out.text.contains("shift"));
+    }
+}

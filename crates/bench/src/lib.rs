@@ -27,6 +27,7 @@ pub mod exp_overlap;
 pub mod exp_schedule_reuse;
 pub mod exp_serve;
 pub mod exp_spmv;
+pub mod exp_static;
 pub mod exp_tridiag_scaling;
 pub mod json;
 

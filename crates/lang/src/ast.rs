@@ -1,9 +1,18 @@
 //! Abstract syntax for the KF1 subset.
+//!
+//! Every expression, statement and l-value is a `{ kind, span }` pair:
+//! the parser threads byte [`Span`]s from the lexer into every node, so
+//! the interpreter and the static analyzer can render caret-underlined
+//! diagnostics pointing at the offending source text.
 
-/// A whole source file: a set of (parallel) subroutines.
+use crate::diag::Span;
+
+/// A whole source file: a set of (parallel) subroutines, plus the source
+/// text they were parsed from (kept so spans can be rendered later).
 #[derive(Debug, Clone)]
 pub struct Program {
     pub subs: Vec<Subroutine>,
+    pub src: String,
 }
 
 impl Program {
@@ -17,6 +26,7 @@ impl Program {
 #[derive(Debug, Clone)]
 pub struct Subroutine {
     pub name: String,
+    pub name_span: Span,
     pub parallel: bool,
     pub params: Vec<String>,
     pub proc_param: Option<String>,
@@ -29,7 +39,11 @@ pub struct Subroutine {
 pub enum Decl {
     /// `processors procs(p, q)` — extents are identifiers (open sizes,
     /// bound from the actual processor array) or integer literals.
-    Processors { name: String, extents: Vec<Expr> },
+    Processors {
+        name: String,
+        name_span: Span,
+        extents: Vec<Expr>,
+    },
     /// `real X(0:np, 0:np) dist (block, block)` / `integer lo, hi` /
     /// `dynamic real tmp(4*p) dist (block)`.
     Arrays {
@@ -44,6 +58,7 @@ pub enum Decl {
 #[derive(Debug, Clone)]
 pub struct DeclItem {
     pub name: String,
+    pub name_span: Span,
     /// Per dimension `(lo, hi)` bound expressions; `lo` defaults to 1.
     pub dims: Vec<(Expr, Expr)>,
 }
@@ -59,9 +74,17 @@ pub enum DistDim {
     Star,
 }
 
-/// Statements.
+/// A statement with its source span. For compound statements (`do`,
+/// `doall`, `if`) the span covers the header line, not the whole body —
+/// that is where diagnostics about the construct should point.
 #[derive(Debug, Clone)]
-pub enum Stmt {
+pub struct Stmt {
+    pub kind: StmtKind,
+    pub span: Span,
+}
+
+#[derive(Debug, Clone)]
+pub enum StmtKind {
     /// `lhs(subs) = expr` or `scalar = expr`.
     Assign {
         lhs: LValue,
@@ -93,6 +116,7 @@ pub enum Stmt {
     /// communication schedule that read or wrote it.
     Distribute {
         name: String,
+        name_span: Span,
         dist: Vec<DistDim>,
     },
     /// `if (cond) then ... [else ...] endif` or one-armed logical if.
@@ -104,6 +128,7 @@ pub enum Stmt {
     /// `call name(args...; procexpr)`.
     Call {
         name: String,
+        name_span: Span,
         args: Vec<Arg>,
         on: Option<ProcExpr>,
     },
@@ -112,9 +137,24 @@ pub enum Stmt {
 
 /// Left-hand side of an assignment.
 #[derive(Debug, Clone)]
-pub enum LValue {
+pub struct LValue {
+    pub kind: LValueKind,
+    pub span: Span,
+}
+
+#[derive(Debug, Clone)]
+pub enum LValueKind {
     Scalar(String),
     Element { name: String, subs: Vec<Expr> },
+}
+
+impl LValue {
+    pub fn name(&self) -> &str {
+        match &self.kind {
+            LValueKind::Scalar(n) => n,
+            LValueKind::Element { name, .. } => name,
+        }
+    }
 }
 
 /// Call arguments: expressions or array sections.
@@ -124,6 +164,7 @@ pub enum Arg {
     /// `a(lo:hi, *, e)` — an array section.
     Section {
         name: String,
+        name_span: Span,
         subs: Vec<Section>,
     },
 }
@@ -165,9 +206,15 @@ pub enum ProcExpr {
     },
 }
 
-/// Expressions.
+/// An expression with its source span.
 #[derive(Debug, Clone)]
-pub enum Expr {
+pub struct Expr {
+    pub kind: ExprKind,
+    pub span: Span,
+}
+
+#[derive(Debug, Clone)]
+pub enum ExprKind {
     Int(i64),
     Real(f64),
     Var(String),
@@ -220,20 +267,29 @@ pub enum BinOp {
 }
 
 impl Expr {
+    pub fn new(kind: ExprKind, span: Span) -> Expr {
+        Expr { kind, span }
+    }
+
+    /// An integer literal with a given span (used for defaulted bounds).
+    pub fn int(v: i64, span: Span) -> Expr {
+        Expr::new(ExprKind::Int(v), span)
+    }
+
     /// Static count of arithmetic operations, used by the interpreter to
     /// charge virtual flops for an assignment.
     pub fn flop_count(&self) -> f64 {
-        match self {
-            Expr::Int(_) | Expr::Real(_) | Expr::Var(_) => 0.0,
-            Expr::Ref { args, .. } => args
+        match &self.kind {
+            ExprKind::Int(_) | ExprKind::Real(_) | ExprKind::Var(_) => 0.0,
+            ExprKind::Ref { args, .. } => args
                 .iter()
                 .map(|a| match a {
                     RefArg::Expr(e) => e.flop_count(),
                     RefArg::Star => 0.0,
                 })
                 .sum(),
-            Expr::Un { e, .. } => 1.0 + e.flop_count(),
-            Expr::Bin { l, r, .. } => 1.0 + l.flop_count() + r.flop_count(),
+            ExprKind::Un { e, .. } => 1.0 + e.flop_count(),
+            ExprKind::Bin { l, r, .. } => 1.0 + l.flop_count() + r.flop_count(),
         }
     }
 }
@@ -242,18 +298,22 @@ impl Expr {
 mod tests {
     use super::*;
 
+    fn e(kind: ExprKind) -> Expr {
+        Expr::new(kind, Span::default())
+    }
+
     #[test]
     fn flop_count_counts_operators() {
-        let e = Expr::Bin {
+        let ex = e(ExprKind::Bin {
             op: BinOp::Add,
-            l: Box::new(Expr::Bin {
+            l: Box::new(e(ExprKind::Bin {
                 op: BinOp::Mul,
-                l: Box::new(Expr::Real(0.25)),
-                r: Box::new(Expr::Var("x".into())),
-            }),
-            r: Box::new(Expr::Int(1)),
-        };
-        assert_eq!(e.flop_count(), 2.0);
+                l: Box::new(e(ExprKind::Real(0.25))),
+                r: Box::new(e(ExprKind::Var("x".into()))),
+            })),
+            r: Box::new(e(ExprKind::Int(1))),
+        });
+        assert_eq!(ex.flop_count(), 2.0);
     }
 
     #[test]
@@ -261,12 +321,14 @@ mod tests {
         let p = Program {
             subs: vec![Subroutine {
                 name: "jacobi".into(),
+                name_span: Span::default(),
                 parallel: true,
                 params: vec![],
                 proc_param: None,
                 decls: vec![],
                 body: vec![],
             }],
+            src: String::new(),
         };
         assert!(p.find("jacobi").is_some());
         assert!(p.find("nope").is_none());

@@ -19,7 +19,9 @@
 //! The paper's listings, adapted to this subset, ship under
 //! `programs/` and are accessible through [`listing`].
 
+pub mod analysis;
 pub mod ast;
+pub mod diag;
 pub mod interp;
 pub mod parser;
 pub mod token;
@@ -36,6 +38,8 @@ use ast::{DistDim, Program};
 use interp::Interp;
 use value::{ArrObj, Binding, Value, View};
 
+pub use analysis::{analyze, comm_plans, StaticCommPlan};
+pub use diag::{Diagnostic, Span};
 pub use kali_sched::ExecPolicy;
 pub use parser::{parse, ParseError};
 
@@ -87,6 +91,13 @@ pub struct RunOptions {
     /// piggybacks the replay-consensus vote on the fused value messages
     /// (only effective with `schedule_cache`). Both on by default.
     pub policy: ExecPolicy,
+    /// Pre-seed the schedule cache from compile-time communication plans
+    /// ([`analysis::comm_plans`]). Analyzable doall sites then replay a
+    /// statically derived schedule on their *cold* trip — zero inspector
+    /// runs — with bitwise-identical results. Off by default so counter
+    /// expectations of inspector-path tests stay exact; requires
+    /// `schedule_cache`.
+    pub static_seed: bool,
 }
 
 impl Default for RunOptions {
@@ -94,6 +105,7 @@ impl Default for RunOptions {
         RunOptions {
             schedule_cache: true,
             policy: ExecPolicy::default(),
+            static_seed: false,
         }
     }
 }
@@ -190,6 +202,9 @@ pub fn run_source_with(
         let mut interp = Interp::new(proc, &prog);
         interp.set_schedule_cache(opts.schedule_cache);
         interp.set_policy(opts.policy);
+        if opts.static_seed {
+            interp.set_static_plans(analysis::comm_plans(&prog));
+        }
         interp
             .call_sub(sub, bindings, grid)
             .unwrap_or_else(|e| panic!("KF1 runtime error on processor {rank}: {e}"));
@@ -932,5 +947,160 @@ end
         assert_eq!(a[4], 202.0);
         assert_eq!(a[12], 402.0);
         assert_eq!(a[15], 804.0);
+    }
+
+    /// Run `src` with the inspector path and with static seeding under
+    /// one [`ExecPolicy`]; assert bitwise-identical arrays and identical
+    /// exchanged value words, and return the two runs for counter pins.
+    fn seeded_vs_inspector(
+        src: &str,
+        entry: &str,
+        p: usize,
+        grid: &[usize],
+        args: &[HostValue],
+        policy: ExecPolicy,
+    ) -> (LangRun, LangRun) {
+        let base = RunOptions {
+            policy,
+            ..RunOptions::default()
+        };
+        let inspect = run_source_with(cfg(p), src, entry, grid, args, base).unwrap();
+        let seeded = run_source_with(
+            cfg(p),
+            src,
+            entry,
+            grid,
+            args,
+            RunOptions {
+                static_seed: true,
+                ..base
+            },
+        )
+        .unwrap();
+        for ((name, a), (_, b)) in inspect.arrays.iter().zip(&seeded.arrays) {
+            for (k, (x, y)) in a.iter().zip(b).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{entry} (split={} opt={}): {name} diverges at flat {k}: {x} vs {y}",
+                    policy.split,
+                    policy.optimistic
+                );
+            }
+        }
+        assert_eq!(
+            inspect.report.total_exchange_words, seeded.report.total_exchange_words,
+            "{entry}: the static schedule must move exactly the inspector's value words"
+        );
+        (inspect, seeded)
+    }
+
+    /// The tentpole pin: for the analyzable listings, the compile-time
+    /// schedule replaces the inspector entirely — the *cold* trip replays
+    /// a seeded schedule (`inspector_runs == 0`), bitwise equal to the
+    /// inspector-derived path under all four execution-policy squares.
+    #[test]
+    fn static_seeding_replays_cold_trips_with_zero_inspector_runs() {
+        let np = 12i64;
+        let w = (np + 1) as usize;
+        let niter = 6u64;
+        let jacobi_args = [
+            HostValue::Array {
+                data: vec![0.0; w * w],
+                bounds: vec![(0, np), (0, np)],
+            },
+            HostValue::Array {
+                data: (0..w * w).map(|k| (k % 7) as f64 * 0.01).collect(),
+                bounds: vec![(0, np), (0, np)],
+            },
+            HostValue::Int(np),
+            HostValue::Int(niter as i64),
+        ];
+        let shift_args = [
+            HostValue::Array {
+                data: (1..=12).map(f64::from).collect(),
+                bounds: vec![(1, 12)],
+            },
+            HostValue::Int(12),
+        ];
+        for split in [false, true] {
+            for optimistic in [false, true] {
+                let policy = ExecPolicy {
+                    split,
+                    optimistic,
+                    ..ExecPolicy::default()
+                };
+                let (inspect, seeded) = seeded_vs_inspector(
+                    listing("jacobi").unwrap(),
+                    "jacobi",
+                    4,
+                    &[2, 2],
+                    &jacobi_args,
+                    policy,
+                );
+                // Inspector path: one cold inspection per processor, then
+                // niter-1 replays each. Seeded: zero inspections, niter
+                // replays each — the cold trip replays too.
+                assert_eq!(inspect.report.total_inspector_runs, 4);
+                assert_eq!(inspect.report.total_schedule_replays, 4 * (niter - 1));
+                assert_eq!(seeded.report.total_inspector_runs, 0);
+                assert_eq!(seeded.report.total_schedule_replays, 4 * niter);
+                if optimistic {
+                    assert_eq!(seeded.report.total_optimistic_hits, 4 * niter);
+                    assert_eq!(seeded.report.total_rollbacks, 0);
+                }
+
+                // shift invokes its doall once: without seeding nothing
+                // can replay; with it, even the single trip replays.
+                let (inspect, seeded) = seeded_vs_inspector(
+                    listing("shift").unwrap(),
+                    "shift",
+                    4,
+                    &[4],
+                    &shift_args,
+                    policy,
+                );
+                assert_eq!(inspect.report.total_inspector_runs, 4);
+                assert_eq!(inspect.report.total_schedule_replays, 0);
+                assert_eq!(seeded.report.total_inspector_runs, 0);
+                assert_eq!(seeded.report.total_schedule_replays, 4);
+            }
+        }
+    }
+
+    /// Non-analyzable sites must be untouched by seeding: `tri`'s doalls
+    /// (scalar assignments, builtin calls) yield no plans, so the seeded
+    /// run is identical to the inspector run — and still correct.
+    #[test]
+    fn static_seeding_leaves_unanalyzable_sites_to_the_inspector() {
+        let n = 16usize;
+        let sys = kali_kernels::TriDiag::random_dd(n, 9);
+        let xt: Vec<f64> = (0..n).map(|i| (i as f64 * 0.4).sin()).collect();
+        let f = sys.apply(&xt);
+        let arr = |data: Vec<f64>| HostValue::Array {
+            data,
+            bounds: vec![(1, n as i64)],
+        };
+        let args = [
+            arr(vec![0.0; n]),
+            arr(f),
+            arr(sys.b.clone()),
+            arr(sys.a.clone()),
+            arr(sys.c.clone()),
+            HostValue::Int(n as i64),
+        ];
+        let (inspect, seeded) = seeded_vs_inspector(
+            listing("tri").unwrap(),
+            "tri",
+            4,
+            &[4],
+            &args,
+            ExecPolicy::default(),
+        );
+        assert_eq!(
+            inspect.report.total_inspector_runs, seeded.report.total_inspector_runs,
+            "no plan exists for tri's sites, so seeding must change nothing"
+        );
+        assert!(seeded.report.total_inspector_runs > 0);
     }
 }

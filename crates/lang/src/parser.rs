@@ -1,36 +1,23 @@
 //! Recursive-descent parser for the KF1 subset.
+//!
+//! The parser threads the lexer's byte spans into every AST node and
+//! reports errors as [`Diagnostic`]s with line *and* column, a stable
+//! `P0xx` code, and a span that renders a caret-underlined excerpt.
 
 use crate::ast::*;
-use crate::token::{lex, LexError, SpannedTok, Tok};
+use crate::diag::{Diagnostic, Span};
+use crate::token::{lex, SpannedTok, Tok};
 
-/// Parse error with source line.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ParseError {
-    pub line: usize,
-    pub msg: String,
-}
+/// Parse errors are ordinary diagnostics (code `P0xx`).
+pub type ParseError = Diagnostic;
 
-impl std::fmt::Display for ParseError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.msg)
-    }
-}
-
-impl From<LexError> for ParseError {
-    fn from(e: LexError) -> Self {
-        ParseError {
-            line: e.line,
-            msg: e.msg,
-        }
-    }
-}
-
-type PResult<T> = Result<T, ParseError>;
+type PResult<T> = Result<T, Diagnostic>;
 
 /// Parse a KF1 source file.
 pub fn parse(src: &str) -> PResult<Program> {
     let toks = lex(src)?;
     let mut p = Parser {
+        src,
         toks,
         pos: 0,
         next_site: 0,
@@ -38,7 +25,8 @@ pub fn parse(src: &str) -> PResult<Program> {
     p.program()
 }
 
-struct Parser {
+struct Parser<'a> {
+    src: &'a str,
     toks: Vec<SpannedTok>,
     pos: usize,
     /// Site-id counter: every `doall` in a parse gets a distinct, stable
@@ -56,7 +44,7 @@ enum BlockEnd {
     EndDo,
 }
 
-impl Parser {
+impl Parser<'_> {
     fn peek(&self) -> &Tok {
         &self.toks[self.pos].tok
     }
@@ -65,8 +53,14 @@ impl Parser {
         &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
     }
 
-    fn line(&self) -> usize {
-        self.toks[self.pos].line
+    /// Span of the token at the cursor.
+    fn span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
+    /// Span of the most recently consumed token.
+    fn prev_span(&self) -> Span {
+        self.toks[self.pos.saturating_sub(1)].span
     }
 
     fn bump(&mut self) -> Tok {
@@ -77,20 +71,24 @@ impl Parser {
         t
     }
 
+    /// A syntax error at the current token.
     fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
-        Err(ParseError {
-            line: self.line(),
-            msg: msg.into(),
-        })
+        Err(self.diag_at("P001", self.span(), msg))
+    }
+
+    /// A syntax error at an explicit span with an explicit code.
+    fn diag_at(&self, code: &'static str, span: Span, msg: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(code, span, msg, self.src)
     }
 
     fn expect_punct(&mut self, p: &str) -> PResult<()> {
         match self.bump() {
             Tok::Punct(q) if q == p => Ok(()),
-            other => Err(ParseError {
-                line: self.toks[self.pos.saturating_sub(1)].line,
-                msg: format!("expected {p:?}, found {other:?}"),
-            }),
+            other => Err(self.diag_at(
+                "P001",
+                self.prev_span(),
+                format!("expected {p:?}, found {other:?}"),
+            )),
         }
     }
 
@@ -106,10 +104,11 @@ impl Parser {
     fn expect_ident(&mut self) -> PResult<String> {
         match self.bump() {
             Tok::Ident(s) => Ok(s),
-            other => Err(ParseError {
-                line: self.toks[self.pos.saturating_sub(1)].line,
-                msg: format!("expected identifier, found {other:?}"),
-            }),
+            other => Err(self.diag_at(
+                "P001",
+                self.prev_span(),
+                format!("expected identifier, found {other:?}"),
+            )),
         }
     }
 
@@ -125,10 +124,11 @@ impl Parser {
     fn expect_eol(&mut self) -> PResult<()> {
         match self.bump() {
             Tok::Eol | Tok::Eof => Ok(()),
-            other => Err(ParseError {
-                line: self.toks[self.pos.saturating_sub(1)].line,
-                msg: format!("expected end of line, found {other:?}"),
-            }),
+            other => Err(self.diag_at(
+                "P001",
+                self.prev_span(),
+                format!("expected end of line, found {other:?}"),
+            )),
         }
     }
 
@@ -147,7 +147,10 @@ impl Parser {
             subs.push(self.subroutine()?);
             self.skip_eols();
         }
-        Ok(Program { subs })
+        Ok(Program {
+            subs,
+            src: self.src.to_string(),
+        })
     }
 
     fn subroutine(&mut self) -> PResult<Subroutine> {
@@ -158,6 +161,7 @@ impl Parser {
         } else {
             return self.err("expected `parsub` or `subroutine`");
         };
+        let name_span = self.span();
         let name = self.expect_ident()?;
         self.expect_punct("(")?;
         let mut params = Vec::new();
@@ -192,6 +196,7 @@ impl Parser {
             match self.peek() {
                 Tok::Ident(s) if s == "processors" => {
                     self.bump();
+                    let pname_span = self.span();
                     let pname = self.expect_ident()?;
                     self.expect_punct("(")?;
                     let mut extents = Vec::new();
@@ -205,6 +210,7 @@ impl Parser {
                     self.expect_eol()?;
                     decls.push(Decl::Processors {
                         name: pname,
+                        name_span: pname_span,
                         extents,
                     });
                 }
@@ -225,6 +231,7 @@ impl Parser {
                     };
                     let mut items = Vec::new();
                     loop {
+                        let iname_span = self.span();
                         let iname = self.expect_ident()?;
                         let mut dims = Vec::new();
                         if self.eat_punct("(") {
@@ -234,7 +241,8 @@ impl Parser {
                                     let e2 = self.expr()?;
                                     dims.push((e1, e2));
                                 } else {
-                                    dims.push((Expr::Int(1), e1));
+                                    let one = Expr::int(1, e1.span);
+                                    dims.push((one, e1));
                                 }
                                 if !self.eat_punct(",") {
                                     break;
@@ -242,7 +250,11 @@ impl Parser {
                             }
                             self.expect_punct(")")?;
                         }
-                        items.push(DeclItem { name: iname, dims });
+                        items.push(DeclItem {
+                            name: iname,
+                            name_span: iname_span,
+                            dims,
+                        });
                         if !self.eat_punct(",") {
                             break;
                         }
@@ -276,10 +288,15 @@ impl Parser {
         // Body.
         let (body, end) = self.block(&[])?;
         if end != BlockEnd::End {
-            return self.err(format!("subroutine {name} not terminated by `end`"));
+            return Err(self.diag_at(
+                "P003",
+                self.prev_span(),
+                format!("subroutine {name} not terminated by `end`"),
+            ));
         }
         Ok(Subroutine {
             name,
+            name_span,
             parallel,
             params,
             proc_param,
@@ -352,18 +369,26 @@ impl Parser {
             Tok::Ident(s) if s == "call" => self.call_stmt(),
             Tok::Ident(s) if s == "distribute" => self.distribute_stmt(),
             Tok::Ident(s) if s == "return" => {
+                let sp = self.span();
                 self.bump();
                 self.expect_eol()?;
-                Ok(Stmt::Return)
+                Ok(Stmt {
+                    kind: StmtKind::Return,
+                    span: sp,
+                })
             }
             Tok::Ident(s) if s == "continue" => {
+                let sp = self.span();
                 self.bump();
                 self.expect_eol()?;
                 // bare continue: no-op statement
-                Ok(Stmt::If {
-                    cond: Expr::Int(0),
-                    then_body: vec![],
-                    else_body: vec![],
+                Ok(Stmt {
+                    kind: StmtKind::If {
+                        cond: Expr::int(0, sp),
+                        then_body: vec![],
+                        else_body: vec![],
+                    },
+                    span: sp,
                 })
             }
             Tok::Ident(_) => self.assign_stmt(),
@@ -372,6 +397,7 @@ impl Parser {
     }
 
     fn assign_stmt(&mut self) -> PResult<Stmt> {
+        let name_span = self.span();
         let name = self.expect_ident()?;
         let lhs = if self.eat_punct("(") {
             let mut subs = Vec::new();
@@ -382,17 +408,28 @@ impl Parser {
                 }
             }
             self.expect_punct(")")?;
-            LValue::Element { name, subs }
+            LValue {
+                kind: LValueKind::Element { name, subs },
+                span: name_span.join(self.prev_span()),
+            }
         } else {
-            LValue::Scalar(name)
+            LValue {
+                kind: LValueKind::Scalar(name),
+                span: name_span,
+            }
         };
         self.expect_punct("=")?;
         let rhs = self.expr()?;
         self.expect_eol()?;
-        Ok(Stmt::Assign { lhs, rhs })
+        let span = lhs.span.join(rhs.span);
+        Ok(Stmt {
+            kind: StmtKind::Assign { lhs, rhs },
+            span,
+        })
     }
 
     fn do_stmt(&mut self, outer: &[u32]) -> PResult<Stmt> {
+        let kw_span = self.span();
         self.bump(); // do
         let label = if let Tok::Int(n) = self.peek() {
             let n = *n as u32;
@@ -411,6 +448,7 @@ impl Parser {
         } else {
             None
         };
+        let header_span = kw_span.join(self.prev_span());
         self.expect_eol()?;
         let mut labels: Vec<u32> = outer.to_vec();
         if let Some(l) = label {
@@ -420,14 +458,23 @@ impl Parser {
         match (label, end) {
             (Some(l), BlockEnd::LabelContinue(m)) if l == m => {}
             (None, BlockEnd::EndDo) => {}
-            (_, e) => return self.err(format!("do loop terminated by {e:?}")),
+            (_, e) => {
+                return Err(self.diag_at(
+                    "P003",
+                    header_span,
+                    format!("do loop terminated by {e:?}"),
+                ))
+            }
         }
-        Ok(Stmt::Do {
-            var,
-            lo,
-            hi,
-            step,
-            body,
+        Ok(Stmt {
+            kind: StmtKind::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            },
+            span: header_span,
         })
     }
 
@@ -440,13 +487,20 @@ impl Parser {
             Ok(DistDim::Block)
         } else if self.eat_ident("cyclic") {
             if self.eat_punct("(") {
+                let ksp = self.span();
                 let Tok::Int(k) = self.bump() else {
-                    return self.err(format!(
-                        "cyclic(k) needs an integer block size in {context}"
+                    return Err(self.diag_at(
+                        "P002",
+                        ksp,
+                        format!("cyclic(k) needs an integer block size in {context}"),
                     ));
                 };
                 if k < 1 {
-                    return self.err(format!("cyclic({k}): block size must be positive"));
+                    return Err(self.diag_at(
+                        "P002",
+                        ksp,
+                        format!("cyclic({k}): block size must be positive"),
+                    ));
                 }
                 self.expect_punct(")")?;
                 Ok(DistDim::BlockCyclic(k as usize))
@@ -454,14 +508,18 @@ impl Parser {
                 Ok(DistDim::Cyclic)
             }
         } else {
-            self.err(format!(
-                "expected block, cyclic, cyclic(k) or * in {context}"
+            Err(self.diag_at(
+                "P002",
+                self.span(),
+                format!("expected block, cyclic, cyclic(k) or * in {context}"),
             ))
         }
     }
 
     fn distribute_stmt(&mut self) -> PResult<Stmt> {
+        let kw_span = self.span();
         self.bump(); // distribute
+        let name_span = self.span();
         let name = self.expect_ident()?;
         self.expect_punct("(")?;
         let mut dist = Vec::new();
@@ -472,11 +530,20 @@ impl Parser {
             }
         }
         self.expect_punct(")")?;
+        let span = kw_span.join(self.prev_span());
         self.expect_eol()?;
-        Ok(Stmt::Distribute { name, dist })
+        Ok(Stmt {
+            kind: StmtKind::Distribute {
+                name,
+                name_span,
+                dist,
+            },
+            span,
+        })
     }
 
     fn doall_stmt(&mut self, outer: &[u32]) -> PResult<Stmt> {
+        let kw_span = self.span();
         self.bump(); // doall
         let site = self.next_site;
         self.next_site += 1;
@@ -526,9 +593,14 @@ impl Parser {
             ranges.push((lo, hi, step));
         }
         if !self.eat_ident("on") {
-            return self.err("doall requires an `on` clause");
+            return Err(self.diag_at(
+                "P004",
+                kw_span.join(self.span()),
+                "doall requires an `on` clause",
+            ));
         }
         let on = self.on_clause()?;
+        let header_span = kw_span.join(self.prev_span());
         self.expect_eol()?;
         let mut labels: Vec<u32> = outer.to_vec();
         if let Some(l) = label {
@@ -538,14 +610,19 @@ impl Parser {
         match (label, end) {
             (Some(l), BlockEnd::LabelContinue(m)) if l == m => {}
             (None, BlockEnd::EndDo) => {}
-            (_, e) => return self.err(format!("doall terminated by {e:?}")),
+            (_, e) => {
+                return Err(self.diag_at("P003", header_span, format!("doall terminated by {e:?}")))
+            }
         }
-        Ok(Stmt::Doall {
-            site,
-            vars,
-            ranges,
-            on,
-            body,
+        Ok(Stmt {
+            kind: StmtKind::Doall {
+                site,
+                vars,
+                ranges,
+                on,
+                body,
+            },
+            span: header_span,
         })
     }
 
@@ -585,45 +662,61 @@ impl Parser {
     }
 
     fn if_stmt(&mut self, labels: &[u32]) -> PResult<Stmt> {
+        let kw_span = self.span();
         self.bump(); // if
         self.expect_punct("(")?;
         let cond = self.expr()?;
         self.expect_punct(")")?;
+        let header_span = kw_span.join(self.prev_span());
         if self.eat_ident("then") {
             self.expect_eol()?;
             let (then_body, end) = self.block(labels)?;
             match end {
-                BlockEnd::Endif => Ok(Stmt::If {
-                    cond,
-                    then_body,
-                    else_body: vec![],
+                BlockEnd::Endif => Ok(Stmt {
+                    kind: StmtKind::If {
+                        cond,
+                        then_body,
+                        else_body: vec![],
+                    },
+                    span: header_span,
                 }),
                 BlockEnd::Else => {
                     let (else_body, end2) = self.block(labels)?;
                     if end2 != BlockEnd::Endif {
                         return self.err("else block must end with endif");
                     }
-                    Ok(Stmt::If {
-                        cond,
-                        then_body,
-                        else_body,
+                    Ok(Stmt {
+                        kind: StmtKind::If {
+                            cond,
+                            then_body,
+                            else_body,
+                        },
+                        span: header_span,
                     })
                 }
-                e => self.err(format!("if block terminated by {e:?}")),
+                e => {
+                    Err(self.diag_at("P003", header_span, format!("if block terminated by {e:?}")))
+                }
             }
         } else {
             // One-armed logical if: `if (c) stmt`.
             let st = self.statement(labels)?;
-            Ok(Stmt::If {
-                cond,
-                then_body: vec![st],
-                else_body: vec![],
+            let span = header_span.join(st.span);
+            Ok(Stmt {
+                kind: StmtKind::If {
+                    cond,
+                    then_body: vec![st],
+                    else_body: vec![],
+                },
+                span,
             })
         }
     }
 
     fn call_stmt(&mut self) -> PResult<Stmt> {
+        let kw_span = self.span();
         self.bump(); // call
+        let name_span = self.span();
         let name = self.expect_ident()?;
         self.expect_punct("(")?;
         let mut args = Vec::new();
@@ -648,8 +741,17 @@ impl Parser {
                 break;
             }
         }
+        let span = kw_span.join(self.prev_span());
         self.expect_eol()?;
-        Ok(Stmt::Call { name, args, on })
+        Ok(Stmt {
+            kind: StmtKind::Call {
+                name,
+                name_span,
+                args,
+                on,
+            },
+            span,
+        })
     }
 
     fn proc_expr(&mut self) -> PResult<ProcExpr> {
@@ -676,6 +778,7 @@ impl Parser {
         // Lookahead: IDENT "(" ... with a top-level ":" or "*" inside.
         if let Tok::Ident(name) = self.peek().clone() {
             if matches!(self.peek2(), Tok::Punct("(")) && self.probe_section() {
+                let name_span = self.span();
                 self.bump(); // name
                 self.bump(); // (
                 let mut subs = Vec::new();
@@ -696,7 +799,11 @@ impl Parser {
                     }
                 }
                 self.expect_punct(")")?;
-                return Ok(Arg::Section { name, subs });
+                return Ok(Arg::Section {
+                    name,
+                    name_span,
+                    subs,
+                });
             }
         }
         Ok(Arg::Expr(self.expr()?))
@@ -740,15 +847,23 @@ impl Parser {
         self.or_expr()
     }
 
+    fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        let span = l.span.join(r.span);
+        Expr::new(
+            ExprKind::Bin {
+                op,
+                l: Box::new(l),
+                r: Box::new(r),
+            },
+            span,
+        )
+    }
+
     fn or_expr(&mut self) -> PResult<Expr> {
         let mut l = self.and_expr()?;
         while self.eat_punct("||") {
             let r = self.and_expr()?;
-            l = Expr::Bin {
-                op: BinOp::Or,
-                l: Box::new(l),
-                r: Box::new(r),
-            };
+            l = Self::bin(BinOp::Or, l, r);
         }
         Ok(l)
     }
@@ -757,22 +872,24 @@ impl Parser {
         let mut l = self.not_expr()?;
         while self.eat_punct("&&") {
             let r = self.not_expr()?;
-            l = Expr::Bin {
-                op: BinOp::And,
-                l: Box::new(l),
-                r: Box::new(r),
-            };
+            l = Self::bin(BinOp::And, l, r);
         }
         Ok(l)
     }
 
     fn not_expr(&mut self) -> PResult<Expr> {
-        if self.eat_punct("!") {
+        if matches!(self.peek(), Tok::Punct("!")) {
+            let op_span = self.span();
+            self.bump();
             let e = self.not_expr()?;
-            return Ok(Expr::Un {
-                op: UnOp::Not,
-                e: Box::new(e),
-            });
+            let span = op_span.join(e.span);
+            return Ok(Expr::new(
+                ExprKind::Un {
+                    op: UnOp::Not,
+                    e: Box::new(e),
+                },
+                span,
+            ));
         }
         self.cmp_expr()
     }
@@ -791,11 +908,7 @@ impl Parser {
         if let Some(op) = op {
             self.bump();
             let r = self.add_expr()?;
-            return Ok(Expr::Bin {
-                op,
-                l: Box::new(l),
-                r: Box::new(r),
-            });
+            return Ok(Self::bin(op, l, r));
         }
         Ok(l)
     }
@@ -811,11 +924,7 @@ impl Parser {
             let Some(op) = op else { break };
             self.bump();
             let r = self.mul_expr()?;
-            l = Expr::Bin {
-                op,
-                l: Box::new(l),
-                r: Box::new(r),
-            };
+            l = Self::bin(op, l, r);
         }
         Ok(l)
     }
@@ -832,22 +941,24 @@ impl Parser {
             let Some(op) = op else { break };
             self.bump();
             let r = self.unary_expr()?;
-            l = Expr::Bin {
-                op,
-                l: Box::new(l),
-                r: Box::new(r),
-            };
+            l = Self::bin(op, l, r);
         }
         Ok(l)
     }
 
     fn unary_expr(&mut self) -> PResult<Expr> {
-        if self.eat_punct("-") {
+        if matches!(self.peek(), Tok::Punct("-")) {
+            let op_span = self.span();
+            self.bump();
             let e = self.unary_expr()?;
-            return Ok(Expr::Un {
-                op: UnOp::Neg,
-                e: Box::new(e),
-            });
+            let span = op_span.join(e.span);
+            return Ok(Expr::new(
+                ExprKind::Un {
+                    op: UnOp::Neg,
+                    e: Box::new(e),
+                },
+                span,
+            ));
         }
         if self.eat_punct("+") {
             return self.unary_expr();
@@ -856,12 +967,14 @@ impl Parser {
     }
 
     fn primary(&mut self) -> PResult<Expr> {
+        let start_span = self.span();
         match self.bump() {
-            Tok::Int(v) => Ok(Expr::Int(v)),
-            Tok::Real(v) => Ok(Expr::Real(v)),
+            Tok::Int(v) => Ok(Expr::new(ExprKind::Int(v), start_span)),
+            Tok::Real(v) => Ok(Expr::new(ExprKind::Real(v), start_span)),
             Tok::Punct("(") => {
-                let e = self.expr()?;
+                let mut e = self.expr()?;
                 self.expect_punct(")")?;
+                e.span = start_span.join(self.prev_span());
                 Ok(e)
             }
             Tok::Ident(name) => {
@@ -880,15 +993,19 @@ impl Parser {
                         }
                         self.expect_punct(")")?;
                     }
-                    Ok(Expr::Ref { name, args })
+                    Ok(Expr::new(
+                        ExprKind::Ref { name, args },
+                        start_span.join(self.prev_span()),
+                    ))
                 } else {
-                    Ok(Expr::Var(name))
+                    Ok(Expr::new(ExprKind::Var(name), start_span))
                 }
             }
-            other => Err(ParseError {
-                line: self.toks[self.pos.saturating_sub(1)].line,
-                msg: format!("unexpected token {other:?} in expression"),
-            }),
+            other => Err(self.diag_at(
+                "P001",
+                start_span,
+                format!("unexpected token {other:?} in expression"),
+            )),
         }
     }
 }
@@ -921,11 +1038,11 @@ end
         assert_eq!(s.decls.len(), 2);
         // body: n = ..., do loop, return
         assert_eq!(s.body.len(), 3);
-        match &s.body[1] {
-            Stmt::Do { var, body, .. } => {
+        match &s.body[1].kind {
+            StmtKind::Do { var, body, .. } => {
                 assert_eq!(var, "it");
-                match &body[0] {
-                    Stmt::Doall { vars, on, .. } => {
+                match &body[0].kind {
+                    StmtKind::Doall { vars, on, .. } => {
                         assert_eq!(vars, &["i", "j"]);
                         assert!(matches!(on, OnClause::Owner { .. }));
                     }
@@ -948,9 +1065,9 @@ parsub adi(u, r; procs)
 end
 "#;
         let p = parse(src).unwrap();
-        match &p.subs[0].body[0] {
-            Stmt::Doall { body, .. } => match &body[0] {
-                Stmt::Call { name, args, on } => {
+        match &p.subs[0].body[0].kind {
+            StmtKind::Doall { body, .. } => match &body[0].kind {
+                StmtKind::Call { name, args, on, .. } => {
                     assert_eq!(name, "tric");
                     assert_eq!(args.len(), 4);
                     assert!(matches!(&args[0], Arg::Section { .. }));
@@ -992,8 +1109,8 @@ end
     fn function_ref_vs_array_ref_is_deferred() {
         let src = "parsub f(a; p)\n  processors p(q)\n  x = mod(3, 2) + a(1)\nend\n";
         let prog = parse(src).unwrap();
-        match &prog.subs[0].body[0] {
-            Stmt::Assign { rhs, .. } => {
+        match &prog.subs[0].body[0].kind {
+            StmtKind::Assign { rhs, .. } => {
                 assert_eq!(rhs.flop_count(), 1.0); // only the +
             }
             _ => panic!(),
@@ -1017,7 +1134,7 @@ end
         let mut sites = Vec::new();
         fn collect(body: &[Stmt], out: &mut Vec<usize>) {
             for s in body {
-                if let Stmt::Doall { site, body, .. } = s {
+                if let StmtKind::Doall { site, body, .. } = &s.kind {
                     out.push(*site);
                     collect(body, out);
                 }
@@ -1037,8 +1154,8 @@ end
         let src = "parsub f(a; p)\n  processors p(q)\n  real a(8, 8) dist (block, *)\n  \
                    distribute a (*, cyclic)\nend\n";
         let prog = parse(src).unwrap();
-        match &prog.subs[0].body[0] {
-            Stmt::Distribute { name, dist } => {
+        match &prog.subs[0].body[0].kind {
+            StmtKind::Distribute { name, dist, .. } => {
                 assert_eq!(name, "a");
                 assert_eq!(dist, &vec![DistDim::Star, DistDim::Cyclic]);
             }
@@ -1061,8 +1178,8 @@ end
             .collect();
         assert_eq!(dists[0], vec![DistDim::BlockCyclic(3)]);
         assert_eq!(dists[1], vec![DistDim::BlockCyclic(2), DistDim::Star]);
-        match &prog.subs[0].body[0] {
-            Stmt::Distribute { name, dist } => {
+        match &prog.subs[0].body[0].kind {
+            StmtKind::Distribute { name, dist, .. } => {
                 assert_eq!(name, "a");
                 assert_eq!(dist, &vec![DistDim::BlockCyclic(4)]);
             }
@@ -1075,7 +1192,8 @@ end
         for clause in ["cyclic(0)", "cyclic(x)", "cyclic(-2)"] {
             let src =
                 format!("parsub f(a; p)\n  processors p(q)\n  real a(8) dist ({clause})\nend\n");
-            assert!(parse(&src).is_err(), "{clause} must be rejected");
+            let err = parse(&src).expect_err(&format!("{clause} must be rejected"));
+            assert_eq!(err.code, "P002", "{clause}");
         }
     }
 
@@ -1087,11 +1205,22 @@ end
     }
 
     #[test]
+    fn reports_error_with_column_and_span() {
+        let src = "parsub f(a; p)\n  processors p(q)\n  x = = 3\nend\n";
+        let err = parse(src).unwrap_err();
+        assert_eq!((err.line, err.col), (3, 7));
+        assert_eq!(err.span.slice(src), "=");
+        let rendered = err.render(src);
+        assert!(rendered.contains("3 |   x = = 3"), "{rendered}");
+        assert!(rendered.contains("  |       ^"), "{rendered}");
+    }
+
+    #[test]
     fn one_armed_if() {
         let src = "parsub f(a; p)\n  processors p(q)\n  if (a > 1) x = 2\nend\n";
         let prog = parse(src).unwrap();
-        match &prog.subs[0].body[0] {
-            Stmt::If {
+        match &prog.subs[0].body[0].kind {
+            StmtKind::If {
                 then_body,
                 else_body,
                 ..
@@ -1101,5 +1230,34 @@ end
             }
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn ast_nodes_carry_source_spans() {
+        let src = "parsub f(a; p)\n  processors p(q)\n  real a(8) dist (block)\n  \
+                   doall 100 i = 1, 8 on owner(a(i))\n    a(i) = a(i) + 1.0\n100 continue\nend\n";
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.src, src);
+        let sub = &prog.subs[0];
+        assert_eq!(sub.name_span.slice(src), "f");
+        let StmtKind::Doall { body, ranges, .. } = &sub.body[0].kind else {
+            panic!("expected doall");
+        };
+        // Doall statement span covers the header line.
+        assert_eq!(
+            sub.body[0].span.slice(src),
+            "doall 100 i = 1, 8 on owner(a(i))"
+        );
+        assert_eq!(ranges[0].0.span.slice(src), "1");
+        let StmtKind::Assign { lhs, rhs } = &body[0].kind else {
+            panic!("expected assign");
+        };
+        assert_eq!(lhs.span.slice(src), "a(i)");
+        assert_eq!(rhs.span.slice(src), "a(i) + 1.0");
+        let ExprKind::Bin { l, r, .. } = &rhs.kind else {
+            panic!("expected bin");
+        };
+        assert_eq!(l.span.slice(src), "a(i)");
+        assert_eq!(r.span.slice(src), "1.0");
     }
 }

@@ -1,5 +1,13 @@
 //! Lexer for the KF1 subset: Fortran-flavoured, line-oriented,
 //! case-insensitive, with `c`/`!` comments and `&` continuations.
+//!
+//! Every token carries a byte [`Span`] into the *original* source, even
+//! though lexing happens on comment-stripped, continuation-joined logical
+//! lines: phase 1 keeps a per-byte offset map alongside each logical
+//! line's text, so spans survive lower-casing, comment stripping and
+//! `&` joins, and diagnostics can underline the real source text.
+
+use crate::diag::{Diagnostic, Span};
 
 #[derive(Debug, Clone, PartialEq)]
 pub enum Tok {
@@ -20,19 +28,8 @@ pub enum Tok {
 pub struct SpannedTok {
     pub tok: Tok,
     pub line: usize,
-}
-
-/// Lexing error with a line number.
-#[derive(Debug, Clone, PartialEq)]
-pub struct LexError {
-    pub line: usize,
-    pub msg: String,
-}
-
-impl std::fmt::Display for LexError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.msg)
-    }
+    /// Byte range of the token in the original source text.
+    pub span: Span,
 }
 
 /// Dotted Fortran operators mapped to punctuation.
@@ -48,15 +45,29 @@ const DOT_OPS: &[(&str, &str)] = &[
     (".not.", "!"),
 ];
 
+/// One comment-stripped, continuation-joined line. `offs[i]` is the byte
+/// offset in the original source of `text.as_bytes()[i]` (synthetic join
+/// spaces borrow a neighbouring offset; tokens never span whitespace, so
+/// they never leak into a span).
+struct Logical {
+    line: usize,
+    text: String,
+    offs: Vec<u32>,
+}
+
 /// Tokenize KF1 source. Comment lines start with `c`/`C`/`*` in column 1
 /// or `!` anywhere; a trailing `&` joins the next line.
-pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
-    // Phase 1: logical lines (strip comments, apply continuations).
-    let mut logical: Vec<(usize, String)> = Vec::new();
-    let mut pending: Option<(usize, String)> = None;
-    for (lineno, raw) in src.lines().enumerate() {
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, Diagnostic> {
+    // Phase 1: logical lines (strip comments, apply continuations),
+    // tracking the original byte offset of every surviving byte.
+    let mut logical: Vec<Logical> = Vec::new();
+    let mut pending: Option<Logical> = None;
+    let mut line_start = 0usize;
+    for (lineno, raw_nl) in src.split('\n').enumerate() {
         let line = lineno + 1;
-        let trimmed_start = raw.trim_start();
+        let start = line_start;
+        line_start += raw_nl.len() + 1;
+        let raw = raw_nl.strip_suffix('\r').unwrap_or(raw_nl);
         // Fortran-style full-line comments.
         let first = raw.chars().next();
         if matches!(first, Some('c') | Some('C') | Some('*'))
@@ -74,45 +85,55 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
             None => raw,
         };
         if no_comment.trim().is_empty() {
-            if trimmed_start.starts_with('!') {
-                continue;
-            }
-            // Blank line: flush nothing.
+            // Comment-only or blank line: contributes nothing.
             continue;
         }
-        let mut text = no_comment.trim_end().to_string();
+        let content = no_comment.trim_end();
+        let mut text = content.to_string();
+        let mut offs: Vec<u32> = (0..content.len()).map(|i| (start + i) as u32).collect();
         let continued = text.ends_with('&');
         if continued {
             text.pop();
+            offs.pop();
         }
         match pending.take() {
-            Some((l0, mut acc)) => {
-                acc.push(' ');
-                acc.push_str(text.trim_start());
+            Some(mut acc) => {
+                let trimmed_len = text.trim_start().len();
+                let skip = text.len() - trimmed_len;
+                if trimmed_len > 0 {
+                    acc.text.push(' ');
+                    acc.offs.push(offs[skip]);
+                    acc.text.push_str(&text[skip..]);
+                    acc.offs.extend_from_slice(&offs[skip..]);
+                }
                 if continued {
-                    pending = Some((l0, acc));
+                    pending = Some(acc);
                 } else {
-                    logical.push((l0, acc));
+                    logical.push(acc);
                 }
             }
             None => {
+                let l = Logical { line, text, offs };
                 if continued {
-                    pending = Some((line, text));
+                    pending = Some(l);
                 } else {
-                    logical.push((line, text));
+                    logical.push(l);
                 }
             }
         }
     }
-    if let Some((l0, acc)) = pending {
-        logical.push((l0, acc));
+    if let Some(acc) = pending {
+        logical.push(acc);
     }
 
-    // Phase 2: tokens within each logical line.
+    // Phase 2: tokens within each logical line. Lower-casing is
+    // byte-for-byte, so `offs` still lines up with `lower`.
     let mut out = Vec::new();
-    for (line, text) in logical {
+    for Logical { line, text, offs } in logical {
         let lower = text.to_ascii_lowercase();
         let b = lower.as_bytes();
+        let span_of =
+            |start: usize, end: usize| -> Span { Span::new(offs[start], offs[end - 1] + 1) };
         let mut i = 0usize;
         // Optional numeric label at line start.
         let start_ws = lower.len() - lower.trim_start().len();
@@ -161,34 +182,24 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
                     }
                 }
                 let textn = &lower[start..i];
-                if seen_dot {
-                    let v: f64 = textn.replace('d', "e").parse().map_err(|_| LexError {
-                        line,
-                        msg: format!("bad real literal {textn:?}"),
+                let span = span_of(start, i);
+                let tok = if seen_dot {
+                    let v: f64 = textn.replace('d', "e").parse().map_err(|_| {
+                        Diagnostic::new("L001", span, format!("bad real literal {textn:?}"), src)
                     })?;
-                    out.push(SpannedTok {
-                        tok: Tok::Real(v),
-                        line,
-                    });
+                    Tok::Real(v)
                 } else if first_tok {
-                    let v: u32 = textn.parse().map_err(|_| LexError {
-                        line,
-                        msg: format!("bad label {textn:?}"),
+                    let v: u32 = textn.parse().map_err(|_| {
+                        Diagnostic::new("L002", span, format!("bad label {textn:?}"), src)
                     })?;
-                    out.push(SpannedTok {
-                        tok: Tok::Label(v),
-                        line,
-                    });
+                    Tok::Label(v)
                 } else {
-                    let v: i64 = textn.parse().map_err(|_| LexError {
-                        line,
-                        msg: format!("bad integer {textn:?}"),
+                    let v: i64 = textn.parse().map_err(|_| {
+                        Diagnostic::new("L001", span, format!("bad integer {textn:?}"), src)
                     })?;
-                    out.push(SpannedTok {
-                        tok: Tok::Int(v),
-                        line,
-                    });
-                }
+                    Tok::Int(v)
+                };
+                out.push(SpannedTok { tok, line, span });
                 first_tok = false;
                 continue;
             }
@@ -205,6 +216,7 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
                 out.push(SpannedTok {
                     tok: Tok::Ident(lower[start..i].to_string()),
                     line,
+                    span: span_of(start, i),
                 });
                 first_tok = false;
                 continue;
@@ -216,15 +228,18 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
                     out.push(SpannedTok {
                         tok: Tok::Punct(p),
                         line,
+                        span: span_of(i, i + d.len()),
                     });
                     i += d.len();
                     first_tok = false;
                     continue;
                 }
-                return Err(LexError {
-                    line,
-                    msg: format!("unexpected '.' in {rest:?}"),
-                });
+                return Err(Diagnostic::new(
+                    "L003",
+                    span_of(i, i + 1),
+                    format!("unexpected '.' in {rest:?}"),
+                    src,
+                ));
             }
             // Multi-char operators first.
             let two = &lower[i..(i + 2).min(lower.len())];
@@ -239,6 +254,7 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
                 out.push(SpannedTok {
                     tok: Tok::Punct(p),
                     line,
+                    span: span_of(i, i + 2),
                 });
                 i += 2;
                 first_tok = false;
@@ -267,26 +283,32 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
                     out.push(SpannedTok {
                         tok: Tok::Punct(p),
                         line,
+                        span: span_of(i, i + 1),
                     });
                     i += 1;
                     first_tok = false;
                 }
                 None => {
-                    return Err(LexError {
-                        line,
-                        msg: format!("unexpected character {ch:?}"),
-                    })
+                    return Err(Diagnostic::new(
+                        "L004",
+                        span_of(i, i + 1),
+                        format!("unexpected character {ch:?}"),
+                        src,
+                    ))
                 }
             }
         }
+        let end = offs.last().map(|&o| o + 1).unwrap_or(0);
         out.push(SpannedTok {
             tok: Tok::Eol,
             line,
+            span: Span::point(end),
         });
     }
     out.push(SpannedTok {
         tok: Tok::Eof,
         line: usize::MAX,
+        span: Span::point(src.len() as u32),
     });
     Ok(out)
 }
@@ -385,5 +407,52 @@ mod tests {
         let t = toks("200 x = 5.0");
         assert_eq!(t[0], Tok::Label(200));
         assert_eq!(t[3], Tok::Real(5.0));
+    }
+
+    #[test]
+    fn spans_point_at_original_source_bytes() {
+        let src = "PARSUB Jacobi(X)\n  x = 0.25";
+        let toks = lex(src).unwrap();
+        // Every non-Eol/Eof token's span slices back to its own text.
+        for st in &toks {
+            match &st.tok {
+                Tok::Ident(name) => {
+                    assert_eq!(st.span.slice(src).to_ascii_lowercase(), *name, "{st:?}")
+                }
+                Tok::Real(_) => assert_eq!(st.span.slice(src), "0.25"),
+                Tok::Punct(p) if *p != "==" => assert_eq!(st.span.slice(src), *p),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn spans_survive_comments_and_continuations() {
+        let src = "c comment line\n  x = 1 + &\n      2   ! tail\n";
+        let toks = lex(src).unwrap();
+        let two = toks
+            .iter()
+            .find(|t| t.tok == Tok::Int(2))
+            .expect("int 2 token");
+        assert_eq!(two.span.slice(src), "2");
+        assert_eq!(two.span.line_col(src), (3, 7));
+        let one = toks.iter().find(|t| t.tok == Tok::Int(1)).unwrap();
+        assert_eq!(one.span.line_col(src), (2, 7));
+    }
+
+    #[test]
+    fn dotted_operator_spans_cover_the_dots() {
+        let src = "  if (i .eq. 1) x = 1";
+        let toks = lex(src).unwrap();
+        let eq = toks.iter().find(|t| t.tok == Tok::Punct("==")).unwrap();
+        assert_eq!(eq.span.slice(src), ".eq.");
+    }
+
+    #[test]
+    fn lex_errors_carry_spans_and_codes() {
+        let err = lex("  x = 1\n  y = @").unwrap_err();
+        assert_eq!(err.code, "L004");
+        assert_eq!((err.line, err.col), (2, 7));
+        assert_eq!(err.span.slice("  x = 1\n  y = @"), "@");
     }
 }

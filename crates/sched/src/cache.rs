@@ -223,6 +223,26 @@ impl<K: SiteKey> ScheduleCache<K> {
         (seq, sched)
     }
 
+    /// Pre-seed a schedule derived *without* running the inspector — the
+    /// consumer of a compile-time communication plan (a static analyzer's
+    /// `StaticCommPlan`) stores its concretized schedule here so the cold
+    /// trip replays instead of inspecting.
+    ///
+    /// Seeding is refused (returns `None`) once the `(site, team)` pair
+    /// has *any* history — even a tombstoned bucket. Two invariants
+    /// depend on that: a seed must never clobber or renumber
+    /// inspector-derived entries, and a successful seed always gets
+    /// ordinal 1, so members that seed the same plan independently (the
+    /// seed is a pure function of program text and distributions, hence
+    /// SPMD-uniform) agree on the ordinal and the replay consensus
+    /// passes without any extra communication.
+    pub fn seed(&mut self, key: K, sched: CommSchedule) -> Option<(u64, Rc<CommSchedule>)> {
+        if self.has_site_team(key.site(), key.team_ranks()) {
+            return None;
+        }
+        Some(self.store(key, sched))
+    }
+
     /// Remove the least-recently-used entry anywhere in the cache. Ticks
     /// are unique, so the victim is deterministic regardless of map
     /// iteration order. The victim's bucket stays behind as a tombstone.
@@ -372,6 +392,33 @@ mod tests {
         assert!(c.lookup(&key(1, &[0, 1], 0)).is_none());
         assert!(c.has_site_team(1, &[0, 1]));
         assert_eq!(c.store(key(1, &[0, 1], 0), sched()).0, 2);
+    }
+
+    #[test]
+    fn seed_populates_an_empty_site_team_with_ordinal_one() {
+        let mut c = ScheduleCache::new(8);
+        let (seq, _) = c.seed(key(5, &[0, 1], 0), sched()).unwrap();
+        assert_eq!(seq, 1);
+        assert!(c.has_site_team(5, &[0, 1]));
+        let (seq, _) = c.lookup(&key(5, &[0, 1], 0)).unwrap();
+        assert_eq!(seq, 1);
+        // A later fresh construction numbers after the seed.
+        assert_eq!(c.store(key(5, &[0, 1], 1), sched()).0, 2);
+    }
+
+    #[test]
+    fn seed_refuses_any_site_team_with_history() {
+        let mut c = ScheduleCache::with_budget(8, 1);
+        c.store(key(1, &[0, 1], 0), sched());
+        // Live entry: refused.
+        assert!(c.seed(key(1, &[0, 1], 9), sched()).is_none());
+        // Same site, different team: separate gate, seeds fine.
+        assert!(c.seed(key(1, &[2, 3], 0), sched()).is_some());
+        // Evicting every entry leaves a tombstone; still refused —
+        // ordinal 1 could never be re-issued there.
+        c.store(key(2, &[0, 1], 0), sched());
+        assert!(c.lookup(&key(1, &[0, 1], 0)).is_none());
+        assert!(c.seed(key(1, &[0, 1], 0), sched()).is_none());
     }
 
     #[test]

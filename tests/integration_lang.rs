@@ -120,7 +120,8 @@ fn parse_errors_carry_line_numbers() {
     // missing `on` clause
     let err = parse(src).unwrap_err();
     assert_eq!(err.line, 3);
-    assert!(err.msg.contains("on"));
+    assert!(err.message.contains("on"), "{err}");
+    assert_eq!(err.code, "P004");
 }
 
 #[test]

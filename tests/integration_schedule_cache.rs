@@ -387,5 +387,15 @@ end
             msg.contains("`ghost` is referenced in the loop body but has no binding"),
             "cache={cache}: unexpected message: {msg}"
         );
+        // The error is a rendered diagnostic: stable code, source position,
+        // and a caret underlining the offending expression.
+        assert!(
+            msg.contains("error[A001]"),
+            "cache={cache}: missing code: {msg}"
+        );
+        assert!(
+            msg.contains("--> line") && msg.contains("^"),
+            "cache={cache}: missing span rendering: {msg}"
+        );
     }
 }

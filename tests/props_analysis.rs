@@ -1,0 +1,275 @@
+//! Property tests for the compile-time analyzer: random well-formed
+//! stencil programs must come back clean, carry a static communication
+//! plan, and — seeded — replay their cold trip bitwise-identically to
+//! the inspector path with exact counters; random seeded-fault programs
+//! must be flagged by the analyzer *and* rejected by the runtime, with
+//! the two verdicts agreeing. The checked-in `tests/corpus/bad` files
+//! are pinned here too: each must produce the diagnostic code its file
+//! name promises, with a usable span.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use kali::lang::{analyze, comm_plans, parse, run_source_with, HostValue, LangRun, RunOptions};
+use kali::prelude::*;
+
+fn cfg(p: usize) -> MachineConfig {
+    Machine::build(
+        BackendKind::from_env(),
+        Topology::FullyConnected,
+        CostModel::unit(),
+    )
+    .procs(p)
+    .watchdog(Duration::from_secs(60))
+    .config()
+}
+
+fn dist_name(d: usize) -> &'static str {
+    if d == 0 {
+        "block"
+    } else {
+        "cyclic"
+    }
+}
+
+/// Run `src` on the inspector path and on the statically seeded path;
+/// both must succeed with bitwise-identical arrays and value traffic.
+fn run_seeded_pair(
+    src: &str,
+    entry: &str,
+    p: usize,
+    grid: &[usize],
+    args: &[HostValue],
+) -> (LangRun, LangRun) {
+    let inspect = run_source_with(cfg(p), src, entry, grid, args, RunOptions::default())
+        .unwrap_or_else(|e| panic!("inspector path: {e}\n{src}"));
+    let seeded = run_source_with(
+        cfg(p),
+        src,
+        entry,
+        grid,
+        args,
+        RunOptions {
+            static_seed: true,
+            ..RunOptions::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("seeded path: {e}\n{src}"));
+    for ((_, a), (name, b)) in inspect.arrays.iter().zip(&seeded.arrays) {
+        for (k, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "array {name} diverges at flat {k}: {x} vs {y}\n{src}"
+            );
+        }
+    }
+    assert_eq!(
+        inspect.report.total_exchange_words, seeded.report.total_exchange_words,
+        "static schedule must move exactly the inspector's value words\n{src}"
+    );
+    (inspect, seeded)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random affine 1D stencils: analyzer clean, plan extracted, and the
+    /// seeded run replays every trip — including the cold one — with
+    /// zero inspector runs and exact replay/hit counters.
+    #[test]
+    fn random_stencils_are_clean_and_seed_with_exact_counters(
+        logp in 1u32..3,
+        extra in 0usize..12,
+        o1 in -2i64..3,
+        o2 in -2i64..3,
+        dist_a in 0usize..2,
+        dist_b in 0usize..2,
+        niter in 2i64..5,
+        seed in 0u64..1000,
+    ) {
+        let p = 1usize << logp;
+        let n = (4 * p + extra).max(6);
+        let lo = 1 + o1.max(o2).max(0);
+        let hi = n as i64 - (-o1.min(o2).min(0));
+        let src = format!(
+            r#"
+parsub gen(a, b, n, niter; procs)
+  processors procs(p)
+  real a(n) dist ({da})
+  real b(n) dist ({db})
+  do 1000 it = 1, niter
+    doall 100 i = {lo}, {hi} on owner(a(i))
+      a(i) = 0.5*a(i) + b(i - {o1}) + 0.25*b(i - {o2}) + it
+100 continue
+1000 continue
+end
+"#,
+            da = dist_name(dist_a),
+            db = dist_name(dist_b),
+        );
+        let prog = parse(&src).expect("generated program parses");
+        let diags = analyze(&prog);
+        prop_assert!(diags.is_empty(), "well-formed program flagged: {diags:?}\n{src}");
+        let plans = comm_plans(&prog);
+        prop_assert_eq!(plans.len(), 1, "stencil body must be analyzable\n{}", src);
+        prop_assert_eq!(plans.values().next().unwrap().reads.len(), 3);
+
+        let b0: Vec<f64> = (0..n).map(|i| ((i as u64 * 37 + seed) % 101) as f64 / 10.0).collect();
+        let args = [
+            HostValue::Array { data: vec![0.0; n], bounds: vec![(1, n as i64)] },
+            HostValue::Array { data: b0, bounds: vec![(1, n as i64)] },
+            HostValue::Int(n as i64),
+            HostValue::Int(niter),
+        ];
+        let (inspect, seeded) = run_seeded_pair(&src, "gen", p, &[p], &args);
+        // Inspector path: one cold inspection per processor, niter-1
+        // replays each. Seeded path: zero inspections, niter replays.
+        prop_assert_eq!(inspect.report.total_inspector_runs, p as u64);
+        prop_assert_eq!(seeded.report.total_inspector_runs, 0);
+        prop_assert_eq!(seeded.report.total_schedule_replays, p as u64 * niter as u64);
+        prop_assert_eq!(seeded.report.total_optimistic_hits, seeded.report.total_schedule_replays);
+        prop_assert_eq!(seeded.report.total_rollbacks, 0);
+    }
+
+    /// Seeded faults: an undeclared array read (A001) or a provably
+    /// non-owned shifted write (A005). The analyzer must flag the exact
+    /// code, and the runtime must reject the same program — static and
+    /// dynamic verdicts agree.
+    #[test]
+    fn seeded_faults_flag_statically_and_fail_dynamically(
+        logp in 1u32..3,
+        extra in 0usize..10,
+        fault in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        let p = 1usize << logp;
+        let n = 4 * p + extra;
+        // Fault 0 hides the undeclared read in a branch the inspector
+        // never takes, so only the exchange-time A001 guard can catch it
+        // — the exact hazard the analyzer reports ahead of time.
+        let (body, code, runtime_hint) = match fault {
+            0 => (
+                "if (i .lt. 0) then\n      a(i) = ghost(i)\n    endif",
+                "A001",
+                "error[A001]",
+            ),
+            _ => ("a(i + 1) = a(i)", "A005", "owner-computes violation"),
+        };
+        let src = format!(
+            r#"
+parsub gen(a, n; procs)
+  processors procs(p)
+  real a(n) dist (block)
+  doall 100 i = 1, n - 1 on owner(a(i))
+    {body}
+100 continue
+end
+"#
+        );
+        let prog = parse(&src).expect("generated program parses");
+        let diags = analyze(&prog);
+        prop_assert!(
+            diags.iter().any(|d| d.code == code),
+            "expected {} in {:?}\n{}", code, diags, src
+        );
+        prop_assert!(!diags[0].span.is_empty(), "diagnostic must carry a span");
+
+        let a0: Vec<f64> = (0..n).map(|i| ((i as u64 * 7 + seed) % 13) as f64).collect();
+        let args = [
+            HostValue::Array { data: a0, bounds: vec![(1, n as i64)] },
+            HostValue::Int(n as i64),
+        ];
+        let res = std::panic::catch_unwind(|| {
+            run_source_with(cfg(p), &src, "gen", &[p], &args, RunOptions::default())
+        });
+        let msg = match res {
+            Ok(_) => panic!("faulty program must fail at runtime\n{src}"),
+            Err(e) => e
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| "non-string panic".into()),
+        };
+        prop_assert!(
+            msg.contains(runtime_hint),
+            "runtime verdict disagrees with the analyzer: {msg}\n{src}"
+        );
+    }
+}
+
+/// Every checked-in bad-corpus program produces at least one diagnostic
+/// whose code matches the file-name prefix (`a005_...` must flag A005),
+/// carrying a non-degenerate span that renders with a caret.
+#[test]
+fn bad_corpus_files_flag_their_advertised_code() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/corpus/bad");
+    let mut seen = 0usize;
+    for entry in std::fs::read_dir(dir).expect("corpus directory exists") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("kf1") {
+            continue;
+        }
+        seen += 1;
+        let stem = path.file_stem().unwrap().to_str().unwrap();
+        let want = stem.split('_').next().unwrap().to_uppercase();
+        let src = std::fs::read_to_string(&path).unwrap();
+        let diag = match parse(&src) {
+            Err(d) => d,
+            Ok(prog) => {
+                let mut ds = analyze(&prog);
+                assert!(!ds.is_empty(), "{stem}: analyzer found nothing");
+                ds.remove(0)
+            }
+        };
+        assert_eq!(diag.code, want, "{stem}: flagged {} instead", diag.code);
+        assert!(
+            !diag.span.is_empty() || diag.span.lo > 0,
+            "{stem}: degenerate span"
+        );
+        let rendered = diag.render(&src);
+        assert!(
+            rendered.contains("-->"),
+            "{stem}: no position line\n{rendered}"
+        );
+        assert!(rendered.contains('^'), "{stem}: no caret\n{rendered}");
+    }
+    assert!(seen >= 12, "corpus unexpectedly small: {seen} files");
+}
+
+/// Satellite guard for the span-threading refactor: all five shipped
+/// listings round-trip through the parser with spans that slice back to
+/// the exact source text they claim to cover, and the analyzer accepts
+/// every one of them without diagnostics.
+#[test]
+fn shipped_listings_round_trip_with_faithful_spans() {
+    for name in ["jacobi", "shift", "tri", "adi", "spmv"] {
+        let src = kali::lang::listing(name).unwrap();
+        let prog = parse(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(prog.src, src, "{name}: program must retain its source");
+        for sub in &prog.subs {
+            assert_eq!(
+                sub.name_span.slice(src),
+                sub.name,
+                "{name}: subroutine name span drifted"
+            );
+            for stmt in &sub.body {
+                assert!(
+                    !stmt.span.is_empty(),
+                    "{name}/{}: statement with empty span",
+                    sub.name
+                );
+                let text = stmt.span.slice(src);
+                assert!(
+                    !text.trim().is_empty(),
+                    "{name}/{}: span covers only whitespace",
+                    sub.name
+                );
+            }
+        }
+        assert!(
+            analyze(&prog).is_empty(),
+            "{name}: shipped listing must be diagnostic-free"
+        );
+    }
+}
